@@ -1,0 +1,61 @@
+"""Ablation: calibrated vs hypothetical hierarchical row decoder.
+
+The calibrated decoder reproduces the measured Fig. 5 coverage; the
+mechanistic :class:`HierarchicalRowDecoder` realizes the PULSAR-style
+circuit hypothesis, whose address combinatorics predict a *different*
+coverage distribution (binomial in the local-wordline Hamming distance).
+The gap is the reason the characterization defaults to the calibrated
+model — and quantifies how far the public hypothesis is from the
+measured silicon behavior.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SeedTree, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.dram import Module
+from repro.dram.decoder import FIG5_COVERAGE, ActivationKind
+from repro.reveng import ActivationScanner, coverage_from_counts
+
+from conftest import BENCH_SCALE
+
+SAMPLES = 600
+
+
+def _coverage(decoder_model: str) -> dict:
+    config = sk_hynix_chip().with_geometry(BENCH_SCALE.geometry)
+    module = Module(
+        config, chip_count=1, seed_tree=SeedTree(17), decoder_model=decoder_model
+    )
+    scanner = ActivationScanner(DramBenderHost(module), 0, 0, 1, seed=3)
+    return coverage_from_counts(scanner.scan(SAMPLES))
+
+
+def test_ablation_decoder_models(benchmark):
+    def run():
+        return _coverage("calibrated"), _coverage("hierarchical")
+
+    calibrated, hierarchical = benchmark.pedantic(run, rounds=1, iterations=1)
+    paper = {
+        f"{n}:{n if kind is ActivationKind.N_TO_N else 2 * n}": p
+        for (n, kind), p in FIG5_COVERAGE.items()
+    }
+    print("\n  type    paper   calibrated  hierarchical")
+    for label in sorted(paper, key=lambda k: paper[k], reverse=True):
+        print(
+            f"  {label:>6}  {paper[label] * 100:5.2f}%   "
+            f"{calibrated.get(label, 0.0) * 100:6.2f}%     "
+            f"{hierarchical.get(label, 0.0) * 100:6.2f}%"
+        )
+
+    def distance(coverage: dict) -> float:
+        return sum(
+            abs(coverage.get(label, 0.0) - value) for label, value in paper.items()
+        )
+
+    calibrated_gap = distance(calibrated)
+    hierarchical_gap = distance(hierarchical)
+    print(f"  L1 distance to Fig. 5: calibrated {calibrated_gap:.3f}, "
+          f"hierarchical {hierarchical_gap:.3f}")
+    assert calibrated_gap < hierarchical_gap

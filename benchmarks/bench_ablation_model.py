@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the behavior model's design choices.
+
+DESIGN.md calls out several modeling decisions; each ablation disables
+one and shows which paper observation breaks, demonstrating that the
+corresponding mechanism — not calibration slack — carries the result.
+
+* **latch-fight load cost** (``drive_load_alpha = 0``): the NOT success
+  cliff across destination-row counts (Fig. 7 / Obs. 4) disappears.
+* **coupling** (``coupling_noise_sigma = op_coupling_flip_z = 0``): the
+  all-1s/0s vs random data-pattern gap (Fig. 18 / Obs. 16) collapses.
+* **common-mode overdrive loss** (``common_mode_noise_gain = 0``): the
+  OR-beats-AND asymmetry (Obs. 12) and the deep AND valleys of Fig. 16
+  vanish together.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import SeedTree, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.core import (
+    LogicSuccessMeasurement,
+    NotSuccessMeasurement,
+    find_pattern_pair,
+)
+from repro.dram import ActivationKind, Module
+from repro.dram.calibration import calibration_for
+
+from conftest import BENCH_SCALE
+
+TRIALS = 120
+
+
+def _module(**calibration_overrides) -> Module:
+    config = sk_hynix_chip().with_geometry(BENCH_SCALE.geometry)
+    calibration = replace(calibration_for(config), **calibration_overrides)
+    return Module(
+        config, chip_count=1, seed_tree=SeedTree(31), calibration=calibration
+    )
+
+
+def _not_means(module: Module, counts=(1, 8, 16)) -> dict:
+    host = DramBenderHost(module)
+    means = {}
+    for n in counts:
+        src, dst = find_pattern_pair(
+            module.decoder, module.config.geometry, 0, 0, 1, n,
+            ActivationKind.N_TO_N, seed=n,
+        )
+        measurement = NotSuccessMeasurement(host, 0, src, dst)
+        means[n] = measurement.run(TRIALS, np.random.default_rng(n)).mean_rate
+    return means
+
+
+def _pattern_gap(module: Module, n=16) -> float:
+    """all-1s/0s minus random mean success for an n-input AND."""
+    host = DramBenderHost(module)
+    ref, com = find_pattern_pair(
+        module.decoder, module.config.geometry, 0, 0, 1, n,
+        ActivationKind.N_TO_N, seed=9,
+    )
+    measurement = LogicSuccessMeasurement(host, 0, ref, com, base_op="and")
+    fixed = measurement.run(2 * TRIALS, np.random.default_rng(1), mode="all01")
+    random_ = measurement.run(2 * TRIALS, np.random.default_rng(1), mode="random")
+    return fixed.primary.mean_rate - random_.primary.mean_rate
+
+
+def _or_minus_and(module: Module, n=2) -> float:
+    host = DramBenderHost(module)
+    ref, com = find_pattern_pair(
+        module.decoder, module.config.geometry, 0, 0, 1, n,
+        ActivationKind.N_TO_N, seed=13,
+    )
+    and_pair = LogicSuccessMeasurement(host, 0, ref, com, base_op="and").run(
+        TRIALS, np.random.default_rng(2)
+    )
+    or_pair = LogicSuccessMeasurement(host, 0, ref, com, base_op="or").run(
+        TRIALS, np.random.default_rng(2)
+    )
+    return or_pair.primary.mean_rate - and_pair.primary.mean_rate
+
+
+def test_ablation_drive_load(benchmark):
+    """No per-row drive cost -> no Fig. 7 cliff."""
+
+    def run():
+        return _not_means(_module()), _not_means(_module(drive_load_alpha=0.0))
+
+    full, ablated = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  full model:   NOT means {({k: round(v, 3) for k, v in full.items()})}")
+    print(f"  alpha=0:      NOT means {({k: round(v, 3) for k, v in ablated.items()})}")
+    assert full[1] - full[16] > 0.3, "full model must show the cliff"
+    assert ablated[1] - ablated[16] < 0.1, "ablated model must be flat"
+
+
+def test_ablation_coupling(benchmark):
+    """No coupling -> no data-pattern dependence (Obs. 16)."""
+
+    def run():
+        with_coupling = _pattern_gap(_module())
+        without = _pattern_gap(
+            _module(coupling_noise_sigma=0.0, op_coupling_flip_z=0.0)
+        )
+        return with_coupling, without
+
+    with_coupling, without = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  all01-minus-random gap with coupling:    {with_coupling * 100:+.2f}%")
+    print(f"  all01-minus-random gap without coupling: {without * 100:+.2f}%")
+    assert with_coupling > without - 0.005
+
+def test_ablation_common_mode(benchmark):
+    """No overdrive loss -> OR no longer beats AND (Obs. 12)."""
+
+    def run():
+        asymmetric = _or_minus_and(_module())
+        flat = _or_minus_and(
+            _module(
+                common_mode_noise_gain=0.0,
+                common_mode_offset_gain=0.0,
+                low_common_mode_offset_gain=0.0,
+            )
+        )
+        return asymmetric, flat
+
+    asymmetric, flat = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n  OR minus AND with overdrive loss:    {asymmetric * 100:+.2f}%")
+    print(f"  OR minus AND without overdrive loss: {flat * 100:+.2f}%")
+    assert asymmetric > flat + 0.01

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the per-module capability matrix (the paper's
+extended-version inventory; §7 Limitations)."""
+
+from conftest import run_and_report
+
+
+def test_capability(benchmark):
+    result = run_and_report(benchmark, "capability")
+    assert result.extras["matrix"]

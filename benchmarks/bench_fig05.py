@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 5: activation-type coverage (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig05(benchmark):
+    result = run_and_report(benchmark, "fig5")
+    assert result.groups or result.extras

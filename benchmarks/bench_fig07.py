@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 7: NOT vs destination rows (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig07(benchmark):
+    result = run_and_report(benchmark, "fig7")
+    assert result.groups or result.extras

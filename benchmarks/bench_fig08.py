@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 8: NOT vs activation pattern (N:N vs N:2N) (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig08(benchmark):
+    result = run_and_report(benchmark, "fig8")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 9: NOT vs distance to sense amplifiers (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig09(benchmark):
+    result = run_and_report(benchmark, "fig9")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 10: NOT vs temperature (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig10(benchmark):
+    result = run_and_report(benchmark, "fig10")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 11: NOT vs DRAM speed rate (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig11(benchmark):
+    result = run_and_report(benchmark, "fig11")
+    assert result.groups or result.extras

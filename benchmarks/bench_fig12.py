@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 12: NOT vs density / die revision (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig12(benchmark):
+    result = run_and_report(benchmark, "fig12")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 15: ops vs operand count (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig15(benchmark):
+    result = run_and_report(benchmark, "fig15")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 16: ops vs logic-1 count in operands (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig16(benchmark):
+    result = run_and_report(benchmark, "fig16")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 17: ops vs distance to sense amplifiers (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig17(benchmark):
+    result = run_and_report(benchmark, "fig17")
+    assert result.groups or result.extras

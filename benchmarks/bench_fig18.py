@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 18: ops vs data pattern (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig18(benchmark):
+    result = run_and_report(benchmark, "fig18")
+    assert result.groups or result.extras

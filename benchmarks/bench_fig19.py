@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 19: ops vs temperature (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig19(benchmark):
+    result = run_and_report(benchmark, "fig19")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 20: ops vs DRAM speed rate (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig20(benchmark):
+    result = run_and_report(benchmark, "fig20")
+    assert result.groups or result.extras

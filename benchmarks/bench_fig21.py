@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Fig. 21: ops vs density / die revision (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_fig21(benchmark):
+    result = run_and_report(benchmark, "fig21")
+    assert result.groups or result.extras

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table 1: tested-chip inventory (see DESIGN.md experiment index)."""
+
+from conftest import run_and_report
+
+
+def test_table01(benchmark):
+    result = run_and_report(benchmark, "table1")
+    assert result.groups or result.extras

@@ -1,0 +1,69 @@
+"""Shared benchmark configuration.
+
+Each ``bench_figXX.py`` regenerates one of the paper's tables/figures at
+``BENCH_SCALE`` and prints the same rows/series the paper reports, with
+the paper's quoted anchors alongside.  ``pytest benchmarks/
+--benchmark-only`` runs the full set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import Scale, run_experiment
+from repro.analysis.compare import compare_experiment
+from repro.dram.config import ChipGeometry
+
+#: Benchmark scale: one small module per Table-1 spec type — large
+#: enough for every trend to show, small enough for the suite to finish
+#: in minutes.
+BENCH_SCALE = Scale(
+    name="bench",
+    modules_per_spec=1,
+    chips_per_module=1,
+    banks_per_module=1,
+    pairs_per_bank=1,
+    trials=80,
+    geometry=ChipGeometry(
+        banks=1, subarrays_per_bank=2, rows_per_subarray=96, columns=48
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+def run_and_report(benchmark, experiment_id: str, seed: int = 1):
+    """Benchmark one experiment run and print its figure reproduction."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": BENCH_SCALE, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    if "table" in result.extras:
+        print(result.extras["table"])
+    print(result.format_table())
+    for key in sorted(result.extras):
+        if key.startswith("heatmap"):
+            print(result.format_heatmap(key=key))
+    rows = compare_experiment(result)
+    if rows:
+        print("  paper-vs-measured:")
+        for row in rows:
+            measured = (
+                f"{row.measured_value * 100:6.2f}%"
+                if row.measured_value is not None and abs(row.paper_value) <= 1
+                else str(row.measured_value)
+            )
+            paper = (
+                f"{row.paper_value * 100:6.2f}%"
+                if abs(row.paper_value) <= 1
+                else str(row.paper_value)
+            )
+            print(f"    {row.metric}: paper {paper} / measured {measured}")
+    return result

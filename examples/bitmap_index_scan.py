@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Bitmap-index scan computed *inside* DRAM — the paper's motivating
+bulk-bitwise workload (§1).
+
+A table of records is indexed by bitmap: one bit vector per categorical
+value, one bit per record.  Analytical predicates become Boolean algebra
+over bitmaps, which is exactly what the in-DRAM operations accelerate —
+the bitmaps never travel to the CPU.  The query
+
+    (method = GET OR method = HEAD) AND status = 200 AND NOT bot
+
+is written as an expression tree and lowered by the SIMDRAM-style
+compiler (`repro.core.compiler`), which fuses it into just two in-DRAM
+operations: one 2-input OR and one 4-input AND absorbing the NOT into
+the free complement terminal... almost — see the printed schedule.
+
+On the calibrated (realistic) die the chained operations compound their
+per-op error rates; triple-modular redundancy (`repro.core.reliability`)
+recovers most of the loss, the way a deployed PuD system would.
+
+Run:  python examples/bitmap_index_scan.py
+"""
+
+import numpy as np
+
+from repro import SeedTree, ideal_calibration, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.core import BitwiseAccelerator, compile_expression, majority_vote
+from repro.core.compiler import And, Not, Or, v
+from repro.dram import Module
+
+QUERY = And(Or(v("get"), v("head")), v("ok"), Not(v("bot")))
+
+
+def build_bitmaps(n_records: int, rng: np.random.Generator) -> dict:
+    methods = rng.choice(["GET", "POST", "HEAD"], size=n_records, p=[0.7, 0.2, 0.1])
+    statuses = rng.choice([200, 404, 500], size=n_records, p=[0.8, 0.15, 0.05])
+    bots = rng.random(n_records) < 0.2
+    return {
+        "get": (methods == "GET").astype(np.uint8),
+        "head": (methods == "HEAD").astype(np.uint8),
+        "ok": (statuses == 200).astype(np.uint8),
+        "bot": bots.astype(np.uint8),
+    }
+
+
+def scan_on_cpu(bitmaps: dict) -> np.ndarray:
+    return QUERY.evaluate(bitmaps)
+
+
+def run_on(module: Module, label: str, rng: np.random.Generator, repeats: int) -> None:
+    host = DramBenderHost(module)
+    accelerator = BitwiseAccelerator(host, bank=0, subarray_pair=(0, 1))
+    program = compile_expression(QUERY)
+
+    bitmaps = build_bitmaps(accelerator.vector_width, rng)
+    on_cpu = scan_on_cpu(bitmaps)
+
+    votes = [program.run(accelerator, bitmaps) for _ in range(repeats)]
+    in_dram = votes[0] if repeats == 1 else majority_vote(votes)
+    agreement = float(np.mean(in_dram == on_cpu))
+    print(
+        f"{label:>22}: {int(on_cpu.sum())} matches on CPU, "
+        f"{int(in_dram.sum())} in DRAM, agreement {agreement * 100:6.2f}%"
+    )
+
+
+def main() -> None:
+    config = sk_hynix_chip()
+    rng = np.random.default_rng(11)
+
+    program = compile_expression(QUERY)
+    print("query:  (GET OR HEAD) AND status=200 AND NOT bot")
+    print(f"compiled schedule ({program.total_ops} in-DRAM ops):")
+    for step in program.steps:
+        print(f"  {step.op.upper():<5} {step.inputs}")
+    print()
+
+    ideal = Module(
+        config, chip_count=4, seed_tree=SeedTree(3), calibration=ideal_calibration()
+    )
+    run_on(ideal, "ideal die", rng, repeats=1)
+
+    real = Module(config, chip_count=4, seed_tree=SeedTree(3))
+    run_on(real, "real die, single shot", rng, repeats=1)
+
+    real = Module(config, chip_count=4, seed_tree=SeedTree(3))
+    run_on(real, "real die, 5-way vote", rng, repeats=5)
+    print(
+        "\nVoting fixes the *transient* failures (per-trial latch flips"
+        " and noise) but not the *static* ones: columns whose sense"
+        " amplifiers carry a large fixed offset fail the same way every"
+        " repetition.  Those are exactly the cells the paper's >90%"
+        " profiling methodology excludes — repro.core.reliability's"
+        " CellProfile productizes that second lever."
+    )
+
+
+if __name__ == "__main__":
+    main()

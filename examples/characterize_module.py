@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Characterize one module like the paper's test bench does: sweep
+destination-row counts (Fig. 7), operand counts (Fig. 15), and
+temperature (Fig. 10 protocol) on a single simulated SK Hynix module,
+rendering box plots in the terminal.
+
+Run:  python examples/characterize_module.py
+"""
+
+import numpy as np
+
+from repro import ChipGeometry, TestingInfrastructure, sk_hynix_chip
+from repro.analysis import render_boxes
+from repro.characterization.metrics import BoxStats
+from repro.core import (
+    LogicSuccessMeasurement,
+    NotSuccessMeasurement,
+    find_pattern_pair,
+)
+from repro.dram import ActivationKind
+
+TRIALS = 250
+
+
+def main() -> None:
+    geometry = ChipGeometry(
+        banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+    )
+    config = sk_hynix_chip().with_geometry(geometry)
+    infra = TestingInfrastructure.for_config(config, chip_count=2, seed=21)
+    infra.set_temperature(50.0)
+    host = infra.host
+    decoder = host.module.decoder
+
+    # --- Fig. 7 style: NOT success vs destination rows -----------------
+    groups = {}
+    for n, kind in [(1, "nn"), (2, "nn"), (4, "nn"), (8, "nn"), (16, "nn"), (32, "n2n")]:
+        activation = (
+            ActivationKind.N_TO_N if kind == "nn" else ActivationKind.N_TO_2N
+        )
+        src, dst = find_pattern_pair(
+            decoder, geometry, 0, 0, 1,
+            n if kind == "nn" else n // 2, activation, seed=n,
+        )
+        measurement = NotSuccessMeasurement(host, 0, src, dst)
+        result = measurement.run(TRIALS, np.random.default_rng(n))
+        groups[f"{n} dst"] = BoxStats.from_values(result.flat_rates())
+    print("NOT success rate vs destination rows (Fig. 7 protocol):")
+    print(render_boxes(groups))
+
+    # --- Fig. 15 style: ops vs operand count ----------------------------
+    groups = {}
+    for base_op in ("and", "or"):
+        for n in (2, 4, 8, 16):
+            ref, com = find_pattern_pair(
+                decoder, geometry, 0, 2, 3, n, ActivationKind.N_TO_N, seed=n
+            )
+            measurement = LogicSuccessMeasurement(host, 0, ref, com, base_op)
+            pair = measurement.run(TRIALS // 2, np.random.default_rng(n))
+            groups[f"{base_op.upper()} n={n}"] = BoxStats.from_values(
+                pair.primary.flat_rates()
+            )
+            complement = "NAND" if base_op == "and" else "NOR"
+            groups[f"{complement} n={n}"] = BoxStats.from_values(
+                pair.complement.flat_rates()
+            )
+    print("\nlogic-op success rate vs operand count (Fig. 15 protocol):")
+    print(render_boxes(groups))
+
+    # --- Fig. 10 style: temperature sweep on one configuration ----------
+    src, dst = find_pattern_pair(
+        decoder, geometry, 0, 0, 1, 4, ActivationKind.N_TO_N, seed=4
+    )
+    measurement = NotSuccessMeasurement(host, 0, src, dst)
+    print("\nNOT (4 destination rows) across temperature (Fig. 10 protocol):")
+    means = {}
+    for temperature in (50.0, 60.0, 70.0, 80.0, 95.0):
+        infra.set_temperature(temperature)
+        result = measurement.run(TRIALS, np.random.default_rng(99))
+        means[temperature] = result.mean_rate
+        print(f"  {temperature:5.1f} degC: mean success {result.mean_rate * 100:6.2f}%")
+    span = (max(means.values()) - min(means.values())) * 100
+    print(f"  mean variation across the sweep: {span:.2f}% (paper: <=1.66%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Reverse engineering a chip from the outside, as the paper does (§4.2,
+§5.2): subarray boundaries via RowClone, physical row order via
+RowHammer, and the multi-row activation pattern coverage (Fig. 5).
+
+Everything here uses only command sequences and readback — the ground
+truth inside the simulator is consulted only at the end to grade the
+recovered answers.
+
+Run:  python examples/reverse_engineer_chip.py
+"""
+
+import numpy as np
+
+from repro import ChipGeometry, SeedTree, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.dram import Module
+from repro.reveng import (
+    ActivationScanner,
+    RowOrderMapper,
+    SubarrayMapper,
+    coverage_from_counts,
+)
+
+
+def main() -> None:
+    geometry = ChipGeometry(
+        banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+    )
+    config = sk_hynix_chip().with_geometry(geometry)
+    module = Module(config, chip_count=1, seed_tree=SeedTree(9))
+    host = DramBenderHost(module)
+
+    # ------------------------------------------------------------------
+    # 1. Subarray boundaries: RowClone only copies within a subarray.
+    # ------------------------------------------------------------------
+    mapper = SubarrayMapper(host, bank=0)
+    recovered = mapper.map_bank(coarse_step=32)
+    truth = tuple(
+        (s * geometry.rows_per_subarray, (s + 1) * geometry.rows_per_subarray)
+        for s in range(geometry.subarrays_per_bank)
+    )
+    print(f"subarray boundaries ({mapper.probe_count} RowClone probes):")
+    for start, end in recovered.ranges:
+        print(f"  rows [{start:4d}, {end:4d})")
+    print(f"  matches ground truth: {recovered.ranges == truth}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Physical row order: hammer every row, collect bitflip victims.
+    #    Edge rows (one victim) sit next to the sense amplifiers.
+    # ------------------------------------------------------------------
+    order_mapper = RowOrderMapper(host, bank=0, subarray=1)
+    order = order_mapper.recover_order()
+    subarray = module.chips[0].bank(0).subarrays[1]
+    truth_order = [
+        geometry.bank_row(1, subarray.logical_at_physical(p))
+        for p in range(geometry.rows_per_subarray)
+    ]
+    matches = list(order.physical_order) in (truth_order, truth_order[::-1])
+    print("physical row order via RowHammer probing:")
+    print(f"  edge rows (next to sense amplifiers): {order.edge_rows}")
+    print(f"  first 8 rows in physical order: {order.physical_order[:8]}")
+    print(f"  matches ground truth (up to direction): {matches}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Activation pattern coverage (the Fig. 5 scan).
+    # ------------------------------------------------------------------
+    scanner = ActivationScanner(host, bank=0, subarray_first=0, subarray_last=1)
+    counts = scanner.scan(sample_pairs=800)
+    coverage = coverage_from_counts(counts)
+    print("N_RF:N_RL activation coverage over 800 probed pairs:")
+    for label in sorted(coverage, key=lambda k: -coverage[k]):
+        bar = "#" * int(coverage[label] * 120)
+        print(f"  {label:>6}: {coverage[label] * 100:5.1f}%  {bar}")
+    print(
+        "\n(paper Fig. 5: 8:8 and 16:16 dominate at ~24.5% each; 1:1 is "
+        "rarest at 0.23%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""FCDRAM reproduction: functionally-complete Boolean logic in (simulated)
+real DRAM chips.
+
+Reproduction of Yüksel et al., "Functionally-Complete Boolean Logic in
+Real DRAM Chips: Experimental Characterization and Analysis", HPCA 2024.
+
+Packages
+--------
+:mod:`repro.dram`
+    Analog-behavioral DRAM device model (the silicon substitute).
+:mod:`repro.bender`
+    DRAM Bender-style testing infrastructure (programs, executor, thermal).
+:mod:`repro.core`
+    The in-DRAM operations: NOT, many-input AND/OR/NAND/NOR, MAJ, Frac,
+    RowClone, plus the success-rate metric and a bulk bitwise engine.
+:mod:`repro.reveng`
+    Reverse-engineering passes: subarray boundaries, physical row order,
+    activation-pattern coverage.
+:mod:`repro.system`
+    End-to-end PuD runtime: vector handles, subarray-aware allocation,
+    in-DRAM data movement (PiDRAM/SIMDRAM framing).
+:mod:`repro.characterization`
+    The paper's evaluation: the Table-1 fleet and one experiment module
+    per table/figure.
+:mod:`repro.analysis`
+    Result statistics, text rendering, and paper-vs-measured comparison.
+
+Quickstart
+----------
+>>> from repro import TestingInfrastructure, sk_hynix_chip
+>>> infra = TestingInfrastructure.for_config(sk_hynix_chip(), seed=7)
+>>> from repro.core import BitwiseAccelerator
+>>> import numpy as np
+>>> acc = BitwiseAccelerator(infra.host)
+>>> a = np.random.default_rng(0).integers(0, 2, acc.vector_width, dtype=np.uint8)
+>>> result = acc.nand(a, a)  # in-DRAM NAND
+"""
+
+from .bender import DramBenderHost, TestingInfrastructure, TestProgram
+from .dram import (
+    ActivationKind,
+    ActivationSupport,
+    Chip,
+    ChipConfig,
+    ChipGeometry,
+    Manufacturer,
+    Module,
+    ModuleSpec,
+)
+from .dram.calibration import calibration_for, ideal_calibration
+from .errors import ReproError
+from .rng import SeedTree
+
+__version__ = "1.0.0"
+
+
+def sk_hynix_chip(**overrides) -> ChipConfig:
+    """A representative SK Hynix configuration (supports every operation)."""
+    defaults = dict(
+        manufacturer=Manufacturer.SK_HYNIX,
+        density_gb=4,
+        die_revision="M",
+        speed_rate_mts=2666,
+    )
+    defaults.update(overrides)
+    return ChipConfig(**defaults)
+
+
+def samsung_chip(**overrides) -> ChipConfig:
+    """A representative Samsung configuration (NOT only, §7)."""
+    defaults = dict(
+        manufacturer=Manufacturer.SAMSUNG,
+        density_gb=8,
+        die_revision="D",
+        speed_rate_mts=2133,
+        activation_support=ActivationSupport.SEQUENTIAL_ONLY,
+    )
+    defaults.update(overrides)
+    return ChipConfig(**defaults)
+
+
+def micron_chip(**overrides) -> ChipConfig:
+    """A representative Micron configuration (no operations, §7)."""
+    defaults = dict(
+        manufacturer=Manufacturer.MICRON,
+        density_gb=8,
+        die_revision="B",
+        speed_rate_mts=2666,
+        activation_support=ActivationSupport.NONE,
+    )
+    defaults.update(overrides)
+    return ChipConfig(**defaults)
+
+
+__all__ = [
+    "ActivationKind",
+    "ActivationSupport",
+    "Chip",
+    "ChipConfig",
+    "ChipGeometry",
+    "DramBenderHost",
+    "Manufacturer",
+    "Module",
+    "ModuleSpec",
+    "ReproError",
+    "SeedTree",
+    "TestProgram",
+    "TestingInfrastructure",
+    "__version__",
+    "calibration_for",
+    "ideal_calibration",
+    "micron_chip",
+    "samsung_chip",
+    "sk_hynix_chip",
+]

@@ -1,0 +1,72 @@
+"""Text rendering of box-and-whiskers distributions.
+
+The paper presents nearly every result as a box plot over DRAM cells
+(footnote 5).  :func:`render_boxes` draws the same thing in a terminal:
+whiskers span min..max, the box Q1..Q3, with the median marked.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..characterization.metrics import BoxStats
+
+__all__ = ["render_box_line", "render_boxes"]
+
+
+def render_box_line(
+    stats: BoxStats, width: int = 50, lo: float = 0.0, hi: float = 1.0
+) -> str:
+    """One box-and-whiskers line over a fixed value range.
+
+    ``-`` whisker, ``=`` box, ``|`` median, e.g.::
+
+        --------========|====----
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if hi <= lo:
+        raise ValueError(f"invalid range [{lo}, {hi}]")
+
+    def position(value: float) -> int:
+        clipped = min(max(value, lo), hi)
+        return int(round((clipped - lo) / (hi - lo) * (width - 1)))
+
+    cells = [" "] * width
+    p_min, p_q1 = position(stats.minimum), position(stats.q1)
+    p_med = position(stats.median)
+    p_q3, p_max = position(stats.q3), position(stats.maximum)
+    for i in range(p_min, p_q1):
+        cells[i] = "-"
+    for i in range(p_q1, p_q3 + 1):
+        cells[i] = "="
+    for i in range(p_q3 + 1, p_max + 1):
+        cells[i] = "-"
+    cells[p_med] = "|"
+    return "".join(cells)
+
+
+def render_boxes(
+    groups: Mapping[str, BoxStats],
+    width: int = 50,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    percent: bool = True,
+) -> str:
+    """Multi-line box-plot chart for a label -> BoxStats mapping."""
+    if not groups:
+        return "(no data)"
+    label_width = max(len(label) for label in groups)
+    scale = 100.0 if percent else 1.0
+    lines = []
+    header_lo = f"{lo * scale:g}"
+    header_hi = f"{hi * scale:g}{'%' if percent else ''}"
+    pad = " " * (label_width + 2)
+    lines.append(f"{pad}{header_lo}{' ' * (width - len(header_lo) - len(header_hi))}{header_hi}")
+    for label, stats in groups.items():
+        bar = render_box_line(stats, width=width, lo=lo, hi=hi)
+        lines.append(
+            f"{label:>{label_width}}  {bar}  mean={stats.mean * scale:5.1f}"
+            f"{'%' if percent else ''}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Paper-vs-measured comparison.
+
+For every :mod:`repro.analysis.paperdata` anchor, an extractor pulls the
+corresponding measured value out of the experiment's
+:class:`~repro.characterization.results.ExperimentResult`; the output is
+a row set ready for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..characterization.results import ExperimentResult
+from .paperdata import anchors_for
+
+__all__ = ["ComparisonRow", "compare_experiment"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    metric: str
+    source: str
+    paper_value: float
+    measured_value: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.measured_value is None:
+            return None
+        return self.measured_value - self.paper_value
+
+
+Extractor = Callable[[ExperimentResult], Optional[float]]
+
+
+def _group_mean(label: str) -> Extractor:
+    def extract(result: ExperimentResult) -> Optional[float]:
+        stats = result.groups.get(label)
+        return stats.mean if stats else None
+
+    return extract
+
+
+def _group_delta(label_a: str, label_b: str) -> Extractor:
+    def extract(result: ExperimentResult) -> Optional[float]:
+        a, b = result.groups.get(label_a), result.groups.get(label_b)
+        if a is None or b is None:
+            return None
+        return a.mean - b.mean
+
+    return extract
+
+
+def _extra(key: str) -> Extractor:
+    def extract(result: ExperimentResult) -> Optional[float]:
+        value = result.extras.get(key)
+        return float(value) if value is not None else None
+
+    return extract
+
+
+def _extra_item(key: str, item: str) -> Extractor:
+    def extract(result: ExperimentResult) -> Optional[float]:
+        mapping = result.extras.get(key)
+        if not isinstance(mapping, dict):
+            return None
+        value = mapping.get(item)
+        return float(value) if value is not None else None
+
+    return extract
+
+
+def _heatmap_cell(row: int, column: int, key: str = "heatmap") -> Extractor:
+    def extract(result: ExperimentResult) -> Optional[float]:
+        grid = result.extras.get(key)
+        if not isinstance(grid, dict):
+            return None
+        value = grid.get((row, column))
+        return float(value) if value is not None else None
+
+    return extract
+
+
+def _series_delta(series: str, index_a: int, index_b: int) -> Extractor:
+    def extract(result: ExperimentResult) -> Optional[float]:
+        table = result.extras.get("series")
+        if not isinstance(table, dict) or series not in table:
+            return None
+        values = table[series]
+        if max(index_a, index_b) >= len(values):
+            return None
+        a, b = values[index_a], values[index_b]
+        if a != a or b != b:  # NaN check
+            return None
+        return a - b
+
+    return extract
+
+
+#: experiment id -> metric key -> extractor
+_EXTRACTORS: Dict[str, Dict[str, Extractor]] = {
+    "table1": {
+        key: _extra(key)
+        for key in (
+            "analyzed_chips",
+            "analyzed_modules",
+            "tested_chips",
+            "tested_modules",
+        )
+    },
+    "fig5": {
+        label: _group_mean(label)
+        for label in (
+            "1:1", "1:2", "2:2", "2:4", "4:4", "4:8", "8:8", "8:16",
+            "16:16", "16:32",
+        )
+    },
+    "fig7": {
+        "1 dst": _group_mean("1 dst"),
+        "32 dst": _group_mean("32 dst"),
+    },
+    "fig8": {"n2n_minus_nn_mean": _extra("n2n_minus_nn_mean")},
+    "fig9": {
+        "best Middle-Far": _heatmap_cell(1, 2),
+        "worst Far-Close": _heatmap_cell(2, 0),
+    },
+    "fig10": {"max_mean_variation": _extra("max_mean_variation")},
+    "fig11": {
+        "dip_2400_drop": _extra("dip_2400_drop"),
+        "dip_2400_recovery": _extra("dip_2400_recovery"),
+    },
+    "fig12": {
+        "skhynix_8gb_m_minus_a": _group_delta(
+            "SK Hynix 8Gb M-die", "SK Hynix 8Gb A-die"
+        ),
+        "samsung_a_minus_d": _group_delta(
+            "Samsung 8Gb A-die", "Samsung 8Gb D-die"
+        ),
+    },
+    "fig15": {
+        "AND n=16": _group_mean("AND n=16"),
+        "NAND n=16": _group_mean("NAND n=16"),
+        "OR n=16": _group_mean("OR n=16"),
+        "NOR n=16": _group_mean("NOR n=16"),
+        "and_16_minus_2": _group_delta("AND n=16", "AND n=2"),
+        "or_minus_and_2": _group_delta("OR n=2", "AND n=2"),
+        "and_minus_nand_2": _group_delta("AND n=2", "NAND n=2"),
+    },
+    "fig16": {
+        "and16_k0_minus_k15": _series_delta("AND16", 0, 15),
+        "or16_k16_minus_k1": _series_delta("OR16", 16, 1),
+    },
+    "fig17": {
+        f"variation_{op}": _extra(f"variation_{op}")
+        for op in ("and", "nand", "or", "nor")
+    },
+    "fig18": {
+        f"delta_{op}": _extra_item("all01_minus_random", op)
+        for op in ("and", "nand", "or", "nor")
+    },
+    "fig19": {
+        f"variation_{op}": _extra_item("max_mean_variation", op)
+        for op in ("and", "nand", "or", "nor")
+    },
+    "fig20": {"nand4_2133_to_2400_drop": _extra("nand4_2133_to_2400_drop")},
+    "fig21": {
+        "and2_4gb_m_minus_a": _group_delta("AND n=2 4Gb M", "AND n=2 4Gb A"),
+        "and2_8gb_m_minus_a": _group_delta("AND n=2 8Gb M", "AND n=2 8Gb A"),
+    },
+}
+
+
+def compare_experiment(result: ExperimentResult) -> List[ComparisonRow]:
+    """All paper-vs-measured rows for one experiment result."""
+    anchors = anchors_for(result.experiment_id)
+    extractors = _EXTRACTORS.get(result.experiment_id, {})
+    rows = []
+    for key, anchor in anchors.items():
+        extractor = extractors.get(key)
+        measured = extractor(result) if extractor else None
+        rows.append(
+            ComparisonRow(
+                metric=anchor.metric,
+                source=anchor.source,
+                paper_value=anchor.value,
+                measured_value=measured,
+            )
+        )
+    return rows

@@ -1,0 +1,148 @@
+"""Reference numbers quoted by the paper, keyed by experiment.
+
+Every value is traceable to a specific sentence of the paper (the
+observation or figure caption is cited next to each entry).  The report
+generator (:mod:`repro.analysis.report`) compares these against the
+simulator's measurements to build EXPERIMENTS.md.
+
+Values are success-rate fractions (0..1) unless noted; deltas are
+percentage-point differences of *average success rates*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["PAPER", "PaperAnchor", "anchors_for"]
+
+
+class PaperAnchor:
+    """One quoted number: where it comes from and what we compare it to."""
+
+    def __init__(self, metric: str, value: float, source: str):
+        self.metric = metric
+        self.value = value
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PaperAnchor({self.metric!r}, {self.value}, {self.source!r})"
+
+
+#: experiment id -> metric name -> anchor
+PAPER: Dict[str, Dict[str, PaperAnchor]] = {
+    "table1": {
+        "analyzed_chips": PaperAnchor("analyzed chips", 256, "§3.2 / Table 1"),
+        "analyzed_modules": PaperAnchor("analyzed modules", 22, "§3.2 / Table 1"),
+        "tested_chips": PaperAnchor("tested chips incl. Micron", 280, "§3.2"),
+        "tested_modules": PaperAnchor("tested modules incl. Micron", 28, "§3.2"),
+    },
+    "fig5": {
+        "1:1": PaperAnchor("coverage of 1:1", 0.0023, "§4.3 / Fig. 5"),
+        "1:2": PaperAnchor("coverage of 1:2", 0.0015, "§4.3 / Fig. 5"),
+        "2:2": PaperAnchor("coverage of 2:2", 0.0260, "§4.3 / Fig. 5"),
+        "2:4": PaperAnchor("coverage of 2:4", 0.0153, "§4.3 / Fig. 5"),
+        "4:4": PaperAnchor("coverage of 4:4", 0.1158, "§4.3 / Fig. 5"),
+        "4:8": PaperAnchor("coverage of 4:8", 0.0542, "§4.3 / Fig. 5"),
+        "8:8": PaperAnchor("coverage of 8:8", 0.2452, "§4.3 / Fig. 5"),
+        "8:16": PaperAnchor("coverage of 8:16", 0.0795, "§4.3 / Fig. 5"),
+        "16:16": PaperAnchor("coverage of 16:16", 0.2435, "§4.3 / Fig. 5"),
+        "16:32": PaperAnchor("coverage of 16:32", 0.0382, "§4.3 / Fig. 5"),
+    },
+    "fig7": {
+        "1 dst": PaperAnchor("NOT mean, 1 destination row", 0.9837, "Obs. 4"),
+        "32 dst": PaperAnchor("NOT mean, 32 destination rows", 0.0795, "Obs. 4"),
+    },
+    "fig8": {
+        "n2n_minus_nn_mean": PaperAnchor(
+            "N:2N minus N:N mean", 0.0941, "Obs. 5"
+        ),
+    },
+    "fig9": {
+        "best Middle-Far": PaperAnchor(
+            "NOT mean, Middle src / Far dst", 0.8502, "Obs. 6 / Fig. 9"
+        ),
+        "worst Far-Close": PaperAnchor(
+            "NOT mean, Far src / Close dst", 0.4416, "Obs. 6 / Fig. 9"
+        ),
+    },
+    "fig10": {
+        "max_mean_variation": PaperAnchor(
+            "max NOT mean variation 50..95C", 0.0020, "Obs. 7"
+        ),
+    },
+    "fig11": {
+        "dip_2400_drop": PaperAnchor(
+            "4-dst NOT mean drop 2133->2400", 0.2006, "Obs. 8"
+        ),
+        "dip_2400_recovery": PaperAnchor(
+            "4-dst NOT mean gain 2400->2666", 0.1976, "Obs. 8"
+        ),
+    },
+    "fig12": {
+        "skhynix_8gb_m_minus_a": PaperAnchor(
+            "NOT mean, SK Hynix 8Gb M-die minus A-die", 0.0805, "Obs. 9"
+        ),
+        "samsung_a_minus_d": PaperAnchor(
+            "NOT mean, Samsung A-die minus D-die", 0.1102, "Obs. 9"
+        ),
+    },
+    "fig15": {
+        "AND n=16": PaperAnchor("16-input AND mean", 0.9494, "Obs. 10"),
+        "NAND n=16": PaperAnchor("16-input NAND mean", 0.9494, "Obs. 10"),
+        "OR n=16": PaperAnchor("16-input OR mean", 0.9585, "Obs. 10"),
+        "NOR n=16": PaperAnchor("16-input NOR mean", 0.9587, "Obs. 10"),
+        "and_16_minus_2": PaperAnchor(
+            "16-input minus 2-input AND mean", 0.1027, "Obs. 11"
+        ),
+        "or_minus_and_2": PaperAnchor(
+            "2-input OR minus AND mean", 0.1042, "Obs. 12"
+        ),
+        "and_minus_nand_2": PaperAnchor(
+            "2-input AND minus NAND mean", 0.0050, "Obs. 13"
+        ),
+    },
+    "fig16": {
+        "and16_k0_minus_k15": PaperAnchor(
+            "16-input AND, 0 vs 15 logic-1s", 0.5243, "Obs. 14"
+        ),
+        "or16_k16_minus_k1": PaperAnchor(
+            "16-input OR, 16 vs 1 logic-1s", 0.5366, "Obs. 14"
+        ),
+    },
+    "fig17": {
+        "variation_and": PaperAnchor("AND location variation", 0.2336, "Obs. 15"),
+        "variation_nand": PaperAnchor("NAND location variation", 0.2370, "Obs. 15"),
+        "variation_or": PaperAnchor("OR location variation", 0.1042, "Obs. 15"),
+        "variation_nor": PaperAnchor("NOR location variation", 0.1050, "Obs. 15"),
+    },
+    "fig18": {
+        "delta_and": PaperAnchor("AND all-1s/0s minus random", 0.0143, "Obs. 16"),
+        "delta_nand": PaperAnchor("NAND all-1s/0s minus random", 0.0139, "Obs. 16"),
+        "delta_or": PaperAnchor("OR all-1s/0s minus random", 0.0198, "Obs. 16"),
+        "delta_nor": PaperAnchor("NOR all-1s/0s minus random", 0.0197, "Obs. 16"),
+    },
+    "fig19": {
+        "variation_and": PaperAnchor("AND max 50..95C variation", 0.0166, "Obs. 17"),
+        "variation_nand": PaperAnchor("NAND max 50..95C variation", 0.0165, "Obs. 17"),
+        "variation_or": PaperAnchor("OR max 50..95C variation", 0.0163, "Obs. 17"),
+        "variation_nor": PaperAnchor("NOR max 50..95C variation", 0.0164, "Obs. 17"),
+    },
+    "fig20": {
+        "nand4_2133_to_2400_drop": PaperAnchor(
+            "4-input NAND mean drop 2133->2400", 0.2989, "Obs. 18"
+        ),
+    },
+    "fig21": {
+        "and2_4gb_m_minus_a": PaperAnchor(
+            "2-input AND, 4Gb M-die minus A-die", -0.2747, "Obs. 19"
+        ),
+        "and2_8gb_m_minus_a": PaperAnchor(
+            "2-input AND, 8Gb M-die minus A-die", 0.0211, "Obs. 19"
+        ),
+    },
+}
+
+
+def anchors_for(experiment_id: str) -> Dict[str, PaperAnchor]:
+    """Paper anchors for an experiment (empty dict if none recorded)."""
+    return PAPER.get(experiment_id, {})

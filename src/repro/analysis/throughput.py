@@ -1,0 +1,91 @@
+"""Analytic throughput model: why bulk bitwise in DRAM is interesting.
+
+The PuD motivation (§1, following Ambit) is bandwidth: one in-DRAM
+operation computes across an entire row segment per bank — and every
+bank in every chip of every rank can do it concurrently — while a
+processor-centric system must move all operands across the DRAM bus
+first.  This module computes both sides of that comparison from the
+timing parameters, for the operation sequences this library issues.
+
+The numbers are *analytic peak* figures for the command protocol, not
+measurements of the Python simulator (whose wall-clock speed is
+irrelevant to the architecture question).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.config import ChipConfig
+from ..dram.timing import ReducedTiming, timing_for_speed
+
+__all__ = ["ThroughputEstimate", "estimate_throughput"]
+
+#: Real DDR4 row-segment width per chip [bits]: a 1KB row on a x8 chip.
+_REAL_ROW_BITS_X8 = 8192
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Peak-rate comparison for one chip configuration."""
+
+    #: Duration of one in-DRAM logic-op command sequence [ns].
+    op_sequence_ns: float
+    #: Result bits produced per sequence per bank (half a row segment).
+    bits_per_op: int
+    #: Aggregate in-DRAM result throughput, all banks active [Gbit/s].
+    in_dram_gbps: float
+    #: DDR4 bus bandwidth available to a processor-centric system [Gbit/s].
+    bus_gbps: float
+    #: Bus time just to *move* one operation's operands + result [ns].
+    bus_transfer_ns: float
+
+    @property
+    def speedup_vs_bus(self) -> float:
+        """In-DRAM throughput over plain operand movement."""
+        return self.in_dram_gbps / self.bus_gbps
+
+
+def estimate_throughput(
+    config: ChipConfig,
+    n_inputs: int = 2,
+    row_bits_per_chip: int = _REAL_ROW_BITS_X8,
+    chips_per_rank: int = 8,
+) -> ThroughputEstimate:
+    """Peak-rate estimate for N-input in-DRAM logic on ``config``.
+
+    One operation sequence costs (per §6.2): reference preparation
+    (Frac: one interrupted activation) plus the reduced-timing double
+    activation with its tRAS restore and final precharge.  The result
+    covers half of a row segment (the shared columns) across every chip
+    of the rank, in every bank concurrently.
+    """
+    if n_inputs < 2:
+        raise ValueError(f"n_inputs must be >= 2, got {n_inputs}")
+    timing = timing_for_speed(config.speed_rate_mts)
+    reduced = ReducedTiming.for_logic_op(timing)
+
+    frac_ns = timing.quantize(1.5) + timing.t_rp
+    sequence_ns = (
+        reduced.first_act_ns(timing)
+        + reduced.pre_to_act_ns(timing)
+        + timing.t_ras
+        + timing.t_rp
+    )
+    op_ns = frac_ns + sequence_ns
+
+    bits_per_op = (row_bits_per_chip // 2) * chips_per_rank
+    banks = config.geometry.banks
+    in_dram_gbps = bits_per_op * banks / op_ns  # bits/ns == Gbit/s
+
+    bus_gbps = config.speed_rate_mts * 64 / 1000.0  # 64-bit channel
+    moved_bits = bits_per_op * (n_inputs + 1)  # operands in, result out
+    bus_transfer_ns = moved_bits / bus_gbps
+
+    return ThroughputEstimate(
+        op_sequence_ns=op_ns,
+        bits_per_op=bits_per_op,
+        in_dram_gbps=in_dram_gbps,
+        bus_gbps=bus_gbps,
+        bus_transfer_ns=bus_transfer_ns,
+    )

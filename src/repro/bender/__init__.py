@@ -1,0 +1,30 @@
+"""DRAM Bender-style testing infrastructure (the paper's §3.1 setup).
+
+* :mod:`repro.bender.commands` / :mod:`repro.bender.program` — command
+  encoding and the test-program builder
+* :mod:`repro.bender.executor` — cycle-quantized program execution with
+  optional strict timing checking
+* :mod:`repro.bender.host` — host-machine interface (row I/O, programs)
+* :mod:`repro.bender.thermal` — heater pads and temperature controller
+* :mod:`repro.bender.infrastructure` — the whole Fig.-4 bench in one object
+"""
+
+from .commands import Command, Opcode
+from .executor import ExecutionResult, ProgramExecutor, ReadRecord
+from .host import DramBenderHost
+from .infrastructure import TestingInfrastructure
+from .program import TestProgram
+from .thermal import TemperatureController, ThermalPlant
+
+__all__ = [
+    "Command",
+    "DramBenderHost",
+    "ExecutionResult",
+    "Opcode",
+    "ProgramExecutor",
+    "ReadRecord",
+    "TemperatureController",
+    "TestProgram",
+    "TestingInfrastructure",
+    "ThermalPlant",
+]

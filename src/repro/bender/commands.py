@@ -1,0 +1,67 @@
+"""DDR4 command encoding for test programs.
+
+A test program is a sequence of :class:`Command` records; each carries
+the number of bus cycles to wait before the *next* command issues, which
+is exactly how DRAM Bender programs express (and violate) timing
+parameters: spacing is only controllable at bus-cycle granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ProgramError
+
+__all__ = ["Opcode", "Command"]
+
+
+class Opcode(enum.Enum):
+    """DDR4 command opcodes used by the characterization programs."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    WR = "WR"
+    RD = "RD"
+    REF = "REF"
+    NOP = "NOP"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One bus command plus the idle gap that follows it."""
+
+    opcode: Opcode
+    bank: int = 0
+    row: Optional[int] = None
+    data: Optional[np.ndarray] = field(default=None, compare=False)
+    wait_cycles: int = 1
+    #: Free-form tag surfaced in read results and error messages.
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.wait_cycles < 1:
+            raise ProgramError(
+                f"wait_cycles must be >= 1 (bus cycle granularity), got "
+                f"{self.wait_cycles}"
+            )
+        if self.bank < 0:
+            raise ProgramError(f"bank must be non-negative, got {self.bank}")
+        needs_row = self.opcode in (Opcode.ACT, Opcode.WR, Opcode.RD)
+        if needs_row and self.row is None:
+            raise ProgramError(f"{self.opcode.value} requires a row address")
+        if self.opcode is Opcode.WR and self.data is None:
+            raise ProgramError("WR requires data")
+
+    def describe(self) -> str:
+        """Short human-readable rendering, e.g. ``ACT b0 r128 (+3ck)``."""
+        parts = [self.opcode.value, f"b{self.bank}"]
+        if self.row is not None:
+            parts.append(f"r{self.row}")
+        parts.append(f"(+{self.wait_cycles}ck)")
+        if self.label:
+            parts.append(f"[{self.label}]")
+        return " ".join(parts)

@@ -1,0 +1,172 @@
+"""Program executor: replays a test program against a module.
+
+The executor owns the bus clock: commands issue at cycle boundaries and
+the absolute time of each command is handed to the device model, which
+decides — exactly like silicon would — whether the spacing constitutes
+nominal operation, a FracDRAM-style interrupted activation, or the
+multi-row activation glitch.
+
+``strict=True`` turns timing violations into
+:class:`~repro.errors.TimingViolationError` instead, which is how
+*functional* (non-characterization) users of the library protect
+themselves from accidentally issuing undefined-behavior sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import TimingViolationError
+from ..dram.module import Module
+from .commands import Command, Opcode
+from .program import TestProgram
+
+__all__ = ["ExecutionResult", "ReadRecord", "ProgramExecutor"]
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """One RD command's returned data."""
+
+    command_index: int
+    bank: int
+    row: int
+    label: str
+    bits: np.ndarray
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of one program execution."""
+
+    reads: List[ReadRecord]
+    duration_ns: float
+    violations: List[str]
+
+    def read_by_label(self, label: str) -> np.ndarray:
+        for record in self.reads:
+            if record.label == label:
+                return record.bits
+        raise KeyError(f"no RD with label {label!r}")
+
+
+class _BankClock:
+    """Per-bank timestamps for timing-rule checking."""
+
+    __slots__ = ("last_act_ns", "last_pre_ns", "open_")
+
+    def __init__(self) -> None:
+        self.last_act_ns: Optional[float] = None
+        self.last_pre_ns: Optional[float] = None
+        self.open_ = False
+
+
+class ProgramExecutor:
+    """Replays :class:`TestProgram` instances against a :class:`Module`."""
+
+    def __init__(self, module: Module, strict: bool = False):
+        self.module = module
+        self.strict = strict
+        self._now_ns = 0.0
+
+    @property
+    def now_ns(self) -> float:
+        """Absolute bus time; monotone across program executions."""
+        return self._now_ns
+
+    def run(self, program: TestProgram) -> ExecutionResult:
+        timing = program.timing
+        clocks: Dict[int, _BankClock] = {}
+        reads: List[ReadRecord] = []
+        violations: List[str] = []
+        start_ns = self._now_ns
+
+        for index, command in enumerate(program):
+            clock = clocks.setdefault(command.bank, _BankClock())
+            self._check_timing(command, clock, timing, violations)
+            self._dispatch(command, index, reads)
+            self._now_ns += command.wait_cycles * timing.t_ck
+
+        # Give every touched bank a chance to complete a trailing PRE.
+        settle_at = self._now_ns + timing.t_rc
+        for bank in clocks:
+            self.module.settle(bank, settle_at)
+        self._now_ns = settle_at
+
+        if self.strict and violations:
+            raise TimingViolationError(
+                f"program {program.name or '<anonymous>'} violated timings: "
+                + "; ".join(violations)
+            )
+        return ExecutionResult(
+            reads=reads, duration_ns=self._now_ns - start_ns, violations=violations
+        )
+
+    # ------------------------------------------------------------------
+
+    def _dispatch(
+        self, command: Command, index: int, reads: List[ReadRecord]
+    ) -> None:
+        module = self.module
+        now = self._now_ns
+        if command.opcode is Opcode.ACT:
+            module.activate(command.bank, command.row, now)
+        elif command.opcode is Opcode.PRE:
+            module.precharge(command.bank, now)
+        elif command.opcode is Opcode.WR:
+            module.write(command.bank, command.row, command.data, now)
+        elif command.opcode is Opcode.RD:
+            bits = module.read(command.bank, command.row, now)
+            reads.append(
+                ReadRecord(index, command.bank, command.row, command.label, bits)
+            )
+        elif command.opcode is Opcode.REF:
+            module.refresh(command.bank, now)
+        elif command.opcode is Opcode.NOP:
+            pass  # NOP touches no bank; time advances in run()
+
+    def _check_timing(
+        self,
+        command: Command,
+        clock: _BankClock,
+        timing,
+        violations: List[str],
+    ) -> None:
+        now = self._now_ns
+        eps = 1e-9
+        if command.opcode is Opcode.ACT:
+            if clock.open_ and clock.last_pre_ns is None:
+                violations.append(f"ACT@{now:.2f}ns to open bank {command.bank}")
+            if clock.last_pre_ns is not None and now - clock.last_pre_ns < (
+                timing.t_rp - eps
+            ):
+                violations.append(
+                    f"tRP violated on bank {command.bank}: "
+                    f"{now - clock.last_pre_ns:.2f}ns < {timing.t_rp}ns"
+                )
+            clock.last_act_ns = now
+            clock.last_pre_ns = None
+            clock.open_ = True
+        elif command.opcode is Opcode.PRE:
+            if clock.last_act_ns is not None and now - clock.last_act_ns < (
+                timing.t_ras - eps
+            ):
+                violations.append(
+                    f"tRAS violated on bank {command.bank}: "
+                    f"{now - clock.last_act_ns:.2f}ns < {timing.t_ras}ns"
+                )
+            clock.last_pre_ns = now
+            clock.open_ = False
+        elif command.opcode in (Opcode.WR, Opcode.RD):
+            if clock.last_act_ns is None:
+                violations.append(
+                    f"{command.opcode.value}@{now:.2f}ns with no prior ACT"
+                )
+            elif now - clock.last_act_ns < timing.t_rcd - eps:
+                violations.append(
+                    f"tRCD violated on bank {command.bank}: "
+                    f"{now - clock.last_act_ns:.2f}ns < {timing.t_rcd}ns"
+                )

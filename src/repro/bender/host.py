@@ -1,0 +1,109 @@
+"""Host-side interface to a module under test.
+
+:class:`DramBenderHost` mirrors what the paper's host machine does
+through the FPGA: generate programs, push data, pull results.  Two data
+paths exist:
+
+* the *command path* (``write_row``/``read_row``) issues real
+  ACT/WR/RD/PRE sequences at nominal timing, exercising the full device
+  model;
+* the *backdoor path* (``fill_row``/``peek_row``) pokes cell state
+  directly.  Experiments use it for bulk initialization, like the real
+  infrastructure uses burst DMA writes — it is orders of magnitude
+  faster and, at nominal timing, behaviorally identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..dram.module import Module
+from ..dram.timing import TimingParameters
+from .executor import ExecutionResult, ProgramExecutor
+from .program import TestProgram
+
+__all__ = ["DramBenderHost"]
+
+
+class DramBenderHost:
+    """High-level driver for one module."""
+
+    def __init__(self, module: Module, strict: bool = False):
+        self.module = module
+        self.executor = ProgramExecutor(module, strict=strict)
+
+    @property
+    def timing(self) -> TimingParameters:
+        return self.module.chips[0].timing
+
+    def new_program(self, name: str = "") -> TestProgram:
+        return TestProgram(self.timing, name=name)
+
+    def run(self, program: TestProgram) -> ExecutionResult:
+        return self.executor.run(program)
+
+    # -- command-path row access ------------------------------------------
+
+    def write_row(self, bank: int, row: int, bits: np.ndarray) -> None:
+        """Write a full row through ACT → WR → (tRAS) → PRE."""
+        timing = self.timing
+        program = (
+            self.new_program(f"write-row-{row}")
+            .act(bank, row, wait_ns=timing.t_rcd)
+            .wr(bank, row, bits, wait_ns=max(timing.t_wr, timing.t_ras - timing.t_rcd))
+            .pre(bank, wait_ns=timing.t_rp)
+        )
+        self.run(program)
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Read a full row through ACT → RD → (tRAS) → PRE."""
+        timing = self.timing
+        program = (
+            self.new_program(f"read-row-{row}")
+            .act(bank, row, wait_ns=timing.t_ras)
+            .rd(bank, row, wait_ns=timing.t_rcd, label="row")
+            .pre(bank, wait_ns=timing.t_rp)
+        )
+        return self.run(program).read_by_label("row")
+
+    # -- backdoor row access ------------------------------------------------
+
+    def fill_row(self, bank: int, row: int, bits: np.ndarray) -> None:
+        """Backdoor bulk initialization of one row."""
+        self.module.store_bits(bank, row, bits)
+
+    def fill_row_voltages(self, bank: int, row: int, volts: np.ndarray) -> None:
+        self.module.store_voltages(bank, row, volts)
+
+    def peek_row(self, bank: int, row: int) -> np.ndarray:
+        """Backdoor readout of one row."""
+        return self.module.load_bits(bank, row)
+
+    def fill_subarray(
+        self, bank: int, subarray: int, bits_per_row: np.ndarray
+    ) -> None:
+        """Fill every row of ``subarray`` with the same pattern."""
+        geometry = self.module.config.geometry
+        base = subarray * geometry.rows_per_subarray
+        for offset in range(geometry.rows_per_subarray):
+            self.fill_row(bank, base + offset, bits_per_row)
+
+    # -- characterization helpers ---------------------------------------
+
+    def hammer_row(self, bank: int, row: int, activations: int) -> None:
+        """Single-sided RowHammer: ``activations`` ACT/PRE cycles.
+
+        Provided as a macro (the unrolled loop would dominate runtime),
+        exactly like DRAM Bender's loop instructions.
+        """
+        self.module.apply_hammer(bank, row, activations)
+
+    def random_bits(
+        self, rng: np.random.Generator, density: Optional[float] = None
+    ) -> np.ndarray:
+        """A module-width random row pattern (RAND1/RAND2 style)."""
+        if density is None:
+            return rng.integers(0, 2, self.module.row_bits, dtype=np.uint8)
+        return (rng.random(self.module.row_bits) < density).astype(np.uint8)

@@ -1,0 +1,66 @@
+"""The full experimental setup of the paper's Fig. 4, in one object.
+
+A :class:`TestingInfrastructure` bundles the host machine interface
+(:class:`~repro.bender.host.DramBenderHost`), the module under test, and
+the temperature controller, so characterization code reads like the
+bench procedure: mount a module, set a temperature, run programs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dram.config import ChipConfig, ModuleSpec
+from ..dram.module import Module
+from ..rng import SeedTree
+from .host import DramBenderHost
+from .thermal import TemperatureController
+
+__all__ = ["TestingInfrastructure"]
+
+
+class TestingInfrastructure:
+    """Host + FPGA board + heater/controller around one module."""
+
+    #: Not a pytest test class, despite the (domain-accurate) name.
+    __test__ = False
+
+    def __init__(self, module: Module, strict: bool = False):
+        self.module = module
+        self.host = DramBenderHost(module, strict=strict)
+        self.thermal = TemperatureController(module)
+
+    @classmethod
+    def for_config(
+        cls,
+        config: ChipConfig,
+        chip_count: int = 1,
+        seed: int = 0,
+        **kwargs,
+    ) -> "TestingInfrastructure":
+        """Mount a fresh module built from a chip configuration."""
+        module = Module(config, chip_count=chip_count, seed_tree=SeedTree(seed))
+        return cls(module, **kwargs)
+
+    @classmethod
+    def for_spec(
+        cls,
+        spec: ModuleSpec,
+        module_index: int = 0,
+        seed: int = 0,
+        chip_count: Optional[int] = None,
+        **kwargs,
+    ) -> "TestingInfrastructure":
+        """Mount one physical module of a Table-1 spec."""
+        module = Module.from_spec(
+            spec, module_index=module_index, seed_tree=SeedTree(seed), chip_count=chip_count
+        )
+        return cls(module, **kwargs)
+
+    def set_temperature(self, target_c: float) -> None:
+        """Heat/cool the module and wait for it to settle (§3.1)."""
+        self.thermal.set_target(target_c)
+
+    @property
+    def temperature_c(self) -> float:
+        return self.thermal.temperature_c

@@ -1,0 +1,172 @@
+"""Test-program builder.
+
+:class:`TestProgram` accumulates commands with a fluent interface and
+converts nanosecond waits to bus cycles using the module's timing — the
+same quantization a real DRAM Bender program is subject to.  The
+FCDRAM command sequences (§4.1, §5.1, §6.1) are provided as ready-made
+constructors in :mod:`repro.core.sequences`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from ..errors import ProgramError
+from ..dram.timing import TimingParameters
+from .commands import Command, Opcode
+
+__all__ = ["TestProgram"]
+
+
+class TestProgram:
+    """A mutable sequence of DDR4 commands with explicit spacing."""
+
+    #: Not a pytest test class, despite the (domain-accurate) name.
+    __test__ = False
+
+    def __init__(self, timing: TimingParameters, name: str = ""):
+        self.timing = timing
+        self.name = name
+        self._commands: List[Command] = []
+
+    # -- builder interface ----------------------------------------------
+
+    def _wait_to_cycles(
+        self, wait_ns: Optional[float], wait_cycles: Optional[int]
+    ) -> int:
+        if wait_ns is not None and wait_cycles is not None:
+            raise ProgramError("specify wait_ns or wait_cycles, not both")
+        if wait_cycles is not None:
+            return wait_cycles
+        if wait_ns is not None:
+            return max(1, self.timing.cycles(wait_ns))
+        return 1
+
+    def _append(self, command: Command) -> "TestProgram":
+        self._commands.append(command)
+        return self
+
+    def act(
+        self,
+        bank: int,
+        row: int,
+        wait_ns: Optional[float] = None,
+        wait_cycles: Optional[int] = None,
+        label: str = "",
+    ) -> "TestProgram":
+        return self._append(
+            Command(
+                Opcode.ACT,
+                bank,
+                row,
+                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                label=label,
+            )
+        )
+
+    def pre(
+        self,
+        bank: int,
+        wait_ns: Optional[float] = None,
+        wait_cycles: Optional[int] = None,
+        label: str = "",
+    ) -> "TestProgram":
+        return self._append(
+            Command(
+                Opcode.PRE,
+                bank,
+                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                label=label,
+            )
+        )
+
+    def wr(
+        self,
+        bank: int,
+        row: int,
+        data: np.ndarray,
+        wait_ns: Optional[float] = None,
+        wait_cycles: Optional[int] = None,
+        label: str = "",
+    ) -> "TestProgram":
+        return self._append(
+            Command(
+                Opcode.WR,
+                bank,
+                row,
+                data=np.asarray(data),
+                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                label=label,
+            )
+        )
+
+    def rd(
+        self,
+        bank: int,
+        row: int,
+        wait_ns: Optional[float] = None,
+        wait_cycles: Optional[int] = None,
+        label: str = "",
+    ) -> "TestProgram":
+        return self._append(
+            Command(
+                Opcode.RD,
+                bank,
+                row,
+                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                label=label,
+            )
+        )
+
+    def ref(
+        self,
+        bank: int,
+        wait_ns: Optional[float] = None,
+        wait_cycles: Optional[int] = None,
+    ) -> "TestProgram":
+        return self._append(
+            Command(
+                Opcode.REF,
+                bank,
+                wait_cycles=self._wait_to_cycles(
+                    wait_ns if wait_ns is not None else self.timing.t_rfc, wait_cycles
+                ),
+            )
+        )
+
+    def nop(
+        self,
+        wait_ns: Optional[float] = None,
+        wait_cycles: Optional[int] = None,
+    ) -> "TestProgram":
+        return self._append(
+            Command(
+                Opcode.NOP,
+                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+            )
+        )
+
+    # -- inspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self._commands)
+
+    @property
+    def commands(self) -> List[Command]:
+        return list(self._commands)
+
+    @property
+    def duration_ns(self) -> float:
+        """Total bus time the program occupies."""
+        cycles = sum(command.wait_cycles for command in self._commands)
+        return cycles * self.timing.t_ck
+
+    def describe(self) -> str:
+        """Multi-line rendering of the program (for logs and docs)."""
+        header = f"# program {self.name or '<anonymous>'} ({len(self)} commands)"
+        return "\n".join([header] + [cmd.describe() for cmd in self._commands])

@@ -1,0 +1,88 @@
+"""Thermal plant and controller: heater pads plus a MaxWell-FT200-like
+closed-loop temperature controller (§3.1, Fig. 4).
+
+The device under test is a first-order thermal plant: its temperature
+relaxes toward the heater setpoint with time constant ``tau_s``.  The
+controller steps the simulation until the target is held within a
+tolerance band, exactly how the bench controller gates experiment start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..errors import ThermalError
+from ..dram.module import Module
+
+__all__ = ["ThermalPlant", "TemperatureController"]
+
+
+@dataclass
+class ThermalPlant:
+    """First-order thermal model of a module with heater pads."""
+
+    ambient_c: float = 25.0
+    tau_s: float = 30.0
+    temperature_c: float = 25.0
+    heater_c: float = 25.0
+
+    def step(self, dt_s: float) -> float:
+        """Advance the plant ``dt_s`` seconds; returns the temperature."""
+        if dt_s < 0:
+            raise ValueError(f"dt_s must be non-negative, got {dt_s}")
+        decay = math.exp(-dt_s / self.tau_s)
+        self.temperature_c = self.heater_c + (self.temperature_c - self.heater_c) * decay
+        return self.temperature_c
+
+
+class TemperatureController:
+    """Closed-loop controller holding a module at a target temperature."""
+
+    #: Supported range of the bench controller.
+    MIN_TARGET_C = 20.0
+    MAX_TARGET_C = 110.0
+
+    def __init__(
+        self,
+        module: Module,
+        plant: "ThermalPlant" = None,
+        tolerance_c: float = 0.5,
+        timeout_s: float = 1800.0,
+    ):
+        self.module = module
+        self.plant = plant if plant is not None else ThermalPlant()
+        self.tolerance_c = tolerance_c
+        self.timeout_s = timeout_s
+        self.module.temperature_c = self.plant.temperature_c
+
+    @property
+    def temperature_c(self) -> float:
+        return self.plant.temperature_c
+
+    def set_target(self, target_c: float) -> None:
+        """Set the heater target and block until the module settles.
+
+        The heater overshoots the target slightly (as a real controller's
+        feed-forward does) so settling happens from both directions.
+        """
+        if not self.MIN_TARGET_C <= target_c <= self.MAX_TARGET_C:
+            raise ThermalError(
+                f"target {target_c}degC outside supported range "
+                f"[{self.MIN_TARGET_C}, {self.MAX_TARGET_C}]"
+            )
+        self.plant.heater_c = target_c
+        elapsed = 0.0
+        step_s = 1.0
+        while abs(self.plant.temperature_c - target_c) > self.tolerance_c:
+            self.plant.step(step_s)
+            elapsed += step_s
+            if elapsed > self.timeout_s:
+                raise ThermalError(
+                    f"module failed to settle at {target_c}degC within "
+                    f"{self.timeout_s}s (stuck at {self.plant.temperature_c:.2f}degC)"
+                )
+        # Snap to the setpoint once inside the band — the bench controller
+        # holds the plateau for the duration of the experiment.
+        self.plant.temperature_c = target_c
+        self.module.temperature_c = target_c

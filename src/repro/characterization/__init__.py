@@ -1,0 +1,48 @@
+"""The paper's evaluation: fleet construction and per-figure experiments.
+
+* :mod:`repro.characterization.fleet` — the Table-1 chip population
+* :mod:`repro.characterization.metrics` — box statistics over cells
+* :mod:`repro.characterization.runner` — sweep scales and target iteration
+* :mod:`repro.characterization.experiments` — one module per table/figure
+"""
+
+from .experiments import REGISTRY, TITLES, run_experiment
+from .fleet import all_specs, iter_modules, micron_specs, specs_for, table1_specs
+from .metrics import BoxStats, WeightedSamples
+from .results import ExperimentResult
+from .runner import (
+    DEFAULT,
+    FULL,
+    SMOKE,
+    Scale,
+    SweepTarget,
+    find_logic_measurement,
+    find_not_measurement,
+    good_cell_mask,
+    iter_targets,
+    region_predicate,
+)
+
+__all__ = [
+    "BoxStats",
+    "DEFAULT",
+    "ExperimentResult",
+    "FULL",
+    "REGISTRY",
+    "SMOKE",
+    "Scale",
+    "SweepTarget",
+    "TITLES",
+    "WeightedSamples",
+    "all_specs",
+    "find_logic_measurement",
+    "find_not_measurement",
+    "good_cell_mask",
+    "iter_modules",
+    "iter_targets",
+    "micron_specs",
+    "region_predicate",
+    "run_experiment",
+    "specs_for",
+    "table1_specs",
+]

@@ -1,0 +1,74 @@
+"""Run one table/figure reproduction from the command line.
+
+Usage::
+
+    python -m repro.characterization fig15 --scale default --seed 0
+    python -m repro.characterization --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from ..analysis.boxplot import render_boxes
+from ..analysis.compare import compare_experiment
+from .experiments import REGISTRY, TITLES, run_experiment
+from .runner import DEFAULT, FULL, SMOKE
+
+_SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.characterization", description=__doc__
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id, e.g. fig15")
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for experiment_id in sorted(REGISTRY):
+            print(f"{experiment_id:>8}  {TITLES[experiment_id]}")
+        return 0
+
+    start = time.time()
+    result = run_experiment(
+        args.experiment, scale=_SCALES[args.scale], seed=args.seed
+    )
+    print(result.format_table())
+    if result.groups:
+        print()
+        print(render_boxes(result.groups))
+    for key in sorted(result.extras):
+        if key.startswith("heatmap"):
+            print()
+            print(result.format_heatmap(key=key))
+    if "table" in result.extras:
+        print()
+        print(result.extras["table"])
+    rows = compare_experiment(result)
+    if rows:
+        print("\npaper-vs-measured:")
+        for row in rows:
+            measured = (
+                "n/a"
+                if row.measured_value is None
+                else f"{row.measured_value * 100:7.2f}%"
+            )
+            print(
+                f"  {row.metric:<45} paper {row.paper_value * 100:7.2f}%  "
+                f"measured {measured}"
+            )
+    print(f"\n[{args.experiment} at scale {args.scale}: {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,73 @@
+"""One module per reproduced table/figure (see DESIGN.md §4).
+
+:data:`REGISTRY` maps experiment ids to their ``run(scale, seed)``
+entry points; :func:`run_experiment` dispatches by id.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from . import (
+    capability_matrix,
+    fig05_activation_coverage,
+    fig07_not_dst_rows,
+    fig08_not_activation_pattern,
+    fig09_not_distance,
+    fig10_not_temperature,
+    fig11_not_speed,
+    fig12_not_die,
+    fig15_ops_inputs,
+    fig16_ops_ones_count,
+    fig17_ops_distance,
+    fig18_ops_datapattern,
+    fig19_ops_temperature,
+    fig20_ops_speed,
+    fig21_ops_die,
+    table01_chips,
+)
+
+_MODULES = (
+    table01_chips,
+    capability_matrix,
+    fig05_activation_coverage,
+    fig07_not_dst_rows,
+    fig08_not_activation_pattern,
+    fig09_not_distance,
+    fig10_not_temperature,
+    fig11_not_speed,
+    fig12_not_die,
+    fig15_ops_inputs,
+    fig16_ops_ones_count,
+    fig17_ops_distance,
+    fig18_ops_datapattern,
+    fig19_ops_temperature,
+    fig20_ops_speed,
+    fig21_ops_die,
+)
+
+#: Experiment id -> run callable.
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+#: Experiment id -> human-readable title.
+TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODULES}
+
+
+def run_experiment(
+    experiment_id: str, scale: Scale = DEFAULT, seed: int = 0
+) -> ExperimentResult:
+    """Run one table/figure reproduction by id (e.g. ``"fig15"``)."""
+    try:
+        runner = REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    return runner(scale=scale, seed=seed)
+
+
+__all__ = ["REGISTRY", "TITLES", "run_experiment"]

@@ -1,0 +1,231 @@
+"""Shared sweep drivers for the table/figure reproductions.
+
+Every figure in the paper's evaluation is some grouping of per-cell
+success rates over (operation variant x fleet target x temperature).
+The two drivers here — :func:`not_sweep` and :func:`logic_sweep` — run
+those loops once, and each experiment module supplies only its variant
+list and group-labeling function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ...dram.config import Manufacturer, ModuleSpec
+from ...dram.decoder import ActivationKind
+from ...rng import derive_seed
+from ..metrics import WeightedSamples
+from ..runner import (
+    Scale,
+    SweepTarget,
+    find_logic_measurement,
+    find_not_measurement,
+    good_cell_mask,
+    iter_targets,
+    region_predicate,
+)
+
+__all__ = [
+    "NotVariant",
+    "LogicVariant",
+    "GroupSamples",
+    "not_sweep",
+    "logic_sweep",
+    "BASELINE_TEMPERATURE_C",
+]
+
+GroupSamples = Dict[str, WeightedSamples]
+
+#: All experiments run at 50 degC unless they sweep temperature (§5.2).
+BASELINE_TEMPERATURE_C = 50.0
+
+
+@dataclass(frozen=True)
+class NotVariant:
+    """One NOT configuration: destination-row count and pattern family."""
+
+    n_destination: int
+    kind: Optional[ActivationKind] = None
+    #: Optional (first_region, last_region) constraint (Fig. 9).
+    regions: Optional[tuple] = None
+
+    def default_label(self) -> str:
+        return f"{self.n_destination} dst"
+
+
+@dataclass(frozen=True)
+class LogicVariant:
+    """One logic-op configuration: base op, fan-in, operand pattern."""
+
+    base_op: str
+    n_inputs: int
+    mode: str = "random"
+    ones_count: Optional[int] = None
+    regions: Optional[tuple] = None
+
+    def default_label(self, op_name: str) -> str:
+        return f"{op_name.upper()} n={self.n_inputs}"
+
+
+NotLabelFn = Callable[[SweepTarget, NotVariant, float], Optional[str]]
+LogicLabelFn = Callable[[SweepTarget, LogicVariant, float, str], Optional[str]]
+
+
+def _measurement_rng(seed: int, *context: str) -> np.random.Generator:
+    return np.random.default_rng(derive_seed(seed, *context))
+
+
+def not_sweep(
+    scale: Scale,
+    seed: int,
+    variants: Sequence[NotVariant],
+    label_fn: Optional[NotLabelFn] = None,
+    manufacturers: Optional[Iterable[Manufacturer]] = None,
+    temperatures: Optional[Sequence[float]] = None,
+    spec_filter: Optional[Callable[[ModuleSpec], bool]] = None,
+    good_cells_only: bool = False,
+) -> GroupSamples:
+    """Run NOT measurements across the fleet, grouped by label.
+
+    When ``temperatures`` is given, each variant is measured once per
+    temperature; with ``good_cells_only`` the paper's footnote-8 filter
+    applies — only cells above 90% success at the 50 degC baseline are
+    tracked across temperatures.  A ``label_fn`` returning ``None``
+    drops that (target, variant) from the sweep.
+    """
+    groups: GroupSamples = {}
+    temps = list(temperatures) if temperatures else [BASELINE_TEMPERATURE_C]
+
+    for target in iter_targets(scale, seed, manufacturers=manufacturers):
+        if spec_filter is not None and not spec_filter(target.spec):
+            continue
+        for variant in variants:
+            predicate = None
+            if variant.regions is not None:
+                predicate = region_predicate(target, *variant.regions)
+            measurement = find_not_measurement(
+                target,
+                variant.n_destination,
+                kind=variant.kind,
+                predicate=predicate,
+            )
+            if measurement is None:
+                continue
+
+            mask = None
+            if good_cells_only:
+                target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+                baseline = measurement.run(
+                    scale.trials,
+                    _measurement_rng(seed, target.label(), repr(variant), "mask"),
+                )
+                mask = good_cell_mask(baseline)
+                if not mask.any():
+                    continue
+
+            for temperature in temps:
+                label = (
+                    label_fn(target, variant, temperature)
+                    if label_fn
+                    else variant.default_label()
+                )
+                if label is None:
+                    continue
+                target.infra.set_temperature(temperature)
+                result = measurement.run(
+                    scale.trials,
+                    _measurement_rng(
+                        seed, target.label(), repr(variant), f"T={temperature}"
+                    ),
+                )
+                rates = result.rates[mask] if mask is not None else result.rates
+                groups.setdefault(label, WeightedSamples()).add(
+                    rates, target.weight
+                )
+            target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+    return groups
+
+
+def logic_sweep(
+    scale: Scale,
+    seed: int,
+    variants: Sequence[LogicVariant],
+    label_fn: Optional[LogicLabelFn] = None,
+    temperatures: Optional[Sequence[float]] = None,
+    spec_filter: Optional[Callable[[ModuleSpec], bool]] = None,
+    good_cells_only: bool = False,
+    trials_override: Optional[int] = None,
+) -> GroupSamples:
+    """Run logic-op measurements across the fleet, grouped by label.
+
+    Each measurement yields *both* terminals (AND together with NAND, or
+    OR with NOR); the label function is called once per terminal with
+    the concrete operation name.  Only SK Hynix targets can run these
+    (§6.3); others are skipped automatically.
+    """
+    groups: GroupSamples = {}
+    temps = list(temperatures) if temperatures else [BASELINE_TEMPERATURE_C]
+    trials = trials_override or scale.trials
+
+    for target in iter_targets(
+        scale, seed, manufacturers=[Manufacturer.SK_HYNIX]
+    ):
+        if spec_filter is not None and not spec_filter(target.spec):
+            continue
+        for variant in variants:
+            predicate = None
+            if variant.regions is not None:
+                predicate = region_predicate(target, *variant.regions)
+            measurement = find_logic_measurement(
+                target, variant.base_op, variant.n_inputs, predicate=predicate
+            )
+            if measurement is None:
+                continue
+
+            masks = None
+            if good_cells_only:
+                target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+                baseline = measurement.run(
+                    trials,
+                    _measurement_rng(seed, target.label(), repr(variant), "mask"),
+                    mode=variant.mode,
+                    ones_count=variant.ones_count,
+                )
+                masks = (
+                    good_cell_mask(baseline.primary),
+                    good_cell_mask(baseline.complement),
+                )
+
+            for temperature in temps:
+                target.infra.set_temperature(temperature)
+                pair = measurement.run(
+                    trials,
+                    _measurement_rng(
+                        seed, target.label(), repr(variant), f"T={temperature}"
+                    ),
+                    mode=variant.mode,
+                    ones_count=variant.ones_count,
+                )
+                for index, result in enumerate((pair.primary, pair.complement)):
+                    op_name = str(result.metadata["operation"])
+                    label = (
+                        label_fn(target, variant, temperature, op_name)
+                        if label_fn
+                        else variant.default_label(op_name)
+                    )
+                    if label is None:
+                        continue
+                    rates = result.rates
+                    if masks is not None:
+                        mask = masks[index]
+                        if not mask.any():
+                            continue
+                        rates = rates[mask]
+                    groups.setdefault(label, WeightedSamples()).add(
+                        rates, target.weight
+                    )
+            target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+    return groups

@@ -1,0 +1,57 @@
+"""Fig. 5 — coverage of each N_RF:N_RL activation type (§4.3, Obs. 1-2).
+
+For every SK Hynix target, a command-level scan probes random (R_F, R_L)
+pairs in a neighboring subarray pair and classifies the resulting
+activation; the *coverage* of a type is the fraction of pairs producing
+it.  The box per type is taken over targets (module/bank/pair), matching
+the paper's per-chip distribution.
+"""
+
+from __future__ import annotations
+
+from ...dram.config import Manufacturer
+from ...reveng.activation import ActivationScanner, coverage_from_counts
+from ..metrics import WeightedSamples
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale, iter_targets
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Coverage of N_RF:N_RL activation types across row pairs"
+
+#: Plot order of the paper's x-axis.
+TYPE_ORDER = (
+    "1:1", "1:2", "2:2", "2:4", "4:4", "4:8", "8:8", "8:16", "16:16", "16:32",
+)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    samples_per_target = max(200, 4 * scale.trials)
+    groups = {label: WeightedSamples() for label in TYPE_ORDER + ("none",)}
+
+    targets = 0
+    for target in iter_targets(
+        scale, seed, manufacturers=[Manufacturer.SK_HYNIX]
+    ):
+        scanner = ActivationScanner(
+            target.infra.host,
+            target.bank,
+            target.subarray_pair[0],
+            target.subarray_pair[1],
+            seed=seed + targets,
+        )
+        coverage = coverage_from_counts(scanner.scan(samples_per_target))
+        for label in groups:
+            groups[label].add([coverage.get(label, 0.0)], target.weight)
+        targets += 1
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for label in TYPE_ORDER:
+        if not groups[label].empty:
+            result.add_group(label, groups[label].box())
+    if not groups["none"].empty:
+        result.add_group("none", groups["none"].box())
+    result.notes.append(
+        f"{targets} targets x {samples_per_target} sampled pairs each "
+        "(the paper scans all 409,600 combinations per subarray pair)"
+    )
+    return result

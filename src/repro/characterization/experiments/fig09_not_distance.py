@@ -1,0 +1,71 @@
+"""Fig. 9 — NOT success vs. distance of activated rows to the sense
+amplifiers (Obs. 6).
+
+Rows are bucketed into Close/Middle/Far thirds by physical distance from
+the shared sense-amplifier stripe (recovered in hardware via the
+RowHammer pass of §5.2; the sweep uses the predicate form).  The result
+is a 3x3 heatmap of mean success: the paper's extremes are Middle-Far at
+85.02% and Far-Close at 44.16%.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from ...dram.config import Manufacturer
+from ...dram.variation import Region
+from ..metrics import WeightedSamples
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import NotVariant, not_sweep
+
+EXPERIMENT_ID = "fig9"
+TITLE = "NOT success rate vs. src/dst distance to the sense amplifiers"
+
+#: Destination-row counts aggregated into each heatmap cell (the paper
+#: averages over every tested destination-row count).
+DESTINATION_COUNTS = (1, 4, 16)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants = [
+        NotVariant(n, regions=(int(src), int(dst)))
+        for n in DESTINATION_COUNTS
+        for src, dst in product(Region, Region)
+    ]
+    # Keep destination-row counts apart while sweeping and average the
+    # per-count means with equal weight afterwards: the region predicate
+    # finds different count mixes per cell, and an unbalanced mix would
+    # confound the distance effect with the destination-count effect.
+    groups = not_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp: (
+            f"{Region(variant.regions[0])}-{Region(variant.regions[1])}"
+            f"|{variant.n_destination}"
+        ),
+        manufacturers=[Manufacturer.SK_HYNIX],
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    heatmap = {}
+    for src, dst in product(Region, Region):
+        label = f"{src}-{dst}"
+        per_count_means = []
+        merged = WeightedSamples()
+        for n in DESTINATION_COUNTS:
+            samples = groups.get(f"{label}|{n}")
+            if samples is None or samples.empty:
+                continue
+            per_count_means.append(samples.mean)
+            merged.extend(samples)
+        if not per_count_means:
+            continue
+        result.add_group(label, merged.box())
+        heatmap[(int(src), int(dst))] = sum(per_count_means) / len(per_count_means)
+    result.extras["heatmap"] = heatmap
+    result.notes.append(
+        "paper anchors: Middle-Far 85.02% (best), Far-Close 44.16% (worst)"
+    )
+    return result

@@ -1,0 +1,57 @@
+"""Fig. 11 — NOT success rate vs. DRAM speed rate (Obs. 8).
+
+SK Hynix modules in Table 1 span 2133, 2400, and 2666 MT/s.  The paper
+observes a non-monotonic dip at 2400 MT/s: for 4 destination rows, mean
+success drops 20.06% from 2133 to 2400 and recovers 19.76% at 2666.
+"""
+
+from __future__ import annotations
+
+from ...dram.config import Manufacturer
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import NotVariant, not_sweep
+
+EXPERIMENT_ID = "fig11"
+TITLE = "NOT success rate for different DRAM speed rates"
+
+DESTINATION_COUNTS = (1, 2, 4, 8, 16)
+SPEEDS = (2133, 2400, 2666)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants = [NotVariant(n) for n in DESTINATION_COUNTS]
+    groups = not_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp: (
+            f"{variant.n_destination} dst @{target.spec.chip.speed_rate_mts}MT/s"
+        ),
+        manufacturers=[Manufacturer.SK_HYNIX],
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for n in DESTINATION_COUNTS:
+        for speed in SPEEDS:
+            label = f"{n} dst @{speed}MT/s"
+            samples = groups.get(label)
+            if samples is not None and not samples.empty:
+                result.add_group(label, samples.box())
+
+    def mean_at(n: int, speed: int) -> float:
+        return result.groups[f"{n} dst @{speed}MT/s"].mean
+
+    try:
+        drop = mean_at(4, 2133) - mean_at(4, 2400)
+        recovery = mean_at(4, 2666) - mean_at(4, 2400)
+        result.extras["dip_2400_drop"] = drop
+        result.extras["dip_2400_recovery"] = recovery
+        result.notes.append(
+            f"4-dst: 2133->2400 change {-drop * 100:+.2f}%, 2400->2666 "
+            f"change {recovery * 100:+.2f}% (paper: -20.06% / +19.76%, "
+            "Observation 8)"
+        )
+    except KeyError:
+        result.notes.append("incomplete speed coverage at this scale")
+    return result

@@ -1,0 +1,55 @@
+"""Fig. 12 — NOT success (one destination row) vs. chip density and die
+revision for both manufacturers (Obs. 9).
+
+Paper anchors: SK Hynix 8Gb M-die to 8Gb A-die drops 8.05%; Samsung
+A-die to D-die drops 11.02%.  One destination row is used because
+Samsung chips support no more (§5.3, footnote 9).
+"""
+
+from __future__ import annotations
+
+from ...dram.config import Manufacturer
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import NotVariant, not_sweep
+
+EXPERIMENT_ID = "fig12"
+TITLE = "NOT success rate by chip density and die revision"
+
+
+def _die_label(target) -> str:
+    chip = target.spec.chip
+    return f"{chip.manufacturer} {chip.density_gb}Gb {chip.die_revision}-die"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    groups = not_sweep(
+        scale,
+        seed,
+        [NotVariant(1)],
+        label_fn=lambda target, variant, temp: _die_label(target),
+        manufacturers=[Manufacturer.SK_HYNIX, Manufacturer.SAMSUNG],
+    )
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for label in sorted(groups):
+        if not groups[label].empty:
+            result.add_group(label, groups[label].box())
+
+    def delta(a: str, b: str) -> float:
+        return result.groups[a].mean - result.groups[b].mean
+
+    try:
+        sk = delta("SK Hynix 8Gb M-die", "SK Hynix 8Gb A-die")
+        result.notes.append(
+            f"SK Hynix 8Gb M-die minus A-die: {sk * 100:+.2f}% (paper: +8.05%)"
+        )
+    except KeyError:
+        pass
+    try:
+        sams = delta("Samsung 8Gb A-die", "Samsung 8Gb D-die")
+        result.notes.append(
+            f"Samsung A-die minus D-die: {sams * 100:+.2f}% (paper: +11.02%)"
+        )
+    except KeyError:
+        pass
+    return result

@@ -1,0 +1,67 @@
+"""Fig. 15 — AND/NAND/OR/NOR success vs. number of input operands
+(Obs. 10-13).
+
+Paper anchors: 16-input AND/NAND/OR/NOR average 94.94/94.94/95.85/95.87%
+success; success *increases* with operand count (16-input AND beats
+2-input AND by 10.27%); OR-family beats AND-family (by 10.42% at
+2-input); AND vs. NAND and OR vs. NOR differ by under 0.5%.
+"""
+
+from __future__ import annotations
+
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import LogicVariant, logic_sweep
+
+EXPERIMENT_ID = "fig15"
+TITLE = "AND/NAND/OR/NOR success rate vs. number of input operands"
+
+INPUT_COUNTS = (2, 4, 8, 16)
+OP_ORDER = ("and", "nand", "or", "nor")
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants = [
+        LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
+    ]
+    groups = logic_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp, op_name: (
+            f"{op_name.upper()} n={variant.n_inputs}"
+        ),
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for op_name in OP_ORDER:
+        for n in INPUT_COUNTS:
+            label = f"{op_name.upper()} n={n}"
+            samples = groups.get(label)
+            if samples is not None and not samples.empty:
+                result.add_group(label, samples.box())
+
+    means = result.group_means()
+
+    def maybe_note(text: str) -> None:
+        result.notes.append(text)
+
+    if "AND n=16" in means and "AND n=2" in means:
+        maybe_note(
+            f"16-input AND minus 2-input AND: "
+            f"{(means['AND n=16'] - means['AND n=2']) * 100:+.2f}% "
+            "(paper: +10.27%, Observation 11)"
+        )
+    if "OR n=2" in means and "AND n=2" in means:
+        maybe_note(
+            f"2-input OR minus 2-input AND: "
+            f"{(means['OR n=2'] - means['AND n=2']) * 100:+.2f}% "
+            "(paper: +10.42%, Observation 12)"
+        )
+    if "AND n=16" in means and "NAND n=16" in means:
+        maybe_note(
+            f"16-input AND minus NAND: "
+            f"{(means['AND n=16'] - means['NAND n=16']) * 100:+.2f}% "
+            "(paper: ~0, Observation 13)"
+        )
+    return result

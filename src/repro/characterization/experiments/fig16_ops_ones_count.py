@@ -1,0 +1,72 @@
+"""Fig. 16 — AND/OR success vs. number of logic-1s in the operands
+(Obs. 14).
+
+The analog mechanism makes this the stress axis: an AND is hardest when
+all (or all-but-one) inputs are 1, an OR when none (or exactly one) is —
+those inputs leave the smallest voltage margin at the sense amplifier.
+Paper anchors: the 16-input AND loses 52.43% mean success from zero to
+fifteen logic-1s; the 16-input OR loses 53.66% from sixteen down to one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import LogicVariant, logic_sweep
+
+EXPERIMENT_ID = "fig16"
+TITLE = "AND/OR success rate vs. number of logic-1s in the input operands"
+
+CONFIGS = (("and", 4), ("and", 16), ("or", 4), ("or", 16))
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants: List[LogicVariant] = []
+    for base_op, n in CONFIGS:
+        variants.extend(
+            LogicVariant(base_op, n, mode="ones_count", ones_count=k)
+            for k in range(n + 1)
+        )
+    # Only the primary terminal (AND or OR itself) is plotted.
+    groups = logic_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp, op_name: (
+            f"{op_name.upper()}{variant.n_inputs} k={variant.ones_count}"
+            if op_name in ("and", "or")
+            else None
+        ),
+        trials_override=max(20, scale.trials // 3),
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    series: Dict[str, List[float]] = {}
+    for base_op, n in CONFIGS:
+        means = []
+        for k in range(n + 1):
+            label = f"{base_op.upper()}{n} k={k}"
+            samples = groups.get(label)
+            if samples is None or samples.empty:
+                means.append(float("nan"))
+                continue
+            result.add_group(label, samples.box())
+            means.append(samples.mean)
+        series[f"{base_op.upper()}{n}"] = means
+    result.extras["series"] = series
+
+    and16 = series.get("AND16", [])
+    if len(and16) >= 16 and and16[0] == and16[0] and and16[15] == and16[15]:
+        result.notes.append(
+            f"16-input AND: k=0 minus k=15 = "
+            f"{(and16[0] - and16[15]) * 100:+.2f}% (paper: +52.43%)"
+        )
+    or16 = series.get("OR16", [])
+    if len(or16) >= 17 and or16[16] == or16[16] and or16[1] == or16[1]:
+        result.notes.append(
+            f"16-input OR: k=16 minus k=1 = "
+            f"{(or16[16] - or16[1]) * 100:+.2f}% (paper: +53.66%)"
+        )
+    return result

@@ -1,0 +1,63 @@
+"""Fig. 19 — logic-op success across chip temperature (Obs. 17).
+
+Same protocol as Fig. 10 but for AND/NAND/OR/NOR.  Paper anchors: the
+largest mean variation from 50 to 95 degC is 1.66% (AND), 1.65% (NAND),
+1.63% (OR), 1.64% (NOR).
+"""
+
+from __future__ import annotations
+
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import LogicVariant, logic_sweep
+
+EXPERIMENT_ID = "fig19"
+TITLE = "AND/NAND/OR/NOR success rate at different DRAM chip temperatures"
+
+INPUT_COUNTS = (2, 4, 8, 16)
+TEMPERATURES_C = (50.0, 60.0, 70.0, 80.0, 95.0)
+OPS = ("and", "nand", "or", "nor")
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants = [
+        LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
+    ]
+    groups = logic_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp, op_name: (
+            f"{op_name.upper()} n={variant.n_inputs} @{temp:.0f}C"
+        ),
+        temperatures=TEMPERATURES_C,
+        good_cells_only=True,
+        trials_override=max(30, scale.trials // 2),
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    variations = {}
+    for op_name in OPS:
+        worst = 0.0
+        for n in INPUT_COUNTS:
+            means = []
+            for temp in TEMPERATURES_C:
+                label = f"{op_name.upper()} n={n} @{temp:.0f}C"
+                samples = groups.get(label)
+                if samples is None or samples.empty:
+                    continue
+                result.add_group(label, samples.box())
+                means.append(samples.mean)
+            if len(means) >= 2:
+                worst = max(worst, max(means) - min(means))
+        variations[op_name] = worst
+        result.notes.append(
+            f"{op_name.upper()}: max mean variation across 50..95C "
+            f"{worst * 100:.2f}%"
+        )
+    result.extras["max_mean_variation"] = variations
+    result.notes.append(
+        "paper anchors: 1.66% (AND), 1.65% (NAND), 1.63% (OR), 1.64% "
+        "(NOR) (Observation 17)"
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Fig. 20 — logic-op success vs. DRAM speed rate (Obs. 18).
+
+Paper anchor: the 4-input NAND loses 29.89% mean success from 2133 to
+2400 MT/s — the same cycle-quantization sour spot as Fig. 11.
+"""
+
+from __future__ import annotations
+
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import LogicVariant, logic_sweep
+
+EXPERIMENT_ID = "fig20"
+TITLE = "AND/NAND/OR/NOR success rate for different DRAM speed rates"
+
+INPUT_COUNTS = (2, 4, 8, 16)
+SPEEDS = (2133, 2400, 2666)
+OPS = ("and", "nand", "or", "nor")
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants = [
+        LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
+    ]
+    groups = logic_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp, op_name: (
+            f"{op_name.upper()} n={variant.n_inputs} "
+            f"@{target.spec.chip.speed_rate_mts}MT/s"
+        ),
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for op_name in OPS:
+        for n in INPUT_COUNTS:
+            for speed in SPEEDS:
+                label = f"{op_name.upper()} n={n} @{speed}MT/s"
+                samples = groups.get(label)
+                if samples is not None and not samples.empty:
+                    result.add_group(label, samples.box())
+
+    try:
+        drop = (
+            result.groups["NAND n=4 @2133MT/s"].mean
+            - result.groups["NAND n=4 @2400MT/s"].mean
+        )
+        result.extras["nand4_2133_to_2400_drop"] = drop
+        result.notes.append(
+            f"4-input NAND: 2133->2400 change {-drop * 100:+.2f}% "
+            "(paper: -29.89%, Observation 18)"
+        )
+    except KeyError:
+        result.notes.append("incomplete speed coverage at this scale")
+    return result

@@ -1,0 +1,75 @@
+"""Fig. 21 — logic-op success vs. SK Hynix chip density and die revision
+(Obs. 19).
+
+Paper anchors: the 2-input AND loses 27.47% mean success from 4Gb A-die
+to 4Gb M-die, but *gains* 2.11% from 8Gb A-die to 8Gb M-die.  The 8Gb
+M-die module only reaches 8-input operations (it activates at most 8:8,
+footnote 12) — visible as a missing n=16 group.
+"""
+
+from __future__ import annotations
+
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import LogicVariant, logic_sweep
+
+EXPERIMENT_ID = "fig21"
+TITLE = "AND/NAND/OR/NOR success rate by chip density and die revision"
+
+INPUT_COUNTS = (2, 4, 8, 16)
+DIES = ("4Gb A", "4Gb M", "8Gb A", "8Gb M")
+OPS = ("and", "nand", "or", "nor")
+
+
+def _die_of(target) -> str:
+    chip = target.spec.chip
+    return f"{chip.density_gb}Gb {chip.die_revision}"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+    variants = [
+        LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
+    ]
+    groups = logic_sweep(
+        scale,
+        seed,
+        variants,
+        label_fn=lambda target, variant, temp, op_name: (
+            f"{op_name.upper()} n={variant.n_inputs} {_die_of(target)}"
+        ),
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    for op_name in OPS:
+        for die in DIES:
+            for n in INPUT_COUNTS:
+                label = f"{op_name.upper()} n={n} {die}"
+                samples = groups.get(label)
+                if samples is not None and not samples.empty:
+                    result.add_group(label, samples.box())
+
+    def delta(a: str, b: str) -> float:
+        return result.groups[a].mean - result.groups[b].mean
+
+    try:
+        result.notes.append(
+            f"2-input AND: 4Gb M minus 4Gb A = "
+            f"{delta('AND n=2 4Gb M', 'AND n=2 4Gb A') * 100:+.2f}% "
+            "(paper: -27.47%)"
+        )
+    except KeyError:
+        pass
+    try:
+        result.notes.append(
+            f"2-input AND: 8Gb M minus 8Gb A = "
+            f"{delta('AND n=2 8Gb M', 'AND n=2 8Gb A') * 100:+.2f}% "
+            "(paper: +2.11%)"
+        )
+    except KeyError:
+        pass
+    if not any("n=16 8Gb M" in label for label in result.groups):
+        result.notes.append(
+            "8Gb M-die contributes no 16-input groups (8:8 activation cap, "
+            "footnote 12)"
+        )
+    return result

@@ -1,0 +1,184 @@
+"""The tested-chip population: Table 1 plus the non-working extras.
+
+The paper tests 280 chips across 28 modules and focuses its analysis on
+the 256 chips / 22 modules (SK Hynix + Samsung) where at least the NOT
+operation works (§3.2).  This module encodes that population as
+:class:`~repro.dram.config.ModuleSpec` values and instantiates simulated
+modules from it.
+
+Per Observation 2 and footnote 12, capability flags vary per module
+type: some SK Hynix dies support both N:N and N:2N activation (up to 48
+simultaneous rows), some only N:N (up to 32), and one 8Gb M-die module
+tops out at 8:8.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..dram.config import (
+    ActivationSupport,
+    ChipConfig,
+    ChipGeometry,
+    Manufacturer,
+    ModuleSpec,
+)
+from ..dram.module import Module
+from ..rng import SeedTree
+
+__all__ = [
+    "table1_specs",
+    "micron_specs",
+    "all_specs",
+    "specs_for",
+    "iter_modules",
+]
+
+
+def _hynix(
+    density: int,
+    die: str,
+    io: int,
+    speed: int,
+    modules: int,
+    chips: int,
+    date: Optional[str],
+    n2n: bool,
+    max_n: int = 16,
+    geometry: Optional[ChipGeometry] = None,
+) -> ModuleSpec:
+    chip = ChipConfig(
+        manufacturer=Manufacturer.SK_HYNIX,
+        density_gb=density,
+        die_revision=die,
+        io_width=io,
+        speed_rate_mts=speed,
+        activation_support=ActivationSupport.SIMULTANEOUS,
+        supports_n_to_2n=n2n,
+        max_simultaneous_n=max_n,
+        geometry=geometry or ChipGeometry(),
+    )
+    name = f"hynix-{density}gb-{die.lower()}-x{io}-{speed}"
+    return ModuleSpec(
+        name=name,
+        chip=chip,
+        chips_per_module=chips,
+        module_count=modules,
+        manufacture_date=date,
+    )
+
+
+def _samsung(
+    density: int,
+    die: str,
+    speed: int,
+    modules: int,
+    date: str,
+    geometry: Optional[ChipGeometry] = None,
+) -> ModuleSpec:
+    chip = ChipConfig(
+        manufacturer=Manufacturer.SAMSUNG,
+        density_gb=density,
+        die_revision=die,
+        io_width=8,
+        speed_rate_mts=speed,
+        activation_support=ActivationSupport.SEQUENTIAL_ONLY,
+        supports_n_to_2n=False,
+        max_simultaneous_n=1,
+        geometry=geometry or ChipGeometry(),
+    )
+    name = f"samsung-{density}gb-{die.lower()}-x8-{speed}"
+    return ModuleSpec(
+        name=name,
+        chip=chip,
+        chips_per_module=8,
+        module_count=modules,
+        manufacture_date=date,
+    )
+
+
+def table1_specs(geometry: Optional[ChipGeometry] = None) -> List[ModuleSpec]:
+    """The 22 modules / 256 chips of the paper's Table 1."""
+    return [
+        _hynix(4, "M", 8, 2666, 9, 8, None, n2n=True, geometry=geometry),
+        _hynix(4, "A", 8, 2133, 5, 8, None, n2n=False, geometry=geometry),
+        _hynix(8, "A", 8, 2666, 1, 16, None, n2n=True, geometry=geometry),
+        _hynix(4, "A", 4, 2400, 1, 32, "18-14", n2n=False, geometry=geometry),
+        _hynix(8, "A", 4, 2400, 1, 32, "16-49", n2n=True, geometry=geometry),
+        _hynix(8, "M", 4, 2666, 1, 32, "16-22", n2n=False, max_n=8, geometry=geometry),
+        _samsung(4, "F", 2666, 1, "21-02", geometry=geometry),
+        _samsung(8, "D", 2133, 2, "21-10", geometry=geometry),
+        _samsung(8, "A", 3200, 1, "22-12", geometry=geometry),
+    ]
+
+
+def micron_specs(geometry: Optional[ChipGeometry] = None) -> List[ModuleSpec]:
+    """The 6 Micron modules (24 chips) where no operation works (§3.2)."""
+    specs = []
+    for density, die, speed, modules in ((4, "B", 2666, 2), (8, "B", 2400, 2), (8, "E", 2666, 2)):
+        chip = ChipConfig(
+            manufacturer=Manufacturer.MICRON,
+            density_gb=density,
+            die_revision=die,
+            io_width=8,
+            speed_rate_mts=speed,
+            activation_support=ActivationSupport.NONE,
+            supports_n_to_2n=False,
+            geometry=geometry or ChipGeometry(),
+        )
+        specs.append(
+            ModuleSpec(
+                name=f"micron-{density}gb-{die.lower()}-x8-{speed}",
+                chip=chip,
+                chips_per_module=4,
+                module_count=modules,
+            )
+        )
+    return specs
+
+
+def all_specs(geometry: Optional[ChipGeometry] = None) -> List[ModuleSpec]:
+    """All 28 modules / 280 chips the paper tested."""
+    return table1_specs(geometry) + micron_specs(geometry)
+
+
+def specs_for(
+    manufacturers: Optional[Iterable[Manufacturer]] = None,
+    geometry: Optional[ChipGeometry] = None,
+    include_micron: bool = False,
+) -> List[ModuleSpec]:
+    """Table-1 specs filtered by manufacturer."""
+    specs = all_specs(geometry) if include_micron else table1_specs(geometry)
+    if manufacturers is None:
+        return specs
+    wanted = set(manufacturers)
+    return [spec for spec in specs if spec.chip.manufacturer in wanted]
+
+
+def iter_modules(
+    specs: Iterable[ModuleSpec],
+    modules_per_spec: int,
+    chips_per_module: int,
+    seed: int,
+) -> Iterator[Tuple[ModuleSpec, Module]]:
+    """Instantiate modules for a sweep, releasing state between them.
+
+    ``modules_per_spec``/``chips_per_module`` subsample the real
+    population (the aggregation code re-weights by each spec's true
+    module count).  The caller must finish with one module before
+    advancing the iterator: state is released on advance.
+    """
+    tree = SeedTree(seed)
+    for spec in specs:
+        count = min(modules_per_spec, spec.module_count)
+        for module_index in range(count):
+            module = Module.from_spec(
+                spec,
+                module_index=module_index,
+                seed_tree=tree,
+                chip_count=min(chips_per_module, spec.chips_per_module),
+            )
+            try:
+                yield spec, module
+            finally:
+                module.release_state()

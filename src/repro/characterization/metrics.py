@@ -1,0 +1,106 @@
+"""Statistics over per-cell success rates.
+
+The paper reports results as box-and-whiskers distributions over DRAM
+cells (footnote 5: box = Q1..Q3, whiskers = min/max) plus the *average
+success rate*, the mean over all tested cells.  :class:`BoxStats`
+carries exactly those numbers; :class:`WeightedSamples` aggregates
+per-cell rate arrays across sweep targets with population re-weighting
+(the simulation subsamples module instances; each spec's samples count
+with its real Table-1 module multiplicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["BoxStats", "WeightedSamples"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus mean, as in the paper's box plots."""
+
+    count: int
+    mean: float
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "BoxStats":
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if values.size == 0:
+            raise ValueError("cannot summarize an empty sample")
+        q1, median, q3 = np.percentile(values, [25, 50, 75])
+        return cls(
+            count=int(values.size),
+            mean=float(values.mean()),
+            minimum=float(values.min()),
+            q1=float(q1),
+            median=float(median),
+            q3=float(q3),
+            maximum=float(values.max()),
+        )
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+    def format_percent(self) -> str:
+        """E.g. ``mean 94.9%  [min 12.0 | Q1 93.0 | med 97.0 | Q3 99.5 | max 100.0]``."""
+        return (
+            f"mean {self.mean * 100:5.1f}%  "
+            f"[min {self.minimum * 100:5.1f} | Q1 {self.q1 * 100:5.1f} | "
+            f"med {self.median * 100:5.1f} | Q3 {self.q3 * 100:5.1f} | "
+            f"max {self.maximum * 100:5.1f}]"
+        )
+
+
+class WeightedSamples:
+    """Per-cell rate samples with integer population weights."""
+
+    def __init__(self) -> None:
+        self._chunks: List[Tuple[np.ndarray, int]] = []
+
+    def add(self, values: np.ndarray, weight: int = 1) -> None:
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        if weight < 1:
+            raise ValueError(f"weight must be >= 1, got {weight}")
+        if values.size:
+            self._chunks.append((values, int(weight)))
+
+    def extend(self, other: "WeightedSamples") -> None:
+        self._chunks.extend(other._chunks)
+
+    @property
+    def empty(self) -> bool:
+        return not self._chunks
+
+    @property
+    def raw_count(self) -> int:
+        """Number of distinct cell samples, ignoring population weights."""
+        return sum(values.size for values, _weight in self._chunks)
+
+    def values(self) -> np.ndarray:
+        """All samples, each repeated by its weight."""
+        if not self._chunks:
+            return np.empty(0)
+        return np.concatenate(
+            [np.repeat(values, weight) for values, weight in self._chunks]
+        )
+
+    def box(self) -> BoxStats:
+        return BoxStats.from_values(self.values())
+
+    @property
+    def mean(self) -> float:
+        total = sum(values.sum() * weight for values, weight in self._chunks)
+        count = sum(values.size * weight for values, weight in self._chunks)
+        if count == 0:
+            raise ValueError("no samples collected")
+        return float(total / count)

@@ -1,0 +1,50 @@
+"""Named data patterns used by the characterization (§5.2, §6.2).
+
+The paper initializes rows with two independent random patterns (RAND1
+and RAND2), the fixed all-1s and all-0s patterns, and — for the
+data-pattern-dependence study — per-row all-1s/all-0s assignments.
+Checkerboards are included for coupling-stress tests beyond the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "all_ones",
+    "all_zeros",
+    "checkerboard",
+    "random_pattern",
+    "rand1_rand2",
+]
+
+
+def all_ones(width: int) -> np.ndarray:
+    """The all-1s row pattern."""
+    return np.ones(width, dtype=np.uint8)
+
+
+def all_zeros(width: int) -> np.ndarray:
+    """The all-0s row pattern."""
+    return np.zeros(width, dtype=np.uint8)
+
+
+def checkerboard(width: int, phase: int = 0) -> np.ndarray:
+    """Alternating 0/1 columns; ``phase=1`` inverts it."""
+    if phase not in (0, 1):
+        raise ValueError(f"phase must be 0 or 1, got {phase}")
+    return ((np.arange(width) + phase) % 2).astype(np.uint8)
+
+
+def random_pattern(rng: np.random.Generator, width: int) -> np.ndarray:
+    """A uniform random row pattern."""
+    return rng.integers(0, 2, width, dtype=np.uint8)
+
+
+def rand1_rand2(
+    rng: np.random.Generator, width: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The paper's RAND1/RAND2 pair: two independent random patterns."""
+    return random_pattern(rng, width), random_pattern(rng, width)

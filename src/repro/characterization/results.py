@@ -1,0 +1,65 @@
+"""Experiment result containers and text rendering.
+
+Every table/figure reproduction returns an :class:`ExperimentResult`:
+an ordered mapping from group label (the paper figure's x-axis value,
+e.g. ``"8:16"`` or ``"AND n=4 @70C"``) to :class:`BoxStats`, plus
+free-form extras (heatmap grids, raw tables) and human-readable notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .metrics import BoxStats
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure reproduction."""
+
+    experiment_id: str
+    title: str
+    groups: "Dict[str, BoxStats]" = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_group(self, label: str, stats: BoxStats) -> None:
+        self.groups[label] = stats
+
+    def mean_of(self, label: str) -> float:
+        return self.groups[label].mean
+
+    def group_means(self) -> Dict[str, float]:
+        return {label: stats.mean for label, stats in self.groups.items()}
+
+    def format_table(self, percent: bool = True) -> str:
+        """Render the groups as an aligned text table."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        if self.groups:
+            width = max(len(label) for label in self.groups)
+            for label, stats in self.groups.items():
+                lines.append(f"  {label:<{width}}  {stats.format_percent()}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def format_heatmap(
+        self, key: str = "heatmap", axis_labels: Optional[List[str]] = None
+    ) -> str:
+        """Render an extras 3x3 heatmap (Figs. 9 and 17) as text."""
+        grid = self.extras.get(key)
+        if grid is None:
+            raise KeyError(f"no extras entry {key!r}")
+        labels = axis_labels or ["Close", "Middle", "Far"]
+        header = "          " + "".join(f"{label:>9}" for label in labels)
+        lines = [f"== {self.experiment_id}: {key} (rows=first axis) ==", header]
+        for i, row_label in enumerate(labels):
+            cells = []
+            for j in range(len(labels)):
+                value = grid.get((i, j))
+                cells.append(f"{value * 100:8.1f}%" if value is not None else "      --")
+            lines.append(f"{row_label:>9} " + "".join(cells))
+        return "\n".join(lines)

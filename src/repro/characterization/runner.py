@@ -1,0 +1,306 @@
+"""Sweep machinery shared by all table/figure reproductions.
+
+A *sweep* iterates the (sub-sampled) Table-1 fleet, yielding
+:class:`SweepTarget` handles — one per (module instance, bank, subarray
+pair) — and builds measurements on them.  :class:`Scale` bounds the
+sweep so the same experiment code runs as a seconds-long benchmark or a
+paper-scale overnight job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..bender.infrastructure import TestingInfrastructure
+from ..core.addressing import find_pattern_pair
+from ..core.success import (
+    LogicSuccessMeasurement,
+    NotSuccessMeasurement,
+    SuccessResult,
+)
+from ..dram.config import ActivationSupport, ChipGeometry, Manufacturer, ModuleSpec
+from ..dram.decoder import ActivationKind, ActivationPattern
+from ..dram.module import Module
+from ..errors import ReverseEngineeringError
+from ..rng import SeedTree, derive_seed
+from .fleet import specs_for
+
+__all__ = [
+    "Scale",
+    "SMOKE",
+    "DEFAULT",
+    "FULL",
+    "SweepTarget",
+    "iter_targets",
+    "find_not_measurement",
+    "find_logic_measurement",
+    "region_predicate",
+    "good_cell_mask",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How much of the paper-scale experiment a sweep actually runs."""
+
+    name: str
+    modules_per_spec: int
+    chips_per_module: int
+    banks_per_module: int
+    pairs_per_bank: int
+    trials: int
+    geometry: ChipGeometry
+
+    def with_trials(self, trials: int) -> "Scale":
+        return replace(self, trials=trials)
+
+
+#: Minimal scale for unit tests: one tiny module per spec.
+SMOKE = Scale(
+    name="smoke",
+    modules_per_spec=1,
+    chips_per_module=1,
+    banks_per_module=1,
+    pairs_per_bank=1,
+    trials=40,
+    geometry=ChipGeometry(
+        banks=1, subarrays_per_bank=2, rows_per_subarray=96, columns=32
+    ),
+)
+
+#: Benchmark scale: minutes for the full figure set.
+DEFAULT = Scale(
+    name="default",
+    modules_per_spec=1,
+    chips_per_module=2,
+    banks_per_module=1,
+    pairs_per_bank=2,
+    trials=150,
+    geometry=ChipGeometry(
+        banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+    ),
+)
+
+#: Closer to the paper's sweep (all 16 banks / 4 pairs / 10k trials is
+#: still larger; this is the overnight setting).
+FULL = Scale(
+    name="full",
+    modules_per_spec=2,
+    chips_per_module=4,
+    banks_per_module=2,
+    pairs_per_bank=2,
+    trials=600,
+    geometry=ChipGeometry(
+        banks=4, subarrays_per_bank=8, rows_per_subarray=640, columns=128
+    ),
+)
+
+
+@dataclass
+class SweepTarget:
+    """One (module instance, bank, neighboring subarray pair) to measure."""
+
+    spec: ModuleSpec
+    module: Module
+    infra: TestingInfrastructure
+    bank: int
+    subarray_pair: Tuple[int, int]
+    #: Population weight: how many real Table-1 modules this instance
+    #: stands for.
+    weight: int
+
+    @property
+    def manufacturer(self) -> Manufacturer:
+        return self.spec.chip.manufacturer
+
+    @property
+    def supports_simultaneous(self) -> bool:
+        return (
+            self.spec.chip.activation_support is ActivationSupport.SIMULTANEOUS
+        )
+
+    def label(self) -> str:
+        return (
+            f"{self.spec.name}#{self.module.name} "
+            f"bank{self.bank} pair{self.subarray_pair}"
+        )
+
+    def pair_seed(self, *context: str) -> int:
+        """A stable seed for address-pair discovery on this target."""
+        return derive_seed(
+            0, self.spec.name, f"bank-{self.bank}", str(self.subarray_pair), *context
+        ) % (1 << 31)
+
+
+def iter_targets(
+    scale: Scale,
+    seed: int = 0,
+    manufacturers: Optional[Iterable[Manufacturer]] = None,
+    include_micron: bool = False,
+) -> Iterator[SweepTarget]:
+    """Iterate sweep targets over the (sub-sampled) fleet.
+
+    Module state is released when the iterator advances past a module,
+    so peak memory stays at one module's worth of banks.
+    """
+    specs = specs_for(
+        manufacturers, geometry=scale.geometry, include_micron=include_micron
+    )
+    tree = SeedTree(seed)
+    pairs = _spread_pairs(scale)
+    for spec in specs:
+        instantiated = min(scale.modules_per_spec, spec.module_count)
+        weight = max(1, round(spec.module_count / instantiated))
+        for module_index in range(instantiated):
+            module = Module.from_spec(
+                spec,
+                module_index=module_index,
+                seed_tree=tree,
+                chip_count=min(scale.chips_per_module, spec.chips_per_module),
+            )
+            infra = TestingInfrastructure(module)
+            try:
+                for bank in range(scale.banks_per_module):
+                    for pair in pairs:
+                        yield SweepTarget(
+                            spec=spec,
+                            module=module,
+                            infra=infra,
+                            bank=bank,
+                            subarray_pair=pair,
+                            weight=weight,
+                        )
+            finally:
+                module.release_state()
+
+
+def _spread_pairs(scale: Scale) -> List[Tuple[int, int]]:
+    """Non-overlapping neighboring pairs, spread across the bank."""
+    available = [
+        (s, s + 1) for s in range(0, scale.geometry.subarrays_per_bank - 1, 2)
+    ]
+    return available[: scale.pairs_per_bank]
+
+
+# ----------------------------------------------------------------------
+# measurement construction
+# ----------------------------------------------------------------------
+
+PatternPredicate = Callable[[ActivationPattern, int, int], bool]
+
+
+def find_not_measurement(
+    target: SweepTarget,
+    n_destination: int,
+    kind: Optional[ActivationKind] = None,
+    predicate: Optional[PatternPredicate] = None,
+    seed_context: str = "",
+) -> Optional[NotSuccessMeasurement]:
+    """Build a NOT measurement with ``n_destination`` destination rows.
+
+    Returns ``None`` when the target chip cannot produce the requested
+    pattern (Micron chips, Samsung with more than one destination row,
+    N-capped dies, N:2N on N:N-only modules) — the paper's figures have
+    exactly these gaps.
+    """
+    chip = target.spec.chip
+    support = chip.activation_support
+    if support is ActivationSupport.NONE:
+        return None
+
+    if kind is None:
+        if support is ActivationSupport.SEQUENTIAL_ONLY:
+            if n_destination != 1:
+                return None
+            kind, n = ActivationKind.SEQUENTIAL, 1
+        elif n_destination in (1, 2, 4, 8, 16):
+            kind, n = ActivationKind.N_TO_N, n_destination
+        elif n_destination == 32:
+            kind, n = ActivationKind.N_TO_2N, 16
+        else:
+            raise ValueError(f"unsupported destination-row count {n_destination}")
+    else:
+        n = n_destination if kind is not ActivationKind.N_TO_2N else n_destination // 2
+
+    if kind is ActivationKind.N_TO_2N and not chip.supports_n_to_2n:
+        return None
+    if n > chip.max_simultaneous_n:
+        return None
+
+    try:
+        src_row, dst_row = find_pattern_pair(
+            target.module.decoder,
+            chip.geometry,
+            target.bank,
+            target.subarray_pair[0],
+            target.subarray_pair[1],
+            n,
+            kind,
+            seed=target.pair_seed("not", str(n_destination), str(kind), seed_context),
+            predicate=predicate,
+            max_tries=60_000,
+        )
+    except ReverseEngineeringError:
+        return None
+    return NotSuccessMeasurement(target.infra.host, target.bank, src_row, dst_row)
+
+
+def find_logic_measurement(
+    target: SweepTarget,
+    base_op: str,
+    n_inputs: int,
+    predicate: Optional[PatternPredicate] = None,
+    seed_context: str = "",
+) -> Optional[LogicSuccessMeasurement]:
+    """Build an N-input logic measurement, or ``None`` if unsupported."""
+    chip = target.spec.chip
+    if chip.activation_support is not ActivationSupport.SIMULTANEOUS:
+        return None
+    if n_inputs > chip.max_simultaneous_n or n_inputs < 2:
+        return None
+    try:
+        ref_row, com_row = find_pattern_pair(
+            target.module.decoder,
+            chip.geometry,
+            target.bank,
+            target.subarray_pair[0],
+            target.subarray_pair[1],
+            n_inputs,
+            ActivationKind.N_TO_N,
+            # The pair seed deliberately excludes base_op: AND/NAND and
+            # OR/NOR comparisons (Obs. 12/13) must run on the *same*
+            # physical rows, or design-induced variation confounds them.
+            seed=target.pair_seed("logic", str(n_inputs), seed_context),
+            predicate=predicate,
+            max_tries=60_000,
+        )
+    except ReverseEngineeringError:
+        return None
+    return LogicSuccessMeasurement(
+        target.infra.host, target.bank, ref_row, com_row, base_op=base_op
+    )
+
+
+def region_predicate(
+    target: SweepTarget, first_region: int, last_region: int
+) -> PatternPredicate:
+    """Predicate selecting patterns whose activated-row sets fall in the
+    requested Close/Middle/Far regions (Figs. 9 and 17)."""
+    bank = target.module.chips[0].bank(target.bank)
+
+    def predicate(pattern: ActivationPattern, row_first: int, row_last: int) -> bool:
+        if not pattern.rows_first or not pattern.rows_last:
+            return False
+        regions = bank.pattern_regions(pattern)
+        return regions == (first_region, last_region)
+
+    return predicate
+
+
+def good_cell_mask(result: SuccessResult, threshold: float = 0.9) -> np.ndarray:
+    """Cells with success rate above ``threshold`` — the paper restricts
+    its temperature and logic-op sweeps to such cells (footnote 8)."""
+    return result.rates >= threshold

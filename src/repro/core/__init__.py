@@ -1,0 +1,113 @@
+"""The paper's contribution: functionally-complete in-DRAM Boolean logic.
+
+* :mod:`repro.core.sequences` — the timing-violating command sequences
+* :mod:`repro.core.frac` / :mod:`repro.core.rowclone` — supporting
+  primitives from prior work (FracDRAM, RowClone)
+* :mod:`repro.core.not_op` — in-DRAM NOT (§5)
+* :mod:`repro.core.logic` — many-input AND/OR/NAND/NOR (§6)
+* :mod:`repro.core.maj` — the in-subarray MAJ baseline (§8.1)
+* :mod:`repro.core.success` — the success-rate reliability metric
+* :mod:`repro.core.bitwise` — a bulk bitwise accelerator built on top
+"""
+
+from .addressing import find_pattern_pair, find_pattern_pairs
+from .arith import BitSerialAlu, from_bit_slices, to_bit_slices
+from .bitwise import BitwiseAccelerator
+from .compiler import (
+    And,
+    CompiledExpression,
+    Not,
+    Or,
+    Step,
+    Var,
+    Xor,
+    compile_expression,
+    v,
+)
+from .frac import is_fractional, store_half_vdd
+from .layout import (
+    bank_rows,
+    chip_shared_columns,
+    module_shared_columns,
+    neighboring_subarray_pairs,
+)
+from .logic import BASE_OPS, LogicOperation, LogicOutcome, ideal_output
+from .maj import MajorityOperation, MajorityOutcome, ideal_majority
+from .not_op import NotOperation, NotOutcome
+from .reliability import (
+    CellProfile,
+    RedundantLogicOperation,
+    RedundantNotOperation,
+    majority_vote,
+    profile_cells,
+)
+from .rowclone import rowclone, rowclone_match_fraction
+from .sequences import (
+    double_activation_program,
+    frac_program,
+    logic_program,
+    nominal_activation_program,
+    not_program,
+    rowclone_program,
+)
+from .success import (
+    LogicPairResult,
+    LogicSuccessMeasurement,
+    NotSuccessMeasurement,
+    SuccessResult,
+)
+from .trng import DramTrng, TrngQuality, assess_quality, von_neumann_extract
+
+__all__ = [
+    "And",
+    "BASE_OPS",
+    "BitSerialAlu",
+    "BitwiseAccelerator",
+    "CellProfile",
+    "CompiledExpression",
+    "Not",
+    "Or",
+    "RedundantLogicOperation",
+    "RedundantNotOperation",
+    "Step",
+    "Var",
+    "Xor",
+    "compile_expression",
+    "majority_vote",
+    "profile_cells",
+    "v",
+    "DramTrng",
+    "TrngQuality",
+    "LogicOperation",
+    "LogicOutcome",
+    "LogicPairResult",
+    "LogicSuccessMeasurement",
+    "MajorityOperation",
+    "MajorityOutcome",
+    "NotOperation",
+    "NotOutcome",
+    "NotSuccessMeasurement",
+    "SuccessResult",
+    "bank_rows",
+    "assess_quality",
+    "chip_shared_columns",
+    "double_activation_program",
+    "from_bit_slices",
+    "find_pattern_pair",
+    "find_pattern_pairs",
+    "frac_program",
+    "ideal_majority",
+    "ideal_output",
+    "is_fractional",
+    "logic_program",
+    "module_shared_columns",
+    "neighboring_subarray_pairs",
+    "nominal_activation_program",
+    "not_program",
+    "rowclone",
+    "rowclone_match_fraction",
+    "rowclone_program",
+    "store_half_vdd",
+    "to_bit_slices",
+    "von_neumann_extract",
+]

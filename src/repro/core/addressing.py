@@ -1,0 +1,106 @@
+"""Finding address pairs that produce a desired activation pattern.
+
+Which ``(R_F, R_L)`` pairs yield which ``N_RF:N_RL`` pattern is a fixed
+property of a module (Observation 2) that the paper reverse engineers
+once per module (§4.2) and then uses to place operands.  These helpers
+query the module's decoder model — the simulator's equivalent of that
+reverse-engineered lookup table.  For the from-first-principles scan
+that *builds* such a table with real command sequences, see
+:mod:`repro.reveng.activation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..dram.config import ChipGeometry
+from ..dram.decoder import ActivationKind, ActivationPattern
+from ..errors import ReverseEngineeringError
+
+__all__ = ["find_pattern_pairs", "find_pattern_pair"]
+
+PairPredicate = Callable[[ActivationPattern, int, int], bool]
+
+
+def find_pattern_pairs(
+    decoder,
+    geometry: ChipGeometry,
+    bank: int,
+    subarray_first: int,
+    subarray_last: int,
+    n: int,
+    kind: ActivationKind = ActivationKind.N_TO_N,
+    limit: int = 1,
+    seed: int = 0,
+    max_tries: int = 200_000,
+    predicate: Optional[PairPredicate] = None,
+) -> List[Tuple[int, int]]:
+    """Sample ``limit`` (row_first, row_last) bank-address pairs whose
+    activation pattern is ``n``:``kind`` between the given subarrays.
+
+    Pairs are probed in a seeded pseudo-random order, so the expected
+    number of probes per hit is the inverse of the pattern's coverage
+    (Fig. 5).  ``predicate`` can impose extra conditions (e.g. a distance
+    region for the Fig. 9/17 experiments).
+
+    Raises :class:`ReverseEngineeringError` when the budget runs out —
+    which legitimately happens for patterns a module cannot produce.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    rng = np.random.default_rng(seed)
+    rows = geometry.rows_per_subarray
+    pairs: List[Tuple[int, int]] = []
+    seen = set()
+
+    for _ in range(max_tries):
+        local_first = int(rng.integers(rows))
+        local_last = int(rng.integers(rows))
+        key = (local_first, local_last)
+        if key in seen:
+            continue
+        seen.add(key)
+        row_first = geometry.bank_row(subarray_first, local_first)
+        row_last = geometry.bank_row(subarray_last, local_last)
+        pattern = decoder.neighboring_pattern(bank, row_first, row_last)
+        if pattern.kind is not kind or pattern.n_first != n:
+            continue
+        if predicate is not None and not predicate(pattern, row_first, row_last):
+            continue
+        pairs.append((row_first, row_last))
+        if len(pairs) == limit:
+            return pairs
+
+    raise ReverseEngineeringError(
+        f"found only {len(pairs)}/{limit} pairs with pattern "
+        f"{n}:{kind.value} between subarrays {subarray_first} and "
+        f"{subarray_last} after {max_tries} probes"
+    )
+
+
+def find_pattern_pair(
+    decoder,
+    geometry: ChipGeometry,
+    bank: int,
+    subarray_first: int,
+    subarray_last: int,
+    n: int,
+    kind: ActivationKind = ActivationKind.N_TO_N,
+    seed: int = 0,
+    **kwargs,
+) -> Tuple[int, int]:
+    """First pair from :func:`find_pattern_pairs`."""
+    return find_pattern_pairs(
+        decoder,
+        geometry,
+        bank,
+        subarray_first,
+        subarray_last,
+        n,
+        kind,
+        limit=1,
+        seed=seed,
+        **kwargs,
+    )[0]

@@ -1,0 +1,203 @@
+"""Bit-serial integer arithmetic from in-DRAM Boolean operations.
+
+Functional completeness means *computation*, not just filtering: this
+module builds a SIMDRAM-style bit-serial ALU from the paper's operation
+set.  Integers are stored bit-sliced — bit ``i`` of every lane lives in
+one bit vector — and a W-bit ripple-carry addition is W rounds of
+
+    sum_i     = XOR(a_i, b_i, carry)      (two composed in-DRAM XORs)
+    carry_i+1 = MAJ3(a_i, b_i, carry)     (one in-subarray activation)
+
+Every lane (one per shared column) computes in parallel: the throughput
+story of Processing-using-DRAM (§1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..errors import UnsupportedOperationError
+from .bitwise import BitwiseAccelerator
+from .maj import MajorityOperation
+
+__all__ = ["BitSerialAlu", "to_bit_slices", "from_bit_slices"]
+
+
+def to_bit_slices(values: np.ndarray, width: int) -> np.ndarray:
+    """Bit-slice unsigned integers: result shape ``(width, lanes)``."""
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(values < 0) or np.any(values >= (1 << width)):
+        raise ValueError(f"values must fit in {width} unsigned bits")
+    return np.array(
+        [(values >> position) & 1 for position in range(width)], dtype=np.uint8
+    )
+
+
+def from_bit_slices(slices: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_bit_slices` (unsigned interpretation)."""
+    slices = np.asarray(slices, dtype=np.uint8)
+    return sum(
+        slices[position].astype(np.int64) << position
+        for position in range(slices.shape[0])
+    )
+
+
+class BitSerialAlu:
+    """Add/subtract/compare over bit-sliced integers, computed in DRAM."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int = 0,
+        subarray_pair: Tuple[int, int] = (0, 1),
+        maj_subarray: Optional[int] = None,
+        maj_block_local_row: int = 64,
+    ):
+        self.host = host
+        self.bank = bank
+        self.accelerator = BitwiseAccelerator(
+            host, bank=bank, subarray_pair=subarray_pair
+        )
+        geometry = host.module.config.geometry
+        if maj_subarray is None:
+            maj_subarray = subarray_pair[1] + 1
+            if maj_subarray >= geometry.subarrays_per_bank:
+                raise UnsupportedOperationError(
+                    "need a third subarray for the MAJ block; pass "
+                    "maj_subarray explicitly"
+                )
+        if maj_block_local_row % 4:
+            raise ValueError("maj_block_local_row must be 4-aligned")
+        self.majority = MajorityOperation(
+            host,
+            bank,
+            geometry.bank_row(maj_subarray, maj_block_local_row),
+            geometry.bank_row(maj_subarray, maj_block_local_row + 3),
+        )
+
+    @property
+    def lanes(self) -> int:
+        """Number of parallel integer lanes (one per shared column)."""
+        return self.accelerator.vector_width
+
+    # -- single-bit helpers ----------------------------------------------
+
+    def _maj(self, a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        width = self.host.module.row_bits
+        shared = self.accelerator.shared_columns
+
+        def widen(vector: np.ndarray) -> np.ndarray:
+            row = np.zeros(width, dtype=np.uint8)
+            row[shared] = vector
+            return row
+
+        return self.majority.run([widen(a), widen(b), widen(c)]).result[shared]
+
+    def _check(self, slices: np.ndarray) -> np.ndarray:
+        slices = np.asarray(slices, dtype=np.uint8)
+        if slices.ndim != 2 or slices.shape[1] != self.lanes:
+            raise ValueError(
+                f"expected bit slices of shape (width, {self.lanes}), got "
+                f"{slices.shape}"
+            )
+        return slices
+
+    # -- integer operations ------------------------------------------------
+
+    def add(
+        self,
+        a_slices: np.ndarray,
+        b_slices: np.ndarray,
+        carry_in: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Ripple-carry addition; result has one extra (carry-out) bit."""
+        a_slices = self._check(a_slices)
+        b_slices = self._check(b_slices)
+        if a_slices.shape != b_slices.shape:
+            raise ValueError("operand widths differ")
+        width = a_slices.shape[0]
+        acc = self.accelerator
+        carry = (
+            np.zeros(self.lanes, dtype=np.uint8)
+            if carry_in is None
+            else np.asarray(carry_in, dtype=np.uint8)
+        )
+        out = np.zeros((width + 1, self.lanes), dtype=np.uint8)
+        for position in range(width):
+            a, b = a_slices[position], b_slices[position]
+            half = acc.xor(a, b)
+            out[position] = acc.xor(half, carry)
+            carry = self._maj(a, b, carry)
+        out[width] = carry
+        return out
+
+    def negate(self, slices: np.ndarray) -> np.ndarray:
+        """Two's complement: in-DRAM NOT per slice, then +1."""
+        slices = self._check(slices)
+        inverted = np.array(
+            [self.accelerator.not_(row) for row in slices], dtype=np.uint8
+        )
+        one = np.zeros_like(slices)
+        one[0] = 1
+        return self.add(inverted, one)[: slices.shape[0]]
+
+    def subtract(self, a_slices: np.ndarray, b_slices: np.ndarray) -> np.ndarray:
+        """``a - b`` modulo ``2^width`` (two's complement)."""
+        a_slices = self._check(a_slices)
+        b_slices = self._check(b_slices)
+        inverted = np.array(
+            [self.accelerator.not_(row) for row in b_slices], dtype=np.uint8
+        )
+        ones = np.ones(self.lanes, dtype=np.uint8)
+        return self.add(a_slices, inverted, carry_in=ones)[: a_slices.shape[0]]
+
+    def less_than(self, a_slices: np.ndarray, b_slices: np.ndarray) -> np.ndarray:
+        """Per-lane unsigned ``a < b`` (1 where true).
+
+        ``a < b`` iff the subtraction ``a + ~b + 1`` produces no carry
+        out of the top bit.
+        """
+        a_slices = self._check(a_slices)
+        b_slices = self._check(b_slices)
+        inverted = np.array(
+            [self.accelerator.not_(row) for row in b_slices], dtype=np.uint8
+        )
+        ones = np.ones(self.lanes, dtype=np.uint8)
+        total = self.add(a_slices, inverted, carry_in=ones)
+        carry_out = total[a_slices.shape[0]]
+        return self.accelerator.not_(carry_out)
+
+    def multiply(self, a_slices: np.ndarray, b_slices: np.ndarray) -> np.ndarray:
+        """Shift-and-add multiplication; result is double width.
+
+        Each partial product is the AND of ``a``'s slices with one bit of
+        ``b`` (an in-DRAM AND per slice), accumulated with the ripple-
+        carry adder.  Cost: ``W`` masked copies plus ``W`` additions —
+        the classic bit-serial trade of latency for massive lane
+        parallelism.
+        """
+        a_slices = self._check(a_slices)
+        b_slices = self._check(b_slices)
+        width_a, width_b = a_slices.shape[0], b_slices.shape[0]
+        out_width = width_a + width_b
+        acc = np.zeros((out_width, self.lanes), dtype=np.uint8)
+        for j in range(width_b):
+            partial = np.zeros((out_width, self.lanes), dtype=np.uint8)
+            for i in range(width_a):
+                partial[i + j] = self.accelerator.and_(a_slices[i], b_slices[j])
+            acc = self.add(acc, partial)[:out_width]
+        return acc
+
+    def equals(self, a_slices: np.ndarray, b_slices: np.ndarray) -> np.ndarray:
+        """Per-lane equality: NOR over the per-bit XORs."""
+        a_slices = self._check(a_slices)
+        b_slices = self._check(b_slices)
+        diffs = [
+            self.accelerator.xor(a, b) for a, b in zip(a_slices, b_slices)
+        ]
+        if len(diffs) == 1:
+            return self.accelerator.not_(diffs[0])
+        return self.accelerator.nor(*diffs)

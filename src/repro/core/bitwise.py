@@ -1,0 +1,179 @@
+"""Bulk bitwise execution engine on top of the FCDRAM primitives.
+
+The paper's motivation (§1) is bulk bitwise computation on large bit
+vectors without moving them to the CPU.  :class:`BitwiseAccelerator`
+packages the raw operations into that shape: it owns a neighboring
+subarray pair, discovers usable N:N activation address pairs once (the
+§4 reverse-engineering step), and then evaluates Boolean expressions
+over host-supplied bit vectors of ``vector_width`` bits.
+
+Derived operations are composed from the functionally-complete base set,
+e.g. ``XOR(a, b) = AND(OR(a, b), NAND(a, b))`` — three in-DRAM
+operations and no CPU Boolean logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..dram.decoder import ActivationKind
+from ..errors import ReverseEngineeringError, UnsupportedOperationError
+from .addressing import find_pattern_pair
+from .layout import module_shared_columns
+from .logic import LogicOperation
+from .not_op import NotOperation
+
+__all__ = ["BitwiseAccelerator"]
+
+_SUPPORTED_FANIN = (2, 4, 8, 16)
+
+
+class BitwiseAccelerator:
+    """Bulk Boolean operations on bit vectors, computed inside DRAM."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int = 0,
+        subarray_pair: Optional[tuple] = None,
+        seed: int = 0,
+    ):
+        self.host = host
+        self.bank = bank
+        geometry = host.module.config.geometry
+        if subarray_pair is None:
+            subarray_pair = (0, 1)
+        self.subarray_pair = subarray_pair
+        self._seed = seed
+        self._logic_pairs: Dict[int, tuple] = {}
+        self._not_pair: Optional[tuple] = None
+        self.shared_columns = module_shared_columns(
+            host.module, subarray_pair[0], subarray_pair[1]
+        )
+
+    @property
+    def vector_width(self) -> int:
+        """Width of the bit vectors this accelerator operates on."""
+        return int(self.shared_columns.size)
+
+    # -- address-pair discovery (the §4 reverse-engineering step) ---------
+
+    def _logic_pair(self, n: int) -> tuple:
+        pair = self._logic_pairs.get(n)
+        if pair is None:
+            decoder = self.host.module.decoder
+            geometry = self.host.module.config.geometry
+            pair = find_pattern_pair(
+                decoder,
+                geometry,
+                self.bank,
+                self.subarray_pair[0],
+                self.subarray_pair[1],
+                n,
+                ActivationKind.N_TO_N,
+                seed=self._seed + n,
+            )
+            self._logic_pairs[n] = pair
+        return pair
+
+    def _find_not_pair(self) -> tuple:
+        if self._not_pair is None:
+            decoder = self.host.module.decoder
+            geometry = self.host.module.config.geometry
+            for n in (1, 2, 4):
+                try:
+                    self._not_pair = find_pattern_pair(
+                        decoder,
+                        geometry,
+                        self.bank,
+                        self.subarray_pair[0],
+                        self.subarray_pair[1],
+                        n,
+                        ActivationKind.N_TO_N,
+                        seed=self._seed,
+                    )
+                    break
+                except ReverseEngineeringError:
+                    continue
+            if self._not_pair is None:
+                raise ReverseEngineeringError(
+                    "no usable NOT address pair in this subarray pair"
+                )
+        return self._not_pair
+
+    # -- vector plumbing ---------------------------------------------------
+
+    def _expand(self, vector: np.ndarray) -> np.ndarray:
+        """Embed a shared-columns vector into a full module row."""
+        vector = np.asarray(vector, dtype=np.uint8)
+        if vector.shape != (self.vector_width,):
+            raise ValueError(
+                f"vector must have width {self.vector_width}, got {vector.shape}"
+            )
+        row = np.zeros(self.host.module.row_bits, dtype=np.uint8)
+        row[self.shared_columns] = vector
+        return row
+
+    @staticmethod
+    def _fanin_for(count: int) -> int:
+        for n in _SUPPORTED_FANIN:
+            if count <= n:
+                return n
+        raise UnsupportedOperationError(
+            f"at most {_SUPPORTED_FANIN[-1]} operands are supported "
+            f"(Limitation 2), got {count}"
+        )
+
+    # -- base operations -----------------------------------------------------
+
+    def _run_logic(self, op: str, vectors: Sequence[np.ndarray]) -> np.ndarray:
+        if len(vectors) < 2:
+            raise ValueError("logic operations need at least 2 operands")
+        n = self._fanin_for(len(vectors))
+        base = "and" if op in ("and", "nand") else "or"
+        identity = 1 if base == "and" else 0
+        padded: List[np.ndarray] = [self._expand(v) for v in vectors]
+        pad_row = np.full(self.host.module.row_bits, identity, dtype=np.uint8)
+        padded.extend(pad_row for _ in range(n - len(vectors)))
+
+        ref_row, com_row = self._logic_pair(n)
+        operation = LogicOperation(self.host, self.bank, ref_row, com_row, op=op)
+        return operation.run(padded).result
+
+    def and_(self, *vectors: np.ndarray) -> np.ndarray:
+        """Many-input in-DRAM AND (2..16 operands)."""
+        return self._run_logic("and", vectors)
+
+    def or_(self, *vectors: np.ndarray) -> np.ndarray:
+        """Many-input in-DRAM OR (2..16 operands)."""
+        return self._run_logic("or", vectors)
+
+    def nand(self, *vectors: np.ndarray) -> np.ndarray:
+        """Many-input in-DRAM NAND (2..16 operands)."""
+        return self._run_logic("nand", vectors)
+
+    def nor(self, *vectors: np.ndarray) -> np.ndarray:
+        """Many-input in-DRAM NOR (2..16 operands)."""
+        return self._run_logic("nor", vectors)
+
+    def not_(self, vector: np.ndarray) -> np.ndarray:
+        """In-DRAM NOT via neighboring-subarray activation (§5)."""
+        src_row, dst_row = self._find_not_pair()
+        operation = NotOperation(self.host, self.bank, src_row, dst_row)
+        outcome = operation.run(self._expand(vector))
+        first_dst = operation.destination_rows()[0]
+        return outcome.outputs[first_dst]
+
+    # -- composed operations ------------------------------------------------
+
+    def xor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """XOR composed from the functionally-complete base set:
+        ``XOR(a, b) = AND(OR(a, b), NAND(a, b))`` — three in-DRAM ops."""
+        return self.and_(self.or_(a, b), self.nand(a, b))
+
+    def xnor(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """XNOR = NOT(XOR), a fourth in-DRAM op on top of :meth:`xor`."""
+        return self.not_(self.xor(a, b))

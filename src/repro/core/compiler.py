@@ -1,0 +1,289 @@
+"""A small Boolean-expression compiler targeting the in-DRAM operations.
+
+SIMDRAM [32] showed that a PuD substrate wants a compiler: users write
+Boolean expressions over bit vectors, the framework lowers them to the
+substrate's operation set.  This module does that for the paper's
+functionally-complete set, with the optimizations the substrate makes
+natural:
+
+* **Fan-in fusion** — nested same-operator AND/OR trees collapse into
+  the many-input operations the paper demonstrates (up to 16 inputs in
+  one activation), instead of a chain of 2-input ops.
+* **Complement fusion** — ``NOT(AND(...))`` becomes a single NAND (the
+  complement is computed *for free* on the reference terminal, §6.1.3),
+  and symmetrically for NOR; double negations cancel.
+* **XOR desugaring** — ``XOR(a, b) = AND(OR(a, b), NAND(a, b))``.
+
+Example::
+
+    expr = Or(And(v("a"), v("b")), Not(v("c")))
+    program = compile_expression(expr)
+    result = program.run(accelerator, {"a": ..., "b": ..., "c": ...})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from .bitwise import BitwiseAccelerator
+
+__all__ = [
+    "Var",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "v",
+    "CompiledExpression",
+    "Step",
+    "compile_expression",
+]
+
+#: Largest fan-in a single in-DRAM operation supports (Limitation 2).
+MAX_FANIN = 16
+
+
+# ----------------------------------------------------------------------
+# expression AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named input bit vector."""
+
+    name: str
+
+    def evaluate(self, bindings: Mapping[str, np.ndarray]) -> np.ndarray:
+        try:
+            return np.asarray(bindings[self.name], dtype=np.uint8)
+        except KeyError:
+            raise ReproError(f"unbound variable {self.name!r}") from None
+
+
+@dataclass(frozen=True)
+class Not:
+    child: "Expression"
+
+    def evaluate(self, bindings):
+        return (1 - self.child.evaluate(bindings)).astype(np.uint8)
+
+
+class _Nary:
+    """Shared behavior of AND/OR nodes (operands stored in ``children``)."""
+
+    def __init__(self, *children: "Expression"):
+        if len(children) < 2:
+            raise ReproError(
+                f"{type(self).__name__} needs at least 2 operands, got "
+                f"{len(children)}"
+            )
+        self.children: Tuple["Expression", ...] = tuple(children)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.children == other.children
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.children))
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        inner = ", ".join(repr(c) for c in self.children)
+        return f"{type(self).__name__}({inner})"
+
+
+class And(_Nary):
+    def evaluate(self, bindings):
+        stacked = [c.evaluate(bindings) for c in self.children]
+        result = stacked[0].copy()
+        for operand in stacked[1:]:
+            result &= operand
+        return result
+
+
+class Or(_Nary):
+    def evaluate(self, bindings):
+        stacked = [c.evaluate(bindings) for c in self.children]
+        result = stacked[0].copy()
+        for operand in stacked[1:]:
+            result |= operand
+        return result
+
+
+@dataclass(frozen=True)
+class Xor:
+    left: "Expression"
+    right: "Expression"
+
+    def evaluate(self, bindings):
+        return (
+            self.left.evaluate(bindings) ^ self.right.evaluate(bindings)
+        ).astype(np.uint8)
+
+
+Expression = Union[Var, Not, And, Or, Xor]
+
+
+def v(name: str) -> Var:
+    """Shorthand variable constructor."""
+    return Var(name)
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Step:
+    """One in-DRAM operation of a compiled program.
+
+    ``inputs`` reference either a variable name (str) or the index of an
+    earlier step's result (int).  ``op`` is one of and/or/nand/nor/not.
+    """
+
+    op: str
+    inputs: Tuple[Union[str, int], ...]
+
+
+@dataclass
+class CompiledExpression:
+    """An executable schedule of in-DRAM operations."""
+
+    steps: List[Step] = field(default_factory=list)
+    variables: Tuple[str, ...] = ()
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for step in self.steps:
+            counts[step.op] = counts.get(step.op, 0) + 1
+        return counts
+
+    @property
+    def total_ops(self) -> int:
+        return len(self.steps)
+
+    def run(
+        self,
+        accelerator: BitwiseAccelerator,
+        bindings: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Execute the schedule on an accelerator."""
+        missing = [name for name in self.variables if name not in bindings]
+        if missing:
+            raise ReproError(f"unbound variables: {missing}")
+        results: List[np.ndarray] = []
+
+        def resolve(ref: Union[str, int]) -> np.ndarray:
+            if isinstance(ref, str):
+                return np.asarray(bindings[ref], dtype=np.uint8)
+            return results[ref]
+
+        dispatch = {
+            "and": accelerator.and_,
+            "or": accelerator.or_,
+            "nand": accelerator.nand,
+            "nor": accelerator.nor,
+        }
+        for step in self.steps:
+            operands = [resolve(ref) for ref in step.inputs]
+            if step.op == "not":
+                results.append(accelerator.not_(operands[0]))
+            else:
+                results.append(dispatch[step.op](*operands))
+        if not results:
+            # Degenerate program: the expression was a bare variable.
+            return np.asarray(bindings[self.variables[0]], dtype=np.uint8)
+        return results[-1]
+
+
+def _desugar(expr: Expression) -> Expression:
+    """Remove XOR nodes: XOR(a, b) = AND(OR(a, b), NAND(a, b))."""
+    if isinstance(expr, Xor):
+        left = _desugar(expr.left)
+        right = _desugar(expr.right)
+        return And(Or(left, right), Not(And(left, right)))
+    if isinstance(expr, Not):
+        return Not(_desugar(expr.child))
+    if isinstance(expr, (And, Or)):
+        return type(expr)(*[_desugar(c) for c in expr.children])
+    return expr
+
+
+def _simplify(expr: Expression) -> Expression:
+    """Cancel double negations and flatten same-op nests (fan-in fusion)."""
+    if isinstance(expr, Not):
+        child = _simplify(expr.child)
+        if isinstance(child, Not):
+            return _simplify(child.child)
+        return Not(child)
+    if isinstance(expr, (And, Or)):
+        flattened: List[Expression] = []
+        for child in expr.children:
+            child = _simplify(child)
+            if type(child) is type(expr):
+                flattened.extend(child.children)
+            else:
+                flattened.append(child)
+        # Re-group to the substrate's fan-in cap (Limitation 2): AND/OR
+        # are associative, so a too-wide node splits into a chain of
+        # maximal-width operations.
+        while len(flattened) > MAX_FANIN:
+            group = flattened[:MAX_FANIN]
+            flattened = [type(expr)(*group)] + flattened[MAX_FANIN:]
+        if len(flattened) == 1:
+            return flattened[0]
+        return type(expr)(*flattened)
+    return expr
+
+
+def _collect_variables(expr: Expression, seen: List[str]) -> None:
+    if isinstance(expr, Var):
+        if expr.name not in seen:
+            seen.append(expr.name)
+    elif isinstance(expr, Not):
+        _collect_variables(expr.child, seen)
+    elif isinstance(expr, (And, Or)):
+        for child in expr.children:
+            _collect_variables(child, seen)
+    elif isinstance(expr, Xor):
+        _collect_variables(expr.left, seen)
+        _collect_variables(expr.right, seen)
+
+
+def _emit(expr: Expression, program: CompiledExpression) -> Union[str, int]:
+    """Post-order lowering with NAND/NOR complement fusion."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Not):
+        # NOT over AND/OR fuses into the complement terminal (§6.1.3).
+        child = expr.child
+        if isinstance(child, (And, Or)):
+            refs = tuple(_emit(c, program) for c in child.children)
+            fused = "nand" if isinstance(child, And) else "nor"
+            program.steps.append(Step(fused, refs))
+            return len(program.steps) - 1
+        ref = _emit(child, program)
+        program.steps.append(Step("not", (ref,)))
+        return len(program.steps) - 1
+    if isinstance(expr, (And, Or)):
+        refs = tuple(_emit(c, program) for c in expr.children)
+        program.steps.append(
+            Step("and" if isinstance(expr, And) else "or", refs)
+        )
+        return len(program.steps) - 1
+    raise ReproError(f"cannot lower expression node {expr!r}")
+
+
+def compile_expression(expr: Expression) -> CompiledExpression:
+    """Lower an expression to a schedule of in-DRAM operations."""
+    lowered = _simplify(_desugar(expr))
+    names: List[str] = []
+    _collect_variables(lowered, names)
+    program = CompiledExpression(variables=tuple(names))
+    _emit(lowered, program)
+    return program

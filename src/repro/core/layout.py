@@ -1,0 +1,55 @@
+"""Address/geometry helpers shared by the in-DRAM operations.
+
+The open-bitline layout means an operation between neighboring subarrays
+only touches the columns served by the *shared* sense-amplifier stripe —
+half of each row (footnote 6).  These helpers compute that column set at
+chip and at module level, and convert between bank-level and
+subarray-local row addresses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..dram.config import ChipGeometry
+from ..dram.module import Module
+from ..errors import AddressError
+
+__all__ = [
+    "chip_shared_columns",
+    "module_shared_columns",
+    "bank_rows",
+    "neighboring_subarray_pairs",
+]
+
+
+def chip_shared_columns(geometry: ChipGeometry, subarray_a: int, subarray_b: int) -> np.ndarray:
+    """Chip-level columns on which two neighboring subarrays share sense
+    amplifiers (stripe ``max(a, b)`` serves columns of its parity)."""
+    if abs(subarray_a - subarray_b) != 1:
+        raise AddressError(
+            f"subarrays {subarray_a} and {subarray_b} are not neighbors"
+        )
+    stripe = max(subarray_a, subarray_b)
+    return np.arange(stripe % 2, geometry.columns, 2)
+
+
+def module_shared_columns(module: Module, subarray_a: int, subarray_b: int) -> np.ndarray:
+    """Module-level columns shared by two neighboring subarrays."""
+    per_chip = chip_shared_columns(module.config.geometry, subarray_a, subarray_b)
+    width = module.columns_per_chip
+    return np.concatenate(
+        [per_chip + chip_index * width for chip_index in range(module.chip_count)]
+    )
+
+
+def bank_rows(geometry: ChipGeometry, subarray: int, local_rows: Sequence[int]) -> List[int]:
+    """Bank-level addresses of ``local_rows`` within ``subarray``."""
+    return [geometry.bank_row(subarray, local) for local in local_rows]
+
+
+def neighboring_subarray_pairs(geometry: ChipGeometry) -> List[Tuple[int, int]]:
+    """All (lower, upper) neighboring subarray index pairs of a bank."""
+    return [(s, s + 1) for s in range(geometry.subarrays_per_bank - 1)]

@@ -1,0 +1,86 @@
+"""In-subarray bitwise majority — the prior-work baseline (§8.1).
+
+ComputeDRAM/FracDRAM-style MAJ: a reduced-timing double activation of
+rows *within one subarray* charge-shares all activated cells against the
+precharged opposite terminal (VDD/2), so the sense amplifier computes a
+majority vote of the activated cells.  With a 4-row activation where one
+row is Frac-initialized to VDD/2, the result is an exact three-input
+majority, MAJ3 — the primitive prior COTS-DRAM work stops at, and the
+baseline the paper's functionally-complete set is compared against.
+
+Unlike the neighboring-subarray operations, MAJ produces its result on
+*all* columns (both stripes of the subarray participate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..errors import UnsupportedOperationError
+from .frac import store_half_vdd
+from .layout import bank_rows
+from .sequences import logic_program
+
+__all__ = ["MajorityOperation", "MajorityOutcome", "ideal_majority"]
+
+
+def ideal_majority(operands: Sequence[np.ndarray]) -> np.ndarray:
+    """Bitwise majority ground truth (ties cannot occur for odd counts)."""
+    stacked = np.asarray([np.asarray(o, dtype=np.uint8) for o in operands])
+    if stacked.shape[0] % 2 == 0:
+        raise ValueError("majority needs an odd number of operands")
+    return (stacked.sum(axis=0) * 2 > stacked.shape[0]).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class MajorityOutcome:
+    result: np.ndarray
+
+
+class MajorityOperation:
+    """MAJ3 via 4-row in-subarray activation (3 inputs + 1 Frac row)."""
+
+    def __init__(self, host: DramBenderHost, bank: int, row_a: int, row_b: int):
+        self.host = host
+        self.bank = bank
+        self.row_a = row_a
+        self.row_b = row_b
+        pattern = host.module.decoder.same_subarray_pattern(bank, row_a, row_b)
+        if len(pattern.rows_first) != 4:
+            raise UnsupportedOperationError(
+                f"address pair ({row_a}, {row_b}) activates "
+                f"{len(pattern.rows_first)} rows; MAJ3 needs a 4-row "
+                "in-subarray activation (addresses differing in two "
+                "low local-wordline bits)"
+            )
+        geometry = host.module.config.geometry
+        self.rows: List[int] = bank_rows(
+            geometry, pattern.subarray_first, pattern.rows_first
+        )
+
+    @property
+    def input_rows(self) -> List[int]:
+        """The three rows holding the MAJ3 operands."""
+        return self.rows[:-1]
+
+    @property
+    def frac_row(self) -> int:
+        """The row Frac-initialized to VDD/2 (the FracDRAM trick)."""
+        return self.rows[-1]
+
+    def run(self, operands: Sequence[np.ndarray]) -> MajorityOutcome:
+        """Load three operands, execute, read the majority result."""
+        if len(operands) != 3:
+            raise ValueError(f"MAJ3 takes exactly 3 operands, got {len(operands)}")
+        for row, bits in zip(self.input_rows, operands):
+            self.host.fill_row(self.bank, row, np.asarray(bits, dtype=np.uint8))
+        store_half_vdd(self.host, self.bank, self.frac_row)
+        self.host.run(
+            logic_program(self.host.timing, self.bank, self.row_a, self.row_b)
+        )
+        bits = self.host.peek_row(self.bank, self.input_rows[0])
+        return MajorityOutcome(result=bits)

@@ -1,0 +1,129 @@
+"""Engineering around imperfect operations: profiling and redundancy.
+
+The paper characterizes *how often* in-DRAM operations fail so systems
+can be engineered around the failures.  This module provides the two
+standard levers:
+
+* **Cell profiling** — the paper's own methodology (footnote 8): measure
+  per-cell success once, then only trust cells above a threshold.
+  :class:`CellProfile` productizes that into a reusable mask.
+
+* **Modular redundancy** — repeat an operation R times and take a
+  majority vote per cell.  Per-trial failures are (largely) independent
+  across repetitions, so a per-op success rate ``p`` becomes roughly
+  ``sum_{k>R/2} C(R,k) p^k (1-p)^(R-k)`` — e.g. 0.90 -> 0.972 at R=3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .logic import LogicOperation
+from .not_op import NotOperation
+
+__all__ = [
+    "CellProfile",
+    "majority_vote",
+    "profile_cells",
+    "RedundantLogicOperation",
+    "RedundantNotOperation",
+]
+
+
+@dataclass(frozen=True)
+class CellProfile:
+    """Per-cell trust mask over an operation's result columns."""
+
+    mask: np.ndarray
+    threshold: float
+    trials: int
+
+    @property
+    def fraction_good(self) -> float:
+        return float(np.mean(self.mask))
+
+    def apply(self, bits: np.ndarray, fallback: int = 0) -> np.ndarray:
+        """Zero (or ``fallback``) the untrusted positions of a result."""
+        bits = np.asarray(bits)
+        if bits.shape != self.mask.shape:
+            raise ValueError(
+                f"result shape {bits.shape} does not match profile "
+                f"{self.mask.shape}"
+            )
+        return np.where(self.mask, bits, fallback)
+
+
+def profile_cells(
+    run_once: Callable[[np.random.Generator], np.ndarray],
+    trials: int,
+    rng: np.random.Generator,
+    threshold: float = 0.9,
+) -> CellProfile:
+    """Profile an operation's per-cell correctness.
+
+    ``run_once(rng)`` must execute the operation with fresh random
+    operands and return a boolean per-cell correctness vector.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    counts = None
+    for _ in range(trials):
+        correct = np.asarray(run_once(rng), dtype=np.int64)
+        counts = correct if counts is None else counts + correct
+    return CellProfile(
+        mask=(counts / trials) >= threshold, threshold=threshold, trials=trials
+    )
+
+
+def majority_vote(results: Sequence[np.ndarray]) -> np.ndarray:
+    """Per-cell majority over an odd number of repetition results."""
+    stacked = np.asarray([np.asarray(r, dtype=np.uint8) for r in results])
+    if stacked.shape[0] % 2 == 0:
+        raise ValueError("majority voting needs an odd repetition count")
+    return (stacked.sum(axis=0) * 2 > stacked.shape[0]).astype(np.uint8)
+
+
+class RedundantLogicOperation:
+    """A logic operation hardened by R-modular redundancy."""
+
+    def __init__(self, operation: LogicOperation, repeats: int = 3):
+        if repeats < 1 or repeats % 2 == 0:
+            raise ValueError(f"repeats must be odd and >= 1, got {repeats}")
+        self.operation = operation
+        self.repeats = repeats
+
+    def run(self, operands) -> np.ndarray:
+        """Execute the operation ``repeats`` times; majority per cell.
+
+        Each repetition re-prepares the reference rows and re-loads the
+        operands (the operation overwrites both), exactly as a real
+        controller would have to.
+        """
+        results = [self.operation.run(operands).result for _ in range(self.repeats)]
+        return majority_vote(results)
+
+
+class RedundantNotOperation:
+    """A NOT operation hardened by voting across repetitions *and*
+    across the destination rows the activation writes anyway."""
+
+    def __init__(self, operation: NotOperation, repeats: int = 3):
+        if repeats < 1 or repeats % 2 == 0:
+            raise ValueError(f"repeats must be odd and >= 1, got {repeats}")
+        self.operation = operation
+        self.repeats = repeats
+
+    def run(self, src_bits: np.ndarray) -> np.ndarray:
+        votes = []
+        for _ in range(self.repeats):
+            outcome = self.operation.run(src_bits)
+            votes.extend(outcome.outputs.values())
+        if len(votes) % 2 == 0:
+            votes = votes[:-1]
+        if not votes:
+            raise ReproError("the NOT operation produced no destination rows")
+        return majority_vote(votes)

@@ -1,0 +1,106 @@
+"""The FCDRAM command sequences (§4.1, §5.1, §6.1, FracDRAM).
+
+Every in-DRAM operation of the paper is a small, carefully timed command
+program.  These constructors build them against a given timing grade so
+the cycle quantization — which matters for the speed-rate observations —
+is applied exactly once, here.
+"""
+
+from __future__ import annotations
+
+from ..dram.timing import ReducedTiming, TimingParameters
+from ..bender.program import TestProgram
+
+__all__ = [
+    "double_activation_program",
+    "not_program",
+    "logic_program",
+    "rowclone_program",
+    "frac_program",
+    "nominal_activation_program",
+]
+
+
+def double_activation_program(
+    timing: TimingParameters,
+    bank: int,
+    row_first: int,
+    row_last: int,
+    reduced: ReducedTiming,
+    name: str = "double-activation",
+) -> TestProgram:
+    """``ACT R_F → PRE → ACT R_L`` with explicit (possibly violated)
+    spacings, then a full tRAS restore window and a clean precharge."""
+    program = TestProgram(timing, name=name)
+    program.act(bank, row_first, wait_cycles=reduced.first_act_cycles, label="act-first")
+    program.pre(bank, wait_cycles=reduced.pre_to_act_cycles, label="pre-violated")
+    program.act(bank, row_last, wait_ns=timing.t_ras, label="act-last")
+    program.pre(bank, wait_ns=timing.t_rp, label="pre-final")
+    return program
+
+
+def not_program(
+    timing: TimingParameters, bank: int, src_row: int, dst_row: int
+) -> TestProgram:
+    """The NOT sequence (§5.1): full tRAS on the source activation so the
+    sense amplifiers latch the source value, then a violated tRP so the
+    destination rows connect to the inverted terminal."""
+    return double_activation_program(
+        timing,
+        bank,
+        src_row,
+        dst_row,
+        ReducedTiming.for_not_op(timing),
+        name=f"not-{src_row}->{dst_row}",
+    )
+
+
+def logic_program(
+    timing: TimingParameters, bank: int, ref_row: int, com_row: int
+) -> TestProgram:
+    """The AND/OR/NAND/NOR sequence (§6.2): both tRAS and tRP violated so
+    reference and compute cells charge-share before sensing."""
+    return double_activation_program(
+        timing,
+        bank,
+        ref_row,
+        com_row,
+        ReducedTiming.for_logic_op(timing),
+        name=f"logic-{ref_row}->{com_row}",
+    )
+
+
+def rowclone_program(
+    timing: TimingParameters, bank: int, src_row: int, dst_row: int
+) -> TestProgram:
+    """In-subarray RowClone (§2.2): the same shape as the NOT sequence but
+    with both rows in one subarray, so the latched amplifiers copy (not
+    negate) the source into the destination."""
+    return double_activation_program(
+        timing,
+        bank,
+        src_row,
+        dst_row,
+        ReducedTiming.for_not_op(timing),
+        name=f"rowclone-{src_row}->{dst_row}",
+    )
+
+
+def frac_program(timing: TimingParameters, bank: int, row: int) -> TestProgram:
+    """Store VDD/2 into ``row`` (FracDRAM [38]): interrupt the activation
+    before the sense amplifiers resolve, so the precharge equalizer pulls
+    the still-connected cells to VDD/2."""
+    program = TestProgram(timing, name=f"frac-{row}")
+    program.act(bank, row, wait_cycles=max(1, timing.cycles(1.5)), label="act-frac")
+    program.pre(bank, wait_ns=timing.t_rp, label="pre-frac")
+    return program
+
+
+def nominal_activation_program(
+    timing: TimingParameters, bank: int, row: int
+) -> TestProgram:
+    """A fully timing-compliant ACT/PRE pair (control experiments)."""
+    program = TestProgram(timing, name=f"nominal-{row}")
+    program.act(bank, row, wait_ns=timing.t_ras)
+    program.pre(bank, wait_ns=timing.t_rp)
+    return program

@@ -1,0 +1,228 @@
+"""Success-rate measurement — the paper's reliability metric (§5.2/§6.2).
+
+The success rate of a DRAM cell for an operation is the fraction of
+trials in which the cell ends up holding the operation's correct output.
+The paper runs 10,000 trials per cell; the measurement classes here take
+the trial count as a parameter so characterization sweeps can trade
+precision for runtime (a binomial with 500 trials already pins a ~95%
+rate to about plus/minus 2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..errors import UnsupportedOperationError
+from ..dram.decoder import ActivationKind
+from .layout import bank_rows
+from .logic import BASE_OPS, LogicOperation, ideal_output
+from .not_op import NotOperation
+
+__all__ = [
+    "SuccessResult",
+    "NotSuccessMeasurement",
+    "LogicSuccessMeasurement",
+    "LogicPairResult",
+]
+
+
+@dataclass
+class SuccessResult:
+    """Per-cell success counts of one measured operation."""
+
+    success_counts: np.ndarray
+    trials: int
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rates(self) -> np.ndarray:
+        """Per-cell success rates, same shape as ``success_counts``."""
+        if self.trials == 0:
+            raise ValueError("no trials were run")
+        return self.success_counts / float(self.trials)
+
+    @property
+    def mean_rate(self) -> float:
+        """The paper's 'average success rate': the mean over all cells."""
+        return float(np.mean(self.rates))
+
+    def flat_rates(self) -> np.ndarray:
+        """All per-cell rates as a 1-D array (for box statistics)."""
+        return self.rates.reshape(-1)
+
+
+class NotSuccessMeasurement:
+    """Success-rate measurement of the NOT operation (§5.2).
+
+    Methodology per trial: initialize the activated rows of both
+    subarrays with one random pattern (RAND2), write a second random
+    pattern (RAND1) to the source row, issue the NOT sequence, then read
+    every destination row and count cells holding ``NOT(RAND1)`` on the
+    shared columns.
+    """
+
+    def __init__(self, host: DramBenderHost, bank: int, src_row: int, dst_row: int):
+        self.host = host
+        self.bank = bank
+        self.operation = NotOperation(host, bank, src_row, dst_row)
+        pattern = self.operation.expected_pattern()
+        if pattern.kind is ActivationKind.LAST_ONLY:
+            raise UnsupportedOperationError(
+                f"address pair ({src_row}, {dst_row}) never engages the "
+                "multi-row glitch; pick a pair with a usable pattern"
+            )
+        self.pattern = pattern
+        geometry = host.module.config.geometry
+        self.source_rows: List[int] = bank_rows(
+            geometry, pattern.subarray_first, pattern.rows_first
+        )
+        self.destination_rows: List[int] = bank_rows(
+            geometry, pattern.subarray_last, pattern.rows_last
+        )
+
+    @property
+    def n_destination_rows(self) -> int:
+        return len(self.destination_rows)
+
+    def run(self, trials: int, rng: np.random.Generator) -> SuccessResult:
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        host, bank = self.host, self.bank
+        shared = self.operation.shared_columns
+        counts = np.zeros((len(self.destination_rows), shared.size), dtype=np.int64)
+
+        for _ in range(trials):
+            rand2 = host.random_bits(rng)
+            for row in self.source_rows + self.destination_rows:
+                host.fill_row(bank, row, rand2)
+            rand1 = host.random_bits(rng)
+            host.fill_row(bank, self.operation.src_row, rand1)
+            expected = 1 - rand1[shared]
+
+            self.operation.execute()
+
+            for i, row in enumerate(self.destination_rows):
+                bits = host.peek_row(bank, row)
+                counts[i] += bits[shared] == expected
+
+        return SuccessResult(
+            success_counts=counts,
+            trials=trials,
+            metadata={
+                "operation": "not",
+                "pattern": self.pattern.label(),
+                "kind": self.pattern.kind.value,
+                "n_destination_rows": self.n_destination_rows,
+            },
+        )
+
+
+@dataclass
+class LogicPairResult:
+    """A logic measurement yields both terminals at once: AND together
+    with NAND, or OR together with NOR (§6.1.3)."""
+
+    primary: SuccessResult
+    complement: SuccessResult
+
+
+class LogicSuccessMeasurement:
+    """Success-rate measurement of N-input AND/NAND or OR/NOR (§6.2)."""
+
+    #: Supported operand-generation modes (§6.2 "Data Pattern").
+    MODES = ("random", "all01", "ones_count")
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int,
+        ref_row: int,
+        com_row: int,
+        base_op: str = "and",
+    ):
+        if base_op not in ("and", "or"):
+            raise ValueError(f"base_op must be 'and' or 'or', got {base_op!r}")
+        self.host = host
+        self.bank = bank
+        self.base_op = base_op
+        self.operation = LogicOperation(host, bank, ref_row, com_row, op=base_op)
+
+    @property
+    def n_inputs(self) -> int:
+        return self.operation.n_inputs
+
+    def _draw_operands(
+        self,
+        rng: np.random.Generator,
+        mode: str,
+        ones_count: Optional[int],
+    ) -> List[np.ndarray]:
+        width = self.host.module.row_bits
+        n = self.n_inputs
+        if mode == "random":
+            return [rng.integers(0, 2, width, dtype=np.uint8) for _ in range(n)]
+        if mode == "all01":
+            choices = rng.integers(0, 2, n)
+            return [np.full(width, bit, dtype=np.uint8) for bit in choices]
+        if mode == "ones_count":
+            if ones_count is None or not 0 <= ones_count <= n:
+                raise ValueError(
+                    f"ones_count must be in [0, {n}] for mode 'ones_count'"
+                )
+            ones = np.zeros(n, dtype=np.uint8)
+            ones[rng.choice(n, size=ones_count, replace=False)] = 1
+            return [np.full(width, bit, dtype=np.uint8) for bit in ones]
+        raise ValueError(f"unknown mode {mode!r}; expected one of {self.MODES}")
+
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        mode: str = "random",
+        ones_count: Optional[int] = None,
+    ) -> LogicPairResult:
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        host, bank = self.host, self.bank
+        operation = self.operation
+        shared = operation.shared_columns
+        com_counts = np.zeros((len(operation.compute_rows), shared.size), np.int64)
+        ref_counts = np.zeros((len(operation.reference_rows), shared.size), np.int64)
+
+        for _ in range(trials):
+            operands = self._draw_operands(rng, mode, ones_count)
+            operation.prepare_reference()
+            operation.set_operands(operands)
+            operation.execute()
+
+            expected = ideal_output(
+                self.base_op, [bits[shared] for bits in operands]
+            )
+            for i, row in enumerate(operation.compute_rows):
+                bits = host.peek_row(bank, row)
+                com_counts[i] += bits[shared] == expected
+            complement = 1 - expected
+            for i, row in enumerate(operation.reference_rows):
+                bits = host.peek_row(bank, row)
+                ref_counts[i] += bits[shared] == complement
+
+        base_meta = {
+            "n_inputs": self.n_inputs,
+            "mode": mode,
+            "ones_count": ones_count,
+            "pattern": operation.pattern.label(),
+        }
+        primary_name = self.base_op
+        complement_name = "nand" if self.base_op == "and" else "nor"
+        return LogicPairResult(
+            primary=SuccessResult(
+                com_counts, trials, {**base_meta, "operation": primary_name}
+            ),
+            complement=SuccessResult(
+                ref_counts, trials, {**base_meta, "operation": complement_name}
+            ),
+        )

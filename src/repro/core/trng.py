@@ -1,0 +1,173 @@
+"""True random number generation from multi-row activation (§8.1).
+
+The paper notes that its key observation — simultaneous multi-row
+activation — "could also be leveraged to generate true random numbers",
+the QUAC-TRNG idea [37]: activate cells holding *conflicting* values so
+the bitlines equalize exactly at VDD/2, and the sense amplifier's
+resolution is decided by thermal noise.  Each activation then yields one
+metastable — i.e., random — bit per column.
+
+The generator below does exactly that with the library's in-subarray
+4-row activation: two rows of each polarity (a balanced "conflict
+pattern"), one reduced-timing double activation per batch of
+``row_bits`` raw bits.  Raw bits are biased by per-column sense-
+amplifier offsets, so a von Neumann corrector is applied by default —
+the same post-processing QUAC-TRNG uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..errors import UnsupportedOperationError
+from .layout import bank_rows
+from .sequences import logic_program
+
+__all__ = ["DramTrng", "TrngQuality", "von_neumann_extract", "assess_quality"]
+
+
+def von_neumann_extract(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Von Neumann debiasing over *paired draws of the same source*.
+
+    The corrector's guarantee needs both bits of a pair to come from the
+    same (possibly biased, independent-draw) source — here, the same
+    DRAM column across two consecutive activations.  01 -> 0, 10 -> 1,
+    00/11 discarded; at least three quarters of the raw throughput is
+    spent.
+    """
+    first = np.asarray(first, dtype=np.uint8).reshape(-1)
+    second = np.asarray(second, dtype=np.uint8).reshape(-1)
+    if first.shape != second.shape:
+        raise ValueError("paired draws must have equal shapes")
+    keep = first != second
+    return second[keep]
+
+
+@dataclass(frozen=True)
+class TrngQuality:
+    """Simple statistical health figures for a bit stream."""
+
+    bit_count: int
+    ones_fraction: float
+    #: Longest run of identical bits.
+    longest_run: int
+    #: Lag-1 serial correlation coefficient.
+    serial_correlation: float
+
+    @property
+    def looks_random(self) -> bool:
+        """Loose sanity band (not a NIST certification)."""
+        if self.bit_count < 128:
+            return False
+        sigma = 0.5 / (self.bit_count ** 0.5)
+        expected_run = np.log2(self.bit_count) + 4
+        return (
+            abs(self.ones_fraction - 0.5) < 6 * sigma
+            and self.longest_run <= 3 * expected_run
+            and abs(self.serial_correlation) < 0.1
+        )
+
+
+def assess_quality(bits: np.ndarray) -> TrngQuality:
+    """Compute :class:`TrngQuality` for a bit stream."""
+    bits = np.asarray(bits, dtype=np.int8).reshape(-1)
+    if bits.size == 0:
+        return TrngQuality(0, 0.0, 0, 0.0)
+    ones = float(bits.mean())
+    changes = np.flatnonzero(np.diff(bits))
+    if changes.size == 0:
+        longest = int(bits.size)
+    else:
+        run_edges = np.concatenate([[-1], changes, [bits.size - 1]])
+        longest = int(np.max(np.diff(run_edges)))
+    if bits.size > 1 and bits.std() > 0:
+        serial = float(np.corrcoef(bits[:-1], bits[1:])[0, 1])
+    else:
+        serial = 1.0
+    return TrngQuality(
+        bit_count=int(bits.size),
+        ones_fraction=ones,
+        longest_run=longest,
+        serial_correlation=serial,
+    )
+
+
+class DramTrng:
+    """True random number generator on one subarray's 4-row activation."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int = 0,
+        subarray: int = 0,
+        block_local_row: int = 0,
+        debias: bool = True,
+    ):
+        geometry = host.module.config.geometry
+        if block_local_row % 4:
+            raise ValueError("block_local_row must be 4-aligned")
+        row_a = geometry.bank_row(subarray, block_local_row)
+        row_b = geometry.bank_row(subarray, block_local_row + 3)
+        pattern = host.module.decoder.same_subarray_pattern(bank, row_a, row_b)
+        if len(pattern.rows_first) != 4:
+            raise UnsupportedOperationError(
+                "the chip does not produce a 4-row in-subarray activation "
+                "at this address block"
+            )
+        self.host = host
+        self.bank = bank
+        self.debias = debias
+        self.rows = bank_rows(geometry, subarray, pattern.rows_first)
+        self._row_a, self._row_b = row_a, row_b
+        self.raw_bits_generated = 0
+
+    def _conflict_batch(self) -> np.ndarray:
+        """One activation: initialize 2+2 conflicting rows, resolve."""
+        host = self.host
+        width = host.module.row_bits
+        ones = np.ones(width, dtype=np.uint8)
+        zeros = np.zeros(width, dtype=np.uint8)
+        for row, bits in zip(self.rows, (ones, zeros, ones, zeros)):
+            host.fill_row(self.bank, row, bits)
+        host.run(
+            logic_program(host.timing, self.bank, self._row_a, self._row_b)
+        )
+        bits = host.peek_row(self.bank, self.rows[0])
+        self.raw_bits_generated += bits.size
+        return bits
+
+    def raw_bits(self, count: int) -> np.ndarray:
+        """``count`` raw (possibly biased) bits."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        batches = []
+        produced = 0
+        while produced < count:
+            batch = self._conflict_batch()
+            batches.append(batch)
+            produced += batch.size
+        return np.concatenate(batches)[:count]
+
+    def random_bits(self, count: int) -> np.ndarray:
+        """``count`` (optionally debiased) random bits."""
+        if not self.debias:
+            return self.raw_bits(count)
+        collected = []
+        produced = 0
+        while produced < count:
+            extracted = von_neumann_extract(
+                self._conflict_batch(), self._conflict_batch()
+            )
+            if extracted.size:
+                collected.append(extracted)
+                produced += extracted.size
+        return np.concatenate(collected)[:count]
+
+    def random_bytes(self, count: int) -> bytes:
+        """``count`` random bytes."""
+        bits = self.random_bits(count * 8).reshape(count, 8)
+        return bytes(np.packbits(bits, axis=1).reshape(-1).tolist())

@@ -1,0 +1,219 @@
+"""Analog circuit behavior: charge sharing and sense amplification.
+
+These are pure functions over numpy arrays — the stateful orchestration
+lives in :mod:`repro.dram.bank`.  The math follows the paper's §6.1 model
+(Fig. 13/14) generalized to a finite bitline capacitance:
+
+    V_bitline = (C_b * V_pre + C_c * sum_i d_i * v_i) / (C_b + C_c * sum_i d_i)
+
+where ``v_i`` are the voltages of the simultaneously activated cells on
+the bitline and ``d_i`` a per-cell charge-transfer efficiency.  The
+paper's simplified "mean of the cell voltages" model (footnote 10) is the
+``C_b -> 0`` limit and is exposed as :func:`ideal_charge_share` for tests
+and documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..units import VDD, VDD_HALF
+
+__all__ = [
+    "charge_share",
+    "ideal_charge_share",
+    "and_reference_voltage",
+    "or_reference_voltage",
+    "sense_differential",
+    "coupling_disturbance",
+]
+
+
+def charge_share(
+    cell_voltages: np.ndarray,
+    cell_cap_ff: float,
+    bitline_cap_ff: float,
+    precharge: float = VDD_HALF,
+    efficiencies: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Equilibrium bitline voltage after charge sharing.
+
+    Parameters
+    ----------
+    cell_voltages:
+        Array of shape ``(n_cells, columns)`` — the stored voltage of each
+        activated cell on each bitline.  ``n_cells`` may be zero, in which
+        case the bitline stays at ``precharge``.
+    cell_cap_ff, bitline_cap_ff:
+        Capacitances in femtofarads.
+    precharge:
+        Initial bitline voltage (VDD/2 in the standard precharge scheme).
+    efficiencies:
+        Optional per-cell charge-transfer efficiency of shape
+        ``(n_cells,)`` or ``(n_cells, columns)``; models design-induced
+        variation in how completely a far cell's charge reaches the sense
+        amplifier.  Defaults to 1 for every cell.
+
+    Returns
+    -------
+    Array of shape ``(columns,)`` with the shared bitline voltage.
+    """
+    cell_voltages = np.asarray(cell_voltages, dtype=np.float64)
+    if cell_voltages.ndim != 2:
+        raise ValueError(
+            f"cell_voltages must be 2-D (n_cells, columns), got shape "
+            f"{cell_voltages.shape}"
+        )
+    if cell_cap_ff <= 0 or bitline_cap_ff <= 0:
+        raise ValueError("capacitances must be positive")
+
+    n_cells, columns = cell_voltages.shape
+    if n_cells == 0:
+        return np.full(columns, precharge, dtype=np.float64)
+
+    if efficiencies is None:
+        eff = np.ones((n_cells, 1), dtype=np.float64)
+    else:
+        eff = np.asarray(efficiencies, dtype=np.float64)
+        if eff.ndim == 1:
+            eff = eff[:, np.newaxis]
+        if eff.shape[0] != n_cells:
+            raise ValueError(
+                f"efficiencies first dimension {eff.shape[0]} does not match "
+                f"n_cells {n_cells}"
+            )
+
+    charge = bitline_cap_ff * precharge + cell_cap_ff * np.sum(
+        eff * cell_voltages, axis=0
+    )
+    capacitance = bitline_cap_ff + cell_cap_ff * np.sum(
+        eff * np.ones_like(cell_voltages), axis=0
+    )
+    return charge / capacitance
+
+
+def ideal_charge_share(cell_voltages: Sequence[float]) -> float:
+    """The paper's zero-bitline-capacitance model: the mean cell voltage.
+
+    Matches footnote 10: "after charge sharing, the bitline's voltage is
+    the mean voltage value stored in DRAM cells that contribute".
+    """
+    voltages = list(cell_voltages)
+    if not voltages:
+        return VDD_HALF
+    return float(sum(voltages)) / len(voltages)
+
+
+def and_reference_voltage(n_inputs: int) -> float:
+    """Ideal reference voltage V_AND for an N-input AND (§6.1.2).
+
+    N-1 reference cells store VDD and one stores VDD/2, so the ideal
+    shared voltage is ``(N - 0.5) * VDD / N`` — between the highest
+    logic-0 compute voltage ``(N-1) * VDD / N`` and VDD.
+    """
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    return (n_inputs - 0.5) * VDD / n_inputs
+
+
+def or_reference_voltage(n_inputs: int) -> float:
+    """Ideal reference voltage V_OR for an N-input OR (§6.1.2).
+
+    N-1 reference cells store GND and one stores VDD/2: ``0.5 * VDD / N``.
+    """
+    if n_inputs < 1:
+        raise ValueError(f"n_inputs must be >= 1, got {n_inputs}")
+    return 0.5 * VDD / n_inputs
+
+
+def coupling_disturbance(differentials: np.ndarray) -> np.ndarray:
+    """Per-column parasitic-coupling disturbance [VDD].
+
+    Adjacent bitlines disturb each other in proportion to how
+    *differently* they swing (Observation 16's hypothesis; [Al-Ars+
+    2004], [Nakagome+ 1988]): the disturbance of a column is the mean
+    absolute difference between its differential and its physical
+    neighbors'; edge columns have one neighbor.  All-0s/all-1s data
+    patterns develop identical voltages on every bitline (disturbance
+    0); random operands spread the charge-shared voltages and couple at
+    any fan-in — which is why the paper's data-pattern penalty holds
+    "across every tested number of input operands".
+    """
+    d = np.asarray(differentials, dtype=np.float64)
+    if d.ndim != 1:
+        raise ValueError(f"differentials must be 1-D, got shape {d.shape}")
+    if d.size < 2:
+        return np.zeros_like(d)
+    delta = np.abs(np.diff(d))
+    disturbance = np.empty_like(d)
+    disturbance[0] = delta[0]
+    disturbance[-1] = delta[-1]
+    if d.size > 2:
+        disturbance[1:-1] = 0.5 * (delta[:-1] + delta[1:])
+    return disturbance
+
+
+def sense_differential(
+    v_positive: np.ndarray,
+    v_negative: np.ndarray,
+    offsets: np.ndarray,
+    noise_sigma: float,
+    rng: np.random.Generator,
+    common_mode_gain: float = 0.0,
+    common_mode_threshold: float = 0.0,
+    sigma_cap_factor: float = 0.0,
+    common_mode_offset_gain: float = 0.0,
+    low_common_mode_offset_gain: float = 0.0,
+    coupling_sigma: float = 0.0,
+    margin_shift: float = 0.0,
+) -> np.ndarray:
+    """Resolve a sense amplifier comparison per column.
+
+    Returns a boolean array: ``True`` where the positive terminal wins
+    (it will be driven to VDD, the negative terminal to GND).
+
+    The effective comparison is ``v_positive - v_negative + margin_shift
+    + offsets + noise > 0`` with the per-trial noise standard deviation
+    inflated once the common-mode voltage exceeds
+    ``common_mode_threshold`` — the cross-coupled pull-up pair loses gate
+    overdrive when both terminals sit near VDD, so high-voltage
+    comparisons (the AND-family worst cases) are less reliable than
+    low-voltage ones (Observations 12/14) — and by parasitic coupling
+    from adjacent-bitline disagreement (Observation 16).
+    """
+    v_positive = np.asarray(v_positive, dtype=np.float64)
+    v_negative = np.asarray(v_negative, dtype=np.float64)
+    if v_positive.shape != v_negative.shape:
+        raise ValueError("terminal voltage arrays must have matching shapes")
+    if noise_sigma < 0 or coupling_sigma < 0:
+        raise ValueError("noise magnitudes must be non-negative")
+
+    common_mode = np.clip(0.5 * (v_positive + v_negative), 0.0, VDD)
+    overdrive_loss = np.maximum(0.0, common_mode - common_mode_threshold)
+    sigma = noise_sigma * (1.0 + common_mode_gain * overdrive_loss)
+    if sigma_cap_factor > 0.0:
+        # The overdrive loss saturates: beyond a few nominal sigmas the
+        # amplifier still resolves large differentials correctly.
+        sigma = np.minimum(sigma, sigma_cap_factor * noise_sigma)
+    if coupling_sigma > 0.0:
+        disturbance = coupling_disturbance(v_positive - v_negative)
+        sigma = np.sqrt(sigma**2 + (coupling_sigma * disturbance) ** 2)
+
+    # The pull-down pair keeps full overdrive while the pull-ups lose
+    # theirs, so a high common mode also *biases* the resolution: the
+    # stronger NMOS on the (momentarily) lower terminal yanks it down
+    # first, favoring a logic-1 on the positive terminal.  This is what
+    # makes the near-VDD worst cases (15 of 16 inputs at logic-1,
+    # Observation 14) resolve wrongly more than half the time.
+    # Symmetrically, a very low common mode starves the pull-downs and
+    # the pull-ups favor a logic-0 on the positive terminal — the OR
+    # worst cases (one of 16 inputs at logic-1, Observation 14).
+    underdrive_loss = np.maximum(0.0, common_mode_threshold - common_mode)
+    bias = (
+        common_mode_offset_gain * overdrive_loss
+        - low_common_mode_offset_gain * underdrive_loss
+    )
+    noise = rng.standard_normal(v_positive.shape) * sigma
+    return (v_positive - v_negative + margin_shift + offsets + bias + noise) > 0.0

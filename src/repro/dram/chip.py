@@ -1,0 +1,100 @@
+"""A DRAM chip: a collection of banks sharing one die's characteristics.
+
+Banks are instantiated lazily — characterization sweeps touch a handful
+of banks per chip, and the fleet holds hundreds of chips, so allocating
+all 16 banks' cell arrays eagerly would waste most of the memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from ..errors import AddressError
+from ..rng import SeedTree
+from .bank import Bank
+from .calibration import DieCalibration, calibration_for
+from .config import ChipConfig
+from .decoder import make_decoder
+from .timing import TimingParameters, timing_for_speed
+
+__all__ = ["Chip"]
+
+
+class Chip:
+    """One simulated DRAM chip."""
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        seed_tree: SeedTree,
+        decoder_model: str = "calibrated",
+        scramble_rows: bool = True,
+        decoder=None,
+        calibration: Optional[DieCalibration] = None,
+    ):
+        self.config = config
+        self.calibration: DieCalibration = (
+            calibration if calibration is not None else calibration_for(config)
+        )
+        self.timing: TimingParameters = timing_for_speed(config.speed_rate_mts)
+        self._seed_tree = seed_tree
+        # All chips of one module share a decoder: the activation-pattern
+        # glitch is a property of the (common) circuit design plus the
+        # module's address wiring, and lock-step chips must glitch alike.
+        self._decoder = (
+            decoder
+            if decoder is not None
+            else make_decoder(config, seed_tree.child("decoder"), decoder_model)
+        )
+        self._scramble_rows = scramble_rows
+        self._banks: Dict[int, Bank] = {}
+        self._temperature_c = 50.0
+
+    @property
+    def temperature_c(self) -> float:
+        """Die temperature; set by the testing infrastructure's heater."""
+        return self._temperature_c
+
+    @temperature_c.setter
+    def temperature_c(self, value: float) -> None:
+        self._temperature_c = float(value)
+        for bank in self._banks.values():
+            bank.temperature_c = self._temperature_c
+
+    def bank(self, index: int) -> Bank:
+        """The bank at ``index``, instantiating it on first access."""
+        if not 0 <= index < self.config.geometry.banks:
+            raise AddressError(
+                f"bank {index} out of range for chip with "
+                f"{self.config.geometry.banks} banks"
+            )
+        bank = self._banks.get(index)
+        if bank is None:
+            bank = Bank(
+                index,
+                self.config,
+                self.calibration,
+                self.timing,
+                self._decoder,
+                self._seed_tree.child(f"bank-{index}"),
+                scramble_rows=self._scramble_rows,
+            )
+            bank.temperature_c = self._temperature_c
+            self._banks[index] = bank
+        return bank
+
+    def instantiated_banks(self) -> Iterator[Bank]:
+        """Banks touched so far (for bookkeeping and tests)."""
+        return iter(self._banks.values())
+
+    @property
+    def decoder(self):
+        """The activation-pattern model (shared across a module's chips)."""
+        return self._decoder
+
+    def release_banks(self) -> None:
+        """Drop all bank state (frees the cell arrays)."""
+        self._banks.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Chip({self.config.die_label}, {self.config.speed_rate_mts}MT/s)"

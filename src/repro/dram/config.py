@@ -1,0 +1,211 @@
+"""Static configuration of DRAM chips and modules.
+
+The classes here describe *what a chip is* (manufacturer, density, die
+revision, organization, speed rate, geometry) as opposed to *what state it
+holds* (:mod:`repro.dram.chip`).  Table 1 of the paper is expressed as a
+list of :class:`ModuleSpec` instances in
+:mod:`repro.characterization.fleet`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "Manufacturer",
+    "ActivationSupport",
+    "ChipGeometry",
+    "ChipConfig",
+    "ModuleSpec",
+]
+
+
+class Manufacturer(enum.Enum):
+    """The three major DRAM manufacturers tested by the paper."""
+
+    SK_HYNIX = "SK Hynix"
+    SAMSUNG = "Samsung"
+    MICRON = "Micron"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ActivationSupport(enum.Enum):
+    """What a chip does with a timing-violating ``ACT→PRE→ACT`` sequence.
+
+    Mirrors §7 Limitation 1 of the paper:
+
+    * ``SIMULTANEOUS`` — multiple rows in two neighboring subarrays stay
+      activated together (SK Hynix): the full operation set works.
+    * ``SEQUENTIAL_ONLY`` — the rows activate one after another but never
+      overlap in the analog sense; only the NOT operation (one destination
+      row) works (Samsung).
+    * ``NONE`` — the chip ignores commands that greatly violate timing
+      parameters; no in-DRAM operation works (Micron).
+    """
+
+    SIMULTANEOUS = "simultaneous"
+    SEQUENTIAL_ONLY = "sequential-only"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class ChipGeometry:
+    """Array geometry of a single DRAM chip.
+
+    The defaults describe a *simulation-scale* chip: the physical layout
+    (banks, subarrays, 16-row local-wordline blocks) matches a real DDR4
+    die, but the number of columns actually simulated per chip is reduced
+    so that characterization sweeps stay laptop-fast.  ``columns`` is the
+    number of cells *per chip* in a row segment, i.e. the unit on which
+    success rates are measured.
+    """
+
+    banks: int = 16
+    subarrays_per_bank: int = 8
+    rows_per_subarray: int = 640
+    columns: int = 128
+    #: Rows driven by one local wordline block (master wordline granularity).
+    lwl_block_rows: int = 16
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0:
+            raise ConfigurationError(f"banks must be positive, got {self.banks}")
+        if self.subarrays_per_bank < 2:
+            raise ConfigurationError(
+                "need at least two subarrays per bank for neighboring-subarray "
+                f"operations, got {self.subarrays_per_bank}"
+            )
+        if self.columns <= 0 or self.columns % 2:
+            raise ConfigurationError(
+                f"columns must be positive and even (open bitline halves), got {self.columns}"
+            )
+        if self.lwl_block_rows <= 0 or self.lwl_block_rows & (self.lwl_block_rows - 1):
+            raise ConfigurationError(
+                f"lwl_block_rows must be a power of two, got {self.lwl_block_rows}"
+            )
+        if self.rows_per_subarray % self.lwl_block_rows:
+            raise ConfigurationError(
+                f"rows_per_subarray ({self.rows_per_subarray}) must be a multiple "
+                f"of lwl_block_rows ({self.lwl_block_rows})"
+            )
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def blocks_per_subarray(self) -> int:
+        return self.rows_per_subarray // self.lwl_block_rows
+
+    def subarray_of_row(self, row: int) -> int:
+        """Index of the subarray containing bank-level row address ``row``."""
+        self.check_row(row)
+        return row // self.rows_per_subarray
+
+    def local_row(self, row: int) -> int:
+        """Row index within its subarray for bank-level address ``row``."""
+        self.check_row(row)
+        return row % self.rows_per_subarray
+
+    def bank_row(self, subarray: int, local_row: int) -> int:
+        """Bank-level row address of ``local_row`` within ``subarray``."""
+        if not 0 <= subarray < self.subarrays_per_bank:
+            raise ConfigurationError(f"subarray {subarray} out of range")
+        if not 0 <= local_row < self.rows_per_subarray:
+            raise ConfigurationError(f"local row {local_row} out of range")
+        return subarray * self.rows_per_subarray + local_row
+
+    def check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            from ..errors import AddressError
+
+            raise AddressError(
+                f"row {row} out of range for bank with {self.rows_per_bank} rows"
+            )
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """Full static description of one DRAM chip."""
+
+    manufacturer: Manufacturer
+    density_gb: int = 4
+    die_revision: str = "M"
+    io_width: int = 8
+    speed_rate_mts: int = 2666
+    geometry: ChipGeometry = field(default_factory=ChipGeometry)
+    activation_support: ActivationSupport = ActivationSupport.SIMULTANEOUS
+    #: Whether the row decoder exhibits the N:2N glitch (some modules
+    #: only ever show N:N activation, §4.3 Observation 2).
+    supports_n_to_2n: bool = True
+    #: Largest N in N:N activation the decoder can produce (footnote 12:
+    #: one tested 8Gb M-die module tops out at 8:8).
+    max_simultaneous_n: int = 16
+
+    def __post_init__(self) -> None:
+        if self.density_gb not in (4, 8, 16):
+            raise ConfigurationError(f"unsupported chip density {self.density_gb}Gb")
+        if self.io_width not in (4, 8, 16):
+            raise ConfigurationError(f"unsupported IO width x{self.io_width}")
+        if self.speed_rate_mts not in (2133, 2400, 2666, 3200):
+            raise ConfigurationError(
+                f"unsupported DDR4 speed rate {self.speed_rate_mts} MT/s"
+            )
+        if self.max_simultaneous_n not in (1, 2, 4, 8, 16):
+            raise ConfigurationError(
+                f"max_simultaneous_n must be a power of two <= 16, got "
+                f"{self.max_simultaneous_n}"
+            )
+
+    @property
+    def die_label(self) -> str:
+        """Human-readable die identifier, e.g. ``'SK Hynix 4Gb M-die'``."""
+        return f"{self.manufacturer} {self.density_gb}Gb {self.die_revision}-die"
+
+    def with_geometry(self, geometry: ChipGeometry) -> "ChipConfig":
+        """A copy of this config with a different array geometry."""
+        return replace(self, geometry=geometry)
+
+
+@dataclass(frozen=True)
+class ModuleSpec:
+    """One row of the paper's Table 1: a DRAM module type under test."""
+
+    name: str
+    chip: ChipConfig
+    chips_per_module: int = 8
+    module_count: int = 1
+    manufacture_date: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.chips_per_module <= 0:
+            raise ConfigurationError(
+                f"chips_per_module must be positive, got {self.chips_per_module}"
+            )
+        if self.module_count <= 0:
+            raise ConfigurationError(
+                f"module_count must be positive, got {self.module_count}"
+            )
+
+    @property
+    def total_chips(self) -> int:
+        return self.chips_per_module * self.module_count
+
+    def table_row(self) -> Tuple[str, str, str, str, str, str, str]:
+        """The Table-1 row for this spec (formatted strings)."""
+        chip = self.chip
+        return (
+            str(chip.manufacturer),
+            f"{self.module_count} ({self.total_chips})",
+            chip.die_revision,
+            self.manufacture_date or "N/A",
+            f"{chip.density_gb}Gb",
+            f"x{chip.io_width}",
+            f"{chip.speed_rate_mts}MT/s",
+        )

@@ -1,0 +1,359 @@
+"""Row-decoder models: how ``ACT → PRE → ACT`` activates multiple rows.
+
+The paper demonstrates (§4) that a timing-violating ``ACT R_F → PRE →
+ACT R_L`` sequence simultaneously activates *sets* of rows in two
+neighboring subarrays, in two families of patterns — N:N and N:2N with
+N up to 16 — and that *which* pattern appears is a deterministic function
+of the two row addresses (Observation 2).  The true decoder circuit is
+proprietary; the paper defers to a hypothetical design (PULSAR [105]).
+
+We provide two interchangeable models:
+
+* :class:`HierarchicalRowDecoder` — a mechanistic model of the
+  hypothesized circuit: the violated precharge leaves per-bit local-
+  wordline predecode latches asserted, so the second activation drives
+  the *Cartesian union* of the two addresses' predecode values, giving
+  ``2^h`` rows per subarray where ``h`` is the Hamming distance of the
+  local-wordline fields.  Useful for studying the hypothesis itself.
+
+* :class:`CalibratedDecoder` — the default for characterization: assigns
+  each (bank, R_F, R_L) pair a deterministic activation category with the
+  *empirical coverage distribution* measured by the paper (Fig. 5), then
+  builds aligned row blocks around the addressed rows.  This reproduces
+  the measured pattern statistics without claiming knowledge of the real
+  circuit (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import AddressError
+from ..rng import SeedTree
+from .config import ActivationSupport, ChipConfig
+
+__all__ = [
+    "ActivationKind",
+    "ActivationPattern",
+    "FIG5_COVERAGE",
+    "CalibratedDecoder",
+    "HierarchicalRowDecoder",
+    "make_decoder",
+]
+
+
+class ActivationKind(enum.Enum):
+    """Outcome family of a timing-violating double activation."""
+
+    #: N rows in each subarray stay activated together (N_RF = N_RL).
+    N_TO_N = "nn"
+    #: N rows in the first, 2N in the last subarray (N_RL = 2 * N_RF).
+    N_TO_2N = "n2n"
+    #: The glitch did not engage: only the last-addressed row activates.
+    LAST_ONLY = "last_only"
+    #: Rows activate one after the other, never simultaneously (Samsung).
+    SEQUENTIAL = "sequential"
+
+
+@dataclass(frozen=True)
+class ActivationPattern:
+    """The rows a double-activation sequence leaves activated.
+
+    ``rows_first``/``rows_last`` are *local* row indices within the first
+    and last addressed subarray, respectively.
+    """
+
+    kind: ActivationKind
+    subarray_first: int
+    subarray_last: int
+    rows_first: Tuple[int, ...]
+    rows_last: Tuple[int, ...]
+
+    @property
+    def n_first(self) -> int:
+        return len(self.rows_first)
+
+    @property
+    def n_last(self) -> int:
+        return len(self.rows_last)
+
+    @property
+    def total_rows(self) -> int:
+        return self.n_first + self.n_last
+
+    def label(self) -> str:
+        """The paper's ``N_RF:N_RL`` notation, e.g. ``'8:16'``."""
+        return f"{self.n_first}:{self.n_last}"
+
+
+#: Average coverage of each N_RF:N_RL activation type across all tested
+#: chips (paper §4.3, Fig. 5 / Observation 1).  The remaining mass
+#: (~17.85%) corresponds to pairs where the glitch does not engage.
+FIG5_COVERAGE: Dict[Tuple[int, ActivationKind], float] = {
+    (1, ActivationKind.N_TO_N): 0.0023,
+    (1, ActivationKind.N_TO_2N): 0.0015,
+    (2, ActivationKind.N_TO_N): 0.0260,
+    (2, ActivationKind.N_TO_2N): 0.0153,
+    (4, ActivationKind.N_TO_N): 0.1158,
+    (4, ActivationKind.N_TO_2N): 0.0542,
+    (8, ActivationKind.N_TO_N): 0.2452,
+    (8, ActivationKind.N_TO_2N): 0.0795,
+    (16, ActivationKind.N_TO_N): 0.2435,
+    (16, ActivationKind.N_TO_2N): 0.0382,
+}
+
+
+def _aligned_block(local_row: int, size: int, rows_per_subarray: int) -> Tuple[int, ...]:
+    """The ``size``-aligned block of local rows containing ``local_row``."""
+    if size < 1:
+        raise ValueError(f"block size must be >= 1, got {size}")
+    start = (local_row // size) * size
+    end = min(start + size, rows_per_subarray)
+    return tuple(range(start, end))
+
+
+class CalibratedDecoder:
+    """Empirically calibrated activation-pattern model (default).
+
+    Every (bank, R_F, R_L) pair deterministically maps to a category drawn
+    from the Fig. 5 coverage distribution via a seeded hash, then the
+    activated rows are the size-N aligned blocks around each addressed
+    row (2N-aligned on the last side for N:2N patterns).  Chip capability
+    limits apply: dies without N:2N support fold that mass into N:N, and
+    dies with a smaller ``max_simultaneous_n`` clip N (footnote 12).
+    """
+
+    def __init__(self, config: ChipConfig, seed_tree: SeedTree):
+        self._config = config
+        self._seed_tree = seed_tree.child("calibrated-decoder")
+        self._categories = self._build_categories(config)
+
+    @staticmethod
+    def _build_categories(
+        config: ChipConfig,
+    ) -> Tuple[Tuple[float, int, ActivationKind], ...]:
+        """Cumulative (threshold, N, kind) table honoring chip limits."""
+        mass: Dict[Tuple[int, ActivationKind], float] = {}
+        for (n, kind), probability in FIG5_COVERAGE.items():
+            effective_n = min(n, config.max_simultaneous_n)
+            effective_kind = kind
+            if kind is ActivationKind.N_TO_2N and not config.supports_n_to_2n:
+                effective_kind = ActivationKind.N_TO_N
+            key = (effective_n, effective_kind)
+            mass[key] = mass.get(key, 0.0) + probability
+
+        table = []
+        cumulative = 0.0
+        for (n, kind), probability in sorted(
+            mass.items(), key=lambda item: (item[0][0], item[0][1].value)
+        ):
+            cumulative += probability
+            table.append((cumulative, n, kind))
+        return tuple(table)
+
+    def neighboring_pattern(
+        self, bank: int, row_first: int, row_last: int
+    ) -> ActivationPattern:
+        """Pattern for a double activation across neighboring subarrays."""
+        geometry = self._config.geometry
+        sub_first = geometry.subarray_of_row(row_first)
+        sub_last = geometry.subarray_of_row(row_last)
+        if abs(sub_first - sub_last) != 1:
+            raise AddressError(
+                f"rows {row_first} and {row_last} are not in neighboring "
+                f"subarrays ({sub_first} vs {sub_last})"
+            )
+        local_first = geometry.local_row(row_first)
+        local_last = geometry.local_row(row_last)
+
+        if self._config.activation_support is ActivationSupport.SEQUENTIAL_ONLY:
+            return ActivationPattern(
+                ActivationKind.SEQUENTIAL,
+                sub_first,
+                sub_last,
+                (local_first,),
+                (local_last,),
+            )
+
+        draw = self._seed_tree.uniform_hash(
+            f"bank={bank}", f"rf={row_first}", f"rl={row_last}"
+        )
+        n, kind = self._category_for(draw)
+        if kind is ActivationKind.LAST_ONLY:
+            return ActivationPattern(
+                ActivationKind.LAST_ONLY, sub_first, sub_last, (), (local_last,)
+            )
+
+        rows_per_subarray = geometry.rows_per_subarray
+        rows_first = _aligned_block(local_first, n, rows_per_subarray)
+        if kind is ActivationKind.N_TO_2N:
+            rows_last = _aligned_block(local_last, 2 * n, rows_per_subarray)
+        else:
+            rows_last = _aligned_block(local_last, n, rows_per_subarray)
+        return ActivationPattern(kind, sub_first, sub_last, rows_first, rows_last)
+
+    def _category_for(self, draw: float) -> Tuple[int, ActivationKind]:
+        for threshold, n, kind in self._categories:
+            if draw < threshold:
+                return n, kind
+        return 1, ActivationKind.LAST_ONLY
+
+    def same_subarray_pattern(
+        self, bank: int, row_first: int, row_last: int
+    ) -> ActivationPattern:
+        """Pattern for a double activation within one subarray.
+
+        Used by RowClone, Frac, and the in-subarray MAJ baselines.  The
+        model activates both addressed rows, plus the sibling rows needed
+        to align to a power-of-two block when the addresses share a
+        local-wordline block (QUAC-style quadruple activation emerges for
+        addresses differing in two low bits).
+        """
+        geometry = self._config.geometry
+        sub = geometry.subarray_of_row(row_first)
+        if geometry.subarray_of_row(row_last) != sub:
+            raise AddressError(
+                f"rows {row_first} and {row_last} are not in the same subarray"
+            )
+        local_first = geometry.local_row(row_first)
+        local_last = geometry.local_row(row_last)
+        block = geometry.lwl_block_rows
+        if local_first // block == local_last // block and local_first != local_last:
+            span = 1
+            while (local_first // span) != (local_last // span):
+                span *= 2
+            rows = _aligned_block(local_first, span, geometry.rows_per_subarray)
+        else:
+            rows = tuple(sorted({local_first, local_last}))
+        return ActivationPattern(
+            ActivationKind.N_TO_N, sub, sub, rows, rows
+        )
+
+
+class HierarchicalRowDecoder:
+    """Mechanistic model of the hypothesized hierarchical decoder.
+
+    Row addresses split into a local-wordline (LWL) field — the low
+    ``log2(lwl_block_rows)`` bits — and a master-wordline block index.
+    The violated precharge leaves the per-bit LWL predecode latches of the
+    first activation asserted, so the second activation ORs its own
+    values in: each subarray activates the Cartesian union of per-bit
+    values, ``2^h`` rows where ``h`` is the Hamming distance between the
+    LWL fields.  The N:2N family appears when the last address sits in
+    the upper half of its LWL block *and* the die supports it: the
+    boundary master-wordline latch glitches and the neighboring aligned
+    block joins.
+    """
+
+    def __init__(self, config: ChipConfig, seed_tree: Optional[SeedTree] = None):
+        self._config = config
+        block = config.geometry.lwl_block_rows
+        self._lwl_bits = block.bit_length() - 1
+
+    def _union_rows(self, lwl_a: int, lwl_b: int, block_base: int) -> Tuple[int, ...]:
+        """Cartesian union of per-bit predecode values within a block."""
+        values = {0}
+        for bit in range(self._lwl_bits):
+            bits_seen = {(lwl_a >> bit) & 1, (lwl_b >> bit) & 1}
+            values = {v | (b << bit) for v in values for b in bits_seen}
+        return tuple(sorted(block_base + v for v in values))
+
+    def neighboring_pattern(
+        self, bank: int, row_first: int, row_last: int
+    ) -> ActivationPattern:
+        geometry = self._config.geometry
+        sub_first = geometry.subarray_of_row(row_first)
+        sub_last = geometry.subarray_of_row(row_last)
+        if abs(sub_first - sub_last) != 1:
+            raise AddressError(
+                f"rows {row_first} and {row_last} are not in neighboring "
+                f"subarrays ({sub_first} vs {sub_last})"
+            )
+        local_first = geometry.local_row(row_first)
+        local_last = geometry.local_row(row_last)
+
+        if self._config.activation_support is ActivationSupport.SEQUENTIAL_ONLY:
+            return ActivationPattern(
+                ActivationKind.SEQUENTIAL,
+                sub_first,
+                sub_last,
+                (local_first,),
+                (local_last,),
+            )
+
+        block = geometry.lwl_block_rows
+        lwl_first = local_first % block
+        lwl_last = local_last % block
+        base_first = (local_first // block) * block
+        base_last = (local_last // block) * block
+
+        hamming = bin(lwl_first ^ lwl_last).count("1")
+        n = 1 << hamming
+        if n > self._config.max_simultaneous_n:
+            # The deeper predecode stages reset before the latch window:
+            # the glitch does not engage.
+            return ActivationPattern(
+                ActivationKind.LAST_ONLY, sub_first, sub_last, (), (local_last,)
+            )
+
+        rows_first = self._union_rows(lwl_first, lwl_last, base_first)
+        rows_last = self._union_rows(lwl_first, lwl_last, base_last)
+
+        boundary = lwl_last >= block - block // 4
+        if (
+            self._config.supports_n_to_2n
+            and boundary
+            and n < block
+            and len(rows_last) == n
+        ):
+            doubled = _aligned_block(
+                local_last, 2 * n, geometry.rows_per_subarray
+            )
+            extra = self._union_rows(
+                lwl_first, lwl_last, base_last
+            )
+            merged = sorted(set(doubled) | set(extra))
+            if len(merged) == 2 * n:
+                return ActivationPattern(
+                    ActivationKind.N_TO_2N,
+                    sub_first,
+                    sub_last,
+                    rows_first,
+                    tuple(merged),
+                )
+        return ActivationPattern(
+            ActivationKind.N_TO_N, sub_first, sub_last, rows_first, rows_last
+        )
+
+    def same_subarray_pattern(
+        self, bank: int, row_first: int, row_last: int
+    ) -> ActivationPattern:
+        geometry = self._config.geometry
+        sub = geometry.subarray_of_row(row_first)
+        if geometry.subarray_of_row(row_last) != sub:
+            raise AddressError(
+                f"rows {row_first} and {row_last} are not in the same subarray"
+            )
+        local_first = geometry.local_row(row_first)
+        local_last = geometry.local_row(row_last)
+        block = geometry.lwl_block_rows
+        if local_first // block == local_last // block:
+            rows = self._union_rows(
+                local_first % block,
+                local_last % block,
+                (local_first // block) * block,
+            )
+        else:
+            rows = tuple(sorted({local_first, local_last}))
+        return ActivationPattern(ActivationKind.N_TO_N, sub, sub, rows, rows)
+
+
+def make_decoder(config: ChipConfig, seed_tree: SeedTree, model: str = "calibrated"):
+    """Factory: ``'calibrated'`` (default) or ``'hierarchical'``."""
+    if model == "calibrated":
+        return CalibratedDecoder(config, seed_tree)
+    if model == "hierarchical":
+        return HierarchicalRowDecoder(config, seed_tree)
+    raise ValueError(f"unknown decoder model {model!r}")

@@ -1,0 +1,180 @@
+"""Subarray state: cell voltages and physical row order.
+
+A subarray is a 2-D array of cells.  The *logical* row number (what the
+memory controller addresses, after the bank-level split) and the
+*physical* position of the row inside the array differ in real chips:
+vendors scramble rows for repair and routing reasons.  The paper has to
+reverse engineer the physical order with RowHammer probing (§5.2); our
+model therefore keeps an explicit logical-to-physical permutation so the
+same reverse-engineering pass can be exercised against ground truth.
+
+Physical position 0 is adjacent to the *lower* sense-amplifier stripe
+(stripe index == subarray index), position ``rows - 1`` adjacent to the
+upper stripe (index + 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AddressError
+from ..rng import SeedTree
+from ..units import GND, VDD
+from .variation import DistanceRegions, Region
+
+__all__ = ["Subarray"]
+
+
+class Subarray:
+    """Mutable cell state of one DRAM subarray."""
+
+    def __init__(
+        self,
+        index: int,
+        rows: int,
+        columns: int,
+        seed_tree: SeedTree,
+        scramble_rows: bool = True,
+        scramble_block_rows: int = 16,
+    ):
+        if rows < 3:
+            raise ValueError(f"subarray needs at least 3 rows, got {rows}")
+        if columns <= 0:
+            raise ValueError(f"columns must be positive, got {columns}")
+        self.index = index
+        self.rows = rows
+        self.columns = columns
+        #: Cell storage voltages, indexed [logical_row, column].  float32
+        #: keeps fleet-scale memory in check; the analog math upcasts.
+        self.voltages = np.full((rows, columns), GND, dtype=np.float32)
+        self._regions = DistanceRegions(rows)
+
+        if scramble_rows:
+            self._logical_to_physical = self._structured_scramble(
+                rows, scramble_block_rows, seed_tree
+            )
+        else:
+            self._logical_to_physical = np.arange(rows)
+        self._physical_to_logical = np.argsort(self._logical_to_physical)
+
+    @staticmethod
+    def _structured_scramble(
+        rows: int, block: int, seed_tree: SeedTree
+    ) -> np.ndarray:
+        """A realistic logical-to-physical row remap.
+
+        Vendors do not permute rows arbitrarily: remapping happens at
+        the local-wordline-block level (whole blocks are placed) with a
+        bit-level scramble inside each block.  This keeps a logical
+        block physically contiguous — which is why the paper can find
+        multi-row activated sets in every Close/Middle/Far region — yet
+        still forces the RowHammer reverse-engineering pass (§5.2) to
+        recover the order experimentally.
+        """
+        rng = seed_tree.child("row-scramble").generator()
+        mapping = np.arange(rows)
+        full_blocks = rows // block
+        if full_blocks >= 1:
+            block_perm = rng.permutation(full_blocks)
+            masks = rng.integers(0, block, size=full_blocks)
+            for logical_block in range(full_blocks):
+                physical_base = int(block_perm[logical_block]) * block
+                mask = int(masks[logical_block])
+                for offset in range(block):
+                    mapping[logical_block * block + offset] = (
+                        physical_base + (offset ^ mask)
+                    )
+        return mapping
+
+    # -- addressing --------------------------------------------------------
+
+    def check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows:
+            raise AddressError(
+                f"local row {row} out of range for subarray with {self.rows} rows"
+            )
+
+    def physical_position(self, row: int) -> int:
+        """Physical position of logical ``row`` (0 = lower stripe edge)."""
+        self.check_row(row)
+        return int(self._logical_to_physical[row])
+
+    def logical_at_physical(self, position: int) -> int:
+        """Logical row at physical ``position``."""
+        if not 0 <= position < self.rows:
+            raise AddressError(
+                f"physical position {position} out of range [0, {self.rows})"
+            )
+        return int(self._physical_to_logical[position])
+
+    def physical_neighbors(self, row: int) -> tuple:
+        """Logical rows physically adjacent to logical ``row``.
+
+        Edge rows (adjacent to a sense-amplifier stripe) have a single
+        neighbor — the property the RowHammer-based row-order reverse
+        engineering relies on (§5.2).
+        """
+        position = self.physical_position(row)
+        neighbors = []
+        if position > 0:
+            neighbors.append(self.logical_at_physical(position - 1))
+        if position < self.rows - 1:
+            neighbors.append(self.logical_at_physical(position + 1))
+        return tuple(neighbors)
+
+    def distance_to_stripe(self, row: int, upper: bool) -> int:
+        """Physical distance of ``row`` from the lower or upper stripe."""
+        position = self.physical_position(row)
+        return (self.rows - 1 - position) if upper else position
+
+    def region_to_stripe(self, row: int, upper: bool) -> Region:
+        """Close/Middle/Far region of ``row`` relative to a stripe."""
+        return self._regions.region_of_distance(self.distance_to_stripe(row, upper))
+
+    def region_of_rows(self, rows: Sequence[int], upper: bool) -> Region:
+        """Region of a set of rows (mean distance), per Figs. 9/17."""
+        distances = [self.distance_to_stripe(r, upper) for r in rows]
+        return self._regions.region_of_mean_distance(distances)
+
+    # -- data access -------------------------------------------------------
+
+    def write_bits(self, row: int, bits: np.ndarray) -> None:
+        """Store a full-rail bit pattern into logical ``row``."""
+        self.check_row(row)
+        bits = np.asarray(bits)
+        if bits.shape != (self.columns,):
+            raise ValueError(
+                f"bits shape {bits.shape} does not match columns {self.columns}"
+            )
+        self.voltages[row] = np.where(bits.astype(bool), VDD, GND)
+
+    def write_voltages(self, row: int, volts: np.ndarray) -> None:
+        """Store raw voltages (used by Frac and by the activation engine)."""
+        self.check_row(row)
+        volts = np.asarray(volts, dtype=np.float64)
+        if volts.shape != (self.columns,):
+            raise ValueError(
+                f"voltage shape {volts.shape} does not match columns {self.columns}"
+            )
+        self.voltages[row] = np.clip(volts, GND, VDD)
+
+    def read_bits(self, row: int) -> np.ndarray:
+        """The logic values a nominal (full-timing) read would return."""
+        self.check_row(row)
+        return (self.voltages[row] > 0.5 * VDD).astype(np.uint8)
+
+    def read_voltages(self, row: int) -> np.ndarray:
+        self.check_row(row)
+        return self.voltages[row].copy()
+
+    def fill(self, bit: int) -> None:
+        """Fill the whole subarray with logic ``bit``."""
+        self.voltages[:] = VDD if bit else GND
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Subarray(index={self.index}, rows={self.rows}, "
+            f"columns={self.columns})"
+        )

@@ -1,0 +1,138 @@
+"""DDR4 timing parameters and timing-violation descriptors.
+
+The characterization methodology of the paper is entirely about *when*
+commands are issued: a manufacturer-recommended ``ACT → tRAS → PRE → tRP →
+ACT`` sequence behaves normally, while ``ACT → PRE → ACT`` with tRAS and
+tRP below ~3 ns triggers simultaneous multi-row activation (§4.1).
+
+:class:`TimingParameters` carries the nominal datasheet values for a speed
+grade; :class:`ReducedTiming` describes a deliberate violation in bus
+cycles, because DRAM Bender (and any real memory controller) can only
+space commands at clock-cycle granularity — a detail that matters for the
+speed-rate sensitivity results (Observations 8 and 18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..units import transfers_to_clock_ns
+
+__all__ = ["TimingParameters", "ReducedTiming", "timing_for_speed"]
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Nominal timing parameters of a DDR4 speed grade (all in ns)."""
+
+    speed_rate_mts: int
+    t_ck: float
+    t_rcd: float
+    t_rp: float
+    t_ras: float
+    t_rfc: float = 350.0
+    t_wr: float = 15.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_ck", "t_rcd", "t_rp", "t_ras", "t_rfc", "t_wr"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def t_rc(self) -> float:
+        """Row-cycle time: minimum ACT-to-ACT delay to the same bank."""
+        return self.t_ras + self.t_rp
+
+    def cycles(self, nanoseconds: float) -> int:
+        """Number of whole bus cycles needed to cover ``nanoseconds``."""
+        if nanoseconds < 0:
+            raise ValueError(f"duration must be non-negative, got {nanoseconds}")
+        whole = int(nanoseconds / self.t_ck)
+        if whole * self.t_ck < nanoseconds - 1e-9:
+            whole += 1
+        return whole
+
+    def quantize(self, nanoseconds: float) -> float:
+        """``nanoseconds`` rounded *up* to the bus cycle grid."""
+        return self.cycles(nanoseconds) * self.t_ck
+
+
+#: Datasheet-typical DDR4 timings per speed grade.  tRCD/tRP follow the
+#: common CL=15/17/19/22 bins; tRAS is the JEDEC minimum for each grade.
+_TIMING_TABLE = {
+    2133: TimingParameters(2133, t_ck=0.938, t_rcd=14.06, t_rp=14.06, t_ras=33.0),
+    2400: TimingParameters(2400, t_ck=0.833, t_rcd=14.16, t_rp=14.16, t_ras=32.0),
+    2666: TimingParameters(2666, t_ck=0.750, t_rcd=14.25, t_rp=14.25, t_ras=32.0),
+    3200: TimingParameters(3200, t_ck=0.625, t_rcd=13.75, t_rp=13.75, t_ras=32.0),
+}
+
+
+def timing_for_speed(speed_rate_mts: int) -> TimingParameters:
+    """Nominal timing parameters for a DDR4 speed rate in MT/s."""
+    try:
+        return _TIMING_TABLE[speed_rate_mts]
+    except KeyError:
+        raise ConfigurationError(
+            f"no timing table for {speed_rate_mts} MT/s; known grades: "
+            f"{sorted(_TIMING_TABLE)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ReducedTiming:
+    """A deliberately violated ``ACT→PRE→ACT`` spacing, in bus cycles.
+
+    ``first_act_cycles`` is the delay between the first ``ACT`` and the
+    ``PRE``; ``pre_to_act_cycles`` between the ``PRE`` and the second
+    ``ACT``.  The paper uses <3 ns for both when triggering multi-row
+    activation (§4.1), and the *full* tRAS before the ``PRE`` when
+    performing NOT (§5.1) so that the first row is fully sensed first.
+    """
+
+    first_act_cycles: int
+    pre_to_act_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.first_act_cycles < 1:
+            raise ConfigurationError("first_act_cycles must be >= 1")
+        if self.pre_to_act_cycles < 1:
+            raise ConfigurationError("pre_to_act_cycles must be >= 1")
+
+    def first_act_ns(self, timing: TimingParameters) -> float:
+        return self.first_act_cycles * timing.t_ck
+
+    def pre_to_act_ns(self, timing: TimingParameters) -> float:
+        return self.pre_to_act_cycles * timing.t_ck
+
+    def violates_t_ras(self, timing: TimingParameters) -> bool:
+        return self.first_act_ns(timing) < timing.t_ras - 1e-9
+
+    def violates_t_rp(self, timing: TimingParameters) -> bool:
+        return self.pre_to_act_ns(timing) < timing.t_rp - 1e-9
+
+    @classmethod
+    def for_logic_op(cls, timing: TimingParameters) -> "ReducedTiming":
+        """The tightest spacing the bus allows: both gaps under 3 ns.
+
+        Used for AND/OR/NAND/NOR, where the first activation must *not*
+        complete sensing before the second joins (§6.1).
+        """
+        cycles = max(1, timing.cycles(1.5))
+        return cls(first_act_cycles=cycles, pre_to_act_cycles=cycles)
+
+    @classmethod
+    def for_not_op(cls, timing: TimingParameters) -> "ReducedTiming":
+        """Full tRAS before PRE, violated tRP after it (§5.1)."""
+        return cls(
+            first_act_cycles=timing.cycles(timing.t_ras),
+            pre_to_act_cycles=max(1, timing.cycles(1.5)),
+        )
+
+    @classmethod
+    def nominal(cls, timing: TimingParameters) -> "ReducedTiming":
+        """A spacing that violates nothing (for control experiments)."""
+        return cls(
+            first_act_cycles=timing.cycles(timing.t_ras),
+            pre_to_act_cycles=timing.cycles(timing.t_rp),
+        )

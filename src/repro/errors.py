@@ -1,0 +1,68 @@
+"""Exception hierarchy for the FCDRAM reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration problems from protocol-level
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised when, for example, a chip organization declares more banks than
+    its density allows, or a subarray height is not a power of two.
+    """
+
+
+class AddressError(ReproError):
+    """A row, column, bank, or subarray address is out of range."""
+
+
+class CommandSequenceError(ReproError):
+    """A DRAM command was issued in a state where it is illegal.
+
+    The real memory controller enforces these rules; DRAM Bender lets the
+    experimenter violate *timings* but a command to a closed bank (for
+    instance a ``RD`` with no open row) is still a programming error.
+    """
+
+
+class TimingViolationError(CommandSequenceError):
+    """A timing violation occurred where the experiment did not allow one.
+
+    The executor raises this only when a program is run in *strict* mode;
+    characterization programs deliberately violate timings and run in
+    permissive mode instead.
+    """
+
+
+class ProgramError(ReproError):
+    """A DRAM Bender test program is malformed."""
+
+
+class ThermalError(ReproError):
+    """The temperature controller cannot reach or hold a target."""
+
+
+class ReverseEngineeringError(ReproError):
+    """A reverse-engineering pass could not reach a conclusion.
+
+    Raised when, e.g., RowHammer probing produces contradictory adjacency
+    evidence and the physical row order cannot be recovered.
+    """
+
+
+class UnsupportedOperationError(ReproError):
+    """The targeted chip cannot perform the requested in-DRAM operation.
+
+    Mirrors the paper's §7 Limitation 1: Samsung chips only support the
+    NOT operation (sequential two-row activation) and Micron chips ignore
+    timing-violating command sequences entirely.
+    """

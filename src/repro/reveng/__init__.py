@@ -1,0 +1,20 @@
+"""Reverse-engineering passes over chips under test (§4.2, §5.2).
+
+* :mod:`repro.reveng.subarrays` — subarray boundaries via RowClone
+* :mod:`repro.reveng.roworder` — physical row order via RowHammer
+* :mod:`repro.reveng.activation` — multi-row activation pattern coverage
+"""
+
+from .activation import ActivationScanner, ObservedPattern, coverage_from_counts
+from .roworder import RowOrderMapper, RowOrderResult
+from .subarrays import SubarrayMap, SubarrayMapper
+
+__all__ = [
+    "ActivationScanner",
+    "ObservedPattern",
+    "RowOrderMapper",
+    "RowOrderResult",
+    "SubarrayMap",
+    "SubarrayMapper",
+    "coverage_from_counts",
+]

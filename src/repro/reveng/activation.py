@@ -1,0 +1,168 @@
+"""Activation-pattern scanning — the §4.2/§4.3 methodology (Fig. 5).
+
+For a candidate ``(R_F, R_L)`` pair in neighboring subarrays, the probe:
+
+1. initializes the surrounding rows with a background pattern,
+2. issues ``ACT R_F → PRE → ACT R_L`` with violated tRP,
+3. overdrives the open rows with a WR of a *different* probe pattern
+   (which lands as-is in R_L's subarray and inverted — on the shared
+   columns — in R_F's subarray),
+4. precharges and reads the rows back with nominal timing.
+
+Rows holding the probe pattern in R_L's subarray were simultaneously
+activated; rows holding the inverted pattern on the shared columns in
+R_F's subarray likewise.  Counting both sides classifies the pair as an
+``N_RF:N_RL`` activation (N:N, N:2N, or no engagement), and the fraction
+of pairs per class is the paper's *coverage* metric.
+
+Readout is restricted to the 32-row aligned windows around both
+addresses: the decoder glitch never activates rows outside the aligned
+2N-block (N <= 16), so the restriction is lossless and keeps a scan of
+thousands of pairs fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..core.layout import module_shared_columns
+from ..dram.timing import ReducedTiming
+from ..errors import AddressError
+
+__all__ = ["ObservedPattern", "ActivationScanner", "coverage_from_counts"]
+
+_WINDOW = 32
+
+
+@dataclass(frozen=True)
+class ObservedPattern:
+    """Classification of one probed address pair."""
+
+    n_first: int
+    n_last: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.n_first}:{self.n_last}"
+
+    @property
+    def engaged(self) -> bool:
+        return self.n_first > 0
+
+
+class ActivationScanner:
+    """Probes and classifies multi-row activation patterns of a bank."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int,
+        subarray_first: int,
+        subarray_last: int,
+        match_threshold: float = 0.85,
+        seed: int = 0,
+    ):
+        if abs(subarray_first - subarray_last) != 1:
+            raise AddressError(
+                f"subarrays {subarray_first} and {subarray_last} must be "
+                "neighbors"
+            )
+        self.host = host
+        self.bank = bank
+        self.subarray_first = subarray_first
+        self.subarray_last = subarray_last
+        self.match_threshold = match_threshold
+        self._rng = np.random.default_rng(seed)
+        self.shared_columns = module_shared_columns(
+            host.module, subarray_first, subarray_last
+        )
+
+    # ------------------------------------------------------------------
+
+    def _window_rows(self, subarray: int, local_row: int) -> List[int]:
+        geometry = self.host.module.config.geometry
+        start = (local_row // _WINDOW) * _WINDOW
+        end = min(start + _WINDOW, geometry.rows_per_subarray)
+        return [geometry.bank_row(subarray, r) for r in range(start, end)]
+
+    def probe(self, row_first: int, row_last: int) -> ObservedPattern:
+        """Classify one (bank-level) address pair."""
+        host, bank = self.host, self.bank
+        geometry = host.module.config.geometry
+        local_first = geometry.local_row(row_first)
+        local_last = geometry.local_row(row_last)
+        window_first = self._window_rows(self.subarray_first, local_first)
+        window_last = self._window_rows(self.subarray_last, local_last)
+
+        # Background and probe patterns must be independent: activated
+        # first-side rows are detected by holding the *inverse* of the
+        # probe on the shared columns, and with a complementary
+        # background every idle row would spuriously match.
+        background = self._rng.integers(0, 2, host.module.row_bits, dtype=np.uint8)
+        probe_pattern = self._rng.integers(0, 2, host.module.row_bits, dtype=np.uint8)
+        for row in window_first + window_last:
+            host.fill_row(bank, row, background)
+
+        # ACT R_F -> (tRAS) -> PRE -> (violated tRP) -> ACT R_L, then —
+        # while the multi-row set is still open — overdrive it with the
+        # probe pattern and close (§4.2 step 3).
+        timing = host.timing
+        reduced = ReducedTiming.for_not_op(timing)
+        program = (
+            host.new_program("activation-probe")
+            .act(bank, row_first, wait_cycles=reduced.first_act_cycles)
+            .pre(bank, wait_cycles=reduced.pre_to_act_cycles)
+            .act(bank, row_last, wait_ns=timing.t_ras)
+            .wr(bank, row_last, probe_pattern, wait_ns=timing.t_wr)
+            .pre(bank, wait_ns=timing.t_rp)
+        )
+        host.run(program)
+
+        shared = self.shared_columns
+        inverted = probe_pattern[shared] ^ 1
+        n_last = 0
+        for row in window_last:
+            bits = host.peek_row(bank, row)
+            if np.mean(bits == probe_pattern) >= self.match_threshold:
+                n_last += 1
+        n_first = 0
+        for row in window_first:
+            bits = host.peek_row(bank, row)
+            if np.mean(bits[shared] == inverted) >= self.match_threshold:
+                n_first += 1
+        return ObservedPattern(n_first=n_first, n_last=n_last)
+
+    def scan(
+        self, sample_pairs: int, max_local_row: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Probe ``sample_pairs`` random pairs; returns label -> count.
+
+        The paper tests *every* combination (409,600 per subarray pair);
+        a uniform sample estimates the same coverage distribution.
+        """
+        geometry = self.host.module.config.geometry
+        rows = geometry.rows_per_subarray
+        if max_local_row is not None:
+            rows = min(rows, max_local_row)
+        counts: Dict[str, int] = {}
+        for _ in range(sample_pairs):
+            local_first = int(self._rng.integers(rows))
+            local_last = int(self._rng.integers(rows))
+            row_first = geometry.bank_row(self.subarray_first, local_first)
+            row_last = geometry.bank_row(self.subarray_last, local_last)
+            observed = self.probe(row_first, row_last)
+            label = observed.label if observed.engaged else "none"
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+def coverage_from_counts(counts: Dict[str, int]) -> Dict[str, float]:
+    """Normalize probe counts to the paper's coverage metric."""
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {label: count / total for label, count in counts.items()}

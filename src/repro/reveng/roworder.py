@@ -1,0 +1,116 @@
+"""Physical row order recovery via RowHammer probing (§5.2).
+
+DRAM vendors scramble the logical-to-physical row mapping, but
+single-sided RowHammer leaks it: hammering a row flips bits in its
+*physically adjacent* rows.  Rows that produce bitflip victims on only
+one side are physically adjacent to a sense-amplifier stripe (the edge
+of the subarray).  Collecting each row's victim set yields an adjacency
+path whose traversal is the physical order — which the paper needs to
+classify rows into Close/Middle/Far regions for the design-induced-
+variation analysis (Figs. 9 and 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..errors import ReverseEngineeringError
+
+__all__ = ["RowOrderResult", "RowOrderMapper"]
+
+
+@dataclass(frozen=True)
+class RowOrderResult:
+    """Recovered physical layout of one subarray."""
+
+    #: Logical local rows in physical order (index 0 = one stripe edge).
+    physical_order: Tuple[int, ...]
+    #: The two rows physically adjacent to the sense-amplifier stripes.
+    edge_rows: Tuple[int, int]
+
+    def position_of(self, row: int) -> int:
+        return self.physical_order.index(row)
+
+
+class RowOrderMapper:
+    """Recovers a subarray's physical row order with hammer probes."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int,
+        subarray: int,
+        hammer_count: int = 60_000,
+        min_flips: int = 2,
+    ):
+        self.host = host
+        self.bank = bank
+        self.subarray = subarray
+        self.hammer_count = hammer_count
+        self.min_flips = min_flips
+        geometry = host.module.config.geometry
+        self._base = subarray * geometry.rows_per_subarray
+        self._rows = geometry.rows_per_subarray
+
+    def _all_rows(self) -> range:
+        return range(self._base, self._base + self._rows)
+
+    def victims_of(self, row: int) -> List[int]:
+        """Rows showing bitflips after single-sided hammering of ``row``.
+
+        The subarray is initialized to all-1s; a victim is any row that
+        afterwards shows at least ``min_flips`` zero bits.
+        """
+        ones = np.ones(self.host.module.row_bits, dtype=np.uint8)
+        for r in self._all_rows():
+            self.host.fill_row(self.bank, r, ones)
+        self.host.hammer_row(self.bank, row, self.hammer_count)
+        victims = []
+        for r in self._all_rows():
+            if r == row:
+                continue
+            flips = int(np.sum(self.host.peek_row(self.bank, r) == 0))
+            if flips >= self.min_flips:
+                victims.append(r)
+        return victims
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Victim sets for every row of the subarray."""
+        return {row: self.victims_of(row) for row in self._all_rows()}
+
+    def recover_order(self) -> RowOrderResult:
+        """Traverse the hammer-adjacency path from one edge to the other."""
+        adjacency = self.adjacency()
+        edges = [row for row, victims in adjacency.items() if len(victims) == 1]
+        if len(edges) != 2:
+            raise ReverseEngineeringError(
+                f"expected exactly 2 edge rows (one victim each), found "
+                f"{len(edges)}; raise hammer_count or lower min_flips"
+            )
+        for row, victims in adjacency.items():
+            if not 1 <= len(victims) <= 2:
+                raise ReverseEngineeringError(
+                    f"row {row} has {len(victims)} hammer victims; "
+                    "adjacency evidence is inconsistent"
+                )
+
+        order = [min(edges)]
+        previous = None
+        while True:
+            candidates = [v for v in adjacency[order[-1]] if v != previous]
+            if not candidates:
+                break
+            previous = order[-1]
+            order.append(candidates[0])
+        if len(order) != self._rows:
+            raise ReverseEngineeringError(
+                f"adjacency walk covered {len(order)}/{self._rows} rows; "
+                "the victim graph is not a single path"
+            )
+        return RowOrderResult(
+            physical_order=tuple(order), edge_rows=(order[0], order[-1])
+        )

@@ -1,0 +1,138 @@
+"""Subarray-boundary reverse engineering via RowClone probing (§4.2).
+
+RowClone only copies between rows that share bitlines, i.e. rows of the
+*same* subarray.  Probing "does a RowClone from row A to row B replicate
+A's pattern?" therefore reveals subarray membership, and a sweep over a
+bank recovers the subarray boundaries — the prerequisite for every
+neighboring-subarray experiment in the paper.
+
+The mapper walks the bank with a coarse stride and refines each detected
+boundary by binary search, since bank row addresses within one subarray
+are contiguous; a full pairwise sweep (what the paper brute-forces on
+silicon) is available as :meth:`SubarrayMapper.exhaustive_groups` for
+small banks and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..core.rowclone import rowclone_match_fraction
+from ..errors import ReverseEngineeringError
+
+__all__ = ["SubarrayMap", "SubarrayMapper"]
+
+
+@dataclass(frozen=True)
+class SubarrayMap:
+    """Recovered subarray layout of one bank."""
+
+    #: Half-open bank-row ranges, one per discovered subarray, in order.
+    ranges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.ranges)
+
+    def subarray_of(self, row: int) -> int:
+        for index, (start, end) in enumerate(self.ranges):
+            if start <= row < end:
+                return index
+        raise ReverseEngineeringError(f"row {row} not covered by the map")
+
+    def rows_of(self, subarray: int) -> range:
+        start, end = self.ranges[subarray]
+        return range(start, end)
+
+
+class SubarrayMapper:
+    """Discovers subarray boundaries of a bank with RowClone probes."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int,
+        match_threshold: float = 0.9,
+        seed: int = 0,
+    ):
+        self.host = host
+        self.bank = bank
+        self.match_threshold = match_threshold
+        self._rng = np.random.default_rng(seed)
+        self.probe_count = 0
+
+    def same_subarray(self, row_a: int, row_b: int) -> bool:
+        """One probe: do ``row_a`` and ``row_b`` share a subarray?"""
+        pattern = self._rng.integers(0, 2, self.host.module.row_bits, dtype=np.uint8)
+        background = 1 - pattern
+        self.probe_count += 1
+        fraction = rowclone_match_fraction(
+            self.host, self.bank, row_a, row_b, pattern, background
+        )
+        return fraction >= self.match_threshold
+
+    def map_bank(self, coarse_step: int = 32) -> SubarrayMap:
+        """Recover all subarray boundaries of the bank.
+
+        Strategy: anchor at the first row of the current subarray, stride
+        forward until a probe fails, then binary-search the exact
+        boundary in the last stride window.
+        """
+        if coarse_step < 1:
+            raise ValueError(f"coarse_step must be >= 1, got {coarse_step}")
+        total_rows = (
+            self.host.module.config.geometry.rows_per_bank
+        )
+        ranges: List[Tuple[int, int]] = []
+        start = 0
+        while start < total_rows:
+            end = self._find_boundary(start, total_rows, coarse_step)
+            ranges.append((start, end))
+            start = end
+        return SubarrayMap(ranges=tuple(ranges))
+
+    def _find_boundary(self, anchor: int, total_rows: int, step: int) -> int:
+        """First row after ``anchor`` that is *not* in ``anchor``'s subarray."""
+        # Coarse scan.
+        inside = anchor
+        probe = anchor + step
+        while probe < total_rows and self.same_subarray(anchor, probe):
+            inside = probe
+            probe += step
+        if probe >= total_rows:
+            probe = total_rows
+            if inside < total_rows - 1 and self.same_subarray(anchor, total_rows - 1):
+                return total_rows
+            if inside == total_rows - 1:
+                return total_rows
+        # Binary search in (inside, probe].
+        low, high = inside, min(probe, total_rows - 1)
+        if high == total_rows - 1 and self.same_subarray(anchor, high):
+            return total_rows
+        while high - low > 1:
+            mid = (low + high) // 2
+            if self.same_subarray(anchor, mid):
+                low = mid
+            else:
+                high = mid
+        return high
+
+    def exhaustive_groups(self, rows: List[int]) -> List[List[int]]:
+        """Group an explicit row list by pairwise probing (test helper).
+
+        Quadratic in the worst case; matches the paper's brute-force
+        methodology on a small row sample.
+        """
+        groups: List[List[int]] = []
+        for row in rows:
+            for group in groups:
+                if self.same_subarray(group[0], row):
+                    group.append(row)
+                    break
+            else:
+                groups.append([row])
+        return groups

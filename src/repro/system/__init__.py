@@ -1,0 +1,10 @@
+"""End-to-end Processing-using-DRAM runtime (PiDRAM/SIMDRAM framing).
+
+* :mod:`repro.system.runtime` — vector handles, subarray-aware
+  allocation, in-DRAM data movement, and Boolean computation without
+  manual row management.
+"""
+
+from .runtime import PudRuntime, RuntimeStats, VectorHandle
+
+__all__ = ["PudRuntime", "RuntimeStats", "VectorHandle"]

@@ -1,0 +1,359 @@
+"""An end-to-end Processing-using-DRAM runtime.
+
+The raw operations (:mod:`repro.core`) require the caller to know which
+rows an address pair activates.  Real PuD frameworks (PiDRAM [42],
+SIMDRAM [32]) hide that behind a runtime: applications allocate vectors,
+the runtime places them in operation-compatible rows and moves data —
+*inside DRAM* — to wherever the next operation needs it.
+
+:class:`PudRuntime` implements that for one neighboring subarray pair:
+
+* **Placement** — at construction it reverse-engineers (via the decoder
+  lookup, i.e. the §4 characterization result) one N:N operation block
+  per fan-in *per side*, plus NOT address pairs in both directions, and
+  reserves their rows.  Every other row of the pair becomes an
+  allocatable vector slot.
+* **Handles** — :meth:`store` returns a :class:`VectorHandle`; vectors
+  live in DRAM until :meth:`load` copies them out.
+* **In-DRAM movement** — operands reach an operation block by RowClone
+  (same-subarray copy).  Crossing to the *other* subarray is special:
+  the shared sense amplifier's terminals are complementary, so any
+  crossing operation (NOT, NAND, NOR) inverts.  A short induction shows
+  the consequence: values storable on a vector's home side are exactly
+  the *monotone* functions of the stored data, and the other side holds
+  their complements.  A polarity-preserving cross-subarray move — and
+  therefore any non-monotone function such as XOR — cannot be computed
+  by the neighboring-subarray operation set alone; the memory
+  controller must re-stage a result as a fresh operand (a row read plus
+  a row write), exactly as PiDRAM-style end-to-end systems do.  The
+  runtime performs that staging automatically and counts it.
+* **Accounting** — every activation-level primitive and every
+  controller staging transfer is counted, so applications can see what
+  their expression really cost.
+
+All computation happens on the *shared columns* of the subarray pair:
+a vector holds ``lane_count`` bits, one per shared sense amplifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..bender.host import DramBenderHost
+from ..core.addressing import find_pattern_pair
+from ..core.layout import bank_rows, module_shared_columns
+from ..core.logic import LogicOperation
+from ..core.not_op import NotOperation
+from ..core.rowclone import rowclone
+from ..dram.decoder import ActivationKind
+from ..errors import ReproError, ReverseEngineeringError
+
+__all__ = ["PudRuntime", "VectorHandle", "RuntimeStats"]
+
+_FANINS = (2, 4, 8, 16)
+
+
+@dataclass
+class RuntimeStats:
+    """Counts of the primitives the runtime issued.
+
+    ``host_transfers`` counts controller stagings (row read + write):
+    the cost of computing beyond the in-DRAM monotone closure.
+    """
+
+    logic_ops: int = 0
+    not_ops: int = 0
+    rowclones: int = 0
+    host_transfers: int = 0
+
+    @property
+    def total_programs(self) -> int:
+        return self.logic_ops + self.not_ops + self.rowclones
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.logic_ops} logic ops, {self.not_ops} NOTs, "
+            f"{self.rowclones} RowClones, {self.host_transfers} host "
+            "stagings"
+        )
+
+
+@dataclass(frozen=True)
+class VectorHandle:
+    """An allocated bit vector living in DRAM.
+
+    ``side`` is 0 or 1: which subarray of the runtime's pair holds it.
+    Handles are immutable tokens; operations return fresh handles.
+    """
+
+    row: int
+    side: int
+    generation: int = field(compare=True, default=0)
+
+
+class PudRuntime:
+    """Vector storage plus in-DRAM Boolean computation, end to end."""
+
+    def __init__(
+        self,
+        host: DramBenderHost,
+        bank: int = 0,
+        subarray_pair: Tuple[int, int] = (0, 1),
+        seed: int = 0,
+    ):
+        self.host = host
+        self.bank = bank
+        self.subarray_pair = subarray_pair
+        self.stats = RuntimeStats()
+        self._generation = 0
+
+        module = host.module
+        geometry = module.config.geometry
+        self.shared_columns = module_shared_columns(module, *subarray_pair)
+
+        # -- reserve operation blocks per side ---------------------------
+        reserved: Tuple[Set[int], Set[int]] = (set(), set())
+        self._logic: Dict[Tuple[int, int], LogicOperation] = {}
+        for compute_side in (0, 1):
+            reference_side = 1 - compute_side
+            for n in _FANINS:
+                try:
+                    ref_row, com_row = find_pattern_pair(
+                        module.decoder,
+                        geometry,
+                        bank,
+                        subarray_pair[reference_side],
+                        subarray_pair[compute_side],
+                        n,
+                        ActivationKind.N_TO_N,
+                        seed=seed + 101 * n + compute_side,
+                    )
+                except ReverseEngineeringError:
+                    continue
+                operation = LogicOperation(host, bank, ref_row, com_row, op="and")
+                self._logic[(compute_side, n)] = operation
+                pattern = operation.pattern
+                reserved[reference_side].update(pattern.rows_first)
+                reserved[compute_side].update(pattern.rows_last)
+
+        self._not: Dict[int, NotOperation] = {}
+        for src_side in (0, 1):
+            src_row, dst_row = find_pattern_pair(
+                module.decoder,
+                geometry,
+                bank,
+                subarray_pair[src_side],
+                subarray_pair[1 - src_side],
+                1,
+                ActivationKind.N_TO_N,
+                seed=seed + 7 + src_side,
+            )
+            operation = NotOperation(host, bank, src_row, dst_row)
+            pattern = operation.expected_pattern()
+            reserved[src_side].update(pattern.rows_first)
+            reserved[1 - src_side].update(pattern.rows_last)
+            self._not[src_side] = operation
+
+        if not self._logic:
+            raise ReproError(
+                "this chip supports no N:N logic blocks; the runtime "
+                "needs at least one (see §7 Limitation 1)"
+            )
+
+        # -- build the free-row pools ------------------------------------
+        rows = geometry.rows_per_subarray
+        self._free: List[List[int]] = []
+        self._live: Set[VectorHandle] = set()
+        for side in (0, 1):
+            base_subarray = subarray_pair[side]
+            pool = [
+                geometry.bank_row(base_subarray, local)
+                for local in range(rows)
+                if local not in reserved[side]
+            ]
+            self._free.append(pool)
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+
+    @property
+    def lane_count(self) -> int:
+        """Bits per vector (one per shared sense amplifier)."""
+        return int(self.shared_columns.size)
+
+    def free_slots(self, side: Optional[int] = None) -> int:
+        if side is None:
+            return len(self._free[0]) + len(self._free[1])
+        return len(self._free[side])
+
+    def _allocate(self, side: int) -> VectorHandle:
+        if not self._free[side]:
+            raise ReproError(
+                f"out of vector slots on side {side}; free() some handles"
+            )
+        self._generation += 1
+        handle = VectorHandle(
+            row=self._free[side].pop(), side=side, generation=self._generation
+        )
+        self._live.add(handle)
+        return handle
+
+    def _check(self, handle: VectorHandle) -> None:
+        if handle not in self._live:
+            raise ReproError(f"handle {handle} is not live (double free?)")
+
+    def store(self, bits: np.ndarray, side: int = 1) -> VectorHandle:
+        """Allocate a vector slot and write ``bits`` into it."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self.lane_count,):
+            raise ValueError(
+                f"expected {self.lane_count} lanes, got shape {bits.shape}"
+            )
+        handle = self._allocate(side)
+        row_bits = np.zeros(self.host.module.row_bits, dtype=np.uint8)
+        row_bits[self.shared_columns] = bits
+        self.host.fill_row(self.bank, handle.row, row_bits)
+        return handle
+
+    def load(self, handle: VectorHandle) -> np.ndarray:
+        """Copy a vector out of DRAM."""
+        self._check(handle)
+        bits = self.host.peek_row(self.bank, handle.row)
+        return bits[self.shared_columns]
+
+    def free(self, handle: VectorHandle) -> None:
+        """Release a vector slot back to its side's pool."""
+        self._check(handle)
+        self._live.remove(handle)
+        self._free[handle.side].append(handle.row)
+
+    # ------------------------------------------------------------------
+    # in-DRAM movement
+    # ------------------------------------------------------------------
+
+    def _clone(self, src_row: int, dst_row: int) -> None:
+        rowclone(self.host, self.bank, src_row, dst_row)
+        self.stats.rowclones += 1
+
+    def not_(self, handle: VectorHandle) -> VectorHandle:
+        """In-DRAM NOT: the result lands on the *other* side."""
+        self._check(handle)
+        operation = self._not[handle.side]
+        # Move the operand into the NOT source row (same subarray).
+        if handle.row != operation.src_row:
+            self._clone(handle.row, operation.src_row)
+        operation.execute()
+        self.stats.not_ops += 1
+        result_row = operation.destination_rows()[0]
+        out = self._allocate(1 - handle.side)
+        self._clone(result_row, out.row)
+        return out
+
+    def move(self, handle: VectorHandle, side: int) -> VectorHandle:
+        """Polarity-preserving move to ``side``.
+
+        Crossing subarrays in-DRAM necessarily inverts (the shared sense
+        amplifier's terminals are complementary) — and no sequence of
+        the neighboring-subarray operations can undo that on the target
+        side (see the module docstring's monotone-closure argument).
+        The runtime therefore stages the value through the memory
+        controller: one row read plus one row write.
+        """
+        self._check(handle)
+        if handle.side == side:
+            return handle
+        bits = self.load(handle)
+        self.stats.host_transfers += 1
+        return self.store(bits, side=side)
+
+    # ------------------------------------------------------------------
+    # computation
+    # ------------------------------------------------------------------
+
+    def _block_for(self, side: int, count: int) -> Tuple[LogicOperation, int]:
+        for n in _FANINS:
+            if n >= count and (side, n) in self._logic:
+                return self._logic[(side, n)], n
+        raise ReproError(
+            f"no operation block with fan-in >= {count} on side {side} "
+            "(Limitation 2 caps fan-in at 16)"
+        )
+
+    def _logic_apply(self, op: str, handles: Sequence[VectorHandle]) -> VectorHandle:
+        for handle in handles:
+            self._check(handle)
+        side = handles[0].side
+        if any(h.side != side for h in handles):
+            raise ReproError("operands must be on one side; use move()")
+
+        operation, n = self._block_for(side, len(handles))
+        base = LogicOperation(
+            self.host,
+            self.bank,
+            operation.ref_row,
+            operation.com_row,
+            op=op,
+        )
+        base.prepare_reference()
+        identity = 1 if op in ("and", "nand") else 0
+        pad = np.full(self.host.module.row_bits, identity, dtype=np.uint8)
+        for index, compute_row in enumerate(base.compute_rows):
+            if index < len(handles):
+                self._clone(handles[index].row, compute_row)
+            else:
+                self.host.fill_row(self.bank, compute_row, pad)
+        base.execute()
+        self.stats.logic_ops += 1
+
+        # The result sits in every row of the output terminal; clone the
+        # first one into a fresh slot on the result's side.
+        result_rows = (
+            base.compute_rows if op in ("and", "or") else base.reference_rows
+        )
+        result_side = side if op in ("and", "or") else 1 - side
+        out = self._allocate(result_side)
+        self._clone(result_rows[0], out.row)
+        return out
+
+    def and_(self, *handles: VectorHandle) -> VectorHandle:
+        return self._logic_apply("and", self._colocate(handles))
+
+    def or_(self, *handles: VectorHandle) -> VectorHandle:
+        return self._logic_apply("or", self._colocate(handles))
+
+    def nand(self, *handles: VectorHandle) -> VectorHandle:
+        return self._logic_apply("nand", self._colocate(handles))
+
+    def nor(self, *handles: VectorHandle) -> VectorHandle:
+        return self._logic_apply("nor", self._colocate(handles))
+
+    def xor(self, a: VectorHandle, b: VectorHandle) -> VectorHandle:
+        """XOR = AND(OR(a, b), NAND(a, b)), all in DRAM."""
+        a, b = self._colocate((a, b))
+        either = self.or_(a, b)
+        not_both = self.nand(a, b)
+        not_both = self.move(not_both, either.side)
+        result = self.and_(either, not_both)
+        self.free(either)
+        self.free(not_both)
+        return result
+
+    def _colocate(
+        self, handles: Sequence[VectorHandle]
+    ) -> List[VectorHandle]:
+        """Move operands onto one side (majority side wins)."""
+        if len(handles) < 2:
+            raise ReproError("logic operations need at least 2 operands")
+        sides = [h.side for h in handles]
+        target = max(set(sides), key=sides.count)
+        moved = []
+        for handle in handles:
+            if handle.side == target:
+                moved.append(handle)
+            else:
+                moved.append(self.move(handle, target))
+        return moved

@@ -1,0 +1,63 @@
+"""Physical units and conventions used throughout the simulator.
+
+The DRAM model works in *normalized volts*: the supply rail ``VDD`` is 1.0
+and ground ``GND`` is 0.0, matching the paper's convention that a cell
+stores VDD for logic-1 and GND for logic-0 (§2.1).  Real DDR4 core voltage
+(~1.2 V) never matters to the logic, only ratios of voltages do, so the
+normalization removes a redundant constant.
+
+Time is expressed in nanoseconds and capacitance in femtofarads.  Typical
+values follow the DRAM circuit-design literature cited by the paper
+(Keeth et al.): a cell capacitor in the 20-30 fF range and a bitline some
+3-8x larger.
+"""
+
+from __future__ import annotations
+
+#: Normalized supply voltage (logic-1 storage level).
+VDD: float = 1.0
+
+#: Normalized ground voltage (logic-0 storage level).
+GND: float = 0.0
+
+#: Bitline precharge voltage (VDD/2 precharge scheme, §2.1 Fig. 3).
+VDD_HALF: float = VDD / 2.0
+
+#: Nominal DRAM cell storage capacitance [fF].
+CELL_CAPACITANCE_FF: float = 24.0
+
+#: Nominal bitline capacitance [fF] (open-bitline, half-length bitlines).
+BITLINE_CAPACITANCE_FF: float = 120.0
+
+#: Number of picoseconds in a nanosecond (for cycle math readability).
+PS_PER_NS: int = 1000
+
+
+def logic_to_voltage(bit: int) -> float:
+    """Map a logic value (0/1) to its full cell storage voltage."""
+    if bit not in (0, 1):
+        raise ValueError(f"logic value must be 0 or 1, got {bit!r}")
+    return VDD if bit else GND
+
+
+def voltage_to_logic(voltage: float) -> int:
+    """Map a voltage to the logic value a sense amplifier would resolve.
+
+    The sense amplifier compares against the VDD/2 reference; exactly
+    VDD/2 is unresolvable in the ideal model and we break the tie toward
+    logic-0, matching the convention that a floating precharged bitline
+    reads as 0.
+    """
+    return 1 if voltage > VDD_HALF else 0
+
+
+def transfers_to_clock_ns(speed_rate_mts: int) -> float:
+    """Clock period [ns] of a DDR4 bus running at ``speed_rate_mts`` MT/s.
+
+    DDR transfers twice per clock, so a 2400 MT/s part runs a 1200 MHz
+    clock with a 0.833 ns period.
+    """
+    if speed_rate_mts <= 0:
+        raise ValueError(f"speed rate must be positive, got {speed_rate_mts}")
+    clock_mhz = speed_rate_mts / 2.0
+    return PS_PER_NS / clock_mhz

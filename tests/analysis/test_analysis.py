@@ -1,0 +1,140 @@
+"""Tests for box-plot rendering, paper data, comparison, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.boxplot import render_box_line, render_boxes
+from repro.analysis.compare import ComparisonRow, compare_experiment
+from repro.analysis.paperdata import PAPER, anchors_for
+from repro.analysis.report import EXPERIMENT_ORDER, generate_report
+from repro.characterization import SMOKE
+from repro.characterization.metrics import BoxStats
+from repro.characterization.results import ExperimentResult
+
+
+class TestBoxRendering:
+    def test_line_width(self):
+        stats = BoxStats.from_values(np.array([0.2, 0.5, 0.8]))
+        line = render_box_line(stats, width=40)
+        assert len(line) == 40
+        assert "|" in line and "=" in line
+
+    def test_median_position_scales(self):
+        low = BoxStats.from_values(np.array([0.1]))
+        high = BoxStats.from_values(np.array([0.9]))
+        assert render_box_line(low, width=50).index("|") < render_box_line(
+            high, width=50
+        ).index("|")
+
+    def test_degenerate_distribution(self):
+        stats = BoxStats.from_values(np.array([0.5]))
+        line = render_box_line(stats, width=30)
+        assert line.count("|") == 1
+        assert line.count("-") == 0
+
+    def test_render_boxes_layout(self):
+        groups = {
+            "a": BoxStats.from_values(np.array([0.4, 0.6])),
+            "bb": BoxStats.from_values(np.array([0.9])),
+        }
+        text = render_boxes(groups, width=30)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 groups
+        assert "mean" in lines[1]
+
+    def test_render_boxes_empty(self):
+        assert render_boxes({}) == "(no data)"
+
+    def test_invalid_width(self):
+        stats = BoxStats.from_values(np.array([0.5]))
+        with pytest.raises(ValueError):
+            render_box_line(stats, width=5)
+
+    def test_invalid_range(self):
+        stats = BoxStats.from_values(np.array([0.5]))
+        with pytest.raises(ValueError):
+            render_box_line(stats, lo=1.0, hi=0.0)
+
+
+class TestPaperData:
+    def test_every_paper_artifact_has_anchors(self):
+        # The capability matrix reproduces extended-version content with
+        # no quoted numbers; every in-paper artifact has anchors.
+        assert set(PAPER) == set(EXPERIMENT_ORDER) - {"capability"}
+
+    def test_anchor_values_traceable(self):
+        for experiment_id, anchors in PAPER.items():
+            for key, anchor in anchors.items():
+                assert anchor.source, (experiment_id, key)
+                assert anchor.metric, (experiment_id, key)
+
+    def test_headline_numbers(self):
+        assert PAPER["fig7"]["1 dst"].value == pytest.approx(0.9837)
+        assert PAPER["fig15"]["AND n=16"].value == pytest.approx(0.9494)
+        assert anchors_for("nonexistent") == {}
+
+
+class TestCompare:
+    def test_group_mean_extraction(self):
+        result = ExperimentResult("fig7", "t")
+        result.add_group("1 dst", BoxStats.from_values(np.array([0.97])))
+        result.add_group("32 dst", BoxStats.from_values(np.array([0.09])))
+        rows = compare_experiment(result)
+        by_metric = {row.metric: row for row in rows}
+        row = by_metric["NOT mean, 1 destination row"]
+        assert row.measured_value == pytest.approx(0.97)
+        assert row.delta == pytest.approx(0.97 - 0.9837)
+
+    def test_missing_groups_yield_none(self):
+        result = ExperimentResult("fig7", "t")
+        rows = compare_experiment(result)
+        assert all(row.measured_value is None for row in rows)
+        assert all(row.delta is None for row in rows)
+
+    def test_extras_extraction(self):
+        result = ExperimentResult("fig8", "t")
+        result.extras["n2n_minus_nn_mean"] = 0.1
+        (row,) = compare_experiment(result)
+        assert row.measured_value == pytest.approx(0.1)
+
+    def test_heatmap_extraction(self):
+        result = ExperimentResult("fig9", "t")
+        result.extras["heatmap"] = {(1, 2): 0.85, (2, 0): 0.44}
+        rows = {r.metric: r for r in compare_experiment(result)}
+        assert rows["NOT mean, Middle src / Far dst"].measured_value == 0.85
+        assert rows["NOT mean, Far src / Close dst"].measured_value == 0.44
+
+    def test_series_extraction(self):
+        result = ExperimentResult("fig16", "t")
+        result.extras["series"] = {
+            "AND16": [0.95] + [0.9] * 14 + [0.4, 0.5],
+            "OR16": [0.5, 0.45] + [0.9] * 14 + [0.97],
+        }
+        rows = {r.metric: r for r in compare_experiment(result)}
+        assert rows["16-input AND, 0 vs 15 logic-1s"].measured_value == (
+            pytest.approx(0.55)
+        )
+        assert rows["16-input OR, 16 vs 1 logic-1s"].measured_value == (
+            pytest.approx(0.52)
+        )
+
+
+class TestReport:
+    def test_single_experiment_report(self):
+        content = generate_report(
+            SMOKE.with_trials(20), seed=1, experiment_ids=["table1"]
+        )
+        assert "table1" in content
+        assert "| metric | paper | measured |" in content
+        assert "256" in content
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            generate_report(SMOKE, experiment_ids=["fig99"])
+
+    def test_report_mentions_scale_and_seed(self):
+        content = generate_report(
+            SMOKE.with_trials(20), seed=5, experiment_ids=["table1"]
+        )
+        assert "`smoke`" in content
+        assert "seed: 5" in content

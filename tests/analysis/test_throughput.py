@@ -1,0 +1,41 @@
+"""Tests for the analytic throughput model."""
+
+import pytest
+
+from repro import sk_hynix_chip
+from repro.analysis.throughput import estimate_throughput
+
+
+class TestThroughput:
+    def test_in_dram_beats_bus_by_an_order_of_magnitude(self):
+        estimate = estimate_throughput(sk_hynix_chip())
+        assert estimate.speedup_vs_bus > 10
+
+    def test_bits_per_op_is_half_rank_row(self):
+        estimate = estimate_throughput(
+            sk_hynix_chip(), row_bits_per_chip=8192, chips_per_rank=8
+        )
+        assert estimate.bits_per_op == 8192 // 2 * 8
+
+    def test_sequence_cost_dominated_by_restore(self):
+        from repro.dram.timing import timing_for_speed
+
+        timing = timing_for_speed(2666)
+        estimate = estimate_throughput(sk_hynix_chip())
+        assert estimate.op_sequence_ns > timing.t_ras
+        assert estimate.op_sequence_ns < 4 * timing.t_rc
+
+    def test_faster_bus_narrows_the_gap(self):
+        slow = estimate_throughput(sk_hynix_chip(speed_rate_mts=2133))
+        fast = estimate_throughput(sk_hynix_chip(speed_rate_mts=3200))
+        assert fast.bus_gbps > slow.bus_gbps
+
+    def test_more_inputs_cost_more_bus_time_not_more_op_time(self):
+        two = estimate_throughput(sk_hynix_chip(), n_inputs=2)
+        sixteen = estimate_throughput(sk_hynix_chip(), n_inputs=16)
+        assert sixteen.op_sequence_ns == two.op_sequence_ns
+        assert sixteen.bus_transfer_ns > two.bus_transfer_ns
+
+    def test_rejects_single_input(self):
+        with pytest.raises(ValueError):
+            estimate_throughput(sk_hynix_chip(), n_inputs=1)

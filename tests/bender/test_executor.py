@@ -1,0 +1,139 @@
+"""Tests for program execution and timing-rule checking."""
+
+import numpy as np
+import pytest
+
+from repro.bender.executor import ProgramExecutor
+from repro.bender.program import TestProgram
+from repro.errors import TimingViolationError
+
+
+def random_bits(host, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 2, host.module.row_bits, dtype=np.uint8
+    )
+
+
+class TestExecution:
+    def test_read_records_carry_labels(self, ideal_host):
+        bits = random_bits(ideal_host)
+        ideal_host.fill_row(0, 3, bits)
+        timing = ideal_host.timing
+        program = (
+            ideal_host.new_program("p")
+            .act(0, 3, wait_ns=timing.t_rcd)
+            .rd(0, 3, wait_ns=timing.t_ras, label="probe")
+            .pre(0, wait_ns=timing.t_rp)
+        )
+        result = ideal_host.run(program)
+        assert np.array_equal(result.read_by_label("probe"), bits)
+        assert result.reads[0].row == 3
+
+    def test_missing_label_raises(self, ideal_host):
+        timing = ideal_host.timing
+        program = (
+            ideal_host.new_program()
+            .act(0, 3, wait_ns=timing.t_rcd)
+            .rd(0, 3, wait_ns=timing.t_ras, label="a")
+            .pre(0)
+        )
+        result = ideal_host.run(program)
+        with pytest.raises(KeyError):
+            result.read_by_label("b")
+
+    def test_time_is_monotone_across_programs(self, ideal_host):
+        executor = ideal_host.executor
+        t0 = executor.now_ns
+        ideal_host.write_row(0, 1, random_bits(ideal_host))
+        assert executor.now_ns > t0
+
+    def test_trailing_pre_settles(self, ideal_host):
+        timing = ideal_host.timing
+        program = (
+            ideal_host.new_program()
+            .act(0, 5, wait_ns=timing.t_ras)
+            .pre(0, wait_cycles=1)
+        )
+        ideal_host.run(program)
+        assert not ideal_host.module.chips[0].bank(0).is_open
+
+    def test_duration_reported(self, ideal_host):
+        program = ideal_host.new_program().nop(wait_cycles=100)
+        result = ideal_host.run(program)
+        assert result.duration_ns >= 100 * ideal_host.timing.t_ck
+
+
+class TestTimingChecks:
+    def test_violations_recorded_in_permissive_mode(self, ideal_host):
+        program = (
+            ideal_host.new_program()
+            .act(0, 0, wait_cycles=2)
+            .pre(0, wait_cycles=2)
+            .act(0, 192, wait_ns=ideal_host.timing.t_ras)
+            .pre(0)
+        )
+        result = ideal_host.run(program)
+        assert any("tRAS" in v for v in result.violations)
+        assert any("tRP" in v for v in result.violations)
+
+    def test_strict_mode_raises(self, ideal_module):
+        from repro.bender.host import DramBenderHost
+
+        host = DramBenderHost(ideal_module, strict=True)
+        program = (
+            host.new_program("violating")
+            .act(0, 0, wait_cycles=2)
+            .pre(0, wait_cycles=2)
+            .act(0, 192, wait_ns=host.timing.t_ras)
+            .pre(0)
+        )
+        with pytest.raises(TimingViolationError):
+            host.run(program)
+
+    def test_compliant_program_has_no_violations(self, ideal_host):
+        timing = ideal_host.timing
+        program = (
+            ideal_host.new_program()
+            .act(0, 0, wait_ns=timing.t_ras)
+            .pre(0, wait_ns=timing.t_rp)
+            .act(0, 1, wait_ns=timing.t_ras)
+            .pre(0, wait_ns=timing.t_rp)
+        )
+        result = ideal_host.run(program)
+        assert result.violations == []
+
+    def test_trcd_checked(self, ideal_host):
+        program = (
+            ideal_host.new_program()
+            .act(0, 0, wait_cycles=1)
+            .rd(0, 0, wait_ns=ideal_host.timing.t_ras)
+            .pre(0)
+        )
+        result = ideal_host.run(program)
+        assert any("tRCD" in v for v in result.violations)
+
+
+class TestHostRowIO:
+    def test_write_read_round_trip(self, ideal_host, rng):
+        bits = random_bits(ideal_host, 9)
+        ideal_host.write_row(0, 17, bits)
+        assert np.array_equal(ideal_host.read_row(0, 17), bits)
+
+    def test_command_path_matches_backdoor(self, ideal_host):
+        bits = random_bits(ideal_host, 10)
+        ideal_host.write_row(0, 18, bits)
+        assert np.array_equal(ideal_host.peek_row(0, 18), bits)
+
+    def test_fill_subarray(self, ideal_host):
+        bits = random_bits(ideal_host, 11)
+        ideal_host.fill_subarray(0, 2, bits)
+        geometry = ideal_host.module.config.geometry
+        base = 2 * geometry.rows_per_subarray
+        for offset in (0, 50, geometry.rows_per_subarray - 1):
+            assert np.array_equal(ideal_host.peek_row(0, base + offset), bits)
+
+    def test_random_bits_width_and_density(self, ideal_host, rng):
+        bits = ideal_host.random_bits(rng)
+        assert bits.shape == (ideal_host.module.row_bits,)
+        dense = ideal_host.random_bits(rng, density=1.0)
+        assert np.all(dense == 1)

@@ -1,0 +1,62 @@
+"""Tests for the bundled testing infrastructure (the Fig.-4 bench)."""
+
+import numpy as np
+import pytest
+
+from repro import sk_hynix_chip
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.characterization.fleet import table1_specs
+from tests.conftest import SMALL_GEOMETRY
+
+
+class TestInfrastructure:
+    def test_for_config_builds_everything(self):
+        infra = TestingInfrastructure.for_config(
+            sk_hynix_chip().with_geometry(SMALL_GEOMETRY), chip_count=2, seed=1
+        )
+        assert infra.module.chip_count == 2
+        assert infra.host.module is infra.module
+        assert infra.thermal.module is infra.module
+
+    def test_for_spec_builds_from_table1(self):
+        spec = table1_specs(SMALL_GEOMETRY)[0]
+        infra = TestingInfrastructure.for_spec(spec, chip_count=1, seed=2)
+        assert infra.module.config is spec.chip
+        assert infra.module.chip_count == 1
+
+    def test_for_spec_defaults_to_full_chip_count(self):
+        spec = table1_specs(SMALL_GEOMETRY)[0]
+        infra = TestingInfrastructure.for_spec(spec, seed=2)
+        assert infra.module.chip_count == spec.chips_per_module
+
+    def test_temperature_cycle_preserves_data(self):
+        infra = TestingInfrastructure.for_config(
+            sk_hynix_chip().with_geometry(SMALL_GEOMETRY), chip_count=1, seed=3
+        )
+        bits = np.random.default_rng(0).integers(
+            0, 2, infra.module.row_bits, dtype=np.uint8
+        )
+        infra.host.write_row(0, 9, bits)
+        infra.set_temperature(95.0)
+        infra.set_temperature(50.0)
+        assert np.array_equal(infra.host.read_row(0, 9), bits)
+
+    def test_refresh_through_executor(self):
+        infra = TestingInfrastructure.for_config(
+            sk_hynix_chip().with_geometry(SMALL_GEOMETRY), chip_count=1, seed=4
+        )
+        host = infra.host
+        bits = np.ones(infra.module.row_bits, dtype=np.uint8)
+        host.fill_row(0, 3, bits)
+        program = host.new_program("refresh").ref(0)
+        result = host.run(program)
+        assert result.violations == []
+        assert np.array_equal(host.peek_row(0, 3), bits)
+
+    def test_distinct_seeds_give_distinct_modules(self):
+        config = sk_hynix_chip().with_geometry(SMALL_GEOMETRY)
+        a = TestingInfrastructure.for_config(config, chip_count=1, seed=5)
+        b = TestingInfrastructure.for_config(config, chip_count=1, seed=6)
+        offsets_a = a.module.chips[0].bank(0).stripes[1].offsets
+        offsets_b = b.module.chips[0].bank(0).stripes[1].offsets
+        assert not np.array_equal(offsets_a, offsets_b)

@@ -1,0 +1,86 @@
+"""Tests for command encoding and the test-program builder."""
+
+import numpy as np
+import pytest
+
+from repro.bender.commands import Command, Opcode
+from repro.bender.program import TestProgram
+from repro.dram.timing import timing_for_speed
+from repro.errors import ProgramError
+
+
+class TestCommand:
+    def test_act_requires_row(self):
+        with pytest.raises(ProgramError):
+            Command(Opcode.ACT, bank=0)
+
+    def test_wr_requires_data(self):
+        with pytest.raises(ProgramError):
+            Command(Opcode.WR, bank=0, row=1)
+
+    def test_wait_cycles_minimum(self):
+        with pytest.raises(ProgramError):
+            Command(Opcode.PRE, wait_cycles=0)
+
+    def test_negative_bank(self):
+        with pytest.raises(ProgramError):
+            Command(Opcode.PRE, bank=-1)
+
+    def test_describe(self):
+        command = Command(Opcode.ACT, bank=2, row=17, wait_cycles=3, label="x")
+        text = command.describe()
+        assert "ACT" in text and "b2" in text and "r17" in text and "+3ck" in text
+
+
+class TestProgramBuilder:
+    def setup_method(self):
+        self.timing = timing_for_speed(2666)
+
+    def test_fluent_chaining(self):
+        program = (
+            TestProgram(self.timing)
+            .act(0, 5, wait_ns=self.timing.t_ras)
+            .pre(0, wait_ns=self.timing.t_rp)
+        )
+        assert len(program) == 2
+        opcodes = [command.opcode for command in program]
+        assert opcodes == [Opcode.ACT, Opcode.PRE]
+
+    def test_wait_ns_quantized_up(self):
+        program = TestProgram(self.timing).act(0, 0, wait_ns=1.0)
+        assert program.commands[0].wait_cycles == 2  # ceil(1.0 / 0.75)
+
+    def test_wait_defaults_to_one_cycle(self):
+        program = TestProgram(self.timing).pre(0)
+        assert program.commands[0].wait_cycles == 1
+
+    def test_both_waits_rejected(self):
+        with pytest.raises(ProgramError):
+            TestProgram(self.timing).act(0, 0, wait_ns=5.0, wait_cycles=3)
+
+    def test_duration(self):
+        program = (
+            TestProgram(self.timing)
+            .act(0, 0, wait_cycles=10)
+            .pre(0, wait_cycles=20)
+        )
+        assert program.duration_ns == pytest.approx(30 * self.timing.t_ck)
+
+    def test_wr_data_stored(self):
+        data = np.ones(8, dtype=np.uint8)
+        program = TestProgram(self.timing).wr(0, 3, data, wait_cycles=2)
+        assert np.array_equal(program.commands[0].data, data)
+
+    def test_ref_defaults_to_trfc(self):
+        program = TestProgram(self.timing).ref(0)
+        assert program.commands[0].wait_cycles == self.timing.cycles(
+            self.timing.t_rfc
+        )
+
+    def test_describe_contains_every_command(self):
+        program = (
+            TestProgram(self.timing, name="demo").act(0, 1).pre(0).nop()
+        )
+        text = program.describe()
+        assert "demo" in text
+        assert text.count("\n") == 3

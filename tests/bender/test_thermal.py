@@ -1,0 +1,72 @@
+"""Tests for the thermal plant and temperature controller."""
+
+import math
+
+import pytest
+
+from repro import SeedTree, sk_hynix_chip
+from repro.bender.thermal import TemperatureController, ThermalPlant
+from repro.dram.module import Module
+from repro.errors import ThermalError
+
+
+class TestThermalPlant:
+    def test_relaxes_toward_heater(self):
+        plant = ThermalPlant(temperature_c=25.0, heater_c=95.0, tau_s=30.0)
+        plant.step(30.0)
+        expected = 95.0 + (25.0 - 95.0) * math.exp(-1.0)
+        assert plant.temperature_c == pytest.approx(expected)
+
+    def test_zero_dt_is_noop(self):
+        plant = ThermalPlant(temperature_c=40.0, heater_c=95.0)
+        plant.step(0.0)
+        assert plant.temperature_c == 40.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError):
+            ThermalPlant().step(-1.0)
+
+    def test_cooling_works_too(self):
+        plant = ThermalPlant(temperature_c=95.0, heater_c=50.0, tau_s=10.0)
+        plant.step(100.0)
+        assert plant.temperature_c == pytest.approx(50.0, abs=0.01)
+
+
+class TestController:
+    def _controller(self, small_geometry):
+        module = Module(
+            sk_hynix_chip().with_geometry(small_geometry),
+            chip_count=1,
+            seed_tree=SeedTree(0),
+        )
+        return module, TemperatureController(module)
+
+    def test_settles_and_propagates(self, small_geometry):
+        module, controller = self._controller(small_geometry)
+        controller.set_target(95.0)
+        assert controller.temperature_c == 95.0
+        assert module.temperature_c == 95.0
+
+    def test_target_sequence(self, small_geometry):
+        module, controller = self._controller(small_geometry)
+        for target in (50.0, 80.0, 60.0, 95.0):
+            controller.set_target(target)
+            assert module.temperature_c == target
+
+    def test_out_of_range_target(self, small_geometry):
+        _module, controller = self._controller(small_geometry)
+        with pytest.raises(ThermalError):
+            controller.set_target(200.0)
+        with pytest.raises(ThermalError):
+            controller.set_target(0.0)
+
+    def test_infrastructure_wires_everything(self, small_geometry):
+        from repro.bender.infrastructure import TestingInfrastructure
+
+        infra = TestingInfrastructure.for_config(
+            sk_hynix_chip().with_geometry(small_geometry), chip_count=1, seed=3
+        )
+        infra.set_temperature(70.0)
+        assert infra.temperature_c == 70.0
+        assert infra.module.temperature_c == 70.0
+        assert infra.host.module is infra.module

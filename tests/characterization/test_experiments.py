@@ -1,0 +1,168 @@
+"""Smoke + trend tests for every table/figure experiment at SMOKE scale.
+
+These verify each experiment's structure and the paper's key *orderings*
+(which must hold even at small scale); the quantitative comparison
+against paper anchors lives in EXPERIMENTS.md at the default scale.
+"""
+
+import pytest
+
+from repro.characterization import REGISTRY, SMOKE, run_experiment
+from repro.characterization.experiments import TITLES
+
+FAST = SMOKE.with_trials(30)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run every experiment once at smoke scale and share the outcomes."""
+    return {
+        experiment_id: run_experiment(experiment_id, FAST, seed=3)
+        for experiment_id in REGISTRY
+    }
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {
+            "table1", "capability", "fig5", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "fig21",
+        }
+        assert set(REGISTRY) == expected
+        assert set(TITLES) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", FAST)
+
+
+class TestStructure:
+    def test_ids_match(self, results):
+        for experiment_id, result in results.items():
+            assert result.experiment_id == experiment_id
+            assert result.title == TITLES[experiment_id]
+
+    def test_every_experiment_produces_output(self, results):
+        for experiment_id, result in results.items():
+            assert result.groups or result.extras, experiment_id
+
+    def test_rates_are_valid_fractions(self, results):
+        for experiment_id, result in results.items():
+            if experiment_id in ("table1",):
+                continue
+            for label, stats in result.groups.items():
+                assert 0.0 <= stats.minimum <= stats.maximum <= 1.0, (
+                    experiment_id, label,
+                )
+
+
+class TestPaperTrends:
+    def test_table1_population(self, results):
+        extras = results["table1"].extras
+        assert extras["analyzed_chips"] == 256
+        assert extras["tested_modules"] == 28
+
+    def test_fig5_high_n_dominates(self, results):
+        means = results["fig5"].group_means()
+        # Observation 1/2: 8:8 and 16:16 are the dominant types.
+        assert means["8:8"] > means["2:2"] > means["1:1"]
+
+    def test_fig7_one_destination_beats_thirty_two(self, results):
+        means = results["fig7"].group_means()
+        assert means["1 dst"] > 0.9
+        assert means["32 dst"] < 0.35
+        assert means["1 dst"] > means["16 dst"] > means["32 dst"]
+
+    def test_fig7_some_perfect_cells(self, results):
+        # Observation 3.  At smoke scale only a few dozen cells exist per
+        # group, so the rare always-strong population (2% of columns) is
+        # only guaranteed statistically for the lower destination counts.
+        for label in ("1 dst", "2 dst", "4 dst", "8 dst"):
+            assert results["fig7"].groups[label].maximum > 0.95, label
+
+    def test_fig8_n2n_beats_nn_at_16_destinations(self, results):
+        means = results["fig8"].group_means()
+        # Observation 5's flagship comparison.
+        if "8:16" in means and "16:16" in means:
+            assert means["8:16"] > means["16:16"]
+
+    def test_fig9_far_close_is_worst(self, results):
+        heatmap = results["fig9"].extras["heatmap"]
+        far_close = heatmap.get((2, 0))
+        if far_close is None:
+            pytest.skip("Far-Close cell not populated at smoke scale")
+        assert far_close == min(heatmap.values())
+
+    def test_fig10_temperature_effect_small(self, results):
+        assert results["fig10"].extras["max_mean_variation"] < 0.08
+
+    def test_fig11_dip_at_2400(self, results):
+        means = results["fig11"].group_means()
+        if "4 dst @2400MT/s" in means:
+            assert means["4 dst @2400MT/s"] < means["4 dst @2133MT/s"]
+            assert means["4 dst @2400MT/s"] < means["4 dst @2666MT/s"]
+
+    def test_fig12_samsung_a_beats_d(self, results):
+        means = results["fig12"].group_means()
+        assert means["Samsung 8Gb A-die"] > means["Samsung 8Gb D-die"]
+
+    def test_fig15_and_tracks_nand(self, results):
+        means = results["fig15"].group_means()
+        for n in (2, 4, 8, 16):
+            if f"AND n={n}" in means and f"NAND n={n}" in means:
+                assert means[f"AND n={n}"] == pytest.approx(
+                    means[f"NAND n={n}"], abs=0.06
+                )
+
+    def test_fig15_or_beats_and_at_two_inputs(self, results):
+        means = results["fig15"].group_means()
+        assert means["OR n=2"] > means["AND n=2"]
+
+    def test_fig16_and_worst_at_high_ones(self, results):
+        series = results["fig16"].extras["series"]
+        and4 = series["AND4"]
+        assert and4[0] > and4[3]  # 0 logic-1s much easier than 3 of 4
+
+    def test_fig16_or_worst_at_low_ones(self, results):
+        series = results["fig16"].extras["series"]
+        or4 = series["OR4"]
+        assert or4[4] > or4[1]
+
+    def test_fig17_and_varies_more_than_or(self, results):
+        extras = results["fig17"].extras
+        if "variation_and" in extras and "variation_or" in extras:
+            assert extras["variation_and"] > extras["variation_or"]
+
+    def test_fig18_random_not_better_than_all01(self, results):
+        deltas = results["fig18"].extras["all01_minus_random"]
+        assert all(delta > -0.02 for delta in deltas.values())
+
+    def test_fig19_temperature_effect_small(self, results):
+        variations = results["fig19"].extras["max_mean_variation"]
+        assert all(v < 0.10 for v in variations.values())
+
+    def test_fig20_ops_dip_at_2400(self, results):
+        means = results["fig20"].group_means()
+        if "NAND n=4 @2400MT/s" in means:
+            assert means["NAND n=4 @2400MT/s"] < means["NAND n=4 @2133MT/s"]
+
+    def test_capability_matrix_matches_section7(self, results):
+        matrix = results["capability"].extras["matrix"]
+        for name, row in matrix.items():
+            if name.startswith("micron"):
+                assert not row["rowclone"] and row["max_not_dst"] == 0
+            elif name.startswith("samsung"):
+                assert row["rowclone"]
+                assert row["max_not_dst"] == 1
+                assert row["max_op_inputs"] == 0
+            else:
+                assert row["rowclone"]
+                assert row["max_not_dst"] >= 1
+                assert row["max_op_inputs"] >= 8
+
+    def test_fig21_no_16_input_for_8gb_m(self, results):
+        # Footnote 12: the 8Gb M-die module stops at 8-input operations.
+        assert not any(
+            "n=16 8Gb M" in label for label in results["fig21"].groups
+        )

@@ -1,0 +1,89 @@
+"""Tests for the Table-1 fleet construction."""
+
+import pytest
+
+from repro.characterization.fleet import (
+    all_specs,
+    iter_modules,
+    micron_specs,
+    specs_for,
+    table1_specs,
+)
+from repro.dram.config import ActivationSupport, ChipGeometry, Manufacturer
+
+
+class TestTable1Population:
+    def test_analyzed_totals_match_paper(self):
+        specs = table1_specs()
+        assert sum(s.module_count for s in specs) == 22
+        assert sum(s.total_chips for s in specs) == 256
+
+    def test_full_population_matches_paper(self):
+        specs = all_specs()
+        assert sum(s.module_count for s in specs) == 28
+        assert sum(s.total_chips for s in specs) == 280
+
+    def test_manufacturer_split(self):
+        hynix = [s for s in table1_specs() if s.chip.manufacturer is Manufacturer.SK_HYNIX]
+        samsung = [s for s in table1_specs() if s.chip.manufacturer is Manufacturer.SAMSUNG]
+        assert sum(s.module_count for s in hynix) == 18
+        assert sum(s.module_count for s in samsung) == 4
+        assert sum(s.total_chips for s in hynix) == 224
+        assert sum(s.total_chips for s in samsung) == 32
+
+    def test_micron_excluded_from_table1(self):
+        assert all(
+            s.chip.manufacturer is not Manufacturer.MICRON for s in table1_specs()
+        )
+        assert all(
+            s.chip.activation_support is ActivationSupport.NONE
+            for s in micron_specs()
+        )
+
+    def test_samsung_is_sequential_only(self):
+        for spec in specs_for([Manufacturer.SAMSUNG]):
+            assert spec.chip.activation_support is ActivationSupport.SEQUENTIAL_ONLY
+            assert spec.chip.max_simultaneous_n == 1
+
+    def test_footnote12_module_capped_at_8(self):
+        spec = next(s for s in table1_specs() if s.name == "hynix-8gb-m-x4-2666")
+        assert spec.chip.max_simultaneous_n == 8
+
+    def test_speed_grades_present(self):
+        speeds = {s.chip.speed_rate_mts for s in table1_specs()}
+        assert {2133, 2400, 2666, 3200} <= speeds
+
+    def test_geometry_injection(self):
+        geometry = ChipGeometry(
+            banks=1, subarrays_per_bank=2, rows_per_subarray=96, columns=32
+        )
+        for spec in table1_specs(geometry):
+            assert spec.chip.geometry is geometry
+
+    def test_spec_names_unique(self):
+        names = [s.name for s in all_specs()]
+        assert len(names) == len(set(names))
+
+
+class TestIterModules:
+    def test_instantiates_and_limits(self):
+        geometry = ChipGeometry(
+            banks=1, subarrays_per_bank=2, rows_per_subarray=96, columns=32
+        )
+        seen = []
+        for spec, module in iter_modules(
+            table1_specs(geometry)[:3], modules_per_spec=1, chips_per_module=1, seed=0
+        ):
+            seen.append((spec.name, module.chip_count))
+        assert len(seen) == 3
+        assert all(count == 1 for _name, count in seen)
+
+    def test_respects_module_count_ceiling(self):
+        geometry = ChipGeometry(
+            banks=1, subarrays_per_bank=2, rows_per_subarray=96, columns=32
+        )
+        spec = table1_specs(geometry)[2]  # module_count == 1
+        modules = list(
+            iter_modules([spec], modules_per_spec=5, chips_per_module=1, seed=0)
+        )
+        assert len(modules) == 1

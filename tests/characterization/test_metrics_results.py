@@ -1,0 +1,117 @@
+"""Tests for box statistics, weighted samples, and result containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.characterization.metrics import BoxStats, WeightedSamples
+from repro.characterization.results import ExperimentResult
+
+rates = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50
+)
+
+
+class TestBoxStats:
+    def test_known_values(self):
+        stats = BoxStats.from_values(np.arange(101) / 100.0)
+        assert stats.median == pytest.approx(0.5)
+        assert stats.q1 == pytest.approx(0.25)
+        assert stats.q3 == pytest.approx(0.75)
+        assert stats.iqr == pytest.approx(0.5)
+        assert stats.minimum == 0.0
+        assert stats.maximum == 1.0
+        assert stats.count == 101
+
+    @given(rates)
+    def test_ordering_invariant(self, values):
+        stats = BoxStats.from_values(np.array(values))
+        assert (
+            stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+        )
+        # The mean is only bounded up to floating-point summation error.
+        eps = 1e-12
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxStats.from_values(np.array([]))
+
+    def test_format_percent(self):
+        text = BoxStats.from_values(np.array([0.5])).format_percent()
+        assert "mean  50.0%" in text
+
+
+class TestWeightedSamples:
+    def test_weights_repeat_samples(self):
+        samples = WeightedSamples()
+        samples.add(np.array([0.0]), weight=1)
+        samples.add(np.array([1.0]), weight=3)
+        assert samples.mean == pytest.approx(0.75)
+        assert samples.values().tolist() == [0.0, 1.0, 1.0, 1.0]
+
+    def test_raw_count_ignores_weights(self):
+        samples = WeightedSamples()
+        samples.add(np.array([0.5, 0.5]), weight=9)
+        assert samples.raw_count == 2
+
+    def test_empty(self):
+        samples = WeightedSamples()
+        assert samples.empty
+        assert samples.values().size == 0
+        with pytest.raises(ValueError):
+            _ = samples.mean
+
+    def test_extend(self):
+        a, b = WeightedSamples(), WeightedSamples()
+        a.add(np.array([0.1]))
+        b.add(np.array([0.9]))
+        a.extend(b)
+        assert a.mean == pytest.approx(0.5)
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError):
+            WeightedSamples().add(np.array([0.5]), weight=0)
+
+    @given(rates, st.integers(min_value=1, max_value=5))
+    def test_weighted_mean_matches_repeat(self, values, weight):
+        samples = WeightedSamples()
+        samples.add(np.array(values), weight=weight)
+        assert samples.mean == pytest.approx(np.mean(values))
+
+    def test_box_uses_weights(self):
+        samples = WeightedSamples()
+        samples.add(np.array([0.0]), weight=1)
+        samples.add(np.array([1.0]), weight=9)
+        assert samples.box().median == 1.0
+
+
+class TestExperimentResult:
+    def _result(self):
+        result = ExperimentResult("figX", "demo")
+        result.add_group("a", BoxStats.from_values(np.array([0.5, 0.7])))
+        result.add_group("b", BoxStats.from_values(np.array([0.9])))
+        return result
+
+    def test_group_means(self):
+        result = self._result()
+        assert result.group_means() == {
+            "a": pytest.approx(0.6),
+            "b": pytest.approx(0.9),
+        }
+        assert result.mean_of("b") == pytest.approx(0.9)
+
+    def test_format_table_contains_groups(self):
+        text = self._result().format_table()
+        assert "figX" in text and "a" in text and "b" in text
+
+    def test_format_heatmap(self):
+        result = ExperimentResult("figY", "heat")
+        result.extras["heatmap"] = {(0, 0): 0.5, (2, 1): 0.9}
+        text = result.format_heatmap()
+        assert "50.0%" in text and "90.0%" in text and "--" in text
+
+    def test_format_heatmap_missing_key(self):
+        with pytest.raises(KeyError):
+            self._result().format_heatmap()

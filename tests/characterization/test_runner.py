@@ -1,0 +1,119 @@
+"""Tests for the sweep runner machinery."""
+
+import numpy as np
+import pytest
+
+from repro.characterization.runner import (
+    SMOKE,
+    Scale,
+    find_logic_measurement,
+    find_not_measurement,
+    good_cell_mask,
+    iter_targets,
+    region_predicate,
+)
+from repro.core.success import SuccessResult
+from repro.dram.config import ActivationSupport, Manufacturer
+from repro.dram.decoder import ActivationKind
+
+
+def first_target(**kwargs):
+    return next(iter(iter_targets(SMOKE, seed=0, **kwargs)))
+
+
+class TestIterTargets:
+    def test_covers_all_specs(self):
+        names = {t.spec.name for t in iter_targets(SMOKE, seed=0)}
+        assert len(names) == 9  # Table-1 spec types
+
+    def test_manufacturer_filter(self):
+        targets = list(
+            iter_targets(SMOKE, seed=0, manufacturers=[Manufacturer.SAMSUNG])
+        )
+        assert targets
+        assert all(t.manufacturer is Manufacturer.SAMSUNG for t in targets)
+
+    def test_weights_reflect_population(self):
+        weights = {
+            t.spec.name: t.weight for t in iter_targets(SMOKE, seed=0)
+        }
+        assert weights["hynix-4gb-m-x8-2666"] == 9
+        assert weights["hynix-8gb-a-x8-2666"] == 1
+
+    def test_micron_included_on_request(self):
+        targets = list(iter_targets(SMOKE, seed=0, include_micron=True))
+        assert any(t.manufacturer is Manufacturer.MICRON for t in targets)
+
+    def test_pair_seed_stable(self):
+        a = first_target().pair_seed("x")
+        b = first_target().pair_seed("x")
+        assert a == b
+
+
+class TestFindMeasurements:
+    def test_not_measurement_on_hynix(self):
+        target = first_target(manufacturers=[Manufacturer.SK_HYNIX])
+        measurement = find_not_measurement(target, 4)
+        assert measurement is not None
+        assert measurement.n_destination_rows == 4
+
+    def test_not_32_requires_n2n_support(self):
+        for target in iter_targets(
+            SMOKE, seed=0, manufacturers=[Manufacturer.SK_HYNIX]
+        ):
+            measurement = find_not_measurement(target, 32)
+            if target.spec.chip.supports_n_to_2n:
+                assert measurement is not None
+            else:
+                assert measurement is None
+
+    def test_samsung_only_single_destination(self):
+        target = first_target(manufacturers=[Manufacturer.SAMSUNG])
+        assert find_not_measurement(target, 1) is not None
+        assert find_not_measurement(target, 2) is None
+
+    def test_micron_never(self):
+        targets = [
+            t
+            for t in iter_targets(SMOKE, seed=0, include_micron=True)
+            if t.spec.chip.activation_support is ActivationSupport.NONE
+        ]
+        assert targets
+        assert find_not_measurement(targets[0], 1) is None
+
+    def test_logic_measurement_caps_by_die(self):
+        for target in iter_targets(
+            SMOKE, seed=0, manufacturers=[Manufacturer.SK_HYNIX]
+        ):
+            measurement = find_logic_measurement(target, "and", 16)
+            if target.spec.chip.max_simultaneous_n >= 16:
+                assert measurement is not None
+            else:
+                assert measurement is None
+
+    def test_logic_needs_two_inputs(self):
+        target = first_target(manufacturers=[Manufacturer.SK_HYNIX])
+        assert find_logic_measurement(target, "and", 1) is None
+
+    def test_region_predicate_filters(self):
+        target = first_target(manufacturers=[Manufacturer.SK_HYNIX])
+        predicate = region_predicate(target, 0, 2)
+        measurement = find_not_measurement(target, 1, predicate=predicate)
+        if measurement is None:
+            pytest.skip("no Close-Far 1:1 pair at smoke scale")
+        bank = target.module.chips[0].bank(target.bank)
+        assert bank.pattern_regions(measurement.pattern) == (0, 2)
+
+
+class TestGoodCellMask:
+    def test_threshold(self):
+        result = SuccessResult(np.array([[95, 80]]), trials=100)
+        mask = good_cell_mask(result, threshold=0.9)
+        assert mask.tolist() == [[True, False]]
+
+
+class TestScale:
+    def test_with_trials(self):
+        scaled = SMOKE.with_trials(7)
+        assert scaled.trials == 7
+        assert scaled.geometry == SMOKE.geometry

@@ -1,0 +1,101 @@
+"""Shared fixtures.
+
+Two module flavors are used throughout:
+
+* ``ideal_host`` — a chip with :func:`repro.ideal_calibration`: noise-free
+  and always-engaging, for *functional* tests (what an operation
+  computes).
+* ``real_host`` — the calibrated SK Hynix reference die, for *behavioral*
+  tests (how reliably it computes, manufacturer policies, statistics).
+
+Both use a small geometry so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ChipGeometry,
+    SeedTree,
+    ideal_calibration,
+    micron_chip,
+    samsung_chip,
+    sk_hynix_chip,
+)
+from repro.bender import DramBenderHost
+from repro.dram.module import Module
+
+#: Small but structurally complete: 4 subarrays, 192 rows (12 LWL blocks,
+#: divisible by 32 for the largest activation span), 64 columns.
+SMALL_GEOMETRY = ChipGeometry(
+    banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+)
+
+
+@pytest.fixture(scope="session")
+def small_geometry():
+    return SMALL_GEOMETRY
+
+
+@pytest.fixture(scope="session")
+def hynix_config(small_geometry):
+    return sk_hynix_chip().with_geometry(small_geometry)
+
+
+@pytest.fixture(scope="session")
+def samsung_config(small_geometry):
+    return samsung_chip().with_geometry(small_geometry)
+
+
+@pytest.fixture(scope="session")
+def micron_config(small_geometry):
+    return micron_chip().with_geometry(small_geometry)
+
+
+@pytest.fixture()
+def ideal_module(hynix_config):
+    return Module(
+        hynix_config,
+        chip_count=1,
+        seed_tree=SeedTree(7),
+        calibration=ideal_calibration(),
+    )
+
+
+@pytest.fixture()
+def ideal_host(ideal_module):
+    return DramBenderHost(ideal_module)
+
+
+@pytest.fixture()
+def real_module(hynix_config):
+    return Module(hynix_config, chip_count=1, seed_tree=SeedTree(7))
+
+
+@pytest.fixture()
+def real_host(real_module):
+    return DramBenderHost(real_module)
+
+
+@pytest.fixture()
+def samsung_host(samsung_config):
+    module = Module(samsung_config, chip_count=1, seed_tree=SeedTree(11))
+    return DramBenderHost(module)
+
+
+@pytest.fixture()
+def micron_host(micron_config):
+    module = Module(micron_config, chip_count=1, seed_tree=SeedTree(13))
+    return DramBenderHost(module)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_row(host: DramBenderHost, rng: np.random.Generator) -> np.ndarray:
+    """A random module-width row pattern."""
+    return rng.integers(0, 2, host.module.row_bits, dtype=np.uint8)

@@ -1,0 +1,105 @@
+"""Tests for address-pair discovery and layout helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import find_pattern_pair, find_pattern_pairs
+from repro.core.layout import (
+    bank_rows,
+    chip_shared_columns,
+    module_shared_columns,
+    neighboring_subarray_pairs,
+)
+from repro.dram.decoder import ActivationKind
+from repro.errors import AddressError, ReverseEngineeringError
+
+
+class TestFindPatternPairs:
+    def test_finds_requested_pattern(self, ideal_host):
+        decoder = ideal_host.module.decoder
+        geometry = ideal_host.module.config.geometry
+        for n in (1, 2, 4, 8, 16):
+            row_f, row_l = find_pattern_pair(
+                decoder, geometry, 0, 0, 1, n, ActivationKind.N_TO_N, seed=n
+            )
+            pattern = decoder.neighboring_pattern(0, row_f, row_l)
+            assert pattern.kind is ActivationKind.N_TO_N
+            assert pattern.n_first == n
+
+    def test_limit_respected(self, ideal_host):
+        pairs = find_pattern_pairs(
+            ideal_host.module.decoder,
+            ideal_host.module.config.geometry,
+            0, 0, 1, 8, ActivationKind.N_TO_N, limit=5,
+        )
+        assert len(pairs) == 5
+        assert len(set(pairs)) == 5
+
+    def test_budget_exhaustion_raises(self, ideal_host):
+        with pytest.raises(ReverseEngineeringError):
+            find_pattern_pairs(
+                ideal_host.module.decoder,
+                ideal_host.module.config.geometry,
+                0, 0, 1, 16, ActivationKind.N_TO_2N,
+                limit=10_000, max_tries=200,
+            )
+
+    def test_predicate_filters(self, ideal_host):
+        decoder = ideal_host.module.decoder
+        geometry = ideal_host.module.config.geometry
+
+        def first_row_low(pattern, row_f, row_l):
+            return geometry.local_row(row_f) < 96
+
+        row_f, _row_l = find_pattern_pair(
+            decoder, geometry, 0, 0, 1, 4, ActivationKind.N_TO_N,
+            predicate=first_row_low,
+        )
+        assert geometry.local_row(row_f) < 96
+
+    def test_deterministic_for_seed(self, ideal_host):
+        args = (
+            ideal_host.module.decoder,
+            ideal_host.module.config.geometry,
+            0, 0, 1, 4, ActivationKind.N_TO_N,
+        )
+        assert find_pattern_pair(*args, seed=9) == find_pattern_pair(*args, seed=9)
+
+    def test_rejects_zero_limit(self, ideal_host):
+        with pytest.raises(ValueError):
+            find_pattern_pairs(
+                ideal_host.module.decoder,
+                ideal_host.module.config.geometry,
+                0, 0, 1, 4, ActivationKind.N_TO_N, limit=0,
+            )
+
+
+class TestLayout:
+    def test_shared_columns_alternate(self, small_geometry):
+        cols_01 = chip_shared_columns(small_geometry, 0, 1)
+        cols_12 = chip_shared_columns(small_geometry, 1, 2)
+        assert np.array_equal(cols_01, np.arange(1, 64, 2))
+        assert np.array_equal(cols_12, np.arange(0, 64, 2))
+
+    def test_shared_columns_rejects_non_neighbors(self, small_geometry):
+        with pytest.raises(AddressError):
+            chip_shared_columns(small_geometry, 0, 2)
+
+    def test_module_shared_columns_span_chips(self, hynix_config):
+        from repro import SeedTree
+        from repro.dram.module import Module
+
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(0))
+        columns = module_shared_columns(module, 0, 1)
+        assert columns.size == module.row_bits // 2
+        per_chip = chip_shared_columns(hynix_config.geometry, 0, 1)
+        assert np.array_equal(columns[: per_chip.size], per_chip)
+        assert np.array_equal(columns[per_chip.size:], per_chip + 64)
+
+    def test_bank_rows(self, small_geometry):
+        assert bank_rows(small_geometry, 1, [0, 5]) == [192, 197]
+
+    def test_neighboring_pairs(self, small_geometry):
+        assert neighboring_subarray_pairs(small_geometry) == [
+            (0, 1), (1, 2), (2, 3),
+        ]

@@ -1,0 +1,155 @@
+"""Tests for bit-serial in-DRAM integer arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arith import BitSerialAlu, from_bit_slices, to_bit_slices
+
+WIDTH = 6
+
+
+@pytest.fixture()
+def alu(ideal_host):
+    return BitSerialAlu(ideal_host, bank=0, subarray_pair=(0, 1), maj_subarray=2)
+
+
+def lanes_of(alu, rng, width=WIDTH):
+    return rng.integers(0, 1 << width, alu.lanes)
+
+
+class TestBitSlicing:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=32))
+    def test_round_trip(self, values):
+        values = np.array(values)
+        assert np.array_equal(from_bit_slices(to_bit_slices(values, 8)), values)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            to_bit_slices(np.array([256]), 8)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            to_bit_slices(np.array([-1]), 8)
+
+    def test_shape(self):
+        slices = to_bit_slices(np.array([1, 2, 3]), 4)
+        assert slices.shape == (4, 3)
+
+
+class TestAdd:
+    def test_vectorized_addition(self, alu):
+        rng = np.random.default_rng(0)
+        a, b = lanes_of(alu, rng), lanes_of(alu, rng)
+        total = alu.add(to_bit_slices(a, WIDTH), to_bit_slices(b, WIDTH))
+        assert total.shape == (WIDTH + 1, alu.lanes)
+        assert np.array_equal(from_bit_slices(total), a + b)
+
+    def test_carry_out(self, alu):
+        full = np.full(alu.lanes, (1 << WIDTH) - 1)
+        one = np.ones(alu.lanes, dtype=np.int64)
+        total = alu.add(to_bit_slices(full, WIDTH), to_bit_slices(one, WIDTH))
+        assert np.all(total[WIDTH] == 1)  # overflow into the carry bit
+
+    def test_carry_in(self, alu):
+        zero = np.zeros(alu.lanes, dtype=np.int64)
+        total = alu.add(
+            to_bit_slices(zero, WIDTH),
+            to_bit_slices(zero, WIDTH),
+            carry_in=np.ones(alu.lanes, dtype=np.uint8),
+        )
+        assert np.array_equal(from_bit_slices(total), zero + 1)
+
+    def test_width_mismatch(self, alu):
+        with pytest.raises(ValueError):
+            alu.add(
+                np.zeros((4, alu.lanes), dtype=np.uint8),
+                np.zeros((5, alu.lanes), dtype=np.uint8),
+            )
+
+    def test_lane_mismatch(self, alu):
+        with pytest.raises(ValueError):
+            alu.add(np.zeros((4, 3), dtype=np.uint8), np.zeros((4, 3), dtype=np.uint8))
+
+
+class TestSubtractCompare:
+    def test_subtract(self, alu):
+        rng = np.random.default_rng(1)
+        a, b = lanes_of(alu, rng), lanes_of(alu, rng)
+        result = alu.subtract(to_bit_slices(a, WIDTH), to_bit_slices(b, WIDTH))
+        expected = (a - b) % (1 << WIDTH)
+        assert np.array_equal(from_bit_slices(result), expected)
+
+    def test_negate(self, alu):
+        rng = np.random.default_rng(2)
+        a = lanes_of(alu, rng)
+        result = alu.negate(to_bit_slices(a, WIDTH))
+        expected = (-a) % (1 << WIDTH)
+        assert np.array_equal(from_bit_slices(result), expected)
+
+    def test_less_than(self, alu):
+        rng = np.random.default_rng(3)
+        a, b = lanes_of(alu, rng), lanes_of(alu, rng)
+        flags = alu.less_than(to_bit_slices(a, WIDTH), to_bit_slices(b, WIDTH))
+        assert np.array_equal(flags, (a < b).astype(np.uint8))
+
+    def test_equals(self, alu):
+        rng = np.random.default_rng(4)
+        a = lanes_of(alu, rng)
+        b = a.copy()
+        flip = rng.random(alu.lanes) < 0.5
+        b[flip] = (b[flip] + 1) % (1 << WIDTH)
+        flags = alu.equals(to_bit_slices(a, WIDTH), to_bit_slices(b, WIDTH))
+        assert np.array_equal(flags, (a == b).astype(np.uint8))
+
+    def test_equals_single_bit(self, alu):
+        a = np.array([[0, 1] * (alu.lanes // 2)], dtype=np.uint8)
+        b = np.zeros((1, alu.lanes), dtype=np.uint8)
+        flags = alu.equals(a, b)
+        assert np.array_equal(flags, 1 - a[0])
+
+
+class TestMultiply:
+    def test_vectorized_multiplication(self, alu):
+        rng = np.random.default_rng(5)
+        a = lanes_of(alu, rng, width=4)
+        b = lanes_of(alu, rng, width=4)
+        product = alu.multiply(to_bit_slices(a, 4), to_bit_slices(b, 4))
+        assert product.shape == (8, alu.lanes)
+        assert np.array_equal(from_bit_slices(product), a * b)
+
+    def test_multiply_by_zero_and_one(self, alu):
+        rng = np.random.default_rng(6)
+        a = lanes_of(alu, rng, width=4)
+        zero = np.zeros(alu.lanes, dtype=np.int64)
+        one = np.ones(alu.lanes, dtype=np.int64)
+        assert np.all(
+            from_bit_slices(alu.multiply(to_bit_slices(a, 4), to_bit_slices(zero, 4)))
+            == 0
+        )
+        assert np.array_equal(
+            from_bit_slices(alu.multiply(to_bit_slices(a, 4), to_bit_slices(one, 4))),
+            a,
+        )
+
+    def test_mixed_widths(self, alu):
+        rng = np.random.default_rng(7)
+        a = lanes_of(alu, rng, width=5)
+        b = lanes_of(alu, rng, width=3)
+        product = alu.multiply(to_bit_slices(a, 5), to_bit_slices(b, 3))
+        assert product.shape == (8, alu.lanes)
+        assert np.array_equal(from_bit_slices(product), a * b)
+
+
+class TestConstruction:
+    def test_unaligned_maj_block_rejected(self, ideal_host):
+        with pytest.raises(ValueError):
+            BitSerialAlu(
+                ideal_host, subarray_pair=(0, 1), maj_subarray=2,
+                maj_block_local_row=2,
+            )
+
+    def test_auto_maj_subarray(self, ideal_host):
+        alu = BitSerialAlu(ideal_host, subarray_pair=(0, 1))
+        assert alu.lanes > 0

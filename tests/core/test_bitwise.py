@@ -1,0 +1,100 @@
+"""Tests for the bulk bitwise accelerator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitwise import BitwiseAccelerator
+from repro.errors import UnsupportedOperationError
+
+
+@pytest.fixture()
+def accelerator(ideal_host):
+    return BitwiseAccelerator(ideal_host, bank=0, subarray_pair=(0, 1))
+
+
+def vectors(accelerator, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2, accelerator.vector_width, dtype=np.uint8)
+        for _ in range(count)
+    ]
+
+
+class TestBaseOps:
+    def test_vector_width_is_half_row(self, accelerator, ideal_host):
+        assert accelerator.vector_width == ideal_host.module.row_bits // 2
+
+    def test_and(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=1)
+        assert np.array_equal(accelerator.and_(a, b), a & b)
+
+    def test_or(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=2)
+        assert np.array_equal(accelerator.or_(a, b), a | b)
+
+    def test_nand(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=3)
+        assert np.array_equal(accelerator.nand(a, b), 1 - (a & b))
+
+    def test_nor(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=4)
+        assert np.array_equal(accelerator.nor(a, b), 1 - (a | b))
+
+    def test_not(self, accelerator):
+        (a,) = vectors(accelerator, 1, seed=5)
+        assert np.array_equal(accelerator.not_(a), 1 - a)
+
+    @pytest.mark.parametrize("count", [3, 5, 9, 16])
+    def test_many_input_and_padding(self, accelerator, count):
+        operands = vectors(accelerator, count, seed=count)
+        expected = operands[0].copy()
+        for operand in operands[1:]:
+            expected &= operand
+        assert np.array_equal(accelerator.and_(*operands), expected)
+
+    @pytest.mark.parametrize("count", [3, 7, 12])
+    def test_many_input_or_padding(self, accelerator, count):
+        operands = vectors(accelerator, count, seed=10 + count)
+        expected = operands[0].copy()
+        for operand in operands[1:]:
+            expected |= operand
+        assert np.array_equal(accelerator.or_(*operands), expected)
+
+    def test_too_many_operands(self, accelerator):
+        with pytest.raises(UnsupportedOperationError):
+            accelerator.and_(*vectors(accelerator, 17))
+
+    def test_too_few_operands(self, accelerator):
+        with pytest.raises(ValueError):
+            accelerator.and_(vectors(accelerator, 1)[0])
+
+    def test_wrong_width_rejected(self, accelerator):
+        with pytest.raises(ValueError):
+            accelerator.and_(np.zeros(3, dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+
+
+class TestComposedOps:
+    def test_xor(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=6)
+        assert np.array_equal(accelerator.xor(a, b), a ^ b)
+
+    def test_xnor(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=7)
+        assert np.array_equal(accelerator.xnor(a, b), 1 - (a ^ b))
+
+    @pytest.mark.parametrize("seed", [0, 17, 91, 2024, 65535])
+    def test_xor_property(self, seed, ideal_host):
+        accelerator = BitwiseAccelerator(ideal_host, bank=0, subarray_pair=(0, 1))
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 2, accelerator.vector_width, dtype=np.uint8)
+        b = rng.integers(0, 2, accelerator.vector_width, dtype=np.uint8)
+        assert np.array_equal(accelerator.xor(a, b), a ^ b)
+
+    def test_pair_discovery_cached(self, accelerator):
+        a, b = vectors(accelerator, 2, seed=8)
+        accelerator.and_(a, b)
+        pair_first = accelerator._logic_pairs[2]
+        accelerator.and_(a, b)
+        assert accelerator._logic_pairs[2] == pair_first

@@ -1,0 +1,154 @@
+"""Tests for the Boolean-expression compiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitwise import BitwiseAccelerator
+from repro.core.compiler import (
+    And,
+    Not,
+    Or,
+    Step,
+    Var,
+    Xor,
+    compile_expression,
+    v,
+)
+from repro.errors import ReproError
+
+NAMES = ("a", "b", "c", "d")
+
+
+@pytest.fixture()
+def accelerator(ideal_host):
+    return BitwiseAccelerator(ideal_host, bank=0, subarray_pair=(0, 1))
+
+
+def bindings_for(accelerator, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        name: rng.integers(0, 2, accelerator.vector_width, dtype=np.uint8)
+        for name in NAMES
+    }
+
+
+# Recursive random expressions over four variables.
+expressions = st.recursive(
+    st.sampled_from([v(name) for name in NAMES]),
+    lambda children: st.one_of(
+        st.builds(Not, children),
+        st.builds(lambda a, b: And(a, b), children, children),
+        st.builds(lambda a, b: Or(a, b), children, children),
+        st.builds(Xor, children, children),
+    ),
+    max_leaves=8,
+)
+
+
+class TestCompilation:
+    def test_bare_variable(self, accelerator):
+        program = compile_expression(v("a"))
+        assert program.total_ops == 0
+        values = bindings_for(accelerator)
+        assert np.array_equal(program.run(accelerator, values), values["a"])
+
+    def test_fanin_fusion(self):
+        expr = And(And(v("a"), v("b")), And(v("c"), v("d")))
+        program = compile_expression(expr)
+        # One 4-input AND instead of three 2-input ANDs.
+        assert program.steps == [Step("and", ("a", "b", "c", "d"))]
+
+    def test_complement_fusion(self):
+        program = compile_expression(Not(And(v("a"), v("b"))))
+        assert program.steps == [Step("nand", ("a", "b"))]
+        program = compile_expression(Not(Or(v("a"), v("b"))))
+        assert program.steps == [Step("nor", ("a", "b"))]
+
+    def test_double_negation_cancels(self):
+        program = compile_expression(Not(Not(And(v("a"), v("b")))))
+        assert program.steps == [Step("and", ("a", "b"))]
+
+    def test_xor_desugars_to_three_ops(self):
+        program = compile_expression(Xor(v("a"), v("b")))
+        assert program.op_counts == {"or": 1, "nand": 1, "and": 1}
+
+    def test_fusion_respects_fanin_cap(self):
+        expr = v("a")
+        for _ in range(20):
+            expr = And(expr, v("b"))
+        program = compile_expression(expr)
+        # Must be split into several ops, none wider than 16 inputs.
+        assert all(len(step.inputs) <= 16 for step in program.steps)
+        assert program.total_ops >= 2
+
+    def test_variables_collected_in_order(self):
+        program = compile_expression(Or(v("c"), And(v("a"), v("c"))))
+        assert program.variables == ("c", "a")
+
+    def test_nary_needs_two_children(self):
+        with pytest.raises(ReproError):
+            And(v("a"))
+
+
+class TestExecution:
+    def test_known_expression(self, accelerator):
+        expr = Or(And(v("a"), v("b")), Not(v("c")))
+        program = compile_expression(expr)
+        values = bindings_for(accelerator, seed=1)
+        result = program.run(accelerator, values)
+        expected = (values["a"] & values["b"]) | (1 - values["c"])
+        assert np.array_equal(result, expected)
+
+    def test_unbound_variable_rejected(self, accelerator):
+        program = compile_expression(And(v("a"), v("zzz")))
+        with pytest.raises(ReproError):
+            program.run(accelerator, bindings_for(accelerator))
+
+    #: Hand-picked structurally diverse expressions (full property
+    #: exploration on the simulated chip would be too slow).
+    SHAPES = [
+        Xor(And(v("a"), v("b")), Or(v("c"), v("d"))),
+        Not(Or(Not(v("a")), And(v("b"), v("c"), v("d")))),
+        And(Or(v("a"), v("b")), Or(v("c"), v("d")), Not(v("a"))),
+        Or(Xor(v("a"), v("b")), Xor(v("c"), v("d"))),
+        Not(Not(Xor(v("a"), Not(v("b"))))),
+    ]
+
+    @pytest.mark.parametrize("index", range(len(SHAPES)))
+    def test_random_expressions_match_reference(self, accelerator, index):
+        expr = self.SHAPES[index]
+        program = compile_expression(expr)
+        values = bindings_for(accelerator, seed=index)
+        in_dram = program.run(accelerator, values)
+        reference = expr.evaluate(values)
+        assert np.array_equal(in_dram, reference)
+
+    @given(expr=expressions)
+    @settings(max_examples=200, deadline=None)
+    def test_compiled_schedule_is_well_formed(self, expr):
+        # Pure-compilation property: every step only references earlier
+        # steps or declared variables, and the last step is the output.
+        program = compile_expression(expr)
+        for index, step in enumerate(program.steps):
+            for ref in step.inputs:
+                if isinstance(ref, int):
+                    assert 0 <= ref < index
+                else:
+                    assert ref in program.variables
+            assert len(step.inputs) <= 16
+
+    @given(expr=expressions, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=150, deadline=None)
+    def test_simplification_preserves_semantics(self, expr, seed):
+        # CPU-side check that the optimizer never changes meaning.
+        rng = np.random.default_rng(seed)
+        values = {
+            name: rng.integers(0, 2, 16, dtype=np.uint8) for name in NAMES
+        }
+        from repro.core.compiler import _desugar, _simplify
+
+        original = _desugar(expr).evaluate(values)
+        simplified = _simplify(_desugar(expr)).evaluate(values)
+        assert np.array_equal(original, simplified)

@@ -1,0 +1,163 @@
+"""Tests for the many-input logic operations (§6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addressing import find_pattern_pair
+from repro.core.logic import BASE_OPS, LogicOperation, ideal_output
+from repro.dram.decoder import ActivationKind
+from repro.errors import UnsupportedOperationError
+
+
+def find_nn_pair(host, n, seed=0, subarrays=(2, 3)):
+    return find_pattern_pair(
+        host.module.decoder,
+        host.module.config.geometry,
+        0,
+        subarrays[0],
+        subarrays[1],
+        n,
+        ActivationKind.N_TO_N,
+        seed=seed,
+    )
+
+
+def random_operands(host, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2, host.module.row_bits, dtype=np.uint8) for _ in range(n)
+    ]
+
+
+class TestIdealOutput:
+    def test_known_values(self):
+        a = np.array([1, 1, 0, 0], dtype=np.uint8)
+        b = np.array([1, 0, 1, 0], dtype=np.uint8)
+        assert ideal_output("and", [a, b]).tolist() == [1, 0, 0, 0]
+        assert ideal_output("or", [a, b]).tolist() == [1, 1, 1, 0]
+        assert ideal_output("nand", [a, b]).tolist() == [0, 1, 1, 1]
+        assert ideal_output("nor", [a, b]).tolist() == [0, 0, 0, 1]
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            ideal_output("xor", [np.zeros(2), np.zeros(2)])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1), min_size=6, max_size=6),
+            min_size=2,
+            max_size=16,
+        )
+    )
+    def test_de_morgan(self, rows):
+        operands = [np.array(row, dtype=np.uint8) for row in rows]
+        complements = [1 - operand for operand in operands]
+        # NAND(x...) == OR(~x...)
+        assert np.array_equal(
+            ideal_output("nand", operands), ideal_output("or", complements)
+        )
+        # NOR(x...) == AND(~x...)
+        assert np.array_equal(
+            ideal_output("nor", operands), ideal_output("and", complements)
+        )
+
+    @given(
+        st.lists(st.lists(st.integers(0, 1), min_size=4, max_size=4),
+                 min_size=2, max_size=8)
+    )
+    def test_complement_pairs(self, rows):
+        operands = [np.array(row, dtype=np.uint8) for row in rows]
+        assert np.array_equal(
+            ideal_output("nand", operands), 1 - ideal_output("and", operands)
+        )
+        assert np.array_equal(
+            ideal_output("nor", operands), 1 - ideal_output("or", operands)
+        )
+
+
+class TestLogicOperation:
+    @pytest.mark.parametrize("op", sorted(BASE_OPS))
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_all_ops_all_fanins_exact_on_ideal_chip(self, ideal_host, op, n):
+        ref, com = find_nn_pair(ideal_host, n, seed=n)
+        operation = LogicOperation(ideal_host, 0, ref, com, op=op)
+        operands = random_operands(ideal_host, operation.n_inputs, seed=n)
+        outcome = operation.run(operands)
+        expected = ideal_output(op, [o[operation.shared_columns] for o in operands])
+        assert np.array_equal(outcome.result, expected)
+
+    def test_rejects_non_nn_pattern(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        decoder = ideal_host.module.decoder
+        # Find a LAST_ONLY pair.
+        rng = np.random.default_rng(0)
+        for _ in range(5000):
+            row_f = geometry.bank_row(2, int(rng.integers(192)))
+            row_l = geometry.bank_row(3, int(rng.integers(192)))
+            pattern = decoder.neighboring_pattern(0, row_f, row_l)
+            if pattern.kind is ActivationKind.LAST_ONLY:
+                with pytest.raises(UnsupportedOperationError):
+                    LogicOperation(ideal_host, 0, row_f, row_l, op="and")
+                return
+        pytest.skip("no LAST_ONLY pair found in the sample")
+
+    def test_rejects_one_input_pattern(self, ideal_host):
+        ref, com = find_nn_pair(ideal_host, 1, seed=1)
+        with pytest.raises(UnsupportedOperationError):
+            LogicOperation(ideal_host, 0, ref, com, op="and")
+
+    def test_rejects_unknown_op(self, ideal_host):
+        ref, com = find_nn_pair(ideal_host, 2, seed=2)
+        with pytest.raises(ValueError):
+            LogicOperation(ideal_host, 0, ref, com, op="xor")
+
+    def test_operand_count_validated(self, ideal_host):
+        ref, com = find_nn_pair(ideal_host, 4, seed=3)
+        operation = LogicOperation(ideal_host, 0, ref, com, op="and")
+        with pytest.raises(ValueError):
+            operation.set_operands(random_operands(ideal_host, 3))
+
+    def test_reference_rows_disjoint_from_compute_rows(self, ideal_host):
+        ref, com = find_nn_pair(ideal_host, 8, seed=4)
+        operation = LogicOperation(ideal_host, 0, ref, com, op="or")
+        assert not set(operation.reference_rows) & set(operation.compute_rows)
+        assert ref in operation.reference_rows
+        assert com in operation.compute_rows
+
+    def test_reference_preparation_sets_levels(self, ideal_host):
+        ref, com = find_nn_pair(ideal_host, 4, seed=5)
+        operation = LogicOperation(ideal_host, 0, ref, com, op="and")
+        operation.prepare_reference()
+        bank = ideal_host.module.chips[0].bank(0)
+        geometry = ideal_host.module.config.geometry
+        for row in operation.reference_rows[:-1]:
+            volts = bank.subarrays[geometry.subarray_of_row(row)].read_voltages(
+                geometry.local_row(row)
+            )
+            assert np.all(volts == 1.0)
+        frac_row = operation.reference_rows[-1]
+        volts = bank.subarrays[geometry.subarray_of_row(frac_row)].read_voltages(
+            geometry.local_row(frac_row)
+        )
+        assert np.allclose(volts, 0.5)
+
+    def test_worst_case_patterns_exact_on_ideal_chip(self, ideal_host):
+        # All-but-one logic-1 is the AND worst case (Obs. 14); the ideal
+        # chip must still resolve it exactly.
+        ref, com = find_nn_pair(ideal_host, 8, seed=6)
+        operation = LogicOperation(ideal_host, 0, ref, com, op="and")
+        operands = [
+            np.ones(ideal_host.module.row_bits, dtype=np.uint8) for _ in range(7)
+        ] + [np.zeros(ideal_host.module.row_bits, dtype=np.uint8)]
+        outcome = operation.run(operands)
+        assert np.all(outcome.result == 0)
+
+    def test_repeated_execution_consistent(self, ideal_host):
+        ref, com = find_nn_pair(ideal_host, 4, seed=7)
+        operation = LogicOperation(ideal_host, 0, ref, com, op="nor")
+        operands = random_operands(ideal_host, 4, seed=8)
+        first = operation.run(operands).result
+        second = operation.run(operands).result
+        assert np.array_equal(first, second)

@@ -1,0 +1,103 @@
+"""Tests for the in-DRAM NOT operation (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import find_pattern_pair
+from repro.core.not_op import NotOperation
+from repro.dram.decoder import ActivationKind
+from repro.errors import AddressError
+
+
+def find_not_pair(host, n=1, kind=ActivationKind.N_TO_N, seed=0):
+    return find_pattern_pair(
+        host.module.decoder,
+        host.module.config.geometry,
+        0,
+        0,
+        1,
+        n,
+        kind,
+        seed=seed,
+    )
+
+
+class TestNotOperation:
+    def test_single_destination_exact_on_ideal_chip(self, ideal_host, rng):
+        src, dst = find_not_pair(ideal_host)
+        operation = NotOperation(ideal_host, 0, src, dst)
+        bits = rng.integers(0, 2, ideal_host.module.row_bits, dtype=np.uint8)
+        outcome = operation.run(bits)
+        expected = 1 - bits[operation.shared_columns]
+        for result in outcome.outputs.values():
+            assert np.array_equal(result, expected)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_multi_destination_exact_on_ideal_chip(self, ideal_host, rng, n):
+        src, dst = find_not_pair(ideal_host, n=n, seed=n)
+        operation = NotOperation(ideal_host, 0, src, dst)
+        assert len(operation.destination_rows()) == n
+        bits = rng.integers(0, 2, ideal_host.module.row_bits, dtype=np.uint8)
+        outcome = operation.run(bits)
+        expected = 1 - bits[operation.shared_columns]
+        assert len(outcome.outputs) == n
+        for result in outcome.outputs.values():
+            assert np.array_equal(result, expected)
+
+    def test_n2n_pattern_destination_count(self, ideal_host, rng):
+        src, dst = find_not_pair(ideal_host, n=4, kind=ActivationKind.N_TO_2N, seed=2)
+        operation = NotOperation(ideal_host, 0, src, dst)
+        pattern = operation.expected_pattern()
+        assert pattern.kind is ActivationKind.N_TO_2N
+        assert pattern.n_last == 2 * pattern.n_first
+        bits = rng.integers(0, 2, ideal_host.module.row_bits, dtype=np.uint8)
+        outcome = operation.run(bits)
+        expected = 1 - bits[operation.shared_columns]
+        assert len(outcome.outputs) == pattern.n_last
+        for result in outcome.outputs.values():
+            assert np.array_equal(result, expected)
+
+    def test_double_not_is_identity(self, ideal_host, rng):
+        # NOT from subarray 0 to 1, then NOT back from 1 to 0.
+        src, dst = find_not_pair(ideal_host, seed=5)
+        forward = NotOperation(ideal_host, 0, src, dst)
+        bits = rng.integers(0, 2, ideal_host.module.row_bits, dtype=np.uint8)
+        forward.run(bits)
+        dst_row = forward.destination_rows()[0]
+
+        back_src, back_dst = find_pattern_pair(
+            ideal_host.module.decoder,
+            ideal_host.module.config.geometry,
+            0,
+            1,
+            0,
+            1,
+            ActivationKind.N_TO_N,
+            seed=6,
+        )
+        # Move the intermediate into the discovered source row first.
+        intermediate = ideal_host.peek_row(0, dst_row)
+        ideal_host.fill_row(0, back_src, intermediate)
+        backward = NotOperation(ideal_host, 0, back_src, back_dst)
+        backward.execute()
+        final = backward.read_outcome()
+        shared = forward.shared_columns
+        assert np.array_equal(shared, backward.shared_columns)
+        for result in final.outputs.values():
+            assert np.array_equal(result, bits[shared])
+
+    def test_rejects_same_subarray(self, ideal_host):
+        with pytest.raises(AddressError):
+            NotOperation(ideal_host, 0, 5, 10)
+
+    def test_rejects_distant_subarrays(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        with pytest.raises(AddressError):
+            NotOperation(
+                ideal_host, 0, geometry.bank_row(0, 5), geometry.bank_row(3, 5)
+            )
+
+    def test_shared_columns_are_half_the_row(self, ideal_host):
+        src, dst = find_not_pair(ideal_host, seed=7)
+        operation = NotOperation(ideal_host, 0, src, dst)
+        assert operation.shared_columns.size == ideal_host.module.row_bits // 2

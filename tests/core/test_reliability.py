@@ -1,0 +1,143 @@
+"""Tests for cell profiling and modular redundancy."""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import find_pattern_pair
+from repro.core.logic import LogicOperation, ideal_output
+from repro.core.not_op import NotOperation
+from repro.core.reliability import (
+    CellProfile,
+    RedundantLogicOperation,
+    RedundantNotOperation,
+    majority_vote,
+    profile_cells,
+)
+from repro.dram.decoder import ActivationKind
+
+
+def build_logic(host, n=2, op="and", seed=0):
+    ref, com = find_pattern_pair(
+        host.module.decoder, host.module.config.geometry,
+        0, 0, 1, n, ActivationKind.N_TO_N, seed=seed,
+    )
+    return LogicOperation(host, 0, ref, com, op=op)
+
+
+class TestMajorityVote:
+    def test_basic(self):
+        votes = [
+            np.array([1, 0, 1], dtype=np.uint8),
+            np.array([1, 1, 0], dtype=np.uint8),
+            np.array([0, 1, 1], dtype=np.uint8),
+        ]
+        assert majority_vote(votes).tolist() == [1, 1, 1]
+
+    def test_rejects_even(self):
+        with pytest.raises(ValueError):
+            majority_vote([np.zeros(2), np.zeros(2)])
+
+
+class TestCellProfile:
+    def test_profile_identifies_bad_cells(self):
+        rng = np.random.default_rng(0)
+        # Cell 0 always correct, cell 1 correct 50% of the time.
+        def run_once(r):
+            return np.array([1, r.random() < 0.5])
+
+        profile = profile_cells(run_once, trials=200, rng=rng, threshold=0.9)
+        assert profile.mask.tolist() == [True, False]
+        assert profile.fraction_good == 0.5
+
+    def test_apply_masks_untrusted(self):
+        profile = CellProfile(np.array([True, False]), 0.9, 10)
+        assert profile.apply(np.array([1, 1])).tolist() == [1, 0]
+        assert profile.apply(np.array([1, 1]), fallback=1).tolist() == [1, 1]
+
+    def test_apply_shape_checked(self):
+        profile = CellProfile(np.array([True]), 0.9, 10)
+        with pytest.raises(ValueError):
+            profile.apply(np.array([1, 0]))
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            profile_cells(lambda r: np.ones(2), 0, np.random.default_rng(0))
+
+    def test_profile_on_real_chip(self, real_host):
+        operation = build_logic(real_host, n=2)
+        rng_operands = np.random.default_rng(7)
+        shared = operation.shared_columns
+
+        def run_once(rng):
+            operands = [
+                rng.integers(0, 2, real_host.module.row_bits, dtype=np.uint8)
+                for _ in range(operation.n_inputs)
+            ]
+            result = operation.run(operands).result
+            expected = ideal_output("and", [o[shared] for o in operands])
+            return result == expected
+
+        profile = profile_cells(run_once, 60, rng_operands, threshold=0.9)
+        assert 0.0 < profile.fraction_good <= 1.0
+
+
+class TestRedundancy:
+    def _accuracy(self, runner, operation, trials, rng):
+        correct = 0
+        total = 0
+        shared = operation.shared_columns
+        for _ in range(trials):
+            operands = [
+                rng.integers(
+                    0, 2, operation.host.module.row_bits, dtype=np.uint8
+                )
+                for _ in range(operation.n_inputs)
+            ]
+            result = runner(operands)
+            expected = ideal_output(operation.op, [o[shared] for o in operands])
+            correct += int(np.sum(result == expected))
+            total += expected.size
+        return correct / total
+
+    def test_tmr_beats_single_shot_on_real_chip(self, real_host):
+        operation = build_logic(real_host, n=2, seed=3)
+        redundant = RedundantLogicOperation(operation, repeats=3)
+        single = self._accuracy(
+            lambda ops: operation.run(ops).result,
+            operation, 40, np.random.default_rng(1),
+        )
+        voted = self._accuracy(
+            redundant.run, operation, 40, np.random.default_rng(1)
+        )
+        assert voted > single
+
+    def test_tmr_exact_on_ideal_chip(self, ideal_host):
+        operation = build_logic(ideal_host, n=4, seed=4)
+        redundant = RedundantLogicOperation(operation, repeats=3)
+        rng = np.random.default_rng(2)
+        operands = [
+            rng.integers(0, 2, ideal_host.module.row_bits, dtype=np.uint8)
+            for _ in range(4)
+        ]
+        expected = ideal_output(
+            "and", [o[operation.shared_columns] for o in operands]
+        )
+        assert np.array_equal(redundant.run(operands), expected)
+
+    def test_redundant_not_votes_across_rows(self, real_host):
+        src, dst = find_pattern_pair(
+            real_host.module.decoder, real_host.module.config.geometry,
+            0, 0, 1, 4, ActivationKind.N_TO_N, seed=5,
+        )
+        operation = NotOperation(real_host, 0, src, dst)
+        redundant = RedundantNotOperation(operation, repeats=3)
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, real_host.module.row_bits, dtype=np.uint8)
+        voted = redundant.run(bits)
+        expected = 1 - bits[operation.shared_columns]
+        assert np.mean(voted == expected) > 0.97
+
+    def test_even_repeats_rejected(self, ideal_host):
+        operation = build_logic(ideal_host, n=2, seed=6)
+        with pytest.raises(ValueError):
+            RedundantLogicOperation(operation, repeats=2)

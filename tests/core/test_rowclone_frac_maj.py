@@ -1,0 +1,136 @@
+"""Tests for RowClone, Frac, and the MAJ baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frac import is_fractional, store_half_vdd
+from repro.core.maj import MajorityOperation, ideal_majority
+from repro.core.rowclone import rowclone, rowclone_match_fraction
+from repro.errors import AddressError, UnsupportedOperationError
+
+
+def random_bits(host, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 2, host.module.row_bits, dtype=np.uint8
+    )
+
+
+class TestRowClone:
+    def test_copies_within_subarray(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        src = geometry.bank_row(2, 10)
+        dst = geometry.bank_row(2, 100)
+        bits = random_bits(ideal_host, 1)
+        ideal_host.fill_row(0, src, bits)
+        ideal_host.fill_row(0, dst, 1 - bits)
+        rowclone(ideal_host, 0, src, dst)
+        assert np.array_equal(ideal_host.peek_row(0, dst), bits)
+        assert np.array_equal(ideal_host.peek_row(0, src), bits)
+
+    def test_does_not_copy_across_subarrays(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        src = geometry.bank_row(0, 10)
+        dst = geometry.bank_row(1, 100)
+        pattern = random_bits(ideal_host, 2)
+        background = random_bits(ideal_host, 3)
+        fraction = rowclone_match_fraction(
+            ideal_host, 0, src, dst, pattern, background
+        )
+        assert fraction < 0.9
+
+    def test_match_fraction_is_one_within_subarray(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        src = geometry.bank_row(1, 20)
+        dst = geometry.bank_row(1, 150)
+        fraction = rowclone_match_fraction(
+            ideal_host, 0, src, dst, random_bits(ideal_host, 4),
+            random_bits(ideal_host, 5),
+        )
+        assert fraction == 1.0
+
+    def test_rejects_identical_rows(self, ideal_host):
+        with pytest.raises(AddressError):
+            rowclone(ideal_host, 0, 5, 5)
+
+
+class TestFrac:
+    def test_stores_half_vdd(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        row = geometry.bank_row(3, 40)
+        ideal_host.fill_row(0, row, np.ones(ideal_host.module.row_bits, np.uint8))
+        store_half_vdd(ideal_host, 0, row)
+        volts = ideal_host.module.chips[0].bank(0).subarrays[3].read_voltages(40)
+        assert np.all(is_fractional(volts, tolerance=0.01))
+
+    def test_real_chip_frac_is_noisy_but_close(self, real_host):
+        geometry = real_host.module.config.geometry
+        row = geometry.bank_row(3, 40)
+        store_half_vdd(real_host, 0, row)
+        volts = real_host.module.chips[0].bank(0).subarrays[3].read_voltages(40)
+        assert np.all(is_fractional(volts, tolerance=0.1))
+        # And it really is noisy on real silicon.
+        assert volts.std() > 0.0
+
+    def test_is_fractional_tolerance(self):
+        volts = np.array([0.5, 0.55, 0.7])
+        assert is_fractional(volts, tolerance=0.06).tolist() == [True, True, False]
+
+
+class TestMajority:
+    def test_ideal_majority_known(self):
+        a = np.array([1, 1, 0, 0], dtype=np.uint8)
+        b = np.array([1, 0, 1, 0], dtype=np.uint8)
+        c = np.array([0, 1, 1, 0], dtype=np.uint8)
+        assert ideal_majority([a, b, c]).tolist() == [1, 1, 1, 0]
+
+    def test_ideal_majority_rejects_even(self):
+        with pytest.raises(ValueError):
+            ideal_majority([np.zeros(2), np.zeros(2)])
+
+    def test_in_dram_maj3_exact_on_ideal_chip(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        row_a = geometry.bank_row(2, 100)
+        row_b = geometry.bank_row(2, 103)  # differs in two low bits -> 4 rows
+        operation = MajorityOperation(ideal_host, 0, row_a, row_b)
+        operands = [random_bits(ideal_host, 10 + i) for i in range(3)]
+        outcome = operation.run(operands)
+        assert np.array_equal(outcome.result, ideal_majority(operands))
+
+    def test_maj_covers_full_row(self, ideal_host):
+        # Unlike NOT/AND/OR, MAJ lands on all columns (both stripes).
+        geometry = ideal_host.module.config.geometry
+        operation = MajorityOperation(
+            ideal_host, 0, geometry.bank_row(2, 100), geometry.bank_row(2, 103)
+        )
+        operands = [random_bits(ideal_host, 20 + i) for i in range(3)]
+        outcome = operation.run(operands)
+        assert outcome.result.shape == (ideal_host.module.row_bits,)
+
+    def test_rejects_non_quad_addresses(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        with pytest.raises(UnsupportedOperationError):
+            MajorityOperation(
+                ideal_host, 0, geometry.bank_row(2, 100), geometry.bank_row(2, 101)
+            )
+
+    def test_rejects_wrong_operand_count(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        operation = MajorityOperation(
+            ideal_host, 0, geometry.bank_row(2, 100), geometry.bank_row(2, 103)
+        )
+        with pytest.raises(ValueError):
+            operation.run([random_bits(ideal_host)] * 2)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_maj_matches_boolean_identity(self, seed):
+        # MAJ(a, b, c) == OR(AND(a,b), AND(b,c), AND(a,c))
+        operands = [
+            np.random.default_rng(seed + i).integers(0, 2, 64, dtype=np.uint8)
+            for i in range(3)
+        ]
+        a, b, c = operands
+        identity = ((a & b) | (b & c) | (a & c)).astype(np.uint8)
+        assert np.array_equal(ideal_majority(operands), identity)

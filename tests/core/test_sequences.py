@@ -1,0 +1,71 @@
+"""Tests for the FCDRAM command-sequence constructors."""
+
+import pytest
+
+from repro.bender.commands import Opcode
+from repro.core.sequences import (
+    double_activation_program,
+    frac_program,
+    logic_program,
+    nominal_activation_program,
+    not_program,
+    rowclone_program,
+)
+from repro.dram.timing import ReducedTiming, timing_for_speed
+
+TIMING = timing_for_speed(2666)
+
+
+def opcodes(program):
+    return [command.opcode for command in program]
+
+
+class TestSequenceShapes:
+    def test_double_activation_shape(self):
+        program = double_activation_program(
+            TIMING, 0, 1, 2, ReducedTiming.for_logic_op(TIMING)
+        )
+        assert opcodes(program) == [Opcode.ACT, Opcode.PRE, Opcode.ACT, Opcode.PRE]
+        rows = [c.row for c in program if c.opcode is Opcode.ACT]
+        assert rows == [1, 2]
+
+    def test_not_program_full_first_tras(self):
+        program = not_program(TIMING, 0, 1, 200)
+        first_act = program.commands[0]
+        assert first_act.wait_cycles * TIMING.t_ck >= TIMING.t_ras
+
+    def test_not_program_violates_trp(self):
+        program = not_program(TIMING, 0, 1, 200)
+        pre = program.commands[1]
+        assert pre.wait_cycles * TIMING.t_ck < 3.0
+
+    def test_logic_program_violates_both(self):
+        program = logic_program(TIMING, 0, 1, 200)
+        first_act, pre = program.commands[0], program.commands[1]
+        assert first_act.wait_cycles * TIMING.t_ck < 3.0
+        assert pre.wait_cycles * TIMING.t_ck < 3.0
+
+    def test_rowclone_same_shape_as_not(self):
+        a = not_program(TIMING, 0, 1, 2)
+        b = rowclone_program(TIMING, 0, 1, 2)
+        assert [c.wait_cycles for c in a] == [c.wait_cycles for c in b]
+
+    def test_frac_program_interrupts_before_sensing(self):
+        program = frac_program(TIMING, 0, 5)
+        assert opcodes(program) == [Opcode.ACT, Opcode.PRE]
+        act = program.commands[0]
+        from repro.dram.bank import SENSE_LATENCY_NS
+
+        assert act.wait_cycles * TIMING.t_ck < SENSE_LATENCY_NS
+
+    def test_nominal_program_compliant(self):
+        program = nominal_activation_program(TIMING, 0, 5)
+        act, pre = program.commands
+        assert act.wait_cycles * TIMING.t_ck >= TIMING.t_ras
+        assert pre.wait_cycles * TIMING.t_ck >= TIMING.t_rp
+
+    @pytest.mark.parametrize("speed", [2133, 2400, 2666, 3200])
+    def test_all_speed_grades_supported(self, speed):
+        timing = timing_for_speed(speed)
+        program = logic_program(timing, 0, 0, 200)
+        assert len(program) == 4

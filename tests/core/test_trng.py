@@ -1,0 +1,111 @@
+"""Tests for the multi-row-activation true random number generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.trng import (
+    DramTrng,
+    TrngQuality,
+    assess_quality,
+    von_neumann_extract,
+)
+
+
+@pytest.fixture()
+def trng(real_host):
+    return DramTrng(real_host, bank=0, subarray=2, block_local_row=40)
+
+
+class TestVonNeumann:
+    def test_extraction_rule(self):
+        first = np.array([0, 1, 0, 1], dtype=np.uint8)
+        second = np.array([0, 0, 1, 1], dtype=np.uint8)
+        # pairs: 00 drop, 10 -> 0, 01 -> 1, 11 drop
+        assert von_neumann_extract(first, second).tolist() == [0, 1]
+
+    def test_constant_stream_yields_nothing(self):
+        ones = np.ones(100, dtype=np.uint8)
+        assert von_neumann_extract(ones, ones).size == 0
+
+    def test_removes_bias(self):
+        rng = np.random.default_rng(0)
+        first = (rng.random(40000) < 0.8).astype(np.uint8)
+        second = (rng.random(40000) < 0.8).astype(np.uint8)
+        extracted = von_neumann_extract(first, second)
+        assert extracted.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            von_neumann_extract(np.zeros(3), np.zeros(4))
+
+
+class TestQuality:
+    def test_good_stream_passes(self):
+        bits = np.random.default_rng(1).integers(0, 2, 10000)
+        assert assess_quality(bits).looks_random
+
+    def test_constant_stream_fails(self):
+        quality = assess_quality(np.ones(10000, dtype=np.uint8))
+        assert not quality.looks_random
+        assert quality.longest_run == 10000
+
+    def test_alternating_stream_fails_serial_correlation(self):
+        bits = np.tile([0, 1], 5000)
+        quality = assess_quality(bits)
+        assert quality.serial_correlation == pytest.approx(-1.0)
+        assert not quality.looks_random
+
+    def test_short_stream_fails(self):
+        assert not assess_quality(np.array([0, 1, 0])).looks_random
+
+    def test_empty_stream(self):
+        assert assess_quality(np.array([])).bit_count == 0
+
+
+class TestDramTrng:
+    def test_generates_requested_count(self, trng):
+        bits = trng.random_bits(500)
+        assert bits.shape == (500,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_debiased_stream_looks_random(self, trng):
+        quality = assess_quality(trng.random_bits(2000))
+        assert quality.looks_random, quality
+
+    def test_raw_stream_is_biased_per_column(self, real_host):
+        # Per-column sense-amplifier offsets pin some columns: the raw
+        # stream has longer runs than the debiased one.
+        trng = DramTrng(real_host, bank=0, subarray=2, block_local_row=40)
+        raw_quality = assess_quality(trng.raw_bits(3000))
+        debiased_quality = assess_quality(trng.random_bits(1500))
+        assert raw_quality.longest_run > debiased_quality.longest_run
+
+    def test_random_bytes(self, trng):
+        data = trng.random_bytes(16)
+        assert len(data) == 16
+        assert len(set(data)) > 1
+
+    def test_throughput_accounting(self, trng):
+        trng.raw_bits(100)
+        assert trng.raw_bits_generated >= 100
+
+    def test_two_generators_disagree(self, real_host):
+        a = DramTrng(real_host, bank=0, subarray=2, block_local_row=40)
+        b = DramTrng(real_host, bank=0, subarray=2, block_local_row=80)
+        assert not np.array_equal(a.random_bits(400), b.random_bits(400))
+
+    def test_rejects_unaligned_block(self, real_host):
+        with pytest.raises(ValueError):
+            DramTrng(real_host, bank=0, subarray=2, block_local_row=41)
+
+    def test_rejects_zero_count(self, trng):
+        with pytest.raises(ValueError):
+            trng.raw_bits(0)
+
+    def test_ideal_die_has_no_entropy_source(self, ideal_host):
+        # With zero noise the conflict resolves deterministically — the
+        # entropy comes from the physical noise, not the mechanism.
+        trng = DramTrng(ideal_host, bank=0, subarray=2, block_local_row=40, debias=False)
+        first = trng.raw_bits(128)
+        second = trng.raw_bits(128)
+        assert np.array_equal(first, second)

@@ -1,0 +1,230 @@
+"""Tests for the analog charge-sharing and sensing math."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.analog import (
+    and_reference_voltage,
+    charge_share,
+    coupling_disturbance,
+    ideal_charge_share,
+    or_reference_voltage,
+    sense_differential,
+)
+from repro.units import VDD, VDD_HALF
+
+voltages = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestChargeShare:
+    def test_no_cells_stays_precharged(self):
+        result = charge_share(np.empty((0, 4)), 24.0, 120.0)
+        assert np.allclose(result, VDD_HALF)
+
+    def test_single_one_cell_raises_bitline(self):
+        cells = np.array([[VDD, 0.0]])
+        result = charge_share(cells, 24.0, 120.0)
+        assert result[0] > VDD_HALF > result[1]
+
+    def test_exact_value(self):
+        # (120 * 0.5 + 24 * 1.0) / (120 + 24) = 84 / 144
+        cells = np.array([[VDD]])
+        result = charge_share(cells, 24.0, 120.0)
+        assert result[0] == pytest.approx(84.0 / 144.0)
+
+    @given(
+        st.lists(
+            st.lists(voltages, min_size=3, max_size=3), min_size=1, max_size=8
+        )
+    )
+    def test_result_bounded_by_cell_range(self, rows):
+        cells = np.array(rows)
+        result = charge_share(cells, 24.0, 120.0)
+        lo = min(cells.min(), VDD_HALF)
+        hi = max(cells.max(), VDD_HALF)
+        assert np.all(result >= lo - 1e-12)
+        assert np.all(result <= hi + 1e-12)
+
+    @given(st.lists(voltages, min_size=1, max_size=16))
+    def test_zero_bitline_cap_limit_is_mean(self, values):
+        # As C_b -> 0 the paper's footnote-10 model (plain mean) emerges.
+        cells = np.array(values)[:, np.newaxis]
+        result = charge_share(cells, 24.0, 1e-9)
+        assert result[0] == pytest.approx(ideal_charge_share(values), abs=1e-6)
+
+    @given(st.lists(voltages, min_size=2, max_size=16))
+    def test_monotone_in_cell_voltage(self, values):
+        cells = np.array(values)[:, np.newaxis]
+        base = charge_share(cells, 24.0, 120.0)[0]
+        bumped_cells = cells.copy()
+        bumped_cells[0] = min(1.0, cells[0] + 0.1)
+        bumped = charge_share(bumped_cells, 24.0, 120.0)[0]
+        assert bumped >= base - 1e-12
+
+    def test_efficiency_scales_contribution(self):
+        cells = np.array([[VDD]])
+        full = charge_share(cells, 24.0, 120.0)[0]
+        half = charge_share(cells, 24.0, 120.0, efficiencies=np.array([0.5]))[0]
+        assert VDD_HALF < half < full
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(ValueError):
+            charge_share(np.zeros(4), 24.0, 120.0)
+
+    def test_rejects_bad_capacitance(self):
+        with pytest.raises(ValueError):
+            charge_share(np.zeros((1, 4)), 0.0, 120.0)
+
+
+class TestIdealChargeShare:
+    def test_empty_is_precharge(self):
+        assert ideal_charge_share([]) == VDD_HALF
+
+    @given(st.lists(voltages, min_size=1, max_size=10))
+    def test_is_mean(self, values):
+        assert ideal_charge_share(values) == pytest.approx(np.mean(values))
+
+
+class TestReferenceVoltages:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_and_reference_separates_outputs(self, n):
+        # V_AND must sit between the highest logic-0 compute voltage and
+        # VDD (§6.1.2).
+        v_and = and_reference_voltage(n)
+        highest_zero = (n - 1) * VDD / n
+        assert highest_zero < v_and < VDD
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16])
+    def test_or_reference_separates_outputs(self, n):
+        v_or = or_reference_voltage(n)
+        lowest_one = VDD / n
+        assert 0.0 < v_or < lowest_one
+
+    def test_known_values(self):
+        assert and_reference_voltage(2) == pytest.approx(0.75)
+        assert or_reference_voltage(2) == pytest.approx(0.25)
+
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            and_reference_voltage(0)
+        with pytest.raises(ValueError):
+            or_reference_voltage(0)
+
+
+class TestCouplingDisturbance:
+    def test_uniform_swing_is_quiet(self):
+        assert np.all(coupling_disturbance(np.full(8, 0.3)) == 0.0)
+
+    def test_alternating_swing_is_maximal(self):
+        d = np.array([0.3, -0.3] * 4)
+        assert np.all(coupling_disturbance(d) == pytest.approx(0.6))
+
+    def test_single_flip_disturbs_neighbors(self):
+        d = np.array([0.3, 0.3, -0.3, 0.3, 0.3])
+        disturbance = coupling_disturbance(d)
+        assert disturbance[2] == pytest.approx(0.6)
+        assert disturbance[1] == pytest.approx(0.3)
+        assert disturbance[3] == pytest.approx(0.3)
+        assert disturbance[0] == 0.0
+
+    def test_short_arrays(self):
+        assert coupling_disturbance(np.array([0.5])).tolist() == [0.0]
+
+    def test_scales_with_voltage_spread(self):
+        small = coupling_disturbance(np.array([0.50, 0.52, 0.50, 0.52]))
+        large = coupling_disturbance(np.array([0.2, 0.8, 0.2, 0.8]))
+        assert np.all(large > small)
+
+    @given(st.lists(st.floats(min_value=-1, max_value=1), min_size=2, max_size=32))
+    def test_bounded(self, values):
+        disturbance = coupling_disturbance(np.array(values))
+        assert np.all(disturbance >= 0.0)
+        assert np.all(disturbance <= 2.0)
+
+
+class TestSenseDifferential:
+    def _sense(self, pos, neg, **kwargs):
+        rng = np.random.default_rng(0)
+        offsets = np.zeros(len(pos))
+        return sense_differential(
+            np.array(pos, dtype=float),
+            np.array(neg, dtype=float),
+            offsets,
+            kwargs.pop("noise_sigma", 0.0),
+            rng,
+            **kwargs,
+        )
+
+    def test_noise_free_is_exact_comparison(self):
+        wins = self._sense([0.6, 0.4, 0.5], [0.5, 0.5, 0.6])
+        assert wins.tolist() == [True, False, False]
+
+    def test_margin_shift_biases(self):
+        assert self._sense([0.5], [0.5], margin_shift=0.01).tolist() == [True]
+        assert self._sense([0.5], [0.5], margin_shift=-0.01).tolist() == [False]
+
+    def test_offsets_applied(self):
+        rng = np.random.default_rng(0)
+        wins = sense_differential(
+            np.array([0.50]), np.array([0.51]), np.array([0.02]), 0.0, rng
+        )
+        assert wins.tolist() == [True]
+
+    def test_large_noise_flips_small_margins_sometimes(self):
+        rng = np.random.default_rng(0)
+        pos = np.full(4000, 0.51)
+        neg = np.full(4000, 0.50)
+        wins = sense_differential(pos, neg, np.zeros(4000), 0.05, rng)
+        error_rate = 1.0 - wins.mean()
+        assert 0.3 < error_rate < 0.5  # Phi(-0.2) ~ 0.42
+
+    def test_common_mode_gain_increases_high_cm_errors(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        pos, neg = np.full(4000, 0.93), np.full(4000, 0.90)
+        base = sense_differential(pos, neg, np.zeros(4000), 0.02, rng1)
+        noisy = sense_differential(
+            pos,
+            neg,
+            np.zeros(4000),
+            0.02,
+            rng2,
+            common_mode_gain=10.0,
+            common_mode_threshold=0.45,
+        )
+        assert (1 - noisy.mean()) > (1 - base.mean())
+
+    def test_sigma_cap_limits_inflation(self):
+        rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+        pos, neg = np.full(4000, 0.95), np.full(4000, 0.80)
+        uncapped = sense_differential(
+            pos, neg, np.zeros(4000), 0.02, rng1,
+            common_mode_gain=50.0, common_mode_threshold=0.0,
+        )
+        capped = sense_differential(
+            pos, neg, np.zeros(4000), 0.02, rng2,
+            common_mode_gain=50.0, common_mode_threshold=0.0,
+            sigma_cap_factor=2.0,
+        )
+        assert capped.mean() > uncapped.mean()
+
+    def test_high_cm_bias_favors_positive_terminal(self):
+        wins = self._sense(
+            [0.90], [0.905],
+            common_mode_offset_gain=0.2,
+            common_mode_threshold=0.45,
+        )
+        assert wins.tolist() == [True]
+
+    def test_low_cm_bias_favors_negative_terminal(self):
+        wins = self._sense(
+            [0.105], [0.10],
+            low_common_mode_offset_gain=0.2,
+            common_mode_threshold=0.45,
+        )
+        assert wins.tolist() == [False]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self._sense([0.5, 0.5], [0.5])

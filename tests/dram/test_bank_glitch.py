@@ -1,0 +1,205 @@
+"""Tests for the multi-row activation glitch paths of the bank engine."""
+
+import numpy as np
+import pytest
+
+from repro import SeedTree, ideal_calibration
+from repro.bender import DramBenderHost
+from repro.core.sequences import logic_program, not_program
+from repro.dram.decoder import ActivationKind
+from repro.dram.module import Module
+
+
+def random_bits(host, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 2, host.module.row_bits, dtype=np.uint8
+    )
+
+
+def find_pair(host, bank, sub_a, sub_b, n, kind, seed=0):
+    from repro.core.addressing import find_pattern_pair
+
+    return find_pattern_pair(
+        host.module.decoder,
+        host.module.config.geometry,
+        bank,
+        sub_a,
+        sub_b,
+        n,
+        kind,
+        seed=seed,
+    )
+
+
+class TestNotRegime:
+    def test_not_inverts_shared_half_only(self, ideal_host):
+        src, dst = find_pair(ideal_host, 0, 0, 1, 1, ActivationKind.N_TO_N)
+        src_bits = random_bits(ideal_host, 3)
+        dst_init = random_bits(ideal_host, 4)
+        ideal_host.fill_row(0, src, src_bits)
+        ideal_host.fill_row(0, dst, dst_init)
+        ideal_host.run(not_program(ideal_host.timing, 0, src, dst))
+
+        bank = ideal_host.module.chips[0].bank(0)
+        shared = bank.shared_columns(0, 1)
+        unshared = np.setdiff1d(np.arange(bank.columns), shared)
+        out = ideal_host.peek_row(0, dst)
+        assert np.array_equal(out[shared], 1 - src_bits[shared])
+        # The other half connects to the far stripe: retained (Obs. 1).
+        assert np.array_equal(out[unshared], dst_init[unshared])
+
+    def test_source_row_unharmed(self, ideal_host):
+        src, dst = find_pair(ideal_host, 0, 0, 1, 1, ActivationKind.N_TO_N)
+        src_bits = random_bits(ideal_host, 5)
+        ideal_host.fill_row(0, src, src_bits)
+        ideal_host.run(not_program(ideal_host.timing, 0, src, dst))
+        assert np.array_equal(ideal_host.peek_row(0, src), src_bits)
+
+    def test_multi_destination_rows_all_written(self, ideal_host):
+        src, dst = find_pair(ideal_host, 0, 0, 1, 4, ActivationKind.N_TO_N)
+        pattern = ideal_host.module.decoder.neighboring_pattern(0, src, dst)
+        src_bits = random_bits(ideal_host, 6)
+        ideal_host.fill_row(0, src, src_bits)
+        ideal_host.run(not_program(ideal_host.timing, 0, src, dst))
+
+        geometry = ideal_host.module.config.geometry
+        bank = ideal_host.module.chips[0].bank(0)
+        shared = bank.shared_columns(0, 1)
+        for local in pattern.rows_last:
+            row = geometry.bank_row(1, local)
+            out = ideal_host.peek_row(0, row)
+            assert np.array_equal(out[shared], 1 - src_bits[shared])
+
+    def test_extra_source_rows_copy_src(self, ideal_host):
+        src, dst = find_pair(ideal_host, 0, 0, 1, 4, ActivationKind.N_TO_N)
+        pattern = ideal_host.module.decoder.neighboring_pattern(0, src, dst)
+        assert pattern.n_first == 4
+        src_bits = random_bits(ideal_host, 7)
+        ideal_host.fill_row(0, src, src_bits)
+        ideal_host.run(not_program(ideal_host.timing, 0, src, dst))
+
+        geometry = ideal_host.module.config.geometry
+        for local in pattern.rows_first:
+            row = geometry.bank_row(0, local)
+            # All source-side activated rows end at src's value: the
+            # shared half from the shared stripe, the rest from the far
+            # stripe — both latched at src.
+            assert np.array_equal(ideal_host.peek_row(0, row), src_bits)
+
+
+class TestLogicRegime:
+    @pytest.mark.parametrize("fill", [0, 1])
+    def test_uniform_inputs(self, ideal_host, fill):
+        ref, com = find_pair(ideal_host, 0, 2, 3, 4, ActivationKind.N_TO_N)
+        from repro.core.logic import LogicOperation
+
+        operation = LogicOperation(ideal_host, 0, ref, com, op="and")
+        operands = [
+            np.full(ideal_host.module.row_bits, fill, dtype=np.uint8)
+            for _ in range(operation.n_inputs)
+        ]
+        outcome = operation.run(operands)
+        assert np.all(outcome.result == fill)
+
+    def test_nand_is_complement_of_and(self, ideal_host):
+        ref, com = find_pair(ideal_host, 0, 2, 3, 4, ActivationKind.N_TO_N)
+        from repro.core.logic import LogicOperation
+
+        operands = [random_bits(ideal_host, 10 + i) for i in range(4)]
+        and_op = LogicOperation(ideal_host, 0, ref, com, op="and")
+        and_result = and_op.run(operands).result
+        nand_op = LogicOperation(ideal_host, 0, ref, com, op="nand")
+        nand_result = nand_op.run(operands).result
+        assert np.array_equal(nand_result, 1 - and_result)
+
+
+class TestManufacturerPolicies:
+    def test_samsung_not_single_destination(self, samsung_host):
+        # Sequential activation still gives a working NOT with one
+        # destination row (§5.3) — allow the rare stochastic cell error.
+        src = samsung_host.module.config.geometry.bank_row(0, 10)
+        dst = samsung_host.module.config.geometry.bank_row(1, 20)
+        src_bits = random_bits(samsung_host, 11)
+        samsung_host.fill_row(0, src, src_bits)
+        samsung_host.fill_row(0, dst, 1 - src_bits)
+        samsung_host.run(not_program(samsung_host.timing, 0, src, dst))
+        bank = samsung_host.module.chips[0].bank(0)
+        shared = bank.shared_columns(0, 1)
+        out = samsung_host.peek_row(0, dst)
+        match = np.mean(out[shared] == 1 - src_bits[shared])
+        assert match > 0.85
+
+    def test_samsung_never_multi_row(self, samsung_host):
+        pattern = samsung_host.module.decoder.neighboring_pattern(0, 5, 192 + 9)
+        assert pattern.kind is ActivationKind.SEQUENTIAL
+        assert pattern.n_first == pattern.n_last == 1
+
+    def test_samsung_logic_op_fails(self, samsung_host):
+        # §6.3: no AND/OR observed on Samsung chips.  The sequence
+        # executes but the compute rows do not receive the AND result.
+        geometry = samsung_host.module.config.geometry
+        ref = geometry.bank_row(0, 8)
+        com = geometry.bank_row(1, 24)
+        operand = np.ones(samsung_host.module.row_bits, dtype=np.uint8)
+        zero = np.zeros_like(operand)
+        samsung_host.fill_row(0, ref, zero)  # OR-style reference
+        samsung_host.fill_row(0, com, operand)
+        samsung_host.run(logic_program(samsung_host.timing, 0, ref, com))
+        bank = samsung_host.module.chips[0].bank(0)
+        shared = bank.shared_columns(0, 1)
+        out = samsung_host.peek_row(0, com)
+        # A working 1-input-ish OR would keep the compute row all-1s on
+        # shared columns; the sequential chip instead drives ~ref there.
+        assert not np.all(out[shared] == 1)
+
+    def test_micron_ignores_violating_sequence(self, micron_host):
+        src = micron_host.module.config.geometry.bank_row(0, 10)
+        dst = micron_host.module.config.geometry.bank_row(1, 20)
+        src_bits = random_bits(micron_host, 12)
+        dst_init = random_bits(micron_host, 13)
+        micron_host.fill_row(0, src, src_bits)
+        micron_host.fill_row(0, dst, dst_init)
+        micron_host.run(not_program(micron_host.timing, 0, src, dst))
+        # Nothing happened: the destination row is untouched (§7).
+        assert np.array_equal(micron_host.peek_row(0, dst), dst_init)
+
+    def test_micron_counts_ignored_commands(self, micron_host):
+        src = micron_host.module.config.geometry.bank_row(0, 10)
+        dst = micron_host.module.config.geometry.bank_row(1, 20)
+        micron_host.run(not_program(micron_host.timing, 0, src, dst))
+        bank = micron_host.module.chips[0].bank(0)
+        assert bank.ignored_commands >= 1
+
+    def test_micron_nominal_operation_still_works(self, micron_host):
+        bits = random_bits(micron_host, 14)
+        micron_host.write_row(0, 33, bits)
+        assert np.array_equal(micron_host.read_row(0, 33), bits)
+
+
+class TestEngagementFailure:
+    def test_failed_engagement_leaves_state_clean(self, hynix_config):
+        # With engagement probability forced to zero, the sequence
+        # degenerates to two independent activations.
+        from dataclasses import replace
+
+        calibration = replace(
+            ideal_calibration(),
+            not_engage_probability=0.0,
+        )
+        module = Module(
+            hynix_config, chip_count=1, seed_tree=SeedTree(3), calibration=calibration
+        )
+        host = DramBenderHost(module)
+        from repro.core.addressing import find_pattern_pair
+
+        src, dst = find_pattern_pair(
+            module.decoder, hynix_config.geometry, 0, 0, 1, 1,
+            ActivationKind.N_TO_N,
+        )
+        src_bits = random_bits(host, 15)
+        dst_init = random_bits(host, 16)
+        host.fill_row(0, src, src_bits)
+        host.fill_row(0, dst, dst_init)
+        host.run(not_program(host.timing, 0, src, dst))
+        assert np.array_equal(host.peek_row(0, dst), dst_init)
+        assert np.array_equal(host.peek_row(0, src), src_bits)

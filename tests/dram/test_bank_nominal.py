@@ -1,0 +1,181 @@
+"""Tests for the bank engine under nominal (timing-compliant) operation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError, CommandSequenceError
+from repro.units import VDD_HALF
+
+
+def bank_of(host):
+    return host.module.chips[0].bank(0)
+
+
+def random_bits(host, seed=0):
+    return np.random.default_rng(seed).integers(
+        0, 2, host.module.row_bits, dtype=np.uint8
+    )
+
+
+class TestNominalLifecycle:
+    def test_activate_read_precharge(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bits = random_bits(ideal_host)
+        bank.store_bits(10, bits)
+        timing = ideal_host.timing
+        bank.activate(10, 0.0)
+        out = bank.read(10, timing.t_rcd)
+        assert np.array_equal(out, bits)
+        bank.precharge(timing.t_ras)
+        bank.settle(timing.t_ras + timing.t_rp)
+        assert not bank.is_open
+
+    def test_activation_restores_cells(self, ideal_host):
+        # A nominal activation re-amplifies the (full-rail) cell values.
+        bank = bank_of(ideal_host)
+        bits = random_bits(ideal_host, 1)
+        bank.store_bits(20, bits)
+        timing = ideal_host.timing
+        bank.activate(20, 0.0)
+        bank.precharge(timing.t_ras)
+        bank.settle(timing.t_ras + timing.t_rp)
+        assert np.array_equal(bank.load_bits(20), bits)
+
+    def test_write_overdrives_open_row(self, ideal_host):
+        bank = bank_of(ideal_host)
+        timing = ideal_host.timing
+        bits = random_bits(ideal_host, 2)
+        bank.activate(30, 0.0)
+        bank.write(30, bits, timing.t_rcd)
+        bank.precharge(timing.t_ras)
+        bank.settle(timing.t_ras + timing.t_rp)
+        assert np.array_equal(bank.load_bits(30), bits)
+
+    def test_open_rows_reported(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(5, 0.0)
+        assert bank.open_rows == {0: (5,)}
+
+    def test_refresh_snaps_to_rails(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.store_voltages(7, np.full(ideal_host.module.row_bits, 0.8))
+        bank.refresh(0.0)
+        assert np.all(
+            bank.subarrays[0].read_voltages(7) == 1.0
+        )
+
+
+class TestCommandErrors:
+    def test_read_closed_bank(self, ideal_host):
+        with pytest.raises(CommandSequenceError):
+            bank_of(ideal_host).read(0, 0.0)
+
+    def test_write_closed_bank(self, ideal_host):
+        bank = bank_of(ideal_host)
+        with pytest.raises(CommandSequenceError):
+            bank.write(0, random_bits(ideal_host), 0.0)
+
+    def test_read_wrong_row(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(0, 0.0)
+        with pytest.raises(CommandSequenceError):
+            bank.read(1, ideal_host.timing.t_rcd)
+
+    def test_act_on_open_bank_without_pre(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(0, 0.0)
+        with pytest.raises(CommandSequenceError):
+            bank.activate(1, 100.0)
+
+    def test_refresh_open_bank(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(0, 0.0)
+        with pytest.raises(CommandSequenceError):
+            bank.refresh(50.0)
+
+    def test_backdoor_requires_closed_bank(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(0, 0.0)
+        with pytest.raises(CommandSequenceError):
+            bank.store_bits(3, random_bits(ideal_host))
+
+    def test_row_out_of_range(self, ideal_host):
+        with pytest.raises(AddressError):
+            bank_of(ideal_host).activate(10_000, 0.0)
+
+    def test_time_going_backwards(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(0, 100.0)
+        with pytest.raises(CommandSequenceError):
+            bank.precharge(50.0)
+
+
+class TestStripeGeometry:
+    def test_served_columns_partition(self, ideal_host):
+        bank = bank_of(ideal_host)
+        even = bank.served_columns(0)
+        odd = bank.served_columns(1)
+        both = np.sort(np.concatenate([even, odd]))
+        assert np.array_equal(both, np.arange(bank.columns))
+
+    def test_shared_stripe_is_between(self, ideal_host):
+        bank = bank_of(ideal_host)
+        assert bank.shared_stripe(0, 1) == 1
+        assert bank.shared_stripe(2, 1) == 2
+
+    def test_shared_stripe_rejects_non_neighbors(self, ideal_host):
+        with pytest.raises(AddressError):
+            bank_of(ideal_host).shared_stripe(0, 2)
+
+    def test_stripe_out_of_range(self, ideal_host):
+        with pytest.raises(AddressError):
+            bank_of(ideal_host).served_columns(99)
+
+
+class TestFracMechanism:
+    def test_interrupted_activation_leaves_half_vdd(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bits = np.ones(ideal_host.module.row_bits, dtype=np.uint8)
+        bank.store_bits(40, bits)
+        timing = ideal_host.timing
+        bank.activate(40, 0.0)
+        bank.precharge(1.5)  # before SENSE_LATENCY_NS
+        bank.settle(1.5 + timing.t_rp)
+        volts = bank.subarrays[0].read_voltages(40)
+        assert np.allclose(volts, VDD_HALF)
+
+    def test_completed_activation_is_not_fraced(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bits = np.ones(ideal_host.module.row_bits, dtype=np.uint8)
+        bank.store_bits(41, bits)
+        timing = ideal_host.timing
+        bank.activate(41, 0.0)
+        bank.precharge(timing.t_ras)
+        bank.settle(timing.t_ras + timing.t_rp)
+        assert np.all(bank.subarrays[0].read_voltages(41) == 1.0)
+
+
+class TestHammerBackdoor:
+    def test_hammer_flips_neighbors_only(self, real_host):
+        bank = bank_of(real_host)
+        ones = np.ones(real_host.module.row_bits, dtype=np.uint8)
+        for row in range(192):
+            bank.store_bits(row, ones)
+        victim_rows = bank.subarrays[0].physical_neighbors(50)
+        bank.apply_hammer(50, 200_000)
+        flipped = [
+            row for row in range(192) if not np.all(bank.load_bits(row) == 1)
+        ]
+        assert set(flipped) == set(victim_rows)
+
+    def test_hammer_zero_activations_is_noop(self, real_host):
+        bank = bank_of(real_host)
+        ones = np.ones(real_host.module.row_bits, dtype=np.uint8)
+        for row in range(192):
+            bank.store_bits(row, ones)
+        bank.apply_hammer(10, 0)
+        assert all(np.all(bank.load_bits(r) == 1) for r in range(192))
+
+    def test_hammer_rejects_negative(self, real_host):
+        with pytest.raises(ValueError):
+            bank_of(real_host).apply_hammer(0, -1)

@@ -1,0 +1,118 @@
+"""Property tests: the bank engine survives arbitrary command streams.
+
+The characterization deliberately abuses timing, so the device model
+must stay physical under *any* (protocol-legal) command stream, however
+hostile its spacing: cell voltages stay on [0, 1], banks close when told
+to, state never leaks across programs.  This is the failure-injection
+counterpart of the directed tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import ChipGeometry, SeedTree, sk_hynix_chip, samsung_chip, micron_chip
+from repro.bender import DramBenderHost
+from repro.dram.module import Module
+
+GEOMETRY = ChipGeometry(
+    banks=1, subarrays_per_bank=2, rows_per_subarray=96, columns=32
+)
+
+# One random command: (kind, row, gap_cycles).
+commands = st.tuples(
+    st.sampled_from(["act", "pre", "wr", "rd", "nop"]),
+    st.integers(min_value=0, max_value=191),
+    st.integers(min_value=1, max_value=60),
+)
+streams = st.lists(commands, min_size=1, max_size=25)
+
+
+def _fresh_host(config) -> DramBenderHost:
+    module = Module(config, chip_count=1, seed_tree=SeedTree(5))
+    return DramBenderHost(module)
+
+
+def _run_stream(host: DramBenderHost, stream) -> None:
+    """Replay a random stream, tolerating protocol errors only.
+
+    ``WR``/``RD`` to rows that are not open are protocol errors a real
+    memory controller would never emit; the model rejects them loudly.
+    Everything else — including arbitrarily violated timings — must be
+    absorbed.
+    """
+    from repro.errors import CommandSequenceError
+
+    bank = host.module.chips[0].bank(0)
+    time_ns = 0.0
+    data = np.zeros(host.module.row_bits, dtype=np.uint8)
+    for kind, row, gap in stream:
+        try:
+            if kind == "act":
+                bank.activate(row, time_ns)
+            elif kind == "pre":
+                bank.precharge(time_ns)
+            elif kind == "wr":
+                bank.write(row, data, time_ns)
+            elif kind == "rd":
+                bank.read(row, time_ns)
+        except CommandSequenceError:
+            pass
+        time_ns += gap * host.timing.t_ck
+    bank.settle(time_ns + host.timing.t_rc)
+
+
+@pytest.mark.parametrize(
+    "config_factory", [sk_hynix_chip, samsung_chip, micron_chip]
+)
+class TestRandomStreams:
+    @given(stream=streams)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_voltages_stay_physical(self, config_factory, stream):
+        host = _fresh_host(config_factory().with_geometry(GEOMETRY))
+        _run_stream(host, stream)
+        for subarray in host.module.chips[0].bank(0).subarrays:
+            assert np.all(subarray.voltages >= 0.0)
+            assert np.all(subarray.voltages <= 1.0)
+
+    @given(stream=streams)
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_bank_closes_after_settle(self, config_factory, stream):
+        host = _fresh_host(config_factory().with_geometry(GEOMETRY))
+        _run_stream(host, stream)
+        bank = host.module.chips[0].bank(0)
+        # A trailing PRE + settle must always return to precharged.
+        now = 1e7
+        bank.precharge(now)
+        bank.settle(now + host.timing.t_rc)
+        assert not bank.is_open
+
+    @given(stream=streams)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_nominal_operation_recovers_afterwards(self, config_factory, stream):
+        # Whatever the hostile stream did, a subsequent fully compliant
+        # write/read round trip must work.
+        host = _fresh_host(config_factory().with_geometry(GEOMETRY))
+        _run_stream(host, stream)
+        bank = host.module.chips[0].bank(0)
+        now = 1e7
+        bank.precharge(now)
+        bank.settle(now + host.timing.t_rc)
+        bits = np.random.default_rng(0).integers(
+            0, 2, host.module.row_bits, dtype=np.uint8
+        )
+        host.write_row(0, 7, bits)
+        assert np.array_equal(host.read_row(0, 7), bits)

@@ -1,0 +1,111 @@
+"""Tests for the per-die calibration tables."""
+
+import pytest
+
+from repro import micron_chip, samsung_chip, sk_hynix_chip
+from repro.dram.calibration import (
+    REFERENCE_CALIBRATION,
+    calibration_for,
+    ideal_calibration,
+)
+from repro.dram.config import ChipConfig, Manufacturer
+
+
+class TestCalibrationLookup:
+    def test_reference_die(self):
+        calibration = calibration_for(sk_hynix_chip())
+        assert calibration.drive_strength_mean > 0
+
+    def test_unknown_die_falls_back_to_reference(self):
+        config = ChipConfig(
+            Manufacturer.SK_HYNIX, density_gb=16, die_revision="Z",
+            speed_rate_mts=2666,
+        )
+        calibration = calibration_for(config)
+        assert calibration.drive_strength_mean == pytest.approx(
+            REFERENCE_CALIBRATION.drive_strength_mean
+        )
+
+    def test_speed_2400_weakens_drive(self):
+        fast = calibration_for(sk_hynix_chip(speed_rate_mts=2400))
+        nominal = calibration_for(sk_hynix_chip(speed_rate_mts=2666))
+        assert fast.drive_strength_mean < nominal.drive_strength_mean
+
+    def test_speed_2400_inflates_sensing_noise(self):
+        fast = calibration_for(sk_hynix_chip(speed_rate_mts=2400))
+        nominal = calibration_for(sk_hynix_chip(speed_rate_mts=2666))
+        assert fast.sense_noise_sigma > nominal.sense_noise_sigma
+
+    def test_samsung_die_ordering_matches_obs9(self):
+        # Observation 9: Samsung A-die beats D-die.
+        a_die = calibration_for(samsung_chip(die_revision="A", speed_rate_mts=3200))
+        d_die = calibration_for(samsung_chip(die_revision="D", speed_rate_mts=2133))
+        assert a_die.drive_strength_mean > d_die.drive_strength_mean
+
+    def test_micron_config_instantiates(self):
+        calibration = calibration_for(micron_chip())
+        assert calibration is not None
+
+    def test_engage_probability_nearest_fallback(self):
+        calibration = REFERENCE_CALIBRATION
+        assert calibration.engage_probability_for(16) == (
+            calibration.op_engage_probability[16]
+        )
+        # 12 is closest to 16 among {2,4,8,16}? No: |12-8|=4, |12-16|=4;
+        # min() picks the first encountered — just require a valid value.
+        value = calibration.engage_probability_for(12)
+        assert 0.0 < value <= 1.0
+
+
+class TestIdealCalibration:
+    def test_noise_free(self):
+        ideal = ideal_calibration()
+        assert ideal.sense_noise_sigma == 0.0
+        assert ideal.sa_offset_sigma == 0.0
+        assert ideal.coupling_noise_sigma == 0.0
+        assert ideal.frac_noise_sigma == 0.0
+
+    def test_always_engages(self):
+        ideal = ideal_calibration()
+        assert ideal.not_engage_probability == 1.0
+        assert all(p == 1.0 for p in ideal.op_engage_probability.values())
+
+    def test_drive_never_flips(self):
+        # z = 38 means Phi(z) is 1.0 to double precision.
+        ideal = ideal_calibration()
+        assert ideal.drive_strength_mean - ideal.drive_load_alpha * 47 > 8
+
+    def test_distance_matrices_zero(self):
+        ideal = ideal_calibration()
+        assert all(v == 0.0 for row in ideal.not_distance_z for v in row)
+        assert all(v == 0.0 for row in ideal.op_distance_margin for v in row)
+
+
+class TestCalibrationAnchors:
+    """The calibration constants must preserve the paper's orderings."""
+
+    def test_not_drive_anchor_ordering(self):
+        # Phi-model: success at 2 driven rows far exceeds 48 driven rows.
+        calibration = REFERENCE_CALIBRATION
+        z2 = calibration.drive_strength_mean - calibration.drive_load_alpha
+        z48 = calibration.drive_strength_mean - 47 * calibration.drive_load_alpha
+        assert z2 > 2.0
+        assert z48 < 0.0
+
+    def test_op_flip_much_milder_than_not_drive(self):
+        calibration = REFERENCE_CALIBRATION
+        assert calibration.op_flip_alpha < calibration.drive_load_alpha / 3
+
+    def test_middle_far_is_best_not_region(self):
+        matrix = REFERENCE_CALIBRATION.not_distance_z
+        best = max(
+            (matrix[src][dst], (src, dst)) for src in range(3) for dst in range(3)
+        )
+        assert best[1] == (1, 2)  # Middle source, Far destination (Obs. 6)
+
+    def test_far_close_is_worst_not_region(self):
+        matrix = REFERENCE_CALIBRATION.not_distance_z
+        worst = min(
+            (matrix[src][dst], (src, dst)) for src in range(3) for dst in range(3)
+        )
+        assert worst[1] == (2, 0)  # Far source, Close destination (Obs. 6)

@@ -1,0 +1,124 @@
+"""Tests for chip and lock-step module assemblies."""
+
+import numpy as np
+import pytest
+
+from repro import SeedTree, sk_hynix_chip
+from repro.dram.chip import Chip
+from repro.dram.module import Module
+from repro.errors import AddressError, ConfigurationError
+
+
+class TestChip:
+    def test_banks_lazy(self, hynix_config):
+        chip = Chip(hynix_config, SeedTree(1))
+        assert len(list(chip.instantiated_banks())) == 0
+        chip.bank(0)
+        assert len(list(chip.instantiated_banks())) == 1
+
+    def test_bank_cached(self, hynix_config):
+        chip = Chip(hynix_config, SeedTree(1))
+        assert chip.bank(0) is chip.bank(0)
+
+    def test_bank_out_of_range(self, hynix_config):
+        chip = Chip(hynix_config, SeedTree(1))
+        with pytest.raises(AddressError):
+            chip.bank(hynix_config.geometry.banks)
+
+    def test_temperature_propagates_to_existing_and_new_banks(self, hynix_config):
+        chip = Chip(hynix_config, SeedTree(1))
+        bank0 = chip.bank(0)
+        chip.temperature_c = 80.0
+        assert bank0.temperature_c == 80.0
+        assert chip.bank(1).temperature_c == 80.0
+
+    def test_release_banks(self, hynix_config):
+        chip = Chip(hynix_config, SeedTree(1))
+        chip.bank(0)
+        chip.release_banks()
+        assert len(list(chip.instantiated_banks())) == 0
+
+
+class TestModule:
+    def test_row_bits(self, hynix_config):
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        assert module.row_bits == 2 * hynix_config.geometry.columns
+
+    def test_chip_slices_partition_row(self, hynix_config):
+        module = Module(hynix_config, chip_count=4, seed_tree=SeedTree(1))
+        covered = []
+        for i in range(4):
+            s = module.chip_slice(i)
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(module.row_bits))
+
+    def test_store_load_striped(self, hynix_config):
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        bits = np.random.default_rng(0).integers(0, 2, module.row_bits, np.uint8)
+        module.store_bits(0, 7, bits)
+        assert np.array_equal(module.load_bits(0, 7), bits)
+        # Each chip holds its slice.
+        chip0 = module.chips[0].bank(0).load_bits(7)
+        assert np.array_equal(chip0, bits[module.chip_slice(0)])
+
+    def test_chips_share_decoder(self, hynix_config):
+        module = Module(hynix_config, chip_count=3, seed_tree=SeedTree(1))
+        assert all(chip.decoder is module.decoder for chip in module.chips)
+
+    def test_lockstep_glitch_consistency(self, hynix_config):
+        # All chips must activate the same rows under the same commands.
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        pattern_a = module.chips[0].decoder.neighboring_pattern(0, 5, 192 + 9)
+        pattern_b = module.chips[1].decoder.neighboring_pattern(0, 5, 192 + 9)
+        assert pattern_a == pattern_b
+
+    def test_chips_have_distinct_variation(self, hynix_config):
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        a = module.chips[0].bank(0).stripes[1].offsets
+        b = module.chips[1].bank(0).stripes[1].offsets
+        assert not np.array_equal(a, b)
+
+    def test_row_scramble_identical_across_chips(self, hynix_config):
+        # Physical row order is a die-design property (§5.2).
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        a = module.chips[0].bank(0).subarrays[0]
+        b = module.chips[1].bank(0).subarrays[0]
+        assert all(
+            a.physical_position(r) == b.physical_position(r) for r in range(192)
+        )
+
+    def test_temperature_fanout(self, hynix_config):
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        module.temperature_c = 70.0
+        assert all(chip.temperature_c == 70.0 for chip in module.chips)
+
+    def test_wrong_width_rejected(self, hynix_config):
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        with pytest.raises(ValueError):
+            module.store_bits(0, 0, np.zeros(3, dtype=np.uint8))
+
+    def test_zero_chips_rejected(self, hynix_config):
+        with pytest.raises(ConfigurationError):
+            Module(hynix_config, chip_count=0)
+
+    def test_from_spec_reduced_chip_count(self, hynix_config):
+        from repro.dram.config import ModuleSpec
+
+        spec = ModuleSpec("s", hynix_config, chips_per_module=8, module_count=2)
+        module = Module.from_spec(spec, chip_count=2, seed_tree=SeedTree(0))
+        assert module.chip_count == 2
+
+    def test_release_state(self, hynix_config):
+        module = Module(hynix_config, chip_count=2, seed_tree=SeedTree(1))
+        module.store_bits(0, 0, np.zeros(module.row_bits, dtype=np.uint8))
+        module.release_state()
+        assert all(
+            len(list(chip.instantiated_banks())) == 0 for chip in module.chips
+        )
+
+    def test_reproducible_across_instances(self, hynix_config):
+        a = Module(hynix_config, chip_count=1, seed_tree=SeedTree(42))
+        b = Module(hynix_config, chip_count=1, seed_tree=SeedTree(42))
+        sa = a.chips[0].bank(0).stripes[1].offsets
+        sb = b.chips[0].bank(0).stripes[1].offsets
+        assert np.array_equal(sa, sb)

@@ -1,0 +1,115 @@
+"""Tests for chip/module configuration."""
+
+import pytest
+
+from repro.dram.config import (
+    ActivationSupport,
+    ChipConfig,
+    ChipGeometry,
+    Manufacturer,
+    ModuleSpec,
+)
+from repro.errors import AddressError, ConfigurationError
+
+
+class TestChipGeometry:
+    def test_defaults_are_consistent(self):
+        geometry = ChipGeometry()
+        assert geometry.rows_per_bank == (
+            geometry.subarrays_per_bank * geometry.rows_per_subarray
+        )
+        assert geometry.blocks_per_subarray * geometry.lwl_block_rows == (
+            geometry.rows_per_subarray
+        )
+
+    def test_row_address_round_trip(self):
+        geometry = ChipGeometry(subarrays_per_bank=4, rows_per_subarray=64)
+        for row in (0, 63, 64, 200, 255):
+            subarray = geometry.subarray_of_row(row)
+            local = geometry.local_row(row)
+            assert geometry.bank_row(subarray, local) == row
+
+    def test_rejects_odd_columns(self):
+        with pytest.raises(ConfigurationError):
+            ChipGeometry(columns=63)
+
+    def test_rejects_single_subarray(self):
+        with pytest.raises(ConfigurationError):
+            ChipGeometry(subarrays_per_bank=1)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ConfigurationError):
+            ChipGeometry(lwl_block_rows=12)
+
+    def test_rejects_rows_not_multiple_of_block(self):
+        with pytest.raises(ConfigurationError):
+            ChipGeometry(rows_per_subarray=100)
+
+    def test_check_row_out_of_range(self):
+        geometry = ChipGeometry(subarrays_per_bank=2, rows_per_subarray=64)
+        with pytest.raises(AddressError):
+            geometry.check_row(128)
+        with pytest.raises(AddressError):
+            geometry.check_row(-1)
+
+    def test_bank_row_validates(self):
+        geometry = ChipGeometry(subarrays_per_bank=2, rows_per_subarray=64)
+        with pytest.raises(ConfigurationError):
+            geometry.bank_row(2, 0)
+        with pytest.raises(ConfigurationError):
+            geometry.bank_row(0, 64)
+
+
+class TestChipConfig:
+    def test_die_label(self):
+        config = ChipConfig(Manufacturer.SK_HYNIX, density_gb=4, die_revision="M")
+        assert config.die_label == "SK Hynix 4Gb M-die"
+
+    def test_rejects_unknown_density(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(Manufacturer.SK_HYNIX, density_gb=3)
+
+    def test_rejects_unknown_speed(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(Manufacturer.SK_HYNIX, speed_rate_mts=1866)
+
+    def test_rejects_bad_max_n(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(Manufacturer.SK_HYNIX, max_simultaneous_n=12)
+
+    def test_with_geometry_replaces_only_geometry(self):
+        config = ChipConfig(Manufacturer.SAMSUNG, density_gb=8, die_revision="D")
+        geometry = ChipGeometry(banks=2, subarrays_per_bank=2, rows_per_subarray=96)
+        updated = config.with_geometry(geometry)
+        assert updated.geometry is geometry
+        assert updated.manufacturer is Manufacturer.SAMSUNG
+        assert updated.die_revision == "D"
+
+
+class TestModuleSpec:
+    def _spec(self, **kwargs):
+        defaults = dict(
+            name="test",
+            chip=ChipConfig(Manufacturer.SK_HYNIX),
+            chips_per_module=8,
+            module_count=2,
+        )
+        defaults.update(kwargs)
+        return ModuleSpec(**defaults)
+
+    def test_total_chips(self):
+        assert self._spec().total_chips == 16
+
+    def test_rejects_zero_modules(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(module_count=0)
+
+    def test_table_row_shape(self):
+        row = self._spec(manufacture_date="18-14").table_row()
+        assert len(row) == 7
+        assert row[0] == "SK Hynix"
+        assert row[1] == "2 (16)"
+        assert row[3] == "18-14"
+
+    def test_table_row_na_date(self):
+        assert self._spec().table_row()[3] == "N/A"

@@ -1,0 +1,201 @@
+"""Tests for the multi-row activation decoder models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import ActivationSupport, ChipConfig, ChipGeometry, Manufacturer
+from repro.dram.decoder import (
+    FIG5_COVERAGE,
+    ActivationKind,
+    CalibratedDecoder,
+    HierarchicalRowDecoder,
+    make_decoder,
+)
+from repro.errors import AddressError
+from repro.rng import SeedTree
+
+GEOMETRY = ChipGeometry(
+    banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+)
+
+
+def hynix(**overrides):
+    defaults = dict(
+        manufacturer=Manufacturer.SK_HYNIX,
+        geometry=GEOMETRY,
+        activation_support=ActivationSupport.SIMULTANEOUS,
+    )
+    defaults.update(overrides)
+    return ChipConfig(**defaults)
+
+
+def pairs(rng, count):
+    for _ in range(count):
+        yield int(rng.integers(192)), int(rng.integers(192))
+
+
+class TestCalibratedDecoder:
+    def setup_method(self):
+        self.decoder = CalibratedDecoder(hynix(), SeedTree(3))
+
+    def test_deterministic_per_pair(self):
+        a = self.decoder.neighboring_pattern(0, 10, 192 + 20)
+        b = self.decoder.neighboring_pattern(0, 10, 192 + 20)
+        assert a == b
+
+    def test_different_banks_can_differ(self):
+        rng = np.random.default_rng(0)
+        differs = False
+        for local_f, local_l in pairs(rng, 50):
+            a = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            b = self.decoder.neighboring_pattern(1, local_f, 192 + local_l)
+            if a != b:
+                differs = True
+                break
+        assert differs
+
+    def test_addressed_rows_inside_pattern(self):
+        rng = np.random.default_rng(1)
+        for local_f, local_l in pairs(rng, 200):
+            pattern = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            if pattern.kind is ActivationKind.LAST_ONLY:
+                assert local_l in pattern.rows_last
+                continue
+            assert local_f in pattern.rows_first
+            assert local_l in pattern.rows_last
+
+    def test_kinds_respect_counts(self):
+        rng = np.random.default_rng(2)
+        for local_f, local_l in pairs(rng, 300):
+            pattern = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            if pattern.kind is ActivationKind.N_TO_N:
+                assert pattern.n_first == pattern.n_last
+            elif pattern.kind is ActivationKind.N_TO_2N:
+                assert 2 * pattern.n_first == pattern.n_last
+
+    def test_coverage_matches_fig5(self):
+        rng = np.random.default_rng(3)
+        counts = {}
+        total = 4000
+        for local_f, local_l in pairs(rng, total):
+            pattern = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            counts[(pattern.n_first, pattern.kind)] = (
+                counts.get((pattern.n_first, pattern.kind), 0) + 1
+            )
+        for (n, kind), expected in FIG5_COVERAGE.items():
+            observed = counts.get((n, kind), 0) / total
+            # Loose band: 4000 samples, binomial noise.
+            assert observed == pytest.approx(expected, abs=0.03)
+
+    def test_non_neighbors_rejected(self):
+        with pytest.raises(AddressError):
+            self.decoder.neighboring_pattern(0, 10, 2 * 192 + 10)
+
+    def test_rows_are_sorted_and_unique(self):
+        rng = np.random.default_rng(4)
+        for local_f, local_l in pairs(rng, 100):
+            pattern = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            for rows in (pattern.rows_first, pattern.rows_last):
+                assert list(rows) == sorted(set(rows))
+
+    def test_max_n_cap(self):
+        capped = CalibratedDecoder(hynix(max_simultaneous_n=8), SeedTree(3))
+        rng = np.random.default_rng(5)
+        for local_f, local_l in pairs(rng, 400):
+            pattern = capped.neighboring_pattern(0, local_f, 192 + local_l)
+            assert pattern.n_first <= 8
+            assert pattern.n_last <= 16
+
+    def test_no_n2n_support_folds_into_nn(self):
+        decoder = CalibratedDecoder(hynix(supports_n_to_2n=False), SeedTree(3))
+        rng = np.random.default_rng(6)
+        for local_f, local_l in pairs(rng, 400):
+            pattern = decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            assert pattern.kind is not ActivationKind.N_TO_2N
+
+    def test_sequential_only_chips(self):
+        config = hynix(
+            manufacturer=Manufacturer.SAMSUNG,
+            activation_support=ActivationSupport.SEQUENTIAL_ONLY,
+        )
+        decoder = CalibratedDecoder(config, SeedTree(3))
+        pattern = decoder.neighboring_pattern(0, 5, 192 + 9)
+        assert pattern.kind is ActivationKind.SEQUENTIAL
+        assert pattern.rows_first == (5,)
+        assert pattern.rows_last == (9,)
+
+    def test_same_subarray_pattern_contains_both(self):
+        pattern = self.decoder.same_subarray_pattern(0, 10, 100)
+        assert 10 in pattern.rows_first
+        assert 100 in pattern.rows_first
+        assert pattern.rows_first == pattern.rows_last
+
+    def test_same_subarray_quad_activation(self):
+        # Rows differing in two low bits within a block -> 4 rows (QUAC).
+        pattern = self.decoder.same_subarray_pattern(0, 100, 103)
+        assert len(pattern.rows_first) == 4
+
+    def test_label(self):
+        pattern = self.decoder.same_subarray_pattern(0, 100, 103)
+        assert pattern.label() == "4:4"
+
+
+class TestHierarchicalDecoder:
+    def setup_method(self):
+        self.decoder = HierarchicalRowDecoder(hynix())
+
+    def test_union_size_is_power_of_two_of_hamming(self):
+        rng = np.random.default_rng(7)
+        for local_f, local_l in pairs(rng, 300):
+            pattern = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            if pattern.kind is ActivationKind.LAST_ONLY:
+                continue
+            hamming = bin((local_f % 16) ^ (local_l % 16)).count("1")
+            assert pattern.n_first == 1 << hamming
+
+    def test_union_contains_both_addresses(self):
+        rng = np.random.default_rng(8)
+        for local_f, local_l in pairs(rng, 300):
+            pattern = self.decoder.neighboring_pattern(0, local_f, 192 + local_l)
+            if pattern.kind is ActivationKind.LAST_ONLY:
+                continue
+            assert local_f in pattern.rows_first
+            assert local_l in pattern.rows_last
+
+    def test_union_is_closed_under_bit_mix(self):
+        # The Cartesian-union property: every row in the set differs from
+        # the addressed row only in bit positions where the two LWL
+        # fields disagree.
+        pattern = self.decoder.neighboring_pattern(0, 0b0101, 192 + 0b0110)
+        disagreement = 0b0101 ^ 0b0110
+        for row in pattern.rows_first:
+            assert (row % 16) & ~(0b0101 | disagreement) == 0
+            assert ((row % 16) ^ 0b0101) & ~disagreement == 0
+
+    def test_max_n_produces_last_only(self):
+        decoder = HierarchicalRowDecoder(hynix(max_simultaneous_n=4))
+        # Hamming distance 4 -> N=16 > cap -> glitch does not engage.
+        pattern = decoder.neighboring_pattern(0, 0b0000, 192 + 0b1111)
+        assert pattern.kind is ActivationKind.LAST_ONLY
+
+    def test_same_subarray_union(self):
+        pattern = self.decoder.same_subarray_pattern(0, 32, 35)
+        assert len(pattern.rows_first) == 4
+        assert set(pattern.rows_first) == {32, 33, 34, 35}
+
+
+class TestFactory:
+    def test_known_models(self):
+        assert isinstance(
+            make_decoder(hynix(), SeedTree(0), "calibrated"), CalibratedDecoder
+        )
+        assert isinstance(
+            make_decoder(hynix(), SeedTree(0), "hierarchical"),
+            HierarchicalRowDecoder,
+        )
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            make_decoder(hynix(), SeedTree(0), "quantum")

@@ -1,0 +1,65 @@
+"""Sanity at the realistic (paper-sized) chip geometry.
+
+The characterization sweeps use reduced geometries for speed; this test
+exercises the default full-size geometry — 16 banks x 8 subarrays x 640
+rows x 128 columns per chip, the shape the FULL scale uses — end to end
+once, to guarantee nothing in the address math or decoder alignment
+assumes the small test dimensions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SeedTree, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.core import NotSuccessMeasurement, find_pattern_pair
+from repro.dram import ActivationKind, Module
+
+
+@pytest.fixture(scope="module")
+def full_host():
+    module = Module(sk_hynix_chip(), chip_count=1, seed_tree=SeedTree(77))
+    return DramBenderHost(module)
+
+
+class TestFullGeometry:
+    def test_geometry_is_paper_sized(self, full_host):
+        geometry = full_host.module.config.geometry
+        assert geometry.banks == 16
+        assert geometry.subarrays_per_bank == 8
+        assert geometry.rows_per_subarray == 640
+        assert geometry.columns == 128
+
+    def test_row_io_round_trip_high_bank(self, full_host):
+        bits = np.random.default_rng(0).integers(
+            0, 2, full_host.module.row_bits, dtype=np.uint8
+        )
+        last_row = full_host.module.config.geometry.rows_per_bank - 1
+        full_host.write_row(15, last_row, bits)
+        assert np.array_equal(full_host.read_row(15, last_row), bits)
+
+    def test_not_measurement_on_last_subarray_pair(self, full_host):
+        geometry = full_host.module.config.geometry
+        src, dst = find_pattern_pair(
+            full_host.module.decoder, geometry, 3, 6, 7, 4,
+            ActivationKind.N_TO_N,
+        )
+        measurement = NotSuccessMeasurement(full_host, 3, src, dst)
+        result = measurement.run(15, np.random.default_rng(1))
+        assert 0.5 < result.mean_rate <= 1.0
+
+    def test_n2n_32_destination_pattern_exists(self, full_host):
+        geometry = full_host.module.config.geometry
+        src, dst = find_pattern_pair(
+            full_host.module.decoder, geometry, 0, 0, 1, 16,
+            ActivationKind.N_TO_2N,
+        )
+        pattern = full_host.module.decoder.neighboring_pattern(0, src, dst)
+        assert pattern.n_last == 32
+        # The 32-row block must stay within the subarray.
+        assert max(pattern.rows_last) < geometry.rows_per_subarray
+
+    def test_memory_footprint_is_lazy(self, full_host):
+        # Only the banks the tests touched exist.
+        instantiated = len(list(full_host.module.chips[0].instantiated_banks()))
+        assert instantiated < full_host.module.config.geometry.banks

@@ -1,0 +1,92 @@
+"""Tests for charge leakage, refresh, and their interplay with Frac."""
+
+import numpy as np
+import pytest
+
+from repro.core.frac import is_fractional, store_half_vdd
+from repro.errors import CommandSequenceError
+
+
+def bank_of(host):
+    return host.module.chips[0].bank(0)
+
+
+class TestLeakage:
+    def test_short_elapse_preserves_data(self, ideal_host):
+        bits = np.random.default_rng(0).integers(
+            0, 2, ideal_host.module.row_bits, dtype=np.uint8
+        )
+        ideal_host.fill_row(0, 5, bits)
+        bank_of(ideal_host).elapse(10.0)  # within a retention window
+        assert np.array_equal(ideal_host.peek_row(0, 5), bits)
+
+    def test_long_elapse_loses_ones(self, ideal_host):
+        ones = np.ones(ideal_host.module.row_bits, dtype=np.uint8)
+        ideal_host.fill_row(0, 5, ones)
+        bank_of(ideal_host).elapse(10_000.0)  # far beyond the window
+        assert np.all(ideal_host.peek_row(0, 5) == 0)
+
+    def test_zeros_are_immune(self, ideal_host):
+        zeros = np.zeros(ideal_host.module.row_bits, dtype=np.uint8)
+        ideal_host.fill_row(0, 5, zeros)
+        bank_of(ideal_host).elapse(10_000.0)
+        assert np.all(ideal_host.peek_row(0, 5) == 0)
+
+    def test_heat_accelerates_leakage(self, ideal_host):
+        bank = bank_of(ideal_host)
+        volts = np.full(ideal_host.module.row_bits, 1.0)
+        bank.store_voltages(5, volts)
+        bank.elapse(100.0)
+        cool = bank.subarrays[0].read_voltages(5)[0]
+
+        bank.store_voltages(5, volts)
+        bank.temperature_c = 90.0
+        bank.elapse(100.0)
+        hot = bank.subarrays[0].read_voltages(5)[0]
+        assert hot < cool
+
+    def test_refresh_restores_leaked_charge(self, ideal_host):
+        bank = bank_of(ideal_host)
+        ones = np.ones(ideal_host.module.row_bits, dtype=np.uint8)
+        ideal_host.fill_row(0, 5, ones)
+        bank.elapse(500.0)  # partial decay, still above threshold
+        assert bank.subarrays[0].read_voltages(5)[0] < 1.0
+        bank.refresh(1e9)
+        assert np.all(bank.subarrays[0].read_voltages(5) == 1.0)
+
+    def test_elapse_requires_closed_bank(self, ideal_host):
+        bank = bank_of(ideal_host)
+        bank.activate(0, 0.0)
+        with pytest.raises(CommandSequenceError):
+            bank.elapse(1.0)
+
+    def test_rejects_negative_time(self, ideal_host):
+        with pytest.raises(ValueError):
+            bank_of(ideal_host).elapse(-1.0)
+
+
+class TestFracRetention:
+    def test_frac_decays_before_full_rail_cells(self, ideal_host):
+        """A VDD/2 cell starts at the sensing threshold: any leakage at
+        all pushes it to logic-0, long before real data is endangered.
+        This is why the paper's sequences re-Frac per trial."""
+        geometry = ideal_host.module.config.geometry
+        frac_row = geometry.bank_row(2, 8)
+        data_row = geometry.bank_row(2, 40)
+        store_half_vdd(ideal_host, 0, frac_row)
+        ideal_host.fill_row(
+            0, data_row, np.ones(ideal_host.module.row_bits, dtype=np.uint8)
+        )
+        bank_of(ideal_host).elapse(200.0)
+        frac_volts = bank_of(ideal_host).subarrays[2].read_voltages(8)
+        assert np.all(~is_fractional(frac_volts, tolerance=0.015))
+        # The full-rail data still reads correctly.
+        assert np.all(ideal_host.peek_row(0, data_row) == 1)
+
+    def test_refresh_destroys_frac(self, ideal_host):
+        geometry = ideal_host.module.config.geometry
+        frac_row = geometry.bank_row(2, 8)
+        store_half_vdd(ideal_host, 0, frac_row)
+        bank_of(ideal_host).refresh(1e9)
+        volts = bank_of(ideal_host).subarrays[2].read_voltages(8)
+        assert np.all((volts == 0.0) | (volts == 1.0))

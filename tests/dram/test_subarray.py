@@ -1,0 +1,145 @@
+"""Tests for subarray state and the structured row scramble."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.subarray import Subarray
+from repro.dram.variation import Region
+from repro.errors import AddressError
+from repro.rng import SeedTree
+
+
+def make_subarray(rows=96, columns=16, seed=3, scramble=True):
+    return Subarray(0, rows, columns, SeedTree(seed), scramble_rows=scramble)
+
+
+class TestScramble:
+    def test_is_permutation(self):
+        subarray = make_subarray()
+        positions = sorted(subarray.physical_position(r) for r in range(96))
+        assert positions == list(range(96))
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_always_permutation(self, seed):
+        subarray = make_subarray(seed=seed)
+        positions = {subarray.physical_position(r) for r in range(96)}
+        assert positions == set(range(96))
+
+    def test_blocks_stay_contiguous(self):
+        # The structured scramble keeps each 16-row logical block in one
+        # physical block (that is what makes Close/Far multi-row
+        # activated sets possible — see Fig. 9).
+        subarray = make_subarray(rows=96)
+        for block in range(96 // 16):
+            physical_blocks = {
+                subarray.physical_position(block * 16 + i) // 16
+                for i in range(16)
+            }
+            assert len(physical_blocks) == 1
+
+    def test_scramble_is_nontrivial(self):
+        subarray = make_subarray()
+        identity = all(subarray.physical_position(r) == r for r in range(96))
+        assert not identity
+
+    def test_unscrambled_is_identity(self):
+        subarray = make_subarray(scramble=False)
+        assert all(subarray.physical_position(r) == r for r in range(96))
+
+    def test_round_trip(self):
+        subarray = make_subarray()
+        for row in range(96):
+            position = subarray.physical_position(row)
+            assert subarray.logical_at_physical(position) == row
+
+    def test_deterministic_per_seed(self):
+        a = make_subarray(seed=5)
+        b = make_subarray(seed=5)
+        assert all(
+            a.physical_position(r) == b.physical_position(r) for r in range(96)
+        )
+
+
+class TestNeighbors:
+    def test_interior_rows_have_two_neighbors(self):
+        subarray = make_subarray()
+        interior = subarray.logical_at_physical(40)
+        assert len(subarray.physical_neighbors(interior)) == 2
+
+    def test_edge_rows_have_one_neighbor(self):
+        subarray = make_subarray()
+        lower_edge = subarray.logical_at_physical(0)
+        upper_edge = subarray.logical_at_physical(95)
+        assert len(subarray.physical_neighbors(lower_edge)) == 1
+        assert len(subarray.physical_neighbors(upper_edge)) == 1
+
+    def test_neighbor_relation_is_symmetric(self):
+        subarray = make_subarray()
+        for row in range(0, 96, 7):
+            for neighbor in subarray.physical_neighbors(row):
+                assert row in subarray.physical_neighbors(neighbor)
+
+
+class TestRegions:
+    def test_distance_to_both_stripes(self):
+        subarray = make_subarray()
+        row = subarray.logical_at_physical(0)
+        assert subarray.distance_to_stripe(row, upper=False) == 0
+        assert subarray.distance_to_stripe(row, upper=True) == 95
+
+    def test_region_terciles(self):
+        subarray = make_subarray()
+        assert subarray.region_to_stripe(
+            subarray.logical_at_physical(0), upper=False
+        ) is Region.CLOSE
+        assert subarray.region_to_stripe(
+            subarray.logical_at_physical(48), upper=False
+        ) is Region.MIDDLE
+        assert subarray.region_to_stripe(
+            subarray.logical_at_physical(95), upper=False
+        ) is Region.FAR
+
+    def test_region_of_rows_uses_mean(self):
+        subarray = make_subarray()
+        close = subarray.logical_at_physical(0)
+        far = subarray.logical_at_physical(95)
+        assert subarray.region_of_rows([close, far], upper=False) is Region.MIDDLE
+
+
+class TestDataAccess:
+    def test_write_read_bits_round_trip(self):
+        subarray = make_subarray()
+        bits = np.random.default_rng(0).integers(0, 2, 16, dtype=np.uint8)
+        subarray.write_bits(10, bits)
+        assert np.array_equal(subarray.read_bits(10), bits)
+
+    def test_write_voltages_clipped(self):
+        subarray = make_subarray()
+        subarray.write_voltages(5, np.full(16, 2.0))
+        assert np.all(subarray.read_voltages(5) == 1.0)
+
+    def test_fill(self):
+        subarray = make_subarray()
+        subarray.fill(1)
+        assert np.all(subarray.voltages == 1.0)
+        subarray.fill(0)
+        assert np.all(subarray.voltages == 0.0)
+
+    def test_wrong_width_rejected(self):
+        subarray = make_subarray()
+        with pytest.raises(ValueError):
+            subarray.write_bits(0, np.zeros(8, dtype=np.uint8))
+
+    def test_row_out_of_range(self):
+        subarray = make_subarray()
+        with pytest.raises(AddressError):
+            subarray.read_bits(96)
+
+    def test_read_voltages_returns_copy(self):
+        subarray = make_subarray()
+        volts = subarray.read_voltages(0)
+        volts[:] = 0.7
+        assert np.all(subarray.read_voltages(0) == 0.0)

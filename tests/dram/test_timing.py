@@ -1,0 +1,81 @@
+"""Tests for timing parameters and violation descriptors."""
+
+import pytest
+
+from repro.dram.timing import ReducedTiming, TimingParameters, timing_for_speed
+from repro.errors import ConfigurationError
+
+
+class TestTimingTable:
+    @pytest.mark.parametrize("speed", [2133, 2400, 2666, 3200])
+    def test_known_grades(self, speed):
+        timing = timing_for_speed(speed)
+        assert timing.speed_rate_mts == speed
+        assert timing.t_ras > timing.t_rcd > timing.t_ck
+
+    def test_unknown_grade(self):
+        with pytest.raises(ConfigurationError):
+            timing_for_speed(1600)
+
+    def test_t_rc(self):
+        timing = timing_for_speed(2666)
+        assert timing.t_rc == pytest.approx(timing.t_ras + timing.t_rp)
+
+    def test_clock_periods_descend_with_speed(self):
+        periods = [timing_for_speed(s).t_ck for s in (2133, 2400, 2666, 3200)]
+        assert periods == sorted(periods, reverse=True)
+
+
+class TestCycleQuantization:
+    def test_cycles_rounds_up(self):
+        timing = timing_for_speed(2666)  # 0.75 ns clock
+        assert timing.cycles(0.75) == 1
+        assert timing.cycles(0.76) == 2
+        assert timing.cycles(1.5) == 2
+
+    def test_quantize_is_multiple_of_clock(self):
+        timing = timing_for_speed(2400)
+        quantized = timing.quantize(3.0)
+        assert quantized >= 3.0
+        assert quantized % timing.t_ck == pytest.approx(0.0, abs=1e-9)
+
+    def test_cycles_rejects_negative(self):
+        with pytest.raises(ValueError):
+            timing_for_speed(2666).cycles(-1.0)
+
+
+class TestReducedTiming:
+    def test_for_logic_op_violates_both(self):
+        timing = timing_for_speed(2666)
+        reduced = ReducedTiming.for_logic_op(timing)
+        assert reduced.violates_t_ras(timing)
+        assert reduced.violates_t_rp(timing)
+        # The paper keeps both gaps under 3 ns (§4.1).
+        assert reduced.first_act_ns(timing) < 3.0
+        assert reduced.pre_to_act_ns(timing) < 3.0
+
+    def test_for_not_op_violates_only_trp(self):
+        timing = timing_for_speed(2666)
+        reduced = ReducedTiming.for_not_op(timing)
+        assert not reduced.violates_t_ras(timing)
+        assert reduced.violates_t_rp(timing)
+
+    def test_nominal_violates_nothing(self):
+        timing = timing_for_speed(2133)
+        reduced = ReducedTiming.nominal(timing)
+        assert not reduced.violates_t_ras(timing)
+        assert not reduced.violates_t_rp(timing)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ConfigurationError):
+            ReducedTiming(first_act_cycles=0, pre_to_act_cycles=1)
+
+    @pytest.mark.parametrize("speed", [2133, 2400, 2666, 3200])
+    def test_logic_gap_quantization_differs_by_speed(self, speed):
+        # The quantized sub-3ns gap differs in real nanoseconds per grade
+        # — the root of the speed-rate sensitivity (Obs. 8/18).
+        timing = timing_for_speed(speed)
+        reduced = ReducedTiming.for_logic_op(timing)
+        gap = reduced.pre_to_act_ns(timing)
+        assert 0 < gap < 3.0
+        assert gap == pytest.approx(reduced.pre_to_act_cycles * timing.t_ck)

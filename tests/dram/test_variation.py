@@ -1,0 +1,94 @@
+"""Tests for process and design-induced variation models."""
+
+import numpy as np
+import pytest
+
+from repro.dram.calibration import REFERENCE_CALIBRATION, ideal_calibration
+from repro.dram.variation import DistanceRegions, Region, StripeVariation
+from repro.rng import SeedTree
+
+
+class TestRegions:
+    def test_three_equal_regions(self):
+        regions = DistanceRegions(96)
+        counts = {region: 0 for region in Region}
+        for distance in range(96):
+            counts[regions.region_of_distance(distance)] += 1
+        assert counts[Region.CLOSE] == 32
+        assert counts[Region.MIDDLE] == 32
+        assert counts[Region.FAR] == 32
+
+    def test_ordering(self):
+        regions = DistanceRegions(96)
+        assert regions.region_of_distance(0) is Region.CLOSE
+        assert regions.region_of_distance(95) is Region.FAR
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            DistanceRegions(96).region_of_distance(96)
+
+    def test_mean_distance_region(self):
+        regions = DistanceRegions(96)
+        assert regions.region_of_mean_distance([0, 95]) is Region.MIDDLE
+        assert regions.region_of_mean_distance([0, 1, 2]) is Region.CLOSE
+
+    def test_mean_requires_values(self):
+        with pytest.raises(ValueError):
+            DistanceRegions(96).region_of_mean_distance([])
+
+    def test_too_few_rows(self):
+        with pytest.raises(ValueError):
+            DistanceRegions(2)
+
+    def test_region_str(self):
+        assert str(Region.CLOSE) == "Close"
+        assert str(Region.FAR) == "Far"
+
+
+class TestStripeVariation:
+    def test_shapes(self):
+        stripe = StripeVariation(64, REFERENCE_CALIBRATION, SeedTree(1))
+        assert stripe.offsets.shape == (64,)
+        assert stripe.strengths.shape == (64,)
+        assert stripe.columns == 64
+
+    def test_deterministic(self):
+        a = StripeVariation(64, REFERENCE_CALIBRATION, SeedTree(1))
+        b = StripeVariation(64, REFERENCE_CALIBRATION, SeedTree(1))
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.strengths, b.strengths)
+
+    def test_different_seeds_differ(self):
+        a = StripeVariation(64, REFERENCE_CALIBRATION, SeedTree(1))
+        b = StripeVariation(64, REFERENCE_CALIBRATION, SeedTree(2))
+        assert not np.array_equal(a.offsets, b.offsets)
+
+    def test_distribution_parameters(self):
+        calibration = REFERENCE_CALIBRATION
+        stripe = StripeVariation(20000, calibration, SeedTree(5))
+        assert stripe.offsets.mean() == pytest.approx(
+            calibration.sa_offset_mean, abs=3 * calibration.sa_offset_sigma / 140
+        )
+        assert stripe.offsets.std() == pytest.approx(
+            calibration.sa_offset_sigma, rel=0.05
+        )
+
+    def test_strong_population_exists(self):
+        calibration = REFERENCE_CALIBRATION
+        stripe = StripeVariation(20000, calibration, SeedTree(5))
+        threshold = (
+            calibration.drive_strength_mean + calibration.strong_sa_boost / 2
+        )
+        strong_fraction = np.mean(stripe.strengths > threshold)
+        assert strong_fraction == pytest.approx(
+            calibration.strong_sa_fraction, rel=0.4
+        )
+
+    def test_ideal_calibration_has_no_spread(self):
+        stripe = StripeVariation(64, ideal_calibration(), SeedTree(1))
+        assert np.all(stripe.offsets == 0.0)
+        assert np.all(stripe.strengths == stripe.strengths[0])
+
+    def test_rejects_zero_columns(self):
+        with pytest.raises(ValueError):
+            StripeVariation(0, REFERENCE_CALIBRATION, SeedTree(1))

@@ -1,0 +1,78 @@
+"""Tests for the activation-pattern scanner (§4.2 methodology)."""
+
+import pytest
+
+from repro.dram.decoder import ActivationKind
+from repro.reveng.activation import (
+    ActivationScanner,
+    ObservedPattern,
+    coverage_from_counts,
+)
+from repro.errors import AddressError
+
+
+class TestObservedPattern:
+    def test_labels(self):
+        assert ObservedPattern(8, 16).label == "8:16"
+        assert ObservedPattern(8, 16).engaged
+        assert not ObservedPattern(0, 1).engaged
+
+
+class TestCoverage:
+    def test_normalization(self):
+        coverage = coverage_from_counts({"8:8": 3, "none": 1})
+        assert coverage == {"8:8": 0.75, "none": 0.25}
+
+    def test_empty(self):
+        assert coverage_from_counts({}) == {}
+
+
+class TestScanner:
+    def test_probe_matches_decoder_ground_truth(self, ideal_host):
+        scanner = ActivationScanner(ideal_host, 0, 0, 1, seed=2)
+        decoder = ideal_host.module.decoder
+        geometry = ideal_host.module.config.geometry
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        checked = 0
+        for _ in range(30):
+            row_f = geometry.bank_row(0, int(rng.integers(192)))
+            row_l = geometry.bank_row(1, int(rng.integers(192)))
+            truth = decoder.neighboring_pattern(0, row_f, row_l)
+            observed = scanner.probe(row_f, row_l)
+            if truth.kind is ActivationKind.LAST_ONLY:
+                assert not observed.engaged
+            else:
+                assert observed.n_first == truth.n_first
+                assert observed.n_last == truth.n_last
+            checked += 1
+        assert checked == 30
+
+    def test_scan_counts_sum(self, ideal_host):
+        scanner = ActivationScanner(ideal_host, 0, 0, 1, seed=4)
+        counts = scanner.scan(40)
+        assert sum(counts.values()) == 40
+
+    def test_scan_finds_dominant_patterns(self, ideal_host):
+        # With enough samples, 8:8 and 16:16 (the high-coverage types,
+        # Fig. 5) must both appear.
+        scanner = ActivationScanner(ideal_host, 0, 0, 1, seed=5)
+        counts = scanner.scan(400)
+        assert counts.get("8:8", 0) > 0
+        assert counts.get("16:16", 0) > 0
+
+    def test_rejects_non_neighbors(self, ideal_host):
+        with pytest.raises(AddressError):
+            ActivationScanner(ideal_host, 0, 0, 2)
+
+    def test_samsung_scan_shows_sequential_only(self, samsung_host):
+        scanner = ActivationScanner(samsung_host, 0, 0, 1, seed=6)
+        counts = scanner.scan(25)
+        assert set(counts) <= {"1:1", "none"}
+        assert counts.get("1:1", 0) > 0
+
+    def test_micron_scan_shows_nothing(self, micron_host):
+        scanner = ActivationScanner(micron_host, 0, 0, 1, seed=7)
+        counts = scanner.scan(25)
+        assert set(counts) == {"none"}

@@ -1,0 +1,58 @@
+"""Tests for RowHammer-based physical row order recovery."""
+
+import pytest
+
+from repro.reveng.roworder import RowOrderMapper
+from repro.errors import ReverseEngineeringError
+
+
+class TestRowOrderMapper:
+    def test_recovers_physical_order(self, real_host):
+        mapper = RowOrderMapper(real_host, bank=0, subarray=1)
+        result = mapper.recover_order()
+        subarray = real_host.module.chips[0].bank(0).subarrays[1]
+        geometry = real_host.module.config.geometry
+        truth = [
+            geometry.bank_row(1, subarray.logical_at_physical(position))
+            for position in range(geometry.rows_per_subarray)
+        ]
+        recovered = list(result.physical_order)
+        assert recovered == truth or recovered == truth[::-1]
+
+    def test_edge_rows_are_stripe_adjacent(self, real_host):
+        mapper = RowOrderMapper(real_host, bank=0, subarray=0)
+        result = mapper.recover_order()
+        subarray = real_host.module.chips[0].bank(0).subarrays[0]
+        geometry = real_host.module.config.geometry
+        edges = {
+            geometry.bank_row(0, subarray.logical_at_physical(0)),
+            geometry.bank_row(
+                0, subarray.logical_at_physical(geometry.rows_per_subarray - 1)
+            ),
+        }
+        assert set(result.edge_rows) == edges
+
+    def test_victims_are_physical_neighbors(self, real_host):
+        mapper = RowOrderMapper(real_host, bank=0, subarray=1)
+        geometry = real_host.module.config.geometry
+        subarray = real_host.module.chips[0].bank(0).subarrays[1]
+        row = geometry.bank_row(1, 50)
+        victims = mapper.victims_of(row)
+        expected = {
+            geometry.bank_row(1, neighbor)
+            for neighbor in subarray.physical_neighbors(50)
+        }
+        assert set(victims) == expected
+
+    def test_insufficient_hammering_fails_loudly(self, real_host):
+        mapper = RowOrderMapper(
+            real_host, bank=0, subarray=1, hammer_count=10, min_flips=2
+        )
+        with pytest.raises(ReverseEngineeringError):
+            mapper.recover_order()
+
+    def test_position_of(self, real_host):
+        mapper = RowOrderMapper(real_host, bank=0, subarray=1)
+        result = mapper.recover_order()
+        first = result.physical_order[0]
+        assert result.position_of(first) == 0

@@ -1,0 +1,182 @@
+"""Tests for the end-to-end PuD runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.system import PudRuntime, RuntimeStats, VectorHandle
+
+
+@pytest.fixture()
+def runtime(ideal_host):
+    return PudRuntime(ideal_host, bank=0, subarray_pair=(0, 1))
+
+
+def vectors(runtime, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+        for _ in range(count)
+    ]
+
+
+class TestStorage:
+    def test_store_load_round_trip(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=1)
+        handle = runtime.store(bits)
+        assert np.array_equal(runtime.load(handle), bits)
+
+    def test_store_both_sides(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=2)
+        for side in (0, 1):
+            handle = runtime.store(bits, side=side)
+            assert handle.side == side
+            assert np.array_equal(runtime.load(handle), bits)
+
+    def test_free_returns_slot(self, runtime):
+        before = runtime.free_slots(1)
+        handle = runtime.store(vectors(runtime, 1)[0])
+        assert runtime.free_slots(1) == before - 1
+        runtime.free(handle)
+        assert runtime.free_slots(1) == before
+
+    def test_double_free_rejected(self, runtime):
+        handle = runtime.store(vectors(runtime, 1)[0])
+        runtime.free(handle)
+        with pytest.raises(ReproError):
+            runtime.free(handle)
+
+    def test_load_after_free_rejected(self, runtime):
+        handle = runtime.store(vectors(runtime, 1)[0])
+        runtime.free(handle)
+        with pytest.raises(ReproError):
+            runtime.load(handle)
+
+    def test_exhaustion_raises(self, runtime):
+        with pytest.raises(ReproError):
+            for _ in range(10_000):
+                runtime.store(vectors(runtime, 1)[0])
+
+    def test_wrong_width_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.store(np.zeros(3, dtype=np.uint8))
+
+    def test_handles_are_unique(self, runtime):
+        a = runtime.store(vectors(runtime, 1)[0])
+        runtime.free(a)
+        b = runtime.store(vectors(runtime, 1)[0])
+        # The slot may be reused, but the handle must not compare equal.
+        assert a != b
+
+
+class TestComputation:
+    def test_and_or(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=3)
+        a, b = runtime.store(a_bits), runtime.store(b_bits)
+        assert np.array_equal(runtime.load(runtime.and_(a, b)), a_bits & b_bits)
+        assert np.array_equal(runtime.load(runtime.or_(a, b)), a_bits | b_bits)
+
+    def test_nand_nor_land_on_other_side(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=4)
+        a, b = runtime.store(a_bits), runtime.store(b_bits)
+        result = runtime.nand(a, b)
+        assert result.side == 0  # operands on side 1, complement side 0
+        assert np.array_equal(runtime.load(result), 1 - (a_bits & b_bits))
+        result = runtime.nor(a, b)
+        assert np.array_equal(runtime.load(result), 1 - (a_bits | b_bits))
+
+    def test_many_input_with_padding(self, runtime):
+        operands = vectors(runtime, 5, seed=5)
+        handles = [runtime.store(bits) for bits in operands]
+        expected = operands[0].copy()
+        for bits in operands[1:]:
+            expected &= bits
+        assert np.array_equal(
+            runtime.load(runtime.and_(*handles)), expected
+        )
+
+    def test_not_crosses_and_inverts(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=6)
+        handle = runtime.store(bits, side=1)
+        result = runtime.not_(handle)
+        assert result.side == 0
+        assert np.array_equal(runtime.load(result), 1 - bits)
+
+    def test_xor(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=7)
+        a, b = runtime.store(a_bits), runtime.store(b_bits)
+        assert np.array_equal(runtime.load(runtime.xor(a, b)), a_bits ^ b_bits)
+
+    def test_mixed_side_operands_colocated(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=8)
+        a = runtime.store(a_bits, side=0)
+        b = runtime.store(b_bits, side=1)
+        result = runtime.and_(a, b)
+        assert np.array_equal(runtime.load(result), a_bits & b_bits)
+        assert runtime.stats.host_transfers >= 1
+
+    def test_operations_do_not_corrupt_stored_vectors(self, runtime):
+        stored = vectors(runtime, 6, seed=9)
+        handles = [runtime.store(bits) for bits in stored]
+        runtime.and_(handles[0], handles[1])
+        runtime.xor(handles[2], handles[3])
+        runtime.not_(handles[4])
+        for handle, bits in zip(handles, stored):
+            assert np.array_equal(runtime.load(handle), bits)
+
+
+class TestMovement:
+    def test_move_preserves_value(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=10)
+        handle = runtime.store(bits, side=1)
+        moved = runtime.move(handle, 0)
+        assert moved.side == 0
+        assert np.array_equal(runtime.load(moved), bits)
+
+    def test_move_same_side_is_free(self, runtime):
+        handle = runtime.store(vectors(runtime, 1)[0], side=1)
+        before = runtime.stats.host_transfers
+        assert runtime.move(handle, 1) is handle
+        assert runtime.stats.host_transfers == before
+
+    def test_cross_side_move_costs_a_host_transfer(self, runtime):
+        handle = runtime.store(vectors(runtime, 1)[0], side=1)
+        before = runtime.stats.host_transfers
+        runtime.move(handle, 0)
+        assert runtime.stats.host_transfers == before + 1
+
+
+class TestAccounting:
+    def test_stats_count_primitives(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=11)
+        a, b = runtime.store(a_bits), runtime.store(b_bits)
+        runtime.and_(a, b)
+        stats = runtime.stats
+        assert stats.logic_ops == 1
+        assert stats.rowclones >= 2  # operands in, result out
+        assert stats.total_programs == (
+            stats.logic_ops + stats.not_ops + stats.rowclones
+        )
+
+    def test_xor_costs_three_logic_ops(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=12)
+        a, b = runtime.store(a_bits), runtime.store(b_bits)
+        before = runtime.stats.logic_ops
+        runtime.xor(a, b)
+        assert runtime.stats.logic_ops - before == 3
+
+    def test_runtime_stats_repr(self):
+        text = str(RuntimeStats(logic_ops=2, not_ops=1, rowclones=5))
+        assert "2 logic ops" in text
+
+
+class TestRealChip:
+    def test_runtime_works_on_calibrated_die(self, real_host):
+        runtime = PudRuntime(real_host, bank=0, subarray_pair=(0, 1))
+        rng = np.random.default_rng(13)
+        a_bits = rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+        b_bits = rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+        a, b = runtime.store(a_bits), runtime.store(b_bits)
+        result = runtime.load(runtime.and_(a, b))
+        agreement = float(np.mean(result == (a_bits & b_bits)))
+        assert agreement > 0.6  # imperfect, per the characterization

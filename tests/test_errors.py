@@ -1,0 +1,47 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    CommandSequenceError,
+    ConfigurationError,
+    ProgramError,
+    ReproError,
+    ReverseEngineeringError,
+    ThermalError,
+    TimingViolationError,
+    UnsupportedOperationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            AddressError,
+            CommandSequenceError,
+            ConfigurationError,
+            ProgramError,
+            ReverseEngineeringError,
+            ThermalError,
+            TimingViolationError,
+            UnsupportedOperationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_timing_violation_is_a_command_sequence_error(self):
+        # Strict-mode consumers can catch either.
+        assert issubclass(TimingViolationError, CommandSequenceError)
+
+    def test_library_never_raises_bare_exceptions(self, ideal_host):
+        # A representative misuse path raises a ReproError subclass, not
+        # a bare Exception/ValueError dressed up in library context.
+        from repro.core.not_op import NotOperation
+
+        with pytest.raises(ReproError):
+            NotOperation(ideal_host, 0, 5, 10)  # same subarray

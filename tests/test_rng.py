@@ -1,0 +1,70 @@
+"""Tests for the deterministic seed tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import SeedTree, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_different_paths_differ(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+    def test_path_depth_matters(self):
+        assert derive_seed(1, "x") != derive_seed(1, "x", "x")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(12345, "label")
+        assert 0 <= seed < (1 << 64)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1), st.text(max_size=40))
+    def test_always_in_range(self, root, label):
+        assert 0 <= derive_seed(root, label) < (1 << 64)
+
+    def test_path_is_not_concatenation_ambiguous(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+
+class TestSeedTree:
+    def test_child_deterministic(self):
+        assert SeedTree(5).child("x", "y") == SeedTree(5).child("x", "y")
+
+    def test_child_no_path_is_self(self):
+        tree = SeedTree(5)
+        assert tree.child() == tree
+
+    def test_generators_reproducible(self):
+        a = SeedTree(9).child("m").generator().integers(1 << 30, size=4)
+        b = SeedTree(9).child("m").generator().integers(1 << 30, size=4)
+        assert np.array_equal(a, b)
+
+    def test_sibling_streams_independent(self):
+        a = SeedTree(9).child("m0").generator().integers(1 << 30, size=4)
+        b = SeedTree(9).child("m1").generator().integers(1 << 30, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_uniform_hash_range_and_determinism(self):
+        tree = SeedTree(3)
+        value = tree.uniform_hash("k")
+        assert 0.0 <= value < 1.0
+        assert value == SeedTree(3).uniform_hash("k")
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_uniform_hash_roughly_uniform(self, seed):
+        tree = SeedTree(seed)
+        values = [tree.uniform_hash(f"v{i}") for i in range(50)]
+        assert 0.0 <= min(values) and max(values) < 1.0
+        # Not all identical (astronomically unlikely for a good hash).
+        assert len(set(values)) > 1
+
+    def test_hashable(self):
+        assert len({SeedTree(1), SeedTree(1), SeedTree(2)}) == 2

@@ -1,0 +1,45 @@
+"""Tests for voltage/time unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GND,
+    VDD,
+    VDD_HALF,
+    logic_to_voltage,
+    transfers_to_clock_ns,
+    voltage_to_logic,
+)
+
+
+class TestLogicVoltage:
+    def test_round_trip(self):
+        assert voltage_to_logic(logic_to_voltage(1)) == 1
+        assert voltage_to_logic(logic_to_voltage(0)) == 0
+
+    def test_rails(self):
+        assert logic_to_voltage(1) == VDD
+        assert logic_to_voltage(0) == GND
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            logic_to_voltage(2)
+
+    def test_threshold_ties_to_zero(self):
+        assert voltage_to_logic(VDD_HALF) == 0
+        assert voltage_to_logic(VDD_HALF + 1e-9) == 1
+
+
+class TestClock:
+    def test_ddr4_2666(self):
+        assert transfers_to_clock_ns(2666) == pytest.approx(0.750, abs=0.001)
+
+    def test_ddr4_2400(self):
+        assert transfers_to_clock_ns(2400) == pytest.approx(0.833, abs=0.001)
+
+    def test_ddr4_2133(self):
+        assert transfers_to_clock_ns(2133) == pytest.approx(0.938, abs=0.001)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            transfers_to_clock_ns(0)

@@ -1,0 +1,29 @@
+"""Calibration harness: prints the paper's headline anchors vs measured.
+
+Run stages selectively:  python tools/calibrate.py fig7 fig12 ...
+"""
+import sys
+import time
+
+from repro.characterization import run_experiment, Scale
+from repro.dram.config import ChipGeometry
+
+CAL = Scale(
+    name="cal",
+    modules_per_spec=1,
+    chips_per_module=1,
+    banks_per_module=1,
+    pairs_per_bank=1,
+    trials=250,
+    geometry=ChipGeometry(banks=1, subarrays_per_bank=2, rows_per_subarray=192, columns=64),
+)
+
+def show(experiment_id):
+    t0 = time.time()
+    result = run_experiment(experiment_id, CAL, seed=1)
+    print(result.format_table())
+    print(f"[{experiment_id}: {time.time()-t0:.1f}s]\n")
+
+if __name__ == "__main__":
+    for experiment_id in sys.argv[1:] or ["fig7"]:
+        show(experiment_id)
