@@ -4,6 +4,6 @@ extended-version inventory; §7 Limitations)."""
 from conftest import run_and_report
 
 
-def test_capability(benchmark):
-    result = run_and_report(benchmark, "capability")
+def test_capability(benchmark, sweep_jobs):
+    result = run_and_report(benchmark, "capability", jobs=sweep_jobs)
     assert result.extras["matrix"]

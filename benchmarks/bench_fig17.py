@@ -3,6 +3,6 @@
 from conftest import run_and_report
 
 
-def test_fig17(benchmark):
-    result = run_and_report(benchmark, "fig17")
+def test_fig17(benchmark, sweep_jobs):
+    result = run_and_report(benchmark, "fig17", jobs=sweep_jobs)
     assert result.groups or result.extras

@@ -3,6 +3,6 @@
 from conftest import run_and_report
 
 
-def test_fig20(benchmark):
-    result = run_and_report(benchmark, "fig20")
+def test_fig20(benchmark, sweep_jobs):
+    result = run_and_report(benchmark, "fig20", jobs=sweep_jobs)
     assert result.groups or result.extras

@@ -3,6 +3,6 @@
 from conftest import run_and_report
 
 
-def test_table01(benchmark):
-    result = run_and_report(benchmark, "table1")
+def test_table01(benchmark, sweep_jobs):
+    result = run_and_report(benchmark, "table1", jobs=sweep_jobs)
     assert result.groups or result.extras

@@ -30,17 +30,33 @@ BENCH_SCALE = Scale(
 )
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes per sweep (default 1 = serial; results are "
+        "bit-identical at any job count)",
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale():
     return BENCH_SCALE
 
 
-def run_and_report(benchmark, experiment_id: str, seed: int = 1):
+@pytest.fixture(scope="session")
+def sweep_jobs(request):
+    return request.config.getoption("--jobs")
+
+
+def run_and_report(benchmark, experiment_id: str, seed: int = 1, jobs: int = 1):
     """Benchmark one experiment run and print its figure reproduction."""
     result = benchmark.pedantic(
         run_experiment,
         args=(experiment_id,),
-        kwargs={"scale": BENCH_SCALE, "seed": seed},
+        kwargs={"scale": BENCH_SCALE, "seed": seed, "jobs": jobs},
         rounds=1,
         iterations=1,
     )

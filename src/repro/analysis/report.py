@@ -111,6 +111,7 @@ def generate_report(
     seed: int = 0,
     experiment_ids: Optional[List[str]] = None,
     log: Optional[TextIO] = None,
+    jobs: int = 1,
 ) -> str:
     """Run the experiment suite and return the EXPERIMENTS.md content."""
     ids = list(experiment_ids) if experiment_ids else list(EXPERIMENT_ORDER)
@@ -139,13 +140,23 @@ def generate_report(
         "trend, and factor the paper reports holds (see per-figure",
         "comparison tables).",
         "",
+        "## Parallel sweeps",
+        "",
+        "This report can be regenerated with `--jobs N` to fan each sweep",
+        "out over a process pool (`python -m repro.analysis.report --jobs 4`).",
+        "Worker processes rebuild modules from the shared seed tree and",
+        "results merge in canonical target order, so every number below is",
+        "bit-identical at any job count; only wall-clock changes.  See the",
+        '"Parallel sweeps" section of README.md and',
+        "`tests/characterization/test_parallel.py` for the guarantee.",
+        "",
     ]
     for experiment_id in ids:
         if log:
             log.write(f"[report] running {experiment_id}...\n")
             log.flush()
         start = time.time()
-        result = run_experiment(experiment_id, scale=scale, seed=seed)
+        result = run_experiment(experiment_id, scale=scale, seed=seed, jobs=jobs)
         sections.append(_experiment_section(result, time.time() - start))
     return "\n".join(sections)
 
@@ -162,17 +173,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="EXPERIMENTS.md")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep (default 1 = serial; the report "
+        "content is bit-identical at any job count)",
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         default=None,
         help="subset of experiment ids (default: all)",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     content = generate_report(
         scale=_SCALES[args.scale],
         seed=args.seed,
         experiment_ids=args.only,
         log=sys.stderr,
+        jobs=args.jobs,
     )
     with open(args.out, "w") as handle:
         handle.write(content)

@@ -9,6 +9,12 @@
 from .experiments import REGISTRY, TITLES, run_experiment
 from .fleet import all_specs, iter_modules, micron_specs, specs_for, table1_specs
 from .metrics import BoxStats, WeightedSamples
+from .parallel import (
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    make_executor,
+)
 from .results import ExperimentResult
 from .runner import (
     DEFAULT,
@@ -16,10 +22,13 @@ from .runner import (
     SMOKE,
     Scale,
     SweepTarget,
+    TargetDescriptor,
     find_logic_measurement,
     find_not_measurement,
     good_cell_mask,
+    iter_descriptors,
     iter_targets,
+    materialize_targets,
     region_predicate,
 )
 
@@ -28,18 +37,25 @@ __all__ = [
     "DEFAULT",
     "ExperimentResult",
     "FULL",
+    "ProcessPoolSweepExecutor",
     "REGISTRY",
     "SMOKE",
     "Scale",
+    "SerialExecutor",
+    "SweepExecutor",
     "SweepTarget",
     "TITLES",
+    "TargetDescriptor",
     "WeightedSamples",
     "all_specs",
     "find_logic_measurement",
     "find_not_measurement",
     "good_cell_mask",
+    "iter_descriptors",
     "iter_modules",
     "iter_targets",
+    "make_executor",
+    "materialize_targets",
     "micron_specs",
     "region_predicate",
     "run_experiment",

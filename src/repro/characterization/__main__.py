@@ -29,9 +29,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--scale", choices=sorted(_SCALES), default="default")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default 1 = serial; results "
+        "are bit-identical at any job count)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.list or not args.experiment:
         for experiment_id in sorted(REGISTRY):
@@ -40,7 +49,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     start = time.time()
     result = run_experiment(
-        args.experiment, scale=_SCALES[args.scale], seed=args.seed
+        args.experiment, scale=_SCALES[args.scale], seed=args.seed, jobs=args.jobs
     )
     print(result.format_table())
     if result.groups:

@@ -58,16 +58,21 @@ TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODU
 
 
 def run_experiment(
-    experiment_id: str, scale: Scale = DEFAULT, seed: int = 0
+    experiment_id: str, scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1
 ) -> ExperimentResult:
-    """Run one table/figure reproduction by id (e.g. ``"fig15"``)."""
+    """Run one table/figure reproduction by id (e.g. ``"fig15"``).
+
+    ``jobs`` > 1 fans the experiment's sweeps out over a process pool;
+    results are bit-identical to a serial run (see
+    :mod:`repro.characterization.parallel`).
+    """
     try:
         runner = REGISTRY[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
-    return runner(scale=scale, seed=seed)
+    return runner(scale=scale, seed=seed, jobs=jobs)
 
 
 __all__ = ["REGISTRY", "TITLES", "run_experiment"]

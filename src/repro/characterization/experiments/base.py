@@ -5,12 +5,23 @@ success rates over (operation variant x fleet target x temperature).
 The two drivers here — :func:`not_sweep` and :func:`logic_sweep` — run
 those loops once, and each experiment module supplies only its variant
 list and group-labeling function.
+
+Both drivers route through a pluggable
+:class:`~repro.characterization.parallel.SweepExecutor`: per-target
+work is packaged as a picklable object (:class:`_NotSweepWork` /
+:class:`_LogicSweepWork`) that a process-pool worker can apply to a
+target it reconstructed locally, and the records come back tagged with
+the target's canonical index so aggregation order — and therefore every
+result bit — matches the serial path.  Experiment modules must
+therefore pass *module-level* ``label_fn`` functions, not lambdas or
+closures: the label function rides along inside the pickled work
+object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -18,14 +29,17 @@ from ...dram.config import Manufacturer, ModuleSpec
 from ...dram.decoder import ActivationKind
 from ...rng import derive_seed
 from ..metrics import WeightedSamples
+from ..parallel import SweepExecutor, TargetRecords, make_executor
 from ..runner import (
     Scale,
     SweepTarget,
+    TargetDescriptor,
     find_logic_measurement,
     find_not_measurement,
     good_cell_mask,
-    iter_targets,
+    iter_descriptors,
     region_predicate,
+    spec_by_name,
 )
 
 __all__ = [
@@ -73,36 +87,29 @@ class LogicVariant:
 NotLabelFn = Callable[[SweepTarget, NotVariant, float], Optional[str]]
 LogicLabelFn = Callable[[SweepTarget, LogicVariant, float, str], Optional[str]]
 
+#: One result record: (group label, per-cell rates, population weight).
+SweepRecord = Tuple[str, np.ndarray, int]
+
 
 def _measurement_rng(seed: int, *context: str) -> np.random.Generator:
     return np.random.default_rng(derive_seed(seed, *context))
 
 
-def not_sweep(
-    scale: Scale,
-    seed: int,
-    variants: Sequence[NotVariant],
-    label_fn: Optional[NotLabelFn] = None,
-    manufacturers: Optional[Iterable[Manufacturer]] = None,
-    temperatures: Optional[Sequence[float]] = None,
-    spec_filter: Optional[Callable[[ModuleSpec], bool]] = None,
-    good_cells_only: bool = False,
-) -> GroupSamples:
-    """Run NOT measurements across the fleet, grouped by label.
+@dataclass(frozen=True)
+class _NotSweepWork:
+    """Per-target NOT measurement loop, picklable for pool workers."""
 
-    When ``temperatures`` is given, each variant is measured once per
-    temperature; with ``good_cells_only`` the paper's footnote-8 filter
-    applies — only cells above 90% success at the 50 degC baseline are
-    tracked across temperatures.  A ``label_fn`` returning ``None``
-    drops that (target, variant) from the sweep.
-    """
-    groups: GroupSamples = {}
-    temps = list(temperatures) if temperatures else [BASELINE_TEMPERATURE_C]
+    seed: int
+    trials: int
+    variants: Tuple[NotVariant, ...]
+    label_fn: Optional[NotLabelFn]
+    temperatures: Tuple[float, ...]
+    good_cells_only: bool
 
-    for target in iter_targets(scale, seed, manufacturers=manufacturers):
-        if spec_filter is not None and not spec_filter(target.spec):
-            continue
-        for variant in variants:
+    def __call__(self, target: SweepTarget) -> List[SweepRecord]:
+        records: List[SweepRecord] = []
+        seed = self.seed
+        for variant in self.variants:
             predicate = None
             if variant.regions is not None:
                 predicate = region_predicate(target, *variant.regions)
@@ -116,37 +123,166 @@ def not_sweep(
                 continue
 
             mask = None
-            if good_cells_only:
+            if self.good_cells_only:
                 target.infra.set_temperature(BASELINE_TEMPERATURE_C)
                 baseline = measurement.run(
-                    scale.trials,
+                    self.trials,
                     _measurement_rng(seed, target.label(), repr(variant), "mask"),
                 )
                 mask = good_cell_mask(baseline)
                 if not mask.any():
                     continue
 
-            for temperature in temps:
+            for temperature in self.temperatures:
                 label = (
-                    label_fn(target, variant, temperature)
-                    if label_fn
+                    self.label_fn(target, variant, temperature)
+                    if self.label_fn
                     else variant.default_label()
                 )
                 if label is None:
                     continue
                 target.infra.set_temperature(temperature)
                 result = measurement.run(
-                    scale.trials,
+                    self.trials,
                     _measurement_rng(
                         seed, target.label(), repr(variant), f"T={temperature}"
                     ),
                 )
                 rates = result.rates[mask] if mask is not None else result.rates
-                groups.setdefault(label, WeightedSamples()).add(
-                    rates, target.weight
+                records.append((label, rates, target.weight))
+        target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+        return records
+
+
+@dataclass(frozen=True)
+class _LogicSweepWork:
+    """Per-target logic-op measurement loop, picklable for pool workers."""
+
+    seed: int
+    trials: int
+    variants: Tuple[LogicVariant, ...]
+    label_fn: Optional[LogicLabelFn]
+    temperatures: Tuple[float, ...]
+    good_cells_only: bool
+
+    def __call__(self, target: SweepTarget) -> List[SweepRecord]:
+        records: List[SweepRecord] = []
+        seed = self.seed
+        for variant in self.variants:
+            predicate = None
+            if variant.regions is not None:
+                predicate = region_predicate(target, *variant.regions)
+            measurement = find_logic_measurement(
+                target, variant.base_op, variant.n_inputs, predicate=predicate
+            )
+            if measurement is None:
+                continue
+
+            masks = None
+            if self.good_cells_only:
+                target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+                baseline = measurement.run(
+                    self.trials,
+                    _measurement_rng(seed, target.label(), repr(variant), "mask"),
+                    mode=variant.mode,
+                    ones_count=variant.ones_count,
                 )
-            target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+                masks = (
+                    good_cell_mask(baseline.primary),
+                    good_cell_mask(baseline.complement),
+                )
+
+            for temperature in self.temperatures:
+                target.infra.set_temperature(temperature)
+                pair = measurement.run(
+                    self.trials,
+                    _measurement_rng(
+                        seed, target.label(), repr(variant), f"T={temperature}"
+                    ),
+                    mode=variant.mode,
+                    ones_count=variant.ones_count,
+                )
+                for index, result in enumerate((pair.primary, pair.complement)):
+                    op_name = str(result.metadata["operation"])
+                    label = (
+                        self.label_fn(target, variant, temperature, op_name)
+                        if self.label_fn
+                        else variant.default_label(op_name)
+                    )
+                    if label is None:
+                        continue
+                    rates = result.rates
+                    if masks is not None:
+                        mask = masks[index]
+                        if not mask.any():
+                            continue
+                        rates = rates[mask]
+                    records.append((label, rates, target.weight))
+        target.infra.set_temperature(BASELINE_TEMPERATURE_C)
+        return records
+
+
+def _select_descriptors(
+    scale: Scale,
+    manufacturers: Optional[Iterable[Manufacturer]],
+    spec_filter: Optional[Callable[[ModuleSpec], bool]],
+) -> List[TargetDescriptor]:
+    """Enumerate the sweep and apply the spec filter up front.
+
+    ``spec_filter`` runs in the parent process against the descriptor's
+    spec, so experiments may pass closures for it (unlike ``label_fn``,
+    it never crosses the process boundary).
+    """
+    descriptors = iter_descriptors(scale, manufacturers=manufacturers)
+    if spec_filter is None:
+        return descriptors
+    specs = spec_by_name(scale)
+    return [d for d in descriptors if spec_filter(specs[d.spec_name])]
+
+
+def _merge_records(records: List[TargetRecords]) -> GroupSamples:
+    """Aggregate per-target records in canonical sweep order."""
+    groups: GroupSamples = {}
+    for _index, payloads in records:
+        for label, rates, weight in payloads:
+            groups.setdefault(label, WeightedSamples()).add(rates, weight)
     return groups
+
+
+def not_sweep(
+    scale: Scale,
+    seed: int,
+    variants: Sequence[NotVariant],
+    label_fn: Optional[NotLabelFn] = None,
+    manufacturers: Optional[Iterable[Manufacturer]] = None,
+    temperatures: Optional[Sequence[float]] = None,
+    spec_filter: Optional[Callable[[ModuleSpec], bool]] = None,
+    good_cells_only: bool = False,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
+) -> GroupSamples:
+    """Run NOT measurements across the fleet, grouped by label.
+
+    When ``temperatures`` is given, each variant is measured once per
+    temperature; with ``good_cells_only`` the paper's footnote-8 filter
+    applies — only cells above 90% success at the 50 degC baseline are
+    tracked across temperatures.  A ``label_fn`` returning ``None``
+    drops that (target, variant) from the sweep.  ``jobs`` > 1 fans the
+    sweep out over a process pool (results are bit-identical to the
+    serial path); an explicit ``executor`` overrides ``jobs``.
+    """
+    temps = tuple(temperatures) if temperatures else (BASELINE_TEMPERATURE_C,)
+    work = _NotSweepWork(
+        seed=seed,
+        trials=scale.trials,
+        variants=tuple(variants),
+        label_fn=label_fn,
+        temperatures=temps,
+        good_cells_only=good_cells_only,
+    )
+    descriptors = _select_descriptors(scale, manufacturers, spec_filter)
+    runner = make_executor(jobs, executor)
+    return _merge_records(runner.run(work, scale, seed, descriptors))
 
 
 def logic_sweep(
@@ -158,74 +294,28 @@ def logic_sweep(
     spec_filter: Optional[Callable[[ModuleSpec], bool]] = None,
     good_cells_only: bool = False,
     trials_override: Optional[int] = None,
+    jobs: int = 1,
+    executor: Optional[SweepExecutor] = None,
 ) -> GroupSamples:
     """Run logic-op measurements across the fleet, grouped by label.
 
     Each measurement yields *both* terminals (AND together with NAND, or
     OR with NOR); the label function is called once per terminal with
     the concrete operation name.  Only SK Hynix targets can run these
-    (§6.3); others are skipped automatically.
+    (§6.3); others are skipped automatically.  ``jobs``/``executor``
+    behave as in :func:`not_sweep`.
     """
-    groups: GroupSamples = {}
-    temps = list(temperatures) if temperatures else [BASELINE_TEMPERATURE_C]
-    trials = trials_override or scale.trials
-
-    for target in iter_targets(
-        scale, seed, manufacturers=[Manufacturer.SK_HYNIX]
-    ):
-        if spec_filter is not None and not spec_filter(target.spec):
-            continue
-        for variant in variants:
-            predicate = None
-            if variant.regions is not None:
-                predicate = region_predicate(target, *variant.regions)
-            measurement = find_logic_measurement(
-                target, variant.base_op, variant.n_inputs, predicate=predicate
-            )
-            if measurement is None:
-                continue
-
-            masks = None
-            if good_cells_only:
-                target.infra.set_temperature(BASELINE_TEMPERATURE_C)
-                baseline = measurement.run(
-                    trials,
-                    _measurement_rng(seed, target.label(), repr(variant), "mask"),
-                    mode=variant.mode,
-                    ones_count=variant.ones_count,
-                )
-                masks = (
-                    good_cell_mask(baseline.primary),
-                    good_cell_mask(baseline.complement),
-                )
-
-            for temperature in temps:
-                target.infra.set_temperature(temperature)
-                pair = measurement.run(
-                    trials,
-                    _measurement_rng(
-                        seed, target.label(), repr(variant), f"T={temperature}"
-                    ),
-                    mode=variant.mode,
-                    ones_count=variant.ones_count,
-                )
-                for index, result in enumerate((pair.primary, pair.complement)):
-                    op_name = str(result.metadata["operation"])
-                    label = (
-                        label_fn(target, variant, temperature, op_name)
-                        if label_fn
-                        else variant.default_label(op_name)
-                    )
-                    if label is None:
-                        continue
-                    rates = result.rates
-                    if masks is not None:
-                        mask = masks[index]
-                        if not mask.any():
-                            continue
-                        rates = rates[mask]
-                    groups.setdefault(label, WeightedSamples()).add(
-                        rates, target.weight
-                    )
-            target.infra.set_temperature(BASELINE_TEMPERATURE_C)
-    return groups
+    temps = tuple(temperatures) if temperatures else (BASELINE_TEMPERATURE_C,)
+    work = _LogicSweepWork(
+        seed=seed,
+        trials=trials_override or scale.trials,
+        variants=tuple(variants),
+        label_fn=label_fn,
+        temperatures=temps,
+        good_cells_only=good_cells_only,
+    )
+    descriptors = _select_descriptors(
+        scale, [Manufacturer.SK_HYNIX], spec_filter
+    )
+    runner = make_executor(jobs, executor)
+    return _merge_records(runner.run(work, scale, seed, descriptors))

@@ -79,7 +79,9 @@ def _max_op_inputs(target, trials: int) -> int:
     return best
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    # ``jobs`` accepted for a uniform entry point but unused: one probe
+    # per module type keeps this inventory cheap enough to stay serial.
     trials = max(20, scale.trials // 3)
     rows: Dict[str, Dict[str, object]] = {}
     for target in iter_targets(scale, seed, include_micron=True):

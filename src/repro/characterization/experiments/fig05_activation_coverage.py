@@ -24,7 +24,10 @@ TYPE_ORDER = (
 )
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    # ``jobs`` is accepted for a uniform entry point but unused: the
+    # scanner's per-target seed is an ordinal counter, so this sweep
+    # stays serial until it is migrated to path-derived seeds.
     samples_per_target = max(200, 4 * scale.trials)
     groups = {label: WeightedSamples() for label in TYPE_ORDER + ("none",)}
 

@@ -19,13 +19,14 @@ TITLE = "NOT success rate vs. number of destination rows"
 DESTINATION_COUNTS = (1, 2, 4, 8, 16, 32)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [NotVariant(n) for n in DESTINATION_COUNTS]
     groups = not_sweep(
         scale,
         seed,
         variants,
         manufacturers=[Manufacturer.SK_HYNIX, Manufacturer.SAMSUNG],
+        jobs=jobs,
     )
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for n in DESTINATION_COUNTS:

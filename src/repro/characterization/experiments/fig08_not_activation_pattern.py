@@ -38,16 +38,19 @@ def _label(n_destination: int, kind: ActivationKind) -> str:
     return f"{n_first}:{n_destination}"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp):
+    return _label(variant.n_destination, variant.kind)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [NotVariant(n, kind=kind) for n, kind in PATTERNS]
     groups = not_sweep(
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp: _label(
-            variant.n_destination, variant.kind
-        ),
+        label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
+        jobs=jobs,
     )
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for n, kind in PATTERNS:

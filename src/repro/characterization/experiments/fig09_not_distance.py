@@ -27,7 +27,14 @@ TITLE = "NOT success rate vs. src/dst distance to the sense amplifiers"
 DESTINATION_COUNTS = (1, 4, 16)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp):
+    return (
+        f"{Region(variant.regions[0])}-{Region(variant.regions[1])}"
+        f"|{variant.n_destination}"
+    )
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [
         NotVariant(n, regions=(int(src), int(dst)))
         for n in DESTINATION_COUNTS
@@ -41,11 +48,9 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp: (
-            f"{Region(variant.regions[0])}-{Region(variant.regions[1])}"
-            f"|{variant.n_destination}"
-        ),
+        label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -20,18 +20,21 @@ DESTINATION_COUNTS = (1, 2, 4, 8, 16, 32)
 TEMPERATURES_C = (50.0, 60.0, 70.0, 80.0, 95.0)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp):
+    return f"{variant.n_destination} dst @{temp:.0f}C"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [NotVariant(n) for n in DESTINATION_COUNTS]
     groups = not_sweep(
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp: (
-            f"{variant.n_destination} dst @{temp:.0f}C"
-        ),
+        label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
         temperatures=TEMPERATURES_C,
         good_cells_only=True,
+        jobs=jobs,
     )
 
     # At bench scale, high destination-row counts leave only a handful of

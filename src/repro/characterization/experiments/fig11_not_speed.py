@@ -19,16 +19,19 @@ DESTINATION_COUNTS = (1, 2, 4, 8, 16)
 SPEEDS = (2133, 2400, 2666)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp):
+    return f"{variant.n_destination} dst @{target.spec.chip.speed_rate_mts}MT/s"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [NotVariant(n) for n in DESTINATION_COUNTS]
     groups = not_sweep(
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp: (
-            f"{variant.n_destination} dst @{target.spec.chip.speed_rate_mts}MT/s"
-        ),
+        label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

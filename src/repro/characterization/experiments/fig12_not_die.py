@@ -22,13 +22,18 @@ def _die_label(target) -> str:
     return f"{chip.manufacturer} {chip.density_gb}Gb {chip.die_revision}-die"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp):
+    return _die_label(target)
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     groups = not_sweep(
         scale,
         seed,
         [NotVariant(1)],
-        label_fn=lambda target, variant, temp: _die_label(target),
+        label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX, Manufacturer.SAMSUNG],
+        jobs=jobs,
     )
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for label in sorted(groups):

@@ -22,24 +22,27 @@ TITLE = "AND/OR success rate vs. number of logic-1s in the input operands"
 CONFIGS = (("and", 4), ("and", 16), ("or", 4), ("or", 16))
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp, op_name):
+    # Only the primary terminal (AND or OR itself) is plotted.
+    if op_name not in ("and", "or"):
+        return None
+    return f"{op_name.upper()}{variant.n_inputs} k={variant.ones_count}"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants: List[LogicVariant] = []
     for base_op, n in CONFIGS:
         variants.extend(
             LogicVariant(base_op, n, mode="ones_count", ones_count=k)
             for k in range(n + 1)
         )
-    # Only the primary terminal (AND or OR itself) is plotted.
     groups = logic_sweep(
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp, op_name: (
-            f"{op_name.upper()}{variant.n_inputs} k={variant.ones_count}"
-            if op_name in ("and", "or")
-            else None
-        ),
+        label_fn=_label_fn,
         trials_override=max(20, scale.trials // 3),
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -24,7 +24,14 @@ INPUT_COUNTS = (4,)
 OPS = ("and", "nand", "or", "nor")
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp, op_name):
+    return (
+        f"{op_name.upper()} "
+        f"{Region(variant.regions[1])}-{Region(variant.regions[0])}"
+    )
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     # The sweep's regions tuple is (first=reference, last=compute).
     variants = [
         LogicVariant(base_op, n, regions=(int(ref), int(com)))
@@ -36,11 +43,9 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp, op_name: (
-            f"{op_name.upper()} "
-            f"{Region(variant.regions[1])}-{Region(variant.regions[0])}"
-        ),
+        label_fn=_label_fn,
         trials_override=max(30, scale.trials // 2),
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -21,7 +21,11 @@ MODES = ("all01", "random")
 OPS = ("and", "nand", "or", "nor")
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp, op_name):
+    return f"{op_name.upper()} n={variant.n_inputs} {variant.mode}"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n, mode=mode)
         for base_op in ("and", "or")
@@ -32,9 +36,8 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp, op_name: (
-            f"{op_name.upper()} n={variant.n_inputs} {variant.mode}"
-        ),
+        label_fn=_label_fn,
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -19,7 +19,11 @@ TEMPERATURES_C = (50.0, 60.0, 70.0, 80.0, 95.0)
 OPS = ("and", "nand", "or", "nor")
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp, op_name):
+    return f"{op_name.upper()} n={variant.n_inputs} @{temp:.0f}C"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
     ]
@@ -27,12 +31,11 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp, op_name: (
-            f"{op_name.upper()} n={variant.n_inputs} @{temp:.0f}C"
-        ),
+        label_fn=_label_fn,
         temperatures=TEMPERATURES_C,
         good_cells_only=True,
         trials_override=max(30, scale.trials // 2),
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

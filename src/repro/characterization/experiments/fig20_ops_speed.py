@@ -18,7 +18,14 @@ SPEEDS = (2133, 2400, 2666)
 OPS = ("and", "nand", "or", "nor")
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp, op_name):
+    return (
+        f"{op_name.upper()} n={variant.n_inputs} "
+        f"@{target.spec.chip.speed_rate_mts}MT/s"
+    )
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
     ]
@@ -26,10 +33,8 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp, op_name: (
-            f"{op_name.upper()} n={variant.n_inputs} "
-            f"@{target.spec.chip.speed_rate_mts}MT/s"
-        ),
+        label_fn=_label_fn,
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

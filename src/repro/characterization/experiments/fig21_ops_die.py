@@ -26,7 +26,11 @@ def _die_of(target) -> str:
     return f"{chip.density_gb}Gb {chip.die_revision}"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def _label_fn(target, variant, temp, op_name):
+    return f"{op_name.upper()} n={variant.n_inputs} {_die_of(target)}"
+
+
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
     ]
@@ -34,9 +38,8 @@ def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
         scale,
         seed,
         variants,
-        label_fn=lambda target, variant, temp, op_name: (
-            f"{op_name.upper()} n={variant.n_inputs} {_die_of(target)}"
-        ),
+        label_fn=_label_fn,
+        jobs=jobs,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

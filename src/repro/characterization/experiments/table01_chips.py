@@ -37,7 +37,9 @@ def format_table1() -> str:
     return "\n".join(lines)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0) -> ExperimentResult:
+def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    # ``jobs`` accepted for a uniform entry point; rendering Table 1 is
+    # not a measurement, so there is nothing to parallelize.
     analyzed = table1_specs()
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     result.extras["table"] = format_table1()

@@ -1,0 +1,242 @@
+"""Parallel sweep execution engine (process pool + deterministic merge).
+
+Every figure reproduction walks the Table-1 fleet target by target, and
+each (module, bank, subarray-pair) target is independent — the same
+embarrassingly-parallel structure the paper exploits by characterizing
+28 modules on DRAM Bender boards.  This module fans a sweep's target
+descriptors out across worker processes and merges the per-target
+records back in canonical sweep order, so a parallel run is
+bit-identical to a serial one.
+
+Determinism contract
+--------------------
+
+Three properties make serial == parallel exact, not approximate:
+
+* **Workers rebuild, never share.**  Only picklable
+  :class:`~repro.characterization.runner.TargetDescriptor` handles cross
+  the process boundary.  Each worker reconstructs its modules from the
+  shared root seed; every random stream in the simulator hangs off a
+  :class:`~repro.rng.SeedTree` by label path, so reconstruction is
+  bit-exact regardless of which process performs it.
+* **Module groups never split.**  Per-bank trial-noise generators
+  advance as measurements run, so the targets of one module instance
+  must be processed in enumeration order on one freshly-built module.
+  The chunker partitions at :attr:`TargetDescriptor.module_key`
+  boundaries and keeps each group intact.
+* **Records merge in canonical order.**  Workers tag every record with
+  its descriptor's enumeration index; the scheduler sorts the combined
+  stream by that index before aggregation, so
+  :class:`~repro.characterization.metrics.WeightedSamples` receives the
+  same chunks in the same order as a serial sweep.
+
+Work stealing: module groups are packed into many small chunks (about
+four per worker by default) and submitted individually; idle workers
+pull the next pending chunk, so one slow target (e.g. a
+region-constrained pattern search) delays only its own chunk rather
+than straggling a statically-assigned shard.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .runner import Scale, SweepTarget, TargetDescriptor, materialize_targets
+
+__all__ = [
+    "SweepExecutor",
+    "SerialExecutor",
+    "ProcessPoolSweepExecutor",
+    "make_executor",
+    "module_groups",
+    "chunk_groups",
+]
+
+#: A unit of per-target work: runs measurements on one live target and
+#: returns picklable result payloads (the sweep drivers use
+#: ``(label, rates, weight)`` tuples).
+TargetWork = Callable[[SweepTarget], List[tuple]]
+
+#: One target's results: (descriptor index, payloads).
+TargetRecords = Tuple[int, List[tuple]]
+
+
+def run_target_block(
+    work: TargetWork,
+    scale: Scale,
+    seed: int,
+    descriptors: Sequence[TargetDescriptor],
+) -> List[TargetRecords]:
+    """Run ``work`` over a block of descriptors, in order.
+
+    This is the single execution path shared by the serial executor and
+    the pool workers: materialize targets (reusing one module per
+    ``module_key`` group), apply ``work``, tag results with the
+    descriptor index.  Sharing it is what makes serial/parallel
+    equivalence structural rather than coincidental.
+    """
+    results: List[TargetRecords] = []
+    targets = materialize_targets(descriptors, scale, seed)
+    for descriptor, target in zip(descriptors, targets):
+        results.append((descriptor.index, work(target)))
+    return results
+
+
+def module_groups(
+    descriptors: Sequence[TargetDescriptor],
+) -> List[List[TargetDescriptor]]:
+    """Split descriptors into per-module groups, preserving order."""
+    groups: List[List[TargetDescriptor]] = []
+    for descriptor in descriptors:
+        if groups and groups[-1][0].module_key == descriptor.module_key:
+            groups[-1].append(descriptor)
+        else:
+            groups.append([descriptor])
+    return groups
+
+
+def chunk_groups(
+    groups: Sequence[List[TargetDescriptor]],
+    jobs: int,
+    chunks_per_worker: int = 4,
+) -> List[List[TargetDescriptor]]:
+    """Pack module groups into scheduling chunks.
+
+    Aims for about ``chunks_per_worker`` chunks per worker: small enough
+    that idle workers keep stealing work from the tail of the sweep,
+    large enough that module-construction overhead amortizes when there
+    are many more modules than workers.  Module groups are never split.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if not groups:
+        return []
+    target_chunks = max(1, min(len(groups), jobs * chunks_per_worker))
+    per_chunk = max(1, len(groups) // target_chunks)
+    chunks: List[List[TargetDescriptor]] = []
+    for start in range(0, len(groups), per_chunk):
+        chunk: List[TargetDescriptor] = []
+        for group in groups[start : start + per_chunk]:
+            chunk.extend(group)
+        chunks.append(chunk)
+    return chunks
+
+
+class SweepExecutor:
+    """Strategy interface for running per-target sweep work."""
+
+    def run(
+        self,
+        work: TargetWork,
+        scale: Scale,
+        seed: int,
+        descriptors: Sequence[TargetDescriptor],
+    ) -> List[TargetRecords]:
+        """Apply ``work`` to every descriptor's target.
+
+        Returns one ``(descriptor index, payloads)`` entry per target,
+        sorted by descriptor index — canonical sweep order.
+        """
+        raise NotImplementedError
+
+
+class SerialExecutor(SweepExecutor):
+    """In-process execution, identical to the classic sweep loop."""
+
+    def run(
+        self,
+        work: TargetWork,
+        scale: Scale,
+        seed: int,
+        descriptors: Sequence[TargetDescriptor],
+    ) -> List[TargetRecords]:
+        return run_target_block(work, scale, seed, list(descriptors))
+
+
+class ProcessPoolSweepExecutor(SweepExecutor):
+    """Fan target chunks out over a process pool.
+
+    ``jobs`` workers each reconstruct their chunk's modules from the
+    root seed; chunks are submitted eagerly and completed results are
+    drained as they arrive, so scheduling is work-stealing at chunk
+    granularity.  ``chunks_per_worker`` tunes the granularity (more
+    chunks = finer stealing, more module rebuild overhead).
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        chunks_per_worker: int = 4,
+        start_method: Optional[str] = None,
+    ):
+        resolved = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {resolved}")
+        self.jobs = resolved
+        self.chunks_per_worker = chunks_per_worker
+        self.start_method = start_method
+
+    def _pool(self, max_workers: int) -> ProcessPoolExecutor:
+        if self.start_method is None:
+            return ProcessPoolExecutor(max_workers=max_workers)
+        import multiprocessing
+
+        context = multiprocessing.get_context(self.start_method)
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+    def run(
+        self,
+        work: TargetWork,
+        scale: Scale,
+        seed: int,
+        descriptors: Sequence[TargetDescriptor],
+    ) -> List[TargetRecords]:
+        chunks = chunk_groups(
+            module_groups(descriptors), self.jobs, self.chunks_per_worker
+        )
+        if not chunks:
+            return []
+        if len(chunks) == 1 or self.jobs == 1:
+            return run_target_block(work, scale, seed, list(descriptors))
+
+        results: List[TargetRecords] = []
+        pool = self._pool(min(self.jobs, len(chunks)))
+        try:
+            pending = {
+                pool.submit(run_target_block, work, scale, seed, chunk)
+                for chunk in chunks
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    results.extend(future.result())
+        except BaseException:
+            # On Ctrl-C (or a worker raising) don't block on the queued
+            # chunks — a default shutdown would run the sweep to
+            # completion before re-raising.  Cancel what hasn't started
+            # and kill the workers mid-chunk; determinism makes any
+            # partial results worthless anyway.
+            for future in pending:
+                future.cancel()
+            for process in getattr(pool, "_processes", {}).values():
+                process.terminate()
+            pool.shutdown(wait=False)
+            raise
+        else:
+            pool.shutdown(wait=True)
+        results.sort(key=lambda record: record[0])
+        return results
+
+
+def make_executor(
+    jobs: Optional[int] = None, executor: Optional[SweepExecutor] = None
+) -> SweepExecutor:
+    """Resolve the executor for a sweep: explicit > jobs > serial."""
+    if executor is not None:
+        return executor
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ProcessPoolSweepExecutor(jobs)

@@ -5,12 +5,19 @@ A *sweep* iterates the (sub-sampled) Table-1 fleet, yielding
 pair) — and builds measurements on them.  :class:`Scale` bounds the
 sweep so the same experiment code runs as a seconds-long benchmark or a
 paper-scale overnight job.
+
+The sweep order is defined once, by :func:`iter_descriptors`, in terms
+of lightweight picklable :class:`TargetDescriptor` handles.  The serial
+path (:func:`iter_targets`) and the process-pool path
+(:mod:`repro.characterization.parallel`) both materialize live
+:class:`SweepTarget` objects from the same descriptor stream, so the two
+execution modes measure bit-identical fleets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,9 +31,9 @@ from ..core.success import (
 from ..dram.config import ActivationSupport, ChipGeometry, Manufacturer, ModuleSpec
 from ..dram.decoder import ActivationKind, ActivationPattern
 from ..dram.module import Module
-from ..errors import ReverseEngineeringError
+from ..errors import ConfigurationError, ReverseEngineeringError
 from ..rng import SeedTree, derive_seed
-from .fleet import specs_for
+from .fleet import all_specs, specs_for
 
 __all__ = [
     "Scale",
@@ -34,7 +41,11 @@ __all__ = [
     "DEFAULT",
     "FULL",
     "SweepTarget",
+    "TargetDescriptor",
+    "iter_descriptors",
     "iter_targets",
+    "materialize_targets",
+    "spec_by_name",
     "find_not_measurement",
     "find_logic_measurement",
     "region_predicate",
@@ -135,6 +146,130 @@ class SweepTarget:
         ) % (1 << 31)
 
 
+@dataclass(frozen=True)
+class TargetDescriptor:
+    """A picklable handle naming one sweep target without live state.
+
+    Descriptors carry exactly the coordinates a worker process needs to
+    reconstruct the corresponding :class:`SweepTarget` from the shared
+    root seed: the spec (by name), the module instance, and the
+    (bank, subarray-pair) coordinates within it.  ``index`` is the
+    target's position in the canonical sweep enumeration and is the sort
+    key used to merge parallel results back in deterministic order.
+    """
+
+    index: int
+    spec_name: str
+    module_index: int
+    chip_count: int
+    bank: int
+    subarray_pair: Tuple[int, int]
+    weight: int
+
+    @property
+    def module_key(self) -> Tuple[str, int]:
+        """Targets sharing this key live on the same module instance.
+
+        Per-bank trial-noise generators advance as measurements run, so
+        all targets of one module must be processed in enumeration order
+        on one freshly-built module instance for results to be
+        bit-identical across execution strategies.  Schedulers must
+        never split a ``module_key`` group across workers.
+        """
+        return (self.spec_name, self.module_index)
+
+
+def iter_descriptors(
+    scale: Scale,
+    manufacturers: Optional[Iterable[Manufacturer]] = None,
+    include_micron: bool = False,
+) -> List[TargetDescriptor]:
+    """The canonical sweep enumeration as picklable descriptors."""
+    specs = specs_for(
+        manufacturers, geometry=scale.geometry, include_micron=include_micron
+    )
+    pairs = _spread_pairs(scale)
+    descriptors: List[TargetDescriptor] = []
+    index = 0
+    for spec in specs:
+        instantiated = min(scale.modules_per_spec, spec.module_count)
+        weight = max(1, round(spec.module_count / instantiated))
+        chip_count = min(scale.chips_per_module, spec.chips_per_module)
+        for module_index in range(instantiated):
+            for bank in range(scale.banks_per_module):
+                for pair in pairs:
+                    descriptors.append(
+                        TargetDescriptor(
+                            index=index,
+                            spec_name=spec.name,
+                            module_index=module_index,
+                            chip_count=chip_count,
+                            bank=bank,
+                            subarray_pair=pair,
+                            weight=weight,
+                        )
+                    )
+                    index += 1
+    return descriptors
+
+
+def spec_by_name(scale: Scale) -> Dict[str, ModuleSpec]:
+    """Spec lookup for descriptor materialization (all 28 module types)."""
+    return {spec.name: spec for spec in all_specs(geometry=scale.geometry)}
+
+
+def materialize_targets(
+    descriptors: Sequence[TargetDescriptor],
+    scale: Scale,
+    seed: int = 0,
+) -> Iterator[SweepTarget]:
+    """Reconstruct live :class:`SweepTarget` objects from descriptors.
+
+    Consecutive descriptors sharing a :attr:`TargetDescriptor.module_key`
+    reuse one module instance (and its testing infrastructure), exactly
+    like the serial sweep; the module's state is released when the
+    iterator advances past its last descriptor.  Because every random
+    stream hangs off ``SeedTree(seed)`` by label path, the reconstructed
+    module is bit-identical no matter which process builds it.
+    """
+    specs = spec_by_name(scale)
+    tree = SeedTree(seed)
+    pending = list(descriptors)
+    position = 0
+    while position < len(pending):
+        descriptor = pending[position]
+        try:
+            spec = specs[descriptor.spec_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown module spec {descriptor.spec_name!r} in descriptor"
+            ) from None
+        module = Module.from_spec(
+            spec,
+            module_index=descriptor.module_index,
+            seed_tree=tree,
+            chip_count=descriptor.chip_count,
+        )
+        infra = TestingInfrastructure(module)
+        try:
+            while (
+                position < len(pending)
+                and pending[position].module_key == descriptor.module_key
+            ):
+                current = pending[position]
+                yield SweepTarget(
+                    spec=spec,
+                    module=module,
+                    infra=infra,
+                    bank=current.bank,
+                    subarray_pair=current.subarray_pair,
+                    weight=current.weight,
+                )
+                position += 1
+        finally:
+            module.release_state()
+
+
 def iter_targets(
     scale: Scale,
     seed: int = 0,
@@ -146,35 +281,10 @@ def iter_targets(
     Module state is released when the iterator advances past a module,
     so peak memory stays at one module's worth of banks.
     """
-    specs = specs_for(
-        manufacturers, geometry=scale.geometry, include_micron=include_micron
+    descriptors = iter_descriptors(
+        scale, manufacturers=manufacturers, include_micron=include_micron
     )
-    tree = SeedTree(seed)
-    pairs = _spread_pairs(scale)
-    for spec in specs:
-        instantiated = min(scale.modules_per_spec, spec.module_count)
-        weight = max(1, round(spec.module_count / instantiated))
-        for module_index in range(instantiated):
-            module = Module.from_spec(
-                spec,
-                module_index=module_index,
-                seed_tree=tree,
-                chip_count=min(scale.chips_per_module, spec.chips_per_module),
-            )
-            infra = TestingInfrastructure(module)
-            try:
-                for bank in range(scale.banks_per_module):
-                    for pair in pairs:
-                        yield SweepTarget(
-                            spec=spec,
-                            module=module,
-                            infra=infra,
-                            bank=bank,
-                            subarray_pair=pair,
-                            weight=weight,
-                        )
-            finally:
-                module.release_state()
+    return materialize_targets(descriptors, scale, seed)
 
 
 def _spread_pairs(scale: Scale) -> List[Tuple[int, int]]:
@@ -288,14 +398,19 @@ def region_predicate(
     target: SweepTarget, first_region: int, last_region: int
 ) -> PatternPredicate:
     """Predicate selecting patterns whose activated-row sets fall in the
-    requested Close/Middle/Far regions (Figs. 9 and 17)."""
-    bank = target.module.chips[0].bank(target.bank)
+    requested Close/Middle/Far regions (Figs. 9 and 17).
+
+    The bank is resolved lazily at call time: capturing the bank object
+    eagerly would pin a stale instance once the target's module releases
+    and lazily re-instantiates its state (as happens when targets are
+    reconstructed inside pool workers).
+    """
 
     def predicate(pattern: ActivationPattern, row_first: int, row_last: int) -> bool:
         if not pattern.rows_first or not pattern.rows_last:
             return False
-        regions = bank.pattern_regions(pattern)
-        return regions == (first_region, last_region)
+        bank = target.module.chips[0].bank(target.bank)
+        return bank.pattern_regions(pattern) == (first_region, last_region)
 
     return predicate
 

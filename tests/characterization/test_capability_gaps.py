@@ -1,0 +1,192 @@
+"""Edge-case tests for the per-manufacturer capability gaps (§3.2).
+
+The paper's figures have structural holes: Micron chips support no
+simultaneous-activation operation at all, Samsung chips only the 1:1
+sequential NOT, and the SK Hynix 8Gb M-die caps simultaneous activation
+at 8 rows per subarray with no N:2N patterns.  The measurement finders
+must return ``None`` for exactly these combinations — silently emitting
+a measurement there would fabricate data the hardware cannot produce.
+"""
+
+import pytest
+
+from repro.characterization.runner import (
+    SMOKE,
+    find_logic_measurement,
+    find_not_measurement,
+    iter_targets,
+    region_predicate,
+)
+from repro.dram.config import ActivationSupport, Manufacturer
+from repro.dram.decoder import ActivationKind
+
+
+def targets_by_spec(**kwargs):
+    mapping = {}
+    for target in iter_targets(SMOKE, seed=0, **kwargs):
+        mapping.setdefault(target.spec.name, target)
+    return mapping
+
+
+@pytest.fixture(scope="module")
+def hynix_targets():
+    return targets_by_spec(manufacturers=[Manufacturer.SK_HYNIX])
+
+
+@pytest.fixture(scope="module")
+def samsung_target():
+    return next(iter(iter_targets(SMOKE, seed=0, manufacturers=[Manufacturer.SAMSUNG])))
+
+
+@pytest.fixture(scope="module")
+def micron_targets():
+    return [
+        t
+        for t in iter_targets(SMOKE, seed=0, include_micron=True)
+        if t.manufacturer is Manufacturer.MICRON
+    ]
+
+
+class TestSamsungGaps:
+    def test_single_destination_works(self, samsung_target):
+        measurement = find_not_measurement(samsung_target, 1)
+        assert measurement is not None
+        assert measurement.n_destination_rows == 1
+
+    @pytest.mark.parametrize("n_destination", [2, 4, 8, 16, 32])
+    def test_multi_destination_is_a_gap(self, samsung_target, n_destination):
+        assert find_not_measurement(samsung_target, n_destination) is None
+
+    @pytest.mark.parametrize("op", ["and", "or", "nand", "nor"])
+    def test_no_logic_at_all(self, samsung_target, op):
+        for n_inputs in (2, 4, 8, 16):
+            assert find_logic_measurement(samsung_target, op, n_inputs) is None
+
+
+class TestMicronGaps:
+    def test_micron_targets_exist_when_requested(self, micron_targets):
+        assert micron_targets
+        assert all(
+            t.spec.chip.activation_support is ActivationSupport.NONE
+            for t in micron_targets
+        )
+
+    @pytest.mark.parametrize("n_destination", [1, 2, 4, 8, 16, 32])
+    def test_not_always_none(self, micron_targets, n_destination):
+        for target in micron_targets:
+            assert find_not_measurement(target, n_destination) is None
+
+    def test_logic_always_none(self, micron_targets):
+        for target in micron_targets:
+            for n_inputs in (2, 4, 8, 16):
+                assert find_logic_measurement(target, "and", n_inputs) is None
+
+
+class TestN2NGaps:
+    def test_explicit_n2n_kind_rejected_without_support(self, hynix_targets):
+        checked = 0
+        for name, target in hynix_targets.items():
+            if target.spec.chip.supports_n_to_2n:
+                continue
+            checked += 1
+            measurement = find_not_measurement(
+                target, 4, kind=ActivationKind.N_TO_2N
+            )
+            assert measurement is None, name
+        assert checked  # Table 1 has N:N-only dies.
+
+    def test_explicit_n2n_kind_works_with_support(self, hynix_targets):
+        target = hynix_targets["hynix-4gb-m-x8-2666"]
+        assert target.spec.chip.supports_n_to_2n
+        measurement = find_not_measurement(target, 4, kind=ActivationKind.N_TO_2N)
+        assert measurement is not None
+        assert measurement.n_destination_rows == 4
+
+
+class TestMDieCap:
+    """The 8Gb M-die stops at 8:8 (max_simultaneous_n == 8, no N:2N)."""
+
+    def test_cap_rejects_sixteen(self, hynix_targets):
+        target = hynix_targets["hynix-8gb-m-x4-2666"]
+        assert target.spec.chip.max_simultaneous_n == 8
+        assert find_not_measurement(target, 16) is None
+        assert find_logic_measurement(target, "and", 16) is None
+
+    def test_cap_allows_eight(self, hynix_targets):
+        target = hynix_targets["hynix-8gb-m-x4-2666"]
+        not_measurement = find_not_measurement(target, 8)
+        assert not_measurement is not None
+        assert not_measurement.n_destination_rows == 8
+        logic_measurement = find_logic_measurement(target, "and", 8)
+        assert logic_measurement is not None
+
+
+class TestRegionPredicate:
+    """The predicate must resolve the bank lazily (see runner.py)."""
+
+    def test_classification_matches_pattern_regions(self, hynix_targets):
+        target = next(iter(hynix_targets.values()))
+        decoder = target.module.decoder
+        geometry = target.spec.chip.geometry
+        sa_first, sa_last = target.subarray_pair
+        bank = target.module.chips[0].bank(target.bank)
+
+        seen = set()
+        for offset_first in range(0, geometry.rows_per_subarray, 7):
+            for offset_last in range(0, geometry.rows_per_subarray, 11):
+                row_first = geometry.bank_row(sa_first, offset_first)
+                row_last = geometry.bank_row(sa_last, offset_last)
+                pattern = decoder.neighboring_pattern(
+                    target.bank, row_first, row_last
+                )
+                if not pattern.rows_first or not pattern.rows_last:
+                    continue
+                regions = bank.pattern_regions(pattern)
+                seen.add(regions)
+                for first, last in ((0, 0), (1, 1), (2, 2), (0, 2)):
+                    predicate = region_predicate(target, first, last)
+                    assert predicate(pattern, row_first, row_last) == (
+                        regions == (first, last)
+                    )
+        assert len(seen) > 1  # the scan saw more than one region class
+
+    def test_rejects_empty_row_sets(self, hynix_targets):
+        target = next(iter(hynix_targets.values()))
+        decoder = target.module.decoder
+        geometry = target.spec.chip.geometry
+        predicate = region_predicate(target, 0, 0)
+        # Scan for a pattern with an empty side (LAST_ONLY decodings).
+        for offset in range(geometry.rows_per_subarray):
+            row_first = geometry.bank_row(target.subarray_pair[0], offset)
+            row_last = geometry.bank_row(target.subarray_pair[1], offset)
+            pattern = decoder.neighboring_pattern(target.bank, row_first, row_last)
+            if not pattern.rows_first or not pattern.rows_last:
+                assert predicate(pattern, row_first, row_last) is False
+                return
+        pytest.skip("no empty-sided pattern in the scanned range")
+
+    def test_survives_state_release(self, hynix_targets):
+        # The sweep engine releases and lazily rebuilds module state when
+        # targets cross process boundaries; a predicate captured before
+        # the release must classify against the *current* bank instance.
+        target = next(iter(hynix_targets.values()))
+        decoder = target.module.decoder
+        geometry = target.spec.chip.geometry
+        sa_first, sa_last = target.subarray_pair
+        pattern = None
+        for offset in range(geometry.rows_per_subarray):
+            row_first = geometry.bank_row(sa_first, offset)
+            row_last = geometry.bank_row(sa_last, 0)
+            candidate = decoder.neighboring_pattern(target.bank, row_first, row_last)
+            if candidate.rows_first and candidate.rows_last:
+                pattern = candidate
+                break
+        assert pattern is not None
+
+        predicate = region_predicate(target, 0, 0)
+        before = predicate(pattern, row_first, row_last)
+        target.module.release_state()
+        after = predicate(pattern, row_first, row_last)
+        assert before == after
+        bank = target.module.chips[0].bank(target.bank)
+        assert after == (bank.pattern_regions(pattern) == (0, 0))

@@ -1,0 +1,207 @@
+"""Tests for the parallel sweep execution engine.
+
+The load-bearing guarantee is *bit-identity*: a sweep fanned out over a
+process pool must produce exactly the numbers the serial loop produces —
+same group keys, same per-cell rate arrays in the same order.  The
+determinism regression tests pin that for three representative
+experiments (plain NOT sweep, logic sweep, temperature sweep with the
+good-cells filter) at SMOKE scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.characterization import SMOKE, run_experiment
+from repro.characterization.experiments.base import (
+    LogicVariant,
+    NotVariant,
+    logic_sweep,
+    not_sweep,
+)
+from repro.characterization.parallel import (
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    chunk_groups,
+    make_executor,
+    module_groups,
+    run_target_block,
+)
+from repro.characterization.runner import (
+    iter_descriptors,
+    iter_targets,
+    materialize_targets,
+)
+from repro.dram.config import Manufacturer
+from repro.errors import ConfigurationError
+
+
+def assert_groups_identical(serial, parallel):
+    """Bit-for-bit equality of two GroupSamples mappings."""
+    assert sorted(serial) == sorted(parallel)
+    for label in serial:
+        a = serial[label].values()
+        b = parallel[label].values()
+        assert a.shape == b.shape, label
+        assert np.array_equal(a, b), label
+
+
+class TestDescriptors:
+    def test_descriptors_mirror_iter_targets(self):
+        descriptors = iter_descriptors(SMOKE)
+        targets = list(iter_targets(SMOKE, seed=0))
+        assert len(descriptors) == len(targets)
+        for descriptor, target in zip(descriptors, targets):
+            assert descriptor.spec_name == target.spec.name
+            assert descriptor.bank == target.bank
+            assert descriptor.subarray_pair == target.subarray_pair
+            assert descriptor.weight == target.weight
+
+    def test_indices_are_canonical_order(self):
+        descriptors = iter_descriptors(SMOKE, include_micron=True)
+        assert [d.index for d in descriptors] == list(range(len(descriptors)))
+
+    def test_manufacturer_filter(self):
+        descriptors = iter_descriptors(
+            SMOKE, manufacturers=[Manufacturer.SAMSUNG]
+        )
+        assert descriptors
+        assert all(d.spec_name.startswith("samsung") for d in descriptors)
+
+    def test_materialize_single_module_matches_full_sweep(self):
+        # Modules are seeded independently, so materializing one
+        # module's descriptors alone must reconstruct the exact targets
+        # the full serial sweep visits on that module.
+        descriptors = iter_descriptors(SMOKE)
+        key = descriptors[-1].module_key
+        subset = [d for d in descriptors if d.module_key == key]
+        rebuilt = list(materialize_targets(subset, SMOKE, seed=0))
+        full = [
+            t for t in iter_targets(SMOKE, seed=0) if t.spec.name == key[0]
+        ]
+        assert len(rebuilt) == len(full)
+        for a, b in zip(rebuilt, full):
+            assert a.label() == b.label()
+            assert a.weight == b.weight
+            assert a.module.decoder.neighboring_pattern(
+                a.bank, 0, SMOKE.geometry.rows_per_subarray
+            ) == b.module.decoder.neighboring_pattern(
+                b.bank, 0, SMOKE.geometry.rows_per_subarray
+            )
+
+
+class TestChunking:
+    def test_module_groups_never_split(self):
+        groups = module_groups(iter_descriptors(SMOKE, include_micron=True))
+        seen = set()
+        for group in groups:
+            keys = {d.module_key for d in group}
+            assert len(keys) == 1
+            key = keys.pop()
+            assert key not in seen  # a module appears in exactly one group
+            seen.add(key)
+
+    def test_chunks_cover_everything_in_order(self):
+        descriptors = iter_descriptors(SMOKE)
+        chunks = chunk_groups(module_groups(descriptors), jobs=3)
+        flattened = [d for chunk in chunks for d in chunk]
+        assert flattened == descriptors
+
+    def test_chunks_respect_module_boundaries(self):
+        descriptors = iter_descriptors(SMOKE)
+        chunks = chunk_groups(module_groups(descriptors), jobs=2)
+        for chunk in chunks:
+            keys = [d.module_key for d in chunk]
+            # Within a chunk, each module's descriptors are contiguous.
+            for i in range(1, len(keys)):
+                if keys[i] != keys[i - 1]:
+                    assert keys[i] not in keys[:i]
+        # And no module spans two chunks.
+        first_chunk_keys = [
+            {d.module_key for d in chunk} for chunk in chunks
+        ]
+        for i, keys in enumerate(first_chunk_keys):
+            for other in first_chunk_keys[i + 1 :]:
+                assert not (keys & other)
+
+    def test_empty_and_invalid(self):
+        assert chunk_groups([], jobs=4) == []
+        with pytest.raises(ConfigurationError):
+            chunk_groups([], jobs=0)
+
+
+class TestMakeExecutor:
+    def test_serial_for_one_job(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+        assert isinstance(make_executor(None), SerialExecutor)
+
+    def test_pool_for_many_jobs(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ProcessPoolSweepExecutor)
+        assert executor.jobs == 3
+
+    def test_explicit_executor_wins(self):
+        explicit = SerialExecutor()
+        assert make_executor(8, explicit) is explicit
+
+    def test_rejects_bad_job_count(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolSweepExecutor(0)
+
+
+def _count_rows(target):
+    """Trivial picklable work: one record per target."""
+    return [(target.spec.name, np.array([float(target.bank)]), target.weight)]
+
+
+class TestExecutors:
+    def test_records_sorted_by_canonical_index(self):
+        descriptors = iter_descriptors(SMOKE)
+        serial = SerialExecutor().run(_count_rows, SMOKE, 0, descriptors)
+        pooled = ProcessPoolSweepExecutor(2).run(
+            _count_rows, SMOKE, 0, descriptors
+        )
+        assert [index for index, _ in serial] == [d.index for d in descriptors]
+        assert serial == pooled
+
+
+class TestDeterminismRegression:
+    """Serial results == --jobs 2 results, bit for bit (SMOKE scale)."""
+
+    def test_not_sweep_weighted_samples_identical(self):
+        variants = [NotVariant(n) for n in (1, 2, 4)]
+        serial = not_sweep(SMOKE, 0, variants)
+        pooled = not_sweep(
+            SMOKE, 0, variants, executor=ProcessPoolSweepExecutor(2)
+        )
+        assert_groups_identical(serial, pooled)
+
+    def test_logic_sweep_weighted_samples_identical(self):
+        variants = [LogicVariant("and", 2), LogicVariant("or", 4)]
+        serial = logic_sweep(SMOKE, 0, variants)
+        pooled = logic_sweep(
+            SMOKE, 0, variants, executor=ProcessPoolSweepExecutor(2)
+        )
+        assert_groups_identical(serial, pooled)
+
+    @pytest.mark.parametrize("experiment_id", ["fig7", "fig15", "fig19"])
+    def test_experiment_identical_serial_vs_two_jobs(self, experiment_id):
+        serial = run_experiment(experiment_id, scale=SMOKE, seed=0, jobs=1)
+        pooled = run_experiment(experiment_id, scale=SMOKE, seed=0, jobs=2)
+        assert sorted(serial.groups) == sorted(pooled.groups)
+        # BoxStats are frozen dataclasses of floats: equality is exact.
+        assert serial.groups == pooled.groups
+        assert serial.notes == pooled.notes
+
+
+class TestRunTargetBlock:
+    def test_block_matches_per_module_blocks(self):
+        # Splitting the sweep at module boundaries must not change
+        # results: each module group is hermetic.
+        descriptors = iter_descriptors(
+            SMOKE, manufacturers=[Manufacturer.SK_HYNIX]
+        )
+        whole = run_target_block(_count_rows, SMOKE, 0, descriptors)
+        split = []
+        for group in module_groups(descriptors):
+            split.extend(run_target_block(_count_rows, SMOKE, 0, group))
+        assert whole == split

@@ -1,0 +1,144 @@
+"""Exhaustive truth-table tests for the in-DRAM logic primitives.
+
+Each N-input operation is exercised over *all* 2^N input combinations by
+packing one combination per shared column (the sense-amplifier stripe
+serves every column in parallel, so one execution evaluates as many
+truth-table rows as there are shared columns).  On the ideal-calibration
+chip every cell is good, so the readback must match NumPy reference
+semantics bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.addressing import find_pattern_pair
+from repro.core.logic import LogicOperation, ideal_output
+from repro.core.not_op import NotOperation
+from repro.dram.decoder import ActivationKind
+
+
+def find_pair(host, n, kind=ActivationKind.N_TO_N, seed=0, subarrays=(0, 1)):
+    return find_pattern_pair(
+        host.module.decoder,
+        host.module.config.geometry,
+        0,
+        subarrays[0],
+        subarrays[1],
+        n,
+        kind,
+        seed=seed,
+    )
+
+
+def all_combinations(n_inputs):
+    """All 2^n input combinations, one per column: shape (n, 2^n)."""
+    count = 1 << n_inputs
+    columns = np.arange(count, dtype=np.uint32)
+    return np.array(
+        [(columns >> bit) & 1 for bit in range(n_inputs)], dtype=np.uint8
+    )
+
+
+def numpy_reference(op, table):
+    """Reference semantics over a (n_inputs, combos) bit table."""
+    if op in ("and", "nand"):
+        result = table.all(axis=0)
+    else:
+        result = table.any(axis=0)
+    if op in ("nand", "nor"):
+        result = ~result
+    return result.astype(np.uint8)
+
+
+class TestLogicTruthTables:
+    @pytest.mark.parametrize("op", ["and", "or", "nand", "nor"])
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_exhaustive_truth_table(self, ideal_host, op, n):
+        ref_row, com_row = find_pair(ideal_host, n, seed=n)
+        operation = LogicOperation(ideal_host, 0, ref_row, com_row, op=op)
+        assert operation.n_inputs == n
+
+        shared = operation.shared_columns
+        table = all_combinations(n)
+        expected = numpy_reference(op, table)
+        width = ideal_host.module.row_bits
+
+        # Evaluate the full table in slabs of len(shared) columns.
+        for start in range(0, table.shape[1], shared.size):
+            slab = table[:, start : start + shared.size]
+            operands = []
+            for bits in slab:
+                row = np.zeros(width, dtype=np.uint8)
+                row[shared[: bits.size]] = bits
+                operands.append(row)
+            outcome = operation.run(operands)
+            got = outcome.result[: slab.shape[1]]
+            assert np.array_equal(got, expected[start : start + slab.shape[1]]), (
+                f"{op} n={n} combinations {start}..{start + slab.shape[1]}"
+            )
+            # Cross-check against ideal_output on the same operand columns.
+            reference = ideal_output(op, [o[shared] for o in operands])
+            assert np.array_equal(outcome.result, reference)
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_and_or_are_duals(self, ideal_host, n):
+        # De Morgan on the reference model itself, over the full table.
+        table = all_combinations(n)
+        assert np.array_equal(
+            numpy_reference("nand", table), numpy_reference("or", 1 - table)
+        )
+        assert np.array_equal(
+            numpy_reference("nor", table), numpy_reference("and", 1 - table)
+        )
+
+
+class TestNotInversion:
+    @pytest.mark.parametrize(
+        "n_destination,kind",
+        [
+            (1, ActivationKind.N_TO_N),
+            (2, ActivationKind.N_TO_N),
+            (4, ActivationKind.N_TO_N),
+            (8, ActivationKind.N_TO_N),
+            (16, ActivationKind.N_TO_N),
+            (2, ActivationKind.N_TO_2N),
+            (8, ActivationKind.N_TO_2N),
+            (32, ActivationKind.N_TO_2N),
+        ],
+    )
+    def test_inversion_across_destination_rows(
+        self, ideal_host, rng, n_destination, kind
+    ):
+        n_first = (
+            n_destination
+            if kind is ActivationKind.N_TO_N
+            else n_destination // 2
+        )
+        src, dst = find_pair(ideal_host, n_first, kind=kind, seed=n_destination)
+        operation = NotOperation(ideal_host, 0, src, dst)
+        assert len(operation.destination_rows()) == n_destination
+
+        for trial in range(3):
+            bits = rng.integers(0, 2, ideal_host.module.row_bits, dtype=np.uint8)
+            outcome = operation.run(bits)
+            expected = 1 - bits[operation.shared_columns]
+            assert len(outcome.outputs) == n_destination
+            for row, result in outcome.outputs.items():
+                assert np.array_equal(result, expected), (
+                    f"{n_destination} destinations, trial {trial}, row {row}"
+                )
+
+    def test_alternating_and_constant_patterns(self, ideal_host):
+        src, dst = find_pair(ideal_host, 4, seed=7)
+        operation = NotOperation(ideal_host, 0, src, dst)
+        width = ideal_host.module.row_bits
+        for pattern in (
+            np.zeros(width, dtype=np.uint8),
+            np.ones(width, dtype=np.uint8),
+            np.tile(np.array([0, 1], dtype=np.uint8), width // 2),
+            np.tile(np.array([1, 0], dtype=np.uint8), width // 2),
+        ):
+            outcome = operation.run(pattern)
+            expected = 1 - pattern[operation.shared_columns]
+            for result in outcome.outputs.values():
+                assert np.array_equal(result, expected)
