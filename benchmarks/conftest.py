@@ -8,11 +8,14 @@ the paper's quoted anchors alongside.  ``pytest benchmarks/
 
 from __future__ import annotations
 
+from typing import Optional
+
 import pytest
 
-from repro.characterization import Scale, run_experiment
+from repro.characterization import Resilience, Scale, run_experiment
 from repro.analysis.compare import compare_experiment
 from repro.dram.config import ChipGeometry
+from repro.faults import FaultPlan
 
 #: Benchmark scale: one small module per Table-1 spec type — large
 #: enough for every trend to show, small enough for the suite to finish
@@ -30,6 +33,10 @@ BENCH_SCALE = Scale(
 )
 
 
+#: Fault plan injected into every benchmarked sweep (``--faults``).
+_FAULT_PLAN: Optional[FaultPlan] = None
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--jobs",
@@ -39,6 +46,19 @@ def pytest_addoption(parser):
         help="worker processes per sweep (default 1 = serial; results are "
         "bit-identical at any job count)",
     )
+    parser.addoption(
+        "--faults",
+        action="store",
+        default=None,
+        help="JSON fault plan to inject into every benchmarked sweep "
+        "(exercises the retry path under timing measurement)",
+    )
+
+
+def pytest_configure(config):
+    global _FAULT_PLAN
+    path = config.getoption("--faults", default=None)
+    _FAULT_PLAN = FaultPlan.load(path) if path else None
 
 
 @pytest.fixture(scope="session")
@@ -53,14 +73,22 @@ def sweep_jobs(request):
 
 def run_and_report(benchmark, experiment_id: str, seed: int = 1, jobs: int = 1):
     """Benchmark one experiment run and print its figure reproduction."""
+    kwargs = {"scale": BENCH_SCALE, "seed": seed, "jobs": jobs}
+    if _FAULT_PLAN is not None:
+        # A fresh Resilience per round: health must not leak between
+        # benchmark iterations.
+        kwargs["resilience"] = Resilience(faults=_FAULT_PLAN)
     result = benchmark.pedantic(
         run_experiment,
         args=(experiment_id,),
-        kwargs={"scale": BENCH_SCALE, "seed": seed, "jobs": jobs},
+        kwargs=kwargs,
         rounds=1,
         iterations=1,
     )
     print()
+    health_text = result.format_health()
+    if health_text:
+        print(health_text)
     if "table" in result.extras:
         print(result.extras["table"])
     print(result.format_table())

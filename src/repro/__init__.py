@@ -48,7 +48,12 @@ from .dram import (
     ModuleSpec,
 )
 from .dram.calibration import calibration_for, ideal_calibration
-from .errors import ReproError
+from .errors import (
+    ReproError,
+    TargetQuarantinedError,
+    TransientInfrastructureError,
+)
+from .faults import FaultPlan
 from .rng import SeedTree
 
 __version__ = "1.0.0"
@@ -99,13 +104,16 @@ __all__ = [
     "ChipConfig",
     "ChipGeometry",
     "DramBenderHost",
+    "FaultPlan",
     "Manufacturer",
     "Module",
     "ModuleSpec",
     "ReproError",
     "SeedTree",
+    "TargetQuarantinedError",
     "TestProgram",
     "TestingInfrastructure",
+    "TransientInfrastructureError",
     "__version__",
     "calibration_for",
     "ideal_calibration",

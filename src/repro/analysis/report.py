@@ -18,7 +18,13 @@ import sys
 import time
 from typing import List, Optional, TextIO
 
+from ..atomicio import atomic_write_text
 from ..characterization.experiments import REGISTRY, run_experiment
+from ..characterization.resilience import (
+    Resilience,
+    add_resilience_arguments,
+    resilience_from_args,
+)
 from ..characterization.results import ExperimentResult
 from ..characterization.runner import DEFAULT, FULL, SMOKE, Scale
 from .boxplot import render_boxes
@@ -102,6 +108,9 @@ def _experiment_section(result: ExperimentResult, elapsed_s: float) -> str:
     for note in result.notes:
         parts.append(f"- {note}")
     parts.append(f"- runtime: {elapsed_s:.1f}s")
+    if result.health is not None:
+        parts.append("- sweep health:")
+        parts.extend(f"  - {line}" for line in result.health.summary_lines())
     parts.append("")
     return "\n".join(parts)
 
@@ -112,6 +121,7 @@ def generate_report(
     experiment_ids: Optional[List[str]] = None,
     log: Optional[TextIO] = None,
     jobs: int = 1,
+    resilience: Optional[Resilience] = None,
 ) -> str:
     """Run the experiment suite and return the EXPERIMENTS.md content."""
     ids = list(experiment_ids) if experiment_ids else list(EXPERIMENT_ORDER)
@@ -150,21 +160,55 @@ def generate_report(
         '"Parallel sweeps" section of README.md and',
         "`tests/characterization/test_parallel.py` for the guarantee.",
         "",
+        "## Resilient sweeps",
+        "",
+        "Long runs survive a flaky bench and a dying machine.  With",
+        "`--checkpoint-dir DIR` every sweep checkpoints completed targets",
+        "atomically; transient infrastructure failures (host command",
+        "timeouts, thermal setpoint dropouts, dead pool workers — real or",
+        "injected via `--faults PLAN.json`) retry with exponential backoff,",
+        "and targets that exhaust the retry budget are quarantined and",
+        "reported per figure instead of aborting the suite.  A worked",
+        "kill-and-resume example:",
+        "",
+        "```bash",
+        "python -m repro.analysis.report --scale full --jobs 8 \\",
+        "    --checkpoint-dir ckpt --out EXPERIMENTS.md",
+        "# ...power loss / OOM kill / Ctrl-C hours in...",
+        "python -m repro.analysis.report --scale full --jobs 8 \\",
+        "    --checkpoint-dir ckpt --resume --out EXPERIMENTS.md",
+        "```",
+        "",
+        "The resumed report is bit-identical to an uninterrupted one:",
+        "finished targets load from `ckpt/*.json`, only the remainder",
+        "runs.  See \"Fault injection and resilient sweeps\" in README.md",
+        "and `tests/characterization/test_resilience.py`.",
+        "",
     ]
+    if resilience is not None:
+        sections.extend(
+            [
+                "This run used the resilience layer; per-figure sweep",
+                "health (attempts, retries, quarantined targets, resume",
+                "provenance) is reported below each experiment.",
+                "",
+            ]
+        )
     for experiment_id in ids:
         if log:
             log.write(f"[report] running {experiment_id}...\n")
             log.flush()
         start = time.time()
-        result = run_experiment(experiment_id, scale=scale, seed=seed, jobs=jobs)
+        result = run_experiment(
+            experiment_id, scale=scale, seed=seed, jobs=jobs, resilience=resilience
+        )
         sections.append(_experiment_section(result, time.time() - start))
     return "\n".join(sections)
 
 
 def write_report(path: str, scale: Scale = DEFAULT, seed: int = 0, **kwargs) -> None:
     content = generate_report(scale=scale, seed=seed, **kwargs)
-    with open(path, "w") as handle:
-        handle.write(content)
+    atomic_write_text(path, content)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -185,18 +229,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="subset of experiment ids (default: all)",
     )
+    add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
     content = generate_report(
         scale=_SCALES[args.scale],
         seed=args.seed,
         experiment_ids=args.only,
         log=sys.stderr,
         jobs=args.jobs,
+        resilience=resilience_from_args(args),
     )
-    with open(args.out, "w") as handle:
-        handle.write(content)
+    atomic_write_text(args.out, content)
     sys.stderr.write(f"[report] wrote {args.out}\n")
     return 0
 

@@ -67,9 +67,10 @@ class _BankClock:
 class ProgramExecutor:
     """Replays :class:`TestProgram` instances against a :class:`Module`."""
 
-    def __init__(self, module: Module, strict: bool = False):
+    def __init__(self, module: Module, strict: bool = False, fault_injector=None):
         self.module = module
         self.strict = strict
+        self.faults = fault_injector
         self._now_ns = 0.0
 
     @property
@@ -78,6 +79,12 @@ class ProgramExecutor:
         return self._now_ns
 
     def run(self, program: TestProgram) -> ExecutionResult:
+        if self.faults is not None:
+            # A host command timeout aborts the program before any
+            # command reaches the module, exactly like the real bench
+            # dropping a DMA transaction: the device state is untouched
+            # and the whole program is safe to re-issue.
+            self.faults.on_program(program.name)
         timing = program.timing
         clocks: Dict[int, _BankClock] = {}
         reads: List[ReadRecord] = []
@@ -120,6 +127,8 @@ class ProgramExecutor:
             module.write(command.bank, command.row, command.data, now)
         elif command.opcode is Opcode.RD:
             bits = module.read(command.bank, command.row, now)
+            if self.faults is not None:
+                bits = self.faults.filter_read(command.bank, command.row, bits)
             reads.append(
                 ReadRecord(index, command.bank, command.row, command.label, bits)
             )

@@ -30,9 +30,12 @@ __all__ = ["DramBenderHost"]
 class DramBenderHost:
     """High-level driver for one module."""
 
-    def __init__(self, module: Module, strict: bool = False):
+    def __init__(self, module: Module, strict: bool = False, fault_injector=None):
         self.module = module
-        self.executor = ProgramExecutor(module, strict=strict)
+        self.faults = fault_injector
+        self.executor = ProgramExecutor(
+            module, strict=strict, fault_injector=fault_injector
+        )
 
     @property
     def timing(self) -> TimingParameters:
@@ -79,7 +82,12 @@ class DramBenderHost:
 
     def peek_row(self, bank: int, row: int) -> np.ndarray:
         """Backdoor readout of one row."""
-        return self.module.load_bits(bank, row)
+        bits = self.module.load_bits(bank, row)
+        if self.faults is not None:
+            # Cell-level faults are physical: they show on the backdoor
+            # path exactly as on the command path.
+            bits = self.faults.filter_read(bank, row, bits)
+        return bits
 
     def fill_subarray(
         self, bank: int, subarray: int, bits_per_row: np.ndarray

@@ -25,10 +25,13 @@ class TestingInfrastructure:
     #: Not a pytest test class, despite the (domain-accurate) name.
     __test__ = False
 
-    def __init__(self, module: Module, strict: bool = False):
+    def __init__(self, module: Module, strict: bool = False, fault_injector=None):
         self.module = module
-        self.host = DramBenderHost(module, strict=strict)
-        self.thermal = TemperatureController(module)
+        self.faults = fault_injector
+        self.host = DramBenderHost(
+            module, strict=strict, fault_injector=fault_injector
+        )
+        self.thermal = TemperatureController(module, fault_injector=fault_injector)
 
     @classmethod
     def for_config(

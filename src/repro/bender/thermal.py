@@ -5,14 +5,27 @@ The device under test is a first-order thermal plant: its temperature
 relaxes toward the heater setpoint with time constant ``tau_s``.  The
 controller steps the simulation until the target is held within a
 tolerance band, exactly how the bench controller gates experiment start.
+
+The settle loop is guarded twice: a *simulated-time* budget
+(``timeout_s``) models the bench controller declaring an unreachable
+setpoint, and a *wall-clock* budget (``wall_timeout_s``) protects the
+host process itself — a plant driven into a pathological regime (or a
+buggy fault plan) raises :class:`~repro.errors.ThermalError` instead of
+spinning forever.  An injected setpoint dropout
+(:class:`~repro.faults.FaultInjector`) surfaces as
+:class:`~repro.errors.TransientInfrastructureError` so the resilient
+sweep machinery retries it; a genuinely unreachable setpoint stays a
+:class:`~repro.errors.ThermalError`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 import math
+import time
+from typing import Optional
 
-from ..errors import ThermalError
+from ..errors import ThermalError, TransientInfrastructureError
 from ..dram.module import Module
 
 __all__ = ["ThermalPlant", "TemperatureController"]
@@ -43,17 +56,25 @@ class TemperatureController:
     MIN_TARGET_C = 20.0
     MAX_TARGET_C = 110.0
 
+    #: Simulated seconds into the settle at which an injected setpoint
+    #: dropout takes effect (the controller loses its target mid-ramp).
+    DROPOUT_AFTER_S = 5.0
+
     def __init__(
         self,
         module: Module,
         plant: "ThermalPlant" = None,
         tolerance_c: float = 0.5,
         timeout_s: float = 1800.0,
+        wall_timeout_s: Optional[float] = 60.0,
+        fault_injector=None,
     ):
         self.module = module
         self.plant = plant if plant is not None else ThermalPlant()
         self.tolerance_c = tolerance_c
         self.timeout_s = timeout_s
+        self.wall_timeout_s = wall_timeout_s
+        self.faults = fault_injector
         self.module.temperature_c = self.plant.temperature_c
 
     @property
@@ -71,16 +92,49 @@ class TemperatureController:
                 f"target {target_c}degC outside supported range "
                 f"[{self.MIN_TARGET_C}, {self.MAX_TARGET_C}]"
             )
+        disturbance = (
+            self.faults.on_thermal_set(target_c)
+            if self.faults is not None
+            else None
+        )
         self.plant.heater_c = target_c
+        if disturbance == "overshoot":
+            self.plant.heater_c = min(
+                self.MAX_TARGET_C, target_c + self.faults.plan.thermal_overshoot_c
+            )
+        dropout_pending = disturbance == "dropout"
+        dropped_out = False
         elapsed = 0.0
         step_s = 1.0
+        started = time.monotonic()
         while abs(self.plant.temperature_c - target_c) > self.tolerance_c:
             self.plant.step(step_s)
             elapsed += step_s
+            if dropout_pending and elapsed >= self.DROPOUT_AFTER_S:
+                # The controller lost its setpoint: the heater falls back
+                # to ambient and the target becomes unreachable.
+                self.plant.heater_c = self.plant.ambient_c
+                dropout_pending = False
+                dropped_out = True
             if elapsed > self.timeout_s:
+                if dropped_out:
+                    raise TransientInfrastructureError(
+                        f"injected thermal setpoint dropout at {target_c}degC "
+                        f"(module stuck at {self.plant.temperature_c:.2f}degC)"
+                    )
                 raise ThermalError(
                     f"module failed to settle at {target_c}degC within "
                     f"{self.timeout_s}s (stuck at {self.plant.temperature_c:.2f}degC)"
+                )
+            if (
+                self.wall_timeout_s is not None
+                and time.monotonic() - started > self.wall_timeout_s
+            ):
+                raise ThermalError(
+                    f"settle loop for {target_c}degC exceeded the "
+                    f"{self.wall_timeout_s}s wall-clock budget "
+                    f"(at {self.plant.temperature_c:.2f}degC after {elapsed:.0f} "
+                    "simulated seconds)"
                 )
         # Snap to the setpoint once inside the band — the bench controller
         # holds the plateau for the duration of the experiment.

@@ -15,7 +15,8 @@ from .parallel import (
     SweepExecutor,
     make_executor,
 )
-from .results import ExperimentResult
+from .resilience import Resilience, RetryPolicy, SweepOutcome
+from .results import ExperimentResult, QuarantinedTarget, SweepHealth
 from .runner import (
     DEFAULT,
     FULL,
@@ -38,11 +39,16 @@ __all__ = [
     "ExperimentResult",
     "FULL",
     "ProcessPoolSweepExecutor",
+    "QuarantinedTarget",
     "REGISTRY",
+    "Resilience",
+    "RetryPolicy",
     "SMOKE",
     "Scale",
     "SerialExecutor",
     "SweepExecutor",
+    "SweepHealth",
+    "SweepOutcome",
     "SweepTarget",
     "TITLES",
     "TargetDescriptor",

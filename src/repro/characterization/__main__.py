@@ -4,6 +4,11 @@ Usage::
 
     python -m repro.characterization fig15 --scale default --seed 0
     python -m repro.characterization --list
+
+Resilience flags: ``--faults PLAN.json`` injects bench failures,
+``--checkpoint-dir DIR`` writes atomic per-sweep checkpoints, and
+``--resume`` continues an interrupted run from them (bit-identical to an
+uninterrupted run on surviving targets, serial or ``--jobs N``).
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import List, Optional
 from ..analysis.boxplot import render_boxes
 from ..analysis.compare import compare_experiment
 from .experiments import REGISTRY, TITLES, run_experiment
+from .resilience import add_resilience_arguments, resilience_from_args
 from .runner import DEFAULT, FULL, SMOKE
 
 _SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
@@ -38,9 +44,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
+    add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
 
     if args.list or not args.experiment:
         for experiment_id in sorted(REGISTRY):
@@ -49,9 +58,17 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     start = time.time()
     result = run_experiment(
-        args.experiment, scale=_SCALES[args.scale], seed=args.seed, jobs=args.jobs
+        args.experiment,
+        scale=_SCALES[args.scale],
+        seed=args.seed,
+        jobs=args.jobs,
+        resilience=resilience_from_args(args),
     )
     print(result.format_table())
+    health_text = result.format_health()
+    if health_text:
+        print()
+        print(health_text)
     if result.groups:
         print()
         print(render_boxes(result.groups))

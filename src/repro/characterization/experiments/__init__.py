@@ -6,8 +6,9 @@ entry points; :func:`run_experiment` dispatches by id.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from . import (
@@ -58,13 +59,20 @@ TITLES: Dict[str, str] = {module.EXPERIMENT_ID: module.TITLE for module in _MODU
 
 
 def run_experiment(
-    experiment_id: str, scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1
+    experiment_id: str,
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
 ) -> ExperimentResult:
     """Run one table/figure reproduction by id (e.g. ``"fig15"``).
 
     ``jobs`` > 1 fans the experiment's sweeps out over a process pool;
     results are bit-identical to a serial run (see
-    :mod:`repro.characterization.parallel`).
+    :mod:`repro.characterization.parallel`).  ``resilience`` configures
+    fault injection, retry/quarantine, and checkpoint/resume; the
+    experiment's accumulated :class:`~repro.characterization.results.\
+SweepHealth` is attached to the returned result.
     """
     try:
         runner = REGISTRY[experiment_id]
@@ -72,7 +80,12 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
-    return runner(scale=scale, seed=seed, jobs=jobs)
+    if resilience is None:
+        return runner(scale=scale, seed=seed, jobs=jobs)
+    resilience.begin_experiment(experiment_id)
+    result = runner(scale=scale, seed=seed, jobs=jobs, resilience=resilience)
+    result.health = resilience.health
+    return result
 
 
 __all__ = ["REGISTRY", "TITLES", "run_experiment"]

@@ -30,6 +30,7 @@ from ...dram.decoder import ActivationKind
 from ...rng import derive_seed
 from ..metrics import WeightedSamples
 from ..parallel import SweepExecutor, TargetRecords, make_executor
+from ..resilience import Resilience
 from ..runner import (
     Scale,
     SweepTarget,
@@ -260,6 +261,7 @@ def not_sweep(
     good_cells_only: bool = False,
     jobs: int = 1,
     executor: Optional[SweepExecutor] = None,
+    resilience: Optional[Resilience] = None,
 ) -> GroupSamples:
     """Run NOT measurements across the fleet, grouped by label.
 
@@ -270,6 +272,8 @@ def not_sweep(
     drops that (target, variant) from the sweep.  ``jobs`` > 1 fans the
     sweep out over a process pool (results are bit-identical to the
     serial path); an explicit ``executor`` overrides ``jobs``.
+    ``resilience`` enables fault injection, retry/quarantine, and
+    checkpointing; sweep health accumulates on the shared object.
     """
     temps = tuple(temperatures) if temperatures else (BASELINE_TEMPERATURE_C,)
     work = _NotSweepWork(
@@ -282,7 +286,10 @@ def not_sweep(
     )
     descriptors = _select_descriptors(scale, manufacturers, spec_filter)
     runner = make_executor(jobs, executor)
-    return _merge_records(runner.run(work, scale, seed, descriptors))
+    outcome = runner.run_resilient(
+        work, scale, seed, descriptors, resilience=resilience
+    )
+    return _merge_records(outcome.records)
 
 
 def logic_sweep(
@@ -296,14 +303,15 @@ def logic_sweep(
     trials_override: Optional[int] = None,
     jobs: int = 1,
     executor: Optional[SweepExecutor] = None,
+    resilience: Optional[Resilience] = None,
 ) -> GroupSamples:
     """Run logic-op measurements across the fleet, grouped by label.
 
     Each measurement yields *both* terminals (AND together with NAND, or
     OR with NOR); the label function is called once per terminal with
     the concrete operation name.  Only SK Hynix targets can run these
-    (§6.3); others are skipped automatically.  ``jobs``/``executor``
-    behave as in :func:`not_sweep`.
+    (§6.3); others are skipped automatically.  ``jobs``/``executor``/
+    ``resilience`` behave as in :func:`not_sweep`.
     """
     temps = tuple(temperatures) if temperatures else (BASELINE_TEMPERATURE_C,)
     work = _LogicSweepWork(
@@ -318,4 +326,7 @@ def logic_sweep(
         scale, [Manufacturer.SK_HYNIX], spec_filter
     )
     runner = make_executor(jobs, executor)
-    return _merge_records(runner.run(work, scale, seed, descriptors))
+    outcome = runner.run_resilient(
+        work, scale, seed, descriptors, resilience=resilience
+    )
+    return _merge_records(outcome.records)

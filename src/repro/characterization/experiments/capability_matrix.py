@@ -17,12 +17,13 @@ Micron modules nothing.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ...core.rowclone import rowclone_match_fraction
 from ...core.success import LogicSuccessMeasurement, NotSuccessMeasurement
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import (
     DEFAULT,
@@ -79,9 +80,15 @@ def _max_op_inputs(target, trials: int) -> int:
     return best
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
-    # ``jobs`` accepted for a uniform entry point but unused: one probe
-    # per module type keeps this inventory cheap enough to stay serial.
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
+    # ``jobs``/``resilience`` accepted for a uniform entry point but
+    # unused: one probe per module type keeps this inventory cheap
+    # enough to stay serial and fault-free.
     trials = max(20, scale.trials // 3)
     rows: Dict[str, Dict[str, object]] = {}
     for target in iter_targets(scale, seed, include_micron=True):

@@ -9,9 +9,12 @@ the paper's per-chip distribution.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...dram.config import Manufacturer
 from ...reveng.activation import ActivationScanner, coverage_from_counts
 from ..metrics import WeightedSamples
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale, iter_targets
 
@@ -24,10 +27,15 @@ TYPE_ORDER = (
 )
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
-    # ``jobs`` is accepted for a uniform entry point but unused: the
-    # scanner's per-target seed is an ordinal counter, so this sweep
-    # stays serial until it is migrated to path-derived seeds.
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
+    # ``jobs``/``resilience`` accepted for a uniform entry point but
+    # unused: the scanner's per-target seed is an ordinal counter, so
+    # this sweep stays serial until it migrates to path-derived seeds.
     samples_per_target = max(200, 4 * scale.trials)
     groups = {label: WeightedSamples() for label in TYPE_ORDER + ("none",)}
 

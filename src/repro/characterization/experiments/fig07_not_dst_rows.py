@@ -8,7 +8,10 @@ contribute nothing.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...dram.config import Manufacturer
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import NotVariant, not_sweep
@@ -19,7 +22,12 @@ TITLE = "NOT success rate vs. number of destination rows"
 DESTINATION_COUNTS = (1, 2, 4, 8, 16, 32)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [NotVariant(n) for n in DESTINATION_COUNTS]
     groups = not_sweep(
         scale,
@@ -27,6 +35,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         variants,
         manufacturers=[Manufacturer.SK_HYNIX, Manufacturer.SAMSUNG],
         jobs=jobs,
+        resilience=resilience,
     )
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for n in DESTINATION_COUNTS:

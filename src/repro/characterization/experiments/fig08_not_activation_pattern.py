@@ -7,10 +7,11 @@ N:2N achieves higher success — the paper measures a 9.41% mean gap.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ...dram.config import Manufacturer
 from ...dram.decoder import ActivationKind
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import NotVariant, not_sweep
@@ -42,7 +43,12 @@ def _label_fn(target, variant, temp):
     return _label(variant.n_destination, variant.kind)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [NotVariant(n, kind=kind) for n, kind in PATTERNS]
     groups = not_sweep(
         scale,
@@ -51,6 +57,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
         jobs=jobs,
+        resilience=resilience,
     )
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for n, kind in PATTERNS:

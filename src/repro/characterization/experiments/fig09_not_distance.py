@@ -10,11 +10,14 @@ is a 3x3 heatmap of mean success: the paper's extremes are Middle-Far at
 
 from __future__ import annotations
 
+from typing import Optional
+
 from itertools import product
 
 from ...dram.config import Manufacturer
 from ...dram.variation import Region
 from ..metrics import WeightedSamples
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import NotVariant, not_sweep
@@ -34,7 +37,12 @@ def _label_fn(target, variant, temp):
     )
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [
         NotVariant(n, regions=(int(src), int(dst)))
         for n in DESTINATION_COUNTS
@@ -51,6 +59,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -8,7 +8,10 @@ destination rows).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...dram.config import Manufacturer
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import NotVariant, not_sweep
@@ -24,7 +27,12 @@ def _label_fn(target, variant, temp):
     return f"{variant.n_destination} dst @{temp:.0f}C"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [NotVariant(n) for n in DESTINATION_COUNTS]
     groups = not_sweep(
         scale,
@@ -35,6 +43,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         temperatures=TEMPERATURES_C,
         good_cells_only=True,
         jobs=jobs,
+        resilience=resilience,
     )
 
     # At bench scale, high destination-row counts leave only a handful of

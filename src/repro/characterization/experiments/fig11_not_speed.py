@@ -7,7 +7,10 @@ success drops 20.06% from 2133 to 2400 and recovers 19.76% at 2666.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...dram.config import Manufacturer
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import NotVariant, not_sweep
@@ -23,7 +26,12 @@ def _label_fn(target, variant, temp):
     return f"{variant.n_destination} dst @{target.spec.chip.speed_rate_mts}MT/s"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [NotVariant(n) for n in DESTINATION_COUNTS]
     groups = not_sweep(
         scale,
@@ -32,6 +40,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX],
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -8,7 +8,10 @@ Samsung chips support no more (§5.3, footnote 9).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...dram.config import Manufacturer
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import NotVariant, not_sweep
@@ -26,7 +29,12 @@ def _label_fn(target, variant, temp):
     return _die_label(target)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     groups = not_sweep(
         scale,
         seed,
@@ -34,6 +42,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         label_fn=_label_fn,
         manufacturers=[Manufacturer.SK_HYNIX, Manufacturer.SAMSUNG],
         jobs=jobs,
+        resilience=resilience,
     )
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     for label in sorted(groups):

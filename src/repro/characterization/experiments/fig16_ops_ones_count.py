@@ -10,8 +10,9 @@ fifteen logic-1s; the 16-input OR loses 53.66% from sixteen down to one.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import LogicVariant, logic_sweep
@@ -29,7 +30,12 @@ def _label_fn(target, variant, temp, op_name):
     return f"{op_name.upper()}{variant.n_inputs} k={variant.ones_count}"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants: List[LogicVariant] = []
     for base_op, n in CONFIGS:
         variants.extend(
@@ -43,6 +49,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         label_fn=_label_fn,
         trials_override=max(20, scale.trials // 3),
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

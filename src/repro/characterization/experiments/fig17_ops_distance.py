@@ -9,9 +9,10 @@ AND, 23.70% for NAND, 10.42% for OR, 10.50% for NOR.
 from __future__ import annotations
 
 from itertools import product
-from typing import Dict
+from typing import Dict, Optional
 
 from ...dram.variation import Region
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import LogicVariant, logic_sweep
@@ -31,7 +32,12 @@ def _label_fn(target, variant, temp, op_name):
     )
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     # The sweep's regions tuple is (first=reference, last=compute).
     variants = [
         LogicVariant(base_op, n, regions=(int(ref), int(com)))
@@ -46,6 +52,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         label_fn=_label_fn,
         trials_override=max(30, scale.trials // 2),
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

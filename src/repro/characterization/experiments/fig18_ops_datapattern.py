@@ -9,6 +9,9 @@ anchors: random data lowers mean success by 1.43% (AND), 1.39% (NAND),
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import LogicVariant, logic_sweep
@@ -25,7 +28,12 @@ def _label_fn(target, variant, temp, op_name):
     return f"{op_name.upper()} n={variant.n_inputs} {variant.mode}"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n, mode=mode)
         for base_op in ("and", "or")
@@ -38,6 +46,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         variants,
         label_fn=_label_fn,
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

@@ -7,6 +7,9 @@ largest mean variation from 50 to 95 degC is 1.66% (AND), 1.65% (NAND),
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import LogicVariant, logic_sweep
@@ -23,7 +26,12 @@ def _label_fn(target, variant, temp, op_name):
     return f"{op_name.upper()} n={variant.n_inputs} @{temp:.0f}C"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
     ]
@@ -36,6 +44,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         good_cells_only=True,
         trials_override=max(30, scale.trials // 2),
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

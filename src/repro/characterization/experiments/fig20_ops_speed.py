@@ -6,6 +6,9 @@ Paper anchor: the 4-input NAND loses 29.89% mean success from 2133 to
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import LogicVariant, logic_sweep
@@ -25,7 +28,12 @@ def _label_fn(target, variant, temp, op_name):
     )
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
     ]
@@ -35,6 +43,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         variants,
         label_fn=_label_fn,
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

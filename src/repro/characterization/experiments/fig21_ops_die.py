@@ -9,6 +9,9 @@ footnote 12) — visible as a missing n=16 group.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 from .base import LogicVariant, logic_sweep
@@ -30,7 +33,12 @@ def _label_fn(target, variant, temp, op_name):
     return f"{op_name.upper()} n={variant.n_inputs} {_die_of(target)}"
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
     variants = [
         LogicVariant(base_op, n) for base_op in ("and", "or") for n in INPUT_COUNTS
     ]
@@ -40,6 +48,7 @@ def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResul
         variants,
         label_fn=_label_fn,
         jobs=jobs,
+        resilience=resilience,
     )
 
     result = ExperimentResult(EXPERIMENT_ID, TITLE)

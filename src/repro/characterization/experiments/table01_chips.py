@@ -7,8 +7,11 @@ analyzed; 280 / 28 tested including Micron).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...dram.config import Manufacturer
 from ..fleet import all_specs, micron_specs, table1_specs
+from ..resilience import Resilience
 from ..results import ExperimentResult
 from ..runner import DEFAULT, Scale
 
@@ -37,9 +40,15 @@ def format_table1() -> str:
     return "\n".join(lines)
 
 
-def run(scale: Scale = DEFAULT, seed: int = 0, jobs: int = 1) -> ExperimentResult:
-    # ``jobs`` accepted for a uniform entry point; rendering Table 1 is
-    # not a measurement, so there is nothing to parallelize.
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
+    # ``jobs``/``resilience`` accepted for a uniform entry point;
+    # rendering Table 1 is not a measurement, so there is nothing to
+    # parallelize or retry.
     analyzed = table1_specs()
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     result.extras["table"] = format_table1()

@@ -35,15 +35,52 @@ four per worker by default) and submitted individually; idle workers
 pull the next pending chunk, so one slow target (e.g. a
 region-constrained pattern search) delays only its own chunk rather
 than straggling a statically-assigned shard.
+
+Resilience
+----------
+
+``run_resilient`` extends the contract to a hostile bench: a module
+group that raises :class:`~repro.errors.TransientInfrastructureError`
+(injected host timeouts, thermal setpoint dropouts, worker crashes) is
+rebuilt from the seed tree and retried with exponential backoff; the
+rebuild discards all partial state, so the eventual successful attempt
+is bit-identical to a never-faulted run.  Groups that exhaust the retry
+budget are quarantined whole (see
+:class:`~repro.characterization.results.QuarantinedTarget`) and the
+sweep completes degraded, with the loss documented in its
+:class:`~repro.characterization.results.SweepHealth`.  A dead pool
+worker breaks the pool; the scheduler drains what finished, rebuilds
+the pool, and resubmits only the unfinished chunks.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import (
+    ConfigurationError,
+    TargetQuarantinedError,
+    TransientInfrastructureError,
+)
+from ..faults import FaultPlan
+from .resilience import (
+    BlockOutcome,
+    Resilience,
+    RetryPolicy,
+    SweepOutcome,
+    SweepSession,
+)
+from .results import QuarantinedTarget, SweepHealth
 from .runner import Scale, SweepTarget, TargetDescriptor, materialize_targets
 
 __all__ = [
@@ -53,6 +90,9 @@ __all__ = [
     "make_executor",
     "module_groups",
     "chunk_groups",
+    "run_target_block",
+    "run_group_with_retry",
+    "RETRYABLE",
 ]
 
 #: A unit of per-target work: runs measurements on one live target and
@@ -63,12 +103,20 @@ TargetWork = Callable[[SweepTarget], List[tuple]]
 #: One target's results: (descriptor index, payloads).
 TargetRecords = Tuple[int, List[tuple]]
 
+#: Errors worth retrying: transient infrastructure failures only.  A
+#: :class:`~repro.errors.ThermalError` from a genuinely unreachable
+#: setpoint, or any programming error, must fail loudly — retrying a
+#: deterministic failure can only hide it.
+RETRYABLE = (TransientInfrastructureError,)
+
 
 def run_target_block(
     work: TargetWork,
     scale: Scale,
     seed: int,
     descriptors: Sequence[TargetDescriptor],
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 0,
 ) -> List[TargetRecords]:
     """Run ``work`` over a block of descriptors, in order.
 
@@ -77,11 +125,31 @@ def run_target_block(
     ``module_key`` group), apply ``work``, tag results with the
     descriptor index.  Sharing it is what makes serial/parallel
     equivalence structural rather than coincidental.
+
+    With a fault plan, each module carries an injector scoped by module
+    key and ``attempt``; transient errors escaping ``work`` are tagged
+    with the descriptor being measured (``error.descriptor``) so the
+    retry layer can attribute quarantines precisely.
     """
     results: List[TargetRecords] = []
-    targets = materialize_targets(descriptors, scale, seed)
+    targets = materialize_targets(
+        descriptors, scale, seed, faults=faults, attempt=attempt
+    )
     for descriptor, target in zip(descriptors, targets):
-        results.append((descriptor.index, work(target)))
+        if faults is not None:
+            reason = faults.target_fault(descriptor.describe(), attempt)
+            if reason is not None:
+                error = TransientInfrastructureError(
+                    f"{descriptor.describe()}: {reason}"
+                )
+                error.descriptor = descriptor
+                raise error
+        try:
+            results.append((descriptor.index, work(target)))
+        except RETRYABLE as error:
+            if getattr(error, "descriptor", None) is None:
+                error.descriptor = descriptor
+            raise
     return results
 
 
@@ -125,6 +193,101 @@ def chunk_groups(
     return chunks
 
 
+def run_group_with_retry(
+    work: TargetWork,
+    scale: Scale,
+    seed: int,
+    group: Sequence[TargetDescriptor],
+    faults: Optional[FaultPlan],
+    retry: RetryPolicy,
+) -> BlockOutcome:
+    """Run one module group, retrying transient failures whole.
+
+    A retry rebuilds the entire group from the seed tree: per-bank trial
+    noise advances as measurements run, so resuming mid-group would
+    diverge from a fault-free run.  Discarding and rebuilding makes the
+    eventual success bit-identical instead.  On budget exhaustion the
+    whole group is quarantined (the failing target named, module-mates
+    marked collateral) — or, with ``retry.quarantine`` off, the error
+    escalates as :class:`~repro.errors.TargetQuarantinedError`.
+    """
+    outcome = BlockOutcome()
+    last_error: Optional[BaseException] = None
+    for attempt in range(retry.max_attempts):
+        if attempt:
+            time.sleep(retry.delay_s(attempt))
+            outcome.retries += 1
+        outcome.attempts += 1
+        try:
+            records = run_target_block(
+                work, scale, seed, list(group), faults=faults, attempt=attempt
+            )
+        except RETRYABLE as error:
+            last_error = error
+            continue
+        outcome.records.extend(records)
+        return outcome
+
+    failing = getattr(last_error, "descriptor", None)
+    if not retry.quarantine:
+        label = failing.describe() if failing is not None else "sweep target"
+        raise TargetQuarantinedError(
+            f"{label} failed after {retry.max_attempts} attempt(s): {last_error}"
+        ) from last_error
+    for descriptor in group:
+        collateral = failing is not None and descriptor.index != failing.index
+        reason = (
+            "module-mate of a quarantined target (module groups rerun "
+            f"whole): {last_error}"
+            if collateral
+            else str(last_error)
+        )
+        outcome.quarantined.append(
+            QuarantinedTarget(
+                index=descriptor.index,
+                label=descriptor.describe(),
+                reason=reason,
+                attempts=retry.max_attempts,
+                collateral=collateral,
+            )
+        )
+    return outcome
+
+
+def run_block_resilient(
+    work: TargetWork,
+    scale: Scale,
+    seed: int,
+    descriptors: Sequence[TargetDescriptor],
+    faults: Optional[FaultPlan],
+    retry: RetryPolicy,
+) -> BlockOutcome:
+    """Run a block of module groups with per-group retry/quarantine."""
+    outcome = BlockOutcome()
+    for group in module_groups(descriptors):
+        outcome.merge(run_group_with_retry(work, scale, seed, group, faults, retry))
+    return outcome
+
+
+def _resilient_chunk_worker(
+    work: TargetWork,
+    scale: Scale,
+    seed: int,
+    chunk: Sequence[TargetDescriptor],
+    faults: Optional[FaultPlan],
+    retry: RetryPolicy,
+    chunk_attempt: int,
+) -> BlockOutcome:
+    """Pool worker entry point; may die abruptly under a fault plan."""
+    if faults is not None and chunk and faults.worker_death_due(
+        chunk[0].index, chunk_attempt
+    ):
+        # Simulated worker crash: bypass all Python cleanup, exactly like
+        # an OOM kill.  The parent sees BrokenProcessPool.
+        os._exit(86)
+    return run_block_resilient(work, scale, seed, descriptors=chunk, faults=faults, retry=retry)
+
+
 class SweepExecutor:
     """Strategy interface for running per-target sweep work."""
 
@@ -138,22 +301,68 @@ class SweepExecutor:
         """Apply ``work`` to every descriptor's target.
 
         Returns one ``(descriptor index, payloads)`` entry per target,
-        sorted by descriptor index — canonical sweep order.
+        sorted by descriptor index — canonical sweep order.  This is the
+        fault-free entry point; it is exactly ``run_resilient`` with a
+        default (no-fault, no-checkpoint) configuration.
         """
+        return self.run_resilient(work, scale, seed, descriptors).records
+
+    def run_resilient(
+        self,
+        work: TargetWork,
+        scale: Scale,
+        seed: int,
+        descriptors: Sequence[TargetDescriptor],
+        resilience: Optional[Resilience] = None,
+    ) -> SweepOutcome:
+        """Apply ``work`` with retry, quarantine, and checkpointing.
+
+        Subclasses implement this; the base class provides a degraded
+        fallback for legacy executors that only override :meth:`run`
+        (their records are wrapped in a minimal health report, without
+        retry or checkpoint support).
+        """
+        if type(self).run is not SweepExecutor.run:
+            records = self.run(work, scale, seed, list(descriptors))
+            health = SweepHealth(
+                total_targets=len(descriptors),
+                completed_targets=len(records),
+                attempts=len(module_groups(list(descriptors))),
+            )
+            if resilience is not None:
+                resilience.health.merge(health)
+            return SweepOutcome(records=records, health=health)
         raise NotImplementedError
 
 
 class SerialExecutor(SweepExecutor):
     """In-process execution, identical to the classic sweep loop."""
 
-    def run(
+    def run_resilient(
         self,
         work: TargetWork,
         scale: Scale,
         seed: int,
         descriptors: Sequence[TargetDescriptor],
-    ) -> List[TargetRecords]:
-        return run_target_block(work, scale, seed, list(descriptors))
+        resilience: Optional[Resilience] = None,
+    ) -> SweepOutcome:
+        descriptors = list(descriptors)
+        session = SweepSession(resilience, work, scale, seed, descriptors)
+        groups = session.pending_groups(module_groups(descriptors))
+        try:
+            for group in groups:
+                session.absorb_block(
+                    run_group_with_retry(
+                        work, scale, seed, group, session.faults, session.retry
+                    )
+                )
+        except BaseException:
+            # Ctrl-C (or any crash) must not lose finished module groups:
+            # flush them to the checkpoint before propagating, so the
+            # next --resume picks up exactly where this run stopped.
+            session.flush()
+            raise
+        return session.finalize()
 
 
 class ProcessPoolSweepExecutor(SweepExecutor):
@@ -164,6 +373,11 @@ class ProcessPoolSweepExecutor(SweepExecutor):
     drained as they arrive, so scheduling is work-stealing at chunk
     granularity.  ``chunks_per_worker`` tunes the granularity (more
     chunks = finer stealing, more module rebuild overhead).
+
+    A worker death breaks the whole pool (``BrokenProcessPool``); the
+    scheduler keeps every result already shipped back, rebuilds the
+    pool, and resubmits only the unfinished chunks, up to the retry
+    budget.
     """
 
     def __init__(
@@ -187,48 +401,96 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         context = multiprocessing.get_context(self.start_method)
         return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
 
-    def run(
+    def run_resilient(
         self,
         work: TargetWork,
         scale: Scale,
         seed: int,
         descriptors: Sequence[TargetDescriptor],
-    ) -> List[TargetRecords]:
-        chunks = chunk_groups(
-            module_groups(descriptors), self.jobs, self.chunks_per_worker
-        )
+        resilience: Optional[Resilience] = None,
+    ) -> SweepOutcome:
+        descriptors = list(descriptors)
+        session = SweepSession(resilience, work, scale, seed, descriptors)
+        groups = session.pending_groups(module_groups(descriptors))
+        chunks = chunk_groups(groups, self.jobs, self.chunks_per_worker)
         if not chunks:
-            return []
-        if len(chunks) == 1 or self.jobs == 1:
-            return run_target_block(work, scale, seed, list(descriptors))
+            return session.finalize()
+        faults, retry = session.faults, session.retry
 
-        results: List[TargetRecords] = []
+        if len(chunks) == 1 or self.jobs == 1:
+            try:
+                for group in groups:
+                    session.absorb_block(
+                        run_group_with_retry(work, scale, seed, group, faults, retry)
+                    )
+            except BaseException:
+                session.flush()
+                raise
+            return session.finalize()
+
+        restarts = 0
         pool = self._pool(min(self.jobs, len(chunks)))
+        pending: Dict[Future, Tuple[List[TargetDescriptor], int]] = {}
         try:
-            pending = {
-                pool.submit(run_target_block, work, scale, seed, chunk)
-                for chunk in chunks
-            }
+            for chunk in chunks:
+                future = pool.submit(
+                    _resilient_chunk_worker, work, scale, seed, chunk,
+                    faults, retry, 0,
+                )
+                pending[future] = (chunk, 0)
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+                broken: List[Tuple[List[TargetDescriptor], int]] = []
                 for future in done:
-                    results.extend(future.result())
+                    chunk, chunk_attempt = pending.pop(future)
+                    try:
+                        session.absorb_block(future.result())
+                    except (BrokenExecutor, CancelledError):
+                        broken.append((chunk, chunk_attempt))
+                if not broken:
+                    continue
+                # A dead worker poisons the whole pool: every still-pending
+                # future has (or will get) BrokenProcessPool.  Drain the
+                # results that made it back, collect the rest for
+                # resubmission on a fresh pool.
+                for future, (chunk, chunk_attempt) in list(pending.items()):
+                    del pending[future]
+                    try:
+                        session.absorb_block(future.result())
+                    except (BrokenExecutor, CancelledError):
+                        broken.append((chunk, chunk_attempt))
+                pool.shutdown(wait=False)
+                restarts += 1
+                session.note_worker_restart()
+                if restarts > retry.max_attempts:
+                    raise TransientInfrastructureError(
+                        f"worker pool died {restarts} times "
+                        f"(retry budget {retry.max_attempts}); giving up"
+                    )
+                pool = self._pool(min(self.jobs, len(broken)))
+                for chunk, chunk_attempt in broken:
+                    future = pool.submit(
+                        _resilient_chunk_worker, work, scale, seed, chunk,
+                        faults, retry, chunk_attempt + 1,
+                    )
+                    pending[future] = (chunk, chunk_attempt + 1)
         except BaseException:
-            # On Ctrl-C (or a worker raising) don't block on the queued
-            # chunks — a default shutdown would run the sweep to
-            # completion before re-raising.  Cancel what hasn't started
-            # and kill the workers mid-chunk; determinism makes any
-            # partial results worthless anyway.
+            # On Ctrl-C (or an unrecoverable worker error) don't block on
+            # the queued chunks — a default shutdown would run the sweep
+            # to completion before re-raising.  Flush what finished to
+            # the checkpoint, cancel what hasn't started, and kill the
+            # workers mid-chunk; determinism makes their partial results
+            # worthless anyway.
+            session.flush()
             for future in pending:
                 future.cancel()
-            for process in getattr(pool, "_processes", {}).values():
+            for process in (getattr(pool, "_processes", None) or {}).values():
                 process.terminate()
             pool.shutdown(wait=False)
             raise
         else:
             pool.shutdown(wait=True)
-        results.sort(key=lambda record: record[0])
-        return results
+        return session.finalize()
 
 
 def make_executor(

@@ -1,0 +1,509 @@
+"""Resilient sweep execution: retry policy, quarantine bookkeeping, and
+atomic checkpoint/resume.
+
+A paper-scale characterization campaign (10,000 trials per cell across
+hundreds of chips) runs for hours; this module makes a sweep *survive*
+that horizon instead of restarting it:
+
+* :class:`RetryPolicy` — exponential backoff with bounded attempts for
+  transient infrastructure failures, and the quarantine-vs-raise choice
+  once the budget is exhausted.
+* :class:`Resilience` — the per-run configuration bundle (fault plan,
+  retry policy, checkpoint directory, resume flag) threaded from the
+  CLI down to the executors, plus the accumulated
+  :class:`~repro.characterization.results.SweepHealth`.
+* :class:`CheckpointStore` — an atomically-written JSON snapshot of the
+  records completed so far, fingerprinted against the sweep definition
+  so ``--resume`` refuses to splice incompatible runs together.
+* :class:`SweepSession` — the bookkeeping shared by the serial and
+  process-pool executors: which module groups are already done, when to
+  checkpoint, and how to fold per-block outcomes into health metrics.
+
+Determinism contract: a checkpoint stores exactly the per-target record
+payloads (label, per-cell rates, weight); floats survive the JSON round
+trip bit-exactly (``repr``-based serialization), and records merge back
+in canonical descriptor order, so a resumed run is bit-identical to an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..atomicio import atomic_write_json
+from ..errors import ConfigurationError
+from ..faults import FaultPlan
+from .results import QuarantinedTarget, SweepHealth
+from .runner import Scale, TargetDescriptor
+
+__all__ = [
+    "RetryPolicy",
+    "Resilience",
+    "BlockOutcome",
+    "SweepOutcome",
+    "CheckpointStore",
+    "SweepSession",
+    "sweep_fingerprint",
+    "add_resilience_arguments",
+    "resilience_from_args",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How transient failures are retried, and what exhaustion means.
+
+    A module group that raises
+    :class:`~repro.errors.TransientInfrastructureError` is rebuilt from
+    its seed tree and re-run after an exponentially growing delay, up to
+    ``max_attempts`` total attempts.  On exhaustion the group is
+    quarantined (``quarantine=True``, the default: the sweep completes
+    degraded with a provenance report) or the error escalates as
+    :class:`~repro.errors.TargetQuarantinedError` (``quarantine=False``,
+    fail-fast for CI).
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    quarantine: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay_s(self, retry_number: int) -> float:
+        """Backoff before retry ``retry_number`` (1-based)."""
+        return min(
+            self.max_backoff_s,
+            self.backoff_s * self.backoff_factor ** (retry_number - 1),
+        )
+
+
+@dataclass
+class Resilience:
+    """Configuration bundle for one resilient run.
+
+    One instance is threaded through
+    :func:`~repro.characterization.experiments.run_experiment` into every
+    sweep; ``health`` accumulates across the experiment's sweeps and is
+    attached to the returned
+    :class:`~repro.characterization.results.ExperimentResult`.  With
+    ``checkpoint_dir`` set, each sweep writes an atomic JSON checkpoint
+    (``<tag>-sweep<NN>.json``) as module groups complete; ``resume=True``
+    loads compatible checkpoints and skips the finished groups.
+    """
+
+    faults: Optional[FaultPlan] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+    #: Checkpoint after this many completed blocks (module groups on the
+    #: serial path, scheduler chunks on the pool path).
+    checkpoint_every: int = 1
+    tag: str = "sweep"
+    health: SweepHealth = field(default_factory=SweepHealth)
+    _sweep_counter: int = field(default=0, repr=False)
+
+    def begin_experiment(self, tag: str) -> None:
+        """Reset per-experiment state (sweep numbering and health)."""
+        self.tag = tag
+        self._sweep_counter = 0
+        self.health = SweepHealth()
+
+    def next_checkpoint_path(self) -> Optional[str]:
+        """Allocate the checkpoint path for the next sweep (or ``None``).
+
+        Sweeps within an experiment run in a fixed order, so the ordinal
+        naming is stable across runs — which is what lets a resumed
+        process find the right file again.
+        """
+        if self.checkpoint_dir is None:
+            return None
+        os.makedirs(self.checkpoint_dir, exist_ok=True)
+        path = os.path.join(
+            self.checkpoint_dir, f"{self.tag}-sweep{self._sweep_counter:02d}.json"
+        )
+        self._sweep_counter += 1
+        return path
+
+
+#: One target's results: (descriptor index, payloads) — re-exported shape
+#: from :mod:`repro.characterization.parallel`.
+TargetRecords = Tuple[int, List[tuple]]
+
+
+@dataclass
+class BlockOutcome:
+    """Result of resiliently running one block of module groups.
+
+    Picklable: this is what pool workers ship back to the scheduler.
+    """
+
+    records: List[TargetRecords] = field(default_factory=list)
+    attempts: int = 0
+    retries: int = 0
+    quarantined: List[QuarantinedTarget] = field(default_factory=list)
+
+    def merge(self, other: "BlockOutcome") -> None:
+        self.records.extend(other.records)
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.quarantined.extend(other.quarantined)
+
+
+@dataclass
+class SweepOutcome:
+    """What a resilient sweep returns: records plus health."""
+
+    records: List[TargetRecords]
+    health: SweepHealth
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+
+
+def work_fingerprint(obj: object) -> str:
+    """A process-stable token describing a work object.
+
+    ``repr`` is not usable: function objects render with memory
+    addresses.  Dataclasses fingerprint field by field, callables by
+    qualified name; a work object may override the whole token with a
+    ``fingerprint_token()`` method (used by tests that interrupt a sweep
+    with an instrumented work object, then resume with the plain one).
+    """
+    token = getattr(obj, "fingerprint_token", None)
+    if callable(token):
+        return str(token())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        parts = ", ".join(
+            f"{f.name}={work_fingerprint(getattr(obj, f.name))}"
+            for f in dataclasses.fields(obj)
+        )
+        return f"{type(obj).__module__}.{type(obj).__qualname__}({parts})"
+    if callable(obj):
+        return f"{getattr(obj, '__module__', '?')}.{getattr(obj, '__qualname__', repr(obj))}"
+    if isinstance(obj, (list, tuple)):
+        inner = ", ".join(work_fingerprint(item) for item in obj)
+        return f"[{inner}]"
+    return repr(obj)
+
+
+def sweep_fingerprint(
+    work: object,
+    scale: Scale,
+    seed: int,
+    descriptors: Sequence[TargetDescriptor],
+    faults: Optional[FaultPlan],
+) -> str:
+    """Identity of a sweep definition, for checkpoint compatibility.
+
+    Two runs share a fingerprint exactly when they would produce
+    bit-identical records for every target — same work, scale, seed,
+    descriptor enumeration, and fault plan.  Job count deliberately does
+    not participate: serial and pool execution are interchangeable, so a
+    sweep checkpointed serially may resume under ``--jobs N`` and vice
+    versa.
+    """
+    digest = hashlib.sha256()
+    digest.update(work_fingerprint(work).encode("utf-8"))
+    digest.update(repr(scale).encode("utf-8"))
+    digest.update(str(int(seed)).encode("ascii"))
+    for descriptor in descriptors:
+        digest.update(repr(dataclasses.astuple(descriptor)).encode("utf-8"))
+    digest.update(
+        faults.to_json().encode("utf-8") if faults is not None else b"no-faults"
+    )
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# checkpoint store
+# ----------------------------------------------------------------------
+
+
+def _records_to_json(records: Sequence[TargetRecords]) -> List[list]:
+    serialized = []
+    for index, payloads in records:
+        rows = []
+        for label, rates, weight in payloads:
+            values = np.asarray(rates, dtype=np.float64).reshape(-1)
+            rows.append([str(label), [float(v) for v in values], int(weight)])
+        serialized.append([int(index), rows])
+    return serialized
+
+
+def _records_from_json(serialized: Sequence[list]) -> List[TargetRecords]:
+    records: List[TargetRecords] = []
+    for index, rows in serialized:
+        payloads = [
+            (str(label), np.asarray(values, dtype=np.float64), int(weight))
+            for label, values, weight in rows
+        ]
+        records.append((int(index), payloads))
+    return records
+
+
+class CheckpointStore:
+    """Atomically-written JSON snapshot of a sweep's completed records.
+
+    The store is keyed by :func:`sweep_fingerprint`; loading a file whose
+    fingerprint differs raises
+    :class:`~repro.errors.ConfigurationError` — a resumed run must never
+    silently splice records from a different sweep definition.
+
+    Record payloads must follow the sweep-driver convention
+    ``(label, per-cell rates, weight)``; rates round-trip through JSON
+    bit-exactly.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: str, fingerprint: str):
+        self.path = path
+        self.fingerprint = fingerprint
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(
+        self,
+    ) -> Optional[Tuple[List[TargetRecords], List[QuarantinedTarget], float]]:
+        """Completed records, quarantine list, and checkpoint age.
+
+        Returns ``None`` when no checkpoint exists yet.
+        """
+        if not self.exists():
+            return None
+        age_s = max(0.0, time.time() - os.path.getmtime(self.path))
+        with open(self.path) as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"checkpoint {self.path!r} is not valid JSON ({error}); "
+                    "checkpoints are written atomically, so this file did "
+                    "not come from an interrupted run — delete it to start "
+                    "fresh"
+                ) from error
+        if payload.get("version") != self.VERSION:
+            raise ConfigurationError(
+                f"checkpoint {self.path!r} has version "
+                f"{payload.get('version')!r}, expected {self.VERSION}"
+            )
+        if payload.get("fingerprint") != self.fingerprint:
+            raise ConfigurationError(
+                f"checkpoint {self.path!r} belongs to a different sweep "
+                "definition (seed, scale, fault plan, or experiment "
+                "changed); refusing to resume from it"
+            )
+        records = _records_from_json(payload.get("records", []))
+        quarantined = [
+            QuarantinedTarget.from_dict(q) for q in payload.get("quarantined", [])
+        ]
+        return records, quarantined, age_s
+
+    def save(
+        self,
+        records: Sequence[TargetRecords],
+        quarantined: Sequence[QuarantinedTarget],
+        health: SweepHealth,
+    ) -> None:
+        payload = {
+            "version": self.VERSION,
+            "fingerprint": self.fingerprint,
+            "records": _records_to_json(
+                sorted(records, key=lambda record: record[0])
+            ),
+            "quarantined": [target.to_dict() for target in quarantined],
+            "health": health.to_dict(),
+        }
+        atomic_write_json(self.path, payload)
+
+
+# ----------------------------------------------------------------------
+# per-sweep session bookkeeping
+# ----------------------------------------------------------------------
+
+
+class SweepSession:
+    """Checkpoint/resume/health bookkeeping for one sweep execution.
+
+    Both executors drive the same session protocol: filter the module
+    groups down to the pending ones, absorb each completed
+    :class:`BlockOutcome` (checkpointing periodically), ``flush()`` on
+    interruption, and ``finalize()`` into a :class:`SweepOutcome` whose
+    records sit in canonical descriptor order.
+    """
+
+    def __init__(
+        self,
+        resilience: Optional[Resilience],
+        work: object,
+        scale: Scale,
+        seed: int,
+        descriptors: Sequence[TargetDescriptor],
+    ):
+        self.resilience = resilience if resilience is not None else Resilience()
+        self.faults = self.resilience.faults
+        self.retry = self.resilience.retry
+        self.health = SweepHealth(total_targets=len(descriptors))
+        self.records: List[TargetRecords] = []
+        self.quarantined: List[QuarantinedTarget] = []
+        self._done: Set[int] = set()
+        self._since_checkpoint = 0
+        self.store: Optional[CheckpointStore] = None
+        path = self.resilience.next_checkpoint_path()
+        if path is not None:
+            self.store = CheckpointStore(
+                path,
+                sweep_fingerprint(work, scale, seed, descriptors, self.faults),
+            )
+            if self.resilience.resume:
+                loaded = self.store.load()
+                if loaded is not None:
+                    self.records, self.quarantined, age_s = loaded
+                    self._done = {index for index, _ in self.records}
+                    self._done.update(q.index for q in self.quarantined)
+                    self.health.resumed_targets = len(self._done)
+                    self.health.checkpoint_age_s = age_s
+
+    def pending_groups(
+        self, groups: Sequence[List[TargetDescriptor]]
+    ) -> List[List[TargetDescriptor]]:
+        """Module groups not yet covered by the loaded checkpoint.
+
+        A group reruns whole if *any* of its targets is missing — module
+        groups are the unit of bit-reproducibility, and ``absorb_block``
+        deduplicates the overlap.
+        """
+        return [
+            group
+            for group in groups
+            if any(d.index not in self._done for d in group)
+        ]
+
+    def absorb_block(self, outcome: BlockOutcome) -> None:
+        """Fold one completed block into records, health, and checkpoint."""
+        self.health.attempts += outcome.attempts
+        self.health.retries += outcome.retries
+        for record in outcome.records:
+            if record[0] not in self._done:
+                self._done.add(record[0])
+                self.records.append(record)
+        for target in outcome.quarantined:
+            if target.index not in self._done:
+                self._done.add(target.index)
+                self.quarantined.append(target)
+        self._since_checkpoint += 1
+        if (
+            self.store is not None
+            and self._since_checkpoint >= self.resilience.checkpoint_every
+        ):
+            self.flush()
+
+    def note_worker_restart(self) -> None:
+        self.health.worker_restarts += 1
+
+    def flush(self) -> None:
+        """Write the checkpoint now (atomic; safe to call at any time)."""
+        if self.store is None:
+            return
+        self.store.save(self.records, self.quarantined, self.health)
+        self.health.checkpoints_written += 1
+        self._since_checkpoint = 0
+
+    def finalize(self) -> SweepOutcome:
+        """Sort records canonically, final-flush, and fold health upward."""
+        self.records.sort(key=lambda record: record[0])
+        self.quarantined.sort(key=lambda target: target.index)
+        self.health.completed_targets = len(self.records)
+        self.health.quarantined = self.quarantined
+        if self.store is not None:
+            self.flush()
+        self.resilience.health.merge(self.health)
+        return SweepOutcome(records=self.records, health=self.health)
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing shared by the figure CLI and the analysis report
+# ----------------------------------------------------------------------
+
+
+def add_resilience_arguments(parser) -> None:
+    """Install the ``--faults/--checkpoint-dir/--resume/--max-attempts``
+    flags on an :mod:`argparse` parser."""
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--faults",
+        metavar="PATH",
+        help="JSON fault plan to inject (see repro.faults.FaultPlan)",
+    )
+    group.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write an atomic JSON checkpoint per sweep into DIR as "
+        "module groups complete",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from compatible checkpoints in --checkpoint-dir, "
+        "skipping already-completed module groups",
+    )
+    group.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry budget per module group for transient failures "
+        f"(default {RetryPolicy.max_attempts})",
+    )
+
+
+def resilience_from_args(args) -> Optional[Resilience]:
+    """Build a :class:`Resilience` from parsed CLI args, or ``None``.
+
+    Returns ``None`` when no resilience flag was used, keeping the
+    default CLI path byte-for-byte identical to the pre-resilience one.
+    Raises :class:`~repro.errors.ConfigurationError` for ``--resume``
+    without ``--checkpoint-dir``.
+    """
+    if args.resume and not args.checkpoint_dir:
+        raise ConfigurationError("--resume requires --checkpoint-dir")
+    if (
+        args.faults is None
+        and args.checkpoint_dir is None
+        and args.max_attempts is None
+    ):
+        return None
+    retry = (
+        RetryPolicy()
+        if args.max_attempts is None
+        else RetryPolicy(max_attempts=args.max_attempts)
+    )
+    return Resilience(
+        faults=FaultPlan.load(args.faults) if args.faults else None,
+        retry=retry,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )

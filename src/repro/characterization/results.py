@@ -4,6 +4,11 @@ Every table/figure reproduction returns an :class:`ExperimentResult`:
 an ordered mapping from group label (the paper figure's x-axis value,
 e.g. ``"8:16"`` or ``"AND n=4 @70C"``) to :class:`BoxStats`, plus
 free-form extras (heatmap grids, raw tables) and human-readable notes.
+
+Resilient sweeps additionally attach a :class:`SweepHealth`: how many
+attempts and retries the sweep needed, which targets were quarantined
+(and why), and what was resumed from a checkpoint — the structured
+degradation report that makes a partial result trustworthy.
 """
 
 from __future__ import annotations
@@ -13,7 +18,147 @@ from typing import Dict, List, Optional
 
 from .metrics import BoxStats
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ExperimentResult", "QuarantinedTarget", "SweepHealth"]
+
+
+@dataclass(frozen=True)
+class QuarantinedTarget:
+    """One sweep target excluded after exhausting its retry budget.
+
+    ``collateral`` marks targets that were healthy themselves but share
+    a module instance with a quarantined target: per-bank trial-noise
+    generators advance as measurements run, so a module group is only
+    bit-reproducible when processed whole — a bad target therefore takes
+    its module-mates out of the sweep with it, and the report says so.
+    """
+
+    index: int
+    label: str
+    reason: str
+    attempts: int
+    collateral: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "collateral": self.collateral,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "QuarantinedTarget":
+        return cls(
+            index=int(payload["index"]),
+            label=str(payload["label"]),
+            reason=str(payload["reason"]),
+            attempts=int(payload["attempts"]),
+            collateral=bool(payload.get("collateral", False)),
+        )
+
+
+@dataclass
+class SweepHealth:
+    """Per-sweep reliability metrics (accumulates across an experiment).
+
+    ``attempts`` counts module-group executions including retries;
+    ``retries`` counts only the re-executions.  ``resumed_targets`` is
+    how many targets were loaded from a checkpoint instead of measured,
+    and ``checkpoint_age_s`` the age of that checkpoint at load time.
+    """
+
+    total_targets: int = 0
+    completed_targets: int = 0
+    attempts: int = 0
+    retries: int = 0
+    resumed_targets: int = 0
+    checkpoints_written: int = 0
+    worker_restarts: int = 0
+    checkpoint_age_s: Optional[float] = None
+    quarantined: List[QuarantinedTarget] = field(default_factory=list)
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self.quarantined)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the sweep completed with less than the full fleet."""
+        return bool(self.quarantined)
+
+    def merge(self, other: "SweepHealth") -> None:
+        """Fold another sweep's health into this one."""
+        self.total_targets += other.total_targets
+        self.completed_targets += other.completed_targets
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.resumed_targets += other.resumed_targets
+        self.checkpoints_written += other.checkpoints_written
+        self.worker_restarts += other.worker_restarts
+        if other.checkpoint_age_s is not None:
+            self.checkpoint_age_s = max(
+                self.checkpoint_age_s or 0.0, other.checkpoint_age_s
+            )
+        self.quarantined.extend(other.quarantined)
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable degradation report."""
+        lines = [
+            f"targets: {self.completed_targets}/{self.total_targets} completed"
+            + (f", {self.resumed_targets} resumed from checkpoint"
+               if self.resumed_targets else "")
+            + (f", {self.quarantined_count} quarantined"
+               if self.quarantined else ""),
+            f"attempts: {self.attempts} ({self.retries} retries"
+            + (f", {self.worker_restarts} worker restarts"
+               if self.worker_restarts else "")
+            + ")",
+        ]
+        if self.checkpoints_written or self.checkpoint_age_s is not None:
+            age = (
+                f", resumed checkpoint was {self.checkpoint_age_s:.1f}s old"
+                if self.checkpoint_age_s is not None
+                else ""
+            )
+            lines.append(f"checkpoints written: {self.checkpoints_written}{age}")
+        for target in self.quarantined:
+            lines.append(
+                f"quarantined {target.label} after {target.attempts} "
+                f"attempt(s): {target.reason}"
+            )
+        return lines
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "total_targets": self.total_targets,
+            "completed_targets": self.completed_targets,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "resumed_targets": self.resumed_targets,
+            "checkpoints_written": self.checkpoints_written,
+            "worker_restarts": self.worker_restarts,
+            "checkpoint_age_s": self.checkpoint_age_s,
+            "quarantined": [target.to_dict() for target in self.quarantined],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SweepHealth":
+        health = cls(
+            total_targets=int(payload.get("total_targets", 0)),
+            completed_targets=int(payload.get("completed_targets", 0)),
+            attempts=int(payload.get("attempts", 0)),
+            retries=int(payload.get("retries", 0)),
+            resumed_targets=int(payload.get("resumed_targets", 0)),
+            checkpoints_written=int(payload.get("checkpoints_written", 0)),
+            worker_restarts=int(payload.get("worker_restarts", 0)),
+        )
+        if payload.get("checkpoint_age_s") is not None:
+            health.checkpoint_age_s = float(payload["checkpoint_age_s"])
+        health.quarantined = [
+            QuarantinedTarget.from_dict(q) for q in payload.get("quarantined", [])
+        ]
+        return health
 
 
 @dataclass
@@ -25,6 +170,9 @@ class ExperimentResult:
     groups: "Dict[str, BoxStats]" = field(default_factory=dict)
     extras: Dict[str, object] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: Reliability metrics, attached when the run used a
+    #: :class:`~repro.characterization.resilience.Resilience` config.
+    health: Optional[SweepHealth] = None
 
     def add_group(self, label: str, stats: BoxStats) -> None:
         self.groups[label] = stats
@@ -44,6 +192,14 @@ class ExperimentResult:
                 lines.append(f"  {label:<{width}}  {stats.format_percent()}")
         for note in self.notes:
             lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def format_health(self) -> str:
+        """Render the degradation report, or ``""`` when none attached."""
+        if self.health is None:
+            return ""
+        lines = [f"== {self.experiment_id}: sweep health =="]
+        lines.extend(f"  {line}" for line in self.health.summary_lines())
         return "\n".join(lines)
 
     def format_heatmap(

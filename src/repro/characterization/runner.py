@@ -178,6 +178,18 @@ class TargetDescriptor:
         """
         return (self.spec_name, self.module_index)
 
+    def describe(self) -> str:
+        """Stable human-readable label, usable before materialization.
+
+        This is the label fault plans match ``broken_targets`` /
+        ``flaky_targets`` substrings against, and the one quarantine
+        reports cite.
+        """
+        return (
+            f"{self.spec_name}[{self.module_index}] "
+            f"bank{self.bank} pair{self.subarray_pair}"
+        )
+
 
 def iter_descriptors(
     scale: Scale,
@@ -222,6 +234,8 @@ def materialize_targets(
     descriptors: Sequence[TargetDescriptor],
     scale: Scale,
     seed: int = 0,
+    faults=None,
+    attempt: int = 0,
 ) -> Iterator[SweepTarget]:
     """Reconstruct live :class:`SweepTarget` objects from descriptors.
 
@@ -231,6 +245,12 @@ def materialize_targets(
     iterator advances past its last descriptor.  Because every random
     stream hangs off ``SeedTree(seed)`` by label path, the reconstructed
     module is bit-identical no matter which process builds it.
+
+    ``faults`` (a :class:`~repro.faults.FaultPlan`) attaches a
+    fault injector to each module's testing infrastructure, scoped by
+    module key and retry ``attempt``.  Fault scheduling hashes its own
+    seed namespace, so a ``None`` plan and an all-zero plan build
+    bit-identical fleets.
     """
     specs = spec_by_name(scale)
     tree = SeedTree(seed)
@@ -250,7 +270,14 @@ def materialize_targets(
             seed_tree=tree,
             chip_count=descriptor.chip_count,
         )
-        infra = TestingInfrastructure(module)
+        injector = None
+        if faults is not None and faults.bench_active:
+            injector = faults.injector(
+                descriptor.spec_name,
+                f"module-{descriptor.module_index}",
+                attempt=attempt,
+            )
+        infra = TestingInfrastructure(module, fault_injector=injector)
         try:
             while (
                 position < len(pending)

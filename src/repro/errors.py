@@ -51,6 +51,28 @@ class ThermalError(ReproError):
     """The temperature controller cannot reach or hold a target."""
 
 
+class TransientInfrastructureError(ReproError):
+    """A transient infrastructure failure interrupted an experiment.
+
+    Models what the real bench occasionally does to a long campaign: a
+    host/FPGA command timeout, a stalled link, a thermal-controller
+    setpoint dropout.  By definition the failure is *retryable* — the
+    resilient sweep machinery rebuilds the affected module group from
+    its seed tree and re-runs it, so a retried run stays bit-identical
+    to an uninterrupted one.
+    """
+
+
+class TargetQuarantinedError(ReproError):
+    """A sweep target exhausted its retry budget.
+
+    Raised only when the active :class:`~repro.characterization.resilience.RetryPolicy`
+    forbids graceful degradation (``quarantine=False``); with the default
+    policy the target is quarantined instead and the sweep completes with
+    partial results plus a structured degradation report.
+    """
+
+
 class ReverseEngineeringError(ReproError):
     """A reverse-engineering pass could not reach a conclusion.
 

@@ -1,0 +1,381 @@
+"""Deterministic seed-driven fault injection for the testing bench.
+
+The paper's characterization campaign runs for days on real hardware,
+where the infrastructure — not the DRAM — is the least reliable part:
+host/FPGA links stall, the thermal controller overshoots or drops its
+setpoint, individual chips turn out flaky or dead, and worker machines
+die mid-sweep.  The simulated bench reproduces those failure modes so
+the sweep machinery's retry/quarantine/resume behavior can be exercised
+and regression-tested.
+
+Two design rules keep fault injection compatible with the library's
+bit-identity guarantees:
+
+* **Faults are scheduled by hash, never by simulator RNG.**  Every
+  injection decision is a :func:`repro.rng.derive_seed` hash of the
+  fault seed, the injection site, the module scope, an occurrence
+  counter, and the retry attempt.  Enabling a fault plan therefore
+  never perturbs any simulation random stream, and the same plan always
+  produces the same fault sequence (``same seed tree -> identical
+  fault schedule``).
+* **Abort-style faults carry the attempt number.**  A transient fault
+  that fired on attempt ``k`` hashes differently on attempt ``k+1``, so
+  retries converge; the retried module group is rebuilt from its seed
+  tree, making the eventual successful attempt bit-identical to a run
+  that never faulted.  (Data-corruption faults — stuck/flaky cells — are
+  deliberately *not* attempt-dependent: a stuck cell is physical and
+  survives a retry.  Enabling them intentionally changes measurement
+  results.)
+
+A :class:`FaultPlan` is a declarative, picklable, JSON-round-trippable
+description of what to inject; a :class:`FaultInjector` is the per-module
+stateful view threaded through :class:`~repro.bender.host.DramBenderHost`,
+:class:`~repro.bender.executor.ProgramExecutor`, and
+:class:`~repro.bender.thermal.TemperatureController`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .atomicio import atomic_write_text
+from .errors import ConfigurationError, TransientInfrastructureError
+from .rng import derive_seed
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultEvent"]
+
+_RATE_FIELDS = (
+    "host_timeout_rate",
+    "thermal_overshoot_rate",
+    "thermal_dropout_rate",
+    "stuck_row_rate",
+    "flaky_read_rate",
+    "worker_death_rate",
+)
+
+
+def _uniform(seed: int, *path: str) -> float:
+    """A deterministic uniform [0, 1) draw for a label path."""
+    return derive_seed(seed, *path) / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence (for logs, tests, and provenance)."""
+
+    site: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of the infrastructure faults to inject.
+
+    All rates are probabilities in ``[0, 1]`` evaluated at deterministic
+    hash sites; everything defaults to *off*, so ``FaultPlan()`` is a
+    no-op plan.
+
+    Transient (abort-style, retryable) faults:
+
+    * ``host_timeout_rate`` — per executed test program, the host/FPGA
+      command path times out (:class:`TransientInfrastructureError`).
+    * ``thermal_dropout_rate`` — per temperature setpoint, the
+      controller loses its setpoint mid-settle; the settle loop times
+      out and surfaces a :class:`TransientInfrastructureError`.
+    * ``thermal_overshoot_rate`` / ``thermal_overshoot_c`` — per
+      setpoint, the heater feed-forward overshoots by
+      ``thermal_overshoot_c`` degrees before the controller corrects;
+      observable in the event log, harmless to results (the plateau
+      still snaps to the target).
+    * ``flaky_targets`` / ``flaky_target_attempts`` — targets whose
+      descriptor label contains one of the substrings fail their first
+      ``flaky_target_attempts`` attempts, then recover (deterministic
+      retry-path coverage).
+
+    Permanent faults:
+
+    * ``broken_targets`` — targets whose descriptor label contains one
+      of the substrings fail on *every* attempt; the sweep quarantines
+      them (and their module-mates) and completes degraded.
+    * ``stuck_row_rate`` — per (bank, row), one column is stuck at a
+      fixed value on every read.  Persists across retries and resumes.
+
+    Silent data corruption (never raises, intentionally perturbs
+    measurements):
+
+    * ``flaky_read_rate`` — per RD/backdoor read, one hashed column of
+      the returned data flips.
+
+    Pool-executor faults:
+
+    * ``worker_death_rate`` — per (chunk, attempt), the worker process
+      hosting the chunk dies abruptly (``os._exit``), breaking the
+      process pool; the scheduler rebuilds the pool and resubmits.
+    * ``kill_chunk_indices`` — deterministic variant: kill the worker
+      of the chunk whose first descriptor index matches, on its first
+      attempt only.
+    """
+
+    seed: int = 0
+    host_timeout_rate: float = 0.0
+    thermal_overshoot_rate: float = 0.0
+    thermal_overshoot_c: float = 8.0
+    thermal_dropout_rate: float = 0.0
+    stuck_row_rate: float = 0.0
+    flaky_read_rate: float = 0.0
+    worker_death_rate: float = 0.0
+    kill_chunk_indices: Tuple[int, ...] = ()
+    broken_targets: Tuple[str, ...] = ()
+    flaky_targets: Tuple[str, ...] = ()
+    flaky_target_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        if self.thermal_overshoot_c < 0:
+            raise ConfigurationError(
+                f"thermal_overshoot_c must be >= 0, got {self.thermal_overshoot_c}"
+            )
+        if self.flaky_target_attempts < 0:
+            raise ConfigurationError(
+                "flaky_target_attempts must be >= 0, got "
+                f"{self.flaky_target_attempts}"
+            )
+        # JSON round-trips deliver lists; normalize to hashable tuples.
+        object.__setattr__(
+            self, "kill_chunk_indices", tuple(int(i) for i in self.kill_chunk_indices)
+        )
+        object.__setattr__(self, "broken_targets", tuple(self.broken_targets))
+        object.__setattr__(self, "flaky_targets", tuple(self.flaky_targets))
+
+    # -- activity queries --------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return (
+            any(getattr(self, name) > 0 for name in _RATE_FIELDS)
+            or bool(self.kill_chunk_indices)
+            or bool(self.broken_targets)
+            or bool(self.flaky_targets)
+        )
+
+    @property
+    def bench_active(self) -> bool:
+        """Whether any fault site lives inside the bench (host/thermal)."""
+        return (
+            self.host_timeout_rate > 0
+            or self.thermal_overshoot_rate > 0
+            or self.thermal_dropout_rate > 0
+            or self.stuck_row_rate > 0
+            or self.flaky_read_rate > 0
+        )
+
+    # -- scheduling decisions outside the bench ----------------------------
+
+    def target_fault(self, label: str, attempt: int) -> Optional[str]:
+        """Why target ``label`` fails on this ``attempt``, or ``None``.
+
+        ``label`` is the descriptor label
+        (:meth:`~repro.characterization.runner.TargetDescriptor.describe`);
+        plan entries are matched as substrings.
+        """
+        for pattern in self.broken_targets:
+            if pattern in label:
+                return f"permanently broken target (matches {pattern!r})"
+        if attempt < self.flaky_target_attempts:
+            for pattern in self.flaky_targets:
+                if pattern in label:
+                    return (
+                        f"transient target flake, attempt "
+                        f"{attempt + 1}/{self.flaky_target_attempts} "
+                        f"(matches {pattern!r})"
+                    )
+        return None
+
+    def worker_death_due(self, chunk_index: int, chunk_attempt: int) -> bool:
+        """Whether the worker picking up this chunk should die."""
+        if chunk_index in self.kill_chunk_indices and chunk_attempt == 0:
+            return True
+        if self.worker_death_rate > 0:
+            roll = _uniform(
+                self.seed,
+                "worker-death",
+                f"chunk-{chunk_index}",
+                f"attempt-{chunk_attempt}",
+            )
+            return roll < self.worker_death_rate
+        return False
+
+    # -- injector construction ---------------------------------------------
+
+    def injector(self, *scope: str, attempt: int = 0) -> "FaultInjector":
+        """A stateful injector for one module scope and retry attempt."""
+        return FaultInjector(self, scope=scope, attempt=attempt)
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = dataclasses.asdict(self)
+        payload["kill_chunk_indices"] = list(self.kill_chunk_indices)
+        payload["broken_targets"] = list(self.broken_targets)
+        payload["flaky_targets"] = list(self.flaky_targets)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(f"unknown FaultPlan fields: {unknown}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        atomic_write_text(path, self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(
+                    f"fault plan {path!r} is not valid JSON: {error}"
+                ) from error
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault plan {path!r} must be a JSON object"
+            )
+        return cls.from_dict(payload)
+
+
+class FaultInjector:
+    """Stateful per-module view of a :class:`FaultPlan`.
+
+    One injector is created per (module instance, retry attempt) by
+    :func:`repro.characterization.runner.materialize_targets` and shared
+    by that module's host, executor, and temperature controller.  All
+    decisions hash ``(plan seed, site, scope, occurrence, attempt)``, so
+    the fault sequence is a pure function of the plan and the — itself
+    deterministic — sequence of bench calls, regardless of which process
+    executes them.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, scope: Tuple[str, ...] = (), attempt: int = 0
+    ):
+        self.plan = plan
+        self.scope = tuple(scope)
+        self.attempt = attempt
+        self.events: List[FaultEvent] = []
+        self._occurrences: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+
+    # -- internals ---------------------------------------------------------
+
+    def _roll(self, site: str, *labels: str) -> float:
+        """An occurrence-counted, attempt-scoped uniform draw for a site."""
+        key = (site, labels)
+        occurrence = self._occurrences.get(key, 0)
+        self._occurrences[key] = occurrence + 1
+        return _uniform(
+            self.plan.seed,
+            site,
+            *self.scope,
+            *labels,
+            f"occurrence-{occurrence}",
+            f"attempt-{self.attempt}",
+        )
+
+    def _record(self, site: str, detail: str) -> None:
+        self.events.append(FaultEvent(site=site, detail=detail))
+
+    def count(self, site: str) -> int:
+        """How many events of ``site`` have fired so far."""
+        return sum(1 for event in self.events if event.site == site)
+
+    # -- host / executor sites ---------------------------------------------
+
+    def on_program(self, program_name: str) -> None:
+        """Called before each test-program execution; may time out."""
+        if self.plan.host_timeout_rate <= 0:
+            return
+        if self._roll("host-timeout") < self.plan.host_timeout_rate:
+            detail = f"program {program_name or '<anonymous>'} on {'/'.join(self.scope)}"
+            self._record("host-timeout", detail)
+            raise TransientInfrastructureError(
+                f"injected host command timeout: {detail}"
+            )
+
+    def filter_read(self, bank: int, row: int, bits: np.ndarray) -> np.ndarray:
+        """Apply stuck-at and flaky-cell corruption to read data."""
+        plan = self.plan
+        if plan.stuck_row_rate <= 0 and plan.flaky_read_rate <= 0:
+            return bits
+        corrupted = None
+        if plan.stuck_row_rate > 0:
+            # A stuck cell is physical: the decision hashes only the
+            # plan seed, module scope, and (bank, row) — never the
+            # occurrence counter or retry attempt — so it survives
+            # rebuilds, retries, and resumes.
+            site = ("stuck-cell", *self.scope, f"bank-{bank}", f"row-{row}")
+            if _uniform(plan.seed, *site) < plan.stuck_row_rate:
+                column = derive_seed(plan.seed, *site, "column") % bits.size
+                value = derive_seed(plan.seed, *site, "value") & 1
+                if bits[column] != value:
+                    corrupted = bits.copy()
+                    corrupted[column] = value
+                    self._record(
+                        "stuck-cell", f"bank{bank} row{row} col{column}={value}"
+                    )
+        if plan.flaky_read_rate > 0:
+            labels = (f"bank-{bank}", f"row-{row}")
+            occurrence = self._occurrences.get(("flaky-read", labels), 0)
+            if self._roll("flaky-read", *labels) < plan.flaky_read_rate:
+                if corrupted is None:
+                    corrupted = bits.copy()
+                column = derive_seed(
+                    plan.seed,
+                    "flaky-read-column",
+                    *self.scope,
+                    *labels,
+                    f"occurrence-{occurrence}",
+                ) % bits.size
+                corrupted[column] ^= 1
+                self._record("flaky-read", f"bank{bank} row{row} col{column}")
+        return bits if corrupted is None else corrupted
+
+    # -- thermal sites -----------------------------------------------------
+
+    def on_thermal_set(self, target_c: float) -> Optional[str]:
+        """Disturbance for this setpoint: ``"dropout"``, ``"overshoot"``,
+        or ``None``.  Dropout wins when both fire."""
+        label = f"target-{target_c:g}"
+        disturbance = None
+        if self.plan.thermal_dropout_rate > 0 and self._roll(
+            "thermal-dropout", label
+        ) < self.plan.thermal_dropout_rate:
+            disturbance = "dropout"
+            self._record("thermal-dropout", f"setpoint {target_c:g}degC")
+        if self.plan.thermal_overshoot_rate > 0 and self._roll(
+            "thermal-overshoot", label
+        ) < self.plan.thermal_overshoot_rate:
+            if disturbance is None:
+                disturbance = "overshoot"
+                self._record(
+                    "thermal-overshoot",
+                    f"setpoint {target_c:g}degC "
+                    f"+{self.plan.thermal_overshoot_c:g}degC",
+                )
+        return disturbance

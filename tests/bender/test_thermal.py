@@ -7,7 +7,8 @@ import pytest
 from repro import SeedTree, sk_hynix_chip
 from repro.bender.thermal import TemperatureController, ThermalPlant
 from repro.dram.module import Module
-from repro.errors import ThermalError
+from repro.errors import ThermalError, TransientInfrastructureError
+from repro.faults import FaultPlan
 
 
 class TestThermalPlant:
@@ -70,3 +71,76 @@ class TestController:
         assert infra.temperature_c == 70.0
         assert infra.module.temperature_c == 70.0
         assert infra.host.module is infra.module
+
+
+class TestControllerGuards:
+    def _module(self, small_geometry):
+        return Module(
+            sk_hynix_chip().with_geometry(small_geometry),
+            chip_count=1,
+            seed_tree=SeedTree(0),
+        )
+
+    def test_wall_clock_budget_raises_thermal_error(self, small_geometry):
+        # A zero wall-clock budget trips on the first loop iteration even
+        # though the setpoint itself is perfectly reachable.
+        controller = TemperatureController(
+            self._module(small_geometry), wall_timeout_s=0.0
+        )
+        with pytest.raises(ThermalError, match="wall-clock"):
+            controller.set_target(95.0)
+
+    def test_wall_clock_guard_can_be_disabled(self, small_geometry):
+        controller = TemperatureController(
+            self._module(small_geometry), wall_timeout_s=None
+        )
+        controller.set_target(95.0)
+        assert controller.temperature_c == 95.0
+
+    def test_injected_dropout_is_transient_error(self, small_geometry):
+        # Keep the simulated timeout small so the test stays fast; the
+        # dropout must surface as a retryable TransientInfrastructureError,
+        # not a ThermalError.
+        plan = FaultPlan(seed=0, thermal_dropout_rate=1.0)
+        controller = TemperatureController(
+            self._module(small_geometry),
+            timeout_s=60.0,
+            fault_injector=plan.injector("spec", "module-0"),
+        )
+        with pytest.raises(TransientInfrastructureError, match="dropout"):
+            controller.set_target(95.0)
+
+    def test_natural_unreachable_setpoint_stays_thermal_error(
+        self, small_geometry
+    ):
+        # Same timeout, no fault plan: a plant that cannot reach the
+        # target is a configuration/physics problem, not retryable.
+        plant = ThermalPlant(tau_s=1e9)  # effectively frozen
+        controller = TemperatureController(
+            self._module(small_geometry), plant=plant, timeout_s=60.0
+        )
+        with pytest.raises(ThermalError, match="failed to settle"):
+            controller.set_target(95.0)
+
+    def test_injected_overshoot_settles_and_logs(self, small_geometry):
+        plan = FaultPlan(seed=0, thermal_overshoot_rate=1.0)
+        injector = plan.injector("spec", "module-0")
+        module = self._module(small_geometry)
+        controller = TemperatureController(module, fault_injector=injector)
+        controller.set_target(80.0)
+        # The plateau still snaps to the target; the event is logged.
+        assert module.temperature_c == 80.0
+        assert injector.count("thermal-overshoot") == 1
+
+    def test_dropout_schedule_is_per_setpoint_deterministic(
+        self, small_geometry
+    ):
+        plan = FaultPlan(seed=5, thermal_dropout_rate=0.5)
+
+        def schedule():
+            injector = plan.injector("spec", "module-0")
+            return [injector.on_thermal_set(t) for t in (50.0, 70.0, 90.0, 50.0)]
+
+        first = schedule()
+        assert first == schedule()
+        assert "dropout" in first  # at 50% over 4 draws, seed 5 fires

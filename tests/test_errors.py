@@ -9,8 +9,10 @@ from repro.errors import (
     ProgramError,
     ReproError,
     ReverseEngineeringError,
+    TargetQuarantinedError,
     ThermalError,
     TimingViolationError,
+    TransientInfrastructureError,
     UnsupportedOperationError,
 )
 
@@ -24,8 +26,10 @@ class TestHierarchy:
             ConfigurationError,
             ProgramError,
             ReverseEngineeringError,
+            TargetQuarantinedError,
             ThermalError,
             TimingViolationError,
+            TransientInfrastructureError,
             UnsupportedOperationError,
         ],
     )

@@ -1,0 +1,207 @@
+"""Tests for the deterministic fault injector (`repro.faults`).
+
+The load-bearing property is determinism: a fault plan is a pure
+function from (seed, injection site, scope, occurrence, attempt) to
+decisions, so the same plan always produces the same fault schedule —
+and an all-zero plan is indistinguishable from no plan at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TransientInfrastructureError
+from repro.faults import FaultInjector, FaultPlan
+
+
+class TestFaultPlanValidation:
+    def test_default_plan_is_inactive(self):
+        plan = FaultPlan()
+        assert not plan.active
+        assert not plan.bench_active
+
+    @pytest.mark.parametrize(
+        "field", ["host_timeout_rate", "thermal_dropout_rate", "stuck_row_rate"]
+    )
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: bad})
+
+    def test_negative_overshoot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(thermal_overshoot_c=-1.0)
+
+    def test_lists_coerced_to_tuples(self):
+        plan = FaultPlan(broken_targets=["a"], kill_chunk_indices=[3])
+        assert plan.broken_targets == ("a",)
+        assert plan.kill_chunk_indices == (3,)
+
+    def test_broken_targets_make_plan_active_but_not_bench_active(self):
+        plan = FaultPlan(broken_targets=("x",))
+        assert plan.active
+        assert not plan.bench_active
+
+
+class TestFaultPlanSerialization:
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            seed=7,
+            host_timeout_rate=0.01,
+            thermal_dropout_rate=0.2,
+            broken_targets=("hynix", "samsung"),
+            kill_chunk_indices=(0, 4),
+            flaky_targets=("elpida",),
+            flaky_target_attempts=2,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_load_rejects_unknown_fields(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text('{"seed": 0, "flux_capacitor_rate": 1.0}')
+        with pytest.raises(ConfigurationError, match="unknown"):
+            FaultPlan.load(str(path))
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultPlan.load(str(path))
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            FaultPlan.load(str(path))
+
+
+def _drive(injector: FaultInjector, programs: int = 200) -> list:
+    """Run a fixed call sequence against an injector, collecting faults."""
+    fired = []
+    for i in range(programs):
+        try:
+            injector.on_program(f"prog-{i}")
+        except TransientInfrastructureError:
+            fired.append(i)
+    return fired
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_same_schedule(self):
+        plan = FaultPlan(seed=11, host_timeout_rate=0.05)
+        a = _drive(plan.injector("spec", "module-0"))
+        b = _drive(plan.injector("spec", "module-0"))
+        assert a == b
+        assert a  # 200 programs at 5% should fire at least once
+
+    def test_different_seed_different_schedule(self):
+        a = _drive(FaultPlan(seed=1, host_timeout_rate=0.05).injector("m"))
+        b = _drive(FaultPlan(seed=2, host_timeout_rate=0.05).injector("m"))
+        assert a != b
+
+    def test_different_scope_different_schedule(self):
+        plan = FaultPlan(seed=11, host_timeout_rate=0.05)
+        a = _drive(plan.injector("spec", "module-0"))
+        b = _drive(plan.injector("spec", "module-1"))
+        assert a != b
+
+    def test_retry_attempt_reshuffles_transient_faults(self):
+        # An abort-style fault from attempt 0 must not recur at the same
+        # occurrence on attempt 1 with probability 1 — the attempt is
+        # part of the hash, which is what makes retries converge.
+        plan = FaultPlan(seed=11, host_timeout_rate=0.05)
+        a = _drive(plan.injector("m", attempt=0))
+        b = _drive(plan.injector("m", attempt=1))
+        assert a != b
+
+    def test_events_logged(self):
+        plan = FaultPlan(seed=11, host_timeout_rate=1.0)
+        injector = plan.injector("m")
+        with pytest.raises(TransientInfrastructureError):
+            injector.on_program("boom")
+        assert injector.count("host-timeout") == 1
+        assert "boom" in injector.events[0].detail
+
+
+class TestCellFaults:
+    def _bits(self, size=64):
+        return np.zeros(size, dtype=np.uint8)
+
+    def test_stuck_cell_is_attempt_and_occurrence_independent(self):
+        # A stuck cell is physical: every injector for the same module
+        # scope sees the same corruption, on every read, every attempt.
+        # Drive both all-zeros and all-ones backgrounds — a cell stuck
+        # at v is only visible against the ~v background.
+        plan = FaultPlan(seed=3, stuck_row_rate=1.0)
+        zeros, ones = self._bits(), self._bits() + 1
+        reads = []
+        for attempt in (0, 1, 5):
+            injector = plan.injector("spec", "module-0", attempt=attempt)
+            for _ in range(3):
+                reads.append(
+                    (injector.filter_read(0, 7, zeros),
+                     injector.filter_read(0, 7, ones))
+                )
+        z0, o0 = reads[0]
+        assert (z0 != zeros).any() or (o0 != ones).any()  # visible somewhere
+        for z, o in reads[1:]:
+            assert np.array_equal(z0, z) and np.array_equal(o0, o)
+
+    def test_stuck_cell_forces_one_column_to_fixed_value(self):
+        plan = FaultPlan(seed=3, stuck_row_rate=1.0)
+        injector = plan.injector("spec", "module-0")
+        z = injector.filter_read(0, 7, self._bits())
+        o = injector.filter_read(0, 7, self._bits() + 1)
+        # Exactly one column disagrees with its background across the
+        # two reads, and it holds the same value in both.
+        diff_z = np.flatnonzero(z != 0)
+        diff_o = np.flatnonzero(o != 1)
+        assert len(diff_z) + len(diff_o) == 1
+        column = int((list(diff_z) + list(diff_o))[0])
+        assert z[column] == o[column]
+
+    def test_flaky_read_advances_with_occurrence(self):
+        # Unlike a stuck cell, a flaky read redraws per occurrence: over
+        # many reads of the same row some must corrupt and some must not.
+        plan = FaultPlan(seed=3, flaky_read_rate=0.3)
+        injector = plan.injector("spec", "module-0")
+        outcomes = {
+            bool((injector.filter_read(0, 7, self._bits()) != 0).any())
+            for _ in range(50)
+        }
+        assert outcomes == {True, False}
+
+    def test_inactive_plan_returns_input_unchanged(self):
+        plan = FaultPlan()
+        injector = plan.injector("m")
+        bits = self._bits()
+        assert injector.filter_read(0, 0, bits) is bits
+
+
+class TestTargetMatching:
+    def test_broken_target_fails_every_attempt(self):
+        plan = FaultPlan(broken_targets=("hynix-4gb",))
+        label = "hynix-4gb-m-x8-2666[0] bank0 pair(0, 1)"
+        for attempt in range(5):
+            assert plan.target_fault(label, attempt) is not None
+        assert plan.target_fault("samsung-8gb[0] bank0 pair(0, 1)", 0) is None
+
+    def test_flaky_target_recovers_after_n_attempts(self):
+        plan = FaultPlan(flaky_targets=("samsung",), flaky_target_attempts=2)
+        label = "samsung-8gb-b-x8-2133[0] bank0 pair(0, 1)"
+        assert plan.target_fault(label, 0) is not None
+        assert plan.target_fault(label, 1) is not None
+        assert plan.target_fault(label, 2) is None
+
+    def test_worker_death_kill_list_first_attempt_only(self):
+        plan = FaultPlan(kill_chunk_indices=(4,))
+        assert plan.worker_death_due(4, 0)
+        assert not plan.worker_death_due(4, 1)
+        assert not plan.worker_death_due(0, 0)
+
+    def test_worker_death_rate_is_deterministic(self):
+        plan = FaultPlan(seed=9, worker_death_rate=0.5)
+        decisions = [plan.worker_death_due(i, 0) for i in range(20)]
+        assert decisions == [plan.worker_death_due(i, 0) for i in range(20)]
+        assert True in decisions and False in decisions

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Crash-and-resume smoke test: SIGKILL a sweep mid-run, resume it, and
+assert record-level equality against an uninterrupted baseline.
+
+This is the end-to-end check of the resilience layer's core guarantee —
+a resumed run is **bit-identical** to a run that was never interrupted:
+
+1. run the experiment to completion with ``--checkpoint-dir`` (baseline);
+2. start the same run in a fresh checkpoint directory, wait until its
+   checkpoint shows partial progress, and SIGKILL the process (no
+   cleanup, exactly like a machine dying);
+3. re-run with ``--resume`` to completion;
+4. compare the final checkpoints record by record.
+
+Usage::
+
+    python tools/crash_resume_smoke.py            # serial sweep
+    python tools/crash_resume_smoke.py --jobs 2   # through the pool
+
+Exits non-zero (with a diff summary) on any mismatch.  Used by the
+``crash-resume`` CI job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _sweep_command(checkpoint_dir: str, args, resume: bool = False):
+    command = [
+        sys.executable,
+        "-m",
+        "repro.characterization",
+        args.experiment,
+        "--scale",
+        "smoke",
+        "--seed",
+        str(args.seed),
+        "--jobs",
+        str(args.jobs),
+        "--checkpoint-dir",
+        checkpoint_dir,
+    ]
+    if resume:
+        command.append("--resume")
+    return command
+
+
+def _environment():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    return env
+
+
+def _checkpoint_path(checkpoint_dir: str, args) -> str:
+    return os.path.join(checkpoint_dir, f"{args.experiment}-sweep00.json")
+
+
+def _read_records(path: str):
+    with open(path) as handle:
+        payload = json.load(handle)
+    return payload["records"]
+
+
+def _run_to_completion(checkpoint_dir: str, args, resume: bool = False) -> None:
+    subprocess.run(
+        _sweep_command(checkpoint_dir, args, resume=resume),
+        check=True,
+        env=_environment(),
+        cwd=REPO_ROOT,
+        stdout=subprocess.DEVNULL,
+    )
+
+
+def _kill_group(process) -> None:
+    # SIGKILL the whole process group: a ``--jobs N`` sweep forks pool
+    # workers, and killing only the parent would orphan them (holding
+    # inherited pipe fds open, which hangs anything reading our output).
+    try:
+        os.killpg(process.pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    process.wait()
+
+
+def _crash_mid_run(checkpoint_dir: str, args, total_targets: int) -> int:
+    """Start the sweep, SIGKILL it once the checkpoint shows partial
+    progress, and return how many records the crash left behind."""
+    path = _checkpoint_path(checkpoint_dir, args)
+    for round_number in range(args.max_kill_rounds):
+        process = subprocess.Popen(
+            _sweep_command(checkpoint_dir, args),
+            env=_environment(),
+            cwd=REPO_ROOT,
+            stdout=subprocess.DEVNULL,
+            start_new_session=True,
+        )
+        killed = False
+        while process.poll() is None:
+            if os.path.exists(path):
+                try:
+                    count = len(_read_records(path))
+                except (json.JSONDecodeError, OSError):
+                    # Impossible for an atomic writer; fail loudly rather
+                    # than masking a torn checkpoint with a retry.
+                    _kill_group(process)
+                    raise SystemExit(
+                        f"FAIL: torn/unreadable checkpoint at {path}"
+                    )
+                if 0 < count < total_targets:
+                    _kill_group(process)
+                    killed = True
+                    break
+            time.sleep(0.002)
+        if killed:
+            return len(_read_records(path))
+        # The run finished before we caught it mid-flight: wipe and retry.
+        process.wait()
+        if os.path.exists(path):
+            os.unlink(path)
+        print(
+            f"[crash-resume] round {round_number}: run finished before the "
+            "kill window; retrying"
+        )
+    raise SystemExit(
+        f"FAIL: could not catch the sweep mid-run in "
+        f"{args.max_kill_rounds} attempts"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--experiment", default="fig7")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--total-targets", type=int, default=9,
+                        help="sweep targets at SMOKE scale (kill window upper bound)")
+    parser.add_argument("--max-kill-rounds", type=int, default=20)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as workspace:
+        baseline_dir = os.path.join(workspace, "baseline")
+        crashed_dir = os.path.join(workspace, "crashed")
+
+        print(f"[crash-resume] baseline run ({args.experiment}, "
+              f"--jobs {args.jobs})")
+        _run_to_completion(baseline_dir, args)
+        baseline = _read_records(_checkpoint_path(baseline_dir, args))
+        if len(baseline) != args.total_targets:
+            raise SystemExit(
+                f"FAIL: baseline completed {len(baseline)} targets, "
+                f"expected {args.total_targets}"
+            )
+
+        partial = _crash_mid_run(crashed_dir, args, args.total_targets)
+        print(f"[crash-resume] SIGKILLed mid-run with "
+              f"{partial}/{args.total_targets} targets checkpointed")
+
+        print("[crash-resume] resuming")
+        _run_to_completion(crashed_dir, args, resume=True)
+        resumed = _read_records(_checkpoint_path(crashed_dir, args))
+
+        if resumed != baseline:
+            baseline_by_index = {r[0]: r[1] for r in baseline}
+            resumed_by_index = {r[0]: r[1] for r in resumed}
+            missing = sorted(set(baseline_by_index) - set(resumed_by_index))
+            extra = sorted(set(resumed_by_index) - set(baseline_by_index))
+            differing = sorted(
+                i
+                for i in set(baseline_by_index) & set(resumed_by_index)
+                if baseline_by_index[i] != resumed_by_index[i]
+            )
+            raise SystemExit(
+                "FAIL: resumed run diverged from uninterrupted baseline: "
+                f"missing targets {missing}, extra {extra}, "
+                f"differing {differing}"
+            )
+        print(
+            f"[crash-resume] OK: resumed run bit-identical to baseline "
+            f"({len(baseline)} targets, {partial} from before the crash)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
