@@ -184,6 +184,27 @@ def generate_report(
         "runs.  See \"Fault injection and resilient sweeps\" in README.md",
         "and `tests/characterization/test_resilience.py`.",
         "",
+        "## Static checks",
+        "",
+        "Every command sequence below passed the static program verifier",
+        "before running: the executor pre-flights each `TestProgram`",
+        "against a static mirror of the bank state machine",
+        "(`ProgramExecutor(verify=...)`, default `\"warn\"`), catching",
+        "broken FCDRAM sequences — wrong bank state, operands in",
+        "non-sense-amp-sharing subarrays, missing Frac references,",
+        "silently quantized sub-cycle waits — before they can burn a",
+        "sweep.  Reproduce the checks standalone:",
+        "",
+        "```bash",
+        "python -m repro.staticcheck              # sequences + determinism lint",
+        "python -m repro.staticcheck --list-rules # FC1xx / DET2xx catalogue",
+        "python -m repro.staticcheck --demo all   # documented bad cases",
+        "```",
+        "",
+        "See \"Static checks\" in README.md for the rule catalogue and",
+        "suppression syntax; `tests/staticcheck/` pins one golden",
+        "diagnostic per rule.",
+        "",
     ]
     if resilience is not None:
         sections.extend(
@@ -198,11 +219,13 @@ def generate_report(
         if log:
             log.write(f"[report] running {experiment_id}...\n")
             log.flush()
+        # staticcheck: ignore[DET203] runtime note in the report, not a result
         start = time.time()
         result = run_experiment(
             experiment_id, scale=scale, seed=seed, jobs=jobs, resilience=resilience
         )
-        sections.append(_experiment_section(result, time.time() - start))
+        elapsed = time.time() - start  # staticcheck: ignore[DET203]
+        sections.append(_experiment_section(result, elapsed))
     return "\n".join(sections)
 
 

@@ -41,6 +41,12 @@ class Command:
     wait_cycles: int = 1
     #: Free-form tag surfaced in read results and error messages.
     label: str = ""
+    #: The nanosecond wait originally requested, when the command was
+    #: built via ``wait_ns=``; ``None`` when spacing was given in cycles.
+    requested_wait_ns: Optional[float] = field(default=None, compare=False)
+    #: True when ``requested_wait_ns`` was below one bus cycle and had to
+    #: be quantized up — the spacing on the bus is coarser than asked.
+    quantized: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.wait_cycles < 1:
@@ -53,6 +59,12 @@ class Command:
         needs_row = self.opcode in (Opcode.ACT, Opcode.WR, Opcode.RD)
         if needs_row and self.row is None:
             raise ProgramError(f"{self.opcode.value} requires a row address")
+        if not needs_row and self.row is not None:
+            raise ProgramError(
+                f"{self.opcode.value} ignores row addressing but row="
+                f"{self.row} was supplied; a mislabeled row here masks "
+                "addressing bugs elsewhere (staticcheck rule FC110)"
+            )
         if self.opcode is Opcode.WR and self.data is None:
             raise ProgramError("WR requires data")
 
@@ -61,7 +73,13 @@ class Command:
         parts = [self.opcode.value, f"b{self.bank}"]
         if self.row is not None:
             parts.append(f"r{self.row}")
-        parts.append(f"(+{self.wait_cycles}ck)")
+        if self.quantized and self.requested_wait_ns is not None:
+            parts.append(
+                f"(+{self.wait_cycles}ck, quantized from "
+                f"{self.requested_wait_ns:g}ns)"
+            )
+        else:
+            parts.append(f"(+{self.wait_cycles}ck)")
         if self.label:
             parts.append(f"[{self.label}]")
         return " ".join(parts)

@@ -14,17 +14,26 @@ themselves from accidentally issuing undefined-behavior sequences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import TimingViolationError
+from ..errors import ProgramVerificationError, TimingViolationError
 from ..dram.module import Module
+# diagnostics has no repro-internal imports, so this cannot cycle; the
+# verifier itself is imported lazily in _preflight.
+from ..staticcheck.diagnostics import Diagnostic, format_diagnostics
 from .commands import Command, Opcode
 from .program import TestProgram
 
-__all__ = ["ExecutionResult", "ReadRecord", "ProgramExecutor"]
+__all__ = ["ExecutionResult", "ReadRecord", "ProgramExecutor", "VERIFY_MODES"]
+
+#: Pre-flight verification modes for :class:`ProgramExecutor`.
+VERIFY_MODES = ("error", "warn", "off")
+
+_logger = logging.getLogger("repro.staticcheck")
 
 
 @dataclass(frozen=True)
@@ -45,6 +54,8 @@ class ExecutionResult:
     reads: List[ReadRecord]
     duration_ns: float
     violations: List[str]
+    #: Static pre-flight findings (empty when ``verify="off"``).
+    diagnostics: Tuple[Diagnostic, ...] = field(default=(), compare=False)
 
     def read_by_label(self, label: str) -> np.ndarray:
         for record in self.reads:
@@ -65,18 +76,77 @@ class _BankClock:
 
 
 class ProgramExecutor:
-    """Replays :class:`TestProgram` instances against a :class:`Module`."""
+    """Replays :class:`TestProgram` instances against a :class:`Module`.
 
-    def __init__(self, module: Module, strict: bool = False, fault_injector=None):
+    ``verify`` selects the static pre-flight gate (``"warn"`` by
+    default): every program is checked by
+    :class:`repro.staticcheck.verifier.ProgramVerifier` before any
+    command reaches the device.  ``"error"`` refuses programs with
+    error-severity findings (:class:`ProgramVerificationError`, device
+    state untouched); ``"warn"`` logs findings once per rule and attaches
+    them to the :class:`ExecutionResult`; ``"off"`` skips the check.
+    ``suppress_rules`` drops specific rule ids — the escape hatch for
+    deliberately-broken fault-injection programs.
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        strict: bool = False,
+        fault_injector=None,
+        verify: str = "warn",
+        suppress_rules: Iterable[str] = (),
+    ):
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"verify must be one of {VERIFY_MODES}, got {verify!r}"
+            )
         self.module = module
         self.strict = strict
         self.faults = fault_injector
+        self.verify = verify
+        self.suppress_rules = tuple(suppress_rules)
         self._now_ns = 0.0
+        self._verifier = None
+        self._verify_state = None
+        self._logged_rules: set = set()
 
     @property
     def now_ns(self) -> float:
         """Absolute bus time; monotone across program executions."""
         return self._now_ns
+
+    def _preflight(self, program: TestProgram) -> Tuple[Diagnostic, ...]:
+        """Statically verify ``program`` against the session state.
+
+        The verifier runs on a *clone* of the session state and commits
+        only when the program is accepted, so a refused program leaves
+        both device and verifier state untouched.
+        """
+        if self.verify == "off":
+            return ()
+        if self._verifier is None:
+            from ..staticcheck.verifier import ProgramVerifier
+
+            self._verifier = ProgramVerifier.for_module(
+                self.module, suppress=self.suppress_rules
+            )
+            self._verify_state = self._verifier.new_session()
+        trial_state = self._verify_state.clone()
+        report = self._verifier.verify_program(program, state=trial_state)
+        if self.verify == "error" and report.errors:
+            raise ProgramVerificationError(
+                f"static verification refused program "
+                f"{program.name or '<anonymous>'}:\n"
+                + format_diagnostics(report.errors),
+                diagnostics=report.diagnostics,
+            )
+        self._verify_state = trial_state
+        for diag in report.diagnostics:
+            if diag.rule not in self._logged_rules:
+                self._logged_rules.add(diag.rule)
+                _logger.warning("%s", diag.format())
+        return report.diagnostics
 
     def run(self, program: TestProgram) -> ExecutionResult:
         if self.faults is not None:
@@ -85,6 +155,7 @@ class ProgramExecutor:
             # dropping a DMA transaction: the device state is untouched
             # and the whole program is safe to re-issue.
             self.faults.on_program(program.name)
+        diagnostics = self._preflight(program)
         timing = program.timing
         clocks: Dict[int, _BankClock] = {}
         reads: List[ReadRecord] = []
@@ -109,7 +180,10 @@ class ProgramExecutor:
                 + "; ".join(violations)
             )
         return ExecutionResult(
-            reads=reads, duration_ns=self._now_ns - start_ns, violations=violations
+            reads=reads,
+            duration_ns=self._now_ns - start_ns,
+            violations=violations,
+            diagnostics=diagnostics,
         )
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ paths exist:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
@@ -28,13 +28,28 @@ __all__ = ["DramBenderHost"]
 
 
 class DramBenderHost:
-    """High-level driver for one module."""
+    """High-level driver for one module.
 
-    def __init__(self, module: Module, strict: bool = False, fault_injector=None):
+    ``verify``/``suppress_rules`` configure the executor's static
+    pre-flight gate (see :class:`~repro.bender.executor.ProgramExecutor`).
+    """
+
+    def __init__(
+        self,
+        module: Module,
+        strict: bool = False,
+        fault_injector=None,
+        verify: str = "warn",
+        suppress_rules: Iterable[str] = (),
+    ):
         self.module = module
         self.faults = fault_injector
         self.executor = ProgramExecutor(
-            module, strict=strict, fault_injector=fault_injector
+            module,
+            strict=strict,
+            fault_injector=fault_injector,
+            verify=verify,
+            suppress_rules=suppress_rules,
         )
 
     @property

@@ -8,7 +8,7 @@ bench procedure: mount a module, set a temperature, run programs.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..dram.config import ChipConfig, ModuleSpec
 from ..dram.module import Module
@@ -25,11 +25,22 @@ class TestingInfrastructure:
     #: Not a pytest test class, despite the (domain-accurate) name.
     __test__ = False
 
-    def __init__(self, module: Module, strict: bool = False, fault_injector=None):
+    def __init__(
+        self,
+        module: Module,
+        strict: bool = False,
+        fault_injector=None,
+        verify: str = "warn",
+        suppress_rules: Iterable[str] = (),
+    ):
         self.module = module
         self.faults = fault_injector
         self.host = DramBenderHost(
-            module, strict=strict, fault_injector=fault_injector
+            module,
+            strict=strict,
+            fault_injector=fault_injector,
+            verify=verify,
+            suppress_rules=suppress_rules,
         )
         self.thermal = TemperatureController(module, fault_injector=fault_injector)
 

@@ -9,7 +9,7 @@ constructors in :mod:`repro.core.sequences`.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -17,32 +17,63 @@ from ..errors import ProgramError
 from ..dram.timing import TimingParameters
 from .commands import Command, Opcode
 
-__all__ = ["TestProgram"]
+__all__ = ["TestProgram", "KNOWN_INTENTS"]
+
+#: Operation intents a program may declare; the static verifier checks
+#: the declared intent against what the timing/topology actually do.
+KNOWN_INTENTS = ("not", "rowclone", "logic", "frac", "nominal")
 
 
 class TestProgram:
-    """A mutable sequence of DDR4 commands with explicit spacing."""
+    """A mutable sequence of DDR4 commands with explicit spacing.
+
+    ``intent`` optionally declares which in-DRAM operation the program
+    is supposed to perform (one of :data:`KNOWN_INTENTS`); the static
+    verifier (:mod:`repro.staticcheck`) flags programs whose command
+    timing or row placement produce a different operation (rule FC113).
+    """
 
     #: Not a pytest test class, despite the (domain-accurate) name.
     __test__ = False
 
-    def __init__(self, timing: TimingParameters, name: str = ""):
+    def __init__(
+        self,
+        timing: TimingParameters,
+        name: str = "",
+        intent: Optional[str] = None,
+    ):
+        if intent is not None and intent not in KNOWN_INTENTS:
+            raise ProgramError(
+                f"unknown intent {intent!r}; expected one of {KNOWN_INTENTS}"
+            )
         self.timing = timing
         self.name = name
+        self.intent = intent
         self._commands: List[Command] = []
 
     # -- builder interface ----------------------------------------------
 
     def _wait_to_cycles(
         self, wait_ns: Optional[float], wait_cycles: Optional[int]
-    ) -> int:
+    ) -> Tuple[int, Optional[float], bool]:
+        """Resolve a requested spacing to bus cycles.
+
+        Returns ``(cycles, requested_ns, quantized)``: ``requested_ns``
+        preserves the original nanosecond request (``None`` for cycle
+        requests) and ``quantized`` is True when the request was below
+        one bus cycle and had to be rounded up — sub-cycle spacing does
+        not exist on the bus, and silently widening it changes what an
+        intentionally-violated sequence does (staticcheck rule FC107).
+        """
         if wait_ns is not None and wait_cycles is not None:
             raise ProgramError("specify wait_ns or wait_cycles, not both")
         if wait_cycles is not None:
-            return wait_cycles
+            return wait_cycles, None, False
         if wait_ns is not None:
-            return max(1, self.timing.cycles(wait_ns))
-        return 1
+            cycles = max(1, self.timing.cycles(wait_ns))
+            quantized = wait_ns < self.timing.t_ck - 1e-9
+            return cycles, wait_ns, quantized
+        return 1, None, False
 
     def _append(self, command: Command) -> "TestProgram":
         self._commands.append(command)
@@ -56,13 +87,16 @@ class TestProgram:
         wait_cycles: Optional[int] = None,
         label: str = "",
     ) -> "TestProgram":
+        cycles, requested, quantized = self._wait_to_cycles(wait_ns, wait_cycles)
         return self._append(
             Command(
                 Opcode.ACT,
                 bank,
                 row,
-                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                wait_cycles=cycles,
                 label=label,
+                requested_wait_ns=requested,
+                quantized=quantized,
             )
         )
 
@@ -73,12 +107,15 @@ class TestProgram:
         wait_cycles: Optional[int] = None,
         label: str = "",
     ) -> "TestProgram":
+        cycles, requested, quantized = self._wait_to_cycles(wait_ns, wait_cycles)
         return self._append(
             Command(
                 Opcode.PRE,
                 bank,
-                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                wait_cycles=cycles,
                 label=label,
+                requested_wait_ns=requested,
+                quantized=quantized,
             )
         )
 
@@ -91,14 +128,17 @@ class TestProgram:
         wait_cycles: Optional[int] = None,
         label: str = "",
     ) -> "TestProgram":
+        cycles, requested, quantized = self._wait_to_cycles(wait_ns, wait_cycles)
         return self._append(
             Command(
                 Opcode.WR,
                 bank,
                 row,
                 data=np.asarray(data),
-                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                wait_cycles=cycles,
                 label=label,
+                requested_wait_ns=requested,
+                quantized=quantized,
             )
         )
 
@@ -110,13 +150,16 @@ class TestProgram:
         wait_cycles: Optional[int] = None,
         label: str = "",
     ) -> "TestProgram":
+        cycles, requested, quantized = self._wait_to_cycles(wait_ns, wait_cycles)
         return self._append(
             Command(
                 Opcode.RD,
                 bank,
                 row,
-                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                wait_cycles=cycles,
                 label=label,
+                requested_wait_ns=requested,
+                quantized=quantized,
             )
         )
 
@@ -126,13 +169,16 @@ class TestProgram:
         wait_ns: Optional[float] = None,
         wait_cycles: Optional[int] = None,
     ) -> "TestProgram":
+        cycles, requested, quantized = self._wait_to_cycles(
+            wait_ns if wait_ns is not None else self.timing.t_rfc, wait_cycles
+        )
         return self._append(
             Command(
                 Opcode.REF,
                 bank,
-                wait_cycles=self._wait_to_cycles(
-                    wait_ns if wait_ns is not None else self.timing.t_rfc, wait_cycles
-                ),
+                wait_cycles=cycles,
+                requested_wait_ns=requested,
+                quantized=quantized,
             )
         )
 
@@ -141,10 +187,13 @@ class TestProgram:
         wait_ns: Optional[float] = None,
         wait_cycles: Optional[int] = None,
     ) -> "TestProgram":
+        cycles, requested, quantized = self._wait_to_cycles(wait_ns, wait_cycles)
         return self._append(
             Command(
                 Opcode.NOP,
-                wait_cycles=self._wait_to_cycles(wait_ns, wait_cycles),
+                wait_cycles=cycles,
+                requested_wait_ns=requested,
+                quantized=quantized,
             )
         )
 

@@ -8,6 +8,8 @@ is applied exactly once, here.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..dram.timing import ReducedTiming, TimingParameters
 from ..bender.program import TestProgram
 
@@ -28,10 +30,11 @@ def double_activation_program(
     row_last: int,
     reduced: ReducedTiming,
     name: str = "double-activation",
+    intent: Optional[str] = None,
 ) -> TestProgram:
     """``ACT R_F → PRE → ACT R_L`` with explicit (possibly violated)
     spacings, then a full tRAS restore window and a clean precharge."""
-    program = TestProgram(timing, name=name)
+    program = TestProgram(timing, name=name, intent=intent)
     program.act(bank, row_first, wait_cycles=reduced.first_act_cycles, label="act-first")
     program.pre(bank, wait_cycles=reduced.pre_to_act_cycles, label="pre-violated")
     program.act(bank, row_last, wait_ns=timing.t_ras, label="act-last")
@@ -52,6 +55,7 @@ def not_program(
         dst_row,
         ReducedTiming.for_not_op(timing),
         name=f"not-{src_row}->{dst_row}",
+        intent="not",
     )
 
 
@@ -67,6 +71,7 @@ def logic_program(
         com_row,
         ReducedTiming.for_logic_op(timing),
         name=f"logic-{ref_row}->{com_row}",
+        intent="logic",
     )
 
 
@@ -83,6 +88,7 @@ def rowclone_program(
         dst_row,
         ReducedTiming.for_not_op(timing),
         name=f"rowclone-{src_row}->{dst_row}",
+        intent="rowclone",
     )
 
 
@@ -90,7 +96,7 @@ def frac_program(timing: TimingParameters, bank: int, row: int) -> TestProgram:
     """Store VDD/2 into ``row`` (FracDRAM [38]): interrupt the activation
     before the sense amplifiers resolve, so the precharge equalizer pulls
     the still-connected cells to VDD/2."""
-    program = TestProgram(timing, name=f"frac-{row}")
+    program = TestProgram(timing, name=f"frac-{row}", intent="frac")
     program.act(bank, row, wait_cycles=max(1, timing.cycles(1.5)), label="act-frac")
     program.pre(bank, wait_ns=timing.t_rp, label="pre-frac")
     return program
@@ -100,7 +106,7 @@ def nominal_activation_program(
     timing: TimingParameters, bank: int, row: int
 ) -> TestProgram:
     """A fully timing-compliant ACT/PRE pair (control experiments)."""
-    program = TestProgram(timing, name=f"nominal-{row}")
+    program = TestProgram(timing, name=f"nominal-{row}", intent="nominal")
     program.act(bank, row, wait_ns=timing.t_ras)
     program.pre(bank, wait_ns=timing.t_rp)
     return program

@@ -129,6 +129,27 @@ class ChipGeometry:
                 f"row {row} out of range for bank with {self.rows_per_bank} rows"
             )
 
+    def subarrays_are_neighbors(self, subarray_a: int, subarray_b: int) -> bool:
+        """Whether two subarrays share a sense-amplifier stripe.
+
+        In the open-bitline organization every internal amplifier stripe
+        is shared by the two subarrays it sits between, so exactly the
+        pairs at distance one can hold a multi-row activation together
+        (§4.1).  Distance zero (one subarray) trivially shares its own
+        amplifiers.
+        """
+        for subarray in (subarray_a, subarray_b):
+            if not 0 <= subarray < self.subarrays_per_bank:
+                raise ConfigurationError(f"subarray {subarray} out of range")
+        return abs(subarray_a - subarray_b) <= 1
+
+    def rows_share_sense_amps(self, row_a: int, row_b: int) -> bool:
+        """Whether two bank-level rows can participate in one double
+        activation (same or neighboring subarrays)."""
+        return self.subarrays_are_neighbors(
+            self.subarray_of_row(row_a), self.subarray_of_row(row_b)
+        )
+
 
 @dataclass(frozen=True)
 class ChipConfig:

@@ -8,6 +8,11 @@ problems.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable, Tuple
+
+if TYPE_CHECKING:  # only for annotations: keep errors import-cycle-free
+    from .staticcheck.diagnostics import Diagnostic
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the library."""
@@ -45,6 +50,22 @@ class TimingViolationError(CommandSequenceError):
 
 class ProgramError(ReproError):
     """A DRAM Bender test program is malformed."""
+
+
+class ProgramVerificationError(ProgramError):
+    """The static pre-flight verifier refused a test program.
+
+    Raised by :class:`~repro.bender.executor.ProgramExecutor` in
+    ``verify="error"`` mode before any command reaches the device; the
+    module state is untouched.  ``diagnostics`` carries the structured
+    findings (:class:`~repro.staticcheck.diagnostics.Diagnostic`).
+    """
+
+    def __init__(
+        self, message: str, diagnostics: Iterable["Diagnostic"] = ()
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics: Tuple["Diagnostic", ...] = tuple(diagnostics)
 
 
 class ThermalError(ReproError):

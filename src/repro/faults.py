@@ -39,9 +39,10 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
 from .atomicio import atomic_write_text
 from .errors import ConfigurationError, TransientInfrastructureError
@@ -232,7 +233,7 @@ class FaultPlan:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Dict[str, object]) -> "FaultPlan":
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = sorted(set(payload) - known)
         if unknown:
@@ -275,7 +276,7 @@ class FaultInjector:
 
     def __init__(
         self, plan: FaultPlan, scope: Tuple[str, ...] = (), attempt: int = 0
-    ):
+    ) -> None:
         self.plan = plan
         self.scope = tuple(scope)
         self.attempt = attempt
@@ -318,12 +319,14 @@ class FaultInjector:
                 f"injected host command timeout: {detail}"
             )
 
-    def filter_read(self, bank: int, row: int, bits: np.ndarray) -> np.ndarray:
+    def filter_read(
+        self, bank: int, row: int, bits: NDArray[np.uint8]
+    ) -> NDArray[np.uint8]:
         """Apply stuck-at and flaky-cell corruption to read data."""
         plan = self.plan
         if plan.stuck_row_rate <= 0 and plan.flaky_read_rate <= 0:
             return bits
-        corrupted = None
+        corrupted: Optional[NDArray[np.uint8]] = None
         if plan.stuck_row_rate > 0:
             # A stuck cell is physical: the decision hashes only the
             # plan seed, module scope, and (bank, row) — never the
@@ -362,7 +365,7 @@ class FaultInjector:
         """Disturbance for this setpoint: ``"dropout"``, ``"overshoot"``,
         or ``None``.  Dropout wins when both fire."""
         label = f"target-{target_c:g}"
-        disturbance = None
+        disturbance: Optional[str] = None
         if self.plan.thermal_dropout_rate > 0 and self._roll(
             "thermal-dropout", label
         ) < self.plan.thermal_dropout_rate:

@@ -1,0 +1,85 @@
+"""Static analysis for the FCDRAM reproduction: catch broken command
+sequences and nondeterminism before anything runs.
+
+Two checkers share one diagnostics engine (:mod:`.diagnostics`):
+
+* :mod:`.verifier` — a static mirror of the bank state machine that
+  classifies every ``ACT→PRE→ACT`` gap and rejects programs that cannot
+  perform their operation (rules ``FC101``–``FC113``);
+* :mod:`.determinism` — an AST lint over the source tree for global
+  RNG, wall-clock reads, and non-atomic result writes (rules
+  ``DET201``–``DET204``).
+
+Entry points: ``python -m repro.staticcheck`` (CLI), the
+``ProgramExecutor(verify=...)`` pre-flight gate, and the golden tests
+in ``tests/staticcheck/``.
+
+The checker submodules are exported lazily: the executor imports
+:mod:`.diagnostics` at module load, and the verifier in turn imports the
+bender layer, so eager re-export here would tighten that cycle for no
+benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .diagnostics import (
+    RULES,
+    Diagnostic,
+    Rule,
+    Severity,
+    format_diagnostics,
+    has_errors,
+    max_severity,
+)
+
+__all__ = [
+    "RULES",
+    "Diagnostic",
+    "Rule",
+    "Severity",
+    "format_diagnostics",
+    "has_errors",
+    "max_severity",
+    # lazy (PEP 562):
+    "ProgramVerifier",
+    "ProgramReport",
+    "SessionState",
+    "GapClassification",
+    "verify_program",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "BADCASES",
+    "run_case",
+]
+
+_LAZY = {
+    "ProgramVerifier": "verifier",
+    "ProgramReport": "verifier",
+    "SessionState": "verifier",
+    "GapClassification": "verifier",
+    "verify_program": "verifier",
+    "lint_source": "determinism",
+    "lint_file": "determinism",
+    "lint_paths": "determinism",
+    "BADCASES": "badcases",
+    "run_case": "badcases",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> List[str]:
+    return sorted(set(globals()) | set(_LAZY))

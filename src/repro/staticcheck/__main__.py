@@ -1,0 +1,239 @@
+"""Standalone static-check CLI.
+
+Default run — verify every shipped :mod:`repro.core.sequences`
+constructor against a module spec (all four DDR4 speed grades, input
+counts 2/4/8/16) and lint the installed ``repro`` package for
+determinism bugs::
+
+    python -m repro.staticcheck                  # default spec
+    python -m repro.staticcheck samsung-8gb-d-x8-2133
+
+Other modes::
+
+    python -m repro.staticcheck --list-rules     # the rule catalogue
+    python -m repro.staticcheck --lint src/      # lint specific paths
+    python -m repro.staticcheck --demo fc104     # run a documented bad case
+    python -m repro.staticcheck --demo all       # self-test all bad cases
+
+Exit status: 0 clean (warnings allowed), 1 when error-severity
+diagnostics were found — in ``--demo CASE`` mode, 1 when the case's rule
+fired (the expected outcome) and 2 when it did not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import replace
+from typing import List, Optional, TextIO
+
+from ..bender.program import TestProgram
+from ..characterization.fleet import all_specs
+from ..core.addressing import find_pattern_pair
+from ..core.sequences import (
+    frac_program,
+    logic_program,
+    nominal_activation_program,
+    not_program,
+    rowclone_program,
+)
+from ..dram.config import ModuleSpec
+from ..dram.decoder import ActivationKind
+from ..dram.module import Module
+from ..dram.timing import timing_for_speed
+from ..errors import ReverseEngineeringError
+from ..rng import SeedTree
+from .badcases import BADCASES, run_case
+from .determinism import lint_paths
+from .diagnostics import RULES, Diagnostic, format_diagnostics, has_errors
+from .verifier import ProgramVerifier
+
+DEFAULT_SPEC = "hynix-4gb-m-x8-2666"
+SPEED_GRADES = (2133, 2400, 2666, 3200)
+INPUT_COUNTS = (2, 4, 8, 16)
+
+
+def _resolve_spec(name: str) -> ModuleSpec:
+    specs = {spec.name: spec for spec in all_specs()}
+    try:
+        return specs[name]
+    except KeyError:
+        known = ", ".join(sorted(specs))
+        raise SystemExit(f"unknown module spec {name!r}; known specs: {known}")
+
+
+def verify_shipped_sequences(
+    spec: ModuleSpec, verbose: bool = False, out: TextIO = sys.stdout
+) -> List[Diagnostic]:
+    """Verify every sequences constructor at every speed grade.
+
+    For each input count N a (R_F, R_L) pair with an N:N activation
+    pattern is looked up via the module's decoder model, exactly as the
+    experiments do; the Frac sequence runs before each logic sequence so
+    the session carries the VDD/2 reference the paper requires.
+    """
+    diagnostics: List[Diagnostic] = []
+    geometry = spec.chip.geometry
+    for speed in SPEED_GRADES:
+        config = replace(spec.chip, speed_rate_mts=speed)
+        module = Module(config, chip_count=1, seed_tree=SeedTree(0))
+        timing = timing_for_speed(speed)
+        verifier = ProgramVerifier.for_module(module)
+        state = verifier.new_session()
+        programs: List[TestProgram] = []
+        bank = 0
+        for n in INPUT_COUNTS:
+            if n > config.max_simultaneous_n:
+                out.write(
+                    f"[staticcheck] {spec.name}@{speed}: skipping N={n} "
+                    f"(chip tops out at {config.max_simultaneous_n})\n"
+                )
+                continue
+            try:
+                ref_row, com_row = find_pattern_pair(
+                    module.decoder, geometry, bank, 0, 1, n,
+                    kind=ActivationKind.N_TO_N, seed=n,
+                )
+                src_row, dst_row = find_pattern_pair(
+                    module.decoder, geometry, bank, 2, 3, n,
+                    kind=ActivationKind.N_TO_N, seed=100 + n,
+                )
+            except ReverseEngineeringError as exc:
+                out.write(
+                    f"[staticcheck] {spec.name}@{speed}: no N={n} pattern "
+                    f"pair ({exc})\n"
+                )
+                continue
+            programs.append(frac_program(timing, bank, ref_row))
+            programs.append(logic_program(timing, bank, ref_row, com_row))
+            programs.append(not_program(timing, bank, src_row, dst_row))
+        # Every support level can express the NOT shape (sequential
+        # chips degrade to exactly this, §7), so verify it with a plain
+        # neighboring pair independent of the N:N pattern search.
+        programs.append(
+            not_program(
+                timing, bank,
+                geometry.bank_row(5, 3), geometry.bank_row(6, 8),
+            )
+        )
+        programs.append(
+            rowclone_program(
+                timing, bank,
+                geometry.bank_row(4, 10), geometry.bank_row(4, 40),
+            )
+        )
+        programs.append(nominal_activation_program(timing, bank, 5))
+        for program in programs:
+            report = verifier.verify_program(program, state=state)
+            diagnostics.extend(report.diagnostics)
+            if verbose:
+                out.write(report.format() + "\n")
+    return diagnostics
+
+
+def _default_lint_target() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _run_demo(name: str, out: TextIO) -> int:
+    if name == "all":
+        failures: List[str] = []
+        for case_name in sorted(BADCASES):
+            case, diagnostics = run_case(case_name)
+            fired = case.fires(diagnostics)
+            status = "fires" if fired else "MISSED"
+            out.write(f"[demo] {case_name}: {case.rule} {status}\n")
+            if not fired:
+                failures.append(case_name)
+        if failures:
+            out.write(f"[demo] missed cases: {', '.join(failures)}\n")
+            return 2
+        out.write(f"[demo] all {len(BADCASES)} documented bad cases fire\n")
+        return 0
+    if name not in BADCASES:
+        known = ", ".join(sorted(BADCASES))
+        raise SystemExit(f"unknown demo case {name!r}; known cases: {known}")
+    case, diagnostics = run_case(name)
+    out.write(f"# demo case {case.name}: {case.description}\n")
+    if diagnostics:
+        out.write(format_diagnostics(diagnostics) + "\n")
+    if case.fires(diagnostics):
+        out.write(f"[demo] rule {case.rule} fired as documented\n")
+        return 1
+    out.write(f"[demo] expected rule {case.rule} did NOT fire\n")
+    return 2
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "spec", nargs="?", default=DEFAULT_SPEC,
+        help=f"module spec to verify sequences against (default {DEFAULT_SPEC})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--demo", metavar="CASE",
+        help="run a documented bad case ('all' for the full self-test)",
+    )
+    parser.add_argument(
+        "--lint", nargs="+", metavar="PATH",
+        help="lint these files/directories instead of the installed repro "
+        "package (skips sequence verification)",
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true",
+        help="skip the determinism lint in the default run",
+    )
+    parser.add_argument(
+        "--no-sequences", action="store_true",
+        help="skip sequence verification in the default run",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print per-program gap classifications",
+    )
+    args = parser.parse_args(argv)
+    out = sys.stdout
+
+    if args.list_rules:
+        for rule in RULES.values():
+            out.write(
+                f"{rule.id}  {rule.severity}  {rule.title}: {rule.summary}\n"
+            )
+        return 0
+
+    if args.demo:
+        return _run_demo(args.demo, out)
+
+    diagnostics: List[Diagnostic] = []
+    if args.lint:
+        diagnostics.extend(lint_paths(args.lint))
+    else:
+        if not args.no_sequences:
+            spec = _resolve_spec(args.spec)
+            diagnostics.extend(
+                verify_shipped_sequences(spec, verbose=args.verbose, out=out)
+            )
+        if not args.no_lint:
+            diagnostics.extend(lint_paths([_default_lint_target()]))
+
+    if diagnostics:
+        out.write(format_diagnostics(diagnostics) + "\n")
+    errors = [d for d in diagnostics if has_errors([d])]
+    warnings = len(diagnostics) - len(errors)
+    out.write(
+        f"[staticcheck] {len(errors)} error(s), {warnings} warning(s)\n"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -1,0 +1,361 @@
+"""Documented bad cases: one minimal trigger per staticcheck rule.
+
+Each case is a tiny program (or source snippet, for the determinism
+rules) that violates exactly one rule.  The registry backs both the CLI
+demo mode (``python -m repro.staticcheck --demo fc104``) and the golden
+diagnostic tests, so "the documented bad cases" are a single artifact
+the docs, the CLI, and the test suite all agree on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from ..bender.commands import Command, Opcode
+from ..bender.program import TestProgram
+from ..core.sequences import (
+    double_activation_program,
+    logic_program,
+    not_program,
+)
+from ..dram.config import ChipGeometry
+from ..dram.timing import ReducedTiming, TimingParameters, timing_for_speed
+from ..errors import ProgramError
+from .determinism import lint_source
+from .diagnostics import RULES, Diagnostic
+from .verifier import ProgramVerifier
+
+__all__ = ["BadCase", "BADCASES", "run_case"]
+
+
+@dataclass(frozen=True)
+class BadCase:
+    """One documented bad case: a name, the rule it must trigger, and a
+    callable producing the diagnostics."""
+
+    name: str
+    rule: str
+    description: str
+    run: Callable[[], List[Diagnostic]]
+
+    def fires(self, diagnostics: List[Diagnostic]) -> bool:
+        return any(d.rule == self.rule for d in diagnostics)
+
+
+def _timing() -> TimingParameters:
+    return timing_for_speed(2666)
+
+
+def _verify(program: TestProgram) -> List[Diagnostic]:
+    verifier = ProgramVerifier(ChipGeometry())
+    return list(verifier.verify_program(program).diagnostics)
+
+
+def _geometry() -> ChipGeometry:
+    return ChipGeometry()
+
+
+def _row(subarray: int, local: int = 0) -> int:
+    return _geometry().bank_row(subarray, local)
+
+
+def _case_fc101() -> List[Diagnostic]:
+    timing = _timing()
+    program = (
+        TestProgram(timing, name="bad-fc101")
+        .act(0, 0, wait_ns=timing.t_ras)
+        .act(0, 1, wait_ns=timing.t_ras)  # re-ACT with no PRE in between
+        .pre(0, wait_ns=timing.t_rp)
+    )
+    return _verify(program)
+
+
+def _case_fc102_read_precharged() -> List[Diagnostic]:
+    timing = _timing()
+    program = TestProgram(timing, name="bad-fc102-rd").rd(
+        0, 5, wait_ns=timing.t_rcd
+    )
+    return _verify(program)
+
+
+def _case_fc102_ref_open() -> List[Diagnostic]:
+    timing = _timing()
+    program = (
+        TestProgram(timing, name="bad-fc102-ref")
+        .act(0, 0, wait_ns=timing.t_ras)
+        .ref(0)
+    )
+    return _verify(program)
+
+
+def _case_fc103() -> List[Diagnostic]:
+    timing = _timing()
+    program = (
+        TestProgram(timing, name="bad-fc103")
+        .act(0, 0, wait_ns=timing.t_ras)
+        .rd(0, 37, wait_ns=timing.t_rcd)  # row 37 was never activated
+        .pre(0, wait_ns=timing.t_rp)
+    )
+    return _verify(program)
+
+
+def _case_fc104() -> List[Diagnostic]:
+    # NOT sequence whose destination row sits three subarrays away from
+    # the source: the subarrays share no sense-amplifier stripe.
+    timing = _timing()
+    program = not_program(timing, 0, _row(0), _row(3))
+    return _verify(program)
+
+
+def _case_fc105() -> List[Diagnostic]:
+    # Charge-sharing (logic) timing with both operands in one subarray.
+    timing = _timing()
+    program = logic_program(timing, 0, _row(2, 10), _row(2, 200))
+    return _verify(program)
+
+
+def _case_fc106() -> List[Diagnostic]:
+    # A well-placed AND/OR sequence, but nothing Frac-initialized the
+    # reference subarray in this session.
+    timing = _timing()
+    program = logic_program(timing, 0, _row(0, 10), _row(1, 20))
+    return _verify(program)
+
+
+def _case_fc107() -> List[Diagnostic]:
+    timing = _timing()
+    program = (
+        TestProgram(timing, name="bad-fc107")
+        .act(0, 0, wait_ns=timing.t_ras)
+        .pre(0, wait_ns=0.5)  # below one bus cycle: silently widened
+        .act(0, 1, wait_ns=timing.t_ras)
+        .pre(0, wait_ns=timing.t_rp)
+    )
+    return _verify(program)
+
+
+def _case_fc108() -> List[Diagnostic]:
+    timing = _timing()
+    program = TestProgram(timing, name="bad-fc108").pre(
+        0, wait_ns=timing.t_rp
+    )
+    return _verify(program)
+
+
+def _case_fc109() -> List[Diagnostic]:
+    timing = _timing()
+    geometry = _geometry()
+    program = TestProgram(timing, name="bad-fc109").act(
+        0, geometry.rows_per_bank + 7, wait_ns=timing.t_ras
+    )
+    return _verify(program)
+
+
+def _case_fc110() -> List[Diagnostic]:
+    # Command construction itself rejects a row on PRE; surface the
+    # rejection as the FC110 diagnostic it corresponds to.
+    try:
+        Command(Opcode.PRE, bank=0, row=5)
+    except ProgramError as exc:
+        rule = RULES["FC110"]
+        return [
+            Diagnostic(
+                rule="FC110",
+                severity=rule.severity,
+                message=str(exc),
+                hint=rule.hint,
+                program="bad-fc110",
+                command_index=0,
+            )
+        ]
+    return []
+
+
+def _case_fc111() -> List[Diagnostic]:
+    timing = _timing()
+    program = (
+        TestProgram(timing, name="bad-fc111")
+        .act(0, 0, wait_ns=timing.t_rcd / 2)  # column access before tRCD
+        .rd(0, 0, wait_ns=timing.t_ras)
+        .pre(0, wait_ns=timing.t_rp)
+    )
+    return _verify(program)
+
+
+def _case_fc112() -> List[Diagnostic]:
+    timing = _timing()
+    program = TestProgram(timing, name="bad-fc112").act(
+        0, 0, wait_ns=timing.t_ras
+    )
+    return _verify(program)
+
+
+def _case_fc113() -> List[Diagnostic]:
+    # Declared as a logic op, but the first activation gets the full
+    # tRAS: the sense amplifiers latch and the timing performs NOT.
+    timing = _timing()
+    program = double_activation_program(
+        timing,
+        0,
+        _row(0),
+        _row(1),
+        ReducedTiming.for_not_op(timing),
+        name="bad-fc113",
+        intent="logic",
+    )
+    return _verify(program)
+
+
+def _case_det201() -> List[Diagnostic]:
+    return lint_source(
+        "import random\nvalue = random.randint(0, 1)\n",
+        filename="badcase_det201.py",
+    )
+
+
+def _case_det202() -> List[Diagnostic]:
+    return lint_source(
+        "import numpy as np\nnoise = np.random.rand(4)\n",
+        filename="badcase_det202.py",
+    )
+
+
+def _case_det203() -> List[Diagnostic]:
+    return lint_source(
+        "import time\nstamp = time.time()\n",
+        filename="badcase_det203.py",
+    )
+
+
+def _case_det204() -> List[Diagnostic]:
+    return lint_source(
+        "with open('results/out.json', 'w') as handle:\n"
+        "    handle.write('{}')\n",
+        filename="badcase_det204.py",
+    )
+
+
+def _registry() -> Dict[str, BadCase]:
+    entries: Tuple[BadCase, ...] = (
+        BadCase(
+            "fc101",
+            "FC101",
+            "ACT to an open bank with no pending PRE",
+            _case_fc101,
+        ),
+        BadCase(
+            "fc102-read-precharged",
+            "FC102",
+            "RD issued to a bank that was never activated",
+            _case_fc102_read_precharged,
+        ),
+        BadCase(
+            "fc102-ref-open",
+            "FC102",
+            "REF issued while the bank is still open",
+            _case_fc102_ref_open,
+        ),
+        BadCase(
+            "fc103",
+            "FC103",
+            "RD of a row that is not in the activated row set",
+            _case_fc103,
+        ),
+        BadCase(
+            "fc104",
+            "FC104",
+            "NOT destination three subarrays away from the source "
+            "(no shared sense amplifiers)",
+            _case_fc104,
+        ),
+        BadCase(
+            "fc105",
+            "FC105",
+            "charge-sharing operands both in one subarray",
+            _case_fc105,
+        ),
+        BadCase(
+            "fc106",
+            "FC106",
+            "logic op with no Frac-initialized reference in the session",
+            _case_fc106,
+        ),
+        BadCase(
+            "fc107",
+            "FC107",
+            "sub-cycle wait_ns silently quantized up",
+            _case_fc107,
+        ),
+        BadCase(
+            "fc108",
+            "FC108",
+            "PRE to an already-precharged bank",
+            _case_fc108,
+        ),
+        BadCase(
+            "fc109",
+            "FC109",
+            "row address beyond the bank geometry",
+            _case_fc109,
+        ),
+        BadCase(
+            "fc110",
+            "FC110",
+            "row supplied to PRE, which ignores row addressing",
+            _case_fc110,
+        ),
+        BadCase(
+            "fc111",
+            "FC111",
+            "column access sooner than tRCD after ACT",
+            _case_fc111,
+        ),
+        BadCase(
+            "fc112",
+            "FC112",
+            "program ends with the bank open and no pending PRE",
+            _case_fc112,
+        ),
+        BadCase(
+            "fc113",
+            "FC113",
+            "intent declares logic but the timing performs NOT",
+            _case_fc113,
+        ),
+        BadCase(
+            "det201",
+            "DET201",
+            "stdlib global RNG call",
+            _case_det201,
+        ),
+        BadCase(
+            "det202",
+            "DET202",
+            "numpy global-state RNG call",
+            _case_det202,
+        ),
+        BadCase(
+            "det203",
+            "DET203",
+            "wall-clock read in a non-exempt module",
+            _case_det203,
+        ),
+        BadCase(
+            "det204",
+            "DET204",
+            "write-mode open bypassing repro.atomicio",
+            _case_det204,
+        ),
+    )
+    return {case.name: case for case in entries}
+
+
+#: All documented bad cases, by name.
+BADCASES: Dict[str, BadCase] = _registry()
+
+
+def run_case(name: str) -> Tuple[BadCase, List[Diagnostic]]:
+    """Run one case; returns it plus the diagnostics it produced."""
+    case = BADCASES[name]
+    return case, case.run()

@@ -1,0 +1,378 @@
+"""AST determinism linter over the ``repro`` source tree.
+
+Flags the three bug classes that break the bit-identical replay and
+checkpoint/resume guarantees:
+
+``DET201``/``DET202``
+    Global RNG state — stdlib ``random.*`` or numpy's legacy global
+    functions (``np.random.rand`` etc.) and *seedless*
+    ``default_rng()``.  All randomness must flow from seeded
+    generators derived via :mod:`repro.rng`.
+
+``DET203``
+    Wall-clock reads (``time.time``, ``datetime.now``, ...) outside
+    the explicitly exempt modules (thermal pacing and retry backoff,
+    where real time is the point and never reaches results).
+
+``DET204``
+    Write-mode builtin ``open`` — result files must go through
+    :mod:`repro.atomicio` so a SIGKILL mid-write can never leave a
+    torn artifact.
+
+Findings can be silenced in place with a pragma comment on the same
+or the preceding line::
+
+    start = time.time()  # staticcheck: ignore[DET203] progress log only
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .diagnostics import RULES, Diagnostic
+
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "EXEMPT_WALL_CLOCK",
+    "EXEMPT_NONATOMIC",
+]
+
+#: Modules (posix path suffixes) where wall-clock reads are legitimate:
+#: thermal pacing and retry/backoff logic, whose timing never reaches
+#: result artifacts.
+EXEMPT_WALL_CLOCK: Tuple[str, ...] = (
+    "bender/thermal.py",
+    "characterization/resilience.py",
+)
+
+#: Modules allowed to call builtin open in write mode (the atomic-write
+#: implementation itself).
+EXEMPT_NONATOMIC: Tuple[str, ...] = ("atomicio.py",)
+
+#: ``# staticcheck: ignore[FC107]`` / ``ignore[DET203, DET204]`` / ``ignore[*]``
+_PRAGMA_RE = re.compile(r"#\s*staticcheck:\s*ignore\[([^\]]+)\]")
+
+#: numpy.random module-level functions backed by hidden global state.
+_NUMPY_GLOBAL_FNS: FrozenSet[str] = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "random_integers",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "geometric",
+        "beta",
+        "gamma",
+        "lognormal",
+        "laplace",
+        "triangular",
+        "multinomial",
+        "multivariate_normal",
+        "dirichlet",
+        "hypergeometric",
+        "negative_binomial",
+        "pareto",
+        "power",
+        "rayleigh",
+        "wald",
+        "weibull",
+        "zipf",
+        "chisquare",
+        "f",
+        "gumbel",
+        "logistic",
+        "vonmises",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_t",
+    }
+)
+
+#: numpy.random constructors that are deterministic *iff* seeded.
+_NUMPY_SEEDABLE: FrozenSet[str] = frozenset(
+    {"default_rng", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "MT19937",
+     "SFC64", "RandomState"}
+)
+
+#: Wall-clock reads.  Monotonic/perf counters are allowed: they only
+#: measure durations and cannot leak calendar time into results.
+_WALL_CLOCK_FNS: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Resolve local names to fully-qualified module/attribute paths."""
+
+    def __init__(self) -> None:
+        #: local name -> dotted origin ("np" -> "numpy",
+        #: "randint" -> "random.randint")
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            origin = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = origin
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports stay inside repro: never stdlib/numpy
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        filename: str,
+        aliases: Dict[str, str],
+        wall_clock_exempt: bool,
+        nonatomic_exempt: bool,
+    ) -> None:
+        self.filename = filename
+        self.aliases = aliases
+        self.wall_clock_exempt = wall_clock_exempt
+        self.nonatomic_exempt = nonatomic_exempt
+        self.findings: List[Diagnostic] = []
+        self._shadowed: Set[str] = set()
+
+    # -- name resolution -------------------------------------------------
+
+    def _qualified(self, node: ast.expr) -> Optional[str]:
+        """Dotted origin of an expression, or None if not import-rooted."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self._shadowed:
+            return None
+        origin = self.aliases.get(root)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        rule = RULES[rule_id]
+        self.findings.append(
+            Diagnostic(
+                rule=rule_id,
+                severity=rule.severity,
+                message=message,
+                hint=rule.hint,
+                file=self.filename,
+                line=getattr(node, "lineno", None),
+            )
+        )
+
+    # -- scope tracking (cheap): local assignments shadow imports --------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def _visit_scope(self, node: ast.AST) -> None:
+        args = getattr(node, "args", None)
+        added: List[str] = []
+        if args is not None:
+            for arg in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                if arg.arg not in self._shadowed:
+                    self._shadowed.add(arg.arg)
+                    added.append(arg.arg)
+        self.generic_visit(node)
+        for name in added:
+            self._shadowed.discard(name)
+
+    # -- the rules -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        qualified = self._qualified(node.func)
+        if qualified is not None:
+            self._check_random(qualified, node)
+            self._check_wall_clock(qualified, node)
+        self._check_open(node)
+        self.generic_visit(node)
+
+    def _check_random(self, qualified: str, node: ast.Call) -> None:
+        if qualified == "random" or qualified.startswith("random."):
+            self._emit(
+                "DET201",
+                node,
+                f"call to stdlib global RNG `{qualified}`",
+            )
+            return
+        if not qualified.startswith("numpy.random."):
+            return
+        leaf = qualified.rsplit(".", 1)[1]
+        if leaf in _NUMPY_GLOBAL_FNS:
+            self._emit(
+                "DET202",
+                node,
+                f"call to numpy global-state RNG `{qualified}`",
+            )
+        elif leaf in _NUMPY_SEEDABLE and not node.args and not node.keywords:
+            self._emit(
+                "DET202",
+                node,
+                f"seedless `{qualified}()` draws OS entropy",
+            )
+
+    def _check_wall_clock(self, qualified: str, node: ast.Call) -> None:
+        if self.wall_clock_exempt:
+            return
+        if qualified in _WALL_CLOCK_FNS:
+            self._emit(
+                "DET203",
+                node,
+                f"wall-clock read `{qualified}` in a non-exempt module",
+            )
+
+    def _check_open(self, node: ast.Call) -> None:
+        if self.nonatomic_exempt:
+            return
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "open"):
+            return
+        if func.id in self._shadowed or func.id in self.aliases:
+            return
+        mode: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return  # default "r": reads are fine
+        if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+            return  # dynamic mode: cannot prove a write
+        if any(flag in mode.value for flag in ("w", "a", "x", "+")):
+            self._emit(
+                "DET204",
+                node,
+                f"builtin open(..., {mode.value!r}) writes a file directly",
+            )
+
+
+def _pragma_lines(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> rule ids suppressed on that line."""
+    pragmas: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match:
+            ids = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            pragmas[lineno] = ids
+    return pragmas
+
+
+def _suppressed(diag: Diagnostic, pragmas: Dict[int, FrozenSet[str]]) -> bool:
+    if diag.line is None:
+        return False
+    for lineno in (diag.line, diag.line - 1):
+        ids = pragmas.get(lineno)
+        if ids and ("*" in ids or diag.rule in ids):
+            return True
+    return False
+
+
+def _module_exempt(filename: str, suffixes: Sequence[str]) -> bool:
+    posix = filename.replace(os.sep, "/")
+    return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+def lint_source(
+    source: str, filename: str = "<string>", suppress: Iterable[str] = ()
+) -> List[Diagnostic]:
+    """Lint one module's source text; returns surviving findings."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        raise ValueError(f"{filename}: cannot lint, syntax error: {exc}") from exc
+    tracker = _ImportTracker()
+    tracker.visit(tree)
+    visitor = _DeterminismVisitor(
+        filename=filename,
+        aliases=tracker.aliases,
+        wall_clock_exempt=_module_exempt(filename, EXEMPT_WALL_CLOCK),
+        nonatomic_exempt=_module_exempt(filename, EXEMPT_NONATOMIC),
+    )
+    visitor.visit(tree)
+    pragmas = _pragma_lines(source)
+    drop = frozenset(suppress)
+    return [
+        diag
+        for diag in visitor.findings
+        if diag.rule not in drop and not _suppressed(diag, pragmas)
+    ]
+
+
+def lint_file(path: str, suppress: Iterable[str] = ()) -> List[Diagnostic]:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, filename=path, suppress=suppress)
+
+
+def lint_paths(
+    paths: Iterable[str], suppress: Iterable[str] = ()
+) -> List[Diagnostic]:
+    """Lint files and (recursively) directories of ``.py`` files."""
+    findings: List[Diagnostic] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        findings.extend(
+                            lint_file(os.path.join(dirpath, name), suppress)
+                        )
+        else:
+            findings.extend(lint_file(path, suppress))
+    return findings

@@ -1,0 +1,273 @@
+"""Diagnostics engine for the static checkers.
+
+Every finding — whether from the :mod:`program verifier
+<repro.staticcheck.verifier>` or the :mod:`determinism linter
+<repro.staticcheck.determinism>` — is a :class:`Diagnostic`: a rule id,
+a severity, a location (command index within a program, or file/line
+within a source tree), a message, and a fix hint.  The rule catalogue
+lives here so the CLI, the executor gate, and the documentation all
+agree on ids and default severities.
+
+Rule families
+-------------
+``FC1xx`` — FCDRAM command-sequence rules (program verifier).
+``DET2xx`` — determinism rules (AST linter over the source tree).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Rule",
+    "RULES",
+    "Diagnostic",
+    "has_errors",
+    "max_severity",
+    "format_diagnostics",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static-check rule: identity, default severity, fix hint."""
+
+    id: str
+    title: str
+    severity: Severity
+    summary: str
+    hint: str
+
+
+#: The full rule catalogue.  Severities are defaults; a checker may
+#: downgrade a rule in context (e.g. FC113 on a sequential-only chip,
+#: where the mismatch is a chip limitation rather than a program bug).
+_RULE_LIST: Tuple[Rule, ...] = (
+    Rule(
+        "FC101",
+        "act-to-open-bank",
+        Severity.ERROR,
+        "ACT issued to a bank that is open with no pending PRE",
+        "insert a PRE (violated or nominal) before re-activating the bank",
+    ),
+    Rule(
+        "FC102",
+        "command-bank-state",
+        Severity.ERROR,
+        "RD/WR issued to a precharged bank, or REF to an open bank",
+        "open the bank with an ACT first (or close it before REF); note a "
+        "pending PRE only completes at the next ACT/WR/RD or end-of-program "
+        "settle",
+    ),
+    Rule(
+        "FC103",
+        "inactive-row-access",
+        Severity.ERROR,
+        "RD/WR addresses a row that is not in the activated row set",
+        "address one of the rows the activation (or multi-row glitch "
+        "pattern) actually opened",
+    ),
+    Rule(
+        "FC104",
+        "isolated-subarray-pair",
+        Severity.ERROR,
+        "double activation across subarrays that share no sense-amplifier "
+        "stripe",
+        "place source and destination rows in the same or neighboring "
+        "subarrays (|subarray difference| <= 1); across isolated subarrays "
+        "the second ACT proceeds independently and no data moves",
+    ),
+    Rule(
+        "FC105",
+        "charge-share-same-subarray",
+        Severity.WARNING,
+        "charge-sharing (logic-op) activation with reference and compute "
+        "rows in one subarray",
+        "use neighboring subarrays for AND/OR/NAND/NOR; same-subarray "
+        "charge sharing is only meaningful for TRNG/MAJ-style in-subarray "
+        "operations (suppress FC105 when intentional)",
+    ),
+    Rule(
+        "FC106",
+        "missing-frac-reference",
+        Severity.WARNING,
+        "charge-sharing operation whose reference operand set contains no "
+        "Frac-initialized (VDD/2) row from this session",
+        "run the Frac sequence on a reference row first (see "
+        "repro.core.frac.store_half_vdd); without a VDD/2 reference the "
+        "sense comparison has no AND/OR threshold",
+    ),
+    Rule(
+        "FC107",
+        "subcycle-wait-quantized",
+        Severity.WARNING,
+        "sub-cycle wait_ns silently quantized up to one full bus cycle",
+        "request the wait in whole bus cycles (wait_cycles=...) or at "
+        "least t_ck nanoseconds; the bus cannot space commands closer "
+        "than one cycle",
+    ),
+    Rule(
+        "FC108",
+        "dead-command",
+        Severity.WARNING,
+        "command has no effect: PRE to an already-precharged bank",
+        "delete the redundant command; dead commands usually indicate a "
+        "sequence that was edited without re-checking bank state",
+    ),
+    Rule(
+        "FC109",
+        "address-out-of-range",
+        Severity.ERROR,
+        "bank or row address outside the chip geometry",
+        "check the geometry (banks, subarrays_per_bank * rows_per_subarray "
+        "rows per bank) the program will run against",
+    ),
+    Rule(
+        "FC110",
+        "row-on-rowless-opcode",
+        Severity.ERROR,
+        "row address supplied to an opcode that ignores it (PRE/REF/NOP)",
+        "drop the row argument; a mislabeled row here masks addressing "
+        "bugs elsewhere in the sequence",
+    ),
+    Rule(
+        "FC111",
+        "early-column-access",
+        Severity.WARNING,
+        "RD/WR issued sooner than tRCD after the activation",
+        "wait at least tRCD after ACT before column access unless the "
+        "early access is the point of the experiment",
+    ),
+    Rule(
+        "FC112",
+        "unclosed-bank",
+        Severity.WARNING,
+        "program ends with a bank open and no pending PRE",
+        "finish with a PRE so the next program does not start on an open "
+        "bank (a following ACT would be an FC101 error at runtime)",
+    ),
+    Rule(
+        "FC113",
+        "intent-mismatch",
+        Severity.ERROR,
+        "program declares one operation intent but its timing/topology "
+        "produce another",
+        "fix the gap spacings or the row placement so the sequence "
+        "performs the declared operation (not <-> neighboring subarrays, "
+        "rowclone <-> same subarray, logic <-> both gaps violated)",
+    ),
+    Rule(
+        "DET201",
+        "global-random",
+        Severity.ERROR,
+        "use of the stdlib global random module",
+        "derive a seeded generator from repro.rng (SeedTree/derive_seed) "
+        "instead; global RNG state breaks bit-identical replay",
+    ),
+    Rule(
+        "DET202",
+        "numpy-global-random",
+        Severity.ERROR,
+        "use of numpy global/seedless random state",
+        "use np.random.default_rng(seed) with a seed derived from "
+        "repro.rng; np.random.* module functions and seedless "
+        "default_rng() break bit-identical replay",
+    ),
+    Rule(
+        "DET203",
+        "wall-clock",
+        Severity.ERROR,
+        "wall-clock read outside the exempt thermal/retry modules",
+        "thread time through parameters or use counters; wall-clock reads "
+        "make results depend on host speed (exempt a module only if time "
+        "never reaches results)",
+    ),
+    Rule(
+        "DET204",
+        "nonatomic-write",
+        Severity.ERROR,
+        "result file written without repro.atomicio",
+        "use atomic_write_text/atomic_write_json so a SIGKILL mid-write "
+        "can never leave a torn artifact for --resume to trip over",
+    ),
+)
+
+RULES: Dict[str, Rule] = {rule.id: rule for rule in _RULE_LIST}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static checker.
+
+    Program findings carry ``program``/``command_index``; lint findings
+    carry ``file``/``line``.  ``severity`` defaults to the rule's but
+    may be overridden in context.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    hint: str = ""
+    program: str = ""
+    command_index: Optional[int] = None
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown rule id {self.rule!r}")
+
+    @property
+    def title(self) -> str:
+        return RULES[self.rule].title
+
+    def location(self) -> str:
+        """Human-readable location prefix."""
+        if self.file is not None:
+            line = f":{self.line}" if self.line is not None else ""
+            return f"{self.file}{line}"
+        parts = [self.program or "<anonymous>"]
+        if self.command_index is not None:
+            parts.append(f"cmd {self.command_index}")
+        return " ".join(parts)
+
+    def format(self, with_hint: bool = True) -> str:
+        """One-line rendering: ``error[FC104] not-0->1280 cmd 2: ...``."""
+        text = f"{self.severity}[{self.rule}] {self.location()}: {self.message}"
+        if with_hint and self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity >= Severity.ERROR for d in diagnostics)
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def format_diagnostics(
+    diagnostics: Sequence[Diagnostic], with_hints: bool = True
+) -> str:
+    """Multi-line rendering, most severe first, stable otherwise."""
+    ordered = sorted(
+        enumerate(diagnostics), key=lambda item: (-item[1].severity, item[0])
+    )
+    return "\n".join(d.format(with_hint=with_hints) for _, d in ordered)

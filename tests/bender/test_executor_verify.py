@@ -1,0 +1,128 @@
+"""The executor's static pre-flight gate (verify= modes)."""
+
+import logging
+
+import pytest
+
+from repro import SeedTree, sk_hynix_chip
+from repro.bender.executor import ProgramExecutor
+from repro.bender.host import DramBenderHost
+from repro.bender.infrastructure import TestingInfrastructure
+from repro.core.sequences import frac_program, logic_program, not_program
+from repro.dram.module import Module
+from repro.errors import ProgramVerificationError
+
+
+@pytest.fixture()
+def module():
+    return Module(sk_hynix_chip(), chip_count=1, seed_tree=SeedTree(0))
+
+
+def _bad_not(module):
+    """NOT whose destination is three subarrays from the source."""
+    geometry = module.config.geometry
+    timing = module.chips[0].timing
+    return not_program(
+        timing, 0, geometry.bank_row(0, 5), geometry.bank_row(3, 5)
+    )
+
+
+def _good_not(module):
+    geometry = module.config.geometry
+    timing = module.chips[0].timing
+    return not_program(
+        timing, 0, geometry.bank_row(0, 5), geometry.bank_row(1, 5)
+    )
+
+
+def test_error_mode_refuses_isolated_subarray_not(module):
+    """Acceptance criterion: verify="error" refuses a NOT program whose
+    destination rows are not in a sense-amp-sharing neighboring subarray."""
+    executor = ProgramExecutor(module, verify="error")
+    with pytest.raises(ProgramVerificationError) as excinfo:
+        executor.run(_bad_not(module))
+    assert "FC104" in str(excinfo.value)
+    assert {d.rule for d in excinfo.value.diagnostics} >= {"FC104"}
+    # Nothing reached the device and no session time elapsed.
+    assert executor.now_ns == 0.0
+
+
+def test_refusal_does_not_corrupt_verifier_session(module):
+    executor = ProgramExecutor(module, verify="error")
+    with pytest.raises(ProgramVerificationError):
+        executor.run(_bad_not(module))
+    # The refused program left the verifier session untouched, so a good
+    # program still verifies and runs from a clean state.
+    result = executor.run(_good_not(module))
+    assert result.diagnostics == ()
+
+
+def test_warn_mode_runs_and_attaches_diagnostics(module):
+    executor = ProgramExecutor(module, verify="warn")
+    result = executor.run(_bad_not(module))
+    assert {d.rule for d in result.diagnostics} >= {"FC104"}
+
+
+def test_off_mode_skips_verification(module):
+    executor = ProgramExecutor(module, verify="off")
+    result = executor.run(_bad_not(module))
+    assert result.diagnostics == ()
+
+
+def test_invalid_mode_rejected(module):
+    with pytest.raises(ValueError):
+        ProgramExecutor(module, verify="loud")
+
+
+def test_suppress_rules_silences_findings(module):
+    executor = ProgramExecutor(
+        module, verify="error", suppress_rules=("FC104", "FC113")
+    )
+    result = executor.run(_bad_not(module))  # no longer refused
+    assert result.diagnostics == ()
+
+
+def test_warn_mode_logs_once_per_rule(module, caplog):
+    executor = ProgramExecutor(module, verify="warn")
+    with caplog.at_level(logging.WARNING, logger="repro.staticcheck"):
+        executor.run(_bad_not(module))
+        executor.run(_bad_not(module))
+    fc104_logs = [r for r in caplog.records if "FC104" in r.getMessage()]
+    assert len(fc104_logs) == 1
+
+
+def test_session_state_carries_across_programs(module):
+    """frac then logic in one executor session: no FC106 warning."""
+    timing = module.chips[0].timing
+    geometry = module.config.geometry
+    executor = ProgramExecutor(module, verify="warn")
+    frac_result = executor.run(frac_program(timing, 0, 3))
+    assert frac_result.diagnostics == ()
+    logic_result = executor.run(
+        logic_program(timing, 0, 3, geometry.bank_row(1, 9))
+    )
+    assert "FC106" not in {d.rule for d in logic_result.diagnostics}
+
+
+def test_host_and_infrastructure_thread_verify(module):
+    host = DramBenderHost(module, verify="error")
+    with pytest.raises(ProgramVerificationError):
+        host.run(_bad_not(module))
+
+    infra = TestingInfrastructure(
+        Module(sk_hynix_chip(), chip_count=1, seed_tree=SeedTree(0)),
+        verify="error",
+        suppress_rules=("FC104", "FC113"),
+    )
+    result = infra.host.run(_bad_not(infra.module))
+    assert result.diagnostics == ()
+
+
+def test_host_row_access_verifies_clean(module):
+    import numpy as np
+
+    host = DramBenderHost(module, verify="error")
+    bits = np.zeros(module.row_bits, dtype=np.uint8)
+    host.write_row(0, 7, bits)
+    out = host.read_row(0, 7)
+    assert out.shape == bits.shape

@@ -31,6 +31,17 @@ class TestCommand:
         text = command.describe()
         assert "ACT" in text and "b2" in text and "r17" in text and "+3ck" in text
 
+    def test_row_rejected_on_rowless_opcodes(self):
+        for opcode in (Opcode.PRE, Opcode.REF, Opcode.NOP):
+            with pytest.raises(ProgramError, match="FC110"):
+                Command(opcode, bank=0, row=5)
+
+    def test_describe_notes_quantized_wait(self):
+        command = Command(
+            Opcode.PRE, bank=0, wait_cycles=1, requested_wait_ns=0.5, quantized=True
+        )
+        assert "quantized from 0.5ns" in command.describe()
+
 
 class TestProgramBuilder:
     def setup_method(self):
@@ -84,3 +95,28 @@ class TestProgramBuilder:
         text = program.describe()
         assert "demo" in text
         assert text.count("\n") == 3
+
+    def test_subcycle_wait_records_quantization(self):
+        program = TestProgram(self.timing).act(0, 0, wait_ns=0.5)
+        command = program.commands[0]
+        assert command.wait_cycles == 1
+        assert command.quantized
+        assert command.requested_wait_ns == pytest.approx(0.5)
+        assert "quantized" in command.describe()
+
+    def test_full_cycle_wait_not_marked_quantized(self):
+        program = TestProgram(self.timing).act(0, 0, wait_ns=self.timing.t_ras)
+        command = program.commands[0]
+        assert not command.quantized
+        assert command.requested_wait_ns == pytest.approx(self.timing.t_ras)
+        assert "quantized" not in command.describe()
+
+    def test_cycle_wait_has_no_requested_ns(self):
+        program = TestProgram(self.timing).act(0, 0, wait_cycles=3)
+        command = program.commands[0]
+        assert command.requested_wait_ns is None and not command.quantized
+
+    def test_intent_validated(self):
+        TestProgram(self.timing, intent="not")  # known intents accepted
+        with pytest.raises(ProgramError):
+            TestProgram(self.timing, intent="invert")

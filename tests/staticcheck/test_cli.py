@@ -1,0 +1,52 @@
+"""CLI behavior: exit codes, demo mode, lint mode."""
+
+import pytest
+
+from repro.staticcheck.__main__ import main, verify_shipped_sequences
+from repro.characterization.fleet import all_specs
+
+
+def test_list_rules_exits_zero(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "FC104" in out and "DET203" in out
+
+
+def test_demo_case_exits_one_when_rule_fires(capsys):
+    assert main(["--demo", "fc104"]) == 1
+    out = capsys.readouterr().out
+    assert "FC104" in out and "fired as documented" in out
+
+
+def test_demo_all_self_test_exits_zero(capsys):
+    assert main(["--demo", "all"]) == 0
+    assert "bad cases fire" in capsys.readouterr().out
+
+
+def test_demo_unknown_case_is_an_error():
+    with pytest.raises(SystemExit):
+        main(["--demo", "no-such-case"])
+
+
+def test_unknown_spec_is_an_error():
+    with pytest.raises(SystemExit):
+        main(["no-such-spec", "--no-lint"])
+
+
+def test_lint_mode_flags_bad_file(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nx = random.random()\n")
+    assert main(["--lint", str(bad)]) == 1
+    assert "DET201" in capsys.readouterr().out
+
+
+def test_lint_mode_passes_clean_file(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("import numpy as np\nrng = np.random.default_rng(7)\n")
+    assert main(["--lint", str(good)]) == 0
+
+
+def test_shipped_sequences_verify_clean_on_default_spec(capsys):
+    spec = next(s for s in all_specs() if s.name == "hynix-4gb-m-x8-2666")
+    diagnostics = verify_shipped_sequences(spec)
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)

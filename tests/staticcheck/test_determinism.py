@@ -1,0 +1,112 @@
+"""Determinism-linter semantics, plus the tree-is-clean guarantee."""
+
+import os
+
+import repro
+from repro.staticcheck.determinism import lint_paths, lint_source
+
+
+def _rules(source, filename="mod.py"):
+    return [d.rule for d in lint_source(source, filename=filename)]
+
+
+class TestGlobalRandom:
+    def test_stdlib_random_flagged(self):
+        assert _rules("import random\nx = random.randint(0, 1)\n") == ["DET201"]
+
+    def test_from_import_alias_resolved(self):
+        src = "from random import randint as ri\nx = ri(0, 1)\n"
+        assert _rules(src) == ["DET201"]
+
+    def test_numpy_global_flagged(self):
+        assert _rules("import numpy as np\nx = np.random.rand(3)\n") == ["DET202"]
+
+    def test_seedless_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert _rules(src) == ["DET202"]
+
+    def test_seeded_default_rng_allowed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(1234)\n"
+        assert _rules(src) == []
+
+    def test_local_name_shadowing_not_flagged(self):
+        # A parameter named `random` is not the stdlib module.
+        src = "def f(random):\n    return random.randint(0, 1)\n"
+        assert _rules(src) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert _rules("import time\nt = time.time()\n") == ["DET203"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nt = datetime.now()\n"
+        assert _rules(src) == ["DET203"]
+
+    def test_monotonic_allowed(self):
+        # Durations cannot leak calendar time into results.
+        assert _rules("import time\nt = time.monotonic()\n") == []
+
+    def test_exempt_module_suffix(self):
+        src = "import time\nt = time.time()\n"
+        assert _rules(src, filename="src/repro/bender/thermal.py") == []
+        assert _rules(src, filename="src/repro/characterization/resilience.py") == []
+
+
+class TestNonAtomicWrite:
+    def test_write_mode_flagged(self):
+        src = "with open('r.json', 'w') as f:\n    f.write('{}')\n"
+        assert _rules(src) == ["DET204"]
+
+    def test_append_and_plus_modes_flagged(self):
+        assert _rules("f = open('log.txt', 'a')\n") == ["DET204"]
+        assert _rules("f = open('log.txt', 'r+')\n") == ["DET204"]
+
+    def test_read_mode_allowed(self):
+        assert _rules("with open('r.json') as f:\n    f.read()\n") == []
+        assert _rules("f = open('r.json', 'rb')\n") == []
+
+    def test_os_fdopen_not_flagged(self):
+        src = "import os\nf = os.fdopen(3, 'w')\n"
+        assert _rules(src) == []
+
+    def test_atomicio_module_exempt(self):
+        src = "f = open('x.json', 'w')\n"
+        assert _rules(src, filename="src/repro/atomicio.py") == []
+
+
+class TestPragmas:
+    def test_same_line_pragma(self):
+        src = "import time\nt = time.time()  # staticcheck: ignore[DET203] ok\n"
+        assert _rules(src) == []
+
+    def test_preceding_line_pragma(self):
+        src = (
+            "import time\n"
+            "# staticcheck: ignore[DET203] progress only\n"
+            "t = time.time()\n"
+        )
+        assert _rules(src) == []
+
+    def test_wildcard_pragma(self):
+        src = "import time\nt = time.time()  # staticcheck: ignore[*]\n"
+        assert _rules(src) == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        src = "import time\nt = time.time()  # staticcheck: ignore[DET204]\n"
+        assert _rules(src) == ["DET203"]
+
+
+def test_lint_source_rejects_syntax_errors():
+    import pytest
+
+    with pytest.raises(ValueError):
+        lint_source("def broken(:\n", filename="broken.py")
+
+
+def test_installed_repro_tree_is_clean():
+    """Satellite guarantee: the shipped source tree lints clean, so the
+    CI staticcheck job lands green."""
+    tree = os.path.dirname(os.path.abspath(repro.__file__))
+    findings = lint_paths([tree])
+    assert findings == [], "\n".join(d.format() for d in findings)

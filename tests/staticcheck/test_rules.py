@@ -1,0 +1,86 @@
+"""Golden-diagnostic tests: every documented bad case fires its rule."""
+
+import pytest
+
+from repro.staticcheck.badcases import BADCASES, run_case
+from repro.staticcheck.diagnostics import (
+    RULES,
+    Diagnostic,
+    Severity,
+    format_diagnostics,
+    has_errors,
+    max_severity,
+)
+
+
+@pytest.mark.parametrize("name", sorted(BADCASES))
+def test_bad_case_fires_expected_rule(name):
+    case, diagnostics = run_case(name)
+    fired = [d for d in diagnostics if d.rule == case.rule]
+    assert fired, (
+        f"case {name} should trigger {case.rule}, got "
+        f"{[d.rule for d in diagnostics]}"
+    )
+    for diag in fired:
+        assert diag.severity == RULES[case.rule].severity
+        assert case.rule in diag.format()
+        assert diag.hint  # every rule ships a fix hint
+
+
+def test_every_fc_and_det_rule_has_a_case():
+    covered = {case.rule for case in BADCASES.values()}
+    assert covered == set(RULES), sorted(set(RULES) - covered)
+
+
+def test_rule_catalogue_is_consistent():
+    for rule_id, rule in RULES.items():
+        assert rule.id == rule_id
+        assert rule.title and rule.summary and rule.hint
+        assert rule_id.startswith(("FC1", "DET2"))
+
+
+def test_unknown_rule_id_rejected():
+    with pytest.raises(ValueError):
+        Diagnostic(rule="FC999", severity=Severity.ERROR, message="x")
+
+
+def test_severity_ordering_and_str():
+    assert Severity.ERROR > Severity.WARNING > Severity.INFO
+    assert str(Severity.ERROR) == "error"
+
+
+def test_format_diagnostics_orders_most_severe_first():
+    warn = Diagnostic(
+        rule="FC107", severity=Severity.WARNING, message="w", program="p"
+    )
+    err = Diagnostic(
+        rule="FC104", severity=Severity.ERROR, message="e", program="p"
+    )
+    text = format_diagnostics([warn, err])
+    assert text.index("FC104") < text.index("FC107")
+
+
+def test_has_errors_and_max_severity():
+    warn = Diagnostic(rule="FC107", severity=Severity.WARNING, message="w")
+    assert not has_errors([warn])
+    assert max_severity([warn]) == Severity.WARNING
+    assert max_severity([]) is None
+
+
+def test_diagnostic_locations():
+    prog = Diagnostic(
+        rule="FC101",
+        severity=Severity.ERROR,
+        message="m",
+        program="demo",
+        command_index=3,
+    )
+    assert prog.location() == "demo cmd 3"
+    lint = Diagnostic(
+        rule="DET203",
+        severity=Severity.ERROR,
+        message="m",
+        file="src/x.py",
+        line=12,
+    )
+    assert lint.location() == "src/x.py:12"

@@ -1,0 +1,213 @@
+"""Program-verifier semantics: clean passes, sessions, chip policies."""
+
+import pytest
+
+from repro import ChipGeometry, SeedTree, samsung_chip, sk_hynix_chip
+from repro.bender.program import TestProgram
+from repro.core.addressing import find_pattern_pair
+from repro.core.sequences import (
+    frac_program,
+    logic_program,
+    nominal_activation_program,
+    not_program,
+    rowclone_program,
+)
+from repro.dram.config import ActivationSupport
+from repro.dram.decoder import ActivationKind
+from repro.dram.module import Module
+from repro.dram.timing import timing_for_speed
+from repro.staticcheck.diagnostics import Severity
+from repro.staticcheck.verifier import ProgramVerifier
+
+SPEED_GRADES = (2133, 2400, 2666, 3200)
+INPUT_COUNTS = (2, 4, 8, 16)
+
+
+def _module(speed: int) -> Module:
+    from dataclasses import replace
+
+    config = replace(sk_hynix_chip(), speed_rate_mts=speed)
+    return Module(config, chip_count=1, seed_tree=SeedTree(0))
+
+
+@pytest.mark.parametrize("speed", SPEED_GRADES)
+def test_all_sequence_constructors_verify_clean(speed):
+    """The acceptance criterion: every shipped constructor, zero errors,
+    at every supported input count {2, 4, 8, 16}."""
+    module = _module(speed)
+    geometry = module.config.geometry
+    timing = timing_for_speed(speed)
+    verifier = ProgramVerifier.for_module(module)
+    state = verifier.new_session()
+    programs = []
+    for n in INPUT_COUNTS:
+        ref_row, com_row = find_pattern_pair(
+            module.decoder, geometry, 0, 0, 1, n,
+            kind=ActivationKind.N_TO_N, seed=n,
+        )
+        src_row, dst_row = find_pattern_pair(
+            module.decoder, geometry, 0, 2, 3, n,
+            kind=ActivationKind.N_TO_N, seed=100 + n,
+        )
+        programs.append(frac_program(timing, 0, ref_row))
+        programs.append(logic_program(timing, 0, ref_row, com_row))
+        programs.append(not_program(timing, 0, src_row, dst_row))
+    programs.append(
+        rowclone_program(
+            timing, 0, geometry.bank_row(4, 10), geometry.bank_row(4, 40)
+        )
+    )
+    programs.append(nominal_activation_program(timing, 0, 5))
+
+    for program in programs:
+        report = verifier.verify_program(program, state=state)
+        assert report.errors == (), (
+            f"{program.name}@{speed}: " + "\n".join(d.format() for d in report.errors)
+        )
+        assert report.warnings == (), (
+            f"{program.name}@{speed}: "
+            + "\n".join(d.format() for d in report.warnings)
+        )
+
+
+def test_gap_classification_idioms():
+    module = _module(2666)
+    geometry = module.config.geometry
+    timing = timing_for_speed(2666)
+    verifier = ProgramVerifier.for_module(module)
+
+    report = verifier.verify_program(
+        not_program(timing, 0, geometry.bank_row(0, 3), geometry.bank_row(1, 8))
+    )
+    assert [c.idiom for c in report.classifications] == ["not"]
+    assert report.classifications[0].violates_t_rp
+    assert not report.classifications[0].violates_t_ras
+
+    report = verifier.verify_program(frac_program(timing, 0, 17))
+    assert [c.idiom for c in report.classifications] == ["frac"]
+    assert report.classifications[0].violates_t_ras
+
+    report = verifier.verify_program(nominal_activation_program(timing, 0, 5))
+    assert [c.idiom for c in report.classifications] == ["nominal"]
+
+    state = verifier.new_session()
+    verifier.verify_program(frac_program(timing, 0, 3), state=state)
+    report = verifier.verify_program(
+        logic_program(timing, 0, 3, geometry.bank_row(1, 9)), state=state
+    )
+    assert "logic" in [c.idiom for c in report.classifications]
+    logic = next(c for c in report.classifications if c.idiom == "logic")
+    assert logic.violates_t_ras and logic.violates_t_rp
+
+
+def test_session_frac_reference_satisfies_logic_op():
+    module = _module(2666)
+    geometry = module.config.geometry
+    timing = timing_for_speed(2666)
+    verifier = ProgramVerifier.for_module(module)
+
+    # Without a session Frac, the logic op warns FC106...
+    cold = verifier.verify_program(
+        logic_program(timing, 0, 3, geometry.bank_row(1, 9))
+    )
+    assert "FC106" in {d.rule for d in cold.diagnostics}
+
+    # ...and with frac_program run first in the same session, it is clean.
+    state = verifier.new_session()
+    verifier.verify_program(frac_program(timing, 0, 3), state=state)
+    warm = verifier.verify_program(
+        logic_program(timing, 0, 3, geometry.bank_row(1, 9)), state=state
+    )
+    assert "FC106" not in {d.rule for d in warm.diagnostics}
+
+
+def test_refresh_destroys_frac_reference():
+    module = _module(2666)
+    geometry = module.config.geometry
+    timing = timing_for_speed(2666)
+    verifier = ProgramVerifier.for_module(module)
+    state = verifier.new_session()
+    verifier.verify_program(frac_program(timing, 0, 3), state=state)
+    # REF to the (closed) bank re-amplifies every cell to full rail.
+    ref = verifier.verify_program(
+        TestProgram(timing, name="ref").ref(0), state=state
+    )
+    assert ref.errors == ()
+    after = verifier.verify_program(
+        logic_program(timing, 0, 3, geometry.bank_row(1, 9)), state=state
+    )
+    assert "FC106" in {d.rule for d in after.diagnostics}
+
+
+def test_session_state_clone_is_isolated():
+    module = _module(2666)
+    timing = timing_for_speed(2666)
+    verifier = ProgramVerifier.for_module(module)
+    state = verifier.new_session()
+    verifier.verify_program(frac_program(timing, 0, 3), state=state)
+    clone = state.clone()
+    assert clone.frac_rows == state.frac_rows
+    clone.frac_rows.clear()
+    assert state.frac_rows  # the original keeps its marks
+
+
+def test_sequential_only_downgrades_logic_intent_to_warning():
+    config = samsung_chip()
+    module = Module(config, chip_count=1, seed_tree=SeedTree(0))
+    geometry = config.geometry
+    timing = timing_for_speed(config.speed_rate_mts)
+    verifier = ProgramVerifier.for_module(module)
+    assert verifier.support is ActivationSupport.SEQUENTIAL_ONLY
+    report = verifier.verify_program(
+        logic_program(timing, 0, 3, geometry.bank_row(1, 9))
+    )
+    fc113 = [d for d in report.diagnostics if d.rule == "FC113"]
+    assert fc113 and fc113[0].severity == Severity.WARNING
+    assert "sequential-only" in fc113[0].message
+    # The sequence degrades to the NOT regime, not charge sharing.
+    assert "not" in {c.idiom for c in report.classifications}
+
+
+def test_none_support_ignores_violating_sequences():
+    from repro import micron_chip
+
+    config = micron_chip()
+    module = Module(config, chip_count=1, seed_tree=SeedTree(0))
+    geometry = config.geometry
+    timing = timing_for_speed(config.speed_rate_mts)
+    verifier = ProgramVerifier.for_module(module)
+    report = verifier.verify_program(
+        not_program(timing, 0, geometry.bank_row(0, 3), geometry.bank_row(1, 8))
+    )
+    assert report.errors == ()
+    assert "ignored" in {c.idiom for c in report.classifications}
+
+
+def test_suppress_drops_rule():
+    geometry = ChipGeometry()
+    timing = timing_for_speed(2666)
+    program = not_program(timing, 0, geometry.bank_row(0, 0), geometry.bank_row(3, 0))
+    plain = ProgramVerifier(geometry).verify_program(program)
+    assert "FC104" in {d.rule for d in plain.diagnostics}
+    quiet = ProgramVerifier(geometry, suppress=("FC104", "FC113")).verify_program(
+        program
+    )
+    assert {d.rule for d in quiet.diagnostics} == set()
+
+
+def test_suppress_rejects_unknown_rule():
+    with pytest.raises(ValueError):
+        ProgramVerifier(ChipGeometry(), suppress=("FC999",))
+
+
+def test_topology_helpers():
+    geometry = ChipGeometry()
+    assert geometry.subarrays_are_neighbors(2, 3)
+    assert geometry.subarrays_are_neighbors(3, 3)
+    assert not geometry.subarrays_are_neighbors(0, 2)
+    assert geometry.rows_share_sense_amps(
+        geometry.bank_row(4, 0), geometry.bank_row(5, 639)
+    )
+    assert not geometry.rows_share_sense_amps(
+        geometry.bank_row(0, 0), geometry.bank_row(7, 0)
+    )
