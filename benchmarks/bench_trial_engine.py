@@ -1,0 +1,143 @@
+"""Trial-engine benchmark: serial vs batched measurement execution.
+
+Times one NOT and one logic-op success-rate measurement at the trial
+counts of the three :mod:`repro.characterization.runner` presets
+(smoke=40, default=150, full=600 trials), once through the serial
+per-trial path (``batch_trials=1``) and once through the batched
+trial-axis engine (``batch_trials=0``), verifies the two produce
+bit-identical success counts, and writes the timings to
+``BENCH_trial_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trial_engine.py
+    PYTHONPATH=src python benchmarks/bench_trial_engine.py --out other.json
+
+The headline number is the single-worker speedup at 600 trials — the
+batched engine's reason to exist.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.atomicio import atomic_write_text
+from repro.characterization.runner import (
+    DEFAULT,
+    FULL,
+    SMOKE,
+    Scale,
+    find_logic_measurement,
+    find_not_measurement,
+    iter_targets,
+)
+
+#: The presets whose ``trials`` settings are benchmarked.
+PRESETS = (SMOKE, DEFAULT, FULL)
+
+#: All timing runs use the smoke geometry so the serial baseline stays
+#: tractable; only the trial count varies across presets.
+GEOMETRY_SCALE = SMOKE
+
+
+def _not_counts(trials: int, seed: int, batch_trials: int) -> np.ndarray:
+    for target in iter_targets(GEOMETRY_SCALE, seed=seed):
+        measurement = find_not_measurement(target, 2)
+        if measurement is None:
+            continue
+        result = measurement.run(
+            trials, np.random.default_rng(seed), batch_trials=batch_trials
+        )
+        return result.success_counts
+    raise RuntimeError("no NOT-capable target in the benchmark fleet")
+
+
+def _logic_counts(trials: int, seed: int, batch_trials: int) -> np.ndarray:
+    for target in iter_targets(GEOMETRY_SCALE, seed=seed):
+        measurement = find_logic_measurement(target, "and", 4)
+        if measurement is None:
+            continue
+        pair = measurement.run(
+            trials, np.random.default_rng(seed), batch_trials=batch_trials
+        )
+        return np.concatenate(
+            [
+                pair.primary.success_counts.ravel(),
+                pair.complement.success_counts.ravel(),
+            ]
+        )
+    raise RuntimeError("no logic-capable target in the benchmark fleet")
+
+
+def _time_engine(runner, trials: int, seed: int, batch_trials: int):
+    # staticcheck: ignore[DET203] wall-clock is the measured quantity here
+    start = time.perf_counter()
+    counts = runner(trials, seed, batch_trials)
+    elapsed = time.perf_counter() - start  # staticcheck: ignore[DET203]
+    return elapsed, counts
+
+
+def run_benchmark(seed: int = 1) -> Dict[str, object]:
+    presets: Dict[str, object] = {}
+    for scale in PRESETS:
+        entry: Dict[str, object] = {"trials": scale.trials}
+        for name, runner in (("not", _not_counts), ("logic", _logic_counts)):
+            serial_s, serial_counts = _time_engine(runner, scale.trials, seed, 1)
+            batched_s, batched_counts = _time_engine(
+                runner, scale.trials, seed, 0
+            )
+            identical = bool(np.array_equal(serial_counts, batched_counts))
+            entry[name] = {
+                "serial_s": round(serial_s, 4),
+                "batched_s": round(batched_s, 4),
+                "speedup": round(serial_s / batched_s, 2),
+                "identical": identical,
+            }
+            if not identical:
+                raise AssertionError(
+                    f"batched {name} diverged from serial at "
+                    f"{scale.trials} trials"
+                )
+        presets[scale.name] = entry
+    return {
+        "benchmark": "trial_engine",
+        "geometry": GEOMETRY_SCALE.name,
+        "seed": seed,
+        "jobs": 1,
+        "presets": presets,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_trial_engine.json")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(seed=args.seed)
+    atomic_write_text(args.out, json.dumps(report, indent=2) + "\n")
+
+    for name, entry in report["presets"].items():
+        for op in ("not", "logic"):
+            row = entry[op]
+            print(
+                f"{name:>8} ({entry['trials']:>4} trials) {op:>5}: "
+                f"serial {row['serial_s']:7.3f}s  "
+                f"batched {row['batched_s']:7.3f}s  "
+                f"speedup {row['speedup']:6.2f}x"
+            )
+    full = report["presets"]["full"]
+    headline = min(full["not"]["speedup"], full["logic"]["speedup"])
+    print(f"\nheadline: >= {headline:.2f}x at {full['trials']} trials, 1 worker")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

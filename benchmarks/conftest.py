@@ -53,12 +53,26 @@ def pytest_addoption(parser):
         help="JSON fault plan to inject into every benchmarked sweep "
         "(exercises the retry path under timing measurement)",
     )
+    parser.addoption(
+        "--batch-trials",
+        action="store",
+        type=int,
+        default=0,
+        help="trial engine for every benchmarked sweep: 0 = batched "
+        "(default), 1 = serial per-trial path, k>1 caps the block size; "
+        "results are bit-identical at any setting",
+    )
+
+
+#: Trial-engine setting applied to every benchmarked sweep.
+_BATCH_TRIALS: int = 0
 
 
 def pytest_configure(config):
-    global _FAULT_PLAN
+    global _FAULT_PLAN, _BATCH_TRIALS
     path = config.getoption("--faults", default=None)
     _FAULT_PLAN = FaultPlan.load(path) if path else None
+    _BATCH_TRIALS = config.getoption("--batch-trials", default=0)
 
 
 @pytest.fixture(scope="session")
@@ -73,7 +87,8 @@ def sweep_jobs(request):
 
 def run_and_report(benchmark, experiment_id: str, seed: int = 1, jobs: int = 1):
     """Benchmark one experiment run and print its figure reproduction."""
-    kwargs = {"scale": BENCH_SCALE, "seed": seed, "jobs": jobs}
+    scale = BENCH_SCALE.with_batch_trials(_BATCH_TRIALS)
+    kwargs = {"scale": scale, "seed": seed, "jobs": jobs}
     if _FAULT_PLAN is not None:
         # A fresh Resilience per round: health must not leak between
         # benchmark iterations.

@@ -160,6 +160,25 @@ def generate_report(
         '"Parallel sweeps" section of README.md and',
         "`tests/characterization/test_parallel.py` for the guarantee.",
         "",
+        "## Batched execution",
+        "",
+        "Within each worker, trials execute on the batched engine: a whole",
+        "block of trials evaluates as one vectorized pass over a leading",
+        "NumPy trials axis instead of one program execution per trial.",
+        "`--batch-trials` selects the engine (`0`, the default, batches",
+        "blocks of up to 1024 trials; `1` recovers the serial per-trial",
+        "loop; `k > 1` caps block size at `k`).  The engine is an",
+        "execution detail, not a measurement parameter: every success",
+        "count below is bit-identical for any setting — including under",
+        "fault injection — because per-trial noise substreams and",
+        "fault-site hashes are keyed by trial index, not drawn in",
+        "execution order.  It therefore composes freely with `--jobs`",
+        "and `--resume`: checkpoint fingerprints exclude the batch",
+        "setting, so a run checkpointed under one engine resumes under",
+        "another.  See \"Batched execution\" in README.md,",
+        "`tests/core/test_batched_equivalence.py` for the contract, and",
+        "`benchmarks/bench_trial_engine.py` for the speedup measurement.",
+        "",
         "## Resilient sweeps",
         "",
         "Long runs survive a flaky bench and a dying machine.  With",
@@ -247,6 +266,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "content is bit-identical at any job count)",
     )
     parser.add_argument(
+        "--batch-trials",
+        type=int,
+        default=0,
+        help="trial execution engine: 0 (default) = batched blocks, "
+        "1 = serial per-trial path, k>1 caps the block size; the report "
+        "content is bit-identical at any setting",
+    )
+    parser.add_argument(
         "--only",
         nargs="*",
         default=None,
@@ -256,10 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.batch_trials < 0:
+        parser.error(f"--batch-trials must be >= 0, got {args.batch_trials}")
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
     content = generate_report(
-        scale=_SCALES[args.scale],
+        scale=_SCALES[args.scale].with_batch_trials(args.batch_trials),
         seed=args.seed,
         experiment_ids=args.only,
         log=sys.stderr,

@@ -20,7 +20,12 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..errors import ProgramVerificationError, TimingViolationError
+from ..errors import (
+    CommandSequenceError,
+    ProgramVerificationError,
+    TimingViolationError,
+)
+from ..dram.batch import BatchedModule
 from ..dram.module import Module
 # diagnostics has no repro-internal imports, so this cannot cycle; the
 # verifier itself is imported lazily in _preflight.
@@ -186,7 +191,107 @@ class ProgramExecutor:
             diagnostics=diagnostics,
         )
 
+    def run_batched(
+        self, program: TestProgram, batch: BatchedModule
+    ) -> ExecutionResult:
+        """Replay ``program`` over a whole trial block in one pass.
+
+        ``batch`` is the block's :class:`~repro.dram.batch.BatchedModule`
+        (see :meth:`~repro.bender.host.DramBenderHost.batched_trials`).
+        Every command must target the block's bank.  Semantics relative
+        to ``n_trials`` serial :meth:`run` calls:
+
+        * Device state and RD data are bit-identical per trial (the
+          per-trial noise substreams guarantee it).
+        * Fault injection stays per-trial: ``on_program`` rolls once per
+          trial index before any command executes, and RD data is
+          filtered per trial.
+        * The static pre-flight runs once per program instead of once
+          per trial — the verifier's findings are a pure function of
+          the program, so per-trial repetition only duplicated them.
+        * ``now_ns`` advances by ``n_trials`` single-pass durations, and
+          timing violations are recorded once instead of per trial.
+        """
+        if self.faults is not None:
+            # Per-trial timeout rolls, in trial order: the same (trial,
+            # occurrence) pairs a serial loop would roll, so the same
+            # trial times out in either execution mode.
+            for trial in batch.trial_indices:
+                self.faults.set_trial(trial)
+                self.faults.on_program(program.name)
+        diagnostics = self._preflight(program)
+        timing = program.timing
+        clocks: Dict[int, _BankClock] = {}
+        reads: List[ReadRecord] = []
+        violations: List[str] = []
+        start_ns = self._now_ns
+
+        for index, command in enumerate(program):
+            if command.opcode is not Opcode.NOP and command.bank != batch.bank_index:
+                raise CommandSequenceError(
+                    f"batched execution is bound to bank {batch.bank_index}; "
+                    f"command {index} targets bank {command.bank}"
+                )
+            clock = clocks.setdefault(command.bank, _BankClock())
+            self._check_timing(command, clock, timing, violations)
+            self._dispatch_batched(command, index, reads, batch)
+            self._now_ns += command.wait_cycles * timing.t_ck
+
+        settle_at = self._now_ns + timing.t_rc
+        batch.settle(settle_at)
+        self._now_ns = settle_at
+
+        # The bus replayed the program once per trial: advance the clock
+        # accordingly so interleaved serial/batched sessions stay
+        # monotone and account the same total bus time.
+        single_pass_ns = self._now_ns - start_ns
+        self._now_ns = start_ns + batch.n_trials * single_pass_ns
+
+        if self.strict and violations:
+            raise TimingViolationError(
+                f"program {program.name or '<anonymous>'} violated timings: "
+                + "; ".join(violations)
+            )
+        return ExecutionResult(
+            reads=reads,
+            duration_ns=self._now_ns - start_ns,
+            violations=violations,
+            diagnostics=diagnostics,
+        )
+
     # ------------------------------------------------------------------
+
+    def _dispatch_batched(
+        self,
+        command: Command,
+        index: int,
+        reads: List[ReadRecord],
+        batch: BatchedModule,
+    ) -> None:
+        now = self._now_ns
+        if command.opcode is Opcode.ACT:
+            batch.activate(command.row, now)
+        elif command.opcode is Opcode.PRE:
+            batch.precharge(now)
+        elif command.opcode is Opcode.WR:
+            batch.write(command.row, command.data, now)
+        elif command.opcode is Opcode.RD:
+            bits = batch.read(command.row, now)
+            if self.faults is not None:
+                filtered = bits.copy()
+                for i, trial in enumerate(batch.trial_indices):
+                    self.faults.set_trial(trial)
+                    filtered[i] = self.faults.filter_read(
+                        command.bank, command.row, bits[i]
+                    )
+                bits = filtered
+            reads.append(
+                ReadRecord(index, command.bank, command.row, command.label, bits)
+            )
+        elif command.opcode is Opcode.REF:
+            batch.refresh(now)
+        elif command.opcode is Opcode.NOP:
+            pass
 
     def _dispatch(
         self, command: Command, index: int, reads: List[ReadRecord]

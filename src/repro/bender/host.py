@@ -19,12 +19,13 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from ..dram.batch import BatchedModule
 from ..dram.module import Module
 from ..dram.timing import TimingParameters
 from .executor import ExecutionResult, ProgramExecutor
 from .program import TestProgram
 
-__all__ = ["DramBenderHost"]
+__all__ = ["DramBenderHost", "BatchedTrialSession"]
 
 
 class DramBenderHost:
@@ -130,3 +131,98 @@ class DramBenderHost:
         if density is None:
             return rng.integers(0, 2, self.module.row_bits, dtype=np.uint8)
         return (rng.random(self.module.row_bits) < density).astype(np.uint8)
+
+    # -- trial-axis execution ---------------------------------------------
+
+    def begin_trial(self, bank: int) -> int:
+        """Start the next measurement trial on ``bank`` (serial path).
+
+        Switches the bank's analog noise to the trial's substream and
+        scopes fault injection to the trial index, mirroring what
+        :meth:`batched_trials` does for a whole block at once.
+        """
+        index = self.module.begin_trial(bank)
+        if self.faults is not None:
+            self.faults.set_trial(index)
+        return index
+
+    def end_trials(self) -> None:
+        """Leave per-trial fault scoping after a measurement completes."""
+        if self.faults is not None:
+            self.faults.set_trial(None)
+
+    def batched_trials(self, bank: int, n_trials: int) -> "BatchedTrialSession":
+        """Open a batched block of ``n_trials`` trials against ``bank``."""
+        return BatchedTrialSession(self, bank, n_trials)
+
+
+class BatchedTrialSession:
+    """One block of measurement trials executing as a single batch.
+
+    The session exposes the same fill/run/peek surface a serial trial
+    uses on :class:`DramBenderHost`, with data carrying an optional
+    leading trials axis.  Use as a context manager::
+
+        with host.batched_trials(bank, n) as session:
+            session.fill_row(row, bits)            # same bits, every trial
+            session.fill_row(row, stacked_bits)    # (n, row_bits): per trial
+            session.run(program)                   # one batched execution
+            bits = session.peek_row(row)           # (n, row_bits)
+
+    On clean exit the block is folded back into the module, leaving the
+    device bit-identical to ``n`` serial trials.  On an exception
+    (injected host timeout, ...) the fold-back is skipped — the module
+    state is stale, exactly like a serial loop aborted mid-trial, and
+    the retry machinery rebuilds the module either way.
+    """
+
+    def __init__(self, host: DramBenderHost, bank: int, n_trials: int):
+        self.host = host
+        self.bank = bank
+        self.batch = BatchedModule(host.module, bank, n_trials)
+        self.n_trials = n_trials
+        #: Absolute trial indices covered by this block.
+        self.trial_indices = self.batch.trial_indices
+        self._finished = False
+
+    @property
+    def timing(self) -> TimingParameters:
+        return self.host.timing
+
+    def fill_row(self, row: int, bits: np.ndarray) -> None:
+        """Backdoor fill; ``bits`` is ``(row_bits,)`` or ``(n, row_bits)``."""
+        self.batch.store_bits(row, bits)
+
+    def fill_row_voltages(self, row: int, volts: np.ndarray) -> None:
+        self.batch.store_voltages(row, volts)
+
+    def peek_row(self, row: int) -> np.ndarray:
+        """Backdoor readout for every trial: ``(n_trials, row_bits)``."""
+        bits = self.batch.load_bits(row)
+        faults = self.host.faults
+        if faults is None:
+            return bits
+        filtered = bits.copy()
+        for i, trial in enumerate(self.trial_indices):
+            faults.set_trial(trial)
+            filtered[i] = faults.filter_read(self.bank, row, bits[i])
+        return filtered
+
+    def run(self, program: TestProgram) -> ExecutionResult:
+        """Execute ``program`` once for every trial of the block."""
+        return self.host.executor.run_batched(program, self.batch)
+
+    def finish(self) -> None:
+        """Fold the block back into the module (idempotent)."""
+        if self._finished:
+            return
+        self.batch.finalize()
+        self._finished = True
+
+    def __enter__(self) -> "BatchedTrialSession":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if exc_type is None:
+            self.finish()
+        return False

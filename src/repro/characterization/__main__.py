@@ -42,12 +42,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         "are bit-identical at any job count)",
     )
     parser.add_argument(
+        "--batch-trials",
+        type=int,
+        default=0,
+        help="trial execution engine: 0 (default) batches whole trial "
+        "blocks as one vectorized evaluation, 1 runs the serial "
+        "per-trial path, k>1 caps the batch block size; results are "
+        "bit-identical at any setting",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     add_resilience_arguments(parser)
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.batch_trials < 0:
+        parser.error(f"--batch-trials must be >= 0, got {args.batch_trials}")
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
 
@@ -60,7 +71,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     start = time.time()
     result = run_experiment(
         args.experiment,
-        scale=_SCALES[args.scale],
+        scale=_SCALES[args.scale].with_batch_trials(args.batch_trials),
         seed=args.seed,
         jobs=args.jobs,
         resilience=resilience_from_args(args),

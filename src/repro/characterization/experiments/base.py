@@ -20,7 +20,7 @@ object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -106,6 +106,10 @@ class _NotSweepWork:
     label_fn: Optional[NotLabelFn]
     temperatures: Tuple[float, ...]
     good_cells_only: bool
+    #: Trial engine selection: execution detail, not measurement
+    #: identity — ``engine_only`` keeps it out of checkpoint
+    #: fingerprints so batched and serial runs resume interchangeably.
+    batch_trials: int = field(default=0, metadata={"engine_only": True})
 
     def __call__(self, target: SweepTarget) -> List[SweepRecord]:
         records: List[SweepRecord] = []
@@ -129,6 +133,7 @@ class _NotSweepWork:
                 baseline = measurement.run(
                     self.trials,
                     _measurement_rng(seed, target.label(), repr(variant), "mask"),
+                    batch_trials=self.batch_trials,
                 )
                 mask = good_cell_mask(baseline)
                 if not mask.any():
@@ -148,6 +153,7 @@ class _NotSweepWork:
                     _measurement_rng(
                         seed, target.label(), repr(variant), f"T={temperature}"
                     ),
+                    batch_trials=self.batch_trials,
                 )
                 rates = result.rates[mask] if mask is not None else result.rates
                 records.append((label, rates, target.weight))
@@ -165,6 +171,8 @@ class _LogicSweepWork:
     label_fn: Optional[LogicLabelFn]
     temperatures: Tuple[float, ...]
     good_cells_only: bool
+    #: See :class:`_NotSweepWork.batch_trials`.
+    batch_trials: int = field(default=0, metadata={"engine_only": True})
 
     def __call__(self, target: SweepTarget) -> List[SweepRecord]:
         records: List[SweepRecord] = []
@@ -187,6 +195,7 @@ class _LogicSweepWork:
                     _measurement_rng(seed, target.label(), repr(variant), "mask"),
                     mode=variant.mode,
                     ones_count=variant.ones_count,
+                    batch_trials=self.batch_trials,
                 )
                 masks = (
                     good_cell_mask(baseline.primary),
@@ -202,6 +211,7 @@ class _LogicSweepWork:
                     ),
                     mode=variant.mode,
                     ones_count=variant.ones_count,
+                    batch_trials=self.batch_trials,
                 )
                 for index, result in enumerate((pair.primary, pair.complement)):
                     op_name = str(result.metadata["operation"])
@@ -283,6 +293,7 @@ def not_sweep(
         label_fn=label_fn,
         temperatures=temps,
         good_cells_only=good_cells_only,
+        batch_trials=scale.batch_trials,
     )
     descriptors = _select_descriptors(scale, manufacturers, spec_filter)
     runner = make_executor(jobs, executor)
@@ -321,6 +332,7 @@ def logic_sweep(
         label_fn=label_fn,
         temperatures=temps,
         good_cells_only=good_cells_only,
+        batch_trials=scale.batch_trials,
     )
     descriptors = _select_descriptors(
         scale, [Manufacturer.SK_HYNIX], spec_filter

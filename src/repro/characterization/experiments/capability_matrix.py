@@ -57,24 +57,28 @@ def _probe_rowclone(target, attempts: int = 3) -> bool:
     return False
 
 
-def _max_not_destinations(target, trials: int) -> int:
+def _max_not_destinations(target, trials: int, batch_trials: int) -> int:
     best = 0
     for n in (1, 2, 4, 8, 16, 32):
         measurement = find_not_measurement(target, n)
         if measurement is None:
             continue
-        result = measurement.run(trials, np.random.default_rng(n))
+        result = measurement.run(
+            trials, np.random.default_rng(n), batch_trials=batch_trials
+        )
         if result.mean_rate >= SUPPORT_THRESHOLD:
             best = n
     return best
 
-def _max_op_inputs(target, trials: int) -> int:
+def _max_op_inputs(target, trials: int, batch_trials: int) -> int:
     best = 0
     for n in (2, 4, 8, 16):
         measurement = find_logic_measurement(target, "and", n)
         if measurement is None:
             continue
-        pair = measurement.run(trials, np.random.default_rng(n))
+        pair = measurement.run(
+            trials, np.random.default_rng(n), batch_trials=batch_trials
+        )
         if pair.primary.mean_rate >= SUPPORT_THRESHOLD:
             best = n
     return best
@@ -98,8 +102,10 @@ def run(
         rows[target.spec.name] = {
             "manufacturer": str(chip.manufacturer),
             "rowclone": _probe_rowclone(target),
-            "max_not_dst": _max_not_destinations(target, trials),
-            "max_op_inputs": _max_op_inputs(target, trials),
+            "max_not_dst": _max_not_destinations(
+                target, trials, scale.batch_trials
+            ),
+            "max_op_inputs": _max_op_inputs(target, trials, scale.batch_trials),
             "n_to_2n": chip.supports_n_to_2n
             and find_not_measurement(target, 32) is not None,
         }

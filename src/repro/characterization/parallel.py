@@ -36,6 +36,12 @@ pull the next pending chunk, so one slow target (e.g. a
 region-constrained pattern search) delays only its own chunk rather
 than straggling a statically-assigned shard.
 
+The batched trial engine (``Scale.batch_trials``, see
+:mod:`repro.core.success`) composes with all of the above: the setting
+rides inside the pickled work object, and because batched and serial
+execution are bit-identical per measurement, ``--jobs N`` times
+``--batch-trials k`` yields the same bits for every (N, k).
+
 Resilience
 ----------
 

@@ -195,9 +195,13 @@ def work_fingerprint(obj: object) -> str:
     if callable(token):
         return str(token())
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # Fields marked ``engine_only`` configure *how* the work
+        # executes (e.g. the batched trial engine), never what it
+        # measures — they must not split checkpoint compatibility.
         parts = ", ".join(
             f"{f.name}={work_fingerprint(getattr(obj, f.name))}"
             for f in dataclasses.fields(obj)
+            if not f.metadata.get("engine_only")
         )
         return f"{type(obj).__module__}.{type(obj).__qualname__}({parts})"
     if callable(obj):
@@ -219,14 +223,16 @@ def sweep_fingerprint(
 
     Two runs share a fingerprint exactly when they would produce
     bit-identical records for every target — same work, scale, seed,
-    descriptor enumeration, and fault plan.  Job count deliberately does
-    not participate: serial and pool execution are interchangeable, so a
-    sweep checkpointed serially may resume under ``--jobs N`` and vice
-    versa.
+    descriptor enumeration, and fault plan.  Job count and the trial
+    engine (``Scale.batch_trials``) deliberately do not participate:
+    serial, pooled, batched, and per-trial execution are all
+    interchangeable, so a sweep checkpointed under any combination may
+    resume under any other.
     """
     digest = hashlib.sha256()
     digest.update(work_fingerprint(work).encode("utf-8"))
-    digest.update(repr(scale).encode("utf-8"))
+    canonical_scale = dataclasses.replace(scale, batch_trials=0)
+    digest.update(repr(canonical_scale).encode("utf-8"))
     digest.update(str(int(seed)).encode("ascii"))
     for descriptor in descriptors:
         digest.update(repr(dataclasses.astuple(descriptor)).encode("utf-8"))

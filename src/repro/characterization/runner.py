@@ -55,7 +55,15 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Scale:
-    """How much of the paper-scale experiment a sweep actually runs."""
+    """How much of the paper-scale experiment a sweep actually runs.
+
+    ``batch_trials`` selects the trial execution engine for every
+    measurement in the sweep: ``0`` (the default) runs whole trial
+    blocks as one batched NumPy evaluation, ``1`` recovers the serial
+    per-trial path, and larger values cap the batch block size.  All
+    settings produce bit-identical results — the knob only trades
+    memory for speed.
+    """
 
     name: str
     modules_per_spec: int
@@ -64,9 +72,17 @@ class Scale:
     pairs_per_bank: int
     trials: int
     geometry: ChipGeometry
+    batch_trials: int = 0
 
     def with_trials(self, trials: int) -> "Scale":
         return replace(self, trials=trials)
+
+    def with_batch_trials(self, batch_trials: int) -> "Scale":
+        if batch_trials < 0:
+            raise ValueError(
+                f"batch_trials must be >= 0, got {batch_trials}"
+            )
+        return replace(self, batch_trials=batch_trials)
 
 
 #: Minimal scale for unit tests: one tiny module per spec.

@@ -24,10 +24,10 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..bender.host import DramBenderHost
+from ..bender.host import BatchedTrialSession, DramBenderHost
 from ..dram.decoder import ActivationKind, ActivationPattern
 from ..errors import AddressError, UnsupportedOperationError
-from .frac import store_half_vdd
+from .frac import store_half_vdd, store_half_vdd_batched
 from .layout import bank_rows, module_shared_columns
 from .sequences import logic_program
 
@@ -147,6 +147,53 @@ class LogicOperation:
         """Issue the reduced-timing double activation (§6.2 step 3)."""
         self.host.run(
             logic_program(self.host.timing, self.bank, self.ref_row, self.com_row)
+        )
+
+    # -- batched (trial-axis) variants ---------------------------------
+
+    def _check_session(self, session: BatchedTrialSession) -> None:
+        if session.bank != self.bank:
+            raise AddressError(
+                f"batched session is bound to bank {session.bank}; "
+                f"operation targets bank {self.bank}"
+            )
+
+    def prepare_reference_batched(self, session: BatchedTrialSession) -> None:
+        """Batched :meth:`prepare_reference` for every trial of a block.
+
+        The constant rows are trial-invariant; the Frac row draws its
+        equalizer noise per trial, so each trial's reference voltages
+        match what a serial ``prepare_reference`` would have produced.
+        """
+        self._check_session(session)
+        base, _side = BASE_OPS[self.op]
+        constant = np.ones if base == "and" else np.zeros
+        bits = constant(self.host.module.row_bits, dtype=np.uint8)
+        for row in self.reference_rows[:-1]:
+            session.fill_row(row, bits)
+        store_half_vdd_batched(session, self.reference_rows[-1])
+
+    def set_operands_batched(
+        self, session: BatchedTrialSession, operands: Sequence[np.ndarray]
+    ) -> None:
+        """Batched :meth:`set_operands`.
+
+        Each operand is ``(row_bits,)`` (same bits for every trial) or
+        ``(n_trials, row_bits)`` (per-trial operand draws).
+        """
+        self._check_session(session)
+        if len(operands) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} operands, got {len(operands)}"
+            )
+        for row, bits in zip(self.compute_rows, operands):
+            session.fill_row(row, np.asarray(bits, dtype=np.uint8))
+
+    def execute_batched(self, session: BatchedTrialSession) -> None:
+        """Batched :meth:`execute`: one double activation per trial."""
+        self._check_session(session)
+        session.run(
+            logic_program(session.timing, self.bank, self.ref_row, self.com_row)
         )
 
     def read_outcome(self) -> LogicOutcome:

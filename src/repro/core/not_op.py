@@ -19,7 +19,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..bender.host import DramBenderHost
+from ..bender.host import BatchedTrialSession, DramBenderHost
 from ..dram.decoder import ActivationPattern
 from ..errors import AddressError
 from .layout import bank_rows, module_shared_columns
@@ -81,6 +81,17 @@ class NotOperation:
         """Issue the ACT(src) → PRE → ACT(dst) sequence (§5.1)."""
         self.host.run(
             not_program(self.host.timing, self.bank, self.src_row, self.dst_row)
+        )
+
+    def execute_batched(self, session: BatchedTrialSession) -> None:
+        """Issue the NOT sequence once per trial of a batched block."""
+        if session.bank != self.bank:
+            raise AddressError(
+                f"batched session is bound to bank {session.bank}; "
+                f"operation targets bank {self.bank}"
+            )
+        session.run(
+            not_program(session.timing, self.bank, self.src_row, self.dst_row)
         )
 
     def read_outcome(self) -> NotOutcome:

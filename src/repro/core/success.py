@@ -4,14 +4,23 @@ The success rate of a DRAM cell for an operation is the fraction of
 trials in which the cell ends up holding the operation's correct output.
 The paper runs 10,000 trials per cell; the measurement classes here take
 the trial count as a parameter so characterization sweeps can trade
-precision for runtime (a binomial with 500 trials already pins a ~95%
-rate to about plus/minus 2%).
+precision for runtime.  The :class:`~repro.characterization.runner.Scale`
+presets run 40 (smoke), 150 (default), and 600 (full) trials — a
+binomial with 600 trials already pins a ~95% rate to about plus/minus
+2% at two sigma.
+
+Both measurements execute trials through a batched trial-axis engine by
+default: a whole block of trials runs as one NumPy evaluation with a
+leading trials axis, bit-identical to the serial per-trial loop (each
+trial draws analog noise and fault rolls from its own substream, so the
+execution mode cannot change any measured count).  ``batch_trials=1``
+recovers the serial path; any larger value caps the block size.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +36,30 @@ __all__ = [
     "NotSuccessMeasurement",
     "LogicSuccessMeasurement",
     "LogicPairResult",
+    "DEFAULT_TRIAL_BLOCK",
 ]
+
+#: Block-size cap used when ``batch_trials=0`` selects automatic batching.
+DEFAULT_TRIAL_BLOCK = 1024
+
+
+def _trial_blocks(trials: int, batch_trials: int) -> List[int]:
+    """Split ``trials`` into execution block sizes.
+
+    ``batch_trials`` selects the engine: ``0`` (the default) batches in
+    blocks of up to :data:`DEFAULT_TRIAL_BLOCK`; ``1`` recovers the
+    serial per-trial path; ``k > 1`` batches in blocks of ``k``.
+    """
+    if batch_trials < 0:
+        raise ValueError(f"batch_trials must be >= 0, got {batch_trials}")
+    size = DEFAULT_TRIAL_BLOCK if batch_trials == 0 else batch_trials
+    blocks: List[int] = []
+    remaining = trials
+    while remaining > 0:
+        step = min(size, remaining)
+        blocks.append(step)
+        remaining -= step
+    return blocks
 
 
 @dataclass
@@ -88,26 +120,26 @@ class NotSuccessMeasurement:
     def n_destination_rows(self) -> int:
         return len(self.destination_rows)
 
-    def run(self, trials: int, rng: np.random.Generator) -> SuccessResult:
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        batch_trials: int = 0,
+    ) -> SuccessResult:
+        """Measure ``trials`` trials; see :func:`_trial_blocks` for
+        ``batch_trials`` semantics (the result is bit-identical for any
+        value)."""
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
-        host, bank = self.host, self.bank
         shared = self.operation.shared_columns
         counts = np.zeros((len(self.destination_rows), shared.size), dtype=np.int64)
 
-        for _ in range(trials):
-            rand2 = host.random_bits(rng)
-            for row in self.source_rows + self.destination_rows:
-                host.fill_row(bank, row, rand2)
-            rand1 = host.random_bits(rng)
-            host.fill_row(bank, self.operation.src_row, rand1)
-            expected = 1 - rand1[shared]
-
-            self.operation.execute()
-
-            for i, row in enumerate(self.destination_rows):
-                bits = host.peek_row(bank, row)
-                counts[i] += bits[shared] == expected
+        for block in _trial_blocks(trials, batch_trials):
+            if block == 1:
+                self._serial_trial(counts, rng)
+            else:
+                self._batched_block(counts, rng, block)
+        self.host.end_trials()
 
         return SuccessResult(
             success_counts=counts,
@@ -119,6 +151,52 @@ class NotSuccessMeasurement:
                 "n_destination_rows": self.n_destination_rows,
             },
         )
+
+    def _serial_trial(self, counts: np.ndarray, rng: np.random.Generator) -> None:
+        """One trial through the per-trial execution path."""
+        host, bank = self.host, self.bank
+        shared = self.operation.shared_columns
+        host.begin_trial(bank)
+        rand2 = host.random_bits(rng)
+        for row in self.source_rows + self.destination_rows:
+            host.fill_row(bank, row, rand2)
+        rand1 = host.random_bits(rng)
+        host.fill_row(bank, self.operation.src_row, rand1)
+        expected = 1 - rand1[shared]
+
+        self.operation.execute()
+
+        for i, row in enumerate(self.destination_rows):
+            bits = host.peek_row(bank, row)
+            counts[i] += bits[shared] == expected
+
+    def _batched_block(
+        self, counts: np.ndarray, rng: np.random.Generator, block: int
+    ) -> None:
+        """One block of trials through the batched execution path."""
+        host = self.host
+        shared = self.operation.shared_columns
+        width = host.module.row_bits
+        # Consume the measurement RNG in the exact order of the serial
+        # loop — RAND2 then RAND1, per trial — so both paths see the
+        # same patterns.
+        rand2 = np.empty((block, width), dtype=np.uint8)
+        rand1 = np.empty((block, width), dtype=np.uint8)
+        for t in range(block):
+            rand2[t] = host.random_bits(rng)
+            rand1[t] = host.random_bits(rng)
+        expected = 1 - rand1[:, shared]
+
+        with host.batched_trials(self.bank, block) as session:
+            for row in self.source_rows + self.destination_rows:
+                session.fill_row(row, rand2)
+            session.fill_row(self.operation.src_row, rand1)
+
+            self.operation.execute_batched(session)
+
+            for i, row in enumerate(self.destination_rows):
+                bits = session.peek_row(row)
+                counts[i] += np.sum(bits[:, shared] == expected, axis=0)
 
 
 @dataclass
@@ -150,10 +228,27 @@ class LogicSuccessMeasurement:
         self.bank = bank
         self.base_op = base_op
         self.operation = LogicOperation(host, bank, ref_row, com_row, op=base_op)
+        self._constant_rows: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def n_inputs(self) -> int:
         return self.operation.n_inputs
+
+    def _constant_row(self, bit: int) -> np.ndarray:
+        """A cached read-only all-``bit`` row pattern.
+
+        The constant-pattern modes ("all01", "ones_count") only ever
+        produce all-0 and all-1 operands, so the two arrays are built
+        once per measurement instead of once per operand per trial.
+        """
+        if self._constant_rows is None:
+            width = self.host.module.row_bits
+            zeros = np.zeros(width, dtype=np.uint8)
+            ones = np.ones(width, dtype=np.uint8)
+            zeros.setflags(write=False)
+            ones.setflags(write=False)
+            self._constant_rows = (zeros, ones)
+        return self._constant_rows[int(bit)]
 
     def _draw_operands(
         self,
@@ -167,7 +262,7 @@ class LogicSuccessMeasurement:
             return [rng.integers(0, 2, width, dtype=np.uint8) for _ in range(n)]
         if mode == "all01":
             choices = rng.integers(0, 2, n)
-            return [np.full(width, bit, dtype=np.uint8) for bit in choices]
+            return [self._constant_row(bit) for bit in choices]
         if mode == "ones_count":
             if ones_count is None or not 0 <= ones_count <= n:
                 raise ValueError(
@@ -175,7 +270,7 @@ class LogicSuccessMeasurement:
                 )
             ones = np.zeros(n, dtype=np.uint8)
             ones[rng.choice(n, size=ones_count, replace=False)] = 1
-            return [np.full(width, bit, dtype=np.uint8) for bit in ones]
+            return [self._constant_row(bit) for bit in ones]
         raise ValueError(f"unknown mode {mode!r}; expected one of {self.MODES}")
 
     def run(
@@ -184,31 +279,26 @@ class LogicSuccessMeasurement:
         rng: np.random.Generator,
         mode: str = "random",
         ones_count: Optional[int] = None,
+        batch_trials: int = 0,
     ) -> LogicPairResult:
+        """Measure ``trials`` trials; see :func:`_trial_blocks` for
+        ``batch_trials`` semantics (the result is bit-identical for any
+        value)."""
         if trials < 1:
             raise ValueError(f"trials must be >= 1, got {trials}")
-        host, bank = self.host, self.bank
         operation = self.operation
         shared = operation.shared_columns
         com_counts = np.zeros((len(operation.compute_rows), shared.size), np.int64)
         ref_counts = np.zeros((len(operation.reference_rows), shared.size), np.int64)
 
-        for _ in range(trials):
-            operands = self._draw_operands(rng, mode, ones_count)
-            operation.prepare_reference()
-            operation.set_operands(operands)
-            operation.execute()
-
-            expected = ideal_output(
-                self.base_op, [bits[shared] for bits in operands]
-            )
-            for i, row in enumerate(operation.compute_rows):
-                bits = host.peek_row(bank, row)
-                com_counts[i] += bits[shared] == expected
-            complement = 1 - expected
-            for i, row in enumerate(operation.reference_rows):
-                bits = host.peek_row(bank, row)
-                ref_counts[i] += bits[shared] == complement
+        for block in _trial_blocks(trials, batch_trials):
+            if block == 1:
+                self._serial_trial(com_counts, ref_counts, rng, mode, ones_count)
+            else:
+                self._batched_block(
+                    com_counts, ref_counts, rng, block, mode, ones_count
+                )
+        self.host.end_trials()
 
         base_meta = {
             "n_inputs": self.n_inputs,
@@ -226,3 +316,72 @@ class LogicSuccessMeasurement:
                 ref_counts, trials, {**base_meta, "operation": complement_name}
             ),
         )
+
+    def _serial_trial(
+        self,
+        com_counts: np.ndarray,
+        ref_counts: np.ndarray,
+        rng: np.random.Generator,
+        mode: str,
+        ones_count: Optional[int],
+    ) -> None:
+        """One trial through the per-trial execution path."""
+        host, bank = self.host, self.bank
+        operation = self.operation
+        shared = operation.shared_columns
+        host.begin_trial(bank)
+        operands = self._draw_operands(rng, mode, ones_count)
+        operation.prepare_reference()
+        operation.set_operands(operands)
+        operation.execute()
+
+        expected = ideal_output(self.base_op, [bits[shared] for bits in operands])
+        for i, row in enumerate(operation.compute_rows):
+            bits = host.peek_row(bank, row)
+            com_counts[i] += bits[shared] == expected
+        complement = 1 - expected
+        for i, row in enumerate(operation.reference_rows):
+            bits = host.peek_row(bank, row)
+            ref_counts[i] += bits[shared] == complement
+
+    def _batched_block(
+        self,
+        com_counts: np.ndarray,
+        ref_counts: np.ndarray,
+        rng: np.random.Generator,
+        block: int,
+        mode: str,
+        ones_count: Optional[int],
+    ) -> None:
+        """One block of trials through the batched execution path."""
+        host = self.host
+        operation = self.operation
+        shared = operation.shared_columns
+        # Consume the measurement RNG in the exact per-trial order of the
+        # serial loop (and keep its eager mode/ones_count validation).
+        per_trial = [
+            self._draw_operands(rng, mode, ones_count) for _ in range(block)
+        ]
+        operands = [
+            np.stack([per_trial[t][i] for t in range(block)])
+            for i in range(self.n_inputs)
+        ]
+        expected = np.stack(
+            [
+                ideal_output(self.base_op, [bits[shared] for bits in per_trial[t]])
+                for t in range(block)
+            ]
+        )
+
+        with host.batched_trials(self.bank, block) as session:
+            operation.prepare_reference_batched(session)
+            operation.set_operands_batched(session, operands)
+            operation.execute_batched(session)
+
+            for i, row in enumerate(operation.compute_rows):
+                bits = session.peek_row(row)
+                com_counts[i] += np.sum(bits[:, shared] == expected, axis=0)
+            complement = 1 - expected
+            for i, row in enumerate(operation.reference_rows):
+                bits = session.peek_row(row)
+                ref_counts[i] += np.sum(bits[:, shared] == complement, axis=0)

@@ -15,7 +15,7 @@ and documentation.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -45,7 +45,10 @@ def charge_share(
     cell_voltages:
         Array of shape ``(n_cells, columns)`` — the stored voltage of each
         activated cell on each bitline.  ``n_cells`` may be zero, in which
-        case the bitline stays at ``precharge``.
+        case the bitline stays at ``precharge``.  A leading *trials* axis
+        is also accepted (shape ``(trials, n_cells, columns)``); each
+        trial slice is reduced exactly as the 2-D form, so batched and
+        per-trial evaluation are bit-identical.
     cell_cap_ff, bitline_cap_ff:
         Capacitances in femtofarads.
     precharge:
@@ -58,20 +61,22 @@ def charge_share(
 
     Returns
     -------
-    Array of shape ``(columns,)`` with the shared bitline voltage.
+    Array of shape ``(columns,)`` (or ``(trials, columns)``) with the
+    shared bitline voltage.
     """
     cell_voltages = np.asarray(cell_voltages, dtype=np.float64)
-    if cell_voltages.ndim != 2:
+    if cell_voltages.ndim not in (2, 3):
         raise ValueError(
-            f"cell_voltages must be 2-D (n_cells, columns), got shape "
-            f"{cell_voltages.shape}"
+            f"cell_voltages must be (n_cells, columns) or "
+            f"(trials, n_cells, columns), got shape {cell_voltages.shape}"
         )
     if cell_cap_ff <= 0 or bitline_cap_ff <= 0:
         raise ValueError("capacitances must be positive")
 
-    n_cells, columns = cell_voltages.shape
+    n_cells = cell_voltages.shape[-2]
+    out_shape = cell_voltages.shape[:-2] + cell_voltages.shape[-1:]
     if n_cells == 0:
-        return np.full(columns, precharge, dtype=np.float64)
+        return np.full(out_shape, precharge, dtype=np.float64)
 
     if efficiencies is None:
         eff = np.ones((n_cells, 1), dtype=np.float64)
@@ -85,11 +90,17 @@ def charge_share(
                 f"n_cells {n_cells}"
             )
 
+    # Reduce over the cell axis as axis 0 (a no-op transpose in the 2-D
+    # case): np.add.reduce accumulates a non-innermost axis in strict
+    # index order, which keeps the 3-D batched reduction bit-identical
+    # to the per-trial 2-D reduction.
+    cells_first = np.moveaxis(cell_voltages, -2, 0)
+    eff = eff.reshape(eff.shape[:1] + (1,) * (cells_first.ndim - eff.ndim) + eff.shape[1:])
     charge = bitline_cap_ff * precharge + cell_cap_ff * np.sum(
-        eff * cell_voltages, axis=0
+        eff * cells_first, axis=0
     )
     capacitance = bitline_cap_ff + cell_cap_ff * np.sum(
-        eff * np.ones_like(cell_voltages), axis=0
+        eff * np.ones_like(cells_first), axis=0
     )
     return charge / capacitance
 
@@ -142,16 +153,18 @@ def coupling_disturbance(differentials: np.ndarray) -> np.ndarray:
     "across every tested number of input operands".
     """
     d = np.asarray(differentials, dtype=np.float64)
-    if d.ndim != 1:
-        raise ValueError(f"differentials must be 1-D, got shape {d.shape}")
-    if d.size < 2:
+    if d.ndim not in (1, 2):
+        raise ValueError(
+            f"differentials must be 1-D or (trials, columns), got shape {d.shape}"
+        )
+    if d.shape[-1] < 2:
         return np.zeros_like(d)
-    delta = np.abs(np.diff(d))
+    delta = np.abs(np.diff(d, axis=-1))
     disturbance = np.empty_like(d)
-    disturbance[0] = delta[0]
-    disturbance[-1] = delta[-1]
-    if d.size > 2:
-        disturbance[1:-1] = 0.5 * (delta[:-1] + delta[1:])
+    disturbance[..., 0] = delta[..., 0]
+    disturbance[..., -1] = delta[..., -1]
+    if d.shape[-1] > 2:
+        disturbance[..., 1:-1] = 0.5 * (delta[..., :-1] + delta[..., 1:])
     return disturbance
 
 
@@ -160,7 +173,7 @@ def sense_differential(
     v_negative: np.ndarray,
     offsets: np.ndarray,
     noise_sigma: float,
-    rng: np.random.Generator,
+    rng: Union[np.random.Generator, Iterable[np.random.Generator]],
     common_mode_gain: float = 0.0,
     common_mode_threshold: float = 0.0,
     sigma_cap_factor: float = 0.0,
@@ -173,6 +186,13 @@ def sense_differential(
 
     Returns a boolean array: ``True`` where the positive terminal wins
     (it will be driven to VDD, the negative terminal to GND).
+
+    ``rng`` is either a single :class:`numpy.random.Generator` or, for
+    batched evaluation over a leading trials axis, a sequence of
+    per-trial generators (one per row of the 2-D terminal arrays).  In
+    the batched form trial ``i``'s noise is drawn from ``rng[i]`` with
+    the same shape and in the same order as a serial per-trial call, so
+    both paths consume identical numbers from identical streams.
 
     The effective comparison is ``v_positive - v_negative + margin_shift
     + offsets + noise > 0`` with the per-trial noise standard deviation
@@ -215,5 +235,17 @@ def sense_differential(
         common_mode_offset_gain * overdrive_loss
         - low_common_mode_offset_gain * underdrive_loss
     )
-    noise = rng.standard_normal(v_positive.shape) * sigma
+    if isinstance(rng, np.random.Generator):
+        noise = rng.standard_normal(v_positive.shape) * sigma
+    else:
+        generators = list(rng)
+        if v_positive.ndim < 2 or len(generators) != v_positive.shape[0]:
+            raise ValueError(
+                "per-trial generators require 2-D terminals with one "
+                "generator per leading row"
+            )
+        noise = (
+            np.stack([g.standard_normal(v_positive.shape[1:]) for g in generators])
+            * sigma
+        )
     return (v_positive - v_negative + margin_shift + offsets + bias + noise) > 0.0

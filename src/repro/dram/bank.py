@@ -128,7 +128,9 @@ class Bank:
             StripeVariation(geometry.columns, calibration, seed_tree.child(f"stripe-{s}"))
             for s in range(geometry.subarrays_per_bank + 1)
         ]
-        self._rng = seed_tree.child("trial-noise").generator()
+        self._noise_tree = seed_tree.child("trial-noise")
+        self._rng = self._noise_tree.generator()
+        self._trial_counter: int = 0
         self._state: Optional[_OpenState] = None
         #: Commands silently dropped by the manufacturer policy (§7).
         self.ignored_commands: int = 0
@@ -386,6 +388,55 @@ class Bank:
             flips = self._rng.random(self.columns) < flip_p
             volts = subarray.voltages[victim]
             volts[flips] = VDD - volts[flips]
+
+    # ------------------------------------------------------------------
+    # trial-noise substreams
+    # ------------------------------------------------------------------
+    #
+    # Measurements consume analog noise from counter-based per-(bank,
+    # trial) substreams: trial ``i`` draws from the generator of seed
+    # child ``trial-noise/trial-{i}``, regardless of whether the trials
+    # run one at a time (``begin_trial``) or as one batched block
+    # (``reserve_trial_block``).  This is what makes the batched engine
+    # bit-identical to the serial path: both consume exactly the same
+    # numbers from exactly the same streams.  Code that never calls
+    # these (hammer sweeps, reverse engineering, ad-hoc programs) keeps
+    # drawing from the undisturbed ``trial-noise`` root stream.
+
+    def _trial_generator(self, index: int) -> np.random.Generator:
+        if index < 0:
+            raise ValueError(f"trial index must be non-negative, got {index}")
+        return self._noise_tree.child(f"trial-{index}").generator()
+
+    def begin_trial(self) -> int:
+        """Switch the noise stream to the next per-trial substream.
+
+        Returns the trial index that was assigned.  Serial measurement
+        loops call this once per trial; the batched engine reserves the
+        same indices via :meth:`reserve_trial_block`, so interleaving
+        serial and batched blocks keeps the streams aligned.
+        """
+        index = self._trial_counter
+        self._trial_counter += 1
+        self._rng = self._trial_generator(index)
+        return index
+
+    def reserve_trial_block(
+        self, n_trials: int
+    ) -> Tuple[int, List[np.random.Generator]]:
+        """Reserve ``n_trials`` consecutive trial substreams.
+
+        Returns ``(first_index, generators)``.  The bank's own stream is
+        left positioned on the *last* trial's generator — exactly where
+        ``n_trials`` successive :meth:`begin_trial` calls would leave it.
+        """
+        if n_trials < 1:
+            raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+        start = self._trial_counter
+        self._trial_counter += n_trials
+        generators = [self._trial_generator(start + i) for i in range(n_trials)]
+        self._rng = generators[-1]
+        return start, generators
 
     # ------------------------------------------------------------------
     # internal machinery

@@ -11,7 +11,7 @@ the module-level row.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -169,6 +169,35 @@ class Module:
         """Free every chip's bank state (fleet memory management)."""
         for chip in self.chips:
             chip.release_banks()
+
+    # -- trial-noise substreams (lock-step across chips) -----------------
+
+    def begin_trial(self, bank: int) -> int:
+        """Advance every chip's bank to the next per-trial noise stream."""
+        indices = {chip.bank(bank).begin_trial() for chip in self.chips}
+        if len(indices) != 1:
+            raise ConfigurationError(
+                f"chips of bank {bank} disagree on the trial index: {indices}"
+            )
+        return indices.pop()
+
+    def reserve_trial_block(
+        self, bank: int, n_trials: int
+    ) -> "Tuple[int, List[List[np.random.Generator]]]":
+        """Reserve ``n_trials`` trial substreams on every chip's bank.
+
+        Returns ``(first_index, per_chip_generators)`` where the second
+        element holds one generator list per chip.
+        """
+        reservations = [
+            chip.bank(bank).reserve_trial_block(n_trials) for chip in self.chips
+        ]
+        starts = {start for start, _ in reservations}
+        if len(starts) != 1:
+            raise ConfigurationError(
+                f"chips of bank {bank} disagree on the trial counter: {starts}"
+            )
+        return starts.pop(), [gens for _, gens in reservations]
 
     def _check_bits(self, bits: np.ndarray) -> np.ndarray:
         bits = np.asarray(bits)

@@ -281,13 +281,32 @@ class FaultInjector:
         self.scope = tuple(scope)
         self.attempt = attempt
         self.events: List[FaultEvent] = []
-        self._occurrences: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self._trial: Optional[int] = None
+        self._occurrences: Dict[
+            Tuple[str, Tuple[str, ...], Optional[int]], int
+        ] = {}
 
     # -- internals ---------------------------------------------------------
 
+    def set_trial(self, index: Optional[int]) -> None:
+        """Scope subsequent rolls to measurement trial ``index``.
+
+        Measurement loops set the trial index before each trial's bench
+        calls (``None`` restores the legacy unscoped behavior).  Scoped
+        rolls hash — and count occurrences — per trial, which makes the
+        fault schedule independent of whether trials execute one at a
+        time (program-major within a trial) or as a batched block
+        (trial-major within a program): the same (trial, site,
+        occurrence) triple fires either way.
+        """
+        self._trial = None if index is None else int(index)
+
+    def _trial_labels(self) -> Tuple[str, ...]:
+        return () if self._trial is None else (f"trial-{self._trial}",)
+
     def _roll(self, site: str, *labels: str) -> float:
         """An occurrence-counted, attempt-scoped uniform draw for a site."""
-        key = (site, labels)
+        key = (site, labels, self._trial)
         occurrence = self._occurrences.get(key, 0)
         self._occurrences[key] = occurrence + 1
         return _uniform(
@@ -295,6 +314,7 @@ class FaultInjector:
             site,
             *self.scope,
             *labels,
+            *self._trial_labels(),
             f"occurrence-{occurrence}",
             f"attempt-{self.attempt}",
         )
@@ -344,7 +364,9 @@ class FaultInjector:
                     )
         if plan.flaky_read_rate > 0:
             labels = (f"bank-{bank}", f"row-{row}")
-            occurrence = self._occurrences.get(("flaky-read", labels), 0)
+            occurrence = self._occurrences.get(
+                ("flaky-read", labels, self._trial), 0
+            )
             if self._roll("flaky-read", *labels) < plan.flaky_read_rate:
                 if corrupted is None:
                     corrupted = bits.copy()
@@ -353,6 +375,7 @@ class FaultInjector:
                     "flaky-read-column",
                     *self.scope,
                     *labels,
+                    *self._trial_labels(),
                     f"occurrence-{occurrence}",
                 ) % bits.size
                 corrupted[column] ^= 1

@@ -49,9 +49,9 @@ PAIRED = Scale(
 
 #: A transient-fault plan with no permanent failures: retried runs must
 #: end bit-identical to fault-free ones (rate tuned so a SMOKE sweep
-#: sees a handful of faults, not a blizzard — each target runs hundreds
-#: of programs).
-TRANSIENT_PLAN = FaultPlan(seed=1, host_timeout_rate=2e-4)
+#: sees a handful of faults, not a blizzard — each target rolls the
+#: timeout once per trial per program).
+TRANSIENT_PLAN = FaultPlan(seed=1, host_timeout_rate=2e-3)
 
 #: One permanently-dead module on top of the transient noise.
 BROKEN_PLAN = FaultPlan(
