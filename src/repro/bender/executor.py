@@ -92,6 +92,16 @@ class ProgramExecutor:
     them to the :class:`ExecutionResult`; ``"off"`` skips the check.
     ``suppress_rules`` drops specific rule ids — the escape hatch for
     deliberately-broken fault-injection programs.
+
+    ``verify_semantics`` adds the second, deeper gate (``"off"`` by
+    default): the :class:`repro.staticcheck.semantics.SemanticAnalyzer`
+    mirrors every program over symbolic cell values and reports the
+    SEM3xx family (semantics mismatch, dead compute, infeasible margin,
+    ...).  Backdoor fills (:meth:`~repro.bender.host.DramBenderHost.
+    fill_row`) are forwarded to the analyzer via
+    :meth:`note_backdoor_write` so real characterization flows prove
+    clean; :meth:`semantic_session` exposes the symbolic state for
+    operand binding and value inspection.
     """
 
     def __init__(
@@ -100,20 +110,29 @@ class ProgramExecutor:
         strict: bool = False,
         fault_injector=None,
         verify: str = "warn",
+        verify_semantics: str = "off",
         suppress_rules: Iterable[str] = (),
     ):
         if verify not in VERIFY_MODES:
             raise ValueError(
                 f"verify must be one of {VERIFY_MODES}, got {verify!r}"
             )
+        if verify_semantics not in VERIFY_MODES:
+            raise ValueError(
+                f"verify_semantics must be one of {VERIFY_MODES}, "
+                f"got {verify_semantics!r}"
+            )
         self.module = module
         self.strict = strict
         self.faults = fault_injector
         self.verify = verify
+        self.verify_semantics = verify_semantics
         self.suppress_rules = tuple(suppress_rules)
         self._now_ns = 0.0
         self._verifier = None
         self._verify_state = None
+        self._semantics = None
+        self._semantic_state = None
         self._logged_rules: set = set()
 
     @property
@@ -153,6 +172,69 @@ class ProgramExecutor:
                 _logger.warning("%s", diag.format())
         return report.diagnostics
 
+    def _ensure_semantics(self):
+        if self._semantics is None:
+            from ..staticcheck.semantics import SemanticAnalyzer
+
+            self._semantics = SemanticAnalyzer.for_module(
+                self.module, suppress=self.suppress_rules
+            )
+            self._semantic_state = self._semantics.new_session()
+        return self._semantics
+
+    def semantic_session(self):
+        """The live :class:`~repro.staticcheck.semantics.SemanticSession`.
+
+        Use it to ``bind`` operand rows to named variables before a
+        sweep, or to inspect what function a row holds after a program.
+        Creates the analyzer on first use, so it works even before the
+        first program runs (e.g. to bind operands up front).
+        """
+        self._ensure_semantics()
+        return self._semantic_state
+
+    def note_backdoor_write(
+        self, bank: int, row: int, bits=None, voltages=None
+    ) -> None:
+        """Record a backdoor fill for the semantic gate.
+
+        Backdoor fills bypass the command stream the analyzer watches;
+        without this hook every operand row of a real flow would be
+        symbolically unknown (SEM307).  No-op when ``verify_semantics``
+        is ``"off"``.
+        """
+        if self.verify_semantics == "off":
+            return
+        analyzer = self._ensure_semantics()
+        analyzer.note_backdoor_write(
+            self._semantic_state, bank, row, bits=bits, voltages=voltages
+        )
+
+    def _preflight_semantics(self, program: TestProgram) -> Tuple[Diagnostic, ...]:
+        """Symbolically interpret ``program`` against the session state.
+
+        Clone-and-commit like :meth:`_preflight`: a refused program
+        leaves the symbolic state (and the device) untouched.
+        """
+        if self.verify_semantics == "off":
+            return ()
+        analyzer = self._ensure_semantics()
+        trial = self._semantic_state.clone()
+        report = analyzer.analyze_program(program, session=trial)
+        if self.verify_semantics == "error" and report.errors:
+            raise ProgramVerificationError(
+                f"semantic verification refused program "
+                f"{program.name or '<anonymous>'}:\n"
+                + format_diagnostics(report.errors),
+                diagnostics=report.diagnostics,
+            )
+        self._semantic_state = trial
+        for diag in report.diagnostics:
+            if diag.rule not in self._logged_rules:
+                self._logged_rules.add(diag.rule)
+                _logger.warning("%s", diag.format())
+        return report.diagnostics
+
     def run(self, program: TestProgram) -> ExecutionResult:
         if self.faults is not None:
             # A host command timeout aborts the program before any
@@ -160,7 +242,9 @@ class ProgramExecutor:
             # dropping a DMA transaction: the device state is untouched
             # and the whole program is safe to re-issue.
             self.faults.on_program(program.name)
-        diagnostics = self._preflight(program)
+        diagnostics = self._preflight(program) + self._preflight_semantics(
+            program
+        )
         timing = program.timing
         clocks: Dict[int, _BankClock] = {}
         reads: List[ReadRecord] = []
@@ -219,7 +303,9 @@ class ProgramExecutor:
             for trial in batch.trial_indices:
                 self.faults.set_trial(trial)
                 self.faults.on_program(program.name)
-        diagnostics = self._preflight(program)
+        diagnostics = self._preflight(program) + self._preflight_semantics(
+            program
+        )
         timing = program.timing
         clocks: Dict[int, _BankClock] = {}
         reads: List[ReadRecord] = []

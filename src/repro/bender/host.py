@@ -41,6 +41,7 @@ class DramBenderHost:
         strict: bool = False,
         fault_injector=None,
         verify: str = "warn",
+        verify_semantics: str = "off",
         suppress_rules: Iterable[str] = (),
     ):
         self.module = module
@@ -50,6 +51,7 @@ class DramBenderHost:
             strict=strict,
             fault_injector=fault_injector,
             verify=verify,
+            verify_semantics=verify_semantics,
             suppress_rules=suppress_rules,
         )
 
@@ -57,8 +59,10 @@ class DramBenderHost:
     def timing(self) -> TimingParameters:
         return self.module.chips[0].timing
 
-    def new_program(self, name: str = "") -> TestProgram:
-        return TestProgram(self.timing, name=name)
+    def new_program(
+        self, name: str = "", intent: Optional[str] = None
+    ) -> TestProgram:
+        return TestProgram(self.timing, name=name, intent=intent)
 
     def run(self, program: TestProgram) -> ExecutionResult:
         return self.executor.run(program)
@@ -69,7 +73,7 @@ class DramBenderHost:
         """Write a full row through ACT → WR → (tRAS) → PRE."""
         timing = self.timing
         program = (
-            self.new_program(f"write-row-{row}")
+            self.new_program(f"write-row-{row}", intent="nominal")
             .act(bank, row, wait_ns=timing.t_rcd)
             .wr(bank, row, bits, wait_ns=max(timing.t_wr, timing.t_ras - timing.t_rcd))
             .pre(bank, wait_ns=timing.t_rp)
@@ -80,7 +84,7 @@ class DramBenderHost:
         """Read a full row through ACT → RD → (tRAS) → PRE."""
         timing = self.timing
         program = (
-            self.new_program(f"read-row-{row}")
+            self.new_program(f"read-row-{row}", intent="nominal")
             .act(bank, row, wait_ns=timing.t_ras)
             .rd(bank, row, wait_ns=timing.t_rcd, label="row")
             .pre(bank, wait_ns=timing.t_rp)
@@ -92,9 +96,11 @@ class DramBenderHost:
     def fill_row(self, bank: int, row: int, bits: np.ndarray) -> None:
         """Backdoor bulk initialization of one row."""
         self.module.store_bits(bank, row, bits)
+        self.executor.note_backdoor_write(bank, row, bits=bits)
 
     def fill_row_voltages(self, bank: int, row: int, volts: np.ndarray) -> None:
         self.module.store_voltages(bank, row, volts)
+        self.executor.note_backdoor_write(bank, row, voltages=volts)
 
     def peek_row(self, bank: int, row: int) -> np.ndarray:
         """Backdoor readout of one row."""
@@ -192,9 +198,11 @@ class BatchedTrialSession:
     def fill_row(self, row: int, bits: np.ndarray) -> None:
         """Backdoor fill; ``bits`` is ``(row_bits,)`` or ``(n, row_bits)``."""
         self.batch.store_bits(row, bits)
+        self.host.executor.note_backdoor_write(self.bank, row, bits=bits)
 
     def fill_row_voltages(self, row: int, volts: np.ndarray) -> None:
         self.batch.store_voltages(row, volts)
+        self.host.executor.note_backdoor_write(self.bank, row, voltages=volts)
 
     def peek_row(self, row: int) -> np.ndarray:
         """Backdoor readout for every trial: ``(n_trials, row_bits)``."""

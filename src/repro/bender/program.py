@@ -9,7 +9,8 @@ constructors in :mod:`repro.core.sequences`.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+import re
+from typing import FrozenSet, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,6 +19,11 @@ from ..dram.timing import TimingParameters
 from .commands import Command, Opcode
 
 __all__ = ["TestProgram", "KNOWN_INTENTS"]
+
+#: Program pragmas use the same comment syntax as the source lint:
+#: ``# staticcheck: ignore[SEM306]`` / ``ignore[SEM306, SEM309]`` /
+#: ``ignore[*]`` (the leading ``#`` is optional when passed as a string).
+_PRAGMA_RE = re.compile(r"(?:#\s*)?staticcheck:\s*ignore\[([^\]]+)\]")
 
 #: Operation intents a program may declare; the static verifier checks
 #: the declared intent against what the timing/topology actually do.
@@ -49,9 +55,34 @@ class TestProgram:
         self.timing = timing
         self.name = name
         self.intent = intent
+        #: Rule ids suppressed for this program (see :meth:`pragma`).
+        self.ignored_rules: FrozenSet[str] = frozenset()
         self._commands: List[Command] = []
 
     # -- builder interface ----------------------------------------------
+
+    def pragma(self, comment: str) -> "TestProgram":
+        """Attach a ``staticcheck: ignore[...]`` pragma to the program.
+
+        The static checkers (the semantic evaluator in particular) skip
+        the listed rule ids when analyzing this program — the program
+        analogue of the source lint's in-place pragma comment::
+
+            program.pragma("# staticcheck: ignore[SEM306] TRNG readout")
+
+        Trailing text after the bracket is a free-form justification.
+        """
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            raise ProgramError(
+                f"not a staticcheck pragma: {comment!r}; expected "
+                "'# staticcheck: ignore[RULE, ...]'"
+            )
+        ids = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        self.ignored_rules = self.ignored_rules | ids
+        return self
 
     def _wait_to_cycles(
         self, wait_ns: Optional[float], wait_cycles: Optional[int]

@@ -13,22 +13,36 @@ natural:
   complement is computed *for free* on the reference terminal, §6.1.3),
   and symmetrically for NOR; double negations cancel.
 * **XOR desugaring** — ``XOR(a, b) = AND(OR(a, b), NAND(a, b))``.
+* **Shared subexpressions** — a node reached twice lowers once; later
+  references reuse the earlier step's destination row.
 
-Example::
-
-    expr = Or(And(v("a"), v("b")), Not(v("c")))
-    program = compile_expression(expr)
-    result = program.run(accelerator, {"a": ..., "b": ..., "c": ...})
+Every compiled schedule carries a machine-checked **equivalence proof**:
+the lowered steps are folded through the symbolic charge algebra
+(:mod:`repro.staticcheck.semantics`) and the resulting canonical truth
+table is compared against the source ``Expression.evaluate`` semantics
+over every assignment.  A lowering bug — a swapped NAND/NOR terminal, a
+dropped negation — raises :class:`~repro.errors.ProgramVerificationError`
+carrying an SEM301 diagnostic instead of silently computing garbage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
+from numpy.typing import NDArray
 
-from ..errors import ReproError
+from ..errors import ProgramVerificationError, ReproError
+from ..staticcheck.semantics import (
+    MAX_SUPPORT,
+    OP_FUNCS,
+    SymValue,
+    prove_value,
+    sym_const,
+    sym_var,
+    table_from_outputs,
+)
 from .bitwise import BitwiseAccelerator
 
 __all__ = [
@@ -41,6 +55,7 @@ __all__ = [
     "CompiledExpression",
     "Step",
     "compile_expression",
+    "parse_expression",
 ]
 
 #: Largest fan-in a single in-DRAM operation supports (Limitation 2).
@@ -151,10 +166,16 @@ class Step:
 
 @dataclass
 class CompiledExpression:
-    """An executable schedule of in-DRAM operations."""
+    """An executable schedule of in-DRAM operations.
+
+    ``proof`` is the canonical truth table the schedule provably
+    computes (set by :func:`compile_expression` when verification ran
+    and the expression fits the exhaustive-tabulation cap).
+    """
 
     steps: List[Step] = field(default_factory=list)
     variables: Tuple[str, ...] = ()
+    proof: Optional[SymValue] = None
 
     @property
     def op_counts(self) -> Dict[str, int]:
@@ -255,35 +276,291 @@ def _collect_variables(expr: Expression, seen: List[str]) -> None:
         _collect_variables(expr.right, seen)
 
 
-def _emit(expr: Expression, program: CompiledExpression) -> Union[str, int]:
-    """Post-order lowering with NAND/NOR complement fusion."""
+def _emit(
+    expr: Expression,
+    program: CompiledExpression,
+    memo: Dict[Expression, Union[str, int]],
+) -> Union[str, int]:
+    """Post-order lowering with NAND/NOR complement fusion and CSE.
+
+    ``memo`` maps already-lowered nodes to their result reference, so a
+    shared subexpression (same node reached twice) costs one in-DRAM
+    operation instead of two.
+    """
+    cached = memo.get(expr)
+    if cached is not None:
+        return cached
+    ref: Union[str, int]
     if isinstance(expr, Var):
-        return expr.name
-    if isinstance(expr, Not):
+        ref = expr.name
+    elif isinstance(expr, Not):
         # NOT over AND/OR fuses into the complement terminal (§6.1.3).
         child = expr.child
         if isinstance(child, (And, Or)):
-            refs = tuple(_emit(c, program) for c in child.children)
+            refs = tuple(_emit(c, program, memo) for c in child.children)
             fused = "nand" if isinstance(child, And) else "nor"
             program.steps.append(Step(fused, refs))
-            return len(program.steps) - 1
-        ref = _emit(child, program)
-        program.steps.append(Step("not", (ref,)))
-        return len(program.steps) - 1
-    if isinstance(expr, (And, Or)):
-        refs = tuple(_emit(c, program) for c in expr.children)
+            ref = len(program.steps) - 1
+        else:
+            inner = _emit(child, program, memo)
+            program.steps.append(Step("not", (inner,)))
+            ref = len(program.steps) - 1
+    elif isinstance(expr, (And, Or)):
+        refs = tuple(_emit(c, program, memo) for c in expr.children)
         program.steps.append(
             Step("and" if isinstance(expr, And) else "or", refs)
         )
-        return len(program.steps) - 1
-    raise ReproError(f"cannot lower expression node {expr!r}")
+        ref = len(program.steps) - 1
+    else:
+        raise ReproError(f"cannot lower expression node {expr!r}")
+    memo[expr] = ref
+    return ref
 
 
-def compile_expression(expr: Expression) -> CompiledExpression:
-    """Lower an expression to a schedule of in-DRAM operations."""
+# ----------------------------------------------------------------------
+# the post-lowering equivalence proof
+# ----------------------------------------------------------------------
+
+
+def _symbolic_fold(program: CompiledExpression) -> SymValue:
+    """The symbolic value of the schedule's final step."""
+    results: List[SymValue] = []
+
+    def resolve(ref: Union[str, int]) -> SymValue:
+        return sym_var(ref) if isinstance(ref, str) else results[ref]
+
+    for step in program.steps:
+        results.append(OP_FUNCS[step.op](*[resolve(r) for r in step.inputs]))
+    if not results:
+        return sym_var(program.variables[0])
+    return results[-1]
+
+
+def _numeric_fold(
+    program: CompiledExpression, bindings: Mapping[str, NDArray[np.uint8]]
+) -> NDArray[np.uint8]:
+    """Evaluate the schedule with NumPy bit semantics (no device)."""
+    results: List[NDArray[np.uint8]] = []
+
+    def resolve(ref: Union[str, int]) -> NDArray[np.uint8]:
+        if isinstance(ref, str):
+            return np.asarray(bindings[ref], dtype=np.uint8)
+        return results[ref]
+
+    for step in program.steps:
+        operands = [resolve(r) for r in step.inputs]
+        stacked = np.asarray(operands)
+        if step.op == "not":
+            value = (1 - operands[0]).astype(np.uint8)
+        elif step.op in ("and", "nand"):
+            value = stacked.all(axis=0).astype(np.uint8)
+        else:
+            value = stacked.any(axis=0).astype(np.uint8)
+        if step.op in ("nand", "nor"):
+            value = (1 - value).astype(np.uint8)
+        results.append(value)
+    if not results:
+        return np.asarray(bindings[program.variables[0]], dtype=np.uint8)
+    return results[-1]
+
+
+def _assignment_columns(
+    names: Tuple[str, ...], count: int
+) -> Dict[str, NDArray[np.uint8]]:
+    """One binding column per variable: assignment ``i``, bit ``j``."""
+    indices = np.arange(count, dtype=np.uint32)
+    return {
+        name: ((indices >> np.uint32(j)) & 1).astype(np.uint8)
+        for j, name in enumerate(names)
+    }
+
+
+def _prove_equivalence(
+    source: Expression, program: CompiledExpression
+) -> Optional[SymValue]:
+    """Check the schedule against the source semantics, every assignment.
+
+    Exhaustive through the symbolic charge algebra when the expression
+    fits the 16-variable tabulation cap; a seeded random sample of
+    assignments beyond it (wider expressions only arise from fan-in
+    regrouping chains).  Raises :class:`ProgramVerificationError`
+    carrying an SEM301 diagnostic on any mismatch.
+    """
+    names = program.variables
+    if not names:
+        raise ReproError("expression has no variables")
+    if len(names) <= MAX_SUPPORT:
+        bindings = _assignment_columns(names, 1 << len(names))
+        expected_bits = np.asarray(
+            source.evaluate(bindings), dtype=np.uint8
+        )
+        expected = table_from_outputs(names, expected_bits)
+        derived = _symbolic_fold(program)
+        if not derived.is_func:
+            raise ReproError(
+                f"symbolic fold of the schedule yielded a {derived.kind} "
+                "value; the lowering emitted an unprovable step"
+            )
+        failures = prove_value(
+            derived, expected, "compiled schedule", program="compiled"
+        )
+        if failures:
+            raise ProgramVerificationError(
+                "post-lowering equivalence proof failed:\n"
+                + "\n".join(d.format() for d in failures),
+                diagnostics=failures,
+            )
+        return derived
+    # Beyond the exhaustive cap: seeded sampled assignments, still a
+    # deterministic check (same seed, same sample, every build).
+    rng = np.random.default_rng(0)
+    sample = rng.integers(0, 2, size=(512, len(names)), dtype=np.uint8)
+    bindings = {name: sample[:, j] for j, name in enumerate(names)}
+    expected_bits = np.asarray(source.evaluate(bindings), dtype=np.uint8)
+    actual_bits = _numeric_fold(program, bindings)
+    if not np.array_equal(expected_bits, actual_bits):
+        mismatch = int(np.flatnonzero(expected_bits != actual_bits)[0])
+        assignment = {
+            name: int(sample[mismatch, j]) for j, name in enumerate(names)
+        }
+        failures = prove_value(
+            sym_const(int(actual_bits[mismatch])),
+            sym_const(int(expected_bits[mismatch])),
+            f"sampled assignment {assignment}",
+            program="compiled",
+        )
+        raise ProgramVerificationError(
+            "post-lowering equivalence proof failed on sampled assignment "
+            f"{assignment}",
+            diagnostics=failures,
+        )
+    return None
+
+
+def compile_expression(
+    expr: Expression, verify: bool = True
+) -> CompiledExpression:
+    """Lower an expression to a verified schedule of in-DRAM operations.
+
+    With ``verify=True`` (the default) the lowered schedule is proved
+    equivalent to the source expression before it is returned — the
+    proof object (a canonical truth table) rides along as ``proof``:
+
+    >>> expr = Or(And(v("a"), v("b")), Not(v("c")))
+    >>> program = compile_expression(expr)
+    >>> program.op_counts == {"and": 1, "not": 1, "or": 1}
+    True
+    >>> program.proof.describe()
+    'f(a, b, c) table=0x8f'
+
+    Complement fusion keeps ``Not(And(...))`` a single NAND, and the
+    proof covers the fused form too:
+
+    >>> nand = compile_expression(Not(And(v("a"), v("b"))))
+    >>> nand.op_counts
+    {'nand': 1}
+    >>> nand.proof.describe()
+    'f(a, b) table=0x7'
+
+    A verified program then runs on a
+    :class:`~repro.core.bitwise.BitwiseAccelerator`::
+
+        result = program.run(accelerator, {"a": ..., "b": ..., "c": ...})
+    """
     lowered = _simplify(_desugar(expr))
     names: List[str] = []
     _collect_variables(lowered, names)
     program = CompiledExpression(variables=tuple(names))
-    _emit(lowered, program)
+    _emit(lowered, program, {})
+    if verify:
+        program.proof = _prove_equivalence(expr, program)
     return program
+
+
+# ----------------------------------------------------------------------
+# concrete syntax (the CLI's --prove input)
+# ----------------------------------------------------------------------
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse ``~ & ^ |`` concrete syntax into an expression AST.
+
+    Precedence (tightest first): ``~``, ``&``, ``^``, ``|``; parentheses
+    group.  Variable names are ``[A-Za-z_][A-Za-z0-9_]*``.
+
+    >>> parse_expression("~(a & b) | c ^ d").evaluate(
+    ...     {"a": 1, "b": 1, "c": 0, "d": 1}
+    ... ).tolist()
+    1
+    """
+    tokens: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "~&^|()":
+            tokens.append(ch)
+            i += 1
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < len(text) and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+        else:
+            raise ReproError(f"unexpected character {ch!r} in expression")
+    pos = 0
+
+    def peek() -> Optional[str]:
+        return tokens[pos] if pos < len(tokens) else None
+
+    def take(expected: Optional[str] = None) -> str:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise ReproError("unexpected end of expression")
+        token = tokens[pos]
+        if expected is not None and token != expected:
+            raise ReproError(f"expected {expected!r}, got {token!r}")
+        pos += 1
+        return token
+
+    def atom() -> Expression:
+        token = peek()
+        if token == "~":
+            take()
+            return Not(atom())
+        if token == "(":
+            take()
+            inner = or_level()
+            take(")")
+            return inner
+        if token is None or token in "&^|)":
+            raise ReproError(f"expected a variable, got {token!r}")
+        return Var(take())
+
+    def and_level() -> Expression:
+        node = atom()
+        while peek() == "&":
+            take()
+            node = And(node, atom())
+        return node
+
+    def xor_level() -> Expression:
+        node = and_level()
+        while peek() == "^":
+            take()
+            node = Xor(node, and_level())
+        return node
+
+    def or_level() -> Expression:
+        node = xor_level()
+        while peek() == "|":
+            take()
+            node = Or(node, xor_level())
+        return node
+
+    result = or_level()
+    if pos != len(tokens):
+        raise ReproError(f"trailing tokens in expression: {tokens[pos:]}")
+    return result

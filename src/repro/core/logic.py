@@ -117,6 +117,26 @@ class LogicOperation:
     def n_inputs(self) -> int:
         return len(self.compute_rows)
 
+    def expected_function(self, inputs: Sequence[object]) -> object:
+        """The Boolean function this configuration computes, symbolically.
+
+        ``inputs`` are :class:`~repro.staticcheck.semantics.SymValue`
+        operands, one per compute row; the return value is what the
+        *result side* of the sense amplifiers must hold after execution
+        (the complement side for NAND/NOR).  The semantic verifier
+        proves the lowered program against exactly this value.
+        """
+        from ..staticcheck.semantics import sym_and, sym_not, sym_or
+
+        if len(inputs) != self.n_inputs:
+            raise ValueError(
+                f"expected {self.n_inputs} symbolic operands, got {len(inputs)}"
+            )
+        base, side = BASE_OPS[self.op]
+        combine = sym_and if base == "and" else sym_or
+        value = combine(*inputs)
+        return sym_not(value) if side == "reference" else value
+
     # ------------------------------------------------------------------
 
     def prepare_reference(self) -> None:

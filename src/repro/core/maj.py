@@ -72,6 +72,14 @@ class MajorityOperation:
         """The row Frac-initialized to VDD/2 (the FracDRAM trick)."""
         return self.rows[-1]
 
+    def expected_function(self, a: object, b: object, c: object) -> object:
+        """MAJ3 over symbolic operands — the value the semantic verifier
+        proves the input rows hold after execution (the Frac row biases
+        the 4-cell charge share into a clean 3-input majority)."""
+        from ..staticcheck.semantics import sym_majority
+
+        return sym_majority(a, b, c)
+
     def run(self, operands: Sequence[np.ndarray]) -> MajorityOutcome:
         """Load three operands, execute, read the majority result."""
         if len(operands) != 3:

@@ -20,6 +20,7 @@ __all__ = [
     "rowclone_program",
     "frac_program",
     "nominal_activation_program",
+    "trng_program",
 ]
 
 
@@ -72,6 +73,34 @@ def logic_program(
         ReducedTiming.for_logic_op(timing),
         name=f"logic-{ref_row}->{com_row}",
         intent="logic",
+    )
+
+
+def trng_program(
+    timing: TimingParameters, bank: int, row_a: int, row_b: int
+) -> TestProgram:
+    """The QUAC-TRNG conflict activation (§8.1): the logic sequence over
+    rows initialized with *conflicting* values, so the bitlines equalize
+    at VDD/2 and thermal noise decides each column.
+
+    The non-deterministic outcome is the whole point here, so the
+    program carries a ``staticcheck: ignore[...]`` pragma for the rules
+    the semantic gate would otherwise (correctly) raise: the cancelling
+    operand pattern (SEM303), the resulting sense-amp tie (SEM304), and
+    the noise-resolved read-back (SEM306).
+    """
+    program = double_activation_program(
+        timing,
+        bank,
+        row_a,
+        row_b,
+        ReducedTiming.for_logic_op(timing),
+        name=f"trng-{row_a}->{row_b}",
+        intent="logic",
+    )
+    return program.pragma(
+        "staticcheck: ignore[SEM303, SEM304, SEM306] "
+        "metastable resolution is the product, not a bug"
     )
 
 

@@ -25,7 +25,7 @@ import numpy as np
 from ..bender.host import DramBenderHost
 from ..errors import UnsupportedOperationError
 from .layout import bank_rows
-from .sequences import logic_program
+from .sequences import trng_program
 
 __all__ = ["DramTrng", "TrngQuality", "von_neumann_extract", "assess_quality"]
 
@@ -134,7 +134,7 @@ class DramTrng:
         for row, bits in zip(self.rows, (ones, zeros, ones, zeros)):
             host.fill_row(self.bank, row, bits)
         host.run(
-            logic_program(host.timing, self.bank, self._row_a, self._row_b)
+            trng_program(host.timing, self.bank, self._row_a, self._row_b)
         )
         bits = host.peek_row(self.bank, self.rows[0])
         self.raw_bits_generated += bits.size

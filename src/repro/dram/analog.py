@@ -15,6 +15,7 @@ and documentation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
@@ -28,6 +29,8 @@ __all__ = [
     "or_reference_voltage",
     "sense_differential",
     "coupling_disturbance",
+    "SenseMarginBound",
+    "worst_case_sense_margin",
 ]
 
 
@@ -166,6 +169,160 @@ def coupling_disturbance(differentials: np.ndarray) -> np.ndarray:
     if d.shape[-1] > 2:
         disturbance[..., 1:-1] = 0.5 * (delta[..., :-1] + delta[..., 1:])
     return disturbance
+
+
+@dataclass(frozen=True)
+class SenseMarginBound:
+    """Static worst-case sense margin of one (op, N, die, distance) point.
+
+    All voltages are in VDD units.  ``net_margin`` is the deterministic
+    worst-case differential after every adverse systematic effect
+    (design-induced margin shift, sense-amp offset mean, common-mode
+    resolution bias); a non-positive value means the boundary input
+    pattern on ``worst_case`` resolves *wrongly* more often than not —
+    the charge algebra makes the configuration infeasible before any
+    trial runs (Observation 14).  ``noise_sigma`` is the effective
+    per-trial noise (common-mode inflation and static offset spread in
+    quadrature) at the worst-case operating point.
+    """
+
+    op: str
+    n_inputs: int
+    compute_region: int
+    reference_region: int
+    v_reference: float
+    raw_margin: float
+    net_margin: float
+    noise_sigma: float
+    worst_case: str
+
+    @property
+    def feasible(self) -> bool:
+        return self.net_margin > 0.0
+
+    def describe(self) -> str:
+        verdict = "feasible" if self.feasible else "INFEASIBLE"
+        return (
+            f"{self.op.upper():4s} N={self.n_inputs:<2d} "
+            f"regions C{self.compute_region}/R{self.reference_region}: "
+            f"V_ref={self.v_reference:.3f} raw={self.raw_margin:+.4f} "
+            f"net={self.net_margin:+.4f} sigma={self.noise_sigma:.4f} "
+            f"[{verdict}: worst case {self.worst_case}]"
+        )
+
+
+def worst_case_sense_margin(
+    op: str,
+    n_inputs: int,
+    calibration: object,
+    compute_region: int = 1,
+    reference_region: int = 1,
+) -> SenseMarginBound:
+    """Conservative static bound on the sense margin of a logic op.
+
+    Evaluates the two boundary input patterns of an ``N``-input AND/OR
+    family operation (all-ones vs. one-zero for AND; all-zeros vs.
+    one-one for OR) through the finite-capacitance charge-sharing model
+    and the systematic terms of :func:`sense_differential`, taking every
+    systematic effect in its *adverse* direction and crediting none of
+    the helpful ones:
+
+    * the design-induced margin shift ``op_distance_margin[compute]
+      [reference]`` (it favors the compute side; only a compute-hurting
+      sign is charged),
+    * the sense-amp static offset mean (direction depends on which
+      terminal the compute side lands on, so ``|sa_offset_mean|`` is
+      always charged), and
+    * the common-mode resolution bias (overdrive loss near VDD favors
+      logic-1, underdrive near GND favors logic-0 — whichever boundary
+      pattern the bias pushes across the threshold is charged).
+
+    ``calibration`` is a :class:`repro.dram.calibration.DieCalibration`
+    (typed as ``object`` to keep this module free of upward imports);
+    regions are Close/Middle/Far as 0/1/2 (``repro.dram.variation.Region``
+    values work directly).  NAND/NOR share their comparison with AND/OR —
+    the complement is read from the other terminal — so they bound
+    identically.
+    """
+    families = {"and": "and", "nand": "and", "or": "or", "nor": "or"}
+    if op not in families:
+        raise ValueError(f"unknown operation {op!r}; expected one of {sorted(families)}")
+    if n_inputs < 2:
+        raise ValueError(f"logic operations need n_inputs >= 2, got {n_inputs}")
+    if not (0 <= compute_region <= 2 and 0 <= reference_region <= 2):
+        raise ValueError("regions must be 0 (Close), 1 (Middle), or 2 (Far)")
+    base = families[op]
+
+    cell_ff = float(getattr(calibration, "cell_cap_ff"))
+    bitline_ff = float(getattr(calibration, "bitline_cap_ff"))
+
+    def shared(voltages: Sequence[float]) -> float:
+        cells = np.asarray(voltages, dtype=np.float64)[:, np.newaxis]
+        return float(charge_share(cells, cell_ff, bitline_ff)[0])
+
+    constant = VDD if base == "and" else 0.0
+    v_reference = shared([constant] * (n_inputs - 1) + [VDD_HALF])
+    if base == "and":
+        v_high = shared([VDD] * n_inputs)
+        v_low = shared([VDD] * (n_inputs - 1) + [0.0])
+        high_label = f"all {n_inputs} inputs at 1"
+        low_label = f"{n_inputs - 1} of {n_inputs} inputs at 1"
+    else:
+        v_high = shared([VDD] + [0.0] * (n_inputs - 1))
+        v_low = shared([0.0] * n_inputs)
+        high_label = f"1 of {n_inputs} inputs at 1"
+        low_label = f"all {n_inputs} inputs at 0"
+
+    shift = float(
+        getattr(calibration, "op_distance_margin")[compute_region][reference_region]
+    )
+    gain_scale = float(
+        getattr(calibration, "op_distance_cm_gain_scale")[compute_region][
+            reference_region
+        ]
+    )
+    offset_mean = abs(float(getattr(calibration, "sa_offset_mean")))
+    offset_sigma = float(getattr(calibration, "sa_offset_sigma"))
+    noise = float(getattr(calibration, "sense_noise_sigma"))
+    cm_gain = float(getattr(calibration, "common_mode_noise_gain")) * gain_scale
+    cm_threshold = float(getattr(calibration, "common_mode_threshold"))
+    cm_cap = float(getattr(calibration, "common_mode_sigma_cap")) * gain_scale
+    bias_hi_gain = float(getattr(calibration, "common_mode_offset_gain"))
+    bias_lo_gain = float(getattr(calibration, "low_common_mode_offset_gain"))
+
+    def case(v_compute: float, want_compute_win: bool, label: str):
+        raw = abs(v_compute - v_reference)
+        common_mode = 0.5 * (v_compute + v_reference)
+        overdrive = max(0.0, common_mode - cm_threshold)
+        underdrive = max(0.0, cm_threshold - common_mode)
+        # Resolution bias toward the compute terminal [VDD]; only the
+        # adverse sign for this boundary pattern is charged.
+        bias = bias_hi_gain * overdrive - bias_lo_gain * underdrive
+        adverse = offset_mean
+        adverse += max(0.0, -shift) if want_compute_win else max(0.0, shift)
+        adverse += max(0.0, -bias) if want_compute_win else max(0.0, bias)
+        sigma = noise * (1.0 + cm_gain * overdrive)
+        if cm_cap > 0.0:
+            sigma = min(sigma, cm_cap * noise)
+        sigma = float(np.hypot(sigma, offset_sigma))
+        return raw - adverse, raw, sigma, label
+
+    cases = (
+        case(v_high, True, high_label),
+        case(v_low, False, low_label),
+    )
+    worst = min(cases, key=lambda c: c[0])
+    return SenseMarginBound(
+        op=op,
+        n_inputs=n_inputs,
+        compute_region=int(compute_region),
+        reference_region=int(reference_region),
+        v_reference=v_reference,
+        raw_margin=min(c[1] for c in cases),
+        net_margin=worst[0],
+        noise_sigma=max(c[2] for c in cases),
+        worst_case=worst[3],
+    )
 
 
 def sense_differential(

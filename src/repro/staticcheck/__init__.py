@@ -8,7 +8,11 @@ Two checkers share one diagnostics engine (:mod:`.diagnostics`):
   perform their operation (rules ``FC101``–``FC113``);
 * :mod:`.determinism` — an AST lint over the source tree for global
   RNG, wall-clock reads, and non-atomic result writes (rules
-  ``DET201``–``DET204``).
+  ``DET201``–``DET204``);
+* :mod:`.semantics` — a symbolic charge-algebra evaluator that proves
+  what each verified program *computes*: truth tables for every row a
+  program touches, checked against the intended Boolean function (rules
+  ``SEM301``–``SEM309``).
 
 Entry points: ``python -m repro.staticcheck`` (CLI), the
 ``ProgramExecutor(verify=...)`` pre-flight gate, and the golden tests
@@ -53,6 +57,20 @@ __all__ = [
     "lint_paths",
     "BADCASES",
     "run_case",
+    "SymValue",
+    "SemanticAnalyzer",
+    "SemanticSession",
+    "SemanticReport",
+    "prove_value",
+    "sym_var",
+    "sym_const",
+    "sym_not",
+    "sym_and",
+    "sym_or",
+    "sym_nand",
+    "sym_nor",
+    "sym_xor",
+    "sym_majority",
 ]
 
 _LAZY = {
@@ -66,6 +84,20 @@ _LAZY = {
     "lint_paths": "determinism",
     "BADCASES": "badcases",
     "run_case": "badcases",
+    "SymValue": "semantics",
+    "SemanticAnalyzer": "semantics",
+    "SemanticSession": "semantics",
+    "SemanticReport": "semantics",
+    "prove_value": "semantics",
+    "sym_var": "semantics",
+    "sym_const": "semantics",
+    "sym_not": "semantics",
+    "sym_and": "semantics",
+    "sym_or": "semantics",
+    "sym_nand": "semantics",
+    "sym_nor": "semantics",
+    "sym_xor": "semantics",
+    "sym_majority": "semantics",
 }
 
 

@@ -14,6 +14,15 @@ Other modes::
     python -m repro.staticcheck --lint src/      # lint specific paths
     python -m repro.staticcheck --demo fc104     # run a documented bad case
     python -m repro.staticcheck --demo all       # self-test all bad cases
+    python -m repro.staticcheck --semantics      # symbolic truth-table proofs
+    python -m repro.staticcheck --prove '~(a & b) | c'   # prove one expression
+
+``--semantics`` proves every shipped sequences flow (AND/NAND/OR/NOR ×
+N, NOT, RowClone) symbolically against its expected truth table at every
+speed grade, proves the compiler lowering catalogue, and prints the
+static worst-case sense-margin report.  ``--prove`` compiles one
+expression (``~ & ^ |`` syntax), prints the machine-checked truth table
+the schedule computes, and the per-step margin feasibility.
 
 Exit status: 0 clean (warnings allowed), 1 when error-severity
 diagnostics were found — in ``--demo CASE`` mode, 1 when the case's rule
@@ -44,9 +53,23 @@ from ..dram.module import Module
 from ..dram.timing import timing_for_speed
 from ..errors import ReverseEngineeringError
 from ..rng import SeedTree
+from ..core.layout import bank_rows
+from ..dram.analog import worst_case_sense_margin
+from ..dram.calibration import DieCalibration
 from .badcases import BADCASES, run_case
 from .determinism import lint_paths
 from .diagnostics import RULES, Diagnostic, format_diagnostics, has_errors
+from .semantics import (
+    CONST0,
+    CONST1,
+    HALF,
+    SemanticAnalyzer,
+    prove_value,
+    sym_and,
+    sym_not,
+    sym_or,
+    sym_var,
+)
 from .verifier import ProgramVerifier
 
 DEFAULT_SPEC = "hynix-4gb-m-x8-2666"
@@ -132,6 +155,204 @@ def verify_shipped_sequences(
     return diagnostics
 
 
+def prove_shipped_semantics(
+    spec: ModuleSpec, verbose: bool = False, out: TextIO = sys.stdout
+) -> List[Diagnostic]:
+    """Symbolically prove every shipped flow's truth table.
+
+    For each speed grade and input count the AND/OR families are proved
+    on the compute terminal and NAND/NOR on the reference terminal, NOT
+    and RowClone on their destination rows; the static worst-case sense
+    margin of every charge-sharing episode is printed alongside.
+    """
+    diagnostics: List[Diagnostic] = []
+    geometry = spec.chip.geometry
+    for speed in SPEED_GRADES:
+        config = replace(spec.chip, speed_rate_mts=speed)
+        module = Module(config, chip_count=1, seed_tree=SeedTree(0))
+        timing = timing_for_speed(speed)
+        analyzer = SemanticAnalyzer.for_module(module)
+        bank = 0
+        for n in INPUT_COUNTS:
+            if n > config.max_simultaneous_n:
+                continue
+            try:
+                ref_row, com_row = find_pattern_pair(
+                    module.decoder, geometry, bank, 0, 1, n,
+                    kind=ActivationKind.N_TO_N, seed=n,
+                )
+            except ReverseEngineeringError:
+                continue
+            pattern = module.decoder.neighboring_pattern(bank, ref_row, com_row)
+            ref_rows = bank_rows(
+                geometry, pattern.subarray_first, pattern.rows_first
+            )
+            com_rows = bank_rows(
+                geometry, pattern.subarray_last, pattern.rows_last
+            )
+            inputs = [sym_var(f"x{i}") for i in range(n)]
+            for family, const, combine in (
+                ("and", CONST1, sym_and),
+                ("or", CONST0, sym_or),
+            ):
+                session = analyzer.new_session()
+                for row in ref_rows[:-1]:
+                    session.set_value(bank, row, const)
+                session.set_value(bank, ref_rows[-1], HALF)
+                for value, row in zip(inputs, com_rows):
+                    session.set_value(bank, row, value)
+                report = analyzer.analyze_program(
+                    logic_program(timing, bank, ref_row, com_row), session
+                )
+                diagnostics.extend(report.diagnostics)
+                expected = combine(*inputs)
+                complement = sym_not(expected)
+                where = f"{spec.name}@{speed} {family.upper()} N={n}"
+                for row in com_rows:
+                    diagnostics.extend(
+                        prove_value(
+                            session.value_of(bank, row), expected,
+                            f"{where} compute row {row}",
+                            program=f"logic-{ref_row}->{com_row}",
+                        )
+                    )
+                for row in ref_rows:
+                    diagnostics.extend(
+                        prove_value(
+                            session.value_of(bank, row), complement,
+                            f"{where} reference row {row}",
+                            program=f"logic-{ref_row}->{com_row}",
+                        )
+                    )
+                for episode in report.episodes:
+                    if episode.margin is not None:
+                        out.write(
+                            f"[semantics] {spec.name}@{speed}: "
+                            f"{episode.margin.describe()}\n"
+                        )
+                if verbose:
+                    proved = session.value_of(bank, com_rows[0])
+                    out.write(f"[semantics] {where}: {proved.describe()}\n")
+        # NOT across a neighboring pair (all N source rows hold x), and
+        # RowClone within one subarray.
+        try:
+            src_row, dst_row = find_pattern_pair(
+                module.decoder, geometry, bank, 2, 3, 2,
+                kind=ActivationKind.N_TO_N, seed=102,
+            )
+        except ReverseEngineeringError:
+            src_row = geometry.bank_row(2, 3)
+            dst_row = geometry.bank_row(3, 8)
+        pattern = module.decoder.neighboring_pattern(bank, src_row, dst_row)
+        session = analyzer.new_session()
+        for row in bank_rows(geometry, pattern.subarray_first, pattern.rows_first):
+            session.set_value(bank, row, sym_var("x"))
+        report = analyzer.analyze_program(
+            not_program(timing, bank, src_row, dst_row), session
+        )
+        diagnostics.extend(report.diagnostics)
+        for row in bank_rows(geometry, pattern.subarray_last, pattern.rows_last):
+            diagnostics.extend(
+                prove_value(
+                    session.value_of(bank, row), sym_not(sym_var("x")),
+                    f"{spec.name}@{speed} NOT destination row {row}",
+                    program=f"not-{src_row}->{dst_row}",
+                )
+            )
+        session = analyzer.new_session()
+        clone_src = geometry.bank_row(4, 10)
+        clone_dst = geometry.bank_row(4, 40)
+        session.set_value(bank, clone_src, sym_var("y"))
+        report = analyzer.analyze_program(
+            rowclone_program(timing, bank, clone_src, clone_dst), session
+        )
+        diagnostics.extend(report.diagnostics)
+        diagnostics.extend(
+            prove_value(
+                session.value_of(bank, clone_dst), sym_var("y"),
+                f"{spec.name}@{speed} RowClone destination row {clone_dst}",
+                program=f"rowclone-{clone_src}->{clone_dst}",
+            )
+        )
+    return diagnostics
+
+
+#: The compiler lowering catalogue ``--semantics`` proves: every
+#: optimization path gets at least one representative expression.
+def _compiler_catalogue():
+    from ..core.compiler import And, Not, Or, Xor, v
+
+    shared = And(v("a"), v("b"))
+    return (
+        ("fan-in fusion", And(And(v("a"), v("b")), And(v("c"), v("d")))),
+        ("complement fusion NAND", Not(And(v("a"), v("b"), v("c")))),
+        ("complement fusion NOR", Not(Or(v("a"), v("b"), v("c")))),
+        ("double negation", Not(Not(Or(v("a"), v("b"))))),
+        ("xor desugar", Xor(v("a"), v("b"))),
+        ("shared subexpression", Or(shared, Xor(shared, v("c")))),
+        ("wide regroup", And(*[v(f"x{i}") for i in range(20)])),
+    )
+
+
+def prove_compiler_catalogue(out: TextIO = sys.stdout) -> List[Diagnostic]:
+    """Round-trip the compiler lowering catalogue through its proof."""
+    from ..errors import ProgramVerificationError
+    from ..core.compiler import compile_expression
+
+    diagnostics: List[Diagnostic] = []
+    for label, expr in _compiler_catalogue():
+        try:
+            program = compile_expression(expr)
+        except ProgramVerificationError as exc:
+            out.write(f"[semantics] compiler {label}: PROOF FAILED\n")
+            diagnostics.extend(exc.diagnostics)
+            continue
+        proved = (
+            program.proof.describe()
+            if program.proof is not None
+            else "sampled-equivalence (beyond the 16-variable cap)"
+        )
+        out.write(f"[semantics] compiler {label}: {proved}\n")
+    return diagnostics
+
+
+def _run_prove(text: str, out: TextIO) -> int:
+    from ..errors import ProgramVerificationError, ReproError
+    from ..core.compiler import compile_expression, parse_expression
+
+    try:
+        expr = parse_expression(text)
+        program = compile_expression(expr)
+    except ProgramVerificationError as exc:
+        out.write(f"[prove] equivalence proof FAILED:\n{exc}\n")
+        return 1
+    except ReproError as exc:
+        raise SystemExit(f"cannot parse expression: {exc}")
+    counts = ", ".join(
+        f"{op}×{count}" for op, count in sorted(program.op_counts.items())
+    )
+    out.write(f"# {text}\n")
+    out.write(f"schedule: {counts or 'no in-DRAM ops (bare variable)'}\n")
+    if program.proof is not None:
+        out.write("proved truth table:\n")
+        out.write(program.proof.format_table() + "\n")
+    else:
+        out.write(
+            "proved by sampled equivalence (beyond the 16-variable "
+            "exhaustive cap)\n"
+        )
+    calibration = DieCalibration()
+    reported = set()
+    for step in program.steps:
+        n = len(step.inputs)
+        if step.op == "not" or n < 2 or (step.op, n) in reported:
+            continue
+        reported.add((step.op, n))
+        bound = worst_case_sense_margin(step.op, n, calibration)
+        out.write(f"margin: {bound.describe()}\n")
+    return 0
+
+
 def _default_lint_target() -> str:
     import repro
 
@@ -184,6 +405,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run a documented bad case ('all' for the full self-test)",
     )
     parser.add_argument(
+        "--semantics", action="store_true",
+        help="prove every shipped flow and the compiler catalogue "
+        "symbolically (replaces the default run)",
+    )
+    parser.add_argument(
+        "--prove", metavar="EXPR",
+        help="compile one expression (~ & ^ | syntax) and print the "
+        "machine-checked truth table and margin report",
+    )
+    parser.add_argument(
         "--lint", nargs="+", metavar="PATH",
         help="lint these files/directories instead of the installed repro "
         "package (skips sequence verification)",
@@ -213,9 +444,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.demo:
         return _run_demo(args.demo, out)
 
+    if args.prove:
+        return _run_prove(args.prove, out)
+
     diagnostics: List[Diagnostic] = []
     if args.lint:
         diagnostics.extend(lint_paths(args.lint))
+    elif args.semantics:
+        spec = _resolve_spec(args.spec)
+        diagnostics.extend(
+            prove_shipped_semantics(spec, verbose=args.verbose, out=out)
+        )
+        diagnostics.extend(prove_compiler_catalogue(out))
     else:
         if not args.no_sequences:
             spec = _resolve_spec(args.spec)

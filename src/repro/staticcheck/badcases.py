@@ -16,14 +16,31 @@ from ..bender.commands import Command, Opcode
 from ..bender.program import TestProgram
 from ..core.sequences import (
     double_activation_program,
+    frac_program,
     logic_program,
+    nominal_activation_program,
     not_program,
 )
+from ..dram.analog import worst_case_sense_margin
+from ..dram.calibration import DieCalibration
 from ..dram.config import ChipGeometry
 from ..dram.timing import ReducedTiming, TimingParameters, timing_for_speed
 from ..errors import ProgramError
 from .determinism import lint_source
 from .diagnostics import RULES, Diagnostic
+from .semantics import (
+    CONST0,
+    CONST1,
+    HALF,
+    SemanticAnalyzer,
+    SymValue,
+    prove_value,
+    sym_and,
+    sym_nand,
+    sym_nor,
+    sym_not,
+    sym_var,
+)
 from .verifier import ProgramVerifier
 
 __all__ = ["BadCase", "BADCASES", "run_case"]
@@ -236,6 +253,155 @@ def _case_det204() -> List[Diagnostic]:
     )
 
 
+#: Small but structurally complete geometry for the decoder-backed
+#: semantic cases (same shape the test suite uses).
+_SEM_GEOMETRY = ChipGeometry(
+    banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+)
+
+
+def _semantic_pair():
+    """A decoder-backed analyzer plus a 2:2 logic address pair."""
+    import repro
+    from ..core.addressing import find_pattern_pair
+    from ..core.layout import bank_rows
+    from ..dram.decoder import ActivationKind, make_decoder
+    from ..rng import SeedTree
+
+    config = repro.sk_hynix_chip().with_geometry(_SEM_GEOMETRY)
+    decoder = make_decoder(config, SeedTree(0).child("decoder"), "calibrated")
+    analyzer = SemanticAnalyzer(geometry=_SEM_GEOMETRY, decoder=decoder)
+    ref_row, com_row = find_pattern_pair(
+        decoder, _SEM_GEOMETRY, 0, 0, 1, 2,
+        kind=ActivationKind.N_TO_N, seed=2,
+    )
+    pattern = decoder.neighboring_pattern(0, ref_row, com_row)
+    ref_rows = bank_rows(_SEM_GEOMETRY, pattern.subarray_first, pattern.rows_first)
+    com_rows = bank_rows(_SEM_GEOMETRY, pattern.subarray_last, pattern.rows_last)
+    return analyzer, ref_row, com_row, ref_rows, com_rows
+
+
+def _sem_logic_case(
+    reference: List[SymValue], compute: List[SymValue]
+) -> List[Diagnostic]:
+    """Run one 2:2 charge-share episode with the given side values."""
+    analyzer, ref_row, com_row, ref_rows, com_rows = _semantic_pair()
+    session = analyzer.new_session()
+    for value, row in zip(reference, ref_rows):
+        session.set_value(0, row, value)
+    for value, row in zip(compute, com_rows):
+        session.set_value(0, row, value)
+    program = logic_program(_timing(), 0, ref_row, com_row)
+    return list(analyzer.analyze_program(program, session).diagnostics)
+
+
+def _case_sem301() -> List[Diagnostic]:
+    # The terminal swap: NAND and NOR live on opposite sense-amp
+    # terminals, so reading the result off the wrong one (or placing the
+    # reference constants on the compute side) silently turns NAND into
+    # NOR.  The equivalence proof renders both truth tables side by side.
+    a, b = sym_var("a"), sym_var("b")
+    return prove_value(
+        sym_nor(a, b),
+        sym_nand(a, b),
+        "result read from the swapped sense-amp terminal",
+        program="bad-sem301",
+    )
+
+
+def _case_sem302() -> List[Diagnostic]:
+    # One compute operand is a constant-0 row, so the AND episode
+    # resolves to constant 0 — operand 'a' participates but cannot
+    # influence anything.
+    return _sem_logic_case([CONST1, HALF], [sym_var("a"), CONST0])
+
+
+def _case_sem303() -> List[Diagnostic]:
+    # A row holding NOT a (from an earlier in-DRAM NOT) reused next to
+    # the row holding a: the pair cancels to VDD/2 on its terminal.
+    a = sym_var("a")
+    return _sem_logic_case([CONST1, HALF], [a, sym_not(a)])
+
+
+def _case_sem304() -> List[Diagnostic]:
+    # Reference loaded with two full constants instead of N-1 constants
+    # plus one Frac row: the all-ones compute pattern ties the terminals.
+    return _sem_logic_case([CONST1, CONST1], [sym_var("a"), CONST1])
+
+
+def _case_sem305() -> List[Diagnostic]:
+    # 16-input AND: the paper's own worst case (Observation 14).  The
+    # static charge-algebra bound proves it infeasible with no sweep.
+    bound = worst_case_sense_margin("and", 16, DieCalibration())
+    if bound.feasible:  # pragma: no cover - defensive
+        return []
+    rule = RULES["SEM305"]
+    return [
+        Diagnostic(
+            rule="SEM305",
+            severity=rule.severity,
+            message=bound.describe(),
+            hint=rule.hint,
+            program="bad-sem305",
+            command_index=0,
+        )
+    ]
+
+
+def _case_sem306() -> List[Diagnostic]:
+    # Frac a row to VDD/2, then read it back with a nominal sequence:
+    # the activation resolves the half-charged cells by noise.
+    timing = _timing()
+    analyzer = SemanticAnalyzer()
+    session = analyzer.new_session()
+    row = _row(0, 5)
+    diags = list(
+        analyzer.analyze_program(frac_program(timing, 0, row), session).diagnostics
+    )
+    program = (
+        TestProgram(timing, name="bad-sem306")
+        .act(0, row, wait_ns=timing.t_ras)
+        .rd(0, row, wait_ns=timing.t_rcd, label="row")
+        .pre(0, wait_ns=timing.t_rp)
+    )
+    diags.extend(analyzer.analyze_program(program, session).diagnostics)
+    return diags
+
+
+def _case_sem307() -> List[Diagnostic]:
+    # A charge-sharing operation over rows nothing ever initialized.
+    analyzer = SemanticAnalyzer()
+    program = logic_program(_timing(), 0, _row(0, 10), _row(1, 20))
+    return list(analyzer.analyze_program(program).diagnostics)
+
+
+def _case_sem308() -> List[Diagnostic]:
+    # The charge-share result would depend on 17 variables — beyond the
+    # substrate's own 16-input cap, so the exhaustive proof refuses.
+    analyzer = SemanticAnalyzer()
+    session = analyzer.new_session()
+    wide = sym_and(*[sym_var(f"x{i}") for i in range(16)])
+    session.set_value(0, _row(0, 10), wide)
+    session.set_value(0, _row(1, 20), sym_var("z"))
+    program = logic_program(_timing(), 0, _row(0, 10), _row(1, 20))
+    return list(analyzer.analyze_program(program, session).diagnostics)
+
+
+def _case_sem309() -> List[Diagnostic]:
+    # An operand bound to a row no activation ever consumed.
+    timing = _timing()
+    analyzer = SemanticAnalyzer()
+    session = analyzer.new_session()
+    session.bind(0, _row(2, 7), "a")
+    diags = list(
+        analyzer.analyze_program(
+            nominal_activation_program(timing, 0, _row(0, 3)), session
+        ).diagnostics
+    )
+    diags.extend(analyzer.finish_session(session, program="bad-sem309"))
+    return diags
+
+
 def _registry() -> Dict[str, BadCase]:
     entries: Tuple[BadCase, ...] = (
         BadCase(
@@ -322,6 +488,60 @@ def _registry() -> Dict[str, BadCase]:
             "FC113",
             "intent declares logic but the timing performs NOT",
             _case_fc113,
+        ),
+        BadCase(
+            "sem301",
+            "SEM301",
+            "terminal swap: NAND read off the NOR terminal",
+            _case_sem301,
+        ),
+        BadCase(
+            "sem302",
+            "SEM302",
+            "constant-0 operand makes the AND episode dead compute",
+            _case_sem302,
+        ),
+        BadCase(
+            "sem303",
+            "SEM303",
+            "operand and its complement cancel on one terminal",
+            _case_sem303,
+        ),
+        BadCase(
+            "sem304",
+            "SEM304",
+            "reference without a Frac row cannot realize the threshold",
+            _case_sem304,
+        ),
+        BadCase(
+            "sem305",
+            "SEM305",
+            "16-input AND is charge-algebra infeasible (Observation 14)",
+            _case_sem305,
+        ),
+        BadCase(
+            "sem306",
+            "SEM306",
+            "nominal read of a Frac (VDD/2) row returns noise",
+            _case_sem306,
+        ),
+        BadCase(
+            "sem307",
+            "SEM307",
+            "charge share over rows nothing initialized",
+            _case_sem307,
+        ),
+        BadCase(
+            "sem308",
+            "SEM308",
+            "symbolic result would exceed the 16-variable proof cap",
+            _case_sem308,
+        ),
+        BadCase(
+            "sem309",
+            "SEM309",
+            "bound operand never consumed by any activation",
+            _case_sem309,
         ),
         BadCase(
             "det201",

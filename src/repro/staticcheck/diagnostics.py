@@ -12,6 +12,7 @@ Rule families
 -------------
 ``FC1xx`` — FCDRAM command-sequence rules (program verifier).
 ``DET2xx`` — determinism rules (AST linter over the source tree).
+``SEM3xx`` — semantic rules (symbolic charge-algebra evaluator).
 """
 
 from __future__ import annotations
@@ -169,6 +170,101 @@ _RULE_LIST: Tuple[Rule, ...] = (
         "fix the gap spacings or the row placement so the sequence "
         "performs the declared operation (not <-> neighboring subarrays, "
         "rowclone <-> same subarray, logic <-> both gaps violated)",
+    ),
+    Rule(
+        "SEM301",
+        "semantics-mismatch",
+        Severity.ERROR,
+        "the Boolean function a program (or compiled schedule) computes "
+        "differs from the declared/expected function",
+        "compare the derived truth table against the expectation: a "
+        "swapped sense-amp terminal turns NAND into NOR, a dropped "
+        "negation turns AND into NAND; fix the lowering or the row "
+        "placement, not the expectation",
+    ),
+    Rule(
+        "SEM302",
+        "dead-compute",
+        Severity.WARNING,
+        "an operand cell participates in a charge-sharing operation but "
+        "has no influence on the resolved result",
+        "a result that is constant over some operand usually means a "
+        "constant row was loaded where a variable was intended, or the "
+        "reference constants force the comparison; check the operand "
+        "rows written before the activation",
+    ),
+    Rule(
+        "SEM303",
+        "cancelling-operands",
+        Severity.WARNING,
+        "complementary operands (x and NOT x) charge-share on the same "
+        "terminal, so their contributions cancel to VDD/2",
+        "complementary pairs behave like an extra Frac row: the pair "
+        "adds capacitive load but no information; drop one of the rows "
+        "or recompute the operand placement (common after a NOT into a "
+        "row that is later reused as an operand)",
+    ),
+    Rule(
+        "SEM304",
+        "unrealizable-threshold",
+        Severity.ERROR,
+        "some input assignment drives both sense-amp terminals to the "
+        "same voltage, so the comparison has no defined outcome",
+        "the reference side must sit strictly between the compute-side "
+        "voltages that resolve to 0 and to 1; re-check the reference "
+        "ones-count (N-1 constants + one Frac row) for the operand "
+        "count actually activated",
+    ),
+    Rule(
+        "SEM305",
+        "margin-infeasible",
+        Severity.WARNING,
+        "the static worst-case sense margin for this (op, N, speed, "
+        "distance) is not positive: some input pattern resolves wrongly "
+        "more often than not",
+        "this configuration is charge-algebra infeasible before any "
+        "trial runs (the paper's 16-input AND worst cases, Observation "
+        "14); reduce the fan-in, move the rows to a better distance "
+        "region, or accept the documented failure mode",
+    ),
+    Rule(
+        "SEM306",
+        "frac-residue-read",
+        Severity.WARNING,
+        "RD of a row whose cells hold a Frac (VDD/2) value",
+        "a VDD/2 cell resolves by noise: the read returns random bits "
+        "(the TRNG use case); if that is not the intent, re-write the "
+        "row before reading it",
+    ),
+    Rule(
+        "SEM307",
+        "unknown-operand",
+        Severity.WARNING,
+        "a charge-sharing operation consumes a cell whose value the "
+        "semantic model cannot determine",
+        "the cell was never written in this session (or was destroyed "
+        "by a refresh / noise-resolved read); initialize every operand "
+        "and reference row before the activation so the derived truth "
+        "table is exact",
+    ),
+    Rule(
+        "SEM308",
+        "support-overflow",
+        Severity.WARNING,
+        "the symbolic result depends on more than 16 variables, so the "
+        "exhaustive truth-table proof is refused",
+        "the substrate itself caps fan-in at 16 (Limitation 2); split "
+        "the computation into narrower steps or bind some inputs to "
+        "constants before proving",
+    ),
+    Rule(
+        "SEM309",
+        "unused-operand",
+        Severity.WARNING,
+        "a declared operand variable never reaches any read-back result",
+        "the variable was bound to a row that no activation consumed; "
+        "check the operand row addresses against the decoder's "
+        "activation pattern",
     ),
     Rule(
         "DET201",

@@ -1,0 +1,1142 @@
+"""Symbolic charge-algebra evaluator: prove what a program computes.
+
+PR 3's :mod:`verifier <repro.staticcheck.verifier>` proves a program is
+*well-formed* — its gaps classify as recognized FCDRAM idioms.  This
+module proves what a well-formed program *computes*: it mirrors the
+bank/sense-amp model over **symbolic** cell values instead of bits, by
+subscribing to the verifier's state-machine events
+(:class:`~repro.staticcheck.verifier.VerifierObserver`).
+
+The abstract domain is the canonical truth table.  A cell value is a
+:class:`SymValue`:
+
+* ``func`` — an exact Boolean function of named input variables,
+  canonicalized (don't-care variables dropped, variables sorted, table
+  stored as a bitmask over the ``2**n`` assignments).  Fan-in is capped
+  at 16 (Limitation 2 — the substrate's own cap), so exhaustive
+  tabulation is exact and cheap.
+* ``half`` — the Frac (VDD/2) charge state.
+* ``unknown`` — a value the model cannot determine (never written, noise
+  resolved, destroyed by refresh).
+
+A charge-sharing episode becomes a symbolic threshold node: each side's
+bitline voltage is evaluated per input assignment through the
+finite-capacitance :func:`~repro.dram.analog.charge_share` model
+(``half`` cells contribute VDD/2 — this is how the Frac reference row
+realizes the AND/OR threshold), the side with the higher voltage
+resolves to 1, and — because the two terminals of a sense amplifier are
+complementary — the other side gets the complement for free (§6.1.3:
+NAND/NOR on the reference terminal).  The resulting rule family:
+
+``SEM301`` semantics mismatch, ``SEM302`` dead compute, ``SEM303``
+cancelling operands, ``SEM304`` unrealizable threshold, ``SEM305``
+statically infeasible sense margin (per op/N/speed grade/distance,
+via :func:`~repro.dram.analog.worst_case_sense_margin`), ``SEM306``
+Frac-residue read, ``SEM307`` unknown operand, ``SEM308`` support
+overflow, ``SEM309`` unused operand.
+
+This module deliberately imports nothing from :mod:`repro.core` — the
+compiler's post-lowering equivalence proof imports *these* primitives.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..bender.program import TestProgram
+from ..dram.analog import SenseMarginBound, charge_share, worst_case_sense_margin
+from ..dram.calibration import DieCalibration, calibration_for
+from ..dram.config import ChipGeometry
+from ..dram.variation import DistanceRegions
+from .diagnostics import RULES, Diagnostic, Severity
+from .verifier import ProgramVerifier, SessionState, VerifierObserver
+
+__all__ = [
+    "MAX_SUPPORT",
+    "SymValue",
+    "CONST0",
+    "CONST1",
+    "HALF",
+    "UNKNOWN",
+    "sym_var",
+    "sym_const",
+    "sym_not",
+    "sym_and",
+    "sym_or",
+    "sym_nand",
+    "sym_nor",
+    "sym_xor",
+    "sym_majority",
+    "expand_table",
+    "table_from_outputs",
+    "OP_FUNCS",
+    "ComputeEpisode",
+    "ReadValue",
+    "SemanticReport",
+    "SemanticSession",
+    "SemanticAnalyzer",
+    "prove_value",
+]
+
+#: Largest variable support of an exact truth-table proof — identical to
+#: the substrate's fan-in cap (Limitation 2), so anything the hardware
+#: can evaluate in one activation, the prover can tabulate exhaustively.
+MAX_SUPPORT = 16
+
+_EPS = 1e-12
+
+_FloatArray = NDArray[np.float64]
+
+
+# ----------------------------------------------------------------------
+# the symbolic value domain
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SymValue:
+    """A symbolic cell value: exact Boolean function, VDD/2, or unknown.
+
+    ``func`` values are canonical: ``vars`` is sorted, contains no
+    don't-care variable, and ``table`` packs the function's output for
+    each of the ``2**len(vars)`` assignments — bit ``i`` of ``table`` is
+    the output when variable ``vars[j]`` has value ``(i >> j) & 1``.
+    Equality on canonical forms is therefore exactly Boolean-function
+    equivalence.
+    """
+
+    kind: str
+    vars: Tuple[str, ...] = ()
+    table: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("func", "half", "unknown"):
+            raise ValueError(f"unknown SymValue kind {self.kind!r}")
+
+    @property
+    def is_func(self) -> bool:
+        return self.kind == "func"
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind == "func" and not self.vars
+
+    def constant_value(self) -> Optional[int]:
+        """0 or 1 for a constant function, else ``None``."""
+        if not self.is_constant:
+            return None
+        return 1 if self.table & 1 else 0
+
+    def outputs(self) -> NDArray[np.uint8]:
+        """The truth-table column as a ``(2**n,)`` uint8 array."""
+        if not self.is_func:
+            raise ValueError(f"{self.kind} value has no truth table")
+        n = len(self.vars)
+        table = np.zeros(1 << n, dtype=np.uint8)
+        for i in range(1 << n):
+            table[i] = (self.table >> i) & 1
+        return table
+
+    def format_table(self) -> str:
+        """Human-readable truth table (CLI ``--prove`` output)."""
+        if self.kind == "half":
+            return "VDD/2 (Frac charge state)"
+        if self.kind == "unknown":
+            return "unknown (not a determined Boolean function)"
+        if not self.vars:
+            return f"constant {self.constant_value()}"
+        header = " ".join(self.vars) + " | out"
+        lines = [header, "-" * len(header)]
+        for i in range(1 << len(self.vars)):
+            bits = " ".join(str((i >> j) & 1) for j in range(len(self.vars)))
+            lines.append(f"{bits} |  {(self.table >> i) & 1}")
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        if self.kind == "half":
+            return "VDD/2"
+        if self.kind == "unknown":
+            return "unknown"
+        if not self.vars:
+            return f"const {self.constant_value()}"
+        return f"f({', '.join(self.vars)}) table=0x{self.table:x}"
+
+
+CONST0 = SymValue("func", (), 0)
+CONST1 = SymValue("func", (), 1)
+HALF = SymValue("half")
+UNKNOWN = SymValue("unknown")
+
+
+def sym_const(bit: int) -> SymValue:
+    return CONST1 if bit else CONST0
+
+
+def sym_var(name: str) -> SymValue:
+    """The identity function of one named input."""
+    return SymValue("func", (str(name),), 0b10)
+
+
+def _expand_outputs(
+    value: SymValue, variables: Tuple[str, ...]
+) -> NDArray[np.uint8]:
+    """``value``'s outputs over the assignment space of ``variables``."""
+    n = len(variables)
+    positions = [variables.index(name) for name in value.vars]
+    indices = np.arange(1 << n, dtype=np.uint32)
+    local = np.zeros(1 << n, dtype=np.uint32)
+    for j, pos in enumerate(positions):
+        local |= (((indices >> np.uint32(pos)) & 1) << np.uint32(j)).astype(
+            np.uint32
+        )
+    small = value.outputs()
+    return small[local]
+
+
+def _canonical(variables: Sequence[str], outputs: NDArray[np.uint8]) -> SymValue:
+    """Canonicalize (drop don't-cares, sort variables, pack the table)."""
+    names = list(variables)
+    outs = np.asarray(outputs, dtype=np.uint8)
+    # Drop don't-care variables: flipping the variable never changes
+    # the output.
+    j = 0
+    while j < len(names):
+        n = len(names)
+        indices = np.arange(1 << n, dtype=np.uint32)
+        flipped = indices ^ np.uint32(1 << j)
+        if np.array_equal(outs, outs[flipped]):
+            keep = (indices >> np.uint32(j)) & 1 == 0
+            # Re-index the remaining variables: assignments with bit j
+            # cleared enumerate the reduced space in order once bit j is
+            # squeezed out.
+            low = indices[keep] & np.uint32((1 << j) - 1)
+            high = (indices[keep] >> np.uint32(j + 1)) << np.uint32(j)
+            outs = outs[keep][np.argsort(low | high, kind="stable")]
+            del names[j]
+        else:
+            j += 1
+    order = sorted(range(len(names)), key=lambda k: names[k])
+    if order != list(range(len(names))):
+        n = len(names)
+        indices = np.arange(1 << n, dtype=np.uint32)
+        remapped = np.zeros(1 << n, dtype=np.uint32)
+        for new_pos, old_pos in enumerate(order):
+            remapped |= (((indices >> np.uint32(old_pos)) & 1) << np.uint32(
+                new_pos
+            )).astype(np.uint32)
+        reordered = np.zeros_like(outs)
+        reordered[remapped] = outs
+        outs = reordered
+        names = [names[k] for k in order]
+    table = 0
+    for i, bit in enumerate(outs.tolist()):
+        if bit:
+            table |= 1 << i
+    return SymValue("func", tuple(names), table)
+
+
+def _merged_vars(values: Iterable[SymValue]) -> Tuple[str, ...]:
+    merged: Set[str] = set()
+    for value in values:
+        merged.update(value.vars)
+    return tuple(sorted(merged))
+
+
+def sym_not(value: SymValue) -> SymValue:
+    if value.kind == "half":
+        return HALF  # 1 - VDD/2 = VDD/2
+    if value.kind == "unknown":
+        return UNKNOWN
+    mask = (1 << (1 << len(value.vars))) - 1
+    return SymValue("func", value.vars, (~value.table) & mask)
+
+
+def _reduce(
+    values: Sequence[SymValue], combine: Callable[..., NDArray[np.uint8]]
+) -> SymValue:
+    if any(v.kind != "func" for v in values):
+        return UNKNOWN
+    variables = _merged_vars(values)
+    if len(variables) > MAX_SUPPORT:
+        return UNKNOWN
+    columns = [_expand_outputs(v, variables) for v in values]
+    return _canonical(variables, combine(*columns))
+
+
+def sym_and(*values: SymValue) -> SymValue:
+    return _reduce(values, lambda *cols: np.bitwise_and.reduce(np.asarray(cols)))
+
+
+def sym_or(*values: SymValue) -> SymValue:
+    return _reduce(values, lambda *cols: np.bitwise_or.reduce(np.asarray(cols)))
+
+
+def sym_nand(*values: SymValue) -> SymValue:
+    return sym_not(sym_and(*values))
+
+
+def sym_nor(*values: SymValue) -> SymValue:
+    return sym_not(sym_or(*values))
+
+
+def sym_xor(left: SymValue, right: SymValue) -> SymValue:
+    return _reduce((left, right), lambda a, b: np.bitwise_xor(a, b))
+
+
+#: Symbolic evaluators of the substrate's operation set, keyed like
+#: :data:`repro.core.logic.BASE_OPS` plus ``not``.
+OP_FUNCS: Dict[str, Callable[..., SymValue]] = {
+    "and": sym_and,
+    "or": sym_or,
+    "nand": sym_nand,
+    "nor": sym_nor,
+    "not": sym_not,
+}
+
+
+def expand_table(value: SymValue, variables: Sequence[str]) -> NDArray[np.uint8]:
+    """``value``'s truth-table column over an explicit variable order.
+
+    The assignment convention matches :class:`SymValue`: bit ``j`` of
+    assignment index ``i`` is the value of ``variables[j]``.  Variables
+    the function does not depend on broadcast, so two functions can be
+    compared over a shared variable space (the compiler's equivalence
+    proof).
+    """
+    if not value.is_func:
+        raise ValueError(f"cannot tabulate a {value.kind} value")
+    names = tuple(str(name) for name in variables)
+    missing = sorted(set(value.vars) - set(names))
+    if missing:
+        raise ValueError(f"value depends on variables not listed: {missing}")
+    if len(names) > MAX_SUPPORT:
+        raise ValueError(
+            f"cannot tabulate over {len(names)} variables "
+            f"(cap {MAX_SUPPORT})"
+        )
+    return _expand_outputs(value, names)
+
+
+def table_from_outputs(
+    variables: Sequence[str], outputs: NDArray[np.uint8]
+) -> SymValue:
+    """Build a canonical :class:`SymValue` from an explicit truth table.
+
+    ``outputs`` has one entry per assignment (``2**len(variables)``),
+    same bit-order convention as :func:`expand_table`.
+    """
+    names = [str(name) for name in variables]
+    outs = np.asarray(outputs, dtype=np.uint8)
+    if outs.shape != (1 << len(names),):
+        raise ValueError(
+            f"outputs must have shape ({1 << len(names)},), got {outs.shape}"
+        )
+    return _canonical(names, outs)
+
+
+def sym_majority(*values: SymValue) -> SymValue:
+    """Symbolic MAJ over an odd number of inputs (the in-subarray node)."""
+    if len(values) % 2 == 0:
+        raise ValueError("majority needs an odd number of operands")
+    if any(v.kind != "func" for v in values):
+        return UNKNOWN
+    variables = _merged_vars(values)
+    if len(variables) > MAX_SUPPORT:
+        return UNKNOWN
+    columns = np.asarray([_expand_outputs(v, variables) for v in values])
+    outs = (columns.sum(axis=0) * 2 > len(values)).astype(np.uint8)
+    return _canonical(variables, outs)
+
+
+# ----------------------------------------------------------------------
+# the symbolic threshold (charge-sharing comparison) node
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Comparison:
+    """Outcome of one symbolic sense-amp comparison."""
+
+    result: SymValue
+    tie_count: int
+    min_margin: float
+    unknown_cells: int
+    overflowed: bool
+
+
+def _cell_voltages(
+    values: Sequence[SymValue], variables: Tuple[str, ...]
+) -> _FloatArray:
+    """Per-assignment cell voltages, shape ``(n_cells, 2**n)``."""
+    rows: List[_FloatArray] = []
+    for value in values:
+        if value.kind == "half":
+            rows.append(np.full(1 << len(variables), 0.5))
+        else:
+            rows.append(_expand_outputs(value, variables).astype(np.float64))
+    if not rows:
+        return np.empty((0, 1 << len(variables)))
+    return np.asarray(rows)
+
+
+def _compare_sides(
+    side_a: Sequence[SymValue],
+    side_b: Sequence[SymValue],
+    calibration: DieCalibration,
+) -> _Comparison:
+    """Symbolic charge share + compare: does side A win, per assignment?
+
+    An empty side is a precharged (VDD/2) terminal — the in-subarray
+    MAJ/TRNG case.  Returns side A's resolved value; side B's is the
+    complement (the sense amplifier's two terminals are complementary).
+    """
+    cells = list(side_a) + list(side_b)
+    unknown_cells = sum(1 for v in cells if v.kind == "unknown")
+    if unknown_cells:
+        return _Comparison(UNKNOWN, 0, 0.0, unknown_cells, False)
+    variables = _merged_vars(cells)
+    if len(variables) > MAX_SUPPORT:
+        return _Comparison(UNKNOWN, 0, 0.0, 0, True)
+
+    cell_ff = calibration.cell_cap_ff
+    bitline_ff = calibration.bitline_cap_ff
+    v_a = charge_share(_cell_voltages(side_a, variables), cell_ff, bitline_ff)
+    v_b = charge_share(_cell_voltages(side_b, variables), cell_ff, bitline_ff)
+    diff = v_a - v_b
+    ties = int(np.count_nonzero(np.abs(diff) < _EPS))
+    min_margin = float(np.min(np.abs(diff)))
+    if ties:
+        return _Comparison(UNKNOWN, ties, min_margin, 0, False)
+    outputs = (diff > 0.0).astype(np.uint8)
+    return _Comparison(_canonical(variables, outputs), 0, min_margin, 0, False)
+
+
+# ----------------------------------------------------------------------
+# analysis results
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ComputeEpisode:
+    """One resolved charge-sharing activation and what it computed."""
+
+    bank: int
+    command_index: int
+    #: subarray -> local rows, as the verifier's topology predicted.
+    rows: Dict[int, Tuple[int, ...]]
+    first_subarray: int
+    #: Resolved value of the first-activated (reference) side.
+    result_first: SymValue
+    #: Resolved value of the last-activated (compute) side; equals
+    #: ``result_first`` for in-subarray episodes.
+    result_last: SymValue
+    #: Recognized op whose reference pattern the first side held
+    #: (``and``/``or`` family), if any.
+    inferred_op: Optional[str] = None
+    margin: Optional[SenseMarginBound] = None
+
+    @property
+    def in_subarray(self) -> bool:
+        return len(self.rows) == 1
+
+
+@dataclass(frozen=True)
+class ReadValue:
+    """The symbolic value one RD command returns."""
+
+    command_index: int
+    label: str
+    bank: int
+    row: int
+    value: SymValue
+
+
+@dataclass(frozen=True)
+class SemanticReport:
+    """Semantic findings for one program."""
+
+    program: str
+    diagnostics: Tuple[Diagnostic, ...]
+    episodes: Tuple[ComputeEpisode, ...]
+    reads: Tuple[ReadValue, ...]
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity >= Severity.ERROR)
+
+    def read_by_label(self, label: str) -> SymValue:
+        for record in self.reads:
+            if record.label == label:
+                return record.value
+        raise KeyError(f"no RD with label {label!r}")
+
+
+class SemanticSession:
+    """Symbolic cell state carried across programs of one session."""
+
+    def __init__(self, state: Optional[SessionState] = None) -> None:
+        #: The verifier's topology state (cloned in lockstep).
+        self.state = state if state is not None else SessionState()
+        #: (bank, bank_row) -> symbolic value.  Missing rows are unknown.
+        self.values: Dict[Tuple[int, int], SymValue] = {}
+        #: (bank, bank_row) -> declared operand variable name.
+        self.bindings: Dict[Tuple[int, int], str] = {}
+        #: Variables that reached a compute episode or a read-back.
+        self.used_vars: Set[str] = set()
+        #: Rows whose Frac (VDD/2) charge was destroyed by a plain
+        #: sensing activation — their cells resolved by noise (TRNG).
+        self.noise_resolved: Set[Tuple[int, int]] = set()
+        # transient per-episode state -----------------------------------
+        #: bank -> subarray -> latched stripe value (while open).
+        self._latched: Dict[int, Dict[int, SymValue]] = {}
+        #: bank -> subarray -> open local rows (while open).
+        self._open_rows: Dict[int, Dict[int, Set[int]]] = {}
+
+    def bind(self, bank: int, row: int, name: str) -> None:
+        """Declare that ``row`` holds operand variable ``name``.
+
+        The next WR (or backdoor fill) of the row takes the symbolic
+        value ``name`` regardless of the concrete bits written — this is
+        how a characterization sweep's random operand draws become named
+        inputs of the proof.
+        """
+        self.bindings[(bank, row)] = str(name)
+
+    def set_value(self, bank: int, row: int, value: SymValue) -> None:
+        """Directly assign a row's symbolic value (backdoor writes)."""
+        self.values[(bank, row)] = value
+        self.noise_resolved.discard((bank, row))
+
+    def value_of(self, bank: int, row: int) -> SymValue:
+        return self.values.get((bank, row), UNKNOWN)
+
+    def unused_operands(self) -> Tuple[str, ...]:
+        """Declared operand names that never reached any result."""
+        declared = set(self.bindings.values())
+        return tuple(sorted(declared - self.used_vars))
+
+    def clone(self) -> "SemanticSession":
+        other = SemanticSession(self.state.clone())
+        other.values = dict(self.values)
+        other.bindings = dict(self.bindings)
+        other.used_vars = set(self.used_vars)
+        other.noise_resolved = set(self.noise_resolved)
+        other._latched = copy.deepcopy(self._latched)
+        other._open_rows = copy.deepcopy(self._open_rows)
+        return other
+
+
+class _SemanticObserver(VerifierObserver):
+    """Bridges verifier state-machine events onto the symbolic state."""
+
+    def __init__(
+        self,
+        analyzer: "SemanticAnalyzer",
+        session: SemanticSession,
+        emit: Callable[[str, Optional[int], str], None],
+        episodes: List[ComputeEpisode],
+        reads: List[ReadValue],
+    ) -> None:
+        self.analyzer = analyzer
+        self.session = session
+        self.emit = emit
+        self.episodes = episodes
+        self.reads = reads
+
+    # -- helpers --------------------------------------------------------
+
+    def _bank_row(self, subarray: int, local: int) -> int:
+        return self.analyzer.geometry.bank_row(subarray, local)
+
+    def _side_values(
+        self, bank: int, subarray: int, locals_: Sequence[int]
+    ) -> List[SymValue]:
+        return [
+            self.session.value_of(bank, self._bank_row(subarray, local))
+            for local in locals_
+        ]
+
+    def _set_rows(
+        self, bank: int, subarray: int, locals_: Sequence[int], value: SymValue
+    ) -> None:
+        for local in locals_:
+            key = (bank, self._bank_row(subarray, local))
+            self.session.values[key] = value
+            if value != UNKNOWN:
+                self.session.noise_resolved.discard(key)
+
+    def _record_use(self, values: Iterable[SymValue]) -> None:
+        for value in values:
+            self.session.used_vars.update(value.vars)
+
+    # -- activation lifecycle -------------------------------------------
+
+    def on_fresh_activation(self, bank: int, row: int, index: int) -> None:
+        geometry = self.analyzer.geometry
+        self.session._latched[bank] = {}
+        self.session._open_rows[bank] = {
+            geometry.subarray_of_row(row): {geometry.local_row(row)}
+        }
+
+    def on_resolve(
+        self,
+        bank: int,
+        rows: Dict[int, Tuple[int, ...]],
+        glitched: bool,
+        first_subarray: int,
+        index: int,
+    ) -> None:
+        session = self.session
+        session._open_rows[bank] = {
+            sub: set(locals_) for sub, locals_ in rows.items()
+        }
+        if not glitched:
+            # Plain sensing: 0/1 restore intact; a Frac'd cell has no
+            # differential and resolves by noise — the TRNG use case.  A
+            # fresh *multi-row* activation still charge-shares its cells
+            # on the shared bitlines before sensing, so differing values
+            # resolve as an in-subarray threshold node.
+            for sub, locals_ in rows.items():
+                values = self._side_values(bank, sub, sorted(locals_))
+                noise = False
+                if len(values) == 1:
+                    noise = values[0].kind == "half"
+                    resolved = UNKNOWN if noise else values[0]
+                elif all(v == values[0] for v in values) and values[0].is_func:
+                    resolved = values[0]
+                else:
+                    resolved = _compare_sides(
+                        values, [], self.analyzer.calibration
+                    ).result
+                    noise = resolved == UNKNOWN and any(
+                        v.kind == "half" for v in values
+                    )
+                self._set_rows(bank, sub, locals_, resolved)
+                if noise:
+                    for local in locals_:
+                        session.noise_resolved.add(
+                            (bank, self._bank_row(sub, local))
+                        )
+                session._latched.setdefault(bank, {})[sub] = resolved
+            return
+        self._resolve_compute(bank, rows, first_subarray, index)
+
+    def _resolve_compute(
+        self,
+        bank: int,
+        rows: Dict[int, Tuple[int, ...]],
+        first_subarray: int,
+        index: int,
+    ) -> None:
+        session = self.session
+        analyzer = self.analyzer
+        subs = sorted(rows)
+        first_locals = rows.get(first_subarray, ())
+        side_first = self._side_values(bank, first_subarray, first_locals)
+        if len(subs) == 1:
+            # In-subarray charge share against the precharged opposite
+            # terminal: a MAJ/threshold node over all activated cells.
+            comparison = _compare_sides(side_first, [], analyzer.calibration)
+            self._episode_diagnostics(comparison, side_first, [], index, bank)
+            self._record_use(side_first)
+            self._set_rows(bank, first_subarray, first_locals, comparison.result)
+            session._latched.setdefault(bank, {})[first_subarray] = (
+                comparison.result
+            )
+            self.episodes.append(
+                ComputeEpisode(
+                    bank=bank,
+                    command_index=index,
+                    rows={s: tuple(sorted(rows[s])) for s in rows},
+                    first_subarray=first_subarray,
+                    result_first=comparison.result,
+                    result_last=comparison.result,
+                )
+            )
+            return
+
+        last_subarray = next(s for s in subs if s != first_subarray)
+        last_locals = rows.get(last_subarray, ())
+        side_last = self._side_values(bank, last_subarray, last_locals)
+        comparison = _compare_sides(side_first, side_last, analyzer.calibration)
+        self._episode_diagnostics(
+            comparison, side_first, side_last, index, bank
+        )
+        result_first = comparison.result
+        result_last = (
+            sym_not(result_first) if result_first.is_func else UNKNOWN
+        )
+        self._record_use(side_first + side_last)
+        self._check_dead_compute(
+            side_first + side_last, result_first, index, bank
+        )
+        self._set_rows(bank, first_subarray, first_locals, result_first)
+        self._set_rows(bank, last_subarray, last_locals, result_last)
+        latched = session._latched.setdefault(bank, {})
+        latched[first_subarray] = result_first
+        latched[last_subarray] = result_last
+
+        inferred = self._infer_op(side_first, side_last)
+        margin: Optional[SenseMarginBound] = None
+        if inferred is not None:
+            margin = self._margin_bound(
+                inferred, rows, first_subarray, last_subarray
+            )
+            if margin is not None and not margin.feasible:
+                self.emit(
+                    "SEM305",
+                    index,
+                    f"{inferred.upper()} with N={margin.n_inputs} at regions "
+                    f"compute={margin.compute_region}/"
+                    f"reference={margin.reference_region}: worst-case net "
+                    f"margin {margin.net_margin:+.4f} VDD on "
+                    f"'{margin.worst_case}' (raw {margin.raw_margin:+.4f}, "
+                    f"systematic bias exceeds the charge-sharing margin)",
+                )
+        self.episodes.append(
+            ComputeEpisode(
+                bank=bank,
+                command_index=index,
+                rows={s: tuple(sorted(rows[s])) for s in rows},
+                first_subarray=first_subarray,
+                result_first=result_first,
+                result_last=result_last,
+                inferred_op=inferred,
+                margin=margin,
+            )
+        )
+
+    def _episode_diagnostics(
+        self,
+        comparison: _Comparison,
+        side_first: Sequence[SymValue],
+        side_last: Sequence[SymValue],
+        index: int,
+        bank: int,
+    ) -> None:
+        if comparison.unknown_cells:
+            self.emit(
+                "SEM307",
+                index,
+                f"charge-sharing activation on bank {bank} consumes "
+                f"{comparison.unknown_cells} cell(s) with undetermined "
+                "values; the resolved function cannot be proven",
+            )
+        if comparison.overflowed:
+            self.emit(
+                "SEM308",
+                index,
+                f"the symbolic result on bank {bank} would depend on more "
+                f"than {MAX_SUPPORT} variables; exhaustive tabulation refused",
+            )
+        if comparison.tie_count:
+            self.emit(
+                "SEM304",
+                index,
+                f"{comparison.tie_count} input assignment(s) drive both "
+                f"sense-amp terminals of bank {bank} to the same voltage; "
+                "the comparison has no defined outcome for them",
+            )
+        for side in (side_first, side_last):
+            funcs = [v for v in side if v.is_func and v.vars]
+            for i in range(len(funcs)):
+                for j in range(i + 1, len(funcs)):
+                    if funcs[i] == sym_not(funcs[j]):
+                        self.emit(
+                            "SEM303",
+                            index,
+                            f"operands {funcs[j].describe()} and its "
+                            "complement charge-share on the same terminal; "
+                            "the pair cancels to VDD/2 and contributes no "
+                            "information",
+                        )
+
+    def _check_dead_compute(
+        self,
+        cells: Sequence[SymValue],
+        result: SymValue,
+        index: int,
+        bank: int,
+    ) -> None:
+        if not result.is_func:
+            return
+        involved: Set[str] = set()
+        for value in cells:
+            involved.update(value.vars)
+        dead = sorted(involved - set(result.vars))
+        if dead:
+            self.emit(
+                "SEM302",
+                index,
+                f"operand variable(s) {', '.join(dead)} participate in the "
+                f"bank {bank} activation but the resolved result "
+                f"{result.describe()} does not depend on them",
+            )
+
+    def _infer_op(
+        self, side_first: Sequence[SymValue], side_last: Sequence[SymValue]
+    ) -> Optional[str]:
+        """Recognize the op whose reference pattern the first side holds."""
+        if len(side_first) != len(side_last) or len(side_first) < 2:
+            return None
+        halves = sum(1 for v in side_first if v.kind == "half")
+        ones = sum(1 for v in side_first if v == CONST1)
+        zeros = sum(1 for v in side_first if v == CONST0)
+        if halves != 1:
+            return None
+        if ones == len(side_first) - 1:
+            return "and"
+        if zeros == len(side_first) - 1:
+            return "or"
+        return None
+
+    def _margin_bound(
+        self,
+        op: str,
+        rows: Dict[int, Tuple[int, ...]],
+        first_subarray: int,
+        last_subarray: int,
+    ) -> Optional[SenseMarginBound]:
+        geometry = self.analyzer.geometry
+        if geometry.rows_per_subarray < 3:
+            return None
+        stripe = max(first_subarray, last_subarray)
+        regions = DistanceRegions(geometry.rows_per_subarray)
+
+        def region_of(subarray: int) -> int:
+            # Static proxy for the physical distance: the logical local
+            # index, oriented by which side of the shared stripe the
+            # subarray sits on (the runtime model additionally applies
+            # the per-module logical-to-physical scramble).
+            upper = stripe == subarray + 1
+            distances = [
+                (geometry.rows_per_subarray - 1 - local) if upper else local
+                for local in rows[subarray]
+            ]
+            return int(regions.region_of_mean_distance(distances))
+
+        return worst_case_sense_margin(
+            op,
+            len(rows[last_subarray]),
+            self.analyzer.calibration,
+            compute_region=region_of(last_subarray),
+            reference_region=region_of(first_subarray),
+        )
+
+    # -- latched drive (NOT / RowClone) ---------------------------------
+
+    def on_latched_drive(
+        self,
+        bank: int,
+        new_rows: Dict[int, Tuple[int, ...]],
+        first_subarray: int,
+        index: int,
+    ) -> None:
+        session = self.session
+        latched = session._latched.setdefault(bank, {})
+        open_rows = session._open_rows.setdefault(bank, {})
+        for subarray, locals_ in new_rows.items():
+            if subarray in latched:
+                value = latched[subarray]  # same-subarray: RowClone copy
+            else:
+                neighbor = next(
+                    (s for s in (subarray - 1, subarray + 1) if s in latched),
+                    None,
+                )
+                if neighbor is None:
+                    value = UNKNOWN
+                else:
+                    # Neighboring subarray: the shared stripe's *other*
+                    # terminal drives these rows — the NOT regime (§5.1).
+                    value = sym_not(latched[neighbor])
+                latched[subarray] = value
+            self._record_use([value])
+            self._set_rows(bank, subarray, locals_, value)
+            open_rows.setdefault(subarray, set()).update(locals_)
+
+    # -- episode closure -------------------------------------------------
+
+    def on_frac(
+        self, bank: int, rows: Dict[int, Tuple[int, ...]], index: Optional[int]
+    ) -> None:
+        for subarray, locals_ in rows.items():
+            self._set_rows(bank, subarray, locals_, HALF)
+        self.session._latched.pop(bank, None)
+        self.session._open_rows.pop(bank, None)
+
+    def on_close(self, bank: int) -> None:
+        self.session._latched.pop(bank, None)
+        self.session._open_rows.pop(bank, None)
+
+    def on_abort(self, bank: int) -> None:
+        self.session._latched.pop(bank, None)
+        self.session._open_rows.pop(bank, None)
+
+    # -- column access / refresh ----------------------------------------
+
+    def on_write(self, bank: int, row: int, data: object, index: int) -> None:
+        session = self.session
+        geometry = self.analyzer.geometry
+        value = self.analyzer.value_for_write(session, bank, row, data, index)
+        subarray = geometry.subarray_of_row(row)
+        open_rows = session._open_rows.get(bank, {})
+        latched = session._latched.setdefault(bank, {})
+        # Mirror Bank.write: every open row of the addressed subarray is
+        # overdriven with the pattern; open rows of the neighboring
+        # subarrays receive the inverse on the shared stripes.
+        self._set_rows(
+            bank,
+            subarray,
+            open_rows.get(subarray, {geometry.local_row(row)}),
+            value,
+        )
+        self.session.values[(bank, row)] = value
+        latched[subarray] = value
+        for neighbor in (subarray - 1, subarray + 1):
+            locals_ = open_rows.get(neighbor)
+            if locals_:
+                inverse = sym_not(value)
+                self._set_rows(bank, neighbor, locals_, inverse)
+                latched[neighbor] = inverse
+
+    def on_read(self, bank: int, row: int, index: int, label: str) -> None:
+        value = self.session.value_of(bank, row)
+        if value.kind == "half" or (bank, row) in self.session.noise_resolved:
+            self.emit(
+                "SEM306",
+                index,
+                f"RD of bank {bank} row {row} whose cells held the Frac "
+                "(VDD/2) charge state; the returned bits resolve by noise",
+            )
+        self._record_use([value])
+        self.reads.append(ReadValue(index, label, bank, row, value))
+
+    def on_refresh(self, bank: int, index: int) -> None:
+        for key, value in list(self.session.values.items()):
+            if key[0] == bank and value.kind == "half":
+                self.session.values[key] = UNKNOWN
+
+
+class SemanticAnalyzer:
+    """Symbolic abstract interpreter over verified test programs.
+
+    Owns a :class:`~repro.staticcheck.verifier.ProgramVerifier` for the
+    topology walk and mirrors cell *values* through its observer hooks.
+    ``calibration`` drives the charge-sharing comparison and the static
+    margin bounds; it defaults to the reference die.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[ChipGeometry] = None,
+        decoder: Optional[object] = None,
+        calibration: Optional[DieCalibration] = None,
+        suppress: Iterable[str] = (),
+        verifier: Optional[ProgramVerifier] = None,
+    ) -> None:
+        if verifier is None:
+            verifier = ProgramVerifier(
+                geometry=geometry, decoder=decoder, suppress=suppress
+            )
+        self.verifier = verifier
+        self.geometry = verifier.geometry
+        self.calibration = (
+            calibration if calibration is not None else DieCalibration()
+        )
+        self.suppress = frozenset(suppress)
+        unknown = sorted(self.suppress - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule ids in suppress: {unknown}")
+
+    @classmethod
+    def for_module(
+        cls, module: object, suppress: Iterable[str] = ()
+    ) -> "SemanticAnalyzer":
+        """An analyzer matching a :class:`repro.dram.module.Module`."""
+        config = module.config  # type: ignore[attr-defined]
+        return cls(
+            calibration=calibration_for(config),
+            suppress=suppress,
+            verifier=ProgramVerifier.for_module(module, suppress=suppress),
+        )
+
+    def new_session(self) -> SemanticSession:
+        return SemanticSession()
+
+    # ------------------------------------------------------------------
+
+    def value_for_write(
+        self,
+        session: SemanticSession,
+        bank: int,
+        row: int,
+        data: object,
+        index: int,
+    ) -> SymValue:
+        """The symbolic value a WR (or backdoor fill) stores.
+
+        A declared binding wins; an all-0s/all-1s pattern is a constant;
+        anything else becomes a fresh anonymous input variable (the row
+        then carries *some* Boolean input, identity unknown to the
+        prover but tracked exactly through the algebra).
+        """
+        name = session.bindings.get((bank, row))
+        if name is not None:
+            return sym_var(name)
+        if data is not None:
+            bits = np.asarray(data)
+            if bits.size and not np.any(bits != bits.flat[0]):
+                return sym_const(int(bool(bits.flat[0])))
+        return sym_var(f"cell_{bank}_{row}_{index}")
+
+    def note_backdoor_write(
+        self,
+        session: SemanticSession,
+        bank: int,
+        row: int,
+        bits: Optional[NDArray[np.uint8]] = None,
+        voltages: Optional[NDArray[np.float64]] = None,
+    ) -> None:
+        """Record a backdoor fill (``DramBenderHost.fill_row``).
+
+        Backdoor writes bypass the command stream, so the executor's
+        semantic gate forwards them here; without this every operand of
+        a real characterization flow would be unknown (SEM307).
+        """
+        if voltages is not None:
+            volts = np.asarray(voltages, dtype=np.float64)
+            if volts.size and np.all(np.abs(volts - 0.5) < 0.25):
+                session.set_value(bank, row, HALF)
+            else:
+                session.set_value(bank, row, UNKNOWN)
+            return
+        session.set_value(
+            bank, row, self.value_for_write(session, bank, row, bits, -1)
+        )
+
+    def analyze_program(
+        self,
+        program: TestProgram,
+        session: Optional[SemanticSession] = None,
+    ) -> SemanticReport:
+        """Walk one program symbolically; mutates ``session``.
+
+        The verifier's FC1xx findings are *not* included — this layer
+        reports only the SEM3xx family (run the verifier separately, or
+        use the executor's twin gates).
+        """
+        if session is None:
+            session = self.new_session()
+        diags: List[Diagnostic] = []
+        episodes: List[ComputeEpisode] = []
+        reads: List[ReadValue] = []
+        name = program.name
+        ignored = getattr(program, "ignored_rules", frozenset())
+
+        def emit(rule_id: str, index: Optional[int], message: str) -> None:
+            if rule_id in self.suppress:
+                return
+            if rule_id in ignored or "*" in ignored:
+                return
+            rule = RULES[rule_id]
+            diags.append(
+                Diagnostic(
+                    rule=rule_id,
+                    severity=rule.severity,
+                    message=message,
+                    hint=rule.hint,
+                    program=name,
+                    command_index=index,
+                )
+            )
+
+        observer = _SemanticObserver(self, session, emit, episodes, reads)
+        previous = self.verifier.observer
+        self.verifier.observer = observer
+        try:
+            self.verifier.verify_program(program, state=session.state)
+        finally:
+            self.verifier.observer = previous
+        return SemanticReport(
+            program=name,
+            diagnostics=tuple(diags),
+            episodes=tuple(episodes),
+            reads=tuple(reads),
+        )
+
+    def analyze_session(
+        self, programs: Sequence[TestProgram]
+    ) -> List[SemanticReport]:
+        """Analyze programs in order, threading one semantic session."""
+        session = self.new_session()
+        return [self.analyze_program(p, session) for p in programs]
+
+    def finish_session(
+        self, session: SemanticSession, program: str = ""
+    ) -> List[Diagnostic]:
+        """End-of-session check: every bound operand must have been used.
+
+        Emitted separately from :meth:`analyze_program` because an
+        operand bound up front may legitimately be consumed by a later
+        program of the same session.
+        """
+        unused = session.unused_operands()
+        if not unused or "SEM309" in self.suppress:
+            return []
+        rule = RULES["SEM309"]
+        return [
+            Diagnostic(
+                rule="SEM309",
+                severity=rule.severity,
+                message=(
+                    f"operand variable(s) {', '.join(unused)} were bound "
+                    "to rows but never reached any compute episode or "
+                    "read-back"
+                ),
+                hint=rule.hint,
+                program=program,
+            )
+        ]
+
+
+def prove_value(
+    actual: SymValue,
+    expected: SymValue,
+    context: str,
+    program: str = "",
+) -> List[Diagnostic]:
+    """SEM301 equivalence check: does ``actual`` compute ``expected``?
+
+    Canonical truth tables make this a single equality; the diagnostic
+    renders both functions so a terminal swap (NAND read as NOR) or a
+    dropped negation is visible at a glance.
+    """
+    if actual == expected:
+        return []
+    rule = RULES["SEM301"]
+    return [
+        Diagnostic(
+            rule="SEM301",
+            severity=rule.severity,
+            message=(
+                f"{context}: derived {actual.describe()} but expected "
+                f"{expected.describe()}"
+            ),
+            hint=rule.hint,
+            program=program,
+        )
+    ]

@@ -48,6 +48,7 @@ __all__ = [
     "ProgramReport",
     "SessionState",
     "ProgramVerifier",
+    "VerifierObserver",
     "verify_program",
 ]
 
@@ -146,6 +147,57 @@ class _BankModel:
     open: Optional[_OpenModel] = None
 
 
+class VerifierObserver:
+    """Hook points for layers that ride on the verifier's state machine.
+
+    The semantic evaluator (:mod:`repro.staticcheck.semantics`) mirrors
+    cell *values* on top of the verifier's cell *topology* by subscribing
+    to these events.  Row dictionaries map subarray index to local row
+    indices, exactly like :class:`_OpenModel.rows`.  The default
+    implementation of every hook is a no-op, so observers override only
+    what they need.
+    """
+
+    def on_fresh_activation(self, bank: int, row: int, index: int) -> None:
+        """A single-row activation opened ``bank`` (phase: sharing)."""
+
+    def on_resolve(
+        self,
+        bank: int,
+        rows: Dict[int, Tuple[int, ...]],
+        glitched: bool,
+        first_subarray: int,
+        index: int,
+    ) -> None:
+        """Sense amplifiers resolved the sharing phase over ``rows``."""
+
+    def on_latched_drive(
+        self, bank: int, new_rows: Dict[int, Tuple[int, ...]],
+        first_subarray: int, index: int,
+    ) -> None:
+        """Latched amplifiers drive newly joined rows (NOT/RowClone)."""
+
+    def on_frac(
+        self, bank: int, rows: Dict[int, Tuple[int, ...]], index: Optional[int]
+    ) -> None:
+        """A completed precharge pulled the still-sharing ``rows`` to VDD/2."""
+
+    def on_close(self, bank: int) -> None:
+        """A latched episode closed nominally (values restored intact)."""
+
+    def on_abort(self, bank: int) -> None:
+        """The open episode aborted (isolated-subarray second ACT)."""
+
+    def on_write(self, bank: int, row: int, data: object, index: int) -> None:
+        """A WR overdrives the open rows of ``row``'s subarray pair."""
+
+    def on_read(self, bank: int, row: int, index: int, label: str) -> None:
+        """A RD returns ``row``'s resolved value."""
+
+    def on_refresh(self, bank: int, index: int) -> None:
+        """A REF re-amplified every cell of ``bank`` to a full rail."""
+
+
 class SessionState:
     """Verifier state carried across programs of one executor session."""
 
@@ -187,6 +239,9 @@ class ProgramVerifier:
         unknown = sorted(self.suppress - set(RULES))
         if unknown:
             raise ValueError(f"unknown rule ids in suppress: {unknown}")
+        #: Optional :class:`VerifierObserver` receiving state-machine
+        #: events while a program is verified (the semantic evaluator).
+        self.observer: Optional[VerifierObserver] = None
 
     @classmethod
     def for_module(
@@ -226,6 +281,7 @@ class ProgramVerifier:
         t = state.now_ns
         name = program.name
         skip_glitch_rules = self.support is ActivationSupport.NONE
+        ignored = getattr(program, "ignored_rules", frozenset())
 
         def emit(
             rule_id: str,
@@ -234,6 +290,8 @@ class ProgramVerifier:
             severity: Optional[Severity] = None,
         ) -> None:
             if rule_id in self.suppress:
+                return
+            if rule_id in ignored or "*" in ignored:
                 return
             rule = RULES[rule_id]
             diags.append(
@@ -373,6 +431,14 @@ class ProgramVerifier:
     def _resolve(self, state: SessionState, bank: int, open_: _OpenModel) -> None:
         """Sense amplifiers resolve: cells snap to rails, Frac consumed."""
         open_.phase = "latched"
+        if self.observer is not None:
+            self.observer.on_resolve(
+                bank,
+                dict(open_.rows),
+                open_.glitched,
+                open_.first_subarray,
+                open_.act_index,
+            )
         for row in self._open_bank_rows(open_):
             state.frac_rows.discard((bank, row))
 
@@ -389,6 +455,10 @@ class ProgramVerifier:
         if open_.phase == "sharing":
             # Interrupted activation + completed precharge: the equalizer
             # pulls the still-connected cells to VDD/2 — the Frac idiom.
+            if self.observer is not None:
+                self.observer.on_frac(
+                    bank, dict(open_.rows), open_.pending_pre_index
+                )
             for row in self._open_bank_rows(open_):
                 state.frac_rows.add((bank, row))
             if not open_.glitched:
@@ -411,6 +481,8 @@ class ProgramVerifier:
                     )
                 )
         else:
+            if self.observer is not None:
+                self.observer.on_close(bank)
             for row in self._open_bank_rows(open_):
                 state.frac_rows.discard((bank, row))
             if not open_.glitched:
@@ -446,7 +518,7 @@ class ProgramVerifier:
         return rows
 
     def _begin_activation(
-        self, bankm: _BankModel, row: int, index: int, time_ns: float
+        self, bank: int, bankm: _BankModel, row: int, index: int, time_ns: float
     ) -> None:
         geometry = self.geometry
         subarray = geometry.subarray_of_row(row)
@@ -459,6 +531,8 @@ class ProgramVerifier:
             last_act_ns=time_ns,
             act_index=index,
         )
+        if self.observer is not None:
+            self.observer.on_fresh_activation(bank, row, index)
 
     # -- opcode handlers -------------------------------------------------
 
@@ -476,7 +550,7 @@ class ProgramVerifier:
         open_ = bankm.open
         assert cmd.row is not None
         if open_ is None:
-            self._begin_activation(bankm, cmd.row, index, t)
+            self._begin_activation(cmd.bank, bankm, cmd.row, index, t)
             return
         if open_.pending_pre_ns is None:
             if self.support is ActivationSupport.NONE:
@@ -501,7 +575,7 @@ class ProgramVerifier:
             return
         if self._pre_due(open_, timing, t):
             self._complete_precharge(state, cmd.bank, bankm, timing, idioms)
-            self._begin_activation(bankm, cmd.row, index, t)
+            self._begin_activation(cmd.bank, bankm, cmd.row, index, t)
             return
         self._glitch(state, bankm, cmd, index, t, timing, emit, idioms)
 
@@ -572,7 +646,9 @@ class ProgramVerifier:
             )
             # Mirror Bank._abort_to_fresh: only the last ACT takes effect.
             bankm.open = None
-            self._begin_activation(bankm, cmd.row, index, t)
+            if self.observer is not None:
+                self.observer.on_abort(bank)
+            self._begin_activation(bank, bankm, cmd.row, index, t)
             return
 
         open_.pending_pre_ns = None
@@ -594,10 +670,21 @@ class ProgramVerifier:
             idiom = "logic"
 
         pattern_rows = self._pattern_rows(bank, open_.first_row, cmd.row, diff)
+        before = {sub: set(locals_) for sub, locals_ in open_.rows.items()}
         reference_rows = self._merge_rows(open_, pattern_rows)
         open_.last_act_ns = t
         open_.nominal = False
         open_.glitched = True
+
+        if idiom in ("not", "rowclone") and self.observer is not None:
+            new_rows = {
+                sub: tuple(sorted(set(locals_) - before.get(sub, set())))
+                for sub, locals_ in open_.rows.items()
+            }
+            new_rows = {sub: locs for sub, locs in new_rows.items() if locs}
+            self.observer.on_latched_drive(
+                bank, new_rows, open_.first_subarray, index
+            )
 
         if idiom == "logic":
             if diff == 0:
@@ -780,6 +867,10 @@ class ProgramVerifier:
             for sub in (subarray,):
                 for loc in open_.rows.get(sub, ()):
                     state.frac_rows.discard((cmd.bank, geometry.bank_row(sub, loc)))
+            if self.observer is not None:
+                self.observer.on_write(cmd.bank, cmd.row, cmd.data, index)
+        elif self.observer is not None:
+            self.observer.on_read(cmd.bank, cmd.row, index, cmd.label)
 
     def _on_ref(
         self,
@@ -804,6 +895,8 @@ class ProgramVerifier:
         state.frac_rows = {
             (bank, row) for bank, row in state.frac_rows if bank != cmd.bank
         }
+        if self.observer is not None:
+            self.observer.on_refresh(cmd.bank, index)
 
     # -- program-level intent --------------------------------------------
 

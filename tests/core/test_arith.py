@@ -153,3 +153,20 @@ class TestConstruction:
     def test_auto_maj_subarray(self, ideal_host):
         alu = BitSerialAlu(ideal_host, subarray_pair=(0, 1))
         assert alu.lanes > 0
+
+
+class TestMajorityLowering:
+    def test_maj_matches_ideal_majority_exhaustively(self, alu):
+        """Pin `_maj` (the carry chain's majority) to the ground truth."""
+        from repro.core.maj import ideal_majority
+
+        lanes = alu.lanes
+        assert lanes >= 8
+        combos = np.array(
+            [[(i >> bit) & 1 for i in range(8)] for bit in range(3)],
+            dtype=np.uint8,
+        )
+        reps = -(-lanes // 8)
+        a, b, c = (np.tile(combos[bit], reps)[:lanes] for bit in range(3))
+        got = alu._maj(a, b, c)
+        assert np.array_equal(got, ideal_majority([a, b, c]))

@@ -152,3 +152,139 @@ class TestExecution:
         original = _desugar(expr).evaluate(values)
         simplified = _simplify(_desugar(expr)).evaluate(values)
         assert np.array_equal(original, simplified)
+
+
+class TestEquivalenceProof:
+    """Every lowering path carries a machine-checked truth-table proof."""
+
+    CATALOGUE = [
+        ("fan-in fusion", And(And(v("a"), v("b")), And(v("c"), v("d")))),
+        ("complement fusion nand", Not(And(v("a"), v("b"), v("c")))),
+        ("complement fusion nor", Not(Or(v("a"), v("b"), v("c")))),
+        ("double negation", Not(Not(Or(v("a"), v("b"))))),
+        ("xor desugar", Xor(v("a"), v("b"))),
+        (
+            "shared subexpression",
+            Or(And(v("a"), v("b")), Xor(And(v("a"), v("b")), v("c"))),
+        ),
+    ]
+
+    @pytest.mark.parametrize("label,expr", CATALOGUE)
+    def test_proof_matches_source_truth_table(self, label, expr):
+        from repro.core.compiler import _assignment_columns
+        from repro.staticcheck.semantics import table_from_outputs
+
+        program = compile_expression(expr)
+        assert program.proof is not None, label
+        names = program.variables
+        bindings = _assignment_columns(names, 1 << len(names))
+        expected = table_from_outputs(
+            names, np.asarray(expr.evaluate(bindings), dtype=np.uint8)
+        )
+        assert program.proof == expected, label
+
+    def test_bare_variable_proof(self):
+        from repro.staticcheck.semantics import sym_var
+
+        assert compile_expression(v("a")).proof == sym_var("a")
+
+    def test_wide_expressions_use_sampled_proof(self):
+        # Beyond the 16-variable exhaustive cap the proof is a seeded
+        # sampled equivalence; no truth-table object rides along.
+        wide = And(*[v(f"x{i}") for i in range(20)])
+        program = compile_expression(wide)
+        assert program.proof is None
+        assert all(len(step.inputs) <= 16 for step in program.steps)
+
+    def test_cse_emits_shared_subexpression_once(self):
+        shared = And(v("a"), v("b"))
+        program = compile_expression(Or(shared, Xor(shared, v("c"))))
+        # Without CSE the shared AND would be lowered three times (once
+        # bare, twice inside the XOR desugaring).
+        assert program.op_counts["and"] == 2  # shared + the XOR's own AND
+
+    def test_terminal_swap_is_rejected(self):
+        from repro.core.compiler import CompiledExpression, _prove_equivalence
+        from repro.errors import ProgramVerificationError
+
+        swapped = CompiledExpression(variables=("a", "b"))
+        swapped.steps.append(Step("nor", ("a", "b")))
+        with pytest.raises(ProgramVerificationError) as exc:
+            _prove_equivalence(Not(And(v("a"), v("b"))), swapped)
+        assert any(d.rule == "SEM301" for d in exc.value.diagnostics)
+
+    def test_dropped_negation_is_rejected(self):
+        from repro.core.compiler import CompiledExpression, _prove_equivalence
+        from repro.errors import ProgramVerificationError
+
+        dropped = CompiledExpression(variables=("a", "b"))
+        dropped.steps.append(Step("and", ("a", "b")))
+        with pytest.raises(ProgramVerificationError):
+            _prove_equivalence(Not(And(v("a"), v("b"))), dropped)
+
+    def test_sampled_path_catches_mutations_too(self):
+        from repro.core.compiler import _prove_equivalence
+        from repro.errors import ProgramVerificationError
+
+        wide = And(*[v(f"x{i}") for i in range(20)])
+        program = compile_expression(wide, verify=False)
+        last = program.steps[-1]
+        program.steps[-1] = Step("or", last.inputs)
+        with pytest.raises(ProgramVerificationError):
+            _prove_equivalence(wide, program)
+
+    def test_mutated_lowering_rejected_through_compile(self, monkeypatch):
+        import repro.core.compiler as compiler
+        from repro.errors import ProgramVerificationError
+
+        original = compiler._emit
+
+        def swap_terminals(expr, program, memo):
+            ref = original(expr, program, memo)
+            program.steps[:] = [
+                Step("nor", s.inputs) if s.op == "nand" else s
+                for s in program.steps
+            ]
+            return ref
+
+        monkeypatch.setattr(compiler, "_emit", swap_terminals)
+        with pytest.raises(ProgramVerificationError) as exc:
+            compiler.compile_expression(Not(And(v("a"), v("b"))))
+        assert any(d.rule == "SEM301" for d in exc.value.diagnostics)
+
+    def test_docstring_examples_are_doctests(self):
+        import doctest
+
+        import repro.core.compiler as compiler
+
+        results = doctest.testmod(compiler)
+        assert results.failed == 0
+        assert results.attempted >= 8
+
+
+class TestParseExpression:
+    def test_precedence_and_parens(self):
+        from repro.core.compiler import parse_expression
+
+        loose = compile_expression(parse_expression("a | b & c"))
+        tight = compile_expression(parse_expression("(a | b) & c"))
+        assert loose.proof == compile_expression(Or(v("a"), And(v("b"), v("c")))).proof
+        assert tight.proof == compile_expression(And(Or(v("a"), v("b")), v("c"))).proof
+        assert loose.proof != tight.proof
+
+    def test_negation_and_xor(self):
+        from repro.core.compiler import parse_expression
+
+        program = compile_expression(parse_expression("~(a & b) ^ c"))
+        reference = compile_expression(Xor(Not(And(v("a"), v("b"))), v("c")))
+        assert program.proof == reference.proof
+
+    def test_rejects_garbage(self):
+        from repro.core.compiler import parse_expression
+
+        with pytest.raises(ReproError):
+            parse_expression("a &")
+        with pytest.raises(ReproError):
+            parse_expression("")
+        with pytest.raises(ReproError):
+            parse_expression("(a | b")

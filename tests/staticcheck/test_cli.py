@@ -50,3 +50,59 @@ def test_shipped_sequences_verify_clean_on_default_spec(capsys):
     spec = next(s for s in all_specs() if s.name == "hynix-4gb-m-x8-2666")
     diagnostics = verify_shipped_sequences(spec)
     assert diagnostics == [], "\n".join(d.format() for d in diagnostics)
+
+
+def test_list_rules_includes_sem_family(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SEM301" in out and "SEM305" in out and "SEM309" in out
+
+
+def test_demo_sem_terminal_swap_fires(capsys):
+    assert main(["--demo", "sem301"]) == 1
+    out = capsys.readouterr().out
+    assert "SEM301" in out and "fired as documented" in out
+
+
+def test_semantics_mode_proves_shipped_flows(capsys):
+    # Clean run: the only findings are the documented Observation 14
+    # infeasibility warnings, never errors.
+    assert main(["--semantics"]) == 0
+    out = capsys.readouterr().out
+    assert "AND" in out and "feasible" in out
+    assert "compiler fan-in fusion" in out
+
+
+def test_semantics_mode_rejects_mutated_lowering(capsys, monkeypatch):
+    # The acceptance gate: a terminal-swap compiler mutation must turn
+    # the --semantics exit status non-zero via SEM301.
+    import repro.core.compiler as compiler
+    from repro.core.compiler import Step
+
+    original = compiler._emit
+
+    def swap_terminals(expr, program, memo):
+        ref = original(expr, program, memo)
+        program.steps[:] = [
+            Step("nor", s.inputs) if s.op == "nand" else s
+            for s in program.steps
+        ]
+        return ref
+
+    monkeypatch.setattr(compiler, "_emit", swap_terminals)
+    assert main(["--semantics"]) == 1
+    out = capsys.readouterr().out
+    assert "SEM301" in out and "PROOF FAILED" in out
+
+
+def test_prove_prints_truth_table_and_margins(capsys):
+    assert main(["--prove", "~(a & b) | c"]) == 0
+    out = capsys.readouterr().out
+    assert "schedule:" in out
+    assert "a b c | out" in out
+    assert "margin:" in out
+
+
+def test_prove_rejects_unparseable_expression():
+    with pytest.raises(SystemExit):
+        main(["--prove", "a &"])

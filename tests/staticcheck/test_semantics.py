@@ -1,0 +1,513 @@
+"""The symbolic charge-algebra evaluator: golden truth-table proofs.
+
+Three layers of coverage:
+
+* the :class:`SymValue` abstract domain itself (canonicalization,
+  constants, don't-care elimination, the 16-variable cap);
+* golden proofs for every sequences constructor — NOT, AND, OR, NAND,
+  NOR at every supported fan-in, RowClone and Frac — against a real
+  decoder-backed module;
+* the analyzer's SEM3xx findings and the executor's ``verify_semantics``
+  gate, including the program-level ``staticcheck: ignore[...]`` pragma.
+"""
+
+import numpy as np
+import pytest
+
+from repro import SeedTree
+from repro.bender import DramBenderHost
+from repro.bender.program import TestProgram
+from repro.core.addressing import find_pattern_pair
+from repro.core.layout import bank_rows
+from repro.core.sequences import (
+    frac_program,
+    logic_program,
+    nominal_activation_program,
+    not_program,
+    rowclone_program,
+)
+from repro.dram.analog import worst_case_sense_margin
+from repro.dram.calibration import DieCalibration
+from repro.dram.decoder import ActivationKind
+from repro.dram.module import Module
+from repro.dram.timing import timing_for_speed
+from repro.errors import ProgramVerificationError, ReverseEngineeringError
+from repro.staticcheck.semantics import (
+    CONST0,
+    CONST1,
+    HALF,
+    MAX_SUPPORT,
+    UNKNOWN,
+    SemanticAnalyzer,
+    SymValue,
+    prove_value,
+    sym_and,
+    sym_const,
+    sym_majority,
+    sym_nand,
+    sym_nor,
+    sym_not,
+    sym_or,
+    sym_var,
+    sym_xor,
+    table_from_outputs,
+)
+
+TIMING = timing_for_speed(2666)
+
+
+# ----------------------------------------------------------------------
+# the abstract domain
+# ----------------------------------------------------------------------
+
+
+class TestSymValueAlgebra:
+    def test_variables_are_canonically_sorted(self):
+        assert sym_and(sym_var("b"), sym_var("a")) == sym_and(
+            sym_var("a"), sym_var("b")
+        )
+        assert sym_and(sym_var("a"), sym_var("b")).vars == ("a", "b")
+
+    def test_equality_is_function_equality(self):
+        a, b = sym_var("a"), sym_var("b")
+        assert sym_not(sym_not(a)) == a
+        # De Morgan.
+        assert sym_nand(a, b) == sym_or(sym_not(a), sym_not(b))
+        assert sym_nor(a, b) == sym_and(sym_not(a), sym_not(b))
+
+    def test_dont_care_variables_are_dropped(self):
+        a, b = sym_var("a"), sym_var("b")
+        # a·b + a·¬b = a: support must shrink to {a}.
+        value = sym_or(sym_and(a, b), sym_and(a, sym_not(b)))
+        assert value == a
+        assert value.vars == ("a",)
+
+    def test_constant_absorption(self):
+        a = sym_var("a")
+        assert sym_and(a, CONST0) == CONST0
+        assert sym_or(a, CONST1) == CONST1
+        assert sym_and(a, CONST1) == a
+        assert sym_or(a, CONST0) == a
+        assert sym_not(CONST0) == CONST1
+        assert sym_and(a, sym_not(a)) == CONST0
+        assert sym_or(a, sym_not(a)) == CONST1
+
+    def test_constants_are_recognized(self):
+        assert CONST0.is_constant and CONST0.constant_value() == 0
+        assert CONST1.is_constant and CONST1.constant_value() == 1
+        assert not sym_var("a").is_constant
+        assert sym_const(1) == CONST1
+
+    def test_xor_and_majority_tables(self):
+        a, b, c = sym_var("a"), sym_var("b"), sym_var("c")
+        assert sym_xor(a, b).table == 0b0110
+        assert sym_xor(a, a) == CONST0
+        maj = sym_majority(a, b, c)
+        # MAJ = ab + bc + ca.
+        assert maj == sym_or(sym_and(a, b), sym_and(b, c), sym_and(c, a))
+
+    def test_half_and_unknown_propagate(self):
+        a = sym_var("a")
+        assert sym_not(HALF) == HALF
+        assert sym_not(UNKNOWN) == UNKNOWN
+        assert sym_and(a, UNKNOWN) == UNKNOWN
+        assert sym_or(a, HALF) == UNKNOWN
+        assert not HALF.is_func and not UNKNOWN.is_func
+
+    def test_support_cap(self):
+        wide = sym_and(*[sym_var(f"x{i}") for i in range(MAX_SUPPORT)])
+        assert wide.is_func and len(wide.vars) == MAX_SUPPORT
+        over = sym_and(wide, sym_var("z"))
+        assert over == UNKNOWN
+
+    def test_describe_and_format_table(self):
+        value = sym_and(sym_var("a"), sym_var("b"))
+        assert value.describe() == "f(a, b) table=0x8"
+        table = value.format_table()
+        assert "a b" in table and table.strip().endswith("1 1 |  1")
+
+    def test_table_from_outputs_round_trip(self):
+        a, b = sym_var("a"), sym_var("b")
+        outputs = np.array([0, 1, 1, 1], dtype=np.uint8)  # OR
+        assert table_from_outputs(("a", "b"), outputs) == sym_or(a, b)
+
+    def test_values_are_hashable_and_frozen(self):
+        value = sym_var("a")
+        assert hash(value) == hash(sym_var("a"))
+        with pytest.raises(AttributeError):
+            value.kind = "unknown"
+
+    def test_prove_value_reports_sem301_with_both_tables(self):
+        a, b = sym_var("a"), sym_var("b")
+        failures = prove_value(sym_nor(a, b), sym_nand(a, b), "swap test")
+        assert [d.rule for d in failures] == ["SEM301"]
+        message = failures[0].message
+        assert "0x1" in message and "0x7" in message
+        assert prove_value(sym_nand(a, b), sym_nand(a, b), "ok") == []
+
+
+# ----------------------------------------------------------------------
+# golden proofs for every sequences constructor
+# ----------------------------------------------------------------------
+
+
+def _find_pair(module, n, kind=ActivationKind.N_TO_N, subarrays=(0, 1)):
+    geometry = module.config.geometry
+    for seed in range(40):
+        try:
+            return find_pattern_pair(
+                module.decoder, geometry, 0, subarrays[0], subarrays[1], n,
+                kind=kind, seed=seed,
+            )
+        except ReverseEngineeringError:
+            continue
+    pytest.skip(f"no {n}:{n} pattern pair on this decoder seed")
+
+
+@pytest.fixture(scope="module")
+def proof_module(request):
+    from repro import sk_hynix_chip
+
+    config = sk_hynix_chip().with_geometry(
+        request.getfixturevalue("small_geometry")
+    )
+    return Module(config, chip_count=1, seed_tree=SeedTree(7))
+
+
+@pytest.fixture(scope="module")
+def analyzer(proof_module):
+    return SemanticAnalyzer.for_module(proof_module)
+
+
+class TestGoldenConstructorProofs:
+    @pytest.mark.parametrize("family,combine", [("and", sym_and), ("or", sym_or)])
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_logic_family_truth_tables(
+        self, proof_module, analyzer, family, combine, n
+    ):
+        """AND/OR on the compute terminal, NAND/NOR on the reference."""
+        geometry = proof_module.config.geometry
+        ref_row, com_row = _find_pair(proof_module, n)
+        pattern = proof_module.decoder.neighboring_pattern(0, ref_row, com_row)
+        ref_rows = bank_rows(geometry, pattern.subarray_first, pattern.rows_first)
+        com_rows = bank_rows(geometry, pattern.subarray_last, pattern.rows_last)
+
+        const = CONST1 if family == "and" else CONST0
+        inputs = [sym_var(f"x{i}") for i in range(n)]
+        session = analyzer.new_session()
+        for row in ref_rows[:-1]:
+            session.set_value(0, row, const)
+        session.set_value(0, ref_rows[-1], HALF)
+        for value, row in zip(inputs, com_rows):
+            session.set_value(0, row, value)
+
+        report = analyzer.analyze_program(
+            logic_program(TIMING, 0, ref_row, com_row), session
+        )
+        assert list(report.errors) == [], [d.format() for d in report.errors]
+
+        expected = combine(*inputs)
+        complement = sym_not(expected)  # NAND for AND, NOR for OR
+        for row in com_rows:
+            assert prove_value(
+                session.value_of(0, row), expected, f"compute row {row}"
+            ) == []
+        for row in ref_rows:
+            assert prove_value(
+                session.value_of(0, row), complement, f"reference row {row}"
+            ) == []
+        assert len(report.episodes) == 1
+        episode = report.episodes[0]
+        assert episode.inferred_op == family
+        assert episode.margin is not None
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_not_truth_tables(self, proof_module, analyzer, n):
+        geometry = proof_module.config.geometry
+        src_row, dst_row = _find_pair(proof_module, n, subarrays=(2, 3))
+        pattern = proof_module.decoder.neighboring_pattern(0, src_row, dst_row)
+        x = sym_var("x")
+        session = analyzer.new_session()
+        for row in bank_rows(geometry, pattern.subarray_first, pattern.rows_first):
+            session.set_value(0, row, x)
+        report = analyzer.analyze_program(
+            not_program(TIMING, 0, src_row, dst_row), session
+        )
+        assert list(report.errors) == []
+        for row in bank_rows(geometry, pattern.subarray_last, pattern.rows_last):
+            assert prove_value(
+                session.value_of(0, row), sym_not(x), f"NOT destination {row}"
+            ) == []
+
+    def test_rowclone_copies_the_symbolic_value(self, proof_module, analyzer):
+        geometry = proof_module.config.geometry
+        src = geometry.bank_row(1, 10)
+        dst = geometry.bank_row(1, 40)
+        value = sym_xor(sym_var("p"), sym_var("q"))
+        session = analyzer.new_session()
+        session.set_value(0, src, value)
+        report = analyzer.analyze_program(
+            rowclone_program(TIMING, 0, src, dst), session
+        )
+        assert list(report.errors) == []
+        assert session.value_of(0, dst) == value
+        assert session.value_of(0, src) == value
+
+    def test_frac_stores_half_vdd(self, analyzer):
+        session = analyzer.new_session()
+        geometry = analyzer.geometry
+        row = geometry.bank_row(0, 3)
+        session.set_value(0, row, CONST1)
+        report = analyzer.analyze_program(frac_program(TIMING, 0, row), session)
+        assert list(report.errors) == []
+        assert session.value_of(0, row) == HALF
+
+
+# ----------------------------------------------------------------------
+# the static margin bound (Observation 14)
+# ----------------------------------------------------------------------
+
+
+class TestMarginBound:
+    @pytest.mark.parametrize(
+        "op,n,feasible",
+        [
+            ("and", 2, True),
+            ("and", 4, True),
+            ("and", 8, False),
+            ("and", 16, False),
+            ("or", 2, True),
+            ("or", 4, True),
+            ("or", 8, True),
+            ("or", 16, False),
+        ],
+    )
+    def test_observation_14_feasibility(self, op, n, feasible):
+        bound = worst_case_sense_margin(op, n, DieCalibration())
+        assert bound.feasible is feasible, bound.describe()
+
+    def test_describe_mentions_the_verdict(self):
+        bound = worst_case_sense_margin("and", 16, DieCalibration())
+        assert "INFEASIBLE" in bound.describe()
+
+
+# ----------------------------------------------------------------------
+# SEM findings through the analyzer
+# ----------------------------------------------------------------------
+
+
+class TestSemFindings:
+    def test_unknown_operands_flagged(self):
+        analyzer = SemanticAnalyzer()
+        geometry = analyzer.geometry
+        program = logic_program(
+            TIMING, 0, geometry.bank_row(0, 10), geometry.bank_row(1, 20)
+        )
+        report = analyzer.analyze_program(program)
+        assert "SEM307" in {d.rule for d in report.diagnostics}
+
+    def test_trng_readout_flagged_and_pragma_silences_it(self):
+        analyzer = SemanticAnalyzer()
+        geometry = analyzer.geometry
+        row = geometry.bank_row(0, 5)
+        session = analyzer.new_session()
+        analyzer.analyze_program(frac_program(TIMING, 0, row), session)
+
+        def read_program():
+            return (
+                TestProgram(TIMING, name="trng-read")
+                .act(0, row, wait_ns=TIMING.t_ras)
+                .rd(0, row, wait_ns=TIMING.t_rcd, label="row")
+                .pre(0, wait_ns=TIMING.t_rp)
+            )
+
+        report = analyzer.analyze_program(read_program(), session.clone())
+        assert "SEM306" in {d.rule for d in report.diagnostics}
+
+        # The program-level pragma mirrors the lint's comment syntax.
+        silenced = read_program().pragma(
+            "# staticcheck: ignore[SEM306] intentional TRNG readout"
+        )
+        report = analyzer.analyze_program(silenced, session.clone())
+        assert "SEM306" not in {d.rule for d in report.diagnostics}
+
+    def test_pragma_rejects_malformed_comments(self):
+        program = TestProgram(TIMING, name="x")
+        from repro.errors import ProgramError
+
+        with pytest.raises(ProgramError):
+            program.pragma("this is not a pragma")
+        program.pragma("staticcheck: ignore[SEM306, SEM309]")
+        assert program.ignored_rules == frozenset({"SEM306", "SEM309"})
+
+    def test_unused_operand_flagged_at_session_end(self):
+        analyzer = SemanticAnalyzer()
+        geometry = analyzer.geometry
+        session = analyzer.new_session()
+        session.bind(0, geometry.bank_row(2, 7), "a")
+        analyzer.analyze_program(
+            nominal_activation_program(TIMING, 0, geometry.bank_row(0, 3)),
+            session,
+        )
+        diags = analyzer.finish_session(session, program="sweep")
+        assert [d.rule for d in diags] == ["SEM309"]
+        assert "a" in diags[0].message
+
+    def test_session_clone_is_independent(self):
+        analyzer = SemanticAnalyzer()
+        session = analyzer.new_session()
+        session.set_value(0, 10, CONST1)
+        clone = session.clone()
+        clone.set_value(0, 10, CONST0)
+        assert session.value_of(0, 10) == CONST1
+        assert clone.value_of(0, 10) == CONST0
+
+
+# ----------------------------------------------------------------------
+# the executor's verify_semantics gate
+# ----------------------------------------------------------------------
+
+
+def _tie_flow(host):
+    """A reference side with no Frac row: unrealizable threshold (SEM304)."""
+    module = host.module
+    ref_row, com_row = _find_pair(module, 2)
+    geometry = module.config.geometry
+    pattern = module.decoder.neighboring_pattern(0, ref_row, com_row)
+    ones = np.ones(module.row_bits, dtype=np.uint8)
+    rng = np.random.default_rng(3)
+    for row in bank_rows(geometry, pattern.subarray_first, pattern.rows_first):
+        host.fill_row(0, row, ones)
+    com_rows = bank_rows(geometry, pattern.subarray_last, pattern.rows_last)
+    host.executor.semantic_session().bind(0, com_rows[0], "a")
+    host.fill_row(0, com_rows[0], host.random_bits(rng))
+    host.fill_row(0, com_rows[1], ones)
+    return logic_program(host.timing, 0, ref_row, com_row)
+
+
+class TestExecutorGate:
+    def test_error_mode_refuses_the_program(self, ideal_module):
+        host = DramBenderHost(ideal_module, verify_semantics="error")
+        program = _tie_flow(host)
+        with pytest.raises(ProgramVerificationError) as exc:
+            host.run(program)
+        assert any(d.rule == "SEM304" for d in exc.value.diagnostics)
+
+    def test_warn_mode_attaches_diagnostics_and_runs(self, ideal_module):
+        host = DramBenderHost(ideal_module, verify_semantics="warn")
+        program = _tie_flow(host)
+        result = host.run(program)
+        assert any(d.rule == "SEM304" for d in result.diagnostics)
+
+    def test_off_mode_is_a_no_op(self, ideal_module):
+        host = DramBenderHost(ideal_module)  # verify_semantics="off"
+        program = _tie_flow(host)
+        result = host.run(program)
+        assert not any(d.rule.startswith("SEM") for d in result.diagnostics)
+
+    def test_backdoor_fills_feed_the_gate(self, ideal_module):
+        host = DramBenderHost(ideal_module, verify_semantics="warn")
+        module = host.module
+        ref_row, com_row = _find_pair(module, 2)
+        geometry = module.config.geometry
+        pattern = module.decoder.neighboring_pattern(0, ref_row, com_row)
+        ref_rows = bank_rows(
+            geometry, pattern.subarray_first, pattern.rows_first
+        )
+        com_rows = bank_rows(
+            geometry, pattern.subarray_last, pattern.rows_last
+        )
+        ones = np.ones(module.row_bits, dtype=np.uint8)
+        rng = np.random.default_rng(5)
+        session = host.executor.semantic_session()
+        for row in ref_rows[:-1]:
+            host.fill_row(0, row, ones)
+        host.fill_row_voltages(
+            0, ref_rows[-1], np.full(module.row_bits, 0.5)
+        )
+        for name, row in zip("ab", com_rows):
+            session.bind(0, row, name)
+            host.fill_row(0, row, host.random_bits(rng))
+        result = host.run(logic_program(host.timing, 0, ref_row, com_row))
+        assert not any(d.rule.startswith("SEM") for d in result.diagnostics)
+        # The committed session now holds the proved AND on compute rows.
+        session = host.executor.semantic_session()
+        expected = sym_and(sym_var("a"), sym_var("b"))
+        for row in com_rows:
+            assert session.value_of(0, row) == expected
+        for row in ref_rows:
+            assert session.value_of(0, row) == sym_not(expected)
+
+    def test_invalid_mode_rejected(self, ideal_module):
+        with pytest.raises(ValueError):
+            DramBenderHost(ideal_module, verify_semantics="loud")
+
+
+# ----------------------------------------------------------------------
+# operation-level symbolic contracts
+# ----------------------------------------------------------------------
+
+
+class TestOperationContracts:
+    def test_logic_operation_expected_function(self, ideal_host):
+        from repro.core.logic import LogicOperation
+
+        ref_row, com_row = _find_pair(ideal_host.module, 2)
+        a, b = sym_var("a"), sym_var("b")
+        for op, expected in (
+            ("and", sym_and(a, b)),
+            ("or", sym_or(a, b)),
+            ("nand", sym_nand(a, b)),
+            ("nor", sym_nor(a, b)),
+        ):
+            operation = LogicOperation(ideal_host, 0, ref_row, com_row, op=op)
+            assert operation.expected_function([a, b]) == expected
+        with pytest.raises(ValueError):
+            operation.expected_function([a])
+
+    def test_majority_operation_expected_function(self, ideal_host):
+        from repro.core.maj import MajorityOperation
+
+        geometry = ideal_host.module.config.geometry
+        operation = MajorityOperation(
+            ideal_host, 0, geometry.bank_row(2, 100), geometry.bank_row(2, 103)
+        )
+        a, b, c = sym_var("a"), sym_var("b"), sym_var("c")
+        assert operation.expected_function(a, b, c) == sym_majority(a, b, c)
+
+    def test_trng_program_pragma_silences_the_conflict_pattern(self, analyzer):
+        from repro.core.sequences import trng_program
+
+        geometry = analyzer.geometry
+        row_a = geometry.bank_row(0, 0)
+        row_b = geometry.bank_row(0, 3)
+
+        def seed(session, rows):
+            for row, value in zip(rows, (CONST1, CONST0, CONST1, CONST0)):
+                session.set_value(0, row, value)
+
+        rows = [geometry.bank_row(0, r) for r in range(4)]
+        noisy = analyzer.new_session()
+        seed(noisy, rows)
+        report = analyzer.analyze_program(
+            logic_program(TIMING, 0, row_a, row_b), noisy
+        )
+        # A 2+2 conflict pattern is exactly a sense-amp tie.
+        assert "SEM304" in {d.rule for d in report.diagnostics}
+
+        silenced = analyzer.new_session()
+        seed(silenced, rows)
+        report = analyzer.analyze_program(
+            trng_program(TIMING, 0, row_a, row_b), silenced
+        )
+        assert not {d.rule for d in report.diagnostics} & {
+            "SEM303", "SEM304", "SEM306"
+        }
+
+    def test_trng_runs_clean_under_the_semantic_gate(self, ideal_module):
+        from repro.core.trng import DramTrng
+
+        host = DramBenderHost(ideal_module, verify_semantics="error")
+        trng = DramTrng(host, bank=0, subarray=0, debias=False)
+        bits = trng.raw_bits(64)
+        assert bits.size == 64
