@@ -179,6 +179,22 @@ def generate_report(
         "`tests/core/test_batched_equivalence.py` for the contract, and",
         "`benchmarks/bench_trial_engine.py` for the speedup measurement.",
         "",
+        "## Substrate backends",
+        "",
+        "Measurements flow through a pluggable substrate backend",
+        "(`repro.substrate`), selected with `--backend`.  `analog` (the",
+        "default, used below) is the calibrated charge-sharing model,",
+        "bit-identical to historical runs.  `surrogate` serves",
+        "deterministic draws from probability tables fitted off the",
+        "analog reference (`python -m repro.substrate fit`), ~130x",
+        "faster on fleet-style sweeps and within 0.02 absolute of fresh",
+        "analog fleet means on every fitted (operation, fan-in,",
+        "temperature) cell.  `trace-record`/`trace-replay` capture and",
+        "serve byte-identical measurement traces, failing loudly on any",
+        "divergence.  See \"Substrate backends\" in README.md,",
+        "`tests/substrate/` for the cross-backend equivalence suite, and",
+        "`benchmarks/bench_substrate.py` for the speedup measurement.",
+        "",
         "## Resilient sweeps",
         "",
         "Long runs survive a flaky bench and a dying machine.  With",

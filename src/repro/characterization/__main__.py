@@ -27,6 +27,24 @@ from .runner import DEFAULT, FULL, SMOKE
 _SCALES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
 
 
+def _backend_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> str:
+    """Combine the backend flags into a substrate specification string."""
+    if args.backend == "surrogate":
+        if not args.surrogate_table:
+            parser.error("--backend surrogate requires --surrogate-table")
+        return f"surrogate:{args.surrogate_table}"
+    if args.backend in ("trace-record", "trace-replay"):
+        if not args.trace:
+            parser.error(f"--backend {args.backend} requires --trace")
+        return f"{args.backend}:{args.trace}"
+    if args.surrogate_table or args.trace:
+        parser.error(
+            "--surrogate-table/--trace only apply to the surrogate and "
+            "trace backends"
+        )
+    return "analog"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.characterization", description=__doc__
@@ -51,6 +69,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bit-identical at any setting",
     )
     parser.add_argument(
+        "--backend",
+        choices=("analog", "surrogate", "trace-record", "trace-replay"),
+        default="analog",
+        help="substrate engine serving the measurements: 'analog' (the "
+        "default, bit-identical to historical runs), 'surrogate' (a "
+        "fitted table, needs --surrogate-table), or trace "
+        "record/replay (need --trace)",
+    )
+    parser.add_argument(
+        "--surrogate-table",
+        default=None,
+        metavar="PATH",
+        help="fitted table for --backend surrogate "
+        "(python -m repro.substrate fit)",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="trace file to write (--backend trace-record) or serve "
+        "(--backend trace-replay)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list experiment ids and exit"
     )
     add_resilience_arguments(parser)
@@ -61,6 +102,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--batch-trials must be >= 0, got {args.batch_trials}")
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    backend_spec = _backend_spec(parser, args)
 
     if args.list or not args.experiment:
         for experiment_id in sorted(REGISTRY):
@@ -71,11 +113,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     start = time.time()
     result = run_experiment(
         args.experiment,
-        scale=_SCALES[args.scale].with_batch_trials(args.batch_trials),
+        scale=_SCALES[args.scale]
+        .with_batch_trials(args.batch_trials)
+        .with_backend(backend_spec),
         seed=args.seed,
         jobs=args.jobs,
         resilience=resilience_from_args(args),
     )
+    if backend_spec.startswith("trace-record"):
+        from ..substrate import resolve_backend
+
+        resolve_backend(backend_spec).finalize()
+        print(f"[trace recorded to {args.trace}]")
     print(result.format_table())
     health_text = result.format_health()
     if health_text:

@@ -35,11 +35,8 @@ from ..runner import (
     Scale,
     SweepTarget,
     TargetDescriptor,
-    find_logic_measurement,
-    find_not_measurement,
     good_cell_mask,
     iter_descriptors,
-    region_predicate,
     spec_by_name,
 )
 
@@ -110,19 +107,23 @@ class _NotSweepWork:
     #: identity — ``engine_only`` keeps it out of checkpoint
     #: fingerprints so batched and serial runs resume interchangeably.
     batch_trials: int = field(default=0, metadata={"engine_only": True})
+    #: Substrate backend spec (rides along as a string so pool workers
+    #: resolve their own process-local instance).  Part of the sweep's
+    #: identity: different backends measure different things.
+    backend: str = "analog"
 
     def __call__(self, target: SweepTarget) -> List[SweepRecord]:
+        from ...substrate.base import resolve_backend
+
+        backend = resolve_backend(self.backend)
         records: List[SweepRecord] = []
         seed = self.seed
         for variant in self.variants:
-            predicate = None
-            if variant.regions is not None:
-                predicate = region_predicate(target, *variant.regions)
-            measurement = find_not_measurement(
+            measurement = backend.find_not_measurement(
                 target,
                 variant.n_destination,
                 kind=variant.kind,
-                predicate=predicate,
+                regions=variant.regions,
             )
             if measurement is None:
                 continue
@@ -173,16 +174,18 @@ class _LogicSweepWork:
     good_cells_only: bool
     #: See :class:`_NotSweepWork.batch_trials`.
     batch_trials: int = field(default=0, metadata={"engine_only": True})
+    #: See :class:`_NotSweepWork.backend`.
+    backend: str = "analog"
 
     def __call__(self, target: SweepTarget) -> List[SweepRecord]:
+        from ...substrate.base import resolve_backend
+
+        backend = resolve_backend(self.backend)
         records: List[SweepRecord] = []
         seed = self.seed
         for variant in self.variants:
-            predicate = None
-            if variant.regions is not None:
-                predicate = region_predicate(target, *variant.regions)
-            measurement = find_logic_measurement(
-                target, variant.base_op, variant.n_inputs, predicate=predicate
+            measurement = backend.find_logic_measurement(
+                target, variant.base_op, variant.n_inputs, regions=variant.regions
             )
             if measurement is None:
                 continue
@@ -231,6 +234,19 @@ class _LogicSweepWork:
                     records.append((label, rates, target.weight))
         target.infra.set_temperature(BASELINE_TEMPERATURE_C)
         return records
+
+
+def _check_backend_jobs(scale: Scale, jobs: int) -> None:
+    """Trace recording accumulates in one process-local event log; a
+    pool worker's recording would be dropped on exit, so recording
+    sweeps must run serially."""
+    if jobs > 1 and scale.backend.startswith("trace-record"):
+        from ...errors import ConfigurationError
+
+        raise ConfigurationError(
+            "backend 'trace-record' requires jobs=1: recordings accumulate "
+            "per process and pool workers discard theirs on exit"
+        )
 
 
 def _select_descriptors(
@@ -286,6 +302,7 @@ def not_sweep(
     checkpointing; sweep health accumulates on the shared object.
     """
     temps = tuple(temperatures) if temperatures else (BASELINE_TEMPERATURE_C,)
+    _check_backend_jobs(scale, jobs)
     work = _NotSweepWork(
         seed=seed,
         trials=scale.trials,
@@ -294,6 +311,7 @@ def not_sweep(
         temperatures=temps,
         good_cells_only=good_cells_only,
         batch_trials=scale.batch_trials,
+        backend=scale.backend,
     )
     descriptors = _select_descriptors(scale, manufacturers, spec_filter)
     runner = make_executor(jobs, executor)
@@ -325,6 +343,7 @@ def logic_sweep(
     ``resilience`` behave as in :func:`not_sweep`.
     """
     temps = tuple(temperatures) if temperatures else (BASELINE_TEMPERATURE_C,)
+    _check_backend_jobs(scale, jobs)
     work = _LogicSweepWork(
         seed=seed,
         trials=trials_override or scale.trials,
@@ -333,6 +352,7 @@ def logic_sweep(
         temperatures=temps,
         good_cells_only=good_cells_only,
         batch_trials=scale.batch_trials,
+        backend=scale.backend,
     )
     descriptors = _select_descriptors(
         scale, [Manufacturer.SK_HYNIX], spec_filter

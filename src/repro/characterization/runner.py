@@ -63,6 +63,13 @@ class Scale:
     per-trial path, and larger values cap the batch block size.  All
     settings produce bit-identical results — the knob only trades
     memory for speed.
+
+    ``backend`` selects the substrate engine serving every measurement
+    (a :mod:`repro.substrate` specification string).  Unlike
+    ``batch_trials`` it is part of the sweep's *identity*: a surrogate
+    sweep measures a fitted table, not the analog model, so checkpoints
+    from different backends never splice.  The default, ``"analog"``,
+    is bit-identical to the pre-substrate code paths.
     """
 
     name: str
@@ -73,6 +80,7 @@ class Scale:
     trials: int
     geometry: ChipGeometry
     batch_trials: int = 0
+    backend: str = "analog"
 
     def with_trials(self, trials: int) -> "Scale":
         return replace(self, trials=trials)
@@ -83,6 +91,13 @@ class Scale:
                 f"batch_trials must be >= 0, got {batch_trials}"
             )
         return replace(self, batch_trials=batch_trials)
+
+    def with_backend(self, backend: str) -> "Scale":
+        """This scale with measurements served by ``backend`` (a
+        :func:`repro.substrate.resolve_backend` specification string)."""
+        if not backend:
+            raise ValueError("backend spec must be a non-empty string")
+        return replace(self, backend=backend)
 
 
 #: Minimal scale for unit tests: one tiny module per spec.

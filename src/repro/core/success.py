@@ -7,7 +7,11 @@ the trial count as a parameter so characterization sweeps can trade
 precision for runtime.  The :class:`~repro.characterization.runner.Scale`
 presets run 40 (smoke), 150 (default), and 600 (full) trials — a
 binomial with 600 trials already pins a ~95% rate to about plus/minus
-2% at two sigma.
+2% at two sigma:
+
+>>> from repro.characterization.runner import DEFAULT, FULL, SMOKE
+>>> (SMOKE.trials, DEFAULT.trials, FULL.trials)
+(40, 150, 600)
 
 Both measurements execute trials through a batched trial-axis engine by
 default: a whole block of trials runs as one NumPy evaluation with a
@@ -49,6 +53,13 @@ def _trial_blocks(trials: int, batch_trials: int) -> List[int]:
     ``batch_trials`` selects the engine: ``0`` (the default) batches in
     blocks of up to :data:`DEFAULT_TRIAL_BLOCK`; ``1`` recovers the
     serial per-trial path; ``k > 1`` batches in blocks of ``k``.
+
+    >>> _trial_blocks(5, 2)
+    [2, 2, 1]
+    >>> _trial_blocks(3, 1)
+    [1, 1, 1]
+    >>> _trial_blocks(2500, 0)
+    [1024, 1024, 452]
     """
     if batch_trials < 0:
         raise ValueError(f"batch_trials must be >= 0, got {batch_trials}")

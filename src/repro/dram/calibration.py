@@ -171,7 +171,16 @@ class DieCalibration:
     hammer_flip_probability: float = 4e-5
 
     def engage_probability_for(self, operand_count: int) -> float:
-        """Engagement probability for an ``operand_count``-input op."""
+        """Engagement probability for an ``operand_count``-input op.
+
+        Counts outside the fitted {2, 4, 8, 16} grid use the nearest
+        fitted count:
+
+        >>> REFERENCE_CALIBRATION.engage_probability_for(16)
+        0.985
+        >>> REFERENCE_CALIBRATION.engage_probability_for(5)
+        0.995
+        """
         probs = self.op_engage_probability
         if operand_count in probs:
             return probs[operand_count]
@@ -179,8 +188,13 @@ class DieCalibration:
         return probs[nearest]
 
 
-#: The reference die: SK Hynix 4Gb M-die at 2666 MT/s (the most common
-#: module type in Table 1).
+#: The baseline constants every per-die and per-speed delta modifies.
+#: Anchored on the SK Hynix 4Gb M-die at 2666 MT/s (the most common
+#: module type in Table 1) — but note that die still carries its own
+#: ``sense_scale`` entry in the die table, so :func:`calibration_for`
+#: on that exact configuration is *not* byte-equal to this object; only
+#: an unknown (fallback) configuration at 2666 MT/s reproduces it
+#: verbatim (see the :func:`calibration_for` doctests).
 REFERENCE_CALIBRATION = DieCalibration()
 
 _ZERO_MATRIX = ((0.0, 0.0, 0.0), (0.0, 0.0, 0.0), (0.0, 0.0, 0.0))
@@ -193,6 +207,12 @@ def ideal_calibration() -> DieCalibration:
     logic-level examples can verify *what* an operation computes without
     stochastic failures, separately from *how reliably* real dies compute
     it (the characterization's subject).
+
+    >>> cal = ideal_calibration()
+    >>> (cal.sense_noise_sigma, cal.drive_strength_sigma, cal.drive_load_alpha)
+    (0.0, 0.0, 0.0)
+    >>> (cal.not_engage_probability, cal.engage_probability_for(16))
+    (1.0, 1.0)
     """
     return replace(
         REFERENCE_CALIBRATION,
@@ -267,7 +287,36 @@ def calibration_for(config: ChipConfig) -> DieCalibration:
     """The calibration constants for a chip configuration.
 
     Unknown (manufacturer, density, die revision) combinations fall back
-    to the reference die so that user-defined chips still simulate.
+    to the reference die so that user-defined chips still simulate:
+
+    >>> from repro import samsung_chip, sk_hynix_chip
+    >>> unknown = samsung_chip(
+    ...     density_gb=16, die_revision="Z", speed_rate_mts=2666
+    ... )
+    >>> calibration_for(unknown) == REFERENCE_CALIBRATION
+    True
+
+    The default configuration — the SK Hynix 4Gb M-die at 2666 MT/s the
+    reference constants are anchored on — still applies its own die-table
+    sensing-noise scale (1.55x) on top of the baseline:
+
+    >>> default = calibration_for(sk_hynix_chip())
+    >>> default.drive_strength_mean == REFERENCE_CALIBRATION.drive_strength_mean
+    True
+    >>> round(default.sense_noise_sigma / REFERENCE_CALIBRATION.sense_noise_sigma, 2)
+    1.55
+
+    The 2400 MT/s bin is the sour spot (Observations 8 and 18): weaker
+    restore drive and noisier sensing than every other grade:
+
+    >>> by_speed = {
+    ...     mts: calibration_for(sk_hynix_chip(speed_rate_mts=mts))
+    ...     for mts in (2133, 2400, 2666, 3200)
+    ... }
+    >>> min(by_speed, key=lambda mts: by_speed[mts].drive_strength_mean)
+    2400
+    >>> max(by_speed, key=lambda mts: by_speed[mts].sense_noise_sigma)
+    2400
     """
     key = (config.manufacturer, config.density_gb, config.die_revision)
     overrides = dict(_DIE_TABLE.get(key, {}))

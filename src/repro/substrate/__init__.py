@@ -1,0 +1,63 @@
+"""Pluggable measurement backends (:class:`SubstrateBackend`).
+
+One interface, three engines:
+
+* ``analog`` — the analog-behavioral reference model (the default;
+  bit-identical to the pre-substrate code paths).
+* ``surrogate:PATH`` — fitted success-probability tables, fast enough
+  for fleet-scale sweeps (fit with ``python -m repro.substrate fit``).
+* ``trace-record:PATH`` / ``trace-replay:PATH`` / ``trace-verify`` —
+  record/replay of backend calls for byte-identical test fixtures.
+
+See :mod:`repro.substrate.base` for the protocol and the backend
+specification-string grammar.
+"""
+
+from .analog import AnalogBackend
+from .base import (
+    ANY_DISTANCE,
+    REGION_NAMES,
+    LogicMeasurementLike,
+    NotMeasurementLike,
+    SubstrateBackend,
+    distance_label,
+    register_backend,
+    reset_backend_cache,
+    resolve_backend,
+    unregister_backend,
+)
+from .fit import DEFAULT_GRID, SMOKE_GRID, FitGrid, fit_surrogate
+from .surrogate import (
+    SurrogateBackend,
+    SurrogateTable,
+    TableCell,
+    pattern_key,
+    sample_success_counts,
+)
+from .trace import TraceBackend, decode_result, encode_result
+
+__all__ = [
+    "SubstrateBackend",
+    "AnalogBackend",
+    "SurrogateBackend",
+    "SurrogateTable",
+    "TableCell",
+    "TraceBackend",
+    "encode_result",
+    "decode_result",
+    "NotMeasurementLike",
+    "LogicMeasurementLike",
+    "FitGrid",
+    "DEFAULT_GRID",
+    "SMOKE_GRID",
+    "fit_surrogate",
+    "pattern_key",
+    "sample_success_counts",
+    "distance_label",
+    "REGION_NAMES",
+    "ANY_DISTANCE",
+    "resolve_backend",
+    "register_backend",
+    "unregister_backend",
+    "reset_backend_cache",
+]

@@ -1,0 +1,83 @@
+"""The analog-behavioral reference backend.
+
+:class:`AnalogBackend` is a thin pass-through to the existing measurement
+stack (:mod:`repro.core.success` construction via
+:mod:`repro.characterization.runner`).  It exists so every sweep caller
+goes through the one :class:`~repro.substrate.base.SubstrateBackend`
+interface; when the spec is ``"analog"`` the calls bottom out in exactly
+the code paths that ran before the substrate package existed, so results
+are bit-identical to historical runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..core.success import LogicSuccessMeasurement, NotSuccessMeasurement
+from .base import SubstrateBackend
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..bender.host import DramBenderHost
+    from ..characterization.runner import SweepTarget
+    from ..dram.decoder import ActivationKind
+
+__all__ = ["AnalogBackend"]
+
+
+class AnalogBackend(SubstrateBackend):
+    """Serve measurements straight from the analog model (the reference).
+
+    ``regions`` constraints are translated to the same
+    :func:`~repro.characterization.runner.region_predicate` the sweep
+    drivers used before backends existed, so the discovered address
+    pairs — and therefore every measured bit — are unchanged.
+    """
+
+    name = "analog"
+
+    def find_not_measurement(
+        self,
+        target: "SweepTarget",
+        n_destination: int,
+        kind: Optional["ActivationKind"] = None,
+        regions: Optional[Tuple[int, int]] = None,
+    ) -> Optional[NotSuccessMeasurement]:
+        from ..characterization.runner import find_not_measurement, region_predicate
+
+        predicate = None
+        if regions is not None:
+            predicate = region_predicate(target, *regions)
+        return find_not_measurement(
+            target, n_destination, kind=kind, predicate=predicate
+        )
+
+    def find_logic_measurement(
+        self,
+        target: "SweepTarget",
+        base_op: str,
+        n_inputs: int,
+        regions: Optional[Tuple[int, int]] = None,
+    ) -> Optional[LogicSuccessMeasurement]:
+        from ..characterization.runner import find_logic_measurement, region_predicate
+
+        predicate = None
+        if regions is not None:
+            predicate = region_predicate(target, *regions)
+        return find_logic_measurement(
+            target, base_op, n_inputs, predicate=predicate
+        )
+
+    def not_measurement_at(
+        self, host: "DramBenderHost", bank: int, src_row: int, dst_row: int
+    ) -> NotSuccessMeasurement:
+        return NotSuccessMeasurement(host, bank, src_row, dst_row)
+
+    def logic_measurement_at(
+        self,
+        host: "DramBenderHost",
+        bank: int,
+        ref_row: int,
+        com_row: int,
+        base_op: str = "and",
+    ) -> LogicSuccessMeasurement:
+        return LogicSuccessMeasurement(host, bank, ref_row, com_row, base_op=base_op)

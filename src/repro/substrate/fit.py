@@ -1,0 +1,256 @@
+"""Fitting surrogate tables from the analog reference model.
+
+``python -m repro.substrate fit`` drives :func:`fit_surrogate`: iterate
+the (sub-sampled) Table-1 fleet exactly as a characterization sweep
+would, run the analog measurements over a grid of (operation, fan-in,
+temperature, data pattern) configurations, and record the
+population-weighted mean success probability of every observed cell in
+a :class:`~repro.substrate.surrogate.SurrogateTable`.
+
+Each observation lands under four keys — (spec, actual distance class),
+(spec, ``any``), and the same two under the fleet-wide ``*`` aggregate —
+so later lookups can match as specifically as the fitted grid allows.
+Pattern-search availability (whether a target that is capability-eligible
+actually yielded a usable address pair) is recorded alongside, letting
+the surrogate replay the paper's per-module gaps.
+
+Fit RNG streams hang off ``derive_seed(seed, "substrate-fit", ...)`` —
+a namespace disjoint from sweep measurement streams, so equivalence
+tests compare the surrogate against analog data it was *not* fitted on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..characterization.runner import (
+    Scale,
+    SweepTarget,
+    find_logic_measurement,
+    find_not_measurement,
+    iter_targets,
+)
+from ..dram.config import Manufacturer
+from ..rng import derive_seed
+from .base import ANY_DISTANCE, distance_label
+from .surrogate import (
+    AGGREGATE_SPEC,
+    Key,
+    SurrogateTable,
+    logic_capability,
+    not_capability,
+    pattern_key,
+)
+
+__all__ = ["FitGrid", "DEFAULT_GRID", "SMOKE_GRID", "fit_surrogate"]
+
+#: All experiments run at 50 degC unless they sweep temperature (§5.2).
+_BASELINE_C = 50.0
+
+
+@dataclass(frozen=True)
+class FitGrid:
+    """The configuration grid a fit covers."""
+
+    temperatures: Tuple[float, ...] = (50.0, 60.0, 70.0, 80.0, 90.0)
+    not_fan_ins: Tuple[int, ...] = (1, 2, 4, 8, 16)
+    logic_fan_ins: Tuple[int, ...] = (2, 4, 8, 16)
+    logic_ops: Tuple[str, ...] = ("and", "or")
+    #: Logic operand modes; ``ones_count`` entries use ``"ones_count=k"``.
+    patterns: Tuple[str, ...] = ("random",)
+
+
+DEFAULT_GRID = FitGrid()
+
+#: Minimal grid for unit tests and CI smoke fits.
+SMOKE_GRID = FitGrid(
+    temperatures=(50.0, 70.0),
+    not_fan_ins=(1, 2),
+    logic_fan_ins=(2, 4),
+    logic_ops=("and", "or"),
+)
+
+
+def _parse_pattern(pattern: str) -> Tuple[str, Optional[int]]:
+    """Invert :func:`~repro.substrate.surrogate.pattern_key`."""
+    if pattern.startswith("ones_count="):
+        return "ones_count", int(pattern.split("=", 1)[1])
+    return pattern, None
+
+
+class _Accumulator:
+    """Weighted per-key, per-temperature running means."""
+
+    def __init__(self) -> None:
+        self._sum: Dict[Tuple[Key, float], float] = {}
+        self._weight: Dict[Tuple[Key, float], float] = {}
+        self._n_rows: Dict[Key, int] = {}
+        self._found: Dict[Key, float] = {}
+        self._eligible: Dict[Key, float] = {}
+
+    @staticmethod
+    def _spread(key: Key) -> List[Key]:
+        spec, operation, fan_in, distance, pattern = key
+        keys = [key]
+        for spread_spec in (spec, AGGREGATE_SPEC):
+            for spread_distance in (distance, ANY_DISTANCE):
+                candidate: Key = (
+                    spread_spec, operation, fan_in, spread_distance, pattern
+                )
+                if candidate not in keys:
+                    keys.append(candidate)
+        return keys
+
+    def observe(
+        self, key: Key, temperature: float, mean_rate: float, weight: float,
+        n_rows: int,
+    ) -> None:
+        for spread in self._spread(key):
+            slot = (spread, temperature)
+            self._sum[slot] = self._sum.get(slot, 0.0) + weight * mean_rate
+            self._weight[slot] = self._weight.get(slot, 0.0) + weight
+            self._n_rows[spread] = max(self._n_rows.get(spread, 0), n_rows)
+
+    def observe_search(self, key: Key, found: bool, weight: float) -> None:
+        for spread in self._spread(key):
+            self._eligible[spread] = self._eligible.get(spread, 0.0) + weight
+            if found:
+                self._found[spread] = self._found.get(spread, 0.0) + weight
+
+    def write_into(self, table: SurrogateTable) -> None:
+        for (key, temperature), total in sorted(self._sum.items()):
+            cell = table.cell(key)
+            cell.probabilities[temperature] = total / self._weight[(key, temperature)]
+            cell.n_rows = self._n_rows.get(key, 1)
+        for key, eligible in sorted(self._eligible.items()):
+            if key not in table:
+                continue
+            table.cell(key).found_rate = self._found.get(key, 0.0) / eligible
+
+
+def _target_distance(target: SweepTarget, pattern: object) -> str:
+    """Distance-class label of a discovered activation pattern."""
+    bank = target.module.chips[0].bank(target.bank)
+    return distance_label(bank.pattern_regions(pattern))
+
+
+def _fit_rng(seed: int, *context: str) -> np.random.Generator:
+    return np.random.default_rng(derive_seed(seed, "substrate-fit", *context))
+
+
+def fit_surrogate(
+    scale: Scale,
+    seed: int,
+    grid: FitGrid = DEFAULT_GRID,
+    manufacturers: Optional[Iterable[Manufacturer]] = None,
+    spec_filter: Optional[Callable[[object], bool]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SurrogateTable:
+    """Fit a :class:`SurrogateTable` from the analog model at ``scale``.
+
+    The fleet iteration, capability gating, and measurement construction
+    are the same code paths a characterization sweep uses, so the fitted
+    availability and probability structure mirror what a sweep at this
+    scale observes.
+    """
+    accumulator = _Accumulator()
+    trials = scale.trials
+    for target in iter_targets(scale, seed, manufacturers=manufacturers):
+        if spec_filter is not None and not spec_filter(target.spec):
+            continue
+        if progress is not None:
+            progress(target.label())
+        chip = target.spec.chip
+
+        for fan_in in grid.not_fan_ins:
+            if not_capability(chip, fan_in, None) is None:
+                continue
+            measurement = find_not_measurement(target, fan_in)
+            search_key: Key = (
+                target.spec.name, "not", fan_in, ANY_DISTANCE, "random"
+            )
+            accumulator.observe_search(
+                search_key, measurement is not None, target.weight
+            )
+            if measurement is None:
+                continue
+            distance = _target_distance(target, measurement.pattern)
+            key: Key = (target.spec.name, "not", fan_in, distance, "random")
+            for temperature in grid.temperatures:
+                target.infra.set_temperature(temperature)
+                result = measurement.run(
+                    trials,
+                    _fit_rng(
+                        seed, target.label(), "not", str(fan_in),
+                        f"T={temperature}",
+                    ),
+                    batch_trials=scale.batch_trials,
+                )
+                accumulator.observe(
+                    key, temperature, result.mean_rate, target.weight,
+                    result.success_counts.shape[0],
+                )
+
+        for base_op in grid.logic_ops:
+            for fan_in in grid.logic_fan_ins:
+                if not logic_capability(chip, fan_in):
+                    continue
+                measurement = find_logic_measurement(target, base_op, fan_in)
+                search_key = (
+                    target.spec.name, base_op, fan_in, ANY_DISTANCE, "random"
+                )
+                accumulator.observe_search(
+                    search_key, measurement is not None, target.weight
+                )
+                if measurement is None:
+                    continue
+                distance = _target_distance(
+                    target, measurement.operation.pattern
+                )
+                complement = "nand" if base_op == "and" else "nor"
+                for pattern in grid.patterns:
+                    mode, ones_count = _parse_pattern(pattern)
+                    for temperature in grid.temperatures:
+                        target.infra.set_temperature(temperature)
+                        pair = measurement.run(
+                            trials,
+                            _fit_rng(
+                                seed, target.label(), base_op, str(fan_in),
+                                pattern, f"T={temperature}",
+                            ),
+                            mode=mode,
+                            ones_count=ones_count,
+                            batch_trials=scale.batch_trials,
+                        )
+                        for name, result in (
+                            (base_op, pair.primary),
+                            (complement, pair.complement),
+                        ):
+                            accumulator.observe(
+                                (target.spec.name, name, fan_in, distance,
+                                 pattern_key(mode, ones_count)),
+                                temperature,
+                                result.mean_rate,
+                                target.weight,
+                                result.success_counts.shape[0],
+                            )
+        target.infra.set_temperature(_BASELINE_C)
+
+    table = SurrogateTable(
+        meta={
+            "fitted_from": "analog",
+            "scale": scale.name,
+            "seed": seed,
+            "trials": trials,
+            "temperatures": list(grid.temperatures),
+            "not_fan_ins": list(grid.not_fan_ins),
+            "logic_fan_ins": list(grid.logic_fan_ins),
+            "logic_ops": list(grid.logic_ops),
+            "patterns": list(grid.patterns),
+        }
+    )
+    accumulator.write_into(table)
+    return table

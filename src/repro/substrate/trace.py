@@ -1,0 +1,476 @@
+"""Record/replay of substrate calls (:class:`TraceBackend`).
+
+Record mode wraps the analog reference: every measurement construction
+and every ``run()`` delegates to the real analog path — so a recording
+sweep is bit-identical to a plain analog sweep — while the call's key
+and its exact result are appended to an in-memory event log, flushed to
+JSON by :meth:`TraceBackend.finalize`.
+
+Replay mode serves the log back.  Events are queued FIFO per *call key*
+(target label or row addresses, operation configuration, trial count,
+data-pattern mode, the module temperature at call time, and a digest of
+the incoming RNG state — so replaying under a different sweep seed
+fails rather than serving another workload's numbers), and replay is
+strict: a call whose key was never recorded, or whose queue is
+exhausted, raises :class:`~repro.errors.TraceMismatchError` instead of
+guessing.  Counts round-trip through JSON as exact integers, so a
+replayed :class:`~repro.core.success.SuccessResult` is byte-identical
+to the recorded one.
+
+Verify mode (``"trace-verify"``) records and immediately replays each
+call through the JSON codec, asserting byte-identity — the conftest
+``backend`` fixture uses it to exercise the trace machinery under the
+whole existing success-rate suite without touching disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..atomicio import atomic_write_json
+from ..core.success import LogicPairResult, SuccessResult
+from ..errors import TraceMismatchError
+from .analog import AnalogBackend
+from .base import (
+    LogicMeasurementLike,
+    NotMeasurementLike,
+    SubstrateBackend,
+    distance_label,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..bender.host import DramBenderHost
+    from ..characterization.runner import SweepTarget
+    from ..dram.decoder import ActivationKind
+
+__all__ = ["TraceBackend", "encode_result", "decode_result"]
+
+_FORMAT = 1
+
+#: Trace backend operating modes.
+_RECORD, _REPLAY, _VERIFY = "record", "replay", "verify"
+
+
+def encode_result(result: SuccessResult) -> Dict[str, Any]:
+    """JSON-safe encoding of a :class:`SuccessResult`, exact."""
+    return {
+        "counts": result.success_counts.tolist(),
+        "dtype": str(result.success_counts.dtype),
+        "trials": result.trials,
+        "metadata": dict(result.metadata),
+    }
+
+
+def decode_result(payload: Dict[str, Any]) -> SuccessResult:
+    """Inverse of :func:`encode_result`; counts come back bit-exact."""
+    counts = np.array(payload["counts"], dtype=np.dtype(payload["dtype"]))
+    if counts.ndim == 1:  # a single-row measurement serialized flat
+        counts = counts.reshape(1, -1)
+    return SuccessResult(
+        success_counts=counts,
+        trials=int(payload["trials"]),
+        metadata=dict(payload["metadata"]),
+    )
+
+
+def _results_equal(a: SuccessResult, b: SuccessResult) -> bool:
+    return (
+        a.trials == b.trials
+        and a.metadata == b.metadata
+        and a.success_counts.dtype == b.success_counts.dtype
+        and a.success_counts.shape == b.success_counts.shape
+        and bool(np.array_equal(a.success_counts, b.success_counts))
+    )
+
+
+CallKey = Tuple[str, ...]
+
+
+def _temperature_key(host: "DramBenderHost") -> str:
+    return repr(float(host.module.temperature_c))
+
+
+def _rng_key(rng: np.random.Generator) -> str:
+    """Digest of the generator's entry state.
+
+    Part of every run's call key, so a replay under a different seed —
+    which would silently serve another workload's numbers — raises
+    :class:`TraceMismatchError` instead.  The state is hashed before
+    any draw, so serial/batched/pooled execution (which consume the
+    stream differently downstream) key identically.
+    """
+    state = json.dumps(rng.bit_generator.state, sort_keys=True, default=repr)
+    return hashlib.sha256(state.encode("utf-8")).hexdigest()[:16]
+
+
+class _EventLog:
+    """FIFO queues of recorded events, keyed by call key."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self._queues: Dict[CallKey, Deque[Dict[str, Any]]] = {}
+
+    def append(self, key: CallKey, payload: Dict[str, Any]) -> None:
+        event = {"key": list(key), **payload}
+        self.events.append(event)
+        self._queues.setdefault(key, deque()).append(event)
+
+    def pop(self, key: CallKey) -> Dict[str, Any]:
+        queue = self._queues.get(key)
+        if not queue:
+            raise TraceMismatchError(
+                f"trace replay: no recorded event (left) for call {key!r}; "
+                "the replayed workload diverged from the recording"
+            )
+        return queue.popleft()
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"format": _FORMAT, "events": self.events}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "_EventLog":
+        if payload.get("format") != _FORMAT:
+            raise TraceMismatchError(
+                f"unsupported trace format {payload.get('format')!r}"
+            )
+        log = cls()
+        for event in payload.get("events", []):
+            log.append(tuple(event["key"]), {k: v for k, v in event.items() if k != "key"})
+        return log
+
+
+class _RecordingNotMeasurement:
+    """Delegate to the analog measurement; log construction and runs."""
+
+    def __init__(
+        self, backend: "TraceBackend", key: CallKey, inner: NotMeasurementLike,
+        host: "DramBenderHost",
+    ) -> None:
+        self._backend = backend
+        self._key = key
+        self._inner = inner
+        self._host = host
+
+    @property
+    def n_destination_rows(self) -> int:
+        return self._inner.n_destination_rows
+
+    def run(
+        self, trials: int, rng: np.random.Generator, batch_trials: int = 0
+    ) -> SuccessResult:
+        key = self._key + (
+            f"trials={trials}", f"T={_temperature_key(self._host)}",
+            f"rng={_rng_key(rng)}",
+        )
+        result = self._inner.run(trials, rng, batch_trials=batch_trials)
+        self._backend._log.append(
+            key, {"type": "run-not", "result": encode_result(result)}
+        )
+        return self._backend._after_record(key, result)
+
+
+class _RecordingLogicMeasurement:
+    """Delegate to the analog measurement; log construction and runs."""
+
+    def __init__(
+        self, backend: "TraceBackend", key: CallKey, inner: LogicMeasurementLike,
+        host: "DramBenderHost",
+    ) -> None:
+        self._backend = backend
+        self._key = key
+        self._inner = inner
+        self._host = host
+
+    @property
+    def n_inputs(self) -> int:
+        return self._inner.n_inputs
+
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        mode: str = "random",
+        ones_count: Optional[int] = None,
+        batch_trials: int = 0,
+    ) -> LogicPairResult:
+        key = self._key + (
+            f"trials={trials}", f"mode={mode}", f"ones={ones_count}",
+            f"T={_temperature_key(self._host)}", f"rng={_rng_key(rng)}",
+        )
+        pair = self._inner.run(
+            trials, rng, mode=mode, ones_count=ones_count,
+            batch_trials=batch_trials,
+        )
+        self._backend._log.append(
+            key,
+            {
+                "type": "run-logic",
+                "primary": encode_result(pair.primary),
+                "complement": encode_result(pair.complement),
+            },
+        )
+        return self._backend._after_record_pair(key, pair)
+
+
+class _ReplayNotMeasurement:
+    """Serve recorded NOT runs back, strictly."""
+
+    def __init__(
+        self, backend: "TraceBackend", key: CallKey, n_rows: int,
+        host: "DramBenderHost",
+    ) -> None:
+        self._backend = backend
+        self._key = key
+        self._n_rows = n_rows
+        self._host = host
+
+    @property
+    def n_destination_rows(self) -> int:
+        return self._n_rows
+
+    def run(
+        self, trials: int, rng: np.random.Generator, batch_trials: int = 0
+    ) -> SuccessResult:
+        key = self._key + (
+            f"trials={trials}", f"T={_temperature_key(self._host)}",
+            f"rng={_rng_key(rng)}",
+        )
+        event = self._backend._log.pop(key)
+        if event.get("type") != "run-not":
+            raise TraceMismatchError(
+                f"trace replay: event type {event.get('type')!r} where a "
+                f"NOT run was expected for call {key!r}"
+            )
+        return decode_result(event["result"])
+
+
+class _ReplayLogicMeasurement:
+    """Serve recorded logic runs back, strictly."""
+
+    def __init__(
+        self, backend: "TraceBackend", key: CallKey, n_inputs: int,
+        host: "DramBenderHost",
+    ) -> None:
+        self._backend = backend
+        self._key = key
+        self._n_inputs = n_inputs
+        self._host = host
+
+    @property
+    def n_inputs(self) -> int:
+        return self._n_inputs
+
+    def run(
+        self,
+        trials: int,
+        rng: np.random.Generator,
+        mode: str = "random",
+        ones_count: Optional[int] = None,
+        batch_trials: int = 0,
+    ) -> LogicPairResult:
+        key = self._key + (
+            f"trials={trials}", f"mode={mode}", f"ones={ones_count}",
+            f"T={_temperature_key(self._host)}", f"rng={_rng_key(rng)}",
+        )
+        event = self._backend._log.pop(key)
+        if event.get("type") != "run-logic":
+            raise TraceMismatchError(
+                f"trace replay: event type {event.get('type')!r} where a "
+                f"logic run was expected for call {key!r}"
+            )
+        return LogicPairResult(
+            primary=decode_result(event["primary"]),
+            complement=decode_result(event["complement"]),
+        )
+
+
+class TraceBackend(SubstrateBackend):
+    """Record-replay backend; see the module docstring.
+
+    Construct through the classmethods :meth:`record`, :meth:`replay`,
+    and :meth:`verify` (or the ``trace-record:PATH`` /
+    ``trace-replay:PATH`` / ``trace-verify`` spec strings).
+    """
+
+    name = "trace"
+
+    def __init__(self, mode: str, path: Optional[str], log: _EventLog) -> None:
+        self._mode = mode
+        self._path = path
+        self._log = log
+        self._reference = AnalogBackend()
+
+    @classmethod
+    def record(cls, path: str) -> "TraceBackend":
+        return cls(_RECORD, path, _EventLog())
+
+    @classmethod
+    def replay(cls, path: str) -> "TraceBackend":
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except OSError as error:
+            raise TraceMismatchError(
+                f"cannot read trace {path!r}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise TraceMismatchError(
+                f"trace {path!r} is not valid JSON: {error}"
+            ) from error
+        return cls(_REPLAY, path, _EventLog.from_payload(payload))
+
+    @classmethod
+    def verify(cls) -> "TraceBackend":
+        """Record, and round-trip every run through the JSON codec,
+        asserting byte-identity on the spot."""
+        return cls(_VERIFY, None, _EventLog())
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def recording(self) -> bool:
+        return self._mode in (_RECORD, _VERIFY)
+
+    # -- verify-mode round trips -------------------------------------------
+
+    def _codec_check(self, key: CallKey, result: SuccessResult) -> SuccessResult:
+        replayed = decode_result(
+            json.loads(json.dumps(encode_result(result)))
+        )
+        if not _results_equal(result, replayed):
+            raise TraceMismatchError(
+                f"trace codec round trip diverged for call {key!r}"
+            )
+        return replayed
+
+    def _after_record(self, key: CallKey, result: SuccessResult) -> SuccessResult:
+        if self._mode == _VERIFY:
+            return self._codec_check(key, result)
+        return result
+
+    def _after_record_pair(self, key: CallKey, pair: LogicPairResult) -> LogicPairResult:
+        if self._mode == _VERIFY:
+            return LogicPairResult(
+                primary=self._codec_check(key, pair.primary),
+                complement=self._codec_check(key, pair.complement),
+            )
+        return pair
+
+    # -- construction ------------------------------------------------------
+
+    def find_not_measurement(
+        self,
+        target: "SweepTarget",
+        n_destination: int,
+        kind: Optional["ActivationKind"] = None,
+        regions: Optional[Tuple[int, int]] = None,
+    ) -> Optional[NotMeasurementLike]:
+        key: CallKey = (
+            "find-not", target.label(), f"n={n_destination}",
+            f"kind={getattr(kind, 'value', None)}", distance_label(regions),
+        )
+        host = target.infra.host
+        if self.recording:
+            inner = self._reference.find_not_measurement(
+                target, n_destination, kind=kind, regions=regions
+            )
+            self._log.append(
+                key,
+                {
+                    "type": "find-not",
+                    "found": inner is not None,
+                    "n_rows": inner.n_destination_rows if inner else 0,
+                },
+            )
+            if inner is None:
+                return None
+            return _RecordingNotMeasurement(self, key, inner, host)
+        event = self._log.pop(key)
+        if not event.get("found"):
+            return None
+        return _ReplayNotMeasurement(self, key, int(event["n_rows"]), host)
+
+    def find_logic_measurement(
+        self,
+        target: "SweepTarget",
+        base_op: str,
+        n_inputs: int,
+        regions: Optional[Tuple[int, int]] = None,
+    ) -> Optional[LogicMeasurementLike]:
+        key: CallKey = (
+            "find-logic", target.label(), base_op, f"n={n_inputs}",
+            distance_label(regions),
+        )
+        host = target.infra.host
+        if self.recording:
+            inner = self._reference.find_logic_measurement(
+                target, base_op, n_inputs, regions=regions
+            )
+            self._log.append(
+                key,
+                {
+                    "type": "find-logic",
+                    "found": inner is not None,
+                    "n_inputs": inner.n_inputs if inner else 0,
+                },
+            )
+            if inner is None:
+                return None
+            return _RecordingLogicMeasurement(self, key, inner, host)
+        event = self._log.pop(key)
+        if not event.get("found"):
+            return None
+        return _ReplayLogicMeasurement(self, key, int(event["n_inputs"]), host)
+
+    def not_measurement_at(
+        self, host: "DramBenderHost", bank: int, src_row: int, dst_row: int
+    ) -> NotMeasurementLike:
+        key: CallKey = (
+            "not-at", f"bank={bank}", f"src={src_row}", f"dst={dst_row}"
+        )
+        if self.recording:
+            inner = self._reference.not_measurement_at(host, bank, src_row, dst_row)
+            self._log.append(
+                key, {"type": "find-not", "found": True,
+                      "n_rows": inner.n_destination_rows},
+            )
+            return _RecordingNotMeasurement(self, key, inner, host)
+        event = self._log.pop(key)
+        return _ReplayNotMeasurement(self, key, int(event["n_rows"]), host)
+
+    def logic_measurement_at(
+        self,
+        host: "DramBenderHost",
+        bank: int,
+        ref_row: int,
+        com_row: int,
+        base_op: str = "and",
+    ) -> LogicMeasurementLike:
+        key: CallKey = (
+            "logic-at", f"bank={bank}", f"ref={ref_row}", f"com={com_row}",
+            base_op,
+        )
+        if self.recording:
+            inner = self._reference.logic_measurement_at(
+                host, bank, ref_row, com_row, base_op=base_op
+            )
+            self._log.append(
+                key,
+                {"type": "find-logic", "found": True, "n_inputs": inner.n_inputs},
+            )
+            return _RecordingLogicMeasurement(self, key, inner, host)
+        event = self._log.pop(key)
+        return _ReplayLogicMeasurement(self, key, int(event.get("n_inputs", 0)), host)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def finalize(self) -> None:
+        if self._mode == _RECORD and self._path is not None:
+            atomic_write_json(self._path, self._log.to_payload(), indent=None)

@@ -30,6 +30,17 @@ the runtime places them in operation-compatible rows and moves data —
 * **Accounting** — every activation-level primitive and every
   controller staging transfer is counted, so applications can see what
   their expression really cost.
+* **Jobs** — :meth:`PudRuntime.submit_job` is the service-level entry
+  point: it places operands, runs the operation, *verifies* the result
+  against the ideal Boolean output, and on a verification failure
+  quarantines the operation block and fails over to another (same side
+  first, then across the pair) before giving up.
+* **Reliability-aware placement** — when constructed with a
+  :mod:`repro.substrate` backend that can estimate success
+  probabilities (the surrogate), block selection prefers the block with
+  the highest estimate and skips blocks below ``min_block_success``;
+  with the default analog backend (no estimates) selection keeps the
+  historical smallest-sufficient-fan-in policy, bit-identically.
 
 All computation happens on the *shared columns* of the subarray pair:
 a vector holds ``lane_count`` bits, one per shared sense amplifier.
@@ -45,13 +56,13 @@ import numpy as np
 from ..bender.host import DramBenderHost
 from ..core.addressing import find_pattern_pair
 from ..core.layout import bank_rows, module_shared_columns
-from ..core.logic import LogicOperation
+from ..core.logic import LogicOperation, ideal_output
 from ..core.not_op import NotOperation
 from ..core.rowclone import rowclone
 from ..dram.decoder import ActivationKind
 from ..errors import ReproError, ReverseEngineeringError
 
-__all__ = ["PudRuntime", "VectorHandle", "RuntimeStats"]
+__all__ = ["PudRuntime", "VectorHandle", "RuntimeStats", "JobResult"]
 
 _FANINS = (2, 4, 8, 16)
 
@@ -68,6 +79,9 @@ class RuntimeStats:
     not_ops: int = 0
     rowclones: int = 0
     host_transfers: int = 0
+    jobs_submitted: int = 0
+    verify_failures: int = 0
+    failovers: int = 0
 
     @property
     def total_programs(self) -> int:
@@ -79,6 +93,21 @@ class RuntimeStats:
             f"{self.rowclones} RowClones, {self.host_transfers} host "
             "stagings"
         )
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one verified :meth:`PudRuntime.submit_job`."""
+
+    #: The verified per-lane output bits.
+    output: np.ndarray
+    op: str
+    #: The (side, fan-in) operation block that produced the verified run.
+    block: Tuple[int, int]
+    #: Execution attempts, counting the verified one.
+    attempts: int
+    #: Blocks quarantined by this job's verification failures.
+    quarantined: Tuple[Tuple[int, int], ...]
 
 
 @dataclass(frozen=True)
@@ -103,12 +132,21 @@ class PudRuntime:
         bank: int = 0,
         subarray_pair: Tuple[int, int] = (0, 1),
         seed: int = 0,
+        backend: object = None,
+        min_block_success: float = 0.0,
     ):
         self.host = host
         self.bank = bank
         self.subarray_pair = subarray_pair
         self.stats = RuntimeStats()
         self._generation = 0
+        self._backend = None
+        if backend is not None:
+            from ..substrate.base import resolve_backend
+
+            self._backend = resolve_backend(backend)
+        self.min_block_success = float(min_block_success)
+        self._quarantined: Set[Tuple[int, int]] = set()
 
         module = host.module
         geometry = module.config.geometry
@@ -274,23 +312,76 @@ class PudRuntime:
     # computation
     # ------------------------------------------------------------------
 
-    def _block_for(self, side: int, count: int) -> Tuple[LogicOperation, int]:
-        for n in _FANINS:
-            if n >= count and (side, n) in self._logic:
-                return self._logic[(side, n)], n
-        raise ReproError(
-            f"no operation block with fan-in >= {count} on side {side} "
-            "(Limitation 2 caps fan-in at 16)"
+    def block_estimate(self, n: int) -> Optional[float]:
+        """Estimated per-cell success probability of a fan-in-``n`` AND
+        block at the current temperature, or ``None`` when the backend
+        cannot estimate without measuring (the analog model)."""
+        if self._backend is None:
+            return None
+        return self._backend.probability(
+            "and", n, temperature_c=float(self.host.module.temperature_c)
         )
 
-    def _logic_apply(self, op: str, handles: Sequence[VectorHandle]) -> VectorHandle:
+    def quarantine_block(self, side: int, n: int) -> None:
+        """Exclude an operation block from placement (failed hardware)."""
+        if (side, n) not in self._logic:
+            raise ReproError(f"no operation block (side={side}, n={n})")
+        self._quarantined.add((side, n))
+
+    def quarantined_blocks(self) -> Set[Tuple[int, int]]:
+        return set(self._quarantined)
+
+    def _block_for(self, side: int, count: int) -> Tuple[LogicOperation, int]:
+        """The operation block serving a ``count``-operand op on ``side``.
+
+        Quarantined blocks are always skipped.  When the backend serves
+        probability estimates, the block with the best estimate (ties to
+        the smallest fan-in) wins and blocks estimated below
+        ``min_block_success`` are skipped; otherwise the historical
+        policy — smallest sufficient fan-in — applies unchanged.
+        """
+        candidates: List[Tuple[int, Optional[float]]] = []
+        for n in _FANINS:
+            if n < count or (side, n) not in self._logic:
+                continue
+            if (side, n) in self._quarantined:
+                continue
+            estimate = self.block_estimate(n)
+            if estimate is not None and estimate < self.min_block_success:
+                continue
+            candidates.append((n, estimate))
+        if not candidates:
+            raise ReproError(
+                f"no operation block with fan-in >= {count} on side {side} "
+                "(Limitation 2 caps fan-in at 16; quarantine and "
+                "min_block_success further narrow the pool)"
+            )
+        if any(estimate is not None for _n, estimate in candidates):
+            best = max(
+                candidates,
+                key=lambda item: (
+                    item[1] if item[1] is not None else -1.0,
+                    -item[0],
+                ),
+            )
+            return self._logic[(side, best[0])], best[0]
+        return self._logic[(side, candidates[0][0])], candidates[0][0]
+
+    def _logic_apply(
+        self,
+        op: str,
+        handles: Sequence[VectorHandle],
+        block: Optional[Tuple[LogicOperation, int]] = None,
+    ) -> VectorHandle:
         for handle in handles:
             self._check(handle)
         side = handles[0].side
         if any(h.side != side for h in handles):
             raise ReproError("operands must be on one side; use move()")
 
-        operation, n = self._block_for(side, len(handles))
+        operation, n = block if block is not None else self._block_for(
+            side, len(handles)
+        )
         base = LogicOperation(
             self.host,
             self.bank,
@@ -341,6 +432,89 @@ class PudRuntime:
         self.free(either)
         self.free(not_both)
         return result
+
+    # ------------------------------------------------------------------
+    # verified job submission
+    # ------------------------------------------------------------------
+
+    def submit_job(
+        self,
+        op: str,
+        operands: Sequence[np.ndarray],
+        side: int = 1,
+        max_failovers: int = 4,
+    ) -> JobResult:
+        """Run ``op`` over ``operands`` end to end, verified.
+
+        The job stores its operands, executes on the best eligible
+        operation block, and verifies the loaded result against the
+        ideal Boolean output.  A verification failure quarantines the
+        block and *fails over*: first to another block on the same side,
+        then — re-staging the operands through the controller — to the
+        other side of the pair.  After ``max_failovers`` failovers (so
+        ``max_failovers + 1`` failed attempts), or when no eligible
+        block remains, the job raises
+        :class:`~repro.errors.ReproError` with the blocks it consumed.
+
+        Temporary vector slots are always released, success or failure.
+        """
+        if op not in ("and", "or", "nand", "nor"):
+            raise ReproError(f"submit_job supports and/or/nand/nor, got {op!r}")
+        if side not in (0, 1):
+            raise ReproError(f"side must be 0 or 1, got {side}")
+        arrays = [np.asarray(bits, dtype=np.uint8) for bits in operands]
+        if len(arrays) < 2:
+            raise ReproError("logic operations need at least 2 operands")
+        base_op = "and" if op in ("and", "nand") else "or"
+        expected = ideal_output(base_op, arrays)
+        if op in ("nand", "nor"):
+            expected = 1 - expected
+
+        self.stats.jobs_submitted += 1
+        handles = [self.store(bits, side=side) for bits in arrays]
+        newly_quarantined: List[Tuple[int, int]] = []
+        attempts = 0
+        current_side = side
+        sides_left = [1 - side]
+        try:
+            while True:
+                try:
+                    block = self._block_for(current_side, len(handles))
+                except ReproError:
+                    if not sides_left:
+                        raise ReproError(
+                            f"job {op!r} failed: no eligible operation "
+                            f"block left after {attempts} attempt(s); "
+                            f"quarantined {newly_quarantined or 'none'}"
+                        ) from None
+                    current_side = sides_left.pop()
+                    handles = [self.move(h, current_side) for h in handles]
+                    continue
+                attempts += 1
+                out = self._logic_apply(op, handles, block=block)
+                got = self.load(out)
+                self.free(out)
+                if np.array_equal(got, expected):
+                    return JobResult(
+                        output=got,
+                        op=op,
+                        block=(current_side, block[1]),
+                        attempts=attempts,
+                        quarantined=tuple(newly_quarantined),
+                    )
+                self.stats.verify_failures += 1
+                self.quarantine_block(current_side, block[1])
+                newly_quarantined.append((current_side, block[1]))
+                if attempts > max_failovers:
+                    raise ReproError(
+                        f"job {op!r} failed verification on "
+                        f"{attempts} block(s); quarantined "
+                        f"{newly_quarantined}"
+                    )
+                self.stats.failovers += 1
+        finally:
+            for handle in handles:
+                self.free(handle)
 
     def _colocate(
         self, handles: Sequence[VectorHandle]

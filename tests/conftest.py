@@ -91,6 +91,24 @@ def micron_host(micron_config):
     return DramBenderHost(module)
 
 
+@pytest.fixture(params=["analog", "trace-verify"])
+def backend(request):
+    """A :class:`repro.substrate.SubstrateBackend` for measurement tests.
+
+    Parameterized over the analog reference and the trace backend in
+    verify mode (record + immediate JSON-codec round trip with
+    byte-identity asserted), so every success-rate test that goes
+    through the backend interface also exercises the trace machinery
+    without touching disk.  Both serve results bit-identical to direct
+    analog construction.
+    """
+    from repro.substrate import AnalogBackend, TraceBackend
+
+    if request.param == "trace-verify":
+        return TraceBackend.verify()
+    return AnalogBackend()
+
+
 @pytest.fixture()
 def rng():
     return np.random.default_rng(1234)

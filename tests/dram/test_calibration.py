@@ -81,6 +81,42 @@ class TestIdealCalibration:
         assert all(v == 0.0 for row in ideal.op_distance_margin for v in row)
 
 
+class TestDocstringPins:
+    """Docstrings quoting concrete defaults are executable doctests.
+
+    The module docstrings cite Scale preset trial counts, the
+    reference-die anchoring, and the 2400 MT/s sour spot; those claims
+    drift silently when constants change, so they are pinned here.
+    """
+
+    def test_calibration_docstrings_are_doctests(self):
+        import doctest
+
+        import repro.dram.calibration as calibration
+
+        results = doctest.testmod(calibration)
+        assert results.failed == 0
+        assert results.attempted >= 10
+
+    def test_success_docstrings_are_doctests(self):
+        import doctest
+
+        import repro.core.success as success
+
+        results = doctest.testmod(success)
+        assert results.failed == 0
+        assert results.attempted >= 4
+
+    def test_default_config_is_not_reference_verbatim(self):
+        # The anchoring die (SK Hynix 4Gb M @ 2666) carries its own
+        # sense_scale entry in the die table, so the reference constants
+        # are a baseline for deltas, not that module's calibration.
+        assert calibration_for(sk_hynix_chip()) != REFERENCE_CALIBRATION
+        assert calibration_for(sk_hynix_chip()).sense_noise_sigma == pytest.approx(
+            1.55 * REFERENCE_CALIBRATION.sense_noise_sigma
+        )
+
+
 class TestCalibrationAnchors:
     """The calibration constants must preserve the paper's orderings."""
 

@@ -1,0 +1,172 @@
+"""Backend selection at the sweep level.
+
+Pins the seams the figure drivers rely on: ``Scale.with_backend``
+validation, checkpoint-fingerprint separation between backends, the
+surrogate's serial/pooled/batched interchangeability (the same
+bit-identity law the analog engine obeys), trace record/replay of a
+whole sweep, and the ``trace-record`` + process-pool guard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.characterization.experiments.base import (
+    LogicVariant,
+    NotVariant,
+    logic_sweep,
+    not_sweep,
+)
+from repro.characterization.parallel import ProcessPoolSweepExecutor
+from repro.characterization.resilience import sweep_fingerprint
+from repro.characterization.runner import SMOKE, iter_descriptors
+from repro.errors import ConfigurationError
+from repro.substrate import (
+    register_backend,
+    reset_backend_cache,
+    resolve_backend,
+    unregister_backend,
+)
+
+NOT_VARIANTS = (NotVariant(1), NotVariant(2))
+LOGIC_VARIANTS = (LogicVariant("and", 2), LogicVariant("or", 2))
+
+
+def assert_groups_identical(serial, parallel):
+    """Bit-for-bit equality of two GroupSamples mappings."""
+    assert sorted(serial) == sorted(parallel)
+    for label in serial:
+        a = serial[label].values()
+        b = parallel[label].values()
+        assert a.shape == b.shape, label
+        assert np.array_equal(a, b), label
+
+
+class TestScaleBackend:
+    def test_default_backend_is_analog(self):
+        assert SMOKE.backend == "analog"
+
+    def test_with_backend_returns_a_new_scale(self):
+        scale = SMOKE.with_backend("trace-verify")
+        assert scale.backend == "trace-verify"
+        assert scale.trials == SMOKE.trials
+        assert SMOKE.backend == "analog"
+
+    def test_empty_backend_rejected(self):
+        with pytest.raises(ValueError):
+            SMOKE.with_backend("")
+
+    def test_backend_splits_the_checkpoint_fingerprint(self, surrogate_path):
+        # Different backends measure different things; a checkpoint
+        # recorded under one must not resume under the other.
+        descriptors = iter_descriptors(SMOKE)
+        fingerprints = {
+            sweep_fingerprint("work", scale, 0, descriptors, None)
+            for scale in (
+                SMOKE,
+                SMOKE.with_backend(f"surrogate:{surrogate_path}"),
+                SMOKE.with_backend("trace-verify"),
+            )
+        }
+        assert len(fingerprints) == 3
+
+
+class TestSurrogateSweeps:
+    def test_not_sweep_serial_pooled_batched_identical(self, surrogate_path):
+        scale = SMOKE.with_backend(f"surrogate:{surrogate_path}")
+        serial = not_sweep(scale, 0, NOT_VARIANTS)
+        pooled = not_sweep(
+            scale, 0, NOT_VARIANTS, executor=ProcessPoolSweepExecutor(2)
+        )
+        batched = not_sweep(
+            dataclasses.replace(scale, batch_trials=1), 0, NOT_VARIANTS
+        )
+        assert_groups_identical(serial, pooled)
+        assert_groups_identical(serial, batched)
+
+    def test_logic_sweep_serial_vs_pooled_identical(self, surrogate_path):
+        scale = SMOKE.with_backend(f"surrogate:{surrogate_path}")
+        serial = logic_sweep(scale, 0, LOGIC_VARIANTS)
+        pooled = logic_sweep(
+            scale, 0, LOGIC_VARIANTS, executor=ProcessPoolSweepExecutor(2)
+        )
+        assert_groups_identical(serial, pooled)
+
+    def test_surrogate_sweep_covers_the_analog_group_labels(
+        self, surrogate_path
+    ):
+        analog = not_sweep(SMOKE, 0, NOT_VARIANTS)
+        surrogate = not_sweep(
+            SMOKE.with_backend(f"surrogate:{surrogate_path}"), 0, NOT_VARIANTS
+        )
+        assert sorted(surrogate) == sorted(analog)
+
+    def test_surrogate_actually_replaces_the_analog_draws(
+        self, surrogate_path
+    ):
+        # Same seed, different engines: the per-cell rate vectors must
+        # come from different random streams, not silently fall back to
+        # the analog path.
+        analog = not_sweep(SMOKE, 0, NOT_VARIANTS)
+        surrogate = not_sweep(
+            SMOKE.with_backend(f"surrogate:{surrogate_path}"), 0, NOT_VARIANTS
+        )
+        assert any(
+            not np.array_equal(analog[label].values(), surrogate[label].values())
+            for label in analog
+        )
+
+    def test_registered_instance_backend_runs_a_sweep(
+        self, fitted_table, surrogate_path
+    ):
+        # A backend registered as an in-process instance (jobs=1 only —
+        # instances don't cross pool boundaries) must behave exactly
+        # like the same table resolved from its spec string.
+        from repro.substrate import SurrogateBackend
+
+        backend = SurrogateBackend(fitted_table)
+        spec = register_backend("sweep-test-surrogate", backend)
+        try:
+            registered = not_sweep(
+                SMOKE.with_backend(spec), 0, NOT_VARIANTS, jobs=1
+            )
+        finally:
+            unregister_backend(spec)
+        from_path = not_sweep(
+            SMOKE.with_backend(f"surrogate:{surrogate_path}"), 0, NOT_VARIANTS
+        )
+        assert_groups_identical(registered, from_path)
+
+
+class TestTraceSweeps:
+    def test_record_then_replay_reproduces_the_sweep(self, tmp_path):
+        path = tmp_path / "sweep_trace.json"
+        spec = f"trace-record:{path}"
+        recorded = not_sweep(SMOKE.with_backend(spec), 0, NOT_VARIANTS)
+        resolve_backend(spec).finalize()
+        reset_backend_cache()
+        assert path.exists()
+
+        replayed = not_sweep(
+            SMOKE.with_backend(f"trace-replay:{path}"), 0, NOT_VARIANTS
+        )
+        assert_groups_identical(recorded, replayed)
+        # And the recording itself is the plain analog sweep, untouched.
+        assert_groups_identical(not_sweep(SMOKE, 0, NOT_VARIANTS), recorded)
+
+    def test_trace_record_refuses_process_pools(self, tmp_path):
+        scale = SMOKE.with_backend(f"trace-record:{tmp_path}/t.json")
+        with pytest.raises(ConfigurationError, match="jobs=1"):
+            not_sweep(scale, 0, NOT_VARIANTS, jobs=2)
+        with pytest.raises(ConfigurationError, match="jobs=1"):
+            logic_sweep(scale, 0, LOGIC_VARIANTS, jobs=2)
+
+    def test_trace_verify_sweep_matches_analog(self):
+        analog = logic_sweep(SMOKE, 0, LOGIC_VARIANTS)
+        verified = logic_sweep(
+            SMOKE.with_backend("trace-verify"), 0, LOGIC_VARIANTS
+        )
+        assert_groups_identical(analog, verified)

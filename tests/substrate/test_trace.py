@@ -1,0 +1,291 @@
+"""Record/replay trace backend: golden fixtures and strict-mismatch law.
+
+The golden fixture ``data/golden_trace.json`` is a recording of the
+fixed workload in :func:`golden_workload` — NOT + AND/NAND runs at two
+temperatures on the deterministic golden host.  Two properties are
+pinned against it:
+
+* replaying the checked-in trace is byte-identical to running the same
+  workload live on the analog reference, and
+* re-recording the workload today reproduces the checked-in file
+  exactly (so the fixture can never silently go stale).
+
+Regenerate after an intentional analog-model change with::
+
+    PYTHONPATH=src python tests/substrate/test_trace.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import ChipGeometry, SeedTree, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.core.addressing import find_pattern_pair
+from repro.core.success import SuccessResult
+from repro.dram.decoder import ActivationKind
+from repro.dram.module import Module
+from repro.errors import TraceMismatchError
+from repro.substrate import AnalogBackend, TraceBackend, decode_result, encode_result
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace.json"
+
+#: Seed of the golden host's module; fixed forever.
+GOLDEN_SEED = 7
+
+
+def golden_host():
+    """The deterministic host every golden-trace interaction runs on."""
+    geometry = ChipGeometry(
+        banks=2, subarrays_per_bank=4, rows_per_subarray=192, columns=64
+    )
+    config = sk_hynix_chip().with_geometry(geometry)
+    module = Module(config, chip_count=1, seed_tree=SeedTree(GOLDEN_SEED))
+    return DramBenderHost(module)
+
+
+def _pairs(host):
+    decoder = host.module.decoder
+    geometry = host.module.config.geometry
+    not_pair = find_pattern_pair(
+        decoder, geometry, 0, 0, 1, 2, ActivationKind.N_TO_N, seed=0
+    )
+    logic_pair = find_pattern_pair(
+        decoder, geometry, 0, 2, 3, 4, ActivationKind.N_TO_N, seed=0
+    )
+    return not_pair, logic_pair
+
+
+def golden_workload(backend):
+    """Run the fixed workload through ``backend``; encoded results out.
+
+    Exercises both measurement kinds, a temperature change (part of the
+    trace call key), a repeated run on one measurement (FIFO queues),
+    and a non-default data-pattern mode.
+    """
+    host = golden_host()
+    (src, dst), (ref, com) = _pairs(host)
+
+    results = []
+    not_m = backend.not_measurement_at(host, 0, src, dst)
+    results.append(encode_result(not_m.run(25, np.random.default_rng(101))))
+    host.module.temperature_c = 70.0
+    results.append(encode_result(not_m.run(25, np.random.default_rng(102))))
+    host.module.temperature_c = 50.0
+
+    logic_m = backend.logic_measurement_at(host, 0, ref, com, base_op="and")
+    pair = logic_m.run(25, np.random.default_rng(103))
+    results.append(encode_result(pair.primary))
+    results.append(encode_result(pair.complement))
+    pair = logic_m.run(
+        25, np.random.default_rng(104), mode="ones_count", ones_count=2
+    )
+    results.append(encode_result(pair.primary))
+    results.append(encode_result(pair.complement))
+    backend.finalize()
+    return results
+
+
+def record_golden(path):
+    golden_workload(TraceBackend.record(str(path)))
+
+
+def _record_mini_not(path, trials=10):
+    """A one-run NOT recording, for the strictness tests."""
+    host = golden_host()
+    (src, dst), _ = _pairs(host)
+    backend = TraceBackend.record(str(path))
+    result = backend.not_measurement_at(host, 0, src, dst).run(
+        trials, np.random.default_rng(5)
+    )
+    backend.finalize()
+    return result
+
+
+def _replay_mini_not(path, trials=10):
+    host = golden_host()
+    (src, dst), _ = _pairs(host)
+    backend = TraceBackend.replay(str(path))
+    return backend.not_measurement_at(host, 0, src, dst).run(
+        trials, np.random.default_rng(5)
+    )
+
+
+class TestCodec:
+    def test_round_trip_is_exact(self):
+        result = SuccessResult(
+            success_counts=np.array([[3, 10, 0], [7, 7, 7]], dtype=np.int64),
+            trials=10,
+            metadata={"operation": "not", "n_destination_rows": 2},
+        )
+        replayed = decode_result(json.loads(json.dumps(encode_result(result))))
+        assert replayed.trials == result.trials
+        assert replayed.metadata == result.metadata
+        assert replayed.success_counts.dtype == result.success_counts.dtype
+        assert np.array_equal(replayed.success_counts, result.success_counts)
+
+    def test_dtype_is_preserved(self):
+        result = SuccessResult(
+            success_counts=np.array([[1, 2]], dtype=np.int32),
+            trials=2,
+            metadata={},
+        )
+        assert decode_result(encode_result(result)).success_counts.dtype == np.int32
+
+    def test_flat_counts_come_back_two_dimensional(self):
+        payload = {
+            "counts": [4, 5, 6],
+            "dtype": "int64",
+            "trials": 6,
+            "metadata": {},
+        }
+        assert decode_result(payload).success_counts.shape == (1, 3)
+
+
+class TestGoldenTrace:
+    def test_fixture_is_checked_in(self):
+        assert GOLDEN_PATH.is_file(), (
+            f"{GOLDEN_PATH} missing; regenerate with "
+            "`PYTHONPATH=src python tests/substrate/test_trace.py`"
+        )
+        payload = json.loads(GOLDEN_PATH.read_text())
+        assert payload["format"] == 1
+        types = [event["type"] for event in payload["events"]]
+        assert types.count("run-not") == 2
+        assert types.count("run-logic") == 2
+
+    def test_replay_is_byte_identical_to_live_analog(self):
+        live = golden_workload(AnalogBackend())
+        replayed = golden_workload(TraceBackend.replay(str(GOLDEN_PATH)))
+        assert replayed == live
+
+    def test_recording_reproduces_the_fixture_exactly(self, tmp_path):
+        fresh = tmp_path / "golden_trace.json"
+        record_golden(fresh)
+        assert json.loads(fresh.read_text()) == json.loads(
+            GOLDEN_PATH.read_text()
+        ), (
+            "the analog model drifted from the golden trace; if the "
+            "change is intentional, regenerate the fixture with "
+            "`PYTHONPATH=src python tests/substrate/test_trace.py`"
+        )
+
+
+class TestRecordReplayRoundTrip:
+    def test_round_trip_through_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        recorded = golden_workload(TraceBackend.record(str(path)))
+        replayed = golden_workload(TraceBackend.replay(str(path)))
+        assert replayed == recorded
+
+    def test_recording_delegates_to_analog_bit_identically(self, tmp_path):
+        # A recording sweep must disturb nothing: same counts as a
+        # plain analog run of the identical workload.
+        recorded = golden_workload(
+            TraceBackend.record(str(tmp_path / "t.json"))
+        )
+        assert recorded == golden_workload(AnalogBackend())
+
+    def test_nothing_is_written_before_finalize(self, tmp_path):
+        path = tmp_path / "trace.json"
+        host = golden_host()
+        (src, dst), _ = _pairs(host)
+        backend = TraceBackend.record(str(path))
+        backend.not_measurement_at(host, 0, src, dst).run(
+            5, np.random.default_rng(0)
+        )
+        assert not path.exists()
+        backend.finalize()
+        assert path.exists()
+
+
+class TestStrictReplay:
+    def test_wrong_trial_count_raises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _record_mini_not(path, trials=10)
+        with pytest.raises(TraceMismatchError, match="no recorded event"):
+            _replay_mini_not(path, trials=11)
+
+    def test_wrong_rng_seed_raises(self, tmp_path):
+        # Run keys digest the incoming generator state: a replay under a
+        # different sweep seed must fail loudly, not silently serve the
+        # recorded workload's numbers.
+        path = tmp_path / "trace.json"
+        _record_mini_not(path)
+        host = golden_host()
+        (src, dst), _ = _pairs(host)
+        backend = TraceBackend.replay(str(path))
+        with pytest.raises(TraceMismatchError, match="no recorded event"):
+            backend.not_measurement_at(host, 0, src, dst).run(
+                10, np.random.default_rng(6)
+            )
+
+    def test_exhausted_queue_raises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _record_mini_not(path)
+        host = golden_host()
+        (src, dst), _ = _pairs(host)
+        backend = TraceBackend.replay(str(path))
+        measurement = backend.not_measurement_at(host, 0, src, dst)
+        measurement.run(10, np.random.default_rng(5))
+        with pytest.raises(TraceMismatchError, match="no recorded event"):
+            measurement.run(10, np.random.default_rng(5))
+
+    def test_wrong_event_type_raises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        _record_mini_not(path)
+        payload = json.loads(path.read_text())
+        run_event = next(
+            event for event in payload["events"] if event["type"] == "run-not"
+        )
+        run_event["type"] = "run-logic"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TraceMismatchError, match="event type"):
+            _replay_mini_not(path)
+
+    def test_unknown_call_raises(self, tmp_path):
+        # The recording holds a NOT; the replayed workload asks for AND.
+        path = tmp_path / "trace.json"
+        _record_mini_not(path)
+        host = golden_host()
+        _, (ref, com) = _pairs(host)
+        backend = TraceBackend.replay(str(path))
+        with pytest.raises(TraceMismatchError, match="no recorded event"):
+            backend.logic_measurement_at(host, 0, ref, com)
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceMismatchError, match="not valid JSON"):
+            TraceBackend.replay(str(path))
+
+    def test_unsupported_format_raises(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"format": 999, "events": []}))
+        with pytest.raises(TraceMismatchError, match="unsupported trace format"):
+            TraceBackend.replay(str(path))
+
+
+class TestVerifyMode:
+    def test_mode_flags(self):
+        backend = TraceBackend.verify()
+        assert backend.mode == "verify"
+        assert backend.recording
+
+    def test_finalize_without_path_is_a_no_op(self):
+        TraceBackend.verify().finalize()
+
+    def test_runs_match_analog_exactly(self):
+        assert golden_workload(TraceBackend.verify()) == golden_workload(
+            AnalogBackend()
+        )
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    record_golden(GOLDEN_PATH)
+    print(f"wrote {GOLDEN_PATH}")

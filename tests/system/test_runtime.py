@@ -1,10 +1,44 @@
-"""Tests for the end-to-end PuD runtime."""
+"""Tests for the end-to-end PuD runtime.
+
+Covers vector storage, in-DRAM computation and movement, accounting,
+and the service layer: verified job submission, reliability-aware
+placement (backend probability estimates), and quarantine-aware
+failover.
+"""
 
 import numpy as np
 import pytest
 
 from repro.errors import ReproError
+from repro.substrate import SubstrateBackend
 from repro.system import PudRuntime, RuntimeStats, VectorHandle
+
+
+class EstimateStub(SubstrateBackend):
+    """A backend serving canned per-fan-in probability estimates."""
+
+    name = "estimate-stub"
+
+    def __init__(self, estimates):
+        self._estimates = dict(estimates)
+
+    def find_not_measurement(self, target, n_destination, kind=None, regions=None):
+        return None
+
+    def find_logic_measurement(self, target, base_op, n_inputs, regions=None):
+        return None
+
+    def not_measurement_at(self, host, bank, src_row, dst_row):
+        raise NotImplementedError
+
+    def logic_measurement_at(self, host, bank, ref_row, com_row, base_op="and"):
+        raise NotImplementedError
+
+    def probability(
+        self, operation, fan_in, temperature_c=50.0, pattern="random",
+        spec_name=None, distance="any",
+    ):
+        return self._estimates.get(fan_in)
 
 
 @pytest.fixture()
@@ -168,6 +202,152 @@ class TestAccounting:
     def test_runtime_stats_repr(self):
         text = str(RuntimeStats(logic_ops=2, not_ops=1, rowclones=5))
         assert "2 logic ops" in text
+
+
+class TestJobSubmission:
+    def test_and_job_verifies_first_try(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=20)
+        result = runtime.submit_job("and", [a_bits, b_bits])
+        assert np.array_equal(result.output, a_bits & b_bits)
+        assert result.op == "and"
+        assert result.attempts == 1
+        assert result.quarantined == ()
+        assert runtime.stats.jobs_submitted == 1
+        assert runtime.stats.verify_failures == 0
+
+    def test_complemented_ops_verify(self, runtime):
+        a_bits, b_bits = vectors(runtime, 2, seed=21)
+        nand = runtime.submit_job("nand", [a_bits, b_bits])
+        assert np.array_equal(nand.output, 1 - (a_bits & b_bits))
+        nor = runtime.submit_job("nor", [a_bits, b_bits])
+        assert np.array_equal(nor.output, 1 - (a_bits | b_bits))
+
+    def test_many_operand_job(self, runtime):
+        operands = vectors(runtime, 3, seed=22)
+        result = runtime.submit_job("or", operands)
+        expected = operands[0] | operands[1] | operands[2]
+        assert np.array_equal(result.output, expected)
+        # 3 operands need a fan-in >= 4 block.
+        assert result.block[1] >= 4
+
+    def test_rejects_unsupported_op(self, runtime):
+        operands = vectors(runtime, 2, seed=23)
+        with pytest.raises(ReproError):
+            runtime.submit_job("xor", operands)
+
+    def test_rejects_single_operand(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=24)
+        with pytest.raises(ReproError):
+            runtime.submit_job("and", [bits])
+
+    def test_rejects_bad_side(self, runtime):
+        operands = vectors(runtime, 2, seed=25)
+        with pytest.raises(ReproError):
+            runtime.submit_job("and", operands, side=2)
+
+    def test_job_releases_all_slots(self, runtime):
+        before = runtime.free_slots()
+        operands = vectors(runtime, 2, seed=26)
+        runtime.submit_job("and", operands)
+        assert runtime.free_slots() == before
+
+
+class TestPlacement:
+    def test_default_policy_is_smallest_sufficient_fan_in(self, runtime):
+        operands = vectors(runtime, 2, seed=30)
+        result = runtime.submit_job("and", operands)
+        assert result.block == (1, 2)
+
+    def test_backend_estimates_prefer_best_block(self, ideal_host):
+        backend = EstimateStub({2: 0.7, 4: 0.8, 8: 0.95, 16: 0.9})
+        runtime = PudRuntime(
+            ideal_host, bank=0, subarray_pair=(0, 1), backend=backend
+        )
+        rng = np.random.default_rng(31)
+        operands = [
+            rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+            for _ in range(2)
+        ]
+        result = runtime.submit_job("and", operands)
+        assert result.block == (1, 8)
+
+    def test_estimate_ties_go_to_smallest_fan_in(self, ideal_host):
+        backend = EstimateStub({2: 0.9, 4: 0.9, 8: 0.9, 16: 0.9})
+        runtime = PudRuntime(
+            ideal_host, bank=0, subarray_pair=(0, 1), backend=backend
+        )
+        rng = np.random.default_rng(32)
+        operands = [
+            rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+            for _ in range(2)
+        ]
+        assert runtime.submit_job("and", operands).block == (1, 2)
+
+    def test_min_block_success_filters_candidates(self, ideal_host):
+        backend = EstimateStub({2: 0.5, 4: 0.6, 8: 0.85, 16: 0.8})
+        runtime = PudRuntime(
+            ideal_host, bank=0, subarray_pair=(0, 1),
+            backend=backend, min_block_success=0.75,
+        )
+        rng = np.random.default_rng(33)
+        operands = [
+            rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+            for _ in range(2)
+        ]
+        assert runtime.submit_job("and", operands).block == (1, 8)
+
+    def test_block_estimate_is_none_without_backend(self, runtime):
+        assert runtime.block_estimate(2) is None
+
+
+class TestQuarantine:
+    def test_quarantine_redirects_placement(self, runtime):
+        runtime.quarantine_block(1, 2)
+        operands = vectors(runtime, 2, seed=40)
+        result = runtime.submit_job("and", operands)
+        assert result.block == (1, 4)
+        assert runtime.quarantined_blocks() == {(1, 2)}
+
+    def test_quarantine_unknown_block_rejected(self, runtime):
+        with pytest.raises(ReproError):
+            runtime.quarantine_block(1, 3)
+
+    def test_failover_crosses_to_other_side(self, runtime):
+        for n in (2, 4, 8, 16):
+            runtime.quarantine_block(1, n)
+        transfers_before = runtime.stats.host_transfers
+        operands = vectors(runtime, 2, seed=41)
+        result = runtime.submit_job("and", operands, side=1)
+        assert result.block[0] == 0
+        # Crossing re-stages each operand through the controller.
+        assert runtime.stats.host_transfers == transfers_before + 2
+
+    def test_no_eligible_block_anywhere_raises(self, runtime):
+        for side in (0, 1):
+            for n in (2, 4, 8, 16):
+                runtime.quarantine_block(side, n)
+        operands = vectors(runtime, 2, seed=42)
+        with pytest.raises(ReproError, match="no eligible"):
+            runtime.submit_job("and", operands)
+
+    def test_noisy_die_quarantines_and_exhausts(self, real_host):
+        # All-lane verification on a calibrated noisy die fails with
+        # near certainty, so the job walks the failover chain and gives
+        # up after max_failovers, leaving the failed blocks quarantined.
+        runtime = PudRuntime(real_host, bank=0, subarray_pair=(0, 1))
+        before = runtime.free_slots()
+        rng = np.random.default_rng(43)
+        operands = [
+            rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+            for _ in range(2)
+        ]
+        with pytest.raises(ReproError, match="failed verification"):
+            runtime.submit_job("and", operands, max_failovers=2)
+        assert runtime.stats.verify_failures == 3
+        assert runtime.stats.failovers == 2
+        assert len(runtime.quarantined_blocks()) == 3
+        # Slots still come back on failure.
+        assert runtime.free_slots() == before
 
 
 class TestRealChip:
