@@ -27,6 +27,7 @@ from . import (
     fig19_ops_temperature,
     fig20_ops_speed,
     fig21_ops_die,
+    frontier_reliability,
     table01_chips,
 )
 
@@ -47,6 +48,7 @@ _MODULES = (
     fig19_ops_temperature,
     fig20_ops_speed,
     fig21_ops_die,
+    frontier_reliability,
 )
 
 #: Experiment id -> run callable.

@@ -1,0 +1,204 @@
+"""Reliability/throughput frontier of the mitigation schemes.
+
+Not a figure from the paper — the engineering consequence of its
+characterization: per-cell success rates measured by the standard
+sweeps are mapped through every mitigation scheme's closed-form
+residual-error model (:mod:`repro.reliability.schemes`), pairing each
+scheme's residual error with its throughput cost in expected
+op-sequence executions.  The resulting (cost, error) points trace the
+frontier a system designer actually navigates: how much throughput a
+given error bound costs, per operation.
+
+Groups hold per-cell *residual error* distributions (not success
+rates — lower is better); ``extras["frontier"]`` carries the frontier
+points, and ``extras["bound_met"]`` the fraction of cells each scheme
+brings under the default 1e-3 bound.  Statically infeasible
+configurations (Observation 14) are noted, not plotted: no scheme has
+a point there.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...reliability.schemes import MitigationScheme
+from ...reliability.tuner import DEFAULT_ERROR_BOUND, static_infeasibility
+from ..metrics import BoxStats
+from ..resilience import Resilience
+from ..results import ExperimentResult
+from ..runner import DEFAULT, Scale
+from .base import LogicVariant, NotVariant, logic_sweep, not_sweep
+
+EXPERIMENT_ID = "frontier"
+TITLE = "Reliability/throughput frontier of the mitigation schemes"
+
+#: NOT destination-row count measured (8 copies: enough to show the
+#: space-redundancy lever without demanding the full 32-row pattern).
+NOT_DESTINATIONS = 8
+
+#: The scheme ladder traced per operation, cheapest first.  Schemes
+#: inapplicable to an operation (retry on NOT) or exceeding its output
+#: terminal's rows are skipped per op.
+SCHEME_LADDER = (
+    MitigationScheme(),
+    MitigationScheme(row_copies=3),
+    MitigationScheme(row_copies=7),
+    MitigationScheme(max_attempts=2),
+    MitigationScheme(max_attempts=3),
+    MitigationScheme(votes=3),
+    MitigationScheme(votes=3, max_attempts=2),
+    MitigationScheme(votes=5, max_attempts=3),
+    MitigationScheme(votes=5, row_copies=7),
+    MitigationScheme(votes=9, max_attempts=3),
+    MitigationScheme(votes=9, row_copies=3, max_attempts=4),
+    MitigationScheme(votes=15, max_attempts=4),
+)
+
+
+def _logic_label(target, variant, temp, op_name):
+    return f"{op_name.upper()} n={variant.n_inputs}"
+
+
+def _not_label(target, variant, temp):
+    return f"NOT {variant.n_destination} dst"
+
+
+def _terminal_rows(label: str) -> int:
+    """Output-terminal rows of a measured group (space-vote ceiling)."""
+    if label.startswith("NOT"):
+        return NOT_DESTINATIONS
+    return int(label.rsplit("=", 1)[1])
+
+
+def _operation(label: str) -> str:
+    return label.split(" ")[0].lower()
+
+
+def _render_frontier(frontier: List[dict]) -> str:
+    """Text frontier figure: per op, schemes by cost with a log-error bar.
+
+    Each ``#`` column is one decade of mean residual error below 1
+    (more ``#`` = more reliable); the ``|`` marks the default bound.
+    """
+    lines = ["cost(x)  scheme                mean err   p95 err    reliability"]
+    bound_decades = -np.log10(DEFAULT_ERROR_BOUND)
+    for op in sorted({str(point["op"]) for point in frontier}):
+        lines.append(f"-- {op} --")
+        points = sorted(
+            (point for point in frontier if point["op"] == op),
+            key=lambda p: float(p["cost"]),  # type: ignore[arg-type]
+        )
+        for point in points:
+            mean_error = max(float(point["mean_error"]), 1e-12)  # type: ignore[arg-type]
+            decades = min(-np.log10(mean_error), 12.0)
+            bar = "#" * int(round(decades))
+            marker = int(round(bound_decades))
+            if len(bar) < marker:
+                bar = bar + " " * (marker - len(bar))
+            bar = bar[:marker] + "|" + bar[marker:]
+            lines.append(
+                f"{float(point['cost']):7.2f}  {str(point['scheme']):<20} "  # type: ignore[arg-type]
+                f"{float(point['mean_error']):9.2e}  "  # type: ignore[arg-type]
+                f"{float(point['p95_error']):9.2e}  {bar}"  # type: ignore[arg-type]
+            )
+    return "\n".join(lines)
+
+
+def run(
+    scale: Scale = DEFAULT,
+    seed: int = 0,
+    jobs: int = 1,
+    resilience: Optional[Resilience] = None,
+) -> ExperimentResult:
+    # Footnote-8 filter: schemes code against *trial noise*; cells that
+    # fail most trials are a placement/quarantine problem, not a coding
+    # one, so the frontier is traced over the deployable population.
+    logic_groups = logic_sweep(
+        scale,
+        seed,
+        [LogicVariant("and", 2), LogicVariant("or", 2)],
+        label_fn=_logic_label,
+        good_cells_only=True,
+        jobs=jobs,
+        resilience=resilience,
+    )
+    not_groups = not_sweep(
+        scale,
+        seed,
+        [NotVariant(NOT_DESTINATIONS)],
+        label_fn=_not_label,
+        good_cells_only=True,
+        jobs=jobs,
+        resilience=resilience,
+    )
+
+    result = ExperimentResult(EXPERIMENT_ID, TITLE)
+    frontier: List[dict] = []
+    bound_met: List[dict] = []
+    for label, samples in list(logic_groups.items()) + list(not_groups.items()):
+        if samples.empty:
+            continue
+        rates = np.asarray(samples.values(), dtype=np.float64)
+        operation = _operation(label)
+        rows = _terminal_rows(label)
+        for scheme in SCHEME_LADDER:
+            if not scheme.applicable_to(operation):
+                continue
+            if scheme.row_copies > rows:
+                continue
+            residual = np.asarray(scheme.predicted_error(rates))
+            cost = float(np.mean(scheme.expected_cost(rates)))
+            group = f"{label} {scheme.label}"
+            result.add_group(group, BoxStats.from_values(residual))
+            frontier.append(
+                {
+                    "op": label,
+                    "scheme": scheme.label,
+                    "cost": cost,
+                    "mean_error": float(np.mean(residual)),
+                    "p95_error": float(np.percentile(residual, 95)),
+                }
+            )
+            bound_met.append(
+                {
+                    "op": label,
+                    "scheme": scheme.label,
+                    "fraction": float(
+                        np.mean(residual <= DEFAULT_ERROR_BOUND)
+                    ),
+                }
+            )
+    result.extras["frontier"] = frontier
+    result.extras["bound_met"] = bound_met
+    result.extras["error_bound"] = DEFAULT_ERROR_BOUND
+    result.extras["table"] = _render_frontier(frontier)
+
+    # The cheapest scheme whose mean residual meets the default bound,
+    # per operation: the headline frontier reading.
+    ops = sorted({str(point["op"]) for point in frontier})
+    for op in ops:
+        eligible = [
+            point
+            for point in frontier
+            if point["op"] == op
+            and float(point["mean_error"]) <= DEFAULT_ERROR_BOUND  # type: ignore[arg-type]
+        ]
+        if eligible:
+            cheapest = min(eligible, key=lambda p: float(p["cost"]))  # type: ignore[arg-type]
+            result.notes.append(
+                f"{op}: cheapest scheme meeting "
+                f"{DEFAULT_ERROR_BOUND:.0e} is {cheapest['scheme']} at "
+                f"{float(cheapest['cost']):.2f}x throughput"  # type: ignore[arg-type]
+            )
+        else:
+            result.notes.append(
+                f"{op}: no ladder scheme meets {DEFAULT_ERROR_BOUND:.0e}"
+            )
+    reason = static_infeasibility("and", 16)
+    if reason is not None:
+        result.notes.append(
+            "AND n=16 has no frontier point: " + reason
+        )
+    return result

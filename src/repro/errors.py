@@ -94,6 +94,42 @@ class TargetQuarantinedError(ReproError):
     """
 
 
+class ReliabilityError(ReproError):
+    """The reliability engineering layer could not serve a request.
+
+    Base class for :mod:`repro.reliability` failures: malformed schemes,
+    missing policy tables, and untunable configurations.
+    """
+
+
+class ReliabilityUnsatisfiableError(ReliabilityError):
+    """No mitigation scheme can meet the requested error bound.
+
+    Raised instead of silently degrading — e.g. for 16-input AND, whose
+    worst-case sense margin is statically infeasible (Observation 14),
+    no amount of voting or retrying converges, because the failure is
+    deterministic for the boundary data pattern rather than noise.
+
+    ``best_error`` is the lowest residual error any candidate scheme
+    achieved (``None`` when the operation is statically infeasible and
+    no candidate was evaluated at all).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        operation: str = "",
+        fan_in: int = 0,
+        error_bound: float = 0.0,
+        best_error: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.operation = operation
+        self.fan_in = fan_in
+        self.error_bound = error_bound
+        self.best_error = best_error
+
+
 class ReverseEngineeringError(ReproError):
     """A reverse-engineering pass could not reach a conclusion.
 

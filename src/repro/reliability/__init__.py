@@ -1,0 +1,59 @@
+"""Reliability engineering on top of probabilistic in-DRAM logic.
+
+The characterization layers measure *how often* multi-row-activation
+logic succeeds; this package makes it *reliable*: composable
+error-mitigation schemes (:mod:`~repro.reliability.schemes`), an
+auto-tuner that picks the cheapest scheme meeting a caller-specified
+error bound per (operation, fan-in, region, temperature) cell
+(:mod:`~repro.reliability.tuner`), and a persisted policy table the
+runtime consumes (:mod:`~repro.reliability.policy`).
+
+``python -m repro.reliability tune`` drives the tuner from the command
+line; :class:`repro.system.runtime.PudRuntime` consumes the result via
+``submit_job(..., error_bound=...)``.
+"""
+
+from __future__ import annotations
+
+from .policy import PolicyEntry, PolicyTable
+from .schemes import (
+    UNCODED,
+    MitigationScheme,
+    detect_retry_error,
+    expected_attempts,
+    majority_error,
+)
+from .tuner import (
+    DEFAULT_BOUND_MARGIN,
+    DEFAULT_ERROR_BOUND,
+    DEFAULT_P_SLACK,
+    SMOKE_TUNE_GRID,
+    TuneGrid,
+    ValidationReport,
+    candidate_schemes,
+    select_scheme,
+    static_infeasibility,
+    tune,
+    validate_policy,
+)
+
+__all__ = [
+    "MitigationScheme",
+    "UNCODED",
+    "majority_error",
+    "detect_retry_error",
+    "expected_attempts",
+    "PolicyEntry",
+    "PolicyTable",
+    "TuneGrid",
+    "SMOKE_TUNE_GRID",
+    "DEFAULT_ERROR_BOUND",
+    "DEFAULT_P_SLACK",
+    "DEFAULT_BOUND_MARGIN",
+    "candidate_schemes",
+    "select_scheme",
+    "static_infeasibility",
+    "tune",
+    "validate_policy",
+    "ValidationReport",
+]

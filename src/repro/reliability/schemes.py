@@ -1,0 +1,293 @@
+"""Error-mitigation schemes: composable redundancy over unreliable ops.
+
+The paper's in-DRAM operations succeed *probabilistically* — per cell,
+per trial — so a system that promises a caller-specified error bound
+must layer redundancy on top of the substrate.  Three physical levers
+exist, and a :class:`MitigationScheme` composes any subset of them:
+
+* **Space redundancy** (``row_copies``) — one multi-row activation
+  already writes its result into *every* row of the output terminal
+  (the NOT path writes up to 32 copies, an N-input logic op writes N);
+  reading several copies and voting per cell costs extra row reads but
+  no extra activations.
+* **Time redundancy** (``votes``) — execute the whole operation an odd
+  number of times and take a per-cell majority; per-trial noise is
+  independent across repetitions, so a per-op error ``e`` becomes a
+  binomial-tail residual.
+* **Detection and retry** (``max_attempts``) — the AND/OR family
+  produces its complement on the reference terminal *in the same
+  activation* (§6.1.3), so ``primary == NOT(complement)`` is a per-cell
+  consistency check that costs one extra row read.  Inconsistent cells
+  are recomputed, up to a per-attempt budget; undetectable errors are
+  exactly the both-terminals-flipped events.  NOT has no complement
+  terminal, so retry does not apply to it.
+
+Every lever has a closed-form residual-error model (vectorizable over
+per-cell success-probability arrays) and a throughput cost in expected
+op-sequence executions, which is what the auto-tuner
+(:mod:`repro.reliability.tuner`) searches over.
+
+The models assume per-copy/per-repetition independence, which holds for
+trial noise but *not* for the deterministic worst-case-pattern failures
+of statically infeasible operations (Observation 14) — those have
+``p ~ 0`` for the boundary pattern and voting makes them worse, which is
+why the tuner gates on the static sense-margin bound first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Tuple, Union
+
+import numpy as np
+from numpy.typing import NDArray
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "MitigationScheme",
+    "UNCODED",
+    "majority_error",
+    "detect_retry_error",
+    "expected_attempts",
+]
+
+FloatLike = Union[float, NDArray[np.float64]]
+
+#: Operations whose activation yields the complement terminal alongside
+#: the result, enabling consistency-check retry (§6.1.3).
+DETECTABLE_OPS = ("and", "or", "nand", "nor")
+
+
+def majority_error(error: FloatLike, copies: int) -> FloatLike:
+    """P(per-cell majority over ``copies`` independent reads is wrong).
+
+    ``copies`` must be odd; the majority is wrong when more than half
+    the copies are wrong — the upper binomial tail of the per-copy
+    error.  Vectorized over ``error`` arrays.
+
+    >>> round(majority_error(0.1, 3), 4)
+    0.028
+    >>> majority_error(0.25, 1)
+    0.25
+    """
+    if copies < 1 or copies % 2 == 0:
+        raise ConfigurationError(
+            f"majority voting needs an odd copy count, got {copies}"
+        )
+    e = np.asarray(error, dtype=np.float64)
+    if copies == 1:
+        return float(e) if e.ndim == 0 else e
+    ok = 1.0 - e
+    total = np.zeros_like(e)
+    for k in range((copies + 1) // 2, copies + 1):
+        total += math.comb(copies, k) * e**k * ok ** (copies - k)
+    return float(total) if total.ndim == 0 else total
+
+
+def detect_retry_error(
+    error: FloatLike, attempts: int
+) -> Tuple[FloatLike, FloatLike]:
+    """Residual error and detection-failure rate of consistency retry.
+
+    Per attempt, both the primary and the complement terminal are read
+    (each wrong with per-cell probability ``error``, independently).
+    The cell is *accepted* when they are consistent — both right, or
+    both wrong (the undetectable double flip) — and *retried* when
+    exactly one is wrong.  After ``attempts`` tries the cell falls back
+    to the last primary value.
+
+    Returns ``(residual_error, per_attempt_detect_rate)``; the second
+    value feeds :func:`expected_attempts`.
+    """
+    if attempts < 1:
+        raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+    e = np.asarray(error, dtype=np.float64)
+    if attempts == 1:
+        out = float(e) if e.ndim == 0 else e
+        return out, np.zeros_like(e) if e.ndim else 0.0
+    both_wrong = e * e
+    accept = (1.0 - e) ** 2 + both_wrong
+    detect = 1.0 - accept
+    exhaust = detect**attempts
+    # Conditional error given acceptance; given exhaustion, the last
+    # primary is kept and it is the wrong terminal half the... no:
+    # given detection fired, the primary was the wrong one with
+    # probability e(1-e)/detect.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        accepted_bad = np.where(accept > 0, both_wrong / accept, 0.0)
+        primary_bad_given_detect = np.where(
+            detect > 0, e * (1.0 - e) / detect, 0.0
+        )
+    residual = (1.0 - exhaust) * accepted_bad + exhaust * primary_bad_given_detect
+    if np.asarray(residual).ndim == 0:
+        return float(residual), float(detect)
+    return residual, detect
+
+
+def expected_attempts(detect_rate: FloatLike, attempts: int) -> FloatLike:
+    """Expected executions of a detect-retry unit (partial geometric sum).
+
+    >>> expected_attempts(0.0, 3)
+    1.0
+    >>> round(expected_attempts(0.5, 3), 3)
+    1.75
+    """
+    if attempts < 1:
+        raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+    d = np.asarray(detect_rate, dtype=np.float64)
+    total = np.zeros_like(d)
+    for i in range(attempts):
+        total += d**i
+    return float(total) if total.ndim == 0 else total
+
+
+@dataclass(frozen=True)
+class MitigationScheme:
+    """One composition of the three redundancy levers.
+
+    All-ones is the uncoded scheme (:data:`UNCODED`).  Schemes are
+    frozen value objects: the auto-tuner enumerates them, the policy
+    table persists them, and the runtime interprets them.
+    """
+
+    #: Odd number of full executions voted per cell (time redundancy).
+    votes: int = 1
+    #: Odd number of output-terminal rows read and voted per execution
+    #: (space redundancy; capped by the operation's terminal row count).
+    row_copies: int = 1
+    #: Detection-retry budget per voted execution (1 = no retry).
+    max_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for name, value, odd in (
+            ("votes", self.votes, True),
+            ("row_copies", self.row_copies, True),
+            ("max_attempts", self.max_attempts, False),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{name} must be >= 1, got {value}")
+            if odd and value % 2 == 0:
+                raise ConfigurationError(f"{name} must be odd, got {value}")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def uncoded(cls) -> "MitigationScheme":
+        return cls()
+
+    @classmethod
+    def majority_vote(cls, votes: int) -> "MitigationScheme":
+        return cls(votes=votes)
+
+    @classmethod
+    def repetition(cls, row_copies: int) -> "MitigationScheme":
+        return cls(row_copies=row_copies)
+
+    @classmethod
+    def retry(cls, max_attempts: int) -> "MitigationScheme":
+        return cls(max_attempts=max_attempts)
+
+    def with_votes(self, votes: int) -> "MitigationScheme":
+        return replace(self, votes=votes)
+
+    def with_row_copies(self, row_copies: int) -> "MitigationScheme":
+        return replace(self, row_copies=row_copies)
+
+    def with_retry(self, max_attempts: int) -> "MitigationScheme":
+        return replace(self, max_attempts=max_attempts)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def is_uncoded(self) -> bool:
+        return self.votes == 1 and self.row_copies == 1 and self.max_attempts == 1
+
+    @property
+    def label(self) -> str:
+        """Stable human/persistence label, e.g. ``"vote3+rows3+retry2"``.
+
+        >>> MitigationScheme().label
+        'uncoded'
+        >>> MitigationScheme(votes=3, max_attempts=2).label
+        'vote3+retry2'
+        """
+        if self.is_uncoded:
+            return "uncoded"
+        parts: List[str] = []
+        if self.votes > 1:
+            parts.append(f"vote{self.votes}")
+        if self.row_copies > 1:
+            parts.append(f"rows{self.row_copies}")
+        if self.max_attempts > 1:
+            parts.append(f"retry{self.max_attempts}")
+        return "+".join(parts)
+
+    @classmethod
+    def from_label(cls, label: str) -> "MitigationScheme":
+        """Invert :attr:`label` (the policy table's persisted form)."""
+        if label == "uncoded":
+            return cls()
+        votes, row_copies, max_attempts = 1, 1, 1
+        for part in label.split("+"):
+            if part.startswith("vote"):
+                votes = int(part[4:])
+            elif part.startswith("rows"):
+                row_copies = int(part[4:])
+            elif part.startswith("retry"):
+                max_attempts = int(part[5:])
+            else:
+                raise ConfigurationError(f"malformed scheme label {label!r}")
+        return cls(votes=votes, row_copies=row_copies, max_attempts=max_attempts)
+
+    def applicable_to(self, operation: str) -> bool:
+        """Whether every lever this scheme uses exists for ``operation``
+        (retry needs the complement terminal, which NOT lacks)."""
+        return self.max_attempts == 1 or operation in DETECTABLE_OPS
+
+    def capped_to_rows(self, terminal_rows: int) -> "MitigationScheme":
+        """This scheme with ``row_copies`` capped to the rows the output
+        terminal actually provides (kept odd)."""
+        copies = min(self.row_copies, terminal_rows)
+        if copies % 2 == 0:
+            copies -= 1
+        return replace(self, row_copies=max(copies, 1))
+
+    # -- analytics ---------------------------------------------------------
+
+    def predicted_error(self, p: FloatLike) -> FloatLike:
+        """Residual per-cell error at per-read success probability ``p``.
+
+        Composition order mirrors execution: space voting within one
+        activation, consistency retry around it, time voting outermost.
+        Vectorized over per-cell rate arrays (the frontier figure).
+        """
+        e = 1.0 - np.asarray(p, dtype=np.float64)
+        e_space = majority_error(e, self.row_copies)
+        e_unit, _detect = detect_retry_error(e_space, self.max_attempts)
+        return majority_error(e_unit, self.votes)
+
+    def expected_cost(self, p: FloatLike) -> FloatLike:
+        """Expected op-sequence executions per logical operation.
+
+        Activations dominate the throughput account (Buddy-RAM ground
+        rules: row reads ride the same bus either way, the multi-row
+        activation is the unit of in-DRAM work), so cost is measured in
+        expected executions: ``votes x E[attempts]``.
+        """
+        e = 1.0 - np.asarray(p, dtype=np.float64)
+        e_space = majority_error(e, self.row_copies)
+        _unit, detect = detect_retry_error(e_space, self.max_attempts)
+        attempts = expected_attempts(detect, self.max_attempts)
+        cost = self.votes * np.asarray(attempts, dtype=np.float64)
+        return float(cost) if cost.ndim == 0 else cost
+
+    def reads_per_execution(self) -> int:
+        """Row reads per execution: the voted copies plus, with retry
+        enabled, the complement-terminal copies for the check."""
+        return self.row_copies * (2 if self.max_attempts > 1 else 1)
+
+
+#: The identity scheme: one execution, one copy, no retry.
+UNCODED = MitigationScheme()

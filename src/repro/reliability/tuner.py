@@ -1,0 +1,378 @@
+"""The reliability auto-tuner: cheapest scheme meeting a target bound.
+
+For every *(operation, fan-in, distance class, temperature)* cell of a
+:class:`TuneGrid`, the tuner:
+
+1. **Gates statically.**  The charge algebra decides some configurations
+   before any trial runs: a non-positive worst-case sense margin
+   (:func:`repro.dram.analog.worst_case_sense_margin`, Observation 14)
+   means the boundary data pattern fails *deterministically*, so no
+   amount of voting or retrying — which assume independent per-trial
+   noise — converges.  Such cells are recorded unsatisfiable.
+2. **Reads the substrate.**  The per-cell success probability comes
+   from a :class:`~repro.substrate.base.SubstrateBackend` that can
+   serve estimates (in practice the fitted surrogate, which is what
+   makes the search affordable); a safety *slack* is subtracted to
+   cover the surrogate's fit tolerance, so a scheme selected here still
+   validates when replayed against the analog reference.
+3. **Searches scheme space.**  Candidate
+   :class:`~repro.reliability.schemes.MitigationScheme` compositions
+   (votes x row copies x retry budget, capped to what the operation's
+   output terminal physically provides) are ranked by expected cost;
+   the cheapest one whose predicted residual error meets the bound
+   wins.  When none does, the cell is recorded unsatisfiable with the
+   best error any candidate achieved.
+
+:func:`validate_policy` closes the loop: it re-derives per-cell
+probabilities from the *analog* reference (via a fresh surrogate fit at
+an independent seed) and checks every tuned cell still meets its bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from ..dram.analog import worst_case_sense_margin
+from ..dram.calibration import REFERENCE_CALIBRATION
+from ..errors import ReliabilityError, ReliabilityUnsatisfiableError
+from .policy import ANY_DISTANCE, PolicyEntry, PolicyTable
+from .schemes import MitigationScheme
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (avoids a cycle:
+    # substrate -> characterization -> experiments -> this module)
+    from ..substrate.base import SubstrateBackend
+
+__all__ = [
+    "TuneGrid",
+    "SMOKE_TUNE_GRID",
+    "DEFAULT_ERROR_BOUND",
+    "DEFAULT_P_SLACK",
+    "DEFAULT_BOUND_MARGIN",
+    "candidate_schemes",
+    "select_scheme",
+    "static_infeasibility",
+    "tune",
+    "validate_policy",
+    "ValidationReport",
+]
+
+#: Default target per-cell error bound (ISSUE acceptance criterion).
+DEFAULT_ERROR_BOUND = 1e-3
+
+#: Safety margin subtracted from served probabilities before selection.
+#: The surrogate fit guarantees |fitted - analog| <= 0.02 per cell, so
+#: engineering against ``p - 0.02`` keeps analog replay within bound.
+DEFAULT_P_SLACK = 0.02
+
+#: Error-space safety factor: schemes are selected to reach
+#: ``bound * margin`` so that the residual keeps meeting the *full*
+#: bound under the surrogate's sampling noise.  Residual error is a
+#: steep (binomial-tail) function of ``p``, so a modest probability
+#: shift between fits can inflate the residual severalfold — headroom
+#: in error space is the robust guard, and it is cheap: one extra vote
+#: level typically buys an order of magnitude.
+DEFAULT_BOUND_MARGIN = 0.25
+
+#: Ops whose activation kind supports which family of fan-ins.
+_LOGIC_OPS = ("and", "or", "nand", "nor")
+_STATIC_BASE = {"nand": "and", "nor": "or"}
+
+
+@dataclass(frozen=True)
+class TuneGrid:
+    """The (operation, fan-in, distance, temperature) cells to tune."""
+
+    logic_ops: Tuple[str, ...] = _LOGIC_OPS
+    logic_fan_ins: Tuple[int, ...] = (2, 4, 8, 16)
+    not_fan_ins: Tuple[int, ...] = (1, 2, 4, 8, 16)
+    distances: Tuple[str, ...] = (ANY_DISTANCE,)
+    temperatures: Tuple[float, ...] = (50.0, 70.0, 90.0)
+    #: Largest odd vote count the search considers.
+    max_votes: int = 9
+    #: Largest detect-retry budget the search considers.
+    max_attempts: int = 4
+
+    def cells(self) -> List[Tuple[str, int, str, float]]:
+        out: List[Tuple[str, int, str, float]] = []
+        for operation in self.logic_ops:
+            for fan_in in self.logic_fan_ins:
+                for distance in self.distances:
+                    for temperature in self.temperatures:
+                        out.append((operation, fan_in, distance, temperature))
+        if "not" in self.logic_ops:
+            raise ReliabilityError(
+                "list NOT fan-ins via not_fan_ins, not logic_ops"
+            )
+        for fan_in in self.not_fan_ins:
+            for distance in self.distances:
+                for temperature in self.temperatures:
+                    out.append(("not", fan_in, distance, temperature))
+        return out
+
+
+#: Tiny grid for unit tests and the CI smoke job.
+SMOKE_TUNE_GRID = TuneGrid(
+    logic_ops=("and", "nand"),
+    logic_fan_ins=(2, 16),
+    not_fan_ins=(2,),
+    temperatures=(50.0,),
+    max_votes=9,
+    max_attempts=3,
+)
+
+
+def terminal_rows(operation: str, fan_in: int) -> int:
+    """Rows of the output terminal: how many result copies one
+    activation physically writes (the space-redundancy ceiling).
+
+    An N-input AND/OR replicates the result over the N compute-terminal
+    rows; NAND/NOR land on the N reference-terminal rows; a NOT with
+    ``fan_in`` destination rows writes that many copies (up to 32).
+    """
+    return int(fan_in)
+
+
+def static_infeasibility(operation: str, fan_in: int) -> Optional[str]:
+    """Why (operation, fan-in) is statically infeasible, or ``None``.
+
+    Evaluates the worst-case sense-margin bound at the reference
+    calibration; NOT is a plain two-row activation with no multi-input
+    charge fight, so it never trips this gate.
+    """
+    if operation not in _LOGIC_OPS:
+        return None
+    base_op = _STATIC_BASE.get(operation, operation)
+    bound = worst_case_sense_margin(base_op, fan_in, REFERENCE_CALIBRATION)
+    if bound.feasible:
+        return None
+    return (
+        f"worst-case sense margin {bound.net_margin:+.4f} VDD <= 0 "
+        f"(Observation 14: the {bound.worst_case} boundary pattern fails "
+        "deterministically; redundancy cannot converge)"
+    )
+
+
+def candidate_schemes(operation: str, fan_in: int, grid: TuneGrid) -> (
+    List[MitigationScheme]
+):
+    """All scheme compositions the search ranks for one cell.
+
+    Row copies are capped by the output terminal's physical row count
+    and retry is restricted to operations with a complement terminal.
+    """
+    rows = terminal_rows(operation, fan_in)
+    copy_options = [c for c in range(1, rows + 1, 2)]
+    vote_options = [v for v in range(1, grid.max_votes + 1, 2)]
+    attempt_options = list(range(1, grid.max_attempts + 1))
+    out: List[MitigationScheme] = []
+    for votes in vote_options:
+        for copies in copy_options:
+            for attempts in attempt_options:
+                scheme = MitigationScheme(
+                    votes=votes, row_copies=copies, max_attempts=attempts
+                )
+                if scheme.applicable_to(operation):
+                    out.append(scheme)
+    return out
+
+
+def select_scheme(
+    operation: str,
+    fan_in: int,
+    probability: float,
+    error_bound: float,
+    grid: TuneGrid,
+    bound_margin: float = DEFAULT_BOUND_MARGIN,
+) -> Tuple[MitigationScheme, float, float]:
+    """The cheapest scheme meeting ``error_bound`` at ``probability``.
+
+    Selection targets ``error_bound * bound_margin`` so that the chosen
+    scheme keeps meeting the full bound when replayed at a slightly
+    different probability (see :data:`DEFAULT_BOUND_MARGIN`).  Returns
+    ``(scheme, predicted_error, expected_cost)``; raises
+    :class:`~repro.errors.ReliabilityUnsatisfiableError` when no
+    candidate converges (carrying the best error achieved) or when the
+    configuration is statically infeasible (Observation 14).
+    """
+    reason = static_infeasibility(operation, fan_in)
+    if reason is not None:
+        raise ReliabilityUnsatisfiableError(
+            f"{operation} n={fan_in} is statically infeasible: {reason}",
+            operation=operation,
+            fan_in=fan_in,
+            error_bound=error_bound,
+        )
+    target = error_bound * bound_margin
+    best: Optional[Tuple[float, int, MitigationScheme, float]] = None
+    best_error: Optional[float] = None
+    for scheme in candidate_schemes(operation, fan_in, grid):
+        predicted = float(scheme.predicted_error(probability))
+        if best_error is None or predicted < best_error:
+            best_error = predicted
+        if predicted > target:
+            continue
+        cost = float(scheme.expected_cost(probability))
+        ranked = (cost, scheme.reads_per_execution(), scheme, predicted)
+        if best is None or ranked[:2] < best[:2]:
+            best = ranked
+    if best is None:
+        raise ReliabilityUnsatisfiableError(
+            f"{operation} n={fan_in}: no scheme reaches {error_bound:.1e} "
+            f"(engineering target {target:.1e}) at p={probability:.4f} "
+            f"(best residual {best_error:.2e})",
+            operation=operation,
+            fan_in=fan_in,
+            error_bound=error_bound,
+            best_error=best_error,
+        )
+    cost, _reads, scheme, predicted = best
+    return scheme, predicted, cost
+
+
+def tune(
+    backend: SubstrateBackend,
+    grid: TuneGrid = TuneGrid(),
+    error_bound: float = DEFAULT_ERROR_BOUND,
+    p_slack: float = DEFAULT_P_SLACK,
+    bound_margin: float = DEFAULT_BOUND_MARGIN,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PolicyTable:
+    """Tune every grid cell against ``backend`` into a policy table.
+
+    ``backend`` must serve probability estimates (the surrogate does;
+    the analog reference answers ``None`` and cannot drive a search).
+    Cells the backend has no estimate for are skipped — they stay
+    untuned rather than guessed.
+    """
+    table = PolicyTable(
+        meta={
+            "backend": getattr(backend, "name", "substrate"),
+            "error_bound": error_bound,
+            "p_slack": p_slack,
+            "bound_margin": bound_margin,
+            "grid": {
+                "logic_ops": list(grid.logic_ops),
+                "logic_fan_ins": list(grid.logic_fan_ins),
+                "not_fan_ins": list(grid.not_fan_ins),
+                "distances": list(grid.distances),
+                "temperatures": list(grid.temperatures),
+                "max_votes": grid.max_votes,
+                "max_attempts": grid.max_attempts,
+            },
+        }
+    )
+    served = 0
+    for operation, fan_in, distance, temperature in grid.cells():
+        key = (operation, fan_in, distance, temperature)
+        reason = static_infeasibility(operation, fan_in)
+        if reason is not None:
+            table.set_unsatisfiable(key, reason)
+            if progress is not None:
+                progress(f"{operation} n={fan_in}: statically infeasible")
+            continue
+        probability = backend.probability(
+            operation,
+            fan_in,
+            temperature_c=temperature,
+            distance=distance,
+        )
+        if probability is None:
+            if progress is not None:
+                progress(f"{operation} n={fan_in} @{temperature:g}C: no data")
+            continue
+        served += 1
+        engineered = min(max(probability - p_slack, 0.0), 1.0)
+        try:
+            scheme, predicted, cost = select_scheme(
+                operation, fan_in, engineered, error_bound, grid,
+                bound_margin=bound_margin,
+            )
+        except ReliabilityUnsatisfiableError as error:
+            table.set_unsatisfiable(key, str(error))
+            if progress is not None:
+                progress(f"{operation} n={fan_in}: unsatisfiable")
+            continue
+        table.set(
+            key,
+            PolicyEntry(
+                scheme=scheme,
+                probability=engineered,
+                predicted_error=predicted,
+                expected_cost=cost,
+                error_bound=error_bound,
+            ),
+        )
+        if progress is not None:
+            progress(
+                f"{operation} n={fan_in} {distance} @{temperature:g}C -> "
+                f"{scheme.label} (err {predicted:.2e}, cost {cost:.2f}x)"
+            )
+    if served == 0 and len(table) == 0:
+        raise ReliabilityError(
+            f"backend {getattr(backend, 'name', backend)!r} served no "
+            "probability estimates; fit a surrogate table first "
+            "(`python -m repro.substrate fit`) and tune against it"
+        )
+    return table
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of replaying a policy table against the analog reference."""
+
+    checked: int
+    skipped: int
+    #: ``(operation, fan_in, distance, temperature, analog_error)`` of
+    #: every tuned cell whose scheme misses its bound at the analog
+    #: probability.
+    violations: Tuple[Tuple[str, int, str, float, float], ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def validate_policy(
+    table: PolicyTable,
+    reference: SubstrateBackend,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ValidationReport:
+    """Check every tuned cell against an independent reference backend.
+
+    ``reference`` is typically a surrogate fitted *from the analog
+    model at a different seed* than the tuning table (fit RNG streams
+    are disjoint from sweep streams, so this is analog data the tuner
+    never saw).  A cell whose scheme's predicted error at the reference
+    probability exceeds its recorded bound is a violation; cells the
+    reference cannot answer are counted skipped.
+    """
+    violations: List[Tuple[str, int, str, float, float]] = []
+    checked = 0
+    skipped = 0
+    for (operation, fan_in, distance, temperature), entry in table:
+        probability = reference.probability(
+            operation,
+            fan_in,
+            temperature_c=temperature,
+            distance=distance,
+        )
+        if probability is None:
+            skipped += 1
+            continue
+        checked += 1
+        analog_error = float(entry.scheme.predicted_error(probability))
+        status = "ok" if analog_error <= entry.error_bound else "VIOLATION"
+        if progress is not None:
+            progress(
+                f"{operation} n={fan_in} {distance} @{temperature:g}C: "
+                f"analog err {analog_error:.2e} vs bound "
+                f"{entry.error_bound:.1e} [{status}]"
+            )
+        if analog_error > entry.error_bound:
+            violations.append(
+                (operation, fan_in, distance, temperature, analog_error)
+            )
+    return ValidationReport(
+        checked=checked, skipped=skipped, violations=tuple(violations)
+    )

@@ -5,6 +5,18 @@
   manual row management.
 """
 
-from .runtime import PudRuntime, RuntimeStats, VectorHandle
+from .runtime import (
+    JobResult,
+    PudRuntime,
+    RuntimeStats,
+    TenantStats,
+    VectorHandle,
+)
 
-__all__ = ["PudRuntime", "RuntimeStats", "VectorHandle"]
+__all__ = [
+    "JobResult",
+    "PudRuntime",
+    "RuntimeStats",
+    "TenantStats",
+    "VectorHandle",
+]

@@ -41,6 +41,18 @@ the runtime places them in operation-compatible rows and moves data —
   the highest estimate and skips blocks below ``min_block_success``;
   with the default analog backend (no estimates) selection keeps the
   historical smallest-sufficient-fan-in policy, bit-identically.
+* **Bounded-error execution** — ``submit_job(..., error_bound=...)``
+  runs *without* an oracle: the runtime picks a
+  :class:`~repro.reliability.schemes.MitigationScheme` (from a tuned
+  :class:`~repro.reliability.policy.PolicyTable` or on the fly from
+  backend estimates), then encodes, votes, and retries transparently.
+  Voting is a controller-side decide — the runtime reads the replicated
+  output-terminal rows, takes per-lane majorities, and re-stages the
+  decided bits as a fresh vector (one counted host transfer), exactly
+  like the monotone-closure staging above.  When no non-quarantined
+  block has a scheme meeting the bound, the job raises a typed
+  :class:`~repro.errors.ReliabilityUnsatisfiableError` instead of
+  silently degrading.
 
 All computation happens on the *shared columns* of the subarray pair:
 a vector holds ``lane_count`` bits, one per shared sense amplifier.
@@ -48,8 +60,9 @@ a vector holds ``lane_count`` bits, one per shared sense amplifier.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -60,11 +73,51 @@ from ..core.logic import LogicOperation, ideal_output
 from ..core.not_op import NotOperation
 from ..core.rowclone import rowclone
 from ..dram.decoder import ActivationKind
-from ..errors import ReproError, ReverseEngineeringError
+from ..errors import (
+    ReliabilityError,
+    ReliabilityUnsatisfiableError,
+    ReproError,
+    ReverseEngineeringError,
+)
+from ..reliability.policy import PolicyTable
+from ..reliability.schemes import MitigationScheme
+from ..reliability.tuner import DEFAULT_P_SLACK, TuneGrid, select_scheme
 
-__all__ = ["PudRuntime", "VectorHandle", "RuntimeStats", "JobResult"]
+__all__ = [
+    "PudRuntime",
+    "VectorHandle",
+    "RuntimeStats",
+    "TenantStats",
+    "JobResult",
+]
 
 _FANINS = (2, 4, 8, 16)
+
+
+@dataclass
+class TenantStats:
+    """Per-tenant slice of the runtime's accounting.
+
+    Jobs name their tenant via ``submit_job(..., tenant=...)``; every
+    primitive the job issues is charged here as well as to the global
+    :class:`RuntimeStats`, so a multi-tenant service can attribute
+    reliability overhead (votes, retries) to the workload that paid it.
+    """
+
+    jobs: int = 0
+    encoded_jobs: int = 0
+    logic_ops: int = 0
+    votes_cast: int = 0
+    op_retries: int = 0
+    host_transfers: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.jobs} jobs ({self.encoded_jobs} encoded), "
+            f"{self.logic_ops} logic ops, {self.votes_cast} votes, "
+            f"{self.op_retries} retries, {self.host_transfers} host "
+            "stagings"
+        )
 
 
 @dataclass
@@ -72,7 +125,12 @@ class RuntimeStats:
     """Counts of the primitives the runtime issued.
 
     ``host_transfers`` counts controller stagings (row read + write):
-    the cost of computing beyond the in-DRAM monotone closure.
+    the cost of computing beyond the in-DRAM monotone closure.  The
+    reliability counters attribute mitigation overhead: ``votes_cast``
+    is total voted executions, ``op_retries`` is extra detect-retry
+    executions beyond the first attempt, ``encoded_jobs`` counts
+    bounded-error job submissions, and ``mitigation_fallbacks`` counts
+    blocks skipped because no scheme met the bound there.
     """
 
     logic_ops: int = 0
@@ -82,32 +140,61 @@ class RuntimeStats:
     jobs_submitted: int = 0
     verify_failures: int = 0
     failovers: int = 0
+    votes_cast: int = 0
+    op_retries: int = 0
+    encoded_jobs: int = 0
+    mitigation_fallbacks: int = 0
+    per_tenant: Dict[str, TenantStats] = field(default_factory=dict)
 
     @property
     def total_programs(self) -> int:
         return self.logic_ops + self.not_ops + self.rowclones
 
-    def __str__(self) -> str:  # pragma: no cover - display helper
-        return (
+    def tenant(self, name: str) -> TenantStats:
+        """The (auto-created) accounting slice for one tenant."""
+        return self.per_tenant.setdefault(name, TenantStats())
+
+    def __str__(self) -> str:
+        text = (
             f"{self.logic_ops} logic ops, {self.not_ops} NOTs, "
             f"{self.rowclones} RowClones, {self.host_transfers} host "
             "stagings"
         )
+        if self.encoded_jobs or self.votes_cast or self.op_retries:
+            text += (
+                f"; reliability: {self.encoded_jobs} encoded jobs, "
+                f"{self.votes_cast} votes, {self.op_retries} retries, "
+                f"{self.mitigation_fallbacks} fallbacks"
+            )
+        return text
+
+    def describe_tenants(self) -> List[str]:
+        """One accounting line per tenant, sorted by name."""
+        return [
+            f"{name}: {stats}"
+            for name, stats in sorted(self.per_tenant.items())
+        ]
 
 
 @dataclass(frozen=True)
 class JobResult:
-    """Outcome of one verified :meth:`PudRuntime.submit_job`."""
+    """Outcome of one :meth:`PudRuntime.submit_job`."""
 
-    #: The verified per-lane output bits.
+    #: The per-lane output bits (oracle-verified on the legacy path,
+    #: mitigation-decided on the bounded-error path).
     output: np.ndarray
     op: str
-    #: The (side, fan-in) operation block that produced the verified run.
+    #: The (side, fan-in) operation block that produced the result.
     block: Tuple[int, int]
-    #: Execution attempts, counting the verified one.
+    #: Execution attempts, counting the successful one.
     attempts: int
     #: Blocks quarantined by this job's verification failures.
     quarantined: Tuple[Tuple[int, int], ...]
+    #: Mitigation scheme label on the bounded-error path (``None`` on
+    #: the legacy oracle-verified path).
+    scheme: Optional[str] = None
+    #: Voted executions the bounded-error path ran (0 on legacy path).
+    votes: int = 0
 
 
 @dataclass(frozen=True)
@@ -134,6 +221,7 @@ class PudRuntime:
         seed: int = 0,
         backend: object = None,
         min_block_success: float = 0.0,
+        policy: Union[PolicyTable, str, None] = None,
     ):
         self.host = host
         self.bank = bank
@@ -145,6 +233,9 @@ class PudRuntime:
             from ..substrate.base import resolve_backend
 
             self._backend = resolve_backend(backend)
+        self._policy: Optional[PolicyTable] = (
+            PolicyTable.load(policy) if isinstance(policy, str) else policy
+        )
         self.min_block_success = float(min_block_success)
         self._quarantined: Set[Tuple[int, int]] = set()
 
@@ -277,19 +368,48 @@ class PudRuntime:
         rowclone(self.host, self.bank, src_row, dst_row)
         self.stats.rowclones += 1
 
-    def not_(self, handle: VectorHandle) -> VectorHandle:
-        """In-DRAM NOT: the result lands on the *other* side."""
+    def not_(
+        self,
+        handle: VectorHandle,
+        scheme: Optional[MitigationScheme] = None,
+    ) -> VectorHandle:
+        """In-DRAM NOT: the result lands on the *other* side.
+
+        With a :class:`~repro.reliability.schemes.MitigationScheme`,
+        the runtime votes per lane across the destination-row copies
+        and across ``scheme.votes`` repeated executions, then re-stages
+        the decided bits (one counted host transfer).  NOT has no
+        complement terminal, so retry schemes are rejected.
+        """
         self._check(handle)
         operation = self._not[handle.side]
+        if scheme is not None and not scheme.applicable_to("not"):
+            raise ReliabilityError(
+                f"scheme {scheme.label!r} uses detect-retry, which NOT "
+                "cannot support (no complement terminal, §6.1.3)"
+            )
         # Move the operand into the NOT source row (same subarray).
         if handle.row != operation.src_row:
             self._clone(handle.row, operation.src_row)
-        operation.execute()
-        self.stats.not_ops += 1
-        result_row = operation.destination_rows()[0]
-        out = self._allocate(1 - handle.side)
-        self._clone(result_row, out.row)
-        return out
+        if scheme is None or scheme.is_uncoded:
+            operation.execute()
+            self.stats.not_ops += 1
+            result_row = operation.destination_rows()[0]
+            out = self._allocate(1 - handle.side)
+            self._clone(result_row, out.row)
+            return out
+
+        destinations = operation.destination_rows()
+        scheme = scheme.capped_to_rows(len(destinations))
+        tally = np.zeros(self.lane_count, dtype=np.int64)
+        for _vote in range(scheme.votes):
+            operation.execute()
+            self.stats.not_ops += 1
+            self.stats.votes_cast += 1
+            tally += self._read_vote(destinations[: scheme.row_copies])
+        decided = (tally * 2 > scheme.votes).astype(np.uint8)
+        self.stats.host_transfers += 1
+        return self.store(decided, side=1 - handle.side)
 
     def move(self, handle: VectorHandle, side: int) -> VectorHandle:
         """Polarity-preserving move to ``side``.
@@ -312,20 +432,36 @@ class PudRuntime:
     # computation
     # ------------------------------------------------------------------
 
-    def block_estimate(self, n: int) -> Optional[float]:
-        """Estimated per-cell success probability of a fan-in-``n`` AND
-        block at the current temperature, or ``None`` when the backend
-        cannot estimate without measuring (the analog model)."""
+    def block_estimate(self, n: int, op: str = "and") -> Optional[float]:
+        """Estimated per-cell success probability of a fan-in-``n``
+        ``op`` block at the current temperature, or ``None`` when the
+        backend cannot estimate without measuring (the analog model)."""
         if self._backend is None:
             return None
         return self._backend.probability(
-            "and", n, temperature_c=float(self.host.module.temperature_c)
+            op, n, temperature_c=float(self.host.module.temperature_c)
         )
 
     def quarantine_block(self, side: int, n: int) -> None:
-        """Exclude an operation block from placement (failed hardware)."""
+        """Exclude an operation block from placement (failed hardware).
+
+        A fan-in larger than any block on ``side`` is clamped to the
+        largest available one (with a warning) — callers quarantining
+        "the biggest block" must not silently miss; a fan-in that is
+        not a block at all is still rejected.
+        """
         if (side, n) not in self._logic:
-            raise ReproError(f"no operation block (side={side}, n={n})")
+            available = sorted(m for s, m in self._logic if s == side)
+            if available and n > available[-1]:
+                warnings.warn(
+                    f"quarantine_block: no fan-in-{n} block on side "
+                    f"{side}; clamping to the largest available "
+                    f"({available[-1]})",
+                    stacklevel=2,
+                )
+                n = available[-1]
+            else:
+                raise ReproError(f"no operation block (side={side}, n={n})")
         self._quarantined.add((side, n))
 
     def quarantined_blocks(self) -> Set[Tuple[int, int]]:
@@ -367,21 +503,13 @@ class PudRuntime:
             return self._logic[(side, best[0])], best[0]
         return self._logic[(side, candidates[0][0])], candidates[0][0]
 
-    def _logic_apply(
+    def _execute_block(
         self,
         op: str,
         handles: Sequence[VectorHandle],
-        block: Optional[Tuple[LogicOperation, int]] = None,
-    ) -> VectorHandle:
-        for handle in handles:
-            self._check(handle)
-        side = handles[0].side
-        if any(h.side != side for h in handles):
-            raise ReproError("operands must be on one side; use move()")
-
-        operation, n = block if block is not None else self._block_for(
-            side, len(handles)
-        )
+        operation: LogicOperation,
+    ) -> LogicOperation:
+        """Stage operands into a block and run one ``op`` activation."""
         base = LogicOperation(
             self.host,
             self.bank,
@@ -399,6 +527,24 @@ class PudRuntime:
                 self.host.fill_row(self.bank, compute_row, pad)
         base.execute()
         self.stats.logic_ops += 1
+        return base
+
+    def _logic_apply(
+        self,
+        op: str,
+        handles: Sequence[VectorHandle],
+        block: Optional[Tuple[LogicOperation, int]] = None,
+    ) -> VectorHandle:
+        for handle in handles:
+            self._check(handle)
+        side = handles[0].side
+        if any(h.side != side for h in handles):
+            raise ReproError("operands must be on one side; use move()")
+
+        operation, n = block if block is not None else self._block_for(
+            side, len(handles)
+        )
+        base = self._execute_block(op, handles, operation)
 
         # The result sits in every row of the output terminal; clone the
         # first one into a fresh slot on the result's side.
@@ -409,6 +555,132 @@ class PudRuntime:
         out = self._allocate(result_side)
         self._clone(result_rows[0], out.row)
         return out
+
+    # ------------------------------------------------------------------
+    # mitigated (bounded-error) computation
+    # ------------------------------------------------------------------
+
+    def _read_vote(self, rows: Sequence[int]) -> np.ndarray:
+        """Per-lane majority over the shared columns of ``rows``."""
+        tally = np.zeros(self.lane_count, dtype=np.int64)
+        for row in rows:
+            bits = self.host.peek_row(self.bank, row)
+            tally += bits[self.shared_columns]
+        return (tally * 2 > len(rows)).astype(np.uint8)
+
+    def _mitigated_logic_apply(
+        self,
+        op: str,
+        handles: Sequence[VectorHandle],
+        scheme: MitigationScheme,
+        block: Tuple[LogicOperation, int],
+        tenant: Optional[TenantStats] = None,
+    ) -> VectorHandle:
+        """Run ``op`` under ``scheme``: row-copy vote within each
+        activation, complement-consistency retry around it, time vote
+        outermost; the decided bits are re-staged through the
+        controller (one counted host transfer)."""
+        for handle in handles:
+            self._check(handle)
+        side = handles[0].side
+        if any(h.side != side for h in handles):
+            raise ReproError("operands must be on one side; use move()")
+        operation, n = block
+        scheme = scheme.capped_to_rows(n)
+
+        tally = np.zeros(self.lane_count, dtype=np.int64)
+        for _vote in range(scheme.votes):
+            accepted = np.zeros(self.lane_count, dtype=bool)
+            value = np.zeros(self.lane_count, dtype=np.uint8)
+            for attempt in range(scheme.max_attempts):
+                if attempt > 0:
+                    self.stats.op_retries += 1
+                    if tenant is not None:
+                        tenant.op_retries += 1
+                base = self._execute_block(op, handles, operation)
+                if tenant is not None:
+                    tenant.logic_ops += 1
+                primary_rows = (
+                    base.compute_rows
+                    if op in ("and", "or")
+                    else base.reference_rows
+                )
+                primary = self._read_vote(primary_rows[: scheme.row_copies])
+                if scheme.max_attempts > 1:
+                    complement_rows = (
+                        base.reference_rows
+                        if op in ("and", "or")
+                        else base.compute_rows
+                    )
+                    complement = self._read_vote(
+                        complement_rows[: scheme.row_copies]
+                    )
+                    consistent = primary == 1 - complement
+                else:
+                    consistent = np.ones(self.lane_count, dtype=bool)
+                settle = ~accepted & (
+                    consistent
+                    if attempt < scheme.max_attempts - 1
+                    else np.ones(self.lane_count, dtype=bool)
+                )
+                value[settle] = primary[settle]
+                accepted |= settle
+                if bool(accepted.all()):
+                    break
+            tally += value
+            self.stats.votes_cast += 1
+            if tenant is not None:
+                tenant.votes_cast += 1
+
+        decided = (tally * 2 > scheme.votes).astype(np.uint8)
+        result_side = side if op in ("and", "or") else 1 - side
+        self.stats.host_transfers += 1
+        if tenant is not None:
+            tenant.host_transfers += 1
+        return self.store(decided, side=result_side)
+
+    def _scheme_for_block(
+        self, op: str, n: int, error_bound: float
+    ) -> MitigationScheme:
+        """The mitigation scheme serving (``op``, fan-in ``n``) at
+        ``error_bound``, from the policy table first, else selected on
+        the fly from a backend estimate.
+
+        Raises :class:`~repro.errors.ReliabilityUnsatisfiableError`
+        when the cell cannot meet the bound and
+        :class:`~repro.errors.ReliabilityError` when the runtime has no
+        way to bound the error at all (no policy, no estimates).
+        """
+        temperature = float(self.host.module.temperature_c)
+        if self._policy is not None:
+            try:
+                entry = self._policy.scheme_for(
+                    op, n, temperature_c=temperature
+                )
+                if entry.error_bound <= error_bound:
+                    return entry.scheme
+            except ReliabilityUnsatisfiableError:
+                raise
+            except ReliabilityError:
+                pass  # untuned cell: fall through to the backend
+        estimate = self.block_estimate(n, op=op)
+        if estimate is None:
+            if self._policy is not None:
+                raise ReliabilityError(
+                    f"policy table has no entry for {op!r} n={n} at a "
+                    f"bound <= {error_bound:.1e} and the backend serves "
+                    "no estimates; re-tune with this cell in the grid"
+                )
+            raise ReliabilityError(
+                "bounded-error jobs need a policy table or a backend "
+                "that serves probability estimates (the surrogate); "
+                "construct PudRuntime(policy=...) or (backend=...)"
+            )
+        engineered = min(max(estimate - DEFAULT_P_SLACK, 0.0), 1.0)
+        scheme, _error, _cost = select_scheme(
+            op, n, engineered, error_bound, TuneGrid()
+        )
+        return scheme
 
     def and_(self, *handles: VectorHandle) -> VectorHandle:
         return self._logic_apply("and", self._colocate(handles))
@@ -443,10 +715,13 @@ class PudRuntime:
         operands: Sequence[np.ndarray],
         side: int = 1,
         max_failovers: int = 4,
+        error_bound: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> JobResult:
-        """Run ``op`` over ``operands`` end to end, verified.
+        """Run ``op`` over ``operands`` end to end.
 
-        The job stores its operands, executes on the best eligible
+        **Legacy (oracle-verified) path** — with ``error_bound=None``
+        the job stores its operands, executes on the best eligible
         operation block, and verifies the loaded result against the
         ideal Boolean output.  A verification failure quarantines the
         block and *fails over*: first to another block on the same side,
@@ -455,6 +730,20 @@ class PudRuntime:
         ``max_failovers + 1`` failed attempts), or when no eligible
         block remains, the job raises
         :class:`~repro.errors.ReproError` with the blocks it consumed.
+
+        **Bounded-error path** — with ``error_bound`` set the job runs
+        *without* an oracle: the runtime picks the mitigation scheme
+        serving the block's (op, fan-in) cell at the bound (tuned
+        policy table first, on-the-fly selection from backend estimates
+        otherwise), encodes, votes, and retries transparently.  Blocks
+        whose cell cannot meet the bound are skipped
+        (``stats.mitigation_fallbacks``); when no non-quarantined block
+        on either side can, the job raises
+        :class:`~repro.errors.ReliabilityUnsatisfiableError` instead of
+        silently degrading.
+
+        ``tenant`` attributes the job's primitives to a named
+        per-tenant accounting slice (``stats.per_tenant``).
 
         Temporary vector slots are always released, success or failure.
         """
@@ -471,6 +760,13 @@ class PudRuntime:
             expected = 1 - expected
 
         self.stats.jobs_submitted += 1
+        tenant_stats = self.stats.tenant(tenant) if tenant else None
+        if tenant_stats is not None:
+            tenant_stats.jobs += 1
+        if error_bound is not None:
+            return self._submit_bounded(
+                op, arrays, side, float(error_bound), tenant_stats
+            )
         handles = [self.store(bits, side=side) for bits in arrays]
         newly_quarantined: List[Tuple[int, int]] = []
         attempts = 0
@@ -512,6 +808,88 @@ class PudRuntime:
                         f"{newly_quarantined}"
                     )
                 self.stats.failovers += 1
+        finally:
+            for handle in handles:
+                self.free(handle)
+
+    def _submit_bounded(
+        self,
+        op: str,
+        arrays: List[np.ndarray],
+        side: int,
+        error_bound: float,
+        tenant_stats: Optional[TenantStats],
+    ) -> JobResult:
+        """The bounded-error job path (see :meth:`submit_job`)."""
+        self.stats.encoded_jobs += 1
+        if tenant_stats is not None:
+            tenant_stats.encoded_jobs += 1
+        count = len(arrays)
+        candidates: List[Tuple[int, int]] = [
+            (block_side, n)
+            for block_side in (side, 1 - side)
+            for n in _FANINS
+            if n >= count
+            and (block_side, n) in self._logic
+            and (block_side, n) not in self._quarantined
+        ]
+        if not candidates:
+            raise ReproError(
+                f"no operation block with fan-in >= {count} on either "
+                "side (Limitation 2 caps fan-in at 16; quarantine "
+                "further narrows the pool)"
+            )
+        handles = [self.store(bits, side=side) for bits in arrays]
+        current_side = side
+        best_error: Optional[float] = None
+        try:
+            for block_side, n in candidates:
+                try:
+                    scheme = self._scheme_for_block(op, n, error_bound)
+                except ReliabilityUnsatisfiableError as error:
+                    if error.best_error is not None and (
+                        best_error is None or error.best_error < best_error
+                    ):
+                        best_error = error.best_error
+                    self.stats.mitigation_fallbacks += 1
+                    continue
+                if block_side != current_side:
+                    handles = [
+                        self.move(handle, block_side) for handle in handles
+                    ]
+                    current_side = block_side
+                scheme = scheme.capped_to_rows(n)
+                out = self._mitigated_logic_apply(
+                    op,
+                    handles,
+                    scheme,
+                    (self._logic[(block_side, n)], n),
+                    tenant=tenant_stats,
+                )
+                got = self.load(out)
+                self.free(out)
+                return JobResult(
+                    output=got,
+                    op=op,
+                    block=(block_side, n),
+                    attempts=1,
+                    quarantined=(),
+                    scheme=scheme.label,
+                    votes=scheme.votes,
+                )
+            raise ReliabilityUnsatisfiableError(
+                f"job {op!r} (fan-in {count}): no non-quarantined block "
+                f"on either side has a scheme meeting {error_bound:.1e}"
+                + (
+                    f" (best residual {best_error:.2e})"
+                    if best_error is not None
+                    else ""
+                ),
+                operation=op,
+                fan_in=count,
+                error_bound=error_bound,
+                best_error=best_error,
+            )
         finally:
             for handle in handles:
                 self.free(handle)

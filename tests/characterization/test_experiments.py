@@ -28,6 +28,9 @@ class TestRegistry:
             "table1", "capability", "fig5", "fig7", "fig8", "fig9",
             "fig10", "fig11", "fig12", "fig15", "fig16", "fig17", "fig18",
             "fig19", "fig20", "fig21",
+            # Not a paper figure: the reliability/throughput frontier
+            # derived from the characterization (repro.reliability).
+            "frontier",
         }
         assert set(REGISTRY) == expected
         assert set(TITLES) == expected
@@ -166,3 +169,45 @@ class TestPaperTrends:
         assert not any(
             "n=16 8Gb M" in label for label in results["fig21"].groups
         )
+
+
+class TestFrontier:
+    """The reliability/throughput frontier (repro.reliability)."""
+
+    def test_structure(self, results):
+        result = results["frontier"]
+        frontier = result.extras["frontier"]
+        assert frontier, "frontier must carry (cost, error) points"
+        for point in frontier:
+            assert point["cost"] >= 1.0
+            assert 0.0 <= point["mean_error"] <= 1.0
+            assert 0.0 <= point["p95_error"] <= 1.0
+        assert result.extras["error_bound"] == 1e-3
+        assert "cost(x)" in result.extras["table"]
+
+    def test_uncoded_anchors_every_operation(self, results):
+        frontier = results["frontier"].extras["frontier"]
+        ops = {point["op"] for point in frontier}
+        for op in ops:
+            anchors = [
+                p for p in frontier
+                if p["op"] == op and p["scheme"] == "uncoded"
+            ]
+            assert len(anchors) == 1
+            assert anchors[0]["cost"] == 1.0
+
+    def test_stronger_schemes_cost_more_and_err_less(self, results):
+        frontier = results["frontier"].extras["frontier"]
+        for op in {point["op"] for point in frontier}:
+            points = {p["scheme"]: p for p in frontier if p["op"] == op}
+            uncoded = points["uncoded"]
+            strong = points.get("vote9+retry3") or points.get("vote9+rows3+retry4")
+            if strong is None:
+                continue
+            assert strong["cost"] > uncoded["cost"]
+            assert strong["mean_error"] < uncoded["mean_error"]
+
+    def test_observation_14_noted(self, results):
+        notes = "\n".join(results["frontier"].notes)
+        assert "AND n=16 has no frontier point" in notes
+        assert "Observation 14" in notes

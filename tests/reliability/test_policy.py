@@ -1,0 +1,111 @@
+"""Tests for the persisted policy table."""
+
+import json
+
+import pytest
+
+from repro.errors import ReliabilityError, ReliabilityUnsatisfiableError
+from repro.reliability import MitigationScheme, PolicyEntry, PolicyTable
+
+
+def entry(scheme="vote3", bound=1e-3, probability=0.95):
+    return PolicyEntry(
+        scheme=MitigationScheme.from_label(scheme),
+        probability=probability,
+        predicted_error=1e-4,
+        expected_cost=3.0,
+        error_bound=bound,
+    )
+
+
+@pytest.fixture()
+def table():
+    t = PolicyTable(meta={"origin": "test"})
+    t.set(("and", 2, "any", 50.0), entry("vote3"))
+    t.set(("and", 2, "any", 90.0), entry("vote5+retry2"))
+    t.set(("and", 2, "close-close", 50.0), entry("uncoded"))
+    t.set(("not", 2, "any", 50.0), entry("rows3"))
+    t.set_unsatisfiable(
+        ("and", 16, "any", 50.0), "statically infeasible (Observation 14)"
+    )
+    return t
+
+
+class TestLookup:
+    def test_exact_cell(self, table):
+        assert table.scheme_for("and", 2).scheme.label == "vote3"
+
+    def test_nearest_temperature(self, table):
+        assert (
+            table.scheme_for("and", 2, temperature_c=85.0).scheme.label
+            == "vote5+retry2"
+        )
+        assert (
+            table.scheme_for("and", 2, temperature_c=55.0).scheme.label
+            == "vote3"
+        )
+
+    def test_distance_exact_match_wins(self, table):
+        found = table.scheme_for("and", 2, distance="close-close")
+        assert found.scheme.label == "uncoded"
+
+    def test_distance_falls_back_to_any(self, table):
+        found = table.scheme_for("and", 2, distance="far-far")
+        assert found.scheme.label == "vote3"
+
+    def test_unsatisfiable_cell_raises_typed(self, table):
+        with pytest.raises(ReliabilityUnsatisfiableError) as excinfo:
+            table.scheme_for("and", 16)
+        assert excinfo.value.operation == "and"
+        assert excinfo.value.fan_in == 16
+        assert "Observation 14" in str(excinfo.value)
+
+    def test_untuned_cell_raises(self, table):
+        with pytest.raises(ReliabilityError, match="no tuned policy"):
+            table.scheme_for("or", 4)
+
+
+class TestPersistence:
+    def test_round_trip(self, table, tmp_path):
+        path = str(tmp_path / "policy.json")
+        table.save(path)
+        loaded = PolicyTable.load(path)
+        assert loaded.to_payload() == table.to_payload()
+        assert loaded.meta["origin"] == "test"
+        assert len(loaded) == len(table)
+        assert loaded.unsatisfiable_count == 1
+        assert loaded.scheme_for("and", 2).scheme.label == "vote3"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99, "cells": {}}))
+        with pytest.raises(ReliabilityError, match="format"):
+            PolicyTable.load(str(path))
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ReliabilityError, match="JSON"):
+            PolicyTable.load(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ReliabilityError, match="cannot read"):
+            PolicyTable.load(str(tmp_path / "absent.json"))
+
+    def test_malformed_key_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = {
+            "format": PolicyTable.FORMAT,
+            "cells": {"and|2": entry().to_dict()},
+        }
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReliabilityError, match="malformed policy key"):
+            PolicyTable.load(str(path))
+
+
+class TestDisplay:
+    def test_summary_lines_cover_all_cells(self, table):
+        lines = table.summary_lines()
+        assert len(lines) == len(table) + table.unsatisfiable_count
+        assert any("UNSATISFIABLE" in line for line in lines)
+        assert any("vote3" in line for line in lines)

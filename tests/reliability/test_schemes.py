@@ -1,0 +1,197 @@
+"""Tests for the mitigation-scheme algebra (closed-form error models)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import (
+    UNCODED,
+    MitigationScheme,
+    detect_retry_error,
+    expected_attempts,
+    majority_error,
+)
+
+
+class TestMajorityError:
+    def test_single_copy_is_identity(self):
+        assert majority_error(0.25, 1) == 0.25
+
+    def test_three_copy_binomial_tail(self):
+        # P(>=2 of 3 wrong) = 3 e^2 (1-e) + e^3
+        e = 0.1
+        expected = 3 * e**2 * (1 - e) + e**3
+        assert majority_error(e, 3) == pytest.approx(expected)
+
+    def test_five_copy_matches_direct_sum(self):
+        e = 0.2
+        expected = sum(
+            math.comb(5, k) * e**k * (1 - e) ** (5 - k) for k in (3, 4, 5)
+        )
+        assert majority_error(e, 5) == pytest.approx(expected)
+
+    def test_vectorized_over_cell_arrays(self):
+        rates = np.array([0.0, 0.05, 0.3, 0.5])
+        out = majority_error(rates, 3)
+        assert isinstance(out, np.ndarray)
+        for scalar, vector in zip(rates, out):
+            assert majority_error(float(scalar), 3) == pytest.approx(vector)
+
+    def test_voting_helps_below_half_hurts_above(self):
+        assert majority_error(0.1, 3) < 0.1
+        assert majority_error(0.7, 3) > 0.7
+
+    def test_even_copies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            majority_error(0.1, 2)
+        with pytest.raises(ConfigurationError):
+            majority_error(0.1, 0)
+
+
+class TestDetectRetry:
+    def test_single_attempt_is_identity(self):
+        residual, detect = detect_retry_error(0.2, 1)
+        assert residual == 0.2
+        assert detect == 0.0
+
+    def test_retry_reduces_error(self):
+        residual, detect = detect_retry_error(0.2, 3)
+        assert residual < 0.2
+        # Detection rate = 2 e (1 - e).
+        assert detect == pytest.approx(2 * 0.2 * 0.8)
+
+    def test_residual_floor_is_double_flip(self):
+        # With an infinite budget the residual converges to the
+        # undetectable double-flip conditional e^2 / ((1-e)^2 + e^2).
+        e = 0.1
+        residual, _ = detect_retry_error(e, 50)
+        assert residual == pytest.approx(e**2 / ((1 - e) ** 2 + e**2))
+
+    def test_zero_error_stays_zero(self):
+        residual, detect = detect_retry_error(0.0, 4)
+        assert residual == 0.0
+        assert detect == 0.0
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_retry_error(0.1, 0)
+
+
+class TestExpectedAttempts:
+    def test_no_detection_is_one(self):
+        assert expected_attempts(0.0, 5) == 1.0
+
+    def test_partial_geometric_sum(self):
+        assert expected_attempts(0.5, 3) == pytest.approx(1 + 0.5 + 0.25)
+
+    def test_invalid_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_attempts(0.5, 0)
+
+
+class TestSchemeValidation:
+    def test_uncoded_identity(self):
+        assert UNCODED.is_uncoded
+        assert MitigationScheme().predicted_error(0.9) == pytest.approx(0.1)
+        assert MitigationScheme().expected_cost(0.9) == 1.0
+        assert MitigationScheme().reads_per_execution() == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"votes": 2},
+            {"votes": 0},
+            {"row_copies": 4},
+            {"row_copies": -1},
+            {"max_attempts": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MitigationScheme(**kwargs)
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "scheme,label",
+        [
+            (MitigationScheme(), "uncoded"),
+            (MitigationScheme(votes=3), "vote3"),
+            (MitigationScheme(row_copies=5), "rows5"),
+            (MitigationScheme(max_attempts=2), "retry2"),
+            (
+                MitigationScheme(votes=3, row_copies=3, max_attempts=2),
+                "vote3+rows3+retry2",
+            ),
+        ],
+    )
+    def test_label_round_trip(self, scheme, label):
+        assert scheme.label == label
+        assert MitigationScheme.from_label(label) == scheme
+
+    def test_malformed_label_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MitigationScheme.from_label("vote3+bogus7")
+
+
+class TestApplicability:
+    def test_retry_needs_complement_terminal(self):
+        retry = MitigationScheme(max_attempts=2)
+        for operation in ("and", "or", "nand", "nor"):
+            assert retry.applicable_to(operation)
+        assert not retry.applicable_to("not")
+
+    def test_votes_and_rows_apply_everywhere(self):
+        scheme = MitigationScheme(votes=3, row_copies=3)
+        assert scheme.applicable_to("not")
+
+    def test_capped_to_rows_keeps_odd(self):
+        scheme = MitigationScheme(row_copies=7)
+        assert scheme.capped_to_rows(4).row_copies == 3
+        assert scheme.capped_to_rows(1).row_copies == 1
+        assert scheme.capped_to_rows(16).row_copies == 7
+
+
+class TestComposition:
+    def test_each_lever_reduces_error(self):
+        p = 0.9
+        base = float(UNCODED.predicted_error(p))
+        assert float(MitigationScheme(votes=3).predicted_error(p)) < base
+        assert float(MitigationScheme(row_copies=3).predicted_error(p)) < base
+        assert float(MitigationScheme(max_attempts=2).predicted_error(p)) < base
+
+    def test_composed_beats_single_lever(self):
+        p = 0.9
+        composed = float(
+            MitigationScheme(votes=3, max_attempts=3).predicted_error(p)
+        )
+        assert composed < float(MitigationScheme(votes=3).predicted_error(p))
+        assert composed < float(
+            MitigationScheme(max_attempts=3).predicted_error(p)
+        )
+
+    def test_cost_counts_votes_and_expected_retries(self):
+        p = 0.9
+        assert MitigationScheme(votes=5).expected_cost(p) == 5.0
+        retry_cost = float(MitigationScheme(max_attempts=3).expected_cost(p))
+        assert 1.0 < retry_cost < 3.0
+        combined = float(
+            MitigationScheme(votes=5, max_attempts=3).expected_cost(p)
+        )
+        assert combined == pytest.approx(5 * retry_cost)
+
+    def test_reads_double_with_retry(self):
+        assert MitigationScheme(row_copies=3).reads_per_execution() == 3
+        assert (
+            MitigationScheme(row_copies=3, max_attempts=2).reads_per_execution()
+            == 6
+        )
+
+    def test_predicted_error_vectorizes(self):
+        scheme = MitigationScheme(votes=3, max_attempts=2)
+        rates = np.array([0.99, 0.9, 0.7])
+        out = np.asarray(scheme.predicted_error(rates))
+        assert out.shape == rates.shape
+        assert np.all(np.diff(out) > 0)  # lower p -> higher residual

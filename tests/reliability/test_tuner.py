@@ -1,0 +1,167 @@
+"""Tests for the reliability auto-tuner.
+
+The slow pieces (surrogate fits) run at SMOKE scale and are shared via
+session fixtures; the acceptance-criterion check — every tuned cell
+meets its bound when replayed against an *independently fitted* analog
+reference — is exercised end to end.
+"""
+
+import pytest
+
+from repro.characterization.runner import SMOKE
+from repro.errors import ReliabilityError, ReliabilityUnsatisfiableError
+from repro.reliability import (
+    DEFAULT_BOUND_MARGIN,
+    DEFAULT_ERROR_BOUND,
+    SMOKE_TUNE_GRID,
+    MitigationScheme,
+    PolicyTable,
+    TuneGrid,
+    candidate_schemes,
+    select_scheme,
+    static_infeasibility,
+    tune,
+    validate_policy,
+)
+from repro.substrate.fit import SMOKE_GRID, fit_surrogate
+from repro.substrate.surrogate import SurrogateBackend
+
+
+@pytest.fixture(scope="session")
+def tuning_backend():
+    return SurrogateBackend(fit_surrogate(SMOKE, 0, grid=SMOKE_GRID))
+
+
+@pytest.fixture(scope="session")
+def reference_backend():
+    # Independent fit seed: analog data the tuner never saw.
+    return SurrogateBackend(fit_surrogate(SMOKE, 1, grid=SMOKE_GRID))
+
+
+@pytest.fixture(scope="session")
+def policy(tuning_backend):
+    return tune(tuning_backend, grid=SMOKE_TUNE_GRID)
+
+
+class TestStaticGate:
+    @pytest.mark.parametrize(
+        "operation,fan_in",
+        [("and", 8), ("and", 16), ("nand", 16), ("or", 16), ("nor", 16)],
+    )
+    def test_observation_14_cells_infeasible(self, operation, fan_in):
+        reason = static_infeasibility(operation, fan_in)
+        assert reason is not None
+        assert "Observation 14" in reason
+
+    @pytest.mark.parametrize(
+        "operation,fan_in",
+        [("and", 2), ("and", 4), ("or", 8), ("not", 16), ("not", 32)],
+    )
+    def test_feasible_cells_pass(self, operation, fan_in):
+        assert static_infeasibility(operation, fan_in) is None
+
+    def test_select_scheme_raises_typed_for_16_input_and(self):
+        with pytest.raises(ReliabilityUnsatisfiableError) as excinfo:
+            select_scheme("and", 16, 0.99, DEFAULT_ERROR_BOUND, TuneGrid())
+        assert excinfo.value.operation == "and"
+        assert excinfo.value.fan_in == 16
+        # Statically infeasible: no candidate was even evaluated.
+        assert excinfo.value.best_error is None
+
+
+class TestCandidates:
+    def test_retry_excluded_for_not(self):
+        grid = TuneGrid(max_votes=3, max_attempts=3)
+        assert all(
+            scheme.max_attempts == 1
+            for scheme in candidate_schemes("not", 4, grid)
+        )
+
+    def test_row_copies_capped_by_terminal(self):
+        grid = TuneGrid(max_votes=1, max_attempts=1)
+        copies = {
+            scheme.row_copies for scheme in candidate_schemes("and", 4, grid)
+        }
+        assert copies == {1, 3}
+
+    def test_uncoded_always_candidate(self):
+        grid = TuneGrid(max_votes=1, max_attempts=1)
+        assert MitigationScheme() in candidate_schemes("or", 2, grid)
+
+
+class TestSelection:
+    def test_high_probability_needs_no_code(self):
+        scheme, error, cost = select_scheme(
+            "and", 2, 0.999999, DEFAULT_ERROR_BOUND, TuneGrid()
+        )
+        assert scheme.is_uncoded
+        assert cost == 1.0
+
+    def test_selection_meets_engineering_target(self):
+        scheme, error, cost = select_scheme(
+            "and", 2, 0.95, DEFAULT_ERROR_BOUND, TuneGrid()
+        )
+        assert error <= DEFAULT_ERROR_BOUND * DEFAULT_BOUND_MARGIN
+        assert not scheme.is_uncoded
+
+    def test_cheapest_wins(self):
+        # A cheaper scheme meeting the target must never lose to a
+        # stronger, costlier one.
+        scheme, _error, cost = select_scheme(
+            "and", 2, 0.95, DEFAULT_ERROR_BOUND, TuneGrid()
+        )
+        for other in candidate_schemes("and", 2, TuneGrid()):
+            predicted = float(other.predicted_error(0.95))
+            if predicted <= DEFAULT_ERROR_BOUND * DEFAULT_BOUND_MARGIN:
+                assert float(other.expected_cost(0.95)) >= cost - 1e-12
+
+    def test_hopeless_probability_unsatisfiable_with_best_error(self):
+        with pytest.raises(ReliabilityUnsatisfiableError) as excinfo:
+            select_scheme("or", 2, 0.4, DEFAULT_ERROR_BOUND, TuneGrid())
+        assert excinfo.value.best_error is not None
+        assert excinfo.value.best_error > DEFAULT_ERROR_BOUND
+
+
+class TestTune:
+    def test_every_tuned_cell_meets_engineering_target(self, policy):
+        assert len(policy) > 0
+        for _key, cell in policy:
+            assert cell.predicted_error <= (
+                cell.error_bound * DEFAULT_BOUND_MARGIN
+            )
+
+    def test_observation_14_cells_recorded_unsatisfiable(self, policy):
+        unsat = dict(policy.unsatisfiable_cells())
+        assert ("and", 16, "any", 50.0) in unsat
+        assert "Observation 14" in unsat[("and", 16, "any", 50.0)]
+        with pytest.raises(ReliabilityUnsatisfiableError):
+            policy.scheme_for("and", 16)
+
+    def test_meta_records_grid_and_margins(self, policy):
+        assert policy.meta["error_bound"] == DEFAULT_ERROR_BOUND
+        assert policy.meta["bound_margin"] == DEFAULT_BOUND_MARGIN
+        assert policy.meta["backend"] == "surrogate"
+
+    def test_backend_without_estimates_rejected(self, tmp_path):
+        from repro.substrate.analog import AnalogBackend
+
+        with pytest.raises(ReliabilityError, match="no probability"):
+            tune(AnalogBackend(), grid=SMOKE_TUNE_GRID)
+
+    def test_round_trips_through_disk(self, policy, tmp_path):
+        path = str(tmp_path / "policy.json")
+        policy.save(path)
+        assert PolicyTable.load(path).to_payload() == policy.to_payload()
+
+
+class TestAnalogReplay:
+    def test_tuned_cells_meet_bound_on_independent_reference(
+        self, policy, reference_backend
+    ):
+        # The ISSUE acceptance criterion: every tuned cell still meets
+        # its full bound when replayed against analog-fitted data from
+        # a seed the tuner never observed.
+        report = validate_policy(policy, reference_backend)
+        assert report.checked == len(policy)
+        assert report.skipped == 0
+        assert report.ok, f"violations: {report.violations}"

@@ -1,0 +1,110 @@
+"""Cross-backend equivalence of infrastructure fault injection.
+
+Infrastructure faults (:mod:`repro.faults`) are scheduled by label
+hash, never by simulator RNG — so the *schedule* of scheduler-level
+faults (broken targets, flaky targets, worker deaths) must be a pure
+function of the fault plan, identical under the analog engine and the
+surrogate.  These tests pin that: the same plan quarantines the same
+targets, retries the same number of times, and the surrogate's
+bit-identity law (retried == fault-free) holds exactly as it does for
+the analog reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import SMOKE, Resilience, RetryPolicy, run_experiment
+from repro.faults import FaultPlan
+
+#: One permanently-dead module: label-hashed, backend-independent.
+BROKEN_PLAN = FaultPlan(seed=1, broken_targets=("hynix-4gb-m-x8-2666[0]",))
+
+#: A target that fails its first two attempts, then recovers.
+FLAKY_PLAN = FaultPlan(
+    seed=1,
+    flaky_targets=("hynix-4gb-m-x8-2666[0]",),
+    flaky_target_attempts=2,
+)
+
+FAST_RETRY = RetryPolicy(backoff_s=0.0)
+
+
+def _stats(result):
+    return {label: stats.__dict__ for label, stats in result.groups.items()}
+
+
+def _quarantine_schedule(result):
+    return [
+        (q.label, q.collateral, q.reason)
+        for q in result.health.quarantined
+    ]
+
+
+@pytest.fixture(scope="module")
+def surrogate_scale(surrogate_path):
+    return SMOKE.with_backend(f"surrogate:{surrogate_path}")
+
+
+class TestCrossBackendFaultEquivalence:
+    def test_broken_target_quarantine_schedule_matches_analog(
+        self, surrogate_scale
+    ):
+        analog = run_experiment(
+            "fig7", scale=SMOKE, seed=0,
+            resilience=Resilience(faults=BROKEN_PLAN, retry=FAST_RETRY),
+        )
+        surrogate = run_experiment(
+            "fig7", scale=surrogate_scale, seed=0,
+            resilience=Resilience(faults=BROKEN_PLAN, retry=FAST_RETRY),
+        )
+        assert _quarantine_schedule(analog) == _quarantine_schedule(surrogate)
+        assert analog.health.quarantined_count == 1
+        assert (
+            surrogate.health.completed_targets
+            == analog.health.completed_targets
+        )
+        assert surrogate.health.total_targets == analog.health.total_targets
+
+    def test_flaky_target_retry_schedule_matches_analog(
+        self, surrogate_scale
+    ):
+        analog = run_experiment(
+            "fig7", scale=SMOKE, seed=0,
+            resilience=Resilience(faults=FLAKY_PLAN, retry=FAST_RETRY),
+        )
+        surrogate = run_experiment(
+            "fig7", scale=surrogate_scale, seed=0,
+            resilience=Resilience(faults=FLAKY_PLAN, retry=FAST_RETRY),
+        )
+        # Two failed attempts then recovery, on both engines.
+        assert analog.health.retries >= 2
+        assert surrogate.health.retries == analog.health.retries
+        assert analog.health.quarantined_count == 0
+        assert surrogate.health.quarantined_count == 0
+
+    def test_surrogate_retried_run_bit_identical_to_fault_free(
+        self, surrogate_scale
+    ):
+        # The analog engine's core resilience law, under the surrogate:
+        # a run whose faults all recover ends bit-identical to a run
+        # that never faulted.
+        baseline = run_experiment("fig7", scale=surrogate_scale, seed=0)
+        faulted = run_experiment(
+            "fig7", scale=surrogate_scale, seed=0,
+            resilience=Resilience(faults=FLAKY_PLAN, retry=FAST_RETRY),
+        )
+        assert faulted.health.retries > 0
+        assert _stats(baseline) == _stats(faulted)
+
+    def test_surrogate_worker_death_restart_bit_identical(
+        self, surrogate_scale
+    ):
+        baseline = run_experiment("fig7", scale=surrogate_scale, seed=0)
+        plan = FaultPlan(kill_chunk_indices=(0,))
+        killed = run_experiment(
+            "fig7", scale=surrogate_scale, seed=0, jobs=2,
+            resilience=Resilience(faults=plan, retry=FAST_RETRY),
+        )
+        assert killed.health.worker_restarts == 1
+        assert _stats(baseline) == _stats(killed)

@@ -1,0 +1,291 @@
+"""Tests for the runtime's bounded-error (reliability) layer.
+
+Covers the quarantine-clamp regression, the reliability counters in
+:class:`RuntimeStats` and per-tenant accounting, mitigated NOT, and the
+``submit_job(..., error_bound=...)`` path end to end — including the
+acceptance scenario: a bitmap-index AND scan round-tripping under an
+injected flaky-read fault plan with votes and retries visible in the
+stats, and a typed :class:`ReliabilityUnsatisfiableError` when no block
+can meet the bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ReliabilityError,
+    ReliabilityUnsatisfiableError,
+    ReproError,
+)
+from repro.faults import FaultPlan
+from repro.reliability import MitigationScheme, PolicyEntry, PolicyTable
+from repro.substrate import SubstrateBackend
+from repro.system import PudRuntime, RuntimeStats, TenantStats
+
+
+class EstimateStub(SubstrateBackend):
+    """A backend serving canned per-fan-in probability estimates."""
+
+    name = "estimate-stub"
+
+    def __init__(self, estimates):
+        self._estimates = dict(estimates)
+
+    def find_not_measurement(self, target, n_destination, kind=None, regions=None):
+        return None
+
+    def find_logic_measurement(self, target, base_op, n_inputs, regions=None):
+        return None
+
+    def not_measurement_at(self, host, bank, src_row, dst_row):
+        raise NotImplementedError
+
+    def logic_measurement_at(self, host, bank, ref_row, com_row, base_op="and"):
+        raise NotImplementedError
+
+    def probability(
+        self, operation, fan_in, temperature_c=50.0, pattern="random",
+        spec_name=None, distance="any",
+    ):
+        return self._estimates.get(fan_in)
+
+
+def entry(scheme, bound=1e-3):
+    return PolicyEntry(
+        scheme=scheme,
+        probability=0.9,
+        predicted_error=2e-4,
+        expected_cost=float(scheme.votes),
+        error_bound=bound,
+    )
+
+
+@pytest.fixture()
+def runtime(ideal_host):
+    return PudRuntime(ideal_host, bank=0, subarray_pair=(0, 1))
+
+
+def vectors(runtime, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+        for _ in range(count)
+    ]
+
+
+class TestQuarantineClamp:
+    def test_oversized_fan_in_clamped_with_warning(self, runtime):
+        # Regression: quarantining "the biggest block" with a too-large
+        # fan-in must clamp to the largest available one, not silently
+        # miss (and not raise).
+        with pytest.warns(UserWarning, match="clamping to the largest"):
+            runtime.quarantine_block(1, 32)
+        assert (1, 16) in runtime.quarantined_blocks()
+        assert (1, 32) not in runtime.quarantined_blocks()
+
+    def test_invalid_mid_range_fan_in_still_rejected(self, runtime):
+        with pytest.raises(ReproError, match="no operation block"):
+            runtime.quarantine_block(1, 3)
+        assert not runtime.quarantined_blocks()
+
+    def test_clamped_quarantine_excludes_block_from_placement(self, runtime):
+        with pytest.warns(UserWarning):
+            runtime.quarantine_block(1, 32)
+        operands = vectors(runtime, 16, seed=5)
+        # Fan-in 16 on side 1 is out; the job must fail over to side 0.
+        result = runtime.submit_job("and", operands)
+        assert result.block == (0, 16)
+
+
+class TestStatsDisplay:
+    def test_reliability_counters_hidden_when_zero(self):
+        assert "reliability" not in str(RuntimeStats())
+
+    def test_reliability_counters_shown_when_nonzero(self):
+        stats = RuntimeStats(
+            encoded_jobs=2, votes_cast=6, op_retries=1, mitigation_fallbacks=3
+        )
+        text = str(stats)
+        assert "reliability: 2 encoded jobs" in text
+        assert "6 votes" in text
+        assert "1 retries" in text
+        assert "3 fallbacks" in text
+
+    def test_tenant_slices_auto_create_and_describe_sorted(self):
+        stats = RuntimeStats()
+        stats.tenant("web").jobs += 1
+        stats.tenant("analytics").votes_cast += 3
+        assert stats.tenant("web") is stats.per_tenant["web"]
+        lines = stats.describe_tenants()
+        assert len(lines) == 2
+        assert lines[0].startswith("analytics: ")
+        assert lines[1].startswith("web: ")
+        assert "3 votes" in lines[0]
+
+    def test_tenant_str_covers_all_counters(self):
+        tenant = TenantStats(
+            jobs=4, encoded_jobs=2, logic_ops=9, votes_cast=6,
+            op_retries=1, host_transfers=2,
+        )
+        text = str(tenant)
+        assert "4 jobs (2 encoded)" in text
+        assert "9 logic ops" in text
+        assert "1 retries" in text
+
+
+class TestMitigatedNot:
+    def test_voted_not_is_correct_and_counted(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=7)
+        handle = runtime.store(bits)
+        out = runtime.not_(handle, scheme=MitigationScheme(votes=3))
+        assert out.side == 1 - handle.side
+        assert np.array_equal(runtime.load(out), 1 - bits)
+        assert runtime.stats.votes_cast == 3
+        assert runtime.stats.not_ops == 3
+        assert runtime.stats.host_transfers == 1  # the decided re-stage
+
+    def test_uncoded_scheme_matches_plain_not(self, runtime):
+        (bits,) = vectors(runtime, 1, seed=8)
+        plain = runtime.load(runtime.not_(runtime.store(bits)))
+        uncoded = runtime.load(
+            runtime.not_(runtime.store(bits), scheme=MitigationScheme())
+        )
+        assert np.array_equal(plain, uncoded)
+        assert runtime.stats.votes_cast == 0
+
+    def test_retry_scheme_rejected_for_not(self, runtime):
+        handle = runtime.store(vectors(runtime, 1)[0])
+        with pytest.raises(ReliabilityError, match="complement terminal"):
+            runtime.not_(handle, scheme=MitigationScheme(max_attempts=2))
+
+
+class TestBoundedJobs:
+    def test_policy_table_drives_scheme(self, ideal_host):
+        table = PolicyTable()
+        table.set(
+            ("and", 2, "any", 50.0), entry(MitigationScheme(votes=3))
+        )
+        runtime = PudRuntime(ideal_host, policy=table)
+        a, b = vectors(runtime, 2, seed=9)
+        result = runtime.submit_job("and", [a, b], error_bound=1e-3)
+        assert result.scheme == "vote3"
+        assert result.votes == 3
+        assert np.array_equal(result.output, a & b)
+        assert runtime.stats.encoded_jobs == 1
+        assert runtime.stats.votes_cast == 3
+
+    def test_tighter_bound_than_tuned_is_an_error_without_estimates(
+        self, ideal_host
+    ):
+        table = PolicyTable()
+        table.set(
+            ("and", 2, "any", 50.0),
+            entry(MitigationScheme(votes=3), bound=1e-3),
+        )
+        runtime = PudRuntime(ideal_host, policy=table)
+        a, b = vectors(runtime, 2)
+        # The tuned cell guarantees 1e-3, not 1e-6; with no backend to
+        # re-select on the fly, the runtime must refuse, not degrade.
+        with pytest.raises(ReliabilityError, match="re-tune"):
+            runtime.submit_job("and", [a, b], error_bound=1e-6)
+
+    def test_no_policy_no_estimates_is_an_error(self, runtime):
+        a, b = vectors(runtime, 2)
+        with pytest.raises(ReliabilityError, match="policy table or a backend"):
+            runtime.submit_job("and", [a, b], error_bound=1e-3)
+
+    def test_estimates_select_scheme_on_the_fly(self, ideal_host):
+        runtime = PudRuntime(
+            ideal_host,
+            backend=EstimateStub({2: 0.95, 4: 0.95, 8: 0.95, 16: 0.95}),
+        )
+        a, b = vectors(runtime, 2, seed=10)
+        result = runtime.submit_job("or", [a, b], error_bound=1e-3)
+        assert result.scheme is not None and result.scheme != "uncoded"
+        assert np.array_equal(result.output, a | b)
+
+    def test_unsatisfiable_bound_raises_typed(self, ideal_host):
+        # 0.55: hopeless for every scheme in the grid; and the fan-in-8
+        # and -16 AND blocks are statically infeasible (Observation 14).
+        runtime = PudRuntime(
+            ideal_host,
+            backend=EstimateStub({2: 0.55, 4: 0.55, 8: 0.55, 16: 0.55}),
+        )
+        a, b = vectors(runtime, 2, seed=11)
+        with pytest.raises(ReliabilityUnsatisfiableError) as excinfo:
+            runtime.submit_job("and", [a, b], error_bound=1e-3)
+        error = excinfo.value
+        assert error.operation == "and"
+        assert error.fan_in == 2
+        assert error.error_bound == 1e-3
+        assert error.best_error is not None and error.best_error > 1e-3
+        # Every candidate block on both sides was tried and skipped.
+        assert runtime.stats.mitigation_fallbacks == 8
+
+    def test_legacy_path_leaves_reliability_counters_untouched(self, runtime):
+        a, b = vectors(runtime, 2, seed=12)
+        result = runtime.submit_job("and", [a, b])
+        assert result.scheme is None
+        assert result.votes == 0
+        assert runtime.stats.encoded_jobs == 0
+        assert runtime.stats.votes_cast == 0
+        assert "reliability" not in str(runtime.stats)
+
+
+class TestFaultInjectedRoundTrip:
+    """The ISSUE acceptance scenario: a bitmap-index AND scan under an
+    injected flaky-read plan, round-tripping with retries and votes
+    visible in the stats.  The plan is deterministic (seed-hashed), so
+    the counts below are exact."""
+
+    FAULT_SEED = 3  # fires 3 flaky reads, 2 of them caught by retry
+
+    @pytest.fixture()
+    def faulted_runtime(self, ideal_module):
+        from repro.bender import DramBenderHost
+
+        plan = FaultPlan(seed=self.FAULT_SEED, flaky_read_rate=0.25)
+        self.injector = plan.injector("runtime-test")
+        host = DramBenderHost(ideal_module, fault_injector=self.injector)
+        table = PolicyTable()
+        table.set(
+            ("and", 4, "any", 50.0),
+            entry(MitigationScheme(votes=3, max_attempts=2)),
+        )
+        return PudRuntime(host, policy=table)
+
+    def test_bitmap_scan_round_trips_with_retries_visible(
+        self, faulted_runtime
+    ):
+        runtime = faulted_runtime
+        bitmaps = vectors(runtime, 4, seed=3)
+        result = runtime.submit_job(
+            "and", bitmaps, error_bound=1e-3, tenant="index-scan"
+        )
+        expected = bitmaps[0] & bitmaps[1] & bitmaps[2] & bitmaps[3]
+        assert np.array_equal(result.output, expected)
+        assert result.scheme == "vote3+retry2"
+        assert result.block == (1, 4)
+
+        stats = runtime.stats
+        assert self.injector.count("flaky-read") == 3  # the plan fired
+        assert stats.encoded_jobs == 1
+        assert stats.votes_cast == 3
+        assert stats.op_retries == 2  # corrupted reads caught and retried
+        assert "reliability: 1 encoded jobs, 3 votes, 2 retries" in str(stats)
+
+        tenant = stats.per_tenant["index-scan"]
+        assert tenant.jobs == 1
+        assert tenant.encoded_jobs == 1
+        assert tenant.votes_cast == 3
+        assert tenant.op_retries == 2
+        assert tenant.logic_ops == 3 + 2  # one per vote plus the retries
+        assert tenant.host_transfers == 1
+
+    def test_slots_released_after_bounded_job(self, faulted_runtime):
+        runtime = faulted_runtime
+        before = runtime.free_slots()
+        runtime.submit_job(
+            "and", vectors(runtime, 4, seed=3), error_bound=1e-3
+        )
+        assert runtime.free_slots() == before
