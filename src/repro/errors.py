@@ -68,6 +68,23 @@ class ProgramVerificationError(ProgramError):
         self.diagnostics: Tuple["Diagnostic", ...] = tuple(diagnostics)
 
 
+class IsolationError(ReproError):
+    """The concurrency/isolation gate refused a job or schedule.
+
+    Raised by :meth:`~repro.system.runtime.PudRuntime.submit_job` in
+    ``verify_isolation="error"`` mode before any operand is stored —
+    runtime state (slots, quarantine, placements) is untouched.
+    ``diagnostics`` carries the structured CC-rule findings
+    (:class:`~repro.staticcheck.diagnostics.Diagnostic`).
+    """
+
+    def __init__(
+        self, message: str, diagnostics: Iterable["Diagnostic"] = ()
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics: Tuple["Diagnostic", ...] = tuple(diagnostics)
+
+
 class ThermalError(ReproError):
     """The temperature controller cannot reach or hold a target."""
 

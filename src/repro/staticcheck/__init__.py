@@ -12,7 +12,12 @@ Two checkers share one diagnostics engine (:mod:`.diagnostics`):
 * :mod:`.semantics` — a symbolic charge-algebra evaluator that proves
   what each verified program *computes*: truth tables for every row a
   program touches, checked against the intended Boolean function (rules
-  ``SEM301``–``SEM309``).
+  ``SEM301``–``SEM309``);
+* :mod:`.concurrency` — a static race detector over multi-tenant
+  *schedules* of programs: row-buffer races, sense-amp sharing,
+  operand overlap, allocation/quarantine violations, and split timing
+  windows (rules ``CC401``–``CC410``), plus the derived
+  :class:`~repro.staticcheck.concurrency.ConflictGraph`.
 
 Entry points: ``python -m repro.staticcheck`` (CLI), the
 ``ProgramExecutor(verify=...)`` pre-flight gate, and the golden tests
@@ -71,6 +76,13 @@ __all__ = [
     "sym_nor",
     "sym_xor",
     "sym_majority",
+    "JobSpec",
+    "Schedule",
+    "ScheduleAnalyzer",
+    "ScheduleReport",
+    "ConflictGraph",
+    "check_schedule",
+    "schedule_from_plan",
 ]
 
 _LAZY = {
@@ -98,6 +110,13 @@ _LAZY = {
     "sym_nor": "semantics",
     "sym_xor": "semantics",
     "sym_majority": "semantics",
+    "JobSpec": "concurrency",
+    "Schedule": "concurrency",
+    "ScheduleAnalyzer": "concurrency",
+    "ScheduleReport": "concurrency",
+    "ConflictGraph": "concurrency",
+    "check_schedule": "concurrency",
+    "schedule_from_plan": "concurrency",
 }
 
 

@@ -16,6 +16,8 @@ Other modes::
     python -m repro.staticcheck --demo all       # self-test all bad cases
     python -m repro.staticcheck --semantics      # symbolic truth-table proofs
     python -m repro.staticcheck --prove '~(a & b) | c'   # prove one expression
+    python -m repro.staticcheck --schedule PLAN.json     # multi-tenant races
+    python -m repro.staticcheck --schedule PLAN.json --explain
 
 ``--semantics`` proves every shipped sequences flow (AND/NAND/OR/NOR ×
 N, NOT, RowClone) symbolically against its expected truth table at every
@@ -24,9 +26,16 @@ static worst-case sense-margin report.  ``--prove`` compiles one
 expression (``~ & ^ |`` syntax), prints the machine-checked truth table
 the schedule computes, and the per-step margin feasibility.
 
+``--schedule`` reads a PLAN.json describing (tenant, program, placement)
+jobs plus the allocation/quarantine maps and runs the CC401–CC410
+concurrency analysis against the spec's geometry and decoder; the
+conflict graph (edges + greedy waves) prints alongside, and
+``--explain`` adds the happens-before trace under each finding.
+
 Exit status: 0 clean (warnings allowed), 1 when error-severity
 diagnostics were found — in ``--demo CASE`` mode, 1 when the case's rule
-fired (the expected outcome) and 2 when it did not.
+fired (the expected outcome) and 2 when it did not.  ``--schedule``
+exits 0 when the schedule is admitted, 1 when it is refused.
 """
 
 from __future__ import annotations
@@ -359,6 +368,48 @@ def _default_lint_target() -> str:
     return os.path.dirname(os.path.abspath(repro.__file__))
 
 
+def _run_schedule(
+    path: str, spec_name: str, explain: bool, out: TextIO
+) -> int:
+    """Analyze a PLAN.json schedule against the spec's topology."""
+    import json
+
+    from ..errors import ReproError
+    from .concurrency import ScheduleAnalyzer, schedule_from_plan
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            plan = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"cannot read schedule plan {path!r}: {exc}")
+    except ValueError as exc:
+        raise SystemExit(f"schedule plan {path!r} is not valid JSON: {exc}")
+    if not isinstance(plan, dict):
+        raise SystemExit(f"schedule plan {path!r} must be a JSON object")
+    spec = _resolve_spec(str(plan.get("spec", spec_name)))
+    config = spec.chip
+    if "speed" in plan:
+        config = replace(config, speed_rate_mts=int(plan["speed"]))
+    module = Module(config, chip_count=1, seed_tree=SeedTree(0))
+    timing = timing_for_speed(config.speed_rate_mts)
+    try:
+        schedule = schedule_from_plan(plan, timing)
+        report = ScheduleAnalyzer.for_module(module).check_schedule(schedule)
+    except ReproError as exc:
+        raise SystemExit(f"schedule plan {path!r}: {exc}")
+    out.write(report.format(explain=explain) + "\n")
+    graph = report.conflicts
+    if graph.edges:
+        for a, b, rules in graph.edges:
+            out.write(f"[conflict] {a} x {b}: {', '.join(rules)}\n")
+    else:
+        out.write("[conflict] no conflicting job pairs\n")
+    waves = graph.waves()
+    for index, wave in enumerate(waves):
+        out.write(f"[wave {index}] {', '.join(wave)}\n")
+    return 0 if report.admitted else 1
+
+
 def _run_demo(name: str, out: TextIO) -> int:
     if name == "all":
         failures: List[str] = []
@@ -415,6 +466,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "machine-checked truth table and margin report",
     )
     parser.add_argument(
+        "--schedule", metavar="PLAN.json",
+        help="analyze a multi-tenant schedule plan for concurrency races "
+        "and isolation violations (exit 1 when refused)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="with --schedule: print the happens-before trace under each "
+        "finding",
+    )
+    parser.add_argument(
         "--lint", nargs="+", metavar="PATH",
         help="lint these files/directories instead of the installed repro "
         "package (skips sequence verification)",
@@ -446,6 +507,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.prove:
         return _run_prove(args.prove, out)
+
+    if args.schedule:
+        return _run_schedule(args.schedule, args.spec, args.explain, out)
 
     diagnostics: List[Diagnostic] = []
     if args.lint:

@@ -21,11 +21,14 @@ from ..core.sequences import (
     nominal_activation_program,
     not_program,
 )
+from ..core.sequences import rowclone_program
 from ..dram.analog import worst_case_sense_margin
 from ..dram.calibration import DieCalibration
 from ..dram.config import ChipGeometry
 from ..dram.timing import ReducedTiming, TimingParameters, timing_for_speed
 from ..errors import ProgramError
+from ..reliability.schemes import MitigationScheme
+from .concurrency import JobSpec, Schedule, ScheduleAnalyzer
 from .determinism import lint_source
 from .diagnostics import RULES, Diagnostic
 from .semantics import (
@@ -402,6 +405,189 @@ def _case_sem309() -> List[Diagnostic]:
     return diags
 
 
+def _case_det205() -> List[Diagnostic]:
+    return lint_source(
+        "def admit(allocations):\n"
+        "    for tenant, regions in allocations.items():\n"
+        "        schedule(tenant, regions)\n",
+        filename="badcase_det205.py",
+    )
+
+
+def _analyze(schedule: Schedule) -> List[Diagnostic]:
+    """Run the concurrency analyzer; schedule findings + program diags."""
+    report = ScheduleAnalyzer().check_schedule(schedule)
+    return list(report.diagnostics)
+
+
+def _case_cc401() -> List[Diagnostic]:
+    # Two tenants' nominal activations in one bank, interleaved at
+    # command granularity: the row buffer is a shared register and
+    # whoever ACTs second corrupts the other's open episode.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-read",
+        (nominal_activation_program(timing, 0, _row(0)),),
+    )
+    bob = JobSpec(
+        "bob", "bob-read",
+        (nominal_activation_program(timing, 0, _row(4)),),
+    )
+    return _analyze(Schedule((alice, bob), granularity="command"))
+
+
+def _case_cc402() -> List[Diagnostic]:
+    # Both tenants run AND episodes in one bank on subarray pairs
+    # (0,1) and (2,3): subarrays 1 and 2 share an open-bitline stripe,
+    # so the activations couple even though no row overlaps.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-and",
+        (
+            frac_program(timing, 0, _row(0)),
+            logic_program(timing, 0, _row(0), _row(1)),
+        ),
+    )
+    bob = JobSpec(
+        "bob", "bob-and",
+        (
+            frac_program(timing, 0, _row(2)),
+            logic_program(timing, 0, _row(2), _row(3)),
+        ),
+    )
+    return _analyze(Schedule((alice, bob)))
+
+
+def _case_cc403() -> List[Diagnostic]:
+    # Alice's RowClone writes the row Bob's RowClone sources: with no
+    # ordering between the jobs, Bob copies either the old or the new
+    # value depending on scheduler whim.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-clone",
+        (rowclone_program(timing, 0, _row(4, 40), _row(4, 41)),),
+    )
+    bob = JobSpec(
+        "bob", "bob-clone",
+        (rowclone_program(timing, 0, _row(4, 41), _row(4, 42)),),
+    )
+    return _analyze(Schedule((alice, bob)))
+
+
+def _case_cc404() -> List[Diagnostic]:
+    # Alice owns subarrays 0-1 of bank 0 but her RowClone lands in
+    # subarray 2.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-stray",
+        (rowclone_program(timing, 0, _row(2), _row(2, 1)),),
+    )
+    return _analyze(
+        Schedule(
+            (alice,),
+            allocations={"alice": frozenset({(0, 0), (0, 1)})},
+        )
+    )
+
+
+def _case_cc405() -> List[Diagnostic]:
+    # Subarray 3 of bank 0 is quarantined (degraded target), but the
+    # job places its destination there anyway.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-quarantined",
+        (rowclone_program(timing, 0, _row(3), _row(3, 1)),),
+    )
+    return _analyze(
+        Schedule((alice,), quarantined=frozenset({(0, 3)}))
+    )
+
+
+def _case_cc406() -> List[Diagnostic]:
+    # Alice's AND depends on a sub-tRAS ACT->PRE->ACT window; at
+    # command granularity even a bank-disjoint partner can inject a
+    # command inside the window and stretch it past the threshold.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-and",
+        (
+            frac_program(timing, 0, _row(0)),
+            logic_program(timing, 0, _row(0), _row(1)),
+        ),
+    )
+    bob = JobSpec(
+        "bob", "bob-read",
+        (nominal_activation_program(timing, 1, _row(0)),),
+    )
+    return _analyze(Schedule((alice, bob), granularity="command"))
+
+
+def _case_cc407() -> List[Diagnostic]:
+    # The allocation map knows alice only; bob submits anyway.
+    timing = _timing()
+    bob = JobSpec(
+        "bob", "bob-read",
+        (nominal_activation_program(timing, 1, _row(0)),),
+    )
+    return _analyze(
+        Schedule(
+            (bob,),
+            allocations={"alice": frozenset({(0, 0), (0, 1)})},
+        )
+    )
+
+
+def _case_cc408() -> List[Diagnostic]:
+    # Alice refreshes bank 0 while Bob's Frac reference (VDD/2) sits
+    # there: REF re-amplifies every row to a full rail.
+    timing = _timing()
+    ref = TestProgram(timing, name="alice-ref").ref(0)
+    alice = JobSpec("alice", "alice-ref", (ref,))
+    bob = JobSpec(
+        "bob", "bob-and",
+        (
+            frac_program(timing, 0, _row(2)),
+            logic_program(timing, 0, _row(2), _row(3)),
+        ),
+    )
+    return _analyze(Schedule((alice, bob)))
+
+
+def _case_cc409() -> List[Diagnostic]:
+    # The allocation map itself grants (0, 0) to both tenants — a
+    # defect before any job is even submitted.
+    return _analyze(
+        Schedule(
+            (),
+            allocations={
+                "alice": frozenset({(0, 0)}),
+                "bob": frozenset({(0, 0)}),
+            },
+        )
+    )
+
+
+def _case_cc410() -> List[Diagnostic]:
+    # A rows3 repetition scheme on a NOT placement: the latched drive
+    # provides one destination row, so capped_to_rows would silently
+    # degrade the tuned bound.
+    timing = _timing()
+    alice = JobSpec(
+        "alice", "alice-not",
+        (not_program(timing, 0, _row(4), _row(4, 1)),),
+        scheme=MitigationScheme.from_label("vote3+rows3"),
+    )
+    return _analyze(Schedule((alice,)))
+
+
+def _case_cc411() -> List[Diagnostic]:
+    # The runtime clamps an oversized quarantine request to the largest
+    # available block; surface the clamp as its structured diagnostic.
+    from ..system.runtime import quarantine_clamp_diagnostic
+
+    return [quarantine_clamp_diagnostic(side=1, requested=32, clamped=16)]
+
+
 def _registry() -> Dict[str, BadCase]:
     entries: Tuple[BadCase, ...] = (
         BadCase(
@@ -566,6 +752,78 @@ def _registry() -> Dict[str, BadCase]:
             "DET204",
             "write-mode open bypassing repro.atomicio",
             _case_det204,
+        ),
+        BadCase(
+            "det205",
+            "DET205",
+            "unsorted iteration over a per-tenant mapping",
+            _case_det205,
+        ),
+        BadCase(
+            "cc401",
+            "CC401",
+            "two tenants' ACTs race on one bank's row buffer",
+            _case_cc401,
+        ),
+        BadCase(
+            "cc402",
+            "CC402",
+            "tenants on neighboring subarrays share a sense-amp stripe",
+            _case_cc402,
+        ),
+        BadCase(
+            "cc403",
+            "CC403",
+            "one tenant's RowClone writes a row another tenant reads",
+            _case_cc403,
+        ),
+        BadCase(
+            "cc404",
+            "CC404",
+            "job strays outside its tenant's allocation",
+            _case_cc404,
+        ),
+        BadCase(
+            "cc405",
+            "CC405",
+            "job placed inside a quarantined region",
+            _case_cc405,
+        ),
+        BadCase(
+            "cc406",
+            "CC406",
+            "command interleaving can stretch a sub-tRAS idiom window",
+            _case_cc406,
+        ),
+        BadCase(
+            "cc407",
+            "CC407",
+            "tenant missing from the allocation map",
+            _case_cc407,
+        ),
+        BadCase(
+            "cc408",
+            "CC408",
+            "REF destroys a concurrent tenant's Frac reference",
+            _case_cc408,
+        ),
+        BadCase(
+            "cc409",
+            "CC409",
+            "allocation map grants one region to two tenants",
+            _case_cc409,
+        ),
+        BadCase(
+            "cc410",
+            "CC410",
+            "mitigation scheme outgrows the placement's terminal rows",
+            _case_cc410,
+        ),
+        BadCase(
+            "cc411",
+            "CC411",
+            "oversized quarantine request clamped to the largest block",
+            _case_cc411,
         ),
     )
     return {case.name: case for case in entries}

@@ -1,0 +1,1293 @@
+"""Static race detector and isolation verifier for multi-program schedules.
+
+The program verifier (:mod:`.verifier`) proves one command sequence sane
+in isolation; this module answers the *schedule* question ROADMAP item 3
+poses: given many tenants' jobs against one chip, which of them may run
+concurrently without corrupting each other?  Interleaved command streams
+share three pieces of physical state the single-program view cannot see
+— per-bank row-buffer/sense-amp state, the open-bitline amplifier
+stripes between neighboring subarrays, and the wall-clock windows that
+make a violated ``ACT→PRE→ACT`` gap mean NOT rather than AND — so a
+schedule can break even when every program in it verifies clean.
+
+Everything here is static: each job's programs run through a
+:class:`~repro.staticcheck.verifier.ProgramVerifier` with a
+footprint-recording observer, and the pairwise checks work on the
+recorded row/subarray/bank footprints.  Nothing executes.
+
+Rules (``CC401``–``CC410``):
+
+========  =========================================================
+ CC401    interleaved ACTs race on one bank's row buffer
+ CC402    same/neighboring subarrays share a sense-amp stripe
+ CC403    one job writes rows inside another job's footprint
+ CC404    a job leaves its tenant's bank/subarray allocation
+ CC405    a job touches a quarantined region or row
+ CC406    command-level interleaving splits a sub-tRAS/tRP window
+ CC407    a job's tenant is not in the allocation map
+ CC408    a REF hits a bank where a concurrent job holds state
+ CC409    the allocation map itself overlaps or abuts tenants
+ CC410    a mitigation scheme outgrows its placement's terminal
+========  =========================================================
+
+Granularity: ``"program"`` (the default) models a scheduler that runs
+whole programs atomically and may interleave only *between* them;
+``"command"`` models free interleaving of single commands on the shared
+bus.  Command granularity is strictly harsher: any same-bank activity
+races (CC401) and any violated-timing idiom is unschedulable next to
+any other job (CC406).
+
+The derived :class:`ConflictGraph` is the artifact a scheduler consumes:
+nodes are jobs, edges are the rule-labelled pairs that must not overlap,
+and :meth:`ConflictGraph.waves` greedily groups jobs into concurrency-
+safe waves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..bender.program import TestProgram
+from ..dram.config import ActivationSupport, ChipGeometry
+from ..dram.timing import TimingParameters
+from ..errors import ConfigurationError
+from ..reliability.schemes import MitigationScheme
+from .diagnostics import RULES, Diagnostic, Severity
+from .verifier import (
+    GapClassification,
+    ProgramReport,
+    ProgramVerifier,
+    VerifierObserver,
+)
+
+__all__ = [
+    "GRANULARITIES",
+    "JobSpec",
+    "Schedule",
+    "RowAccess",
+    "JobFootprint",
+    "Finding",
+    "ScheduleReport",
+    "ConflictGraph",
+    "ScheduleAnalyzer",
+    "check_schedule",
+    "schedule_from_plan",
+]
+
+#: Supported interleaving models (see the module docstring).
+GRANULARITIES = ("program", "command")
+
+#: Rules whose findings involve a *pair* of jobs and therefore become
+#: conflict-graph edges (the rest are per-job or map-level defects).
+_PAIR_RULES = ("CC401", "CC402", "CC403", "CC406", "CC408")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit: a tenant's programs, run back to back.
+
+    ``programs`` execute in order inside one verifier session, exactly
+    like an executor session — so a job may Frac a reference row in one
+    program and consume it in the next.  ``scheme`` is the mitigation
+    scheme the runtime would apply to the job's output terminal; the
+    analyzer checks the *expanded* footprint against the placement
+    (CC410).
+    """
+
+    tenant: str
+    name: str
+    programs: Tuple[TestProgram, ...]
+
+    scheme: Optional[MitigationScheme] = None
+
+    def __post_init__(self) -> None:
+        if not self.programs:
+            raise ConfigurationError(f"job {self.name!r} has no programs")
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A set of jobs proposed to run concurrently, plus the context the
+    isolation checks need.
+
+    ``allocations`` maps tenant name to the (bank, subarray) regions it
+    owns; an empty map disables the tenancy rules (CC404/CC407/CC409).
+    ``quarantined`` lists (bank, subarray) regions and
+    ``quarantined_rows`` (bank, bank_row) rows that serve no compute.
+    """
+
+    jobs: Tuple[JobSpec, ...]
+    allocations: Mapping[str, FrozenSet[Tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    quarantined: FrozenSet[Tuple[int, int]] = frozenset()
+    quarantined_rows: FrozenSet[Tuple[int, int]] = frozenset()
+    granularity: str = "program"
+
+    def __post_init__(self) -> None:
+        if self.granularity not in GRANULARITIES:
+            raise ConfigurationError(
+                f"granularity must be one of {GRANULARITIES}, "
+                f"got {self.granularity!r}"
+            )
+        names = [job.name for job in self.jobs]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ConfigurationError(
+                f"job names must be unique, duplicated: {duplicates}"
+            )
+
+
+@dataclass(frozen=True)
+class RowAccess:
+    """One recorded touch of DRAM state.
+
+    ``kind`` is ``activate`` (rows connected to bitlines), ``drive``
+    (latched amplifiers overwrite newly joined rows — the NOT/RowClone
+    destination), ``write``/``read`` (column access), ``frac`` (rows
+    pulled to VDD/2), or ``refresh`` (whole bank, ``rows`` empty).
+    ``rows`` are bank-row indices.
+    """
+
+    kind: str
+    bank: int
+    rows: Tuple[int, ...]
+    program: str
+    command_index: int
+
+    #: Kinds that mutate cell contents.
+    WRITE_KINDS = ("drive", "write", "frac")
+
+    @property
+    def writes(self) -> bool:
+        return self.kind in self.WRITE_KINDS
+
+    def describe(self, geometry: ChipGeometry) -> str:
+        if self.kind == "refresh":
+            return (
+                f"{self.program} cmd {self.command_index}: REF bank "
+                f"{self.bank} (re-amplifies every row)"
+            )
+        subarrays = sorted({geometry.subarray_of_row(r) for r in self.rows})
+        return (
+            f"{self.program} cmd {self.command_index}: {self.kind} bank "
+            f"{self.bank} rows {sorted(self.rows)} "
+            f"(subarray{'s' if len(subarrays) != 1 else ''} "
+            f"{', '.join(map(str, subarrays))})"
+        )
+
+
+class _FootprintObserver(VerifierObserver):
+    """Records every state-machine event of one program as RowAccesses."""
+
+    def __init__(self, geometry: ChipGeometry, program: str) -> None:
+        self.geometry = geometry
+        self.program = program
+        self.accesses: List[RowAccess] = []
+        #: Resolves of glitched (charge-share) episodes: the accesses
+        #: whose rows form AND/OR terminals (CC410 needs them apart).
+        self.charge_resolves: List[RowAccess] = []
+
+    def _bank_rows(self, rows: Dict[int, Tuple[int, ...]]) -> Tuple[int, ...]:
+        geometry = self.geometry
+        return tuple(
+            sorted(
+                geometry.bank_row(subarray, local)
+                for subarray, locals_ in rows.items()
+                for local in locals_
+            )
+        )
+
+    def _record(
+        self, kind: str, bank: int, rows: Tuple[int, ...], index: int
+    ) -> None:
+        self.accesses.append(
+            RowAccess(
+                kind=kind,
+                bank=bank,
+                rows=rows,
+                program=self.program,
+                command_index=index,
+            )
+        )
+
+    def on_fresh_activation(self, bank: int, row: int, index: int) -> None:
+        self._record("activate", bank, (row,), index)
+
+    def on_resolve(
+        self,
+        bank: int,
+        rows: Dict[int, Tuple[int, ...]],
+        glitched: bool,
+        first_subarray: int,
+        index: int,
+    ) -> None:
+        self._record("activate", bank, self._bank_rows(rows), index)
+        if glitched:
+            self.charge_resolves.append(self.accesses[-1])
+
+    def on_latched_drive(
+        self,
+        bank: int,
+        new_rows: Dict[int, Tuple[int, ...]],
+        first_subarray: int,
+        index: int,
+    ) -> None:
+        self._record("drive", bank, self._bank_rows(new_rows), index)
+
+    def on_frac(
+        self, bank: int, rows: Dict[int, Tuple[int, ...]], index: Optional[int]
+    ) -> None:
+        self._record(
+            "frac", bank, self._bank_rows(rows), index if index is not None else 0
+        )
+
+    def on_write(self, bank: int, row: int, data: object, index: int) -> None:
+        self._record("write", bank, (row,), index)
+
+    def on_read(self, bank: int, row: int, index: int, label: str) -> None:
+        self._record("read", bank, (row,), index)
+
+    def on_refresh(self, bank: int, index: int) -> None:
+        self._record("refresh", bank, (), index)
+
+
+@dataclass(frozen=True)
+class JobFootprint:
+    """Everything the pairwise checks need to know about one job."""
+
+    job: JobSpec
+    accesses: Tuple[RowAccess, ...]
+    reports: Tuple[ProgramReport, ...]
+    #: Banks left open (or pending-PRE) at a program boundary — the
+    #: cross-program episodes CC401 cares about at program granularity.
+    open_between_programs: Tuple[int, ...]
+    #: Resolves of charge-share (glitched) episodes: the AND/OR
+    #: terminal accesses, kept apart for the CC410 placement check.
+    charge_resolves: Tuple[RowAccess, ...] = ()
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for report in self.reports for d in report.diagnostics)
+
+    @property
+    def violated_episodes(self) -> Tuple[GapClassification, ...]:
+        return tuple(
+            c
+            for report in self.reports
+            for c in report.classifications
+            if c.violates_t_ras or c.violates_t_rp
+        )
+
+    def banks_activated(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted(
+                {a.bank for a in self.accesses if a.kind in ("activate", "drive")}
+            )
+        )
+
+    def refreshed_banks(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted({a.bank for a in self.accesses if a.kind == "refresh"})
+        )
+
+    def rows_touched(self) -> Dict[int, Set[int]]:
+        """bank -> every row any access names."""
+        rows: Dict[int, Set[int]] = {}
+        for access in self.accesses:
+            if access.rows:
+                rows.setdefault(access.bank, set()).update(access.rows)
+        return rows
+
+    def rows_written(self) -> Dict[int, Set[int]]:
+        """bank -> rows whose cell contents the job mutates."""
+        rows: Dict[int, Set[int]] = {}
+        for access in self.accesses:
+            if access.writes and access.rows:
+                rows.setdefault(access.bank, set()).update(access.rows)
+        return rows
+
+    def subarrays(self, geometry: ChipGeometry) -> Dict[int, Set[int]]:
+        """bank -> subarrays the job's rows occupy."""
+        out: Dict[int, Set[int]] = {}
+        for bank, rows in self.rows_touched().items():
+            out[bank] = {geometry.subarray_of_row(row) for row in rows}
+        return out
+
+    def regions(self, geometry: ChipGeometry) -> Set[Tuple[int, int]]:
+        """Every (bank, subarray) region the job's rows occupy."""
+        return {
+            (bank, subarray)
+            for bank, subarrays in self.subarrays(geometry).items()
+            for subarray in subarrays
+        }
+
+    def access_naming(
+        self, bank: int, rows: Iterable[int]
+    ) -> Optional[RowAccess]:
+        """The first access touching any of ``rows`` in ``bank``."""
+        wanted = set(rows)
+        for access in self.accesses:
+            if access.bank == bank and wanted & set(access.rows):
+                return access
+        return None
+
+    def destination_terminal_rows(self) -> int:
+        """Rows available as output-terminal copies for mitigation.
+
+        Latched drives (NOT/RowClone) write the destination terminal
+        directly: the largest drive is the terminal.  A charge-share
+        episode exposes both terminals; the *smaller* side bounds the
+        copies a vote can read from either one.
+        """
+        geometry_free_best = 0
+        for access in self.accesses:
+            if access.kind == "drive":
+                geometry_free_best = max(geometry_free_best, len(access.rows))
+        return geometry_free_best
+
+    @property
+    def has_charge_share(self) -> bool:
+        """True when any episode resolved in the sharing regime."""
+        return bool(self.charge_resolves)
+
+    def logic_terminal_rows(self, geometry: ChipGeometry) -> int:
+        """Smallest per-subarray side of the widest charge-share episode
+        (0 when the job has no charge-share activation).
+
+        A charge-share resolve connects both terminals; a vote reads
+        copies from the destination terminal, so the smaller side
+        bounds the usable ``row_copies``.
+        """
+        best = 0
+        for access in self.charge_resolves:
+            per_subarray: Dict[int, int] = {}
+            for row in access.rows:
+                subarray = geometry.subarray_of_row(row)
+                per_subarray[subarray] = per_subarray.get(subarray, 0) + 1
+            if per_subarray:
+                best = max(best, min(per_subarray.values()))
+        return best
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One schedule-level defect: the diagnostic plus the evidence.
+
+    ``jobs`` names the involved jobs (one for placement defects, two
+    for races, zero for allocation-map defects); ``trace`` is the
+    happens-before explanation the CLI prints under ``--explain``.
+    """
+
+    diagnostic: Diagnostic
+    jobs: Tuple[str, ...]
+    trace: Tuple[str, ...]
+
+
+class ConflictGraph:
+    """Which job pairs may run concurrently.
+
+    Nodes are job names (in schedule order); an edge joins two jobs
+    whose concurrent execution a pair rule refused.  The future item-3
+    scheduler consumes this directly: :meth:`may_run_concurrently` for
+    admission, :meth:`waves` for a greedy serialization.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[str],
+        edges: Iterable[Tuple[str, str, Tuple[str, ...]]] = (),
+    ) -> None:
+        self.jobs: Tuple[str, ...] = tuple(jobs)
+        known = set(self.jobs)
+        self._edges: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        for a, b, rules in edges:
+            if a not in known or b not in known:
+                raise ConfigurationError(
+                    f"conflict edge ({a!r}, {b!r}) names an unknown job"
+                )
+            key = (a, b) if self.jobs.index(a) <= self.jobs.index(b) else (b, a)
+            merged = tuple(sorted(set(self._edges.get(key, ())) | set(rules)))
+            self._edges[key] = merged
+
+    @property
+    def edges(self) -> Tuple[Tuple[str, str, Tuple[str, ...]], ...]:
+        return tuple(
+            (a, b, rules) for (a, b), rules in sorted(self._edges.items())
+        )
+
+    def may_run_concurrently(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        key = (a, b) if self.jobs.index(a) <= self.jobs.index(b) else (b, a)
+        return key not in self._edges
+
+    def conflicts_of(self, name: str) -> Tuple[str, ...]:
+        out = []
+        for (a, b), _rules in sorted(self._edges.items()):
+            if a == name:
+                out.append(b)
+            elif b == name:
+                out.append(a)
+        return tuple(sorted(set(out)))
+
+    def waves(self) -> Tuple[Tuple[str, ...], ...]:
+        """Greedy grouping into waves with no internal conflicts.
+
+        Jobs are placed in schedule order into the first wave where
+        they conflict with nothing — a deterministic first-fit
+        coloring, good enough for a scheduler's starting plan.
+        """
+        waves: List[List[str]] = []
+        for job in self.jobs:
+            for wave in waves:
+                if all(self.may_run_concurrently(job, other) for other in wave):
+                    wave.append(job)
+                    break
+            else:
+                waves.append([job])
+        return tuple(tuple(wave) for wave in waves)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "jobs": list(self.jobs),
+                "edges": [
+                    {"a": a, "b": b, "rules": list(rules)}
+                    for a, b, rules in self.edges
+                ],
+                "waves": [list(wave) for wave in self.waves()],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleReport:
+    """Outcome of analyzing one schedule."""
+
+    schedule: Schedule
+    footprints: Tuple[JobFootprint, ...]
+    findings: Tuple[Finding, ...]
+    conflicts: ConflictGraph
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """Schedule-level findings plus every per-program diagnostic."""
+        schedule_level = tuple(f.diagnostic for f in self.findings)
+        per_program = tuple(
+            d for footprint in self.footprints for d in footprint.diagnostics
+        )
+        return schedule_level + per_program
+
+    @property
+    def admitted(self) -> bool:
+        """True when nothing error-severity stands in the way."""
+        return not any(d.severity >= Severity.ERROR for d in self.diagnostics)
+
+    def format(self, explain: bool = False) -> str:
+        lines = [
+            f"# schedule: {len(self.schedule.jobs)} job(s), "
+            f"{self.schedule.granularity} granularity"
+        ]
+        for finding in self.findings:
+            lines.append(finding.diagnostic.format())
+            if explain:
+                lines.extend(f"    {step}" for step in finding.trace)
+        per_program = [
+            d for footprint in self.footprints for d in footprint.diagnostics
+        ]
+        lines.extend(d.format() for d in per_program)
+        verdict = "ADMITTED" if self.admitted else "REFUSED"
+        lines.append(f"[schedule] {verdict}: {len(self.findings)} schedule "
+                     f"finding(s), {len(per_program)} program diagnostic(s)")
+        return "\n".join(lines)
+
+
+class ScheduleAnalyzer:
+    """The static race detector over :class:`Schedule` objects.
+
+    ``decoder`` (optional, as for :class:`ProgramVerifier`) predicts
+    full multi-row activation patterns, so footprints include the rows
+    a glitch engages beyond the addressed pair — without one, the
+    addressed rows stand in and the analysis is correspondingly more
+    permissive.  ``suppress`` drops rule ids, as everywhere else.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[ChipGeometry] = None,
+        decoder: Optional[object] = None,
+        activation_support: ActivationSupport = ActivationSupport.SIMULTANEOUS,
+        suppress: Iterable[str] = (),
+    ) -> None:
+        self.geometry = geometry if geometry is not None else ChipGeometry()
+        self.decoder = decoder
+        self.support = activation_support
+        self.suppress: FrozenSet[str] = frozenset(suppress)
+        unknown = sorted(self.suppress - set(RULES))
+        if unknown:
+            raise ConfigurationError(f"unknown rule ids in suppress: {unknown}")
+
+    @classmethod
+    def for_module(
+        cls, module: object, suppress: Iterable[str] = ()
+    ) -> "ScheduleAnalyzer":
+        config = module.config  # type: ignore[attr-defined]
+        return cls(
+            geometry=config.geometry,
+            decoder=getattr(module, "decoder", None),
+            activation_support=config.activation_support,
+            suppress=suppress,
+        )
+
+    # -- footprint extraction -------------------------------------------
+
+    def footprint(self, job: JobSpec) -> JobFootprint:
+        """Run a job's programs through the verifier, recording accesses.
+
+        Each job gets its own session: jobs are independent units and a
+        Frac reference must come from the job's *own* programs for the
+        schedule to be reorderable.
+        """
+        verifier = ProgramVerifier(
+            geometry=self.geometry,
+            decoder=self.decoder,
+            activation_support=self.support,
+            suppress=self.suppress,
+        )
+        state = verifier.new_session()
+        accesses: List[RowAccess] = []
+        reports: List[ProgramReport] = []
+        open_between: Set[int] = set()
+        charge_resolves: List[RowAccess] = []
+        for program in job.programs:
+            observer = _FootprintObserver(self.geometry, program.name)
+            verifier.observer = observer
+            reports.append(verifier.verify_program(program, state=state))
+            verifier.observer = None
+            accesses.extend(observer.accesses)
+            charge_resolves.extend(observer.charge_resolves)
+            for bank, bankm in state.banks.items():
+                if bankm.open is not None:
+                    open_between.add(bank)
+        return JobFootprint(
+            job=job,
+            accesses=tuple(accesses),
+            reports=tuple(reports),
+            open_between_programs=tuple(sorted(open_between)),
+            charge_resolves=tuple(charge_resolves),
+        )
+
+    # -- the checks ------------------------------------------------------
+
+    def check_schedule(self, schedule: Schedule) -> ScheduleReport:
+        """Run every CC rule over the schedule; nothing executes."""
+        footprints = tuple(self.footprint(job) for job in schedule.jobs)
+        findings: List[Finding] = []
+        self._check_allocation_map(schedule, findings)
+        for footprint in footprints:
+            self._check_tenancy(schedule, footprint, findings)
+            self._check_quarantine(schedule, footprint, findings)
+            self._check_mitigation(footprint, findings)
+        for i in range(len(footprints)):
+            for j in range(i + 1, len(footprints)):
+                self._check_pair(schedule, footprints[i], footprints[j], findings)
+        if schedule.granularity == "command":
+            self._check_timing_windows(footprints, findings)
+
+        edges = [
+            (finding.jobs[0], finding.jobs[1], (finding.diagnostic.rule,))
+            for finding in findings
+            if len(finding.jobs) == 2
+            and finding.diagnostic.rule in _PAIR_RULES
+        ]
+        conflicts = ConflictGraph([job.name for job in schedule.jobs], edges)
+        return ScheduleReport(
+            schedule=schedule,
+            footprints=footprints,
+            findings=tuple(findings),
+            conflicts=conflicts,
+        )
+
+    # -- helpers ---------------------------------------------------------
+
+    def _emit(
+        self,
+        findings: List[Finding],
+        rule_id: str,
+        message: str,
+        jobs: Tuple[str, ...],
+        trace: Tuple[str, ...],
+        severity: Optional[Severity] = None,
+    ) -> None:
+        if rule_id in self.suppress:
+            return
+        rule = RULES[rule_id]
+        findings.append(
+            Finding(
+                diagnostic=Diagnostic(
+                    rule=rule_id,
+                    severity=severity if severity is not None else rule.severity,
+                    message=message,
+                    hint=rule.hint,
+                    program=" + ".join(jobs) if jobs else "<allocation-map>",
+                ),
+                jobs=jobs,
+                trace=trace,
+            )
+        )
+
+    def _job_line(self, footprint: JobFootprint, access: RowAccess) -> str:
+        return (
+            f"tenant {footprint.job.tenant!r} job {footprint.job.name!r}: "
+            f"{access.describe(self.geometry)}"
+        )
+
+    # -- allocation map (CC409) -----------------------------------------
+
+    def _check_allocation_map(
+        self, schedule: Schedule, findings: List[Finding]
+    ) -> None:
+        tenants = sorted(schedule.allocations)
+        for i in range(len(tenants)):
+            for j in range(i + 1, len(tenants)):
+                a, b = tenants[i], tenants[j]
+                regions_a = schedule.allocations[a]
+                regions_b = schedule.allocations[b]
+                shared = sorted(set(regions_a) & set(regions_b))
+                if shared:
+                    self._emit(
+                        findings,
+                        "CC409",
+                        f"tenants {a!r} and {b!r} are both allocated "
+                        f"region(s) {shared}",
+                        (),
+                        (
+                            f"allocation[{a!r}] = {sorted(regions_a)}",
+                            f"allocation[{b!r}] = {sorted(regions_b)}",
+                            f"intersection {shared} is owned twice",
+                        ),
+                    )
+                    continue
+                adjacent = sorted(
+                    (ra, rb)
+                    for ra in regions_a
+                    for rb in regions_b
+                    if ra[0] == rb[0]
+                    and self.geometry.subarrays_are_neighbors(ra[1], rb[1])
+                )
+                if adjacent:
+                    ra, rb = adjacent[0]
+                    self._emit(
+                        findings,
+                        "CC409",
+                        f"tenants {a!r} and {b!r} hold sense-amp-adjacent "
+                        f"subarrays {ra} and {rb}: the stripe between them "
+                        "is shared hardware",
+                        (),
+                        (
+                            f"allocation[{a!r}] includes (bank, subarray) {ra}",
+                            f"allocation[{b!r}] includes (bank, subarray) {rb}",
+                            "open-bitline stripes sit between neighboring "
+                            "subarrays, so both tenants touch the same "
+                            "amplifiers",
+                        ),
+                        severity=Severity.WARNING,
+                    )
+
+    # -- per-job placement (CC404/CC405/CC407/CC410) --------------------
+
+    def _check_tenancy(
+        self, schedule: Schedule, footprint: JobFootprint, findings: List[Finding]
+    ) -> None:
+        if not schedule.allocations:
+            return
+        job = footprint.job
+        allocation = schedule.allocations.get(job.tenant)
+        if allocation is None:
+            self._emit(
+                findings,
+                "CC407",
+                f"tenant {job.tenant!r} (job {job.name!r}) has no entry in "
+                f"the allocation map ({sorted(schedule.allocations)})",
+                (job.name,),
+                (
+                    f"job {job.name!r} names tenant {job.tenant!r}",
+                    "the allocation map grants regions to "
+                    f"{sorted(schedule.allocations)} only",
+                ),
+            )
+            return
+        outside = sorted(footprint.regions(self.geometry) - set(allocation))
+        for bank in footprint.refreshed_banks():
+            bank_regions = {
+                (bank, subarray)
+                for subarray in range(self.geometry.subarrays_per_bank)
+            }
+            missing = sorted(bank_regions - set(allocation))
+            if missing:
+                outside.extend(m for m in missing if m not in outside)
+        if outside:
+            access = None
+            for bank, subarray in outside:
+                access = footprint.access_naming(
+                    bank,
+                    (
+                        self.geometry.bank_row(subarray, local)
+                        for local in range(self.geometry.rows_per_subarray)
+                    ),
+                )
+                if access is not None:
+                    break
+            trace = [
+                f"allocation[{job.tenant!r}] = {sorted(allocation)}",
+                f"job footprint extends to {sorted(outside)}",
+            ]
+            if access is not None:
+                trace.insert(0, self._job_line(footprint, access))
+            self._emit(
+                findings,
+                "CC404",
+                f"job {job.name!r} (tenant {job.tenant!r}) touches "
+                f"region(s) {sorted(outside)} outside its allocation "
+                f"{sorted(allocation)}",
+                (job.name,),
+                tuple(trace),
+            )
+
+    def _check_quarantine(
+        self, schedule: Schedule, footprint: JobFootprint, findings: List[Finding]
+    ) -> None:
+        job = footprint.job
+        hit_regions = sorted(
+            footprint.regions(self.geometry) & set(schedule.quarantined)
+        )
+        hit_rows = sorted(
+            {
+                (bank, row)
+                for bank, rows in footprint.rows_touched().items()
+                for row in rows
+            }
+            & set(schedule.quarantined_rows)
+        )
+        if not hit_regions and not hit_rows:
+            return
+        trace: List[str] = []
+        if hit_regions:
+            bank, subarray = hit_regions[0]
+            access = footprint.access_naming(
+                bank,
+                (
+                    self.geometry.bank_row(subarray, local)
+                    for local in range(self.geometry.rows_per_subarray)
+                ),
+            )
+            if access is not None:
+                trace.append(self._job_line(footprint, access))
+            trace.append(f"quarantined regions: {sorted(schedule.quarantined)}")
+        if hit_rows:
+            bank, row = hit_rows[0]
+            access = footprint.access_naming(bank, (row,))
+            if access is not None:
+                trace.append(self._job_line(footprint, access))
+            trace.append(
+                f"quarantined rows: {sorted(schedule.quarantined_rows)}"
+            )
+        what = []
+        if hit_regions:
+            what.append(f"region(s) {hit_regions}")
+        if hit_rows:
+            what.append(f"row(s) {hit_rows}")
+        self._emit(
+            findings,
+            "CC405",
+            f"job {job.name!r} (tenant {job.tenant!r}) touches quarantined "
+            + " and ".join(what),
+            (job.name,),
+            tuple(trace),
+        )
+
+    def _check_mitigation(
+        self, footprint: JobFootprint, findings: List[Finding]
+    ) -> None:
+        job = footprint.job
+        scheme = job.scheme
+        if scheme is None or scheme.is_uncoded:
+            return
+        drive_rows = footprint.destination_terminal_rows()
+        logic_rows = footprint.logic_terminal_rows(self.geometry)
+        terminal = max(drive_rows, logic_rows)
+        if scheme.max_attempts > 1 and not footprint.has_charge_share:
+            self._emit(
+                findings,
+                "CC410",
+                f"job {job.name!r} carries detect-retry scheme "
+                f"{scheme.label!r} but performs no charge-share episode: "
+                "there is no complement terminal to check against "
+                "(§6.1.3)",
+                (job.name,),
+                (
+                    f"scheme {scheme.label!r} needs max_attempts="
+                    f"{scheme.max_attempts} consistency checks",
+                    "the job's episodes are latched (NOT/RowClone) or "
+                    "nominal: one terminal only",
+                ),
+            )
+            return
+        if scheme.row_copies > max(terminal, 1):
+            self._emit(
+                findings,
+                "CC410",
+                f"job {job.name!r} scheme {scheme.label!r} votes over "
+                f"{scheme.row_copies} destination-row copies but the "
+                f"placement's output terminal provides "
+                f"{max(terminal, 1)}: capped_to_rows would silently "
+                "degrade the tuned residual bound",
+                (job.name,),
+                (
+                    f"scheme {scheme.label!r}: row_copies="
+                    f"{scheme.row_copies}",
+                    f"widest destination terminal in the job's episodes: "
+                    f"{max(terminal, 1)} row(s)",
+                    "re-place on a wider N:N block or re-tune for this one",
+                ),
+            )
+
+    # -- pairwise races (CC401/CC402/CC403/CC408) -----------------------
+
+    def _check_pair(
+        self,
+        schedule: Schedule,
+        a: JobFootprint,
+        b: JobFootprint,
+        findings: List[Finding],
+    ) -> None:
+        overlap_banks = self._check_operand_overlap(a, b, findings)
+        self._check_sense_amp_sharing(a, b, findings, overlap_banks)
+        self._check_act_race(schedule, a, b, findings)
+        self._check_refresh(a, b, findings)
+
+    def _check_operand_overlap(
+        self, a: JobFootprint, b: JobFootprint, findings: List[Finding]
+    ) -> Set[int]:
+        """CC403; returns the banks where rows overlapped (so CC402 can
+        skip them — the row-level finding is strictly stronger)."""
+        overlap_banks: Set[int] = set()
+        for first, second in ((a, b), (b, a)):
+            written = first.rows_written()
+            touched = second.rows_touched()
+            for bank in sorted(set(written) & set(touched)):
+                shared = sorted(written[bank] & touched[bank])
+                if not shared:
+                    continue
+                if bank in overlap_banks:
+                    continue  # already reported for this pair
+                overlap_banks.add(bank)
+                access_w = first.access_naming(bank, shared)
+                access_t = second.access_naming(bank, shared)
+                flavor = (
+                    "cross-tenant isolation violation"
+                    if first.job.tenant != second.job.tenant
+                    else "intra-tenant write race"
+                )
+                trace = []
+                if access_w is not None:
+                    trace.append(self._job_line(first, access_w))
+                if access_t is not None:
+                    trace.append(self._job_line(second, access_t))
+                trace.append(
+                    f"no happens-before edge orders the two: rows {shared} "
+                    f"of bank {bank} are written by one and used by the "
+                    "other"
+                )
+                self._emit(
+                    findings,
+                    "CC403",
+                    f"job {first.job.name!r} (tenant {first.job.tenant!r}) "
+                    f"writes rows {shared} of bank {bank} inside job "
+                    f"{second.job.name!r}'s (tenant "
+                    f"{second.job.tenant!r}) footprint ({flavor})",
+                    (a.job.name, b.job.name),
+                    tuple(trace),
+                )
+        return overlap_banks
+
+    def _check_sense_amp_sharing(
+        self,
+        a: JobFootprint,
+        b: JobFootprint,
+        findings: List[Finding],
+        skip_banks: Set[int],
+    ) -> None:
+        subs_a = a.subarrays(self.geometry)
+        subs_b = b.subarrays(self.geometry)
+        for bank in sorted(set(subs_a) & set(subs_b)):
+            if bank in skip_banks:
+                continue
+            pairs = sorted(
+                (sa, sb)
+                for sa in subs_a[bank]
+                for sb in subs_b[bank]
+                if self.geometry.subarrays_are_neighbors(sa, sb)
+            )
+            if not pairs:
+                continue
+            sa, sb = pairs[0]
+            access_a = a.access_naming(
+                bank,
+                (
+                    self.geometry.bank_row(sa, local)
+                    for local in range(self.geometry.rows_per_subarray)
+                ),
+            )
+            access_b = b.access_naming(
+                bank,
+                (
+                    self.geometry.bank_row(sb, local)
+                    for local in range(self.geometry.rows_per_subarray)
+                ),
+            )
+            trace = []
+            if access_a is not None:
+                trace.append(self._job_line(a, access_a))
+            if access_b is not None:
+                trace.append(self._job_line(b, access_b))
+            where = (
+                f"subarray {sa}"
+                if sa == sb
+                else f"subarrays {sa} and {sb} (the stripe between them)"
+            )
+            trace.append(
+                f"no happens-before edge orders the two: {where} of bank "
+                f"{bank} route through the same sense amplifiers"
+            )
+            self._emit(
+                findings,
+                "CC402",
+                f"jobs {a.job.name!r} (tenant {a.job.tenant!r}) and "
+                f"{b.job.name!r} (tenant {b.job.tenant!r}) occupy "
+                f"{'the same subarray' if sa == sb else 'neighboring subarrays'} "
+                f"{sorted({sa, sb})} of bank {bank}: their activations "
+                "couple through the shared open-bitline stripe",
+                (a.job.name, b.job.name),
+                tuple(trace),
+            )
+
+    def _check_act_race(
+        self,
+        schedule: Schedule,
+        a: JobFootprint,
+        b: JobFootprint,
+        findings: List[Finding],
+    ) -> None:
+        shared_banks = sorted(
+            set(a.banks_activated()) & set(b.banks_activated())
+        )
+        if not shared_banks:
+            return
+        if schedule.granularity == "command":
+            bank = shared_banks[0]
+            access_a = a.access_naming(bank, a.rows_touched().get(bank, ()))
+            access_b = b.access_naming(bank, b.rows_touched().get(bank, ()))
+            trace = []
+            if access_a is not None:
+                trace.append(self._job_line(a, access_a))
+            if access_b is not None:
+                trace.append(self._job_line(b, access_b))
+            trace.append(
+                "command granularity interleaves single commands: an ACT "
+                f"of one job can land inside the other's open episode in "
+                f"bank {bank} (FC101-class state corruption, decided by "
+                "arrival order)"
+            )
+            self._emit(
+                findings,
+                "CC401",
+                f"jobs {a.job.name!r} (tenant {a.job.tenant!r}) and "
+                f"{b.job.name!r} (tenant {b.job.tenant!r}) both activate "
+                f"bank(s) {shared_banks} under command-granularity "
+                "interleaving: the row buffer is a shared register with "
+                "no ordering between them",
+                (a.job.name, b.job.name),
+                tuple(trace),
+            )
+            return
+        # Program granularity: programs are atomic, so the race needs an
+        # episode held open across a program boundary.
+        for first, second in ((a, b), (b, a)):
+            racy = sorted(
+                set(first.open_between_programs) & set(second.banks_activated())
+            )
+            if not racy:
+                continue
+            bank = racy[0]
+            access = second.access_naming(
+                bank, second.rows_touched().get(bank, ())
+            )
+            trace = [
+                f"tenant {first.job.tenant!r} job {first.job.name!r} leaves "
+                f"bank {bank} open (or pending PRE) at a program boundary",
+            ]
+            if access is not None:
+                trace.append(self._job_line(second, access))
+            trace.append(
+                "a scheduler may interleave whole programs at that "
+                "boundary: the second job's ACT hits an open bank "
+                "(FC101) or silently joins the episode"
+            )
+            self._emit(
+                findings,
+                "CC401",
+                f"job {first.job.name!r} (tenant {first.job.tenant!r}) "
+                f"holds bank {bank} open across a program boundary while "
+                f"job {second.job.name!r} (tenant "
+                f"{second.job.tenant!r}) activates it",
+                (a.job.name, b.job.name),
+                tuple(trace),
+            )
+            return
+
+    def _check_refresh(
+        self, a: JobFootprint, b: JobFootprint, findings: List[Finding]
+    ) -> None:
+        for refresher, holder in ((a, b), (b, a)):
+            hit = sorted(
+                set(refresher.refreshed_banks())
+                & (set(holder.rows_touched()) | set(holder.banks_activated()))
+            )
+            if not hit:
+                continue
+            bank = hit[0]
+            access_r = next(
+                (
+                    access
+                    for access in refresher.accesses
+                    if access.kind == "refresh" and access.bank == bank
+                ),
+                None,
+            )
+            access_h = holder.access_naming(
+                bank, holder.rows_touched().get(bank, ())
+            )
+            trace = []
+            if access_r is not None:
+                trace.append(self._job_line(refresher, access_r))
+            if access_h is not None:
+                trace.append(self._job_line(holder, access_h))
+            trace.append(
+                f"REF re-amplifies every row of bank {bank} to a full "
+                "rail: any Frac (VDD/2) reference the other job staged "
+                "is destroyed, and REF to an open bank is an FC102 error"
+            )
+            self._emit(
+                findings,
+                "CC408",
+                f"job {refresher.job.name!r} (tenant "
+                f"{refresher.job.tenant!r}) refreshes bank {bank} while "
+                f"job {holder.job.name!r} (tenant "
+                f"{holder.job.tenant!r}) holds state there",
+                (a.job.name, b.job.name),
+                tuple(trace),
+            )
+            return
+
+    # -- timing windows under command interleaving (CC406) ---------------
+
+    def _check_timing_windows(
+        self, footprints: Tuple[JobFootprint, ...], findings: List[Finding]
+    ) -> None:
+        if len(footprints) < 2:
+            return
+        for footprint in footprints:
+            episodes = footprint.violated_episodes
+            if not episodes:
+                continue
+            partners = tuple(
+                other.job.name
+                for other in footprints
+                if other.job.name != footprint.job.name
+            )
+            episode = episodes[0]
+            gaps = []
+            if episode.violates_t_ras:
+                gaps.append(f"ACT->PRE {episode.first_gap_ns:.2f}ns < tRAS")
+            if episode.violates_t_rp:
+                gaps.append(f"PRE->ACT {episode.second_gap_ns:.2f}ns < tRP")
+            trace = (
+                f"tenant {footprint.job.tenant!r} job "
+                f"{footprint.job.name!r}: {episode.describe()}",
+                f"the {episode.idiom!r} idiom requires {', '.join(gaps)}",
+                "any command of "
+                + ", ".join(repr(p) for p in partners)
+                + " issued inside that window widens the gap past the "
+                "threshold: the sequence silently becomes a different "
+                "operation",
+            )
+            for partner in partners:
+                self._emit(
+                    findings,
+                    "CC406",
+                    f"job {footprint.job.name!r} (tenant "
+                    f"{footprint.job.tenant!r}) relies on a violated "
+                    f"{episode.idiom!r} timing window that "
+                    "command-granularity interleaving with job "
+                    f"{partner!r} can stretch",
+                    (footprint.job.name, partner),
+                    trace,
+                )
+
+
+def check_schedule(
+    schedule: Schedule,
+    module: Optional[object] = None,
+    suppress: Iterable[str] = (),
+) -> ScheduleReport:
+    """Convenience wrapper: analyze a schedule against a module's topology."""
+    if module is not None:
+        analyzer = ScheduleAnalyzer.for_module(module, suppress=suppress)
+    else:
+        analyzer = ScheduleAnalyzer(suppress=suppress)
+    return analyzer.check_schedule(schedule)
+
+
+def _plan_int(value: object, context: str) -> int:
+    """Coerce a JSON scalar to ``int``, rejecting anything non-numeric."""
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ConfigurationError(f"{context}: expected an integer, got {value!r}")
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"{context}: expected an integer, got {value!r}"
+        ) from exc
+
+
+def _plan_job(
+    entry: Mapping[str, Any], timing: TimingParameters, index: int
+) -> JobSpec:
+    """One PLAN.json job entry -> a :class:`JobSpec`."""
+    from ..core.sequences import (
+        frac_program,
+        logic_program,
+        nominal_activation_program,
+        not_program,
+        rowclone_program,
+    )
+
+    def need(key: str) -> int:
+        if key not in entry:
+            raise ConfigurationError(
+                f"job #{index}: op {op!r} needs field {key!r}"
+            )
+        return _plan_int(entry[key], f"job #{index} field {key!r}")
+
+    tenant = str(entry.get("tenant", "default"))
+    op = str(entry.get("op", "logic"))
+    bank = _plan_int(entry.get("bank", 0), f"job #{index} field 'bank'")
+    programs: Tuple[TestProgram, ...]
+    if op == "logic":
+        ref_row, com_row = need("ref_row"), need("com_row")
+        logic = logic_program(timing, bank, ref_row, com_row)
+        if bool(entry.get("frac", True)):
+            programs = (frac_program(timing, bank, ref_row), logic)
+        else:
+            programs = (logic,)
+    elif op == "not":
+        programs = (not_program(timing, bank, need("src_row"), need("dst_row")),)
+    elif op == "rowclone":
+        programs = (
+            rowclone_program(timing, bank, need("src_row"), need("dst_row")),
+        )
+    elif op == "frac":
+        programs = (frac_program(timing, bank, need("row")),)
+    elif op == "nominal":
+        programs = (nominal_activation_program(timing, bank, need("row")),)
+    elif op == "refresh":
+        programs = (
+            TestProgram(timing, name=f"refresh-bank-{bank}").ref(bank),
+        )
+    else:
+        raise ConfigurationError(
+            f"job #{index}: unknown op {op!r} (expected logic/not/rowclone/"
+            "frac/nominal/refresh)"
+        )
+    scheme = (
+        MitigationScheme.from_label(str(entry["scheme"]))
+        if "scheme" in entry
+        else None
+    )
+    name = str(entry.get("name", f"{tenant}-{op}-{index}"))
+    return JobSpec(tenant=tenant, name=name, programs=programs, scheme=scheme)
+
+
+def schedule_from_plan(
+    plan: Mapping[str, object], timing: TimingParameters
+) -> Schedule:
+    """Build a :class:`Schedule` from a parsed PLAN.json mapping.
+
+    Recognized keys: ``granularity`` (``"program"``/``"command"``),
+    ``allocations`` (tenant -> ``[[bank, subarray], ...]``),
+    ``quarantine`` (``[[bank, subarray], ...]``), ``quarantine_rows``
+    (``[[bank, bank_row], ...]``), and ``jobs`` — each job an object
+    with ``tenant``, ``op`` (``logic``/``not``/``rowclone``/``frac``/
+    ``nominal``/``refresh``), ``bank``, the op's row fields
+    (``ref_row``/``com_row``, ``src_row``/``dst_row``, ``row``), an
+    optional ``name``, an optional mitigation ``scheme`` label, and —
+    for logic — optional ``frac: false`` to skip the reference-Frac
+    prologue program.
+    """
+    def _sequence(key: str) -> Sequence[Any]:
+        raw = plan.get(key, [])
+        if not isinstance(raw, (list, tuple)):
+            raise ConfigurationError(f"plan field {key!r} must be a list")
+        return raw
+
+    def _regions(raw: object, context: str) -> FrozenSet[Tuple[int, int]]:
+        if not isinstance(raw, (list, tuple)):
+            raise ConfigurationError(f"{context} must be a list of pairs")
+        pairs = []
+        for item in raw:
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise ConfigurationError(f"{context} must be a list of pairs")
+            pairs.append(
+                (_plan_int(item[0], context), _plan_int(item[1], context))
+            )
+        return frozenset(pairs)
+
+    jobs = tuple(
+        _plan_job(entry, timing, index)
+        for index, entry in enumerate(_sequence("jobs"))
+    )
+    raw_allocations = plan.get("allocations", {})
+    if not isinstance(raw_allocations, dict):
+        raise ConfigurationError("plan field 'allocations' must be an object")
+    allocations = {
+        str(tenant): _regions(regions, f"allocation for {tenant!r}")
+        for tenant, regions in sorted(raw_allocations.items())
+    }
+    quarantined = _regions(_sequence("quarantine"), "plan field 'quarantine'")
+    quarantined_rows = _regions(
+        _sequence("quarantine_rows"), "plan field 'quarantine_rows'"
+    )
+    return Schedule(
+        jobs=jobs,
+        allocations=allocations,
+        quarantined=quarantined,
+        quarantined_rows=quarantined_rows,
+        granularity=str(plan.get("granularity", "program")),
+    )

@@ -19,6 +19,13 @@ checkpoint/resume guarantees:
     :mod:`repro.atomicio` so a SIGKILL mid-write can never leave a
     torn artifact.
 
+``DET205``
+    Unordered iteration over per-tenant/per-target mappings in
+    scheduling-adjacent code — ``for tenant in allocations.items():``
+    without ``sorted(...)`` makes admission order (and therefore
+    schedules, conflict graphs, and quarantine decisions) depend on
+    dict insertion history.
+
 Findings can be silenced in place with a pragma comment on the same
 or the preceding line::
 
@@ -115,6 +122,20 @@ _NUMPY_SEEDABLE: FrozenSet[str] = frozenset(
     {"default_rng", "SeedSequence", "PCG64", "PCG64DXSM", "Philox", "MT19937",
      "SFC64", "RandomState"}
 )
+
+#: Receiver-name fragments that mark a mapping as scheduling-adjacent:
+#: iterating one unsorted makes schedules depend on insertion order.
+_SCHEDULING_NAME_FRAGMENTS: Tuple[str, ...] = (
+    "tenant",
+    "alloc",
+    "placement",
+    "schedul",
+    "quarantin",
+    "target",
+)
+
+#: Mapping views whose iteration order is insertion history.
+_MAPPING_VIEWS: FrozenSet[str] = frozenset({"items", "keys", "values"})
 
 #: Wall-clock reads.  Monotonic/perf counters are allowed: they only
 #: measure durations and cannot leak calendar time into results.
@@ -229,6 +250,58 @@ class _DeterminismVisitor(ast.NodeVisitor):
             self._shadowed.discard(name)
 
     # -- the rules -------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_unordered_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_unordered_iteration(comp.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    def _check_unordered_iteration(self, iter_expr: ast.expr) -> None:
+        """DET205: ``for ... in tenants.items():`` without sorted().
+
+        Only direct ``.items()``/``.keys()``/``.values()`` receivers
+        whose name marks them scheduling-adjacent are flagged — the
+        views are unambiguously mappings, so there is no false positive
+        on lists, and wrapping the view in ``sorted(...)`` changes the
+        iter expression to a ``sorted`` call, which naturally passes.
+        """
+        if not (
+            isinstance(iter_expr, ast.Call)
+            and not iter_expr.args
+            and not iter_expr.keywords
+            and isinstance(iter_expr.func, ast.Attribute)
+            and iter_expr.func.attr in _MAPPING_VIEWS
+        ):
+            return
+        receiver = iter_expr.func.value
+        if isinstance(receiver, ast.Name):
+            leaf = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            leaf = receiver.attr
+        else:
+            return
+        lowered = leaf.lower()
+        if not any(frag in lowered for frag in _SCHEDULING_NAME_FRAGMENTS):
+            return
+        self._emit(
+            "DET205",
+            iter_expr,
+            f"iteration over `{leaf}.{iter_expr.func.attr}()` follows dict "
+            "insertion order in scheduling-adjacent code",
+        )
 
     def visit_Call(self, node: ast.Call) -> None:
         qualified = self._qualified(node.func)

@@ -13,6 +13,8 @@ Rule families
 ``FC1xx`` — FCDRAM command-sequence rules (program verifier).
 ``DET2xx`` — determinism rules (AST linter over the source tree).
 ``SEM3xx`` — semantic rules (symbolic charge-algebra evaluator).
+``CC4xx`` — concurrency/isolation rules (multi-program schedule
+analyzer and the runtime admission gate).
 """
 
 from __future__ import annotations
@@ -299,6 +301,131 @@ _RULE_LIST: Tuple[Rule, ...] = (
         "result file written without repro.atomicio",
         "use atomic_write_text/atomic_write_json so a SIGKILL mid-write "
         "can never leave a torn artifact for --resume to trip over",
+    ),
+    Rule(
+        "DET205",
+        "unordered-mapping-iteration",
+        Severity.ERROR,
+        "iteration over a per-tenant/per-target mapping whose order "
+        "depends on insertion history",
+        "wrap the .items()/.keys()/.values() call in sorted(...); in a "
+        "multi-tenant service the insertion order is the request arrival "
+        "order, so unordered iteration breaks bit-identical replay",
+    ),
+    Rule(
+        "CC401",
+        "interleaved-act-race",
+        Severity.ERROR,
+        "concurrent jobs issue ACTs to one bank with no ordering between "
+        "them (write-write/write-read race on row-buffer and sense-amp "
+        "state)",
+        "place the jobs in different banks, or serialize them (the "
+        "ConflictGraph names the pairs that must not overlap); at "
+        "program granularity the race needs a bank held open across "
+        "program boundaries — close the bank before yielding",
+    ),
+    Rule(
+        "CC402",
+        "sense-amp-sharing-hazard",
+        Severity.ERROR,
+        "concurrent jobs occupy the same or neighboring subarrays of one "
+        "bank, coupling through the shared open-bitline sense-amplifier "
+        "stripe",
+        "allocate tenants at subarray distance >= 2 within a bank (or in "
+        "different banks): a multi-row activation engages the decoder's "
+        "whole pattern and the stripe between neighboring subarrays is "
+        "physically shared (§4.1)",
+    ),
+    Rule(
+        "CC403",
+        "operand-overlap",
+        Severity.ERROR,
+        "rows one concurrent job writes intersect another job's row "
+        "footprint (RowClone/logic source-destination overlap)",
+        "give each job disjoint row ranges; a latched drive or charge "
+        "share clobbers every row of its activation pattern, not just "
+        "the addressed ones",
+    ),
+    Rule(
+        "CC404",
+        "outside-allocation",
+        Severity.ERROR,
+        "a job touches a bank/subarray region outside its tenant's "
+        "allocation",
+        "move the job's rows inside the tenant's allocated (bank, "
+        "subarray) regions, or extend the allocation map; note a "
+        "neighboring-subarray operation always touches both subarrays "
+        "of its pair",
+    ),
+    Rule(
+        "CC405",
+        "quarantined-region",
+        Severity.ERROR,
+        "a job's footprint touches a quarantined bank/subarray region or "
+        "row",
+        "re-place the job outside the quarantine set; quarantined "
+        "regions failed verification or hardware checks and serve no "
+        "compute",
+    ),
+    Rule(
+        "CC406",
+        "split-timing-window",
+        Severity.ERROR,
+        "command-level interleaving can stretch a violated tRAS/tRP gap, "
+        "silently converting the idiom (NOT <-> logic <-> nominal)",
+        "schedule sub-tRAS/sub-tRP idioms at program granularity: the "
+        "gap between their commands is wall-clock time, so any foreign "
+        "command inserted into the window changes what the sequence "
+        "computes",
+    ),
+    Rule(
+        "CC407",
+        "unknown-tenant",
+        Severity.ERROR,
+        "a job's tenant has no entry in the allocation map",
+        "register the tenant with an allocation before admitting its "
+        "jobs (or run without an allocation map to disable tenancy "
+        "checks)",
+    ),
+    Rule(
+        "CC408",
+        "refresh-hazard",
+        Severity.ERROR,
+        "one job refreshes a bank where a concurrent job holds state "
+        "(REF destroys Frac rows bank-wide and needs the bank closed)",
+        "serialize refresh against every job with a footprint in the "
+        "bank, or target a bank no concurrent job touches",
+    ),
+    Rule(
+        "CC409",
+        "allocation-map-defect",
+        Severity.ERROR,
+        "two tenants' allocations overlap, or sit on sense-amp-adjacent "
+        "subarrays of one bank",
+        "make allocations disjoint; leave one guard subarray between "
+        "tenants sharing a bank (adjacent subarrays share an amplifier "
+        "stripe, reported at warning severity)",
+    ),
+    Rule(
+        "CC410",
+        "mitigation-overflow",
+        Severity.ERROR,
+        "a job's mitigation scheme demands more destination-row copies "
+        "(or a complement terminal) than its placement provides",
+        "the tuned residual bound assumed the scheme as tuned: pick a "
+        "placement whose output terminal has >= row_copies rows, drop "
+        "detect-retry for NOT-shaped jobs, or re-tune for the smaller "
+        "block instead of letting capped_to_rows silently degrade",
+    ),
+    Rule(
+        "CC411",
+        "quarantine-clamp",
+        Severity.WARNING,
+        "quarantine_block clamped an oversized fan-in to the largest "
+        "available block",
+        "quarantine the block by its real fan-in; the clamp exists so "
+        "callers quarantining 'the biggest block' cannot silently miss, "
+        "but an exact id is always safer",
     ),
 )
 

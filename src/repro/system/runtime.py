@@ -62,7 +62,19 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -74,6 +86,7 @@ from ..core.not_op import NotOperation
 from ..core.rowclone import rowclone
 from ..dram.decoder import ActivationKind
 from ..errors import (
+    IsolationError,
     ReliabilityError,
     ReliabilityUnsatisfiableError,
     ReproError,
@@ -82,6 +95,10 @@ from ..errors import (
 from ..reliability.policy import PolicyTable
 from ..reliability.schemes import MitigationScheme
 from ..reliability.tuner import DEFAULT_P_SLACK, TuneGrid, select_scheme
+from ..staticcheck.diagnostics import RULES, Diagnostic, format_diagnostics
+
+if TYPE_CHECKING:
+    from ..substrate.base import SubstrateBackend
 
 __all__ = [
     "PudRuntime",
@@ -89,9 +106,37 @@ __all__ = [
     "RuntimeStats",
     "TenantStats",
     "JobResult",
+    "ISOLATION_MODES",
+    "quarantine_clamp_diagnostic",
 ]
 
 _FANINS = (2, 4, 8, 16)
+
+#: Admission-gate modes for :meth:`PudRuntime.submit_job`.
+ISOLATION_MODES = ("warn", "error", "off")
+
+
+def quarantine_clamp_diagnostic(
+    side: int, requested: int, clamped: int
+) -> Diagnostic:
+    """The structured CC411 diagnostic for a clamped quarantine request.
+
+    :meth:`PudRuntime.quarantine_block` emits this when asked to
+    quarantine a fan-in larger than any block on the side — the clamp
+    still quarantines the largest block, but the mismatch usually means
+    the caller's model of the placement has drifted.
+    """
+    rule = RULES["CC411"]
+    return Diagnostic(
+        rule="CC411",
+        severity=rule.severity,
+        message=(
+            f"quarantine_block: no fan-in-{requested} block on side "
+            f"{side}; clamping to the largest available ({clamped})"
+        ),
+        hint=rule.hint,
+        program=f"quarantine_block(side={side}, n={requested})",
+    )
 
 
 @dataclass
@@ -110,14 +155,22 @@ class TenantStats:
     votes_cast: int = 0
     op_retries: int = 0
     host_transfers: int = 0
+    isolation_refusals: int = 0
+    isolation_warnings: int = 0
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"{self.jobs} jobs ({self.encoded_jobs} encoded), "
             f"{self.logic_ops} logic ops, {self.votes_cast} votes, "
             f"{self.op_retries} retries, {self.host_transfers} host "
             "stagings"
         )
+        if self.isolation_refusals or self.isolation_warnings:
+            text += (
+                f"; isolation: {self.isolation_refusals} refusals, "
+                f"{self.isolation_warnings} warnings"
+            )
+        return text
 
 
 @dataclass
@@ -144,6 +197,12 @@ class RuntimeStats:
     op_retries: int = 0
     encoded_jobs: int = 0
     mitigation_fallbacks: int = 0
+    #: Jobs the admission gate refused (``verify_isolation="error"``).
+    isolation_refusals: int = 0
+    #: Jobs admitted with findings (``verify_isolation="warn"``).
+    isolation_warnings: int = 0
+    #: Oversized quarantine requests clamped to the largest block (CC411).
+    quarantine_clamps: int = 0
     per_tenant: Dict[str, TenantStats] = field(default_factory=dict)
 
     @property
@@ -222,13 +281,15 @@ class PudRuntime:
         backend: object = None,
         min_block_success: float = 0.0,
         policy: Union[PolicyTable, str, None] = None,
-    ):
+        verify_isolation: str = "warn",
+        allocations: Optional[Mapping[str, Iterable[Tuple[int, int]]]] = None,
+    ) -> None:
         self.host = host
         self.bank = bank
         self.subarray_pair = subarray_pair
         self.stats = RuntimeStats()
         self._generation = 0
-        self._backend = None
+        self._backend: Optional["SubstrateBackend"] = None
         if backend is not None:
             from ..substrate.base import resolve_backend
 
@@ -238,6 +299,22 @@ class PudRuntime:
         )
         self.min_block_success = float(min_block_success)
         self._quarantined: Set[Tuple[int, int]] = set()
+        if verify_isolation not in ISOLATION_MODES:
+            raise ReproError(
+                f"verify_isolation must be one of {ISOLATION_MODES}, "
+                f"got {verify_isolation!r}"
+            )
+        self.verify_isolation = verify_isolation
+        #: tenant -> owned (bank, subarray) regions; ``None`` disables
+        #: the tenancy rules (CC404/CC407) at admission.
+        self.allocations: Optional[Dict[str, FrozenSet[Tuple[int, int]]]] = (
+            {
+                name: frozenset(regions)
+                for name, regions in sorted(allocations.items())
+            }
+            if allocations is not None
+            else None
+        )
 
         module = host.module
         geometry = module.config.geometry
@@ -453,12 +530,11 @@ class PudRuntime:
         if (side, n) not in self._logic:
             available = sorted(m for s, m in self._logic if s == side)
             if available and n > available[-1]:
-                warnings.warn(
-                    f"quarantine_block: no fan-in-{n} block on side "
-                    f"{side}; clamping to the largest available "
-                    f"({available[-1]})",
-                    stacklevel=2,
+                diagnostic = quarantine_clamp_diagnostic(
+                    side, requested=n, clamped=available[-1]
                 )
+                self.stats.quarantine_clamps += 1
+                warnings.warn(diagnostic.format(), stacklevel=2)
                 n = available[-1]
             else:
                 raise ReproError(f"no operation block (side={side}, n={n})")
@@ -754,6 +830,7 @@ class PudRuntime:
         arrays = [np.asarray(bits, dtype=np.uint8) for bits in operands]
         if len(arrays) < 2:
             raise ReproError("logic operations need at least 2 operands")
+        self._admit(op, len(arrays), tenant)
         base_op = "and" if op in ("and", "nand") else "or"
         expected = ideal_output(base_op, arrays)
         if op in ("nand", "nor"):
@@ -811,6 +888,96 @@ class PudRuntime:
         finally:
             for handle in handles:
                 self.free(handle)
+
+    # ------------------------------------------------------------------
+    # admission gate (verify_isolation)
+    # ------------------------------------------------------------------
+
+    def _isolation_diagnostics(
+        self, op: str, operand_count: int, tenant: Optional[str]
+    ) -> List[Diagnostic]:
+        """Static pre-admission findings for one job; touches nothing.
+
+        A logic operation always spans *both* subarrays of the pair
+        (the reference terminal lives on the other side), so a tenant
+        must own both ``(bank, subarray)`` regions of the pair — there
+        is no per-subarray tenancy inside one runtime.
+        """
+        findings: List[Diagnostic] = []
+
+        def emit(rule_id: str, message: str) -> None:
+            rule = RULES[rule_id]
+            findings.append(
+                Diagnostic(
+                    rule=rule_id,
+                    severity=rule.severity,
+                    message=message,
+                    hint=rule.hint,
+                    program=f"submit_job({op!r}, tenant={tenant!r})",
+                )
+            )
+
+        if self.allocations is not None:
+            if tenant is None or tenant not in self.allocations:
+                emit(
+                    "CC407",
+                    f"job {op!r} names tenant {tenant!r} but the runtime's "
+                    f"allocation map grants regions to "
+                    f"{sorted(self.allocations)} only",
+                )
+            else:
+                owned = self.allocations[tenant]
+                pair_regions = sorted(
+                    (self.bank, subarray) for subarray in self.subarray_pair
+                )
+                missing = [r for r in pair_regions if r not in owned]
+                if missing:
+                    emit(
+                        "CC404",
+                        f"job {op!r} (tenant {tenant!r}) runs on the "
+                        f"subarray pair {pair_regions} but the tenant's "
+                        f"allocation {sorted(owned)} does not cover "
+                        f"{missing}: a logic op always spans both "
+                        "terminals of the pair",
+                    )
+        eligible = [
+            (block_side, n)
+            for block_side in (0, 1)
+            for n in _FANINS
+            if n >= operand_count and (block_side, n) in self._logic
+        ]
+        quarantined = [b for b in eligible if b in self._quarantined]
+        if eligible and len(quarantined) == len(eligible):
+            emit(
+                "CC405",
+                f"every operation block with fan-in >= {operand_count} "
+                f"({sorted(eligible)}) is quarantined: the job could only "
+                "run on failed hardware",
+            )
+        return findings
+
+    def _admit(
+        self, op: str, operand_count: int, tenant: Optional[str]
+    ) -> None:
+        """The ``verify_isolation`` gate; runs before any state change."""
+        if self.verify_isolation == "off":
+            return
+        findings = self._isolation_diagnostics(op, operand_count, tenant)
+        if not findings:
+            return
+        if self.verify_isolation == "error":
+            self.stats.isolation_refusals += 1
+            if tenant:
+                self.stats.tenant(tenant).isolation_refusals += 1
+            raise IsolationError(
+                f"isolation gate refused job {op!r} (tenant {tenant!r}): "
+                + "; ".join(d.message for d in findings),
+                findings,
+            )
+        self.stats.isolation_warnings += 1
+        if tenant:
+            self.stats.tenant(tenant).isolation_warnings += 1
+        warnings.warn(format_diagnostics(findings), stacklevel=3)
 
     def _submit_bounded(
         self,

@@ -1,0 +1,82 @@
+"""Execution harness for schedule tests.
+
+Runs the jobs of a :class:`repro.staticcheck.Schedule` on a fresh
+ideal-calibration host twice — once serially (job after job) and once
+round-robin interleaved (one program per job per turn) — and snapshots
+the rows each tenant touched, so tests can assert that an *admitted*
+schedule is interleaving-insensitive: byte-identical per-tenant results
+under both executions.
+
+This lives next to the tests (not in ``repro``) because it is a test
+instrument: real schedulers interleave at the memory controller, not
+with a Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro import SeedTree, ideal_calibration, sk_hynix_chip
+from repro.bender import DramBenderHost
+from repro.dram.config import ChipGeometry
+from repro.dram.module import Module
+from repro.staticcheck.concurrency import JobFootprint, JobSpec
+
+
+def fresh_host(
+    geometry: ChipGeometry, seed: int = 7, verify: str = "error"
+) -> DramBenderHost:
+    """A noise-free host over ``geometry``; deterministic for a seed."""
+    config = sk_hynix_chip().with_geometry(geometry)
+    module = Module(
+        config,
+        chip_count=1,
+        seed_tree=SeedTree(seed),
+        calibration=ideal_calibration(),
+    )
+    return DramBenderHost(module, verify=verify)
+
+
+def seed_rows(
+    host: DramBenderHost,
+    rows_by_bank: Mapping[int, Sequence[int]],
+    data_seed: int = 1234,
+) -> None:
+    """Write deterministic random patterns into the given rows."""
+    rng = np.random.default_rng(data_seed)
+    for bank in sorted(rows_by_bank):
+        for row in sorted(rows_by_bank[bank]):
+            bits = rng.integers(0, 2, host.module.row_bits, dtype=np.uint8)
+            host.write_row(bank, row, bits)
+
+
+def run_serial(host: DramBenderHost, jobs: Sequence[JobSpec]) -> None:
+    """Execute every program of every job, one job after another."""
+    for job in jobs:
+        for program in job.programs:
+            host.run(program)
+
+
+def run_round_robin(host: DramBenderHost, jobs: Sequence[JobSpec]) -> None:
+    """Interleave the jobs one program per turn (a fair scheduler)."""
+    queues = [list(job.programs) for job in jobs]
+    while any(queues):
+        for queue in queues:
+            if queue:
+                host.run(queue.pop(0))
+
+
+def snapshot(
+    host: DramBenderHost,
+    footprints: Sequence[JobFootprint],
+) -> Dict[str, Dict[Tuple[int, int], bytes]]:
+    """Per-tenant read-back of every row the tenant's jobs touched."""
+    result: Dict[str, Dict[Tuple[int, int], bytes]] = {}
+    for footprint in footprints:
+        tenant = result.setdefault(footprint.job.tenant, {})
+        for bank, rows in sorted(footprint.rows_touched().items()):
+            for row in sorted(rows):
+                tenant[(bank, row)] = host.read_row(bank, row).tobytes()
+    return result

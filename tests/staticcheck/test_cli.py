@@ -1,4 +1,6 @@
-"""CLI behavior: exit codes, demo mode, lint mode."""
+"""CLI behavior: exit codes, demo mode, lint mode, schedule mode."""
+
+import pathlib
 
 import pytest
 
@@ -106,3 +108,54 @@ def test_prove_prints_truth_table_and_margins(capsys):
 def test_prove_rejects_unparseable_expression():
     with pytest.raises(SystemExit):
         main(["--prove", "a &"])
+
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples" / "schedules"
+
+
+def test_list_rules_includes_cc_family(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "CC401" in out and "CC406" in out and "CC411" in out
+
+
+def test_demo_cc402_fires(capsys):
+    assert main(["--demo", "cc402"]) == 1
+    out = capsys.readouterr().out
+    assert "CC402" in out and "fired as documented" in out
+
+
+def test_schedule_mode_refuses_conflict_plan(capsys):
+    path = str(EXAMPLES / "sense_amp_conflict.json")
+    assert main(["--schedule", path]) == 1
+    out = capsys.readouterr().out
+    assert "CC402" in out and "REFUSED" in out
+    assert "[conflict]" in out
+    assert "[wave" in out
+
+
+def test_schedule_mode_admits_clean_plan(capsys):
+    path = str(EXAMPLES / "clean_plan.json")
+    assert main(["--schedule", path]) == 0
+    out = capsys.readouterr().out
+    assert "ADMITTED" in out
+    assert "no conflicting job pairs" in out
+
+
+def test_schedule_explain_prints_happens_before_trace(capsys):
+    path = str(EXAMPLES / "sense_amp_conflict.json")
+    assert main(["--schedule", path, "--explain"]) == 1
+    out = capsys.readouterr().out
+    assert "no happens-before edge" in out
+
+
+def test_schedule_mode_rejects_missing_file(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--schedule", str(tmp_path / "missing.json")])
+
+
+def test_schedule_mode_rejects_malformed_plan(tmp_path):
+    plan = tmp_path / "plan.json"
+    plan.write_text('{"jobs": [{"op": "teleport"}]}')
+    with pytest.raises(SystemExit):
+        main(["--schedule", str(plan)])

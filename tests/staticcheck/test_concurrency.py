@@ -1,0 +1,709 @@
+"""Tests for the schedule-level concurrency analyzer (CC401-CC410).
+
+Each rule gets a *golden* conflicting schedule (the finding fires, with
+the documented severity and a fix hint) and a minimal *clean* variant
+(the same workload, reshaped, admits).  The acceptance scenario from
+the issue — a two-tenant sense-amp-sharing conflict refused while the
+bank-disjoint placement runs to completion with matching results — is
+exercised end to end against the analog backend, and a Hypothesis
+property checks that schedules the analyzer admits are
+interleaving-insensitive.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bender.program import TestProgram
+from repro.core.sequences import (
+    frac_program,
+    logic_program,
+    nominal_activation_program,
+    not_program,
+    rowclone_program,
+)
+from repro.dram.config import ChipGeometry
+from repro.dram.timing import timing_for_speed
+from repro.errors import ConfigurationError
+from repro.reliability.schemes import MitigationScheme
+from repro.staticcheck import (
+    ConflictGraph,
+    JobSpec,
+    Schedule,
+    ScheduleAnalyzer,
+    check_schedule,
+    schedule_from_plan,
+)
+from repro.staticcheck.diagnostics import Severity
+
+from schedule_harness import (
+    fresh_host,
+    run_round_robin,
+    run_serial,
+    seed_rows,
+    snapshot,
+)
+
+TIMING = timing_for_speed(2666)
+GEOMETRY = ChipGeometry()  # analyzer default: 16 banks x 8 subarrays x 640
+
+
+def _row(subarray: int, local: int = 0) -> int:
+    return GEOMETRY.bank_row(subarray, local)
+
+
+def _job(tenant, name, *programs, scheme=None):
+    return JobSpec(tenant, name, tuple(programs), scheme=scheme)
+
+
+def _and_job(tenant, name, bank, ref_subarray):
+    """A Frac + charge-sharing AND episode on (ref_subarray, +1)."""
+    ref = _row(ref_subarray)
+    com = _row(ref_subarray + 1)
+    return _job(
+        tenant,
+        name,
+        frac_program(TIMING, bank, ref),
+        logic_program(TIMING, bank, ref, com),
+    )
+
+
+def _rules(schedule, **kwargs):
+    report = ScheduleAnalyzer(**kwargs).check_schedule(schedule)
+    return {finding.diagnostic.rule for finding in report.findings}
+
+
+def _report(schedule, **kwargs):
+    return ScheduleAnalyzer(**kwargs).check_schedule(schedule)
+
+
+# ---------------------------------------------------------------------------
+# per-rule golden + clean variants
+# ---------------------------------------------------------------------------
+
+
+class TestActRace:
+    def test_cc401_fires_at_command_granularity(self):
+        alice = _job("alice", "a", nominal_activation_program(TIMING, 0, _row(0)))
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 0, _row(4)))
+        schedule = Schedule((alice, bob), granularity="command")
+        assert "CC401" in _rules(schedule)
+        assert not _report(schedule).admitted
+
+    def test_clean_program_granularity_closed_banks(self):
+        # Program granularity: each program closes its bank, so the
+        # same workload admits.
+        alice = _job("alice", "a", nominal_activation_program(TIMING, 0, _row(0)))
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 0, _row(4)))
+        report = _report(Schedule((alice, bob), granularity="program"))
+        assert "CC401" not in {f.diagnostic.rule for f in report.findings}
+
+    def test_cc401_program_granularity_open_between_programs(self):
+        # Alice's first program leaves bank 0 open (the second closes
+        # it); bob activates the same bank between them.
+        p1 = TestProgram(TIMING, name="a-open", intent="nominal").act(
+            0, _row(0), wait_ns=TIMING.t_ras
+        )
+        p2 = TestProgram(TIMING, name="a-close", intent="nominal").pre(
+            0, wait_ns=TIMING.t_rp
+        )
+        alice = _job("alice", "a", p1, p2)
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 0, _row(4)))
+        assert "CC401" in _rules(Schedule((alice, bob)))
+
+    def test_clean_disjoint_banks_at_command_granularity(self):
+        alice = _job("alice", "a", nominal_activation_program(TIMING, 0, _row(0)))
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 1, _row(0)))
+        rules = _rules(Schedule((alice, bob), granularity="command"))
+        assert "CC401" not in rules
+
+
+class TestSenseAmpSharing:
+    def test_cc402_fires_for_neighboring_subarrays(self):
+        schedule = Schedule(
+            (_and_job("alice", "a", 0, 0), _and_job("bob", "b", 0, 2))
+        )
+        report = _report(schedule)
+        assert "CC402" in {f.diagnostic.rule for f in report.findings}
+        assert not report.admitted
+        (finding,) = [
+            f for f in report.findings if f.diagnostic.rule == "CC402"
+        ]
+        assert finding.diagnostic.hint
+
+    def test_clean_bank_disjoint_placement(self):
+        schedule = Schedule(
+            (_and_job("alice", "a", 0, 0), _and_job("bob", "b", 1, 0))
+        )
+        report = _report(schedule)
+        assert report.admitted, report.format()
+
+    def test_clean_distant_subarrays_same_bank(self):
+        # Subarray pairs (0,1) and (4,5): distance > 1 everywhere, no
+        # shared stripe.
+        schedule = Schedule(
+            (_and_job("alice", "a", 0, 0), _and_job("bob", "b", 0, 4))
+        )
+        rules = {f.diagnostic.rule for f in _report(schedule).findings}
+        assert "CC402" not in rules
+
+
+class TestOperandOverlap:
+    def test_cc403_write_read_overlap(self):
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(4, 40), _row(4, 41))
+        )
+        bob = _job(
+            "bob", "b", rowclone_program(TIMING, 0, _row(4, 41), _row(4, 42))
+        )
+        report = _report(Schedule((alice, bob)))
+        fired = [f for f in report.findings if f.diagnostic.rule == "CC403"]
+        assert fired
+        assert "cross-tenant isolation violation" in fired[0].diagnostic.message
+        # The row-level finding supersedes the subarray-level one.
+        assert "CC402" not in {f.diagnostic.rule for f in report.findings}
+
+    def test_cc403_intra_tenant_flavor(self):
+        one = _job(
+            "alice", "a1", rowclone_program(TIMING, 0, _row(4, 40), _row(4, 41))
+        )
+        two = _job(
+            "alice", "a2", rowclone_program(TIMING, 0, _row(4, 41), _row(4, 42))
+        )
+        report = _report(Schedule((one, two)))
+        fired = [f for f in report.findings if f.diagnostic.rule == "CC403"]
+        assert fired
+        assert "intra-tenant write race" in fired[0].diagnostic.message
+
+    def test_clean_read_read_sharing_is_no_race(self):
+        # Both jobs *source* the same row; nobody writes it first.
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(4, 40), _row(4, 41))
+        )
+        bob = _job(
+            "bob", "b", rowclone_program(TIMING, 0, _row(4, 40), _row(4, 60))
+        )
+        rules = {f.diagnostic.rule for f in _report(Schedule((alice, bob))).findings}
+        assert "CC403" not in rules
+
+
+class TestTenancy:
+    ALLOC = {"alice": frozenset({(0, 0), (0, 1)})}
+
+    def test_cc404_outside_allocation(self):
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(2), _row(2, 1))
+        )
+        schedule = Schedule((alice,), allocations=self.ALLOC)
+        assert "CC404" in _rules(schedule)
+
+    def test_clean_inside_allocation(self):
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(0), _row(0, 1))
+        )
+        report = _report(Schedule((alice,), allocations=self.ALLOC))
+        assert report.admitted, report.format()
+
+    def test_cc404_refresh_needs_whole_bank(self):
+        ref = TestProgram(TIMING, name="a-ref").ref(0)
+        schedule = Schedule((_job("alice", "a", ref),), allocations=self.ALLOC)
+        assert "CC404" in _rules(schedule)
+
+    def test_clean_refresh_with_whole_bank(self):
+        ref = TestProgram(TIMING, name="a-ref").ref(0)
+        whole_bank = {
+            "alice": frozenset(
+                (0, s) for s in range(GEOMETRY.subarrays_per_bank)
+            )
+        }
+        report = _report(Schedule((_job("alice", "a", ref),), allocations=whole_bank))
+        assert report.admitted, report.format()
+
+    def test_cc407_unknown_tenant(self):
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 1, _row(0)))
+        schedule = Schedule((bob,), allocations=self.ALLOC)
+        assert "CC407" in _rules(schedule)
+
+    def test_clean_no_allocation_map_disables_tenancy(self):
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 1, _row(0)))
+        report = _report(Schedule((bob,)))
+        assert report.admitted
+
+
+class TestQuarantine:
+    def test_cc405_quarantined_region(self):
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(3), _row(3, 1))
+        )
+        schedule = Schedule((alice,), quarantined=frozenset({(0, 3)}))
+        assert "CC405" in _rules(schedule)
+
+    def test_cc405_quarantined_row(self):
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(3), _row(3, 1))
+        )
+        schedule = Schedule(
+            (alice,), quarantined_rows=frozenset({(0, _row(3))})
+        )
+        assert "CC405" in _rules(schedule)
+
+    def test_clean_quarantine_elsewhere(self):
+        alice = _job(
+            "alice", "a", rowclone_program(TIMING, 0, _row(3), _row(3, 1))
+        )
+        report = _report(
+            Schedule(
+                (alice,),
+                quarantined=frozenset({(1, 3)}),
+                quarantined_rows=frozenset({(0, _row(5))}),
+            )
+        )
+        assert report.admitted, report.format()
+
+
+class TestTimingWindows:
+    def test_cc406_split_window_even_bank_disjoint(self):
+        alice = _and_job("alice", "a", 0, 0)
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 1, _row(0)))
+        schedule = Schedule((alice, bob), granularity="command")
+        rules = _rules(schedule)
+        assert "CC406" in rules
+
+    def test_clean_program_granularity_keeps_window_atomic(self):
+        alice = _and_job("alice", "a", 0, 0)
+        bob = _job("bob", "b", nominal_activation_program(TIMING, 1, _row(0)))
+        report = _report(Schedule((alice, bob), granularity="program"))
+        assert report.admitted, report.format()
+
+
+class TestRefresh:
+    def test_cc408_refresh_over_frac_state(self):
+        ref = TestProgram(TIMING, name="a-ref").ref(0)
+        schedule = Schedule((_job("alice", "a", ref), _and_job("bob", "b", 0, 2)))
+        assert "CC408" in _rules(schedule)
+
+    def test_clean_refresh_other_bank(self):
+        ref = TestProgram(TIMING, name="a-ref").ref(1)
+        report = _report(
+            Schedule((_job("alice", "a", ref), _and_job("bob", "b", 0, 2)))
+        )
+        rules = {f.diagnostic.rule for f in report.findings}
+        assert "CC408" not in rules
+
+
+class TestAllocationMap:
+    def test_cc409_overlap_is_error(self):
+        schedule = Schedule(
+            (),
+            allocations={
+                "alice": frozenset({(0, 0)}),
+                "bob": frozenset({(0, 0)}),
+            },
+        )
+        report = _report(schedule)
+        (finding,) = report.findings
+        assert finding.diagnostic.rule == "CC409"
+        assert finding.diagnostic.severity == Severity.ERROR
+        assert not report.admitted
+
+    def test_cc409_adjacency_is_warning(self):
+        schedule = Schedule(
+            (),
+            allocations={
+                "alice": frozenset({(0, 1)}),
+                "bob": frozenset({(0, 2)}),
+            },
+        )
+        report = _report(schedule)
+        (finding,) = report.findings
+        assert finding.diagnostic.rule == "CC409"
+        assert finding.diagnostic.severity == Severity.WARNING
+        assert report.admitted  # a warning does not refuse
+
+    def test_clean_disjoint_nonadjacent_map(self):
+        schedule = Schedule(
+            (),
+            allocations={
+                "alice": frozenset({(0, 0)}),
+                "bob": frozenset({(0, 4)}),
+            },
+        )
+        report = _report(schedule)
+        assert not report.findings
+
+
+class TestMitigationPlacement:
+    def test_cc410_rows_overflow_on_not(self):
+        alice = _job(
+            "alice",
+            "a",
+            not_program(TIMING, 0, _row(4), _row(4, 1)),
+            scheme=MitigationScheme.from_label("vote3+rows3"),
+        )
+        assert "CC410" in _rules(Schedule((alice,)))
+
+    def test_cc410_retry_without_charge_share(self):
+        alice = _job(
+            "alice",
+            "a",
+            not_program(TIMING, 0, _row(4), _row(4, 1)),
+            scheme=MitigationScheme.from_label("retry2"),
+        )
+        assert "CC410" in _rules(Schedule((alice,)))
+
+    def test_clean_vote_retry_on_logic(self):
+        job = _and_job("alice", "a", 0, 0)
+        alice = JobSpec(
+            job.tenant,
+            job.name,
+            job.programs,
+            scheme=MitigationScheme.from_label("vote3+retry2"),
+        )
+        report = _report(Schedule((alice,)))
+        assert report.admitted, report.format()
+
+    def test_clean_uncoded_scheme_checks_nothing(self):
+        alice = _job(
+            "alice",
+            "a",
+            not_program(TIMING, 0, _row(4), _row(4, 1)),
+            scheme=MitigationScheme.uncoded(),
+        )
+        rules = _rules(Schedule((alice,)))
+        assert "CC410" not in rules
+
+
+# ---------------------------------------------------------------------------
+# analyzer mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestAnalyzerMechanics:
+    def test_unknown_suppress_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScheduleAnalyzer(suppress=("CC999",))
+
+    def test_suppress_drops_the_finding(self):
+        schedule = Schedule(
+            (_and_job("alice", "a", 0, 0), _and_job("bob", "b", 0, 2))
+        )
+        assert "CC402" in _rules(schedule)
+        assert "CC402" not in _rules(schedule, suppress=("CC402",))
+
+    def test_check_schedule_convenience_wrapper(self):
+        schedule = Schedule(
+            (_and_job("alice", "a", 0, 0), _and_job("bob", "b", 0, 2))
+        )
+        report = check_schedule(schedule)
+        assert not report.admitted
+
+    def test_schedule_rejects_bad_granularity(self):
+        with pytest.raises(ConfigurationError):
+            Schedule((), granularity="cycle")
+
+    def test_schedule_rejects_duplicate_job_names(self):
+        a = _job("alice", "same", nominal_activation_program(TIMING, 0, _row(0)))
+        b = _job("bob", "same", nominal_activation_program(TIMING, 1, _row(0)))
+        with pytest.raises(ConfigurationError):
+            Schedule((a, b))
+
+    def test_jobspec_rejects_empty_programs(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec("alice", "empty", ())
+
+    def test_report_format_mentions_verdict_and_explain_traces(self):
+        schedule = Schedule(
+            (_and_job("alice", "a", 0, 0), _and_job("bob", "b", 0, 2))
+        )
+        report = _report(schedule)
+        plain = report.format()
+        assert "REFUSED" in plain
+        explained = report.format(explain=True)
+        assert len(explained.splitlines()) > len(plain.splitlines())
+        assert "no happens-before edge" in explained
+
+    def test_clean_report_format_admits(self):
+        report = _report(
+            Schedule((_and_job("alice", "a", 0, 0),))
+        )
+        assert "ADMITTED" in report.format()
+
+
+class TestConflictGraph:
+    def _graph(self):
+        schedule = Schedule(
+            (
+                _and_job("alice", "a", 0, 0),
+                _and_job("bob", "b", 0, 2),
+                _and_job("carol", "c", 1, 0),
+            )
+        )
+        return _report(schedule).conflicts
+
+    def test_edges_and_queries(self):
+        graph = self._graph()
+        assert graph.jobs == ("a", "b", "c")
+        assert not graph.may_run_concurrently("a", "b")
+        assert graph.may_run_concurrently("a", "c")
+        assert graph.may_run_concurrently("b", "c")
+        assert graph.conflicts_of("a") == ("b",)
+        (edge,) = graph.edges
+        assert edge[0] == "a" and edge[1] == "b"
+        assert "CC402" in edge[2]
+
+    def test_waves_serialize_conflicts(self):
+        waves = self._graph().waves()
+        assert waves == (("a", "c"), ("b",))
+
+    def test_to_json_round_trips(self):
+        payload = json.loads(self._graph().to_json())
+        assert payload["jobs"] == ["a", "b", "c"]
+        assert payload["waves"] == [["a", "c"], ["b"]]
+        assert payload["edges"][0]["rules"] == ["CC402"]
+
+    def test_unknown_edge_job_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConflictGraph(("a",), edges=((("a"), "ghost", ("CC402",)),))
+
+    def test_merged_edge_rules(self):
+        graph = ConflictGraph(
+            ("a", "b"),
+            edges=(
+                ("a", "b", ("CC402",)),
+                ("b", "a", ("CC401",)),
+            ),
+        )
+        (edge,) = graph.edges
+        assert edge[2] == ("CC401", "CC402")
+
+
+# ---------------------------------------------------------------------------
+# PLAN.json parsing
+# ---------------------------------------------------------------------------
+
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples" / "schedules"
+
+
+class TestPlanParsing:
+    def test_example_conflict_plan_parses_and_refuses(self):
+        plan = json.loads((EXAMPLES / "sense_amp_conflict.json").read_text())
+        schedule = schedule_from_plan(plan, TIMING)
+        assert [job.name for job in schedule.jobs] == ["alice-and", "bob-and"]
+        assert schedule.allocations["alice"] == frozenset({(0, 0), (0, 1)})
+        report = _report(schedule)
+        assert not report.admitted
+        assert "CC402" in {f.diagnostic.rule for f in report.findings}
+
+    def test_example_clean_plan_parses_and_admits(self):
+        plan = json.loads((EXAMPLES / "clean_plan.json").read_text())
+        schedule = schedule_from_plan(plan, TIMING)
+        report = _report(schedule)
+        assert report.admitted, report.format()
+
+    def test_all_ops_and_options(self):
+        plan = {
+            "granularity": "command",
+            "quarantine": [[1, 3]],
+            "quarantine_rows": [[0, 7]],
+            "jobs": [
+                {"tenant": "t", "op": "not", "bank": 0,
+                 "src_row": _row(4), "dst_row": _row(4, 1)},
+                {"tenant": "t", "op": "rowclone", "bank": 0,
+                 "src_row": _row(4), "dst_row": _row(4, 1)},
+                {"tenant": "t", "op": "frac", "bank": 0, "row": 0},
+                {"tenant": "t", "op": "nominal", "bank": 0, "row": 0},
+                {"tenant": "t", "op": "refresh", "bank": 0},
+                {"tenant": "t", "op": "logic", "bank": 0, "ref_row": 0,
+                 "com_row": _row(1), "frac": False, "name": "bare-logic",
+                 "scheme": "vote3"},
+            ],
+        }
+        schedule = schedule_from_plan(plan, TIMING)
+        assert schedule.granularity == "command"
+        assert schedule.quarantined == frozenset({(1, 3)})
+        assert schedule.quarantined_rows == frozenset({(0, 7)})
+        assert len(schedule.jobs) == 6
+        bare = schedule.jobs[-1]
+        assert bare.name == "bare-logic"
+        assert len(bare.programs) == 1  # frac: false skips the prologue
+        assert bare.scheme is not None and bare.scheme.votes == 3
+        default_logic_plan = {"jobs": [
+            {"tenant": "t", "op": "logic", "bank": 0,
+             "ref_row": 0, "com_row": _row(1)},
+        ]}
+        with_prologue = schedule_from_plan(default_logic_plan, TIMING)
+        assert len(with_prologue.jobs[0].programs) == 2
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            {"jobs": [{"op": "teleport", "bank": 0}]},
+            {"jobs": [{"op": "logic", "bank": 0}]},  # missing rows
+            {"jobs": [{"op": "frac", "bank": 0, "row": "many"}]},
+            {"jobs": "not-a-list"},
+            {"allocations": ["not", "a", "dict"]},
+            {"quarantine": [[0]]},  # not a pair
+        ],
+    )
+    def test_malformed_plans_raise(self, plan):
+        with pytest.raises(ConfigurationError):
+            schedule_from_plan(plan, TIMING)
+
+    def test_default_job_names_are_unique(self):
+        plan = {"jobs": [
+            {"tenant": "t", "op": "frac", "bank": 0, "row": 0},
+            {"tenant": "t", "op": "frac", "bank": 0, "row": 64},
+        ]}
+        schedule = schedule_from_plan(plan, TIMING)
+        names = [job.name for job in schedule.jobs]
+        assert len(set(names)) == 2
+
+
+# ---------------------------------------------------------------------------
+# acceptance: refusal vs. execution, and interleaving-insensitivity
+# ---------------------------------------------------------------------------
+
+
+def _small_row(geometry, subarray, local=0):
+    return geometry.bank_row(subarray, local)
+
+
+def _small_and_job(geometry, timing, tenant, name, bank, ref_subarray):
+    ref = _small_row(geometry, ref_subarray)
+    com = _small_row(geometry, ref_subarray + 1)
+    return JobSpec(
+        tenant,
+        name,
+        (
+            frac_program(timing, bank, ref),
+            logic_program(timing, bank, ref, com),
+        ),
+    )
+
+
+class TestAcceptanceScenario:
+    """The issue's acceptance bar, end to end on the analog backend."""
+
+    def test_sense_amp_conflict_refused_bank_disjoint_runs(self, small_geometry):
+        host = fresh_host(small_geometry, verify="warn")
+        timing = host.timing
+        analyzer = ScheduleAnalyzer.for_module(host.module)
+
+        conflicted = Schedule(
+            (
+                _small_and_job(small_geometry, timing, "alice", "alice-and", 0, 0),
+                _small_and_job(small_geometry, timing, "bob", "bob-and", 0, 2),
+            ),
+            allocations={
+                "alice": frozenset({(0, 0), (0, 1)}),
+                "bob": frozenset({(0, 2), (0, 3)}),
+            },
+        )
+        refused = analyzer.check_schedule(conflicted)
+        assert not refused.admitted
+        assert "CC402" in {f.diagnostic.rule for f in refused.findings}
+
+        clean = Schedule(
+            (
+                _small_and_job(small_geometry, timing, "alice", "alice-and", 0, 0),
+                _small_and_job(small_geometry, timing, "bob", "bob-and", 1, 0),
+            ),
+            allocations={
+                "alice": frozenset({(0, 0), (0, 1)}),
+                "bob": frozenset({(1, 0), (1, 1)}),
+            },
+        )
+        admitted = analyzer.check_schedule(clean)
+        assert admitted.admitted, admitted.format()
+
+        rows_by_bank = {0: [0], 1: [0]}  # the Frac reference rows
+        serial_host = fresh_host(small_geometry, verify="warn")
+        seed_rows(serial_host, rows_by_bank)
+        run_serial(serial_host, clean.jobs)
+        serial = snapshot(serial_host, admitted.footprints)
+
+        rr_host = fresh_host(small_geometry, verify="warn")
+        seed_rows(rr_host, rows_by_bank)
+        run_round_robin(rr_host, clean.jobs)
+        interleaved = snapshot(rr_host, admitted.footprints)
+
+        assert serial == interleaved
+        assert set(serial) == {"alice", "bob"}
+
+
+PROGRAM_SPEC = st.tuples(
+    st.sampled_from(["rowclone", "nominal"]),
+    st.integers(min_value=0, max_value=3),   # subarray
+    st.integers(min_value=0, max_value=191),  # src local row
+    st.integers(min_value=0, max_value=191),  # dst local row
+)
+JOB_SPEC = st.lists(PROGRAM_SPEC, min_size=1, max_size=3)
+
+
+def _build_programs(geometry, timing, bank, spec):
+    programs = []
+    for kind, subarray, src, dst in spec:
+        src_row = geometry.bank_row(subarray, src)
+        if kind == "nominal":
+            programs.append(nominal_activation_program(timing, bank, src_row))
+        else:
+            if dst == src:
+                dst = (src + 1) % geometry.rows_per_subarray
+            dst_row = geometry.bank_row(subarray, dst)
+            programs.append(rowclone_program(timing, bank, src_row, dst_row))
+    return tuple(programs)
+
+
+@given(alice=JOB_SPEC, bob=JOB_SPEC, data_seed=st.integers(0, 2**16))
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_admitted_schedules_are_interleaving_insensitive(
+    small_geometry, alice, bob, data_seed
+):
+    """Any schedule the analyzer admits executes on the analog backend
+    with no FC-rule refusals (``verify="error"``) and byte-identical
+    per-tenant results vs. serial execution (issue acceptance bar)."""
+    geometry = small_geometry
+    probe = fresh_host(geometry, verify="error")
+    timing = probe.timing
+    jobs = (
+        JobSpec("alice", "alice-job", _build_programs(geometry, timing, 0, alice)),
+        JobSpec("bob", "bob-job", _build_programs(geometry, timing, 1, bob)),
+    )
+    all_subarrays = range(geometry.subarrays_per_bank)
+    schedule = Schedule(
+        jobs,
+        allocations={
+            "alice": frozenset((0, s) for s in all_subarrays),
+            "bob": frozenset((1, s) for s in all_subarrays),
+        },
+    )
+    report = ScheduleAnalyzer.for_module(probe.module).check_schedule(schedule)
+    assert report.admitted, report.format()
+
+    seeded = {
+        bank: sorted(
+            {geometry.bank_row(sub, src) for _, sub, src, _ in spec}
+        )
+        for bank, spec in ((0, alice), (1, bob))
+    }
+    serial_host = fresh_host(geometry, verify="error")
+    seed_rows(serial_host, seeded, data_seed=data_seed)
+    run_serial(serial_host, jobs)
+    serial = snapshot(serial_host, report.footprints)
+
+    rr_host = fresh_host(geometry, verify="error")
+    seed_rows(rr_host, seeded, data_seed=data_seed)
+    run_round_robin(rr_host, jobs)
+    interleaved = snapshot(rr_host, report.footprints)
+
+    assert serial == interleaved

@@ -75,6 +75,54 @@ class TestNonAtomicWrite:
         assert _rules(src, filename="src/repro/atomicio.py") == []
 
 
+class TestUnorderedMappingIteration:
+    def test_tenant_mapping_items_flagged(self):
+        src = "for tenant, regions in allocations.items():\n    pass\n"
+        assert _rules(src) == ["DET205"]
+
+    def test_placement_keys_flagged(self):
+        src = "for name in placements.keys():\n    pass\n"
+        assert _rules(src) == ["DET205"]
+
+    def test_attribute_receiver_flagged(self):
+        src = "for t in self.per_tenant.values():\n    pass\n"
+        assert _rules(src) == ["DET205"]
+
+    def test_comprehension_flagged(self):
+        src = "names = [t for t, _ in tenant_map.items()]\n"
+        assert _rules(src) == ["DET205"]
+
+    def test_quarantine_and_target_names_flagged(self):
+        assert _rules("for q in quarantined.keys():\n    pass\n") == ["DET205"]
+        assert _rules("for t in targets.values():\n    pass\n") == ["DET205"]
+
+    def test_sorted_wrapper_is_clean(self):
+        src = "for tenant, r in sorted(allocations.items()):\n    pass\n"
+        assert _rules(src) == []
+
+    def test_unrelated_receiver_name_is_clean(self):
+        src = "for key, value in cache.items():\n    pass\n"
+        assert _rules(src) == []
+
+    def test_items_with_arguments_is_clean(self):
+        # Not a mapping view: some other .items(...) API.
+        src = "for x in allocations.items(5):\n    pass\n"
+        assert _rules(src) == []
+
+    def test_non_loop_view_call_is_clean(self):
+        # Only *iteration order* is nondeterministic-sensitive here.
+        src = "count = len(allocations.items())\n"
+        assert _rules(src) == []
+
+    def test_pragma_suppresses_det205(self):
+        src = (
+            "for tenant, r in allocations.items():"
+            "  # staticcheck: ignore[DET205] display only\n"
+            "    pass\n"
+        )
+        assert _rules(src) == []
+
+
 class TestPragmas:
     def test_same_line_pragma(self):
         src = "import time\nt = time.time()  # staticcheck: ignore[DET203] ok\n"

@@ -1,0 +1,58 @@
+"""Docs-drift pins: the README rule tables must match the catalogue.
+
+The FC/SEM/CC tables in README.md (and the prose list of DET rules) are
+the user-facing contract; this test fails when a rule is added, removed,
+or re-severitied without the docs following.
+"""
+
+import pathlib
+import re
+
+from repro.staticcheck.diagnostics import RULES
+
+README = (
+    pathlib.Path(__file__).resolve().parents[2] / "README.md"
+).read_text()
+
+_TABLE_ROW = re.compile(
+    r"^\s*\|\s*((?:FC|SEM|CC)\d+)\s*\|\s*([a-z/]+)\s*\|", re.MULTILINE
+)
+
+
+def _table_rows():
+    return {m.group(1): m.group(2) for m in _TABLE_ROW.finditer(README)}
+
+
+def test_every_tabled_rule_family_is_complete():
+    rows = _table_rows()
+    for prefix in ("FC1", "SEM3", "CC4"):
+        documented = {rule for rule in rows if rule.startswith(prefix[:2])}
+        catalogued = {rule for rule in RULES if rule.startswith(prefix)}
+        assert documented >= catalogued, (
+            f"README table missing {sorted(catalogued - documented)}"
+        )
+
+
+def test_tabled_severities_match_catalogue():
+    rows = _table_rows()
+    for rule_id, cell in rows.items():
+        assert rule_id in RULES, f"README documents unknown rule {rule_id}"
+        assert str(RULES[rule_id].severity) in cell.split("/"), (
+            f"README says {rule_id} is {cell!r}, catalogue says "
+            f"{RULES[rule_id].severity}"
+        )
+
+
+def test_det_rules_mentioned_in_prose():
+    for rule_id in RULES:
+        if rule_id.startswith("DET"):
+            assert rule_id in README, f"README never mentions {rule_id}"
+
+
+def test_experiments_documents_schedule_verification():
+    experiments = (
+        pathlib.Path(__file__).resolve().parents[2] / "EXPERIMENTS.md"
+    ).read_text()
+    assert "Schedule verification" in experiments
+    assert "--schedule" in experiments
+    assert "CC402" in experiments

@@ -36,7 +36,7 @@ def test_rule_catalogue_is_consistent():
     for rule_id, rule in RULES.items():
         assert rule.id == rule_id
         assert rule.title and rule.summary and rule.hint
-        assert rule_id.startswith(("FC1", "DET2", "SEM3"))
+        assert rule_id.startswith(("FC1", "DET2", "SEM3", "CC4"))
 
 
 def test_unknown_rule_id_rejected():

@@ -1,0 +1,195 @@
+"""Tests for the runtime's pre-admission isolation gate.
+
+``PudRuntime.submit_job`` consults the concurrency rule catalogue
+(CC404/CC405/CC407) *before* touching any runtime state; the
+``verify_isolation`` mode decides whether findings warn, refuse
+(:class:`repro.errors.IsolationError`), or are skipped.  The quarantine
+clamp warning is likewise a structured CC411 diagnostic now.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import IsolationError, ReproError
+from repro.system import PudRuntime
+from repro.system.runtime import ISOLATION_MODES, quarantine_clamp_diagnostic
+
+PAIR_ALLOC = {"alice": [(0, 0), (0, 1)]}
+
+
+def _vectors(runtime, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 2, runtime.lane_count, dtype=np.uint8)
+        for _ in range(count)
+    ]
+
+
+def _runtime(ideal_host, **kwargs):
+    return PudRuntime(ideal_host, bank=0, subarray_pair=(0, 1), **kwargs)
+
+
+class TestModeSelection:
+    def test_modes_catalogued(self):
+        assert ISOLATION_MODES == ("warn", "error", "off")
+
+    def test_invalid_mode_rejected(self, ideal_host):
+        with pytest.raises(ReproError, match="verify_isolation"):
+            _runtime(ideal_host, verify_isolation="strict")
+
+    def test_default_mode_is_warn(self, ideal_host):
+        assert _runtime(ideal_host).verify_isolation == "warn"
+
+
+class TestErrorMode:
+    def test_unknown_tenant_refused_cc407(self, ideal_host):
+        runtime = _runtime(
+            ideal_host, verify_isolation="error", allocations=PAIR_ALLOC
+        )
+        with pytest.raises(IsolationError) as excinfo:
+            runtime.submit_job("and", _vectors(runtime, 2), tenant="mallory")
+        rules = {d.rule for d in excinfo.value.diagnostics}
+        assert rules == {"CC407"}
+
+    def test_anonymous_job_refused_when_allocations_set(self, ideal_host):
+        runtime = _runtime(
+            ideal_host, verify_isolation="error", allocations=PAIR_ALLOC
+        )
+        with pytest.raises(IsolationError):
+            runtime.submit_job("and", _vectors(runtime, 2))
+
+    def test_partial_pair_ownership_refused_cc404(self, ideal_host):
+        runtime = _runtime(
+            ideal_host,
+            verify_isolation="error",
+            allocations={"alice": [(0, 0)]},  # owns one terminal only
+        )
+        with pytest.raises(IsolationError) as excinfo:
+            runtime.submit_job("and", _vectors(runtime, 2), tenant="alice")
+        rules = {d.rule for d in excinfo.value.diagnostics}
+        assert rules == {"CC404"}
+
+    def test_all_blocks_quarantined_refused_cc405(self, ideal_host):
+        runtime = _runtime(ideal_host, verify_isolation="error")
+        for side in (0, 1):
+            for n in (2, 4, 8, 16):
+                runtime.quarantine_block(side, n)
+        with pytest.raises(IsolationError) as excinfo:
+            runtime.submit_job("and", _vectors(runtime, 2))
+        rules = {d.rule for d in excinfo.value.diagnostics}
+        assert rules == {"CC405"}
+
+    def test_refusal_leaves_runtime_state_untouched(self, ideal_host):
+        runtime = _runtime(
+            ideal_host, verify_isolation="error", allocations=PAIR_ALLOC
+        )
+        slots_before = runtime.free_slots()
+        with pytest.raises(IsolationError):
+            runtime.submit_job("and", _vectors(runtime, 2), tenant="mallory")
+        assert runtime.free_slots() == slots_before
+        assert runtime.stats.jobs_submitted == 0
+        assert runtime.stats.logic_ops == 0
+        assert runtime.stats.host_transfers == 0
+        assert runtime.stats.isolation_refusals == 1
+
+    def test_per_tenant_refusal_counter(self, ideal_host):
+        runtime = _runtime(
+            ideal_host, verify_isolation="error", allocations=PAIR_ALLOC
+        )
+        for _ in range(2):
+            with pytest.raises(IsolationError):
+                runtime.submit_job(
+                    "and", _vectors(runtime, 2), tenant="mallory"
+                )
+        slice_ = runtime.stats.tenant("mallory")
+        assert slice_.isolation_refusals == 2
+        assert "2 refusals" in str(slice_)
+
+    def test_owning_tenant_admits_and_runs(self, ideal_host):
+        runtime = _runtime(
+            ideal_host, verify_isolation="error", allocations=PAIR_ALLOC
+        )
+        operands = _vectors(runtime, 2, seed=5)
+        result = runtime.submit_job("and", operands, tenant="alice")
+        expected = operands[0] & operands[1]
+        assert np.array_equal(result.output, expected)
+        assert runtime.stats.isolation_refusals == 0
+        assert runtime.stats.jobs_submitted == 1
+
+
+class TestWarnMode:
+    def test_finding_warns_but_job_runs(self, ideal_host):
+        runtime = _runtime(ideal_host, allocations=PAIR_ALLOC)
+        operands = _vectors(runtime, 2, seed=6)
+        with pytest.warns(UserWarning, match="CC407"):
+            result = runtime.submit_job(
+                "and", operands, tenant="mallory"
+            )
+        assert np.array_equal(result.output, operands[0] & operands[1])
+        assert runtime.stats.isolation_warnings == 1
+        assert runtime.stats.tenant("mallory").isolation_warnings == 1
+        assert runtime.stats.jobs_submitted == 1
+
+    def test_clean_submission_does_not_warn(self, ideal_host):
+        runtime = _runtime(ideal_host, allocations=PAIR_ALLOC)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runtime.submit_job(
+                "and", _vectors(runtime, 2, seed=7), tenant="alice"
+            )
+        assert runtime.stats.isolation_warnings == 0
+
+
+class TestOffMode:
+    def test_gate_disabled(self, ideal_host):
+        runtime = _runtime(
+            ideal_host, verify_isolation="off", allocations=PAIR_ALLOC
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runtime.submit_job(
+                "and", _vectors(runtime, 2, seed=8), tenant="mallory"
+            )
+        assert runtime.stats.isolation_warnings == 0
+        assert runtime.stats.isolation_refusals == 0
+
+
+class TestQuarantineClamp:
+    def test_clamp_emits_structured_cc411(self, ideal_host):
+        runtime = _runtime(ideal_host)
+        with pytest.warns(UserWarning, match="CC411") as record:
+            runtime.quarantine_block(1, 32)
+        assert "clamping" in str(record[0].message)
+        assert runtime.stats.quarantine_clamps == 1
+        assert (1, 16) in runtime.quarantined_blocks()
+
+    def test_diagnostic_shape(self):
+        diagnostic = quarantine_clamp_diagnostic(side=1, requested=32, clamped=16)
+        assert diagnostic.rule == "CC411"
+        assert "side 1" in diagnostic.message
+        assert diagnostic.hint
+
+    def test_exact_block_does_not_clamp(self, ideal_host):
+        runtime = _runtime(ideal_host)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runtime.quarantine_block(1, 16)
+        assert runtime.stats.quarantine_clamps == 0
+
+
+class TestBoundedJobsGate:
+    def test_bounded_path_also_gated(self, ideal_host):
+        # error_bound jobs go through the same admission check.
+        runtime = _runtime(
+            ideal_host, verify_isolation="error", allocations=PAIR_ALLOC
+        )
+        with pytest.raises(IsolationError):
+            runtime.submit_job(
+                "and",
+                _vectors(runtime, 2, seed=9),
+                error_bound=0.5,
+                tenant="mallory",
+            )
+        assert runtime.stats.encoded_jobs == 0
